@@ -1,0 +1,52 @@
+"""E8 — §2.1-2.2: the dataset pipeline counts.
+
+Rebuilds the full pipeline from scratch (corpus → profile → label → token
+prune → balance → split) and compares every stage's counts against the
+paper's: 446 CUDA + 303 OMP profiled → 297 CUDA + 242 OMP after the
+8e3-token cutoff → 340 balanced (85 per language x class) → 272/68 split
+(68/17 per cell).
+"""
+
+from __future__ import annotations
+
+from repro.dataset import cell_counts, paper_dataset
+from repro.eval.report import Comparison, render_comparisons
+from repro.types import Boundedness, Language
+
+
+def _rebuild():
+    return paper_dataset(force_rebuild=True)
+
+
+def test_dataset_pipeline(benchmark):
+    ds = benchmark.pedantic(_rebuild, rounds=1, iterations=1)
+
+    r = ds.prune_report
+    balanced_counts = cell_counts(list(ds.balanced))
+    train_counts = cell_counts(list(ds.train))
+    val_counts = cell_counts(list(ds.validation))
+    comparisons = [
+        Comparison("§2.1", "CUDA programs profiled", 446, r.cuda_before),
+        Comparison("§2.1", "OMP programs profiled", 303, r.omp_before),
+        Comparison("§2.2", "CUDA kept after 8e3-token prune", 297, r.cuda_after),
+        Comparison("§2.2", "OMP kept after 8e3-token prune", 242, r.omp_after),
+        Comparison("§2.2", "balanced dataset size", 340, len(ds.balanced)),
+        Comparison("§2.2", "balanced cell size", 85, min(balanced_counts.values())),
+        Comparison("§2.2", "training samples", 272, len(ds.train)),
+        Comparison("§2.2", "validation samples", 68, len(ds.validation)),
+        Comparison("§2.2", "train cell size", 68, min(train_counts.values())),
+        Comparison("§2.2", "validation cell size", 17, min(val_counts.values())),
+    ]
+    print()
+    print(render_comparisons("E8 — dataset pipeline, paper vs measured", comparisons))
+
+    assert r.cuda_before == 446 and r.omp_before == 303
+    assert abs(r.cuda_after - 297) <= 15
+    assert 240 <= r.omp_after <= 290
+    assert len(ds.balanced) == 340
+    assert set(balanced_counts.values()) == {85}
+    assert set(train_counts.values()) == {68}
+    assert set(val_counts.values()) == {17}
+    for lang in Language:
+        for label in Boundedness:
+            assert balanced_counts[(lang, label)] == 85

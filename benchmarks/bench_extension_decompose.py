@@ -1,0 +1,65 @@
+"""Extension bench — question-decomposition prompting (paper §4 future work).
+
+*"Question-decomposition, successive-prompting, and least-to-most prompting
+techniques have shown effectiveness in breaking down and solving complex
+tasks. In an effort to improve roofline classification metrics, these
+techniques warrant further investigation."*
+
+Runs the three-step successive-prompting protocol (spec extraction → work
+estimation → roofline verdict) against every Table 1 model and compares with
+the RQ2 zero-shot baseline. Under this emulator's behavioural model,
+decomposition pays in proportion to a model's underlying code-reading
+ability: the reasoning tier gains 5-14 points (most for o1, whose zero-shot
+bottleneck is context length — exactly what focused sub-prompts relieve),
+while the near-chance minis stay near chance.
+"""
+
+from __future__ import annotations
+
+from repro.eval.decompose import run_decompose_experiment
+from repro.eval.rq23 import run_rq2
+from repro.llm import all_models
+from repro.util.tables import format_table
+
+
+def _run(balanced):
+    out = {}
+    for model in all_models():
+        rq2 = run_rq2(model, balanced).metrics
+        dec = run_decompose_experiment(model, balanced)
+        out[model.name] = (rq2, dec.metrics(), dec)
+    return out
+
+
+def test_extension_decompose(benchmark, balanced):
+    results = benchmark.pedantic(_run, args=(balanced,), rounds=1, iterations=1)
+
+    rows = []
+    for name, (rq2, dec, full) in results.items():
+        rows.append([
+            name, rq2.accuracy, dec.accuracy, dec.accuracy - rq2.accuracy,
+            dec.mcc, full.usage["requests"],
+        ])
+    print()
+    print(format_table(
+        ["Model", "RQ2 Acc", "Decomposed Acc", "Delta", "Dec MCC", "Requests"],
+        rows,
+        title="Extension — question-decomposition vs zero-shot (340 samples)",
+    ))
+
+    # Shape assertions for the extension's finding.
+    for name, (rq2, dec, _) in results.items():
+        assert dec.accuracy >= rq2.accuracy - 2.5, name  # never clearly hurts
+    reasoning_gain = min(
+        results[n][1].accuracy - results[n][0].accuracy
+        for n in ("o3-mini-high", "o1", "o3-mini", "o1-mini-2024-09-12")
+    )
+    mini_gain = max(
+        results[n][1].accuracy - results[n][0].accuracy
+        for n in ("gpt-4o-mini", "gpt-4o-mini-2024-07-18")
+    )
+    assert reasoning_gain >= 3.0       # real gains for capable readers
+    assert mini_gain <= reasoning_gain  # no free lunch for weak readers
+    # Three completions per sample: decomposition triples the request count.
+    any_run = next(iter(results.values()))[2]
+    assert any_run.usage["requests"] == 3 * len(balanced)

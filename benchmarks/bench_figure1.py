@@ -1,0 +1,47 @@
+"""E1 — Figure 1: RTX 3080 roofline with profiled corpus scatter.
+
+Paper claims reproduced here:
+* three rooflines (SP/DP/INT) with their balance points;
+* profiled kernels plot under the ceilings (theoretical peak unmet);
+* the majority of SP-FLOP and INT samples are bandwidth-bound.
+"""
+
+from __future__ import annotations
+
+from repro.eval.figures import figure1_data
+from repro.eval.report import Comparison, render_comparisons
+from repro.types import OpClass
+
+
+def _build(dataset):
+    return figure1_data(list(dataset.profiled))
+
+
+def test_figure1(benchmark, dataset):
+    fig = benchmark.pedantic(_build, args=(dataset,), rounds=1, iterations=1)
+
+    print()
+    print(fig.render_ascii())
+    print()
+    comparisons = [
+        Comparison("Figure 1", "SP samples BB fraction (paper: 'majority')",
+                   None, fig.bb_fraction(OpClass.SP)),
+        Comparison("Figure 1", "INT samples BB fraction (paper: 'majority')",
+                   None, fig.bb_fraction(OpClass.INT)),
+        Comparison("Figure 1", "DP samples BB fraction (mixed)",
+                   None, fig.bb_fraction(OpClass.DP)),
+        Comparison("Figure 1", "SP balance point (FLOP/byte)",
+                   None, fig.balance[OpClass.SP][0]),
+        Comparison("Figure 1", "DP balance point (FLOP/byte)",
+                   None, fig.balance[OpClass.DP][0]),
+        Comparison("Figure 1", "INT balance point (op/byte)",
+                   None, fig.balance[OpClass.INT][0]),
+    ]
+    print(render_comparisons("E1 — Figure 1 roofline scatter", comparisons))
+
+    assert fig.bb_fraction(OpClass.SP) > 0.5
+    assert fig.bb_fraction(OpClass.INT) > 0.5
+    rooflines = fig.gpu.rooflines()
+    for oc in OpClass:
+        for ai, perf in fig.points[oc]:
+            assert perf <= rooflines[oc].attainable(ai) * 1.05

@@ -1,0 +1,45 @@
+"""E2 — Figure 2: token-count distributions of the balanced dataset.
+
+Paper claims reproduced here:
+* all samples under the 8e3-token cutoff;
+* OMP programs average fewer tokens than CUDA programs;
+* train and validation distributions roughly line up per cell.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.eval.figures import figure2_data
+from repro.eval.report import Comparison, render_comparisons
+
+
+def _build(dataset):
+    return figure2_data(dataset)
+
+
+def test_figure2(benchmark, dataset):
+    fig = benchmark.pedantic(_build, args=(dataset,), rounds=1, iterations=1)
+
+    print()
+    print(fig.render_ascii())
+    print()
+    stats = fig.box_stats()
+    cuda_med = statistics.mean(s.median for k, s in stats.items() if "CUDA" in k)
+    omp_med = statistics.mean(s.median for k, s in stats.items() if "OMP" in k)
+    overall_max = max(s.maximum for s in stats.values())
+    comparisons = [
+        Comparison("Figure 2", "mean of CUDA cell medians (tokens)", None, cuda_med),
+        Comparison("Figure 2", "mean of OMP cell medians (tokens)", None, omp_med),
+        Comparison("Figure 2", "max token count (cutoff 8000)", 8000.0, overall_max),
+    ]
+    print(render_comparisons("E2 — Figure 2 token distributions", comparisons))
+
+    assert omp_med < cuda_med  # the paper's observation
+    assert overall_max <= 8000
+    # train/val medians line up within a factor of 2 per cell
+    for lang in ("CUDA", "OMP"):
+        for label in ("BB", "CB"):
+            tr = stats[f"train/{lang}/{label}"].median
+            va = stats[f"val/{lang}/{label}"].median
+            assert 0.5 <= tr / va <= 2.0, (lang, label)

@@ -1,0 +1,54 @@
+"""E6 — §3.7 RQ4: fine-tuning collapse.
+
+Fine-tunes the emulated gpt-4o-mini head on the 272-sample training split
+(plus CUDA-only and OMP-only variants) for two epochs and evaluates on the
+68-sample validation split.
+
+Paper result reproduced: the tuned model "devolved and would always predict
+either CB or BB for the whole validation set" — constant-class predictions
+(entropy 0), 50% accuracy, MCC 0, in every scope.
+"""
+
+from __future__ import annotations
+
+from repro.eval.report import Comparison, render_comparisons
+from repro.eval.rq4 import run_rq4_all_scopes
+from repro.util.tables import format_table
+
+
+def _run(dataset):
+    return run_rq4_all_scopes(dataset)
+
+
+def test_rq4_finetune(benchmark, dataset):
+    results = benchmark.pedantic(_run, args=(dataset,), rounds=1, iterations=1)
+
+    rows = []
+    for r in results:
+        rows.append([
+            r.scope, r.train_size, r.validation_size,
+            r.validation_metrics.accuracy,
+            r.validation_prediction_entropy,
+            "yes" if r.collapsed else "no",
+            r.collapsed_to.word if r.collapsed_to else "-",
+        ])
+    print()
+    print(format_table(
+        ["Scope", "Train", "Val", "Val Acc", "Pred entropy", "Collapsed", "To"],
+        rows, title="E6 — RQ4 fine-tuning outcome",
+    ))
+    comparisons = [
+        Comparison("RQ4", "validation accuracy (paper: chance)", 50.0,
+                   results[0].validation_metrics.accuracy),
+        Comparison("RQ4", "prediction entropy (paper: constant class)", 0.0,
+                   results[0].validation_prediction_entropy),
+    ]
+    print()
+    print(render_comparisons("E6 — RQ4 paper vs measured", comparisons))
+
+    for r in results:
+        assert r.collapsed, r.scope
+        assert r.validation_prediction_entropy == 0.0
+        assert r.validation_metrics.accuracy == 50.0
+    assert results[0].train_size == 272
+    assert results[0].validation_size == 68

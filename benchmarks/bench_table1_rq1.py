@@ -1,0 +1,53 @@
+"""E3 — Table 1 columns 4-5: RQ1 roofline-calculation accuracy.
+
+240 random rooflines x {BB, CB} AI values x {2,4,8}-shot x {plain, CoT};
+the table reports each model's best accuracy per CoT setting.
+
+Paper shape reproduced: reasoning models score 100/100; non-reasoning land
+at 90-93 plain, and chain-of-thought lifts the gpt-4o-mini family to 100.
+"""
+
+from __future__ import annotations
+
+from repro.eval.report import Comparison, render_comparisons
+from repro.eval.rq1 import run_rq1
+from repro.eval.table1 import PAPER_TABLE1
+from repro.llm import all_models
+from repro.util.tables import format_table
+
+
+def _run_all():
+    results = {}
+    for model in all_models():
+        if not model.config.rq1_reported:
+            continue
+        results[model.name] = run_rq1(model)
+    return results
+
+
+def test_table1_rq1(benchmark):
+    results = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+
+    rows = []
+    comparisons = []
+    for name, r in results.items():
+        paper_plain, paper_cot = PAPER_TABLE1[name][0], PAPER_TABLE1[name][1]
+        rows.append([name, r.best_accuracy, r.best_accuracy_cot,
+                     paper_plain, paper_cot])
+        comparisons.append(Comparison("RQ1", f"{name} plain", paper_plain, r.best_accuracy))
+        comparisons.append(Comparison("RQ1", f"{name} CoT", paper_cot, r.best_accuracy_cot))
+    print()
+    print(format_table(
+        ["Model", "RQ1 Acc", "RQ1 CoT Acc", "Paper", "Paper CoT"], rows,
+        title="E3 — Table 1 cols 4-5 (RQ1)",
+    ))
+    print()
+    print(render_comparisons("E3 — RQ1 paper vs measured", comparisons))
+
+    for name, r in results.items():
+        paper_plain = PAPER_TABLE1[name][0]
+        assert abs(r.best_accuracy - paper_plain) <= 4.0, name
+        reasoning = name.startswith(("o1", "o3"))
+        if reasoning:
+            assert r.best_accuracy == 100.0
+            assert r.best_accuracy_cot == 100.0

@@ -1,0 +1,22 @@
+"""Shared fixtures for the benchmark harness.
+
+Each bench regenerates one of the paper's tables/figures and prints a
+paper-vs-measured comparison. The heavyweight artefacts (dataset, prompts)
+are session-scoped so individual benches time only their own experiment.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def dataset():
+    from repro.dataset import paper_dataset
+
+    return paper_dataset()
+
+
+@pytest.fixture(scope="session")
+def balanced(dataset):
+    return list(dataset.balanced)

@@ -1,0 +1,57 @@
+"""RQ4 fine-tuning study: why 272 samples are not enough.
+
+Reproduces the paper's §3.7 finding — fine-tuning on the small balanced
+training split collapses the model into a constant-class predictor — and
+then shows the contrast case: the same trainer with gentle hyperparameters
+on cleanly separable data works fine, isolating the failure to the
+aggressive-regime/small-data combination.
+
+Run:  python examples/finetune_study.py
+"""
+
+from repro.dataset import paper_dataset
+from repro.eval.rq4 import run_rq4_all_scopes
+from repro.llm.finetune import FineTuneConfig, FineTunedClassifier
+from repro.types import Boundedness
+from repro.util.tables import format_table
+
+ds = paper_dataset()
+
+print("=== the paper's regime: 2 epochs on 272 prompts ===")
+rows = []
+for result in run_rq4_all_scopes(ds):
+    rows.append([
+        result.scope,
+        result.train_size,
+        result.validation_size,
+        result.validation_metrics.accuracy,
+        result.validation_prediction_entropy,
+        result.collapsed_to.word if result.collapsed_to else "mixed",
+    ])
+print(format_table(
+    ["Scope", "Train", "Val", "Val Acc", "Pred entropy", "Predicts"],
+    rows, title="RQ4 — fine-tune outcomes",
+))
+print()
+print('Paper: "the model had devolved and would always predict either CB or')
+print('BB for the whole validation set" — entropy 0 rows above are exactly')
+print("that behaviour, in all three scopes.")
+print()
+
+print("=== contrast: gentle hyperparameters, separable toy data ===")
+cfg = FineTuneConfig(epochs=20, learning_rate=0.05, momentum=0.0,
+                     bias_lr_multiplier=1.0)
+clf = FineTunedClassifier(cfg, seed_key="toy")
+train_prompts = (
+    ["kernel with heavy compute loop flops iterations"] * 10
+    + ["kernel streaming memory copy bandwidth bytes"] * 10
+)
+train_labels = [Boundedness.COMPUTE] * 10 + [Boundedness.BANDWIDTH] * 10
+history = clf.train(train_prompts, train_labels)
+print(f"final train accuracy: {history.epoch_train_accuracy[-1] * 100:.0f}%")
+print(f"'compute loop flops'      -> {clf.predict('compute loop flops').word}")
+print(f"'memory stream bandwidth' -> {clf.predict('memory stream bandwidth').word}")
+print()
+print("The trainer is a working classifier; the collapse is a property of")
+print("the aggressive fine-tune regime on few samples — the paper's point")
+print('that "a larger training dataset is necessary".')

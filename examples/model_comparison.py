@@ -1,0 +1,58 @@
+"""Compare emulated LLMs on the roofline classification task — a miniature
+Table 1 over a dataset slice, contrasting a reasoning model, a strong
+non-reasoning model, and a near-chance mini model.
+
+Run:  python examples/model_comparison.py
+"""
+
+from repro.dataset import paper_dataset
+from repro.eval.metrics import MetricReport
+from repro.eval.rq1 import run_rq1
+from repro.llm import get_model, query_cost_usd
+from repro.prompts import build_classify_prompt
+from repro.util.tables import format_table
+
+MODELS = ("o3-mini-high", "gemini-2.0-flash-001", "gpt-4o-mini")
+SLICE = 120  # samples; the full paper run uses all 340 (see benchmarks/)
+
+ds = paper_dataset()
+samples = list(ds.balanced)[:SLICE]
+truths = [s.label for s in samples]
+
+rows = []
+for name in MODELS:
+    model = get_model(name)
+
+    # RQ1: explicit roofline numbers (short arithmetic prompts).
+    rq1 = run_rq1(model, num_rooflines=60)
+
+    # RQ2: zero-shot source-code classification.
+    cost = 0.0
+    preds = []
+    for s in samples:
+        resp = model.complete(build_classify_prompt(s).text)
+        preds.append(resp.boundedness())
+        cost += query_cost_usd(resp.usage, model.config)
+    rq2 = MetricReport.from_predictions(truths, preds)
+
+    rows.append([
+        name,
+        "yes" if model.config.reasoning else "no",
+        rq1.best_accuracy,
+        rq2.accuracy,
+        rq2.macro_f1,
+        rq2.mcc,
+        cost,
+    ])
+
+print(format_table(
+    ["Model", "Reasoning", "RQ1 Acc", "RQ2 Acc", "RQ2 F1", "RQ2 MCC", "Sweep $"],
+    rows,
+    title=f"Model comparison on {SLICE} samples",
+))
+print()
+print("Reading the table the way the paper does (§3.5):")
+print(" * every model aces RQ1 — the Roofline formula is known to all of them;")
+print(" * only the reasoning model meaningfully beats chance on source code;")
+print(" * the mini model's MCC ~ 0 marks it as a random predictor, despite")
+print("   costing the least per query.")

@@ -1,0 +1,17 @@
+"""repro — reproduction of "Can Large Language Models Predict Parallel Code
+Performance?" (Bolet et al., 2025).
+
+The package frames GPU performance prediction as a roofline classification
+task: given a kernel's source code and target-GPU specs, predict whether it
+is compute-bound or bandwidth-bound. Because the original study depends on
+proprietary LLM APIs, physical GPUs, and the HeCBench suite, this library
+ships simulated substitutes for all three (see DESIGN.md section 2) while
+keeping the paper's pipeline intact: corpus -> profile -> label -> prompt ->
+model -> metrics.
+"""
+
+from repro.types import Boundedness, Language, OpClass
+
+__version__ = "1.0.0"
+
+__all__ = ["Boundedness", "Language", "OpClass", "__version__"]

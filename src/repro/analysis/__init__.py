@@ -1,0 +1,67 @@
+"""Source-level static analysis: the reasoning engine of the LLM emulator.
+
+Operates purely on source text (lexer → kernel discovery → structural parse
+→ op counting → traffic estimation → arithmetic-intensity estimate), seeing
+exactly what the paper's LLMs see in a prompt and nothing the profiler
+knows.
+"""
+
+from repro.analysis.clexer import Token, TokKind, lex, strip_comments
+from repro.analysis.cparser import (
+    Branch,
+    Decl,
+    ExprStmt,
+    Loop,
+    ParamInfo,
+    Pragma,
+    Return,
+    SharedDecl,
+    parse_block,
+    parse_params,
+    walk,
+)
+from repro.analysis.explain import Explanation, explain_kernel
+from repro.analysis.intensity import (
+    StaticEstimate,
+    analyze_kernel,
+    analyze_kernel_detailed,
+    classify_static,
+)
+from repro.analysis.kernelfind import KernelSource, find_kernel, find_kernels, first_kernel
+from repro.analysis.memtraffic import AccessEstimate, estimate_access
+from repro.analysis.opcount import MATH_COSTS, OpVector, RawAccess, TypeEnv, scan_statement
+
+__all__ = [
+    "Token",
+    "TokKind",
+    "lex",
+    "strip_comments",
+    "parse_block",
+    "parse_params",
+    "walk",
+    "Branch",
+    "Decl",
+    "ExprStmt",
+    "Loop",
+    "Pragma",
+    "Return",
+    "SharedDecl",
+    "ParamInfo",
+    "KernelSource",
+    "find_kernel",
+    "find_kernels",
+    "first_kernel",
+    "OpVector",
+    "RawAccess",
+    "TypeEnv",
+    "MATH_COSTS",
+    "scan_statement",
+    "AccessEstimate",
+    "estimate_access",
+    "StaticEstimate",
+    "analyze_kernel",
+    "analyze_kernel_detailed",
+    "Explanation",
+    "explain_kernel",
+    "classify_static",
+]

@@ -1,0 +1,131 @@
+"""Lexer for C/CUDA/OpenMP source text.
+
+The static analyser works from *source text only* (like the paper's LLMs):
+this module produces a token stream with comments and string literals
+stripped, preprocessor lines captured separately, and positions preserved
+for error reporting.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+from typing import Iterator
+
+
+class TokKind(str, enum.Enum):
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    CHAR = "char"
+    PUNCT = "punct"
+    PRAGMA = "pragma"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokKind
+    text: str
+    pos: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Token({self.kind.value}, {self.text!r})"
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<comment>//[^\n]*|/\*.*?\*/)
+  | (?P<pragma>\#[^\n]*)
+  | (?P<string>"(?:\\.|[^"\\])*")
+  | (?P<char>'(?:\\.|[^'\\])')
+  | (?P<number>
+        0[xX][0-9a-fA-F]+[uUlL]*
+      | (?:\d+\.\d*|\.\d+|\d+)(?:[eE][+-]?\d+)?[fFlLuU]*
+    )
+  | (?P<ident>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<punct><<<|>>>|<<=|>>=|\.\.\.|->|\+\+|--|\+=|-=|\*=|/=|%=|&=|\|=|\^=|<<|>>|<=|>=|==|!=|&&|\|\||[+\-*/%&|^~!<>=?:;,.(){}\[\]])
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+
+def lex(source: str) -> list[Token]:
+    """Tokenize C-ish source. Unknown bytes are skipped (robustness over
+    strictness: the analyser must not crash on odd input)."""
+    out: list[Token] = []
+    pos = 0
+    n = len(source)
+    while pos < n:
+        ch = source[pos]
+        if ch.isspace():
+            pos += 1
+            continue
+        m = _TOKEN_RE.match(source, pos)
+        if m is None:
+            pos += 1  # skip unrecognized byte
+            continue
+        kind = m.lastgroup
+        text = m.group()
+        if kind == "comment":
+            pos = m.end()
+            continue
+        if kind == "pragma":
+            out.append(Token(TokKind.PRAGMA, text, pos))
+        elif kind == "string":
+            out.append(Token(TokKind.STRING, text, pos))
+        elif kind == "char":
+            out.append(Token(TokKind.CHAR, text, pos))
+        elif kind == "number":
+            out.append(Token(TokKind.NUMBER, text, pos))
+        elif kind == "ident":
+            out.append(Token(TokKind.IDENT, text, pos))
+        else:
+            out.append(Token(TokKind.PUNCT, text, pos))
+        pos = m.end()
+    return out
+
+
+def strip_comments(source: str) -> str:
+    """Remove // and /* */ comments (string-literal aware)."""
+    out: list[str] = []
+    i = 0
+    n = len(source)
+    while i < n:
+        two = source[i : i + 2]
+        if two == "//":
+            j = source.find("\n", i)
+            i = n if j == -1 else j
+        elif two == "/*":
+            j = source.find("*/", i + 2)
+            i = n if j == -1 else j + 2
+        elif source[i] == '"':
+            j = i + 1
+            while j < n and source[j] != '"':
+                j += 2 if source[j] == "\\" else 1
+            out.append(source[i : min(j + 1, n)])
+            i = j + 1
+        else:
+            out.append(source[i])
+            i += 1
+    return "".join(out)
+
+
+def number_value(text: str) -> float:
+    """Parse a numeric literal's value (suffixes stripped)."""
+    t = text.rstrip("fFlLuU")
+    if t.lower().startswith("0x"):
+        return float(int(t, 16))
+    return float(t)
+
+
+def number_is_float(text: str) -> bool:
+    """True when the literal is floating point."""
+    if text.lower().startswith("0x"):
+        return False
+    return "." in text or "e" in text.lower() or text.endswith(("f", "F"))
+
+
+def number_is_f32(text: str) -> bool:
+    """True when the literal is single precision (``f`` suffix)."""
+    return number_is_float(text) and text.endswith(("f", "F"))

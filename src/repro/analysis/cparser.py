@@ -1,0 +1,332 @@
+"""Lightweight structural parser for kernel bodies.
+
+Parses the performance-relevant skeleton of a C kernel body — declarations,
+``for`` loops (with bounds), ``if``/``else`` branches, expression statements,
+pragmas — leaving expressions as raw text for the op/traffic counters. This
+is a *source-level* analysis: it sees exactly what the paper's LLMs see and
+nothing more.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Sequence
+
+_TYPE_WORDS = ("float", "double", "int", "long", "unsigned", "char", "size_t")
+
+
+@dataclass(frozen=True)
+class Decl:
+    """``float acc = <expr>;`` — a local declaration."""
+
+    type_name: str
+    name: str
+    init_text: str
+
+
+@dataclass(frozen=True)
+class SharedDecl:
+    """``__shared__ float tile[256];``"""
+
+    type_name: str
+    name: str
+    size_text: str
+
+
+@dataclass(frozen=True)
+class ExprStmt:
+    """Any expression/assignment statement, raw text without ';'."""
+
+    text: str
+
+
+@dataclass(frozen=True)
+class Return:
+    pass
+
+
+@dataclass(frozen=True)
+class Pragma:
+    text: str
+
+
+@dataclass(frozen=True)
+class Loop:
+    """``for (int VAR = START; VAR < BOUND; ...)`` with a parsed bound."""
+
+    var: str
+    start_text: str
+    bound_text: str
+    step_text: str
+    body: tuple
+    pragma: str | None = None
+
+
+@dataclass(frozen=True)
+class Branch:
+    cond_text: str
+    then_body: tuple
+    else_body: tuple = ()
+
+    @property
+    def is_early_exit_guard(self) -> bool:
+        """``if (gx >= n) return;`` style bounds guards."""
+        return (
+            len(self.then_body) == 1
+            and isinstance(self.then_body[0], Return)
+            and not self.else_body
+        )
+
+
+Node = object  # union of the dataclasses above
+
+
+class ParseError(ValueError):
+    pass
+
+
+_FOR_RE = re.compile(
+    r"for\s*\(\s*(?:(?:const\s+)?(?:unsigned\s+)?(?:int|long|size_t)\s+)?"
+    r"([A-Za-z_][A-Za-z_0-9]*)\s*=\s*([^;]*);\s*"
+    r"\1\s*(?:<=?)\s*([^;]*);\s*(.*)$",
+    re.DOTALL,
+)
+
+
+def _skip_ws(text: str, i: int) -> int:
+    n = len(text)
+    while i < n and text[i].isspace():
+        i += 1
+    return i
+
+
+def _match_paren(text: str, i: int) -> int:
+    depth = 0
+    for j in range(i, len(text)):
+        if text[j] == "(":
+            depth += 1
+        elif text[j] == ")":
+            depth -= 1
+            if depth == 0:
+                return j
+    raise ParseError(f"unbalanced parentheses at {i}")
+
+
+def _match_brace(text: str, i: int) -> int:
+    depth = 0
+    for j in range(i, len(text)):
+        if text[j] == "{":
+            depth += 1
+        elif text[j] == "}":
+            depth -= 1
+            if depth == 0:
+                return j
+    raise ParseError(f"unbalanced braces at {i}")
+
+
+def _find_semicolon(text: str, i: int) -> int:
+    """Next ';' at bracket depth 0 (skips (), [])."""
+    depth = 0
+    for j in range(i, len(text)):
+        c = text[j]
+        if c in "([":
+            depth += 1
+        elif c in ")]":
+            depth -= 1
+        elif c == ";" and depth == 0:
+            return j
+    raise ParseError(f"missing semicolon after {text[i:i+40]!r}")
+
+
+def parse_block(text: str) -> tuple:
+    """Parse a brace-free statement sequence into nodes."""
+    nodes: list[Node] = []
+    i = 0
+    n = len(text)
+    pending_pragma: str | None = None
+    while True:
+        i = _skip_ws(text, i)
+        if i >= n:
+            break
+        # pragma line
+        if text[i] == "#":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            pending_pragma = text[i:j].strip()
+            nodes.append(Pragma(pending_pragma))
+            i = j
+            continue
+        # nested bare block
+        if text[i] == "{":
+            close = _match_brace(text, i)
+            nodes.extend(parse_block(text[i + 1 : close]))
+            i = close + 1
+            continue
+        if text.startswith("for", i) and re.match(r"for\s*\(", text[i:]):
+            node, i = _parse_for(text, i, pending_pragma)
+            # drop the Pragma node we already attached to the loop
+            if pending_pragma is not None and nodes and isinstance(nodes[-1], Pragma):
+                nodes.pop()
+            pending_pragma = None
+            nodes.append(node)
+            continue
+        if text.startswith("if", i) and re.match(r"if\s*\(", text[i:]):
+            node, i = _parse_if(text, i)
+            nodes.append(node)
+            pending_pragma = None
+            continue
+        if text.startswith("return", i) and re.match(r"return\b", text[i:]):
+            semi = _find_semicolon(text, i)
+            nodes.append(Return())
+            i = semi + 1
+            continue
+        # declaration or expression statement
+        semi = _find_semicolon(text, i)
+        stmt = text[i:semi].strip()
+        node = _parse_simple(stmt)
+        if node is not None:
+            nodes.append(node)
+        pending_pragma = None
+        i = semi + 1
+    return tuple(nodes)
+
+
+def _parse_statement_or_block(text: str, i: int) -> tuple[tuple, int]:
+    """Parse `{...}` or a single statement; return (nodes, next_index)."""
+    i = _skip_ws(text, i)
+    if i < len(text) and text[i] == "{":
+        close = _match_brace(text, i)
+        return parse_block(text[i + 1 : close]), close + 1
+    # single statement (possibly a nested for/if)
+    if text.startswith("for", i) and re.match(r"for\s*\(", text[i:]):
+        node, j = _parse_for(text, i, None)
+        return (node,), j
+    if text.startswith("if", i) and re.match(r"if\s*\(", text[i:]):
+        node, j = _parse_if(text, i)
+        return (node,), j
+    if text.startswith("return", i):
+        semi = _find_semicolon(text, i)
+        return (Return(),), semi + 1
+    semi = _find_semicolon(text, i)
+    node = _parse_simple(text[i:semi].strip())
+    return ((node,) if node is not None else ()), semi + 1
+
+
+def _parse_for(text: str, i: int, pragma: str | None) -> tuple[Loop, int]:
+    paren = text.index("(", i)
+    close = _match_paren(text, paren)
+    header = text[paren : close + 1]
+    m = _FOR_RE.match(text[i : close + 1])
+    if m is None:
+        # Unrecognized loop form: keep structure with unknown bound.
+        var, start, bound, step = "_unknown", "0", "", ""
+    else:
+        var, start, bound, step = (g.strip() for g in m.groups())
+        bound = bound.strip()
+        step = step.strip().rstrip(")")
+    body, j = _parse_statement_or_block(text, close + 1)
+    return Loop(var=var, start_text=start, bound_text=bound, step_text=step,
+                body=body, pragma=pragma), j
+
+
+def _parse_if(text: str, i: int) -> tuple[Branch, int]:
+    paren = text.index("(", i)
+    close = _match_paren(text, paren)
+    cond = text[paren + 1 : close].strip()
+    then_body, j = _parse_statement_or_block(text, close + 1)
+    k = _skip_ws(text, j)
+    else_body: tuple = ()
+    if text.startswith("else", k) and re.match(r"else\b", text[k:]):
+        else_body, j = _parse_statement_or_block(text, k + 4)
+    return Branch(cond_text=cond, then_body=then_body, else_body=else_body), j
+
+
+_SHARED_RE = re.compile(
+    r"__shared__\s+(float|double|int|long long)\s+"
+    r"([A-Za-z_][A-Za-z_0-9]*)\s*\[([^\]]*)\]"
+)
+_DECL_RE = re.compile(
+    r"(?:const\s+)?(float|double|int|long long|long|unsigned|size_t)\s+"
+    r"([A-Za-z_][A-Za-z_0-9]*)\s*(?:=\s*(.*))?$",
+    re.DOTALL,
+)
+
+
+def _parse_simple(stmt: str) -> Node | None:
+    if not stmt:
+        return None
+    m = _SHARED_RE.match(stmt)
+    if m:
+        return SharedDecl(type_name=m.group(1), name=m.group(2), size_text=m.group(3))
+    m = _DECL_RE.match(stmt)
+    if m and "[" not in (m.group(2) or ""):
+        init = (m.group(3) or "").strip()
+        return Decl(type_name=m.group(1), name=m.group(2), init_text=init)
+    return ExprStmt(stmt)
+
+
+def walk(nodes: Sequence[Node]):
+    """Pre-order traversal over parsed nodes."""
+    for node in nodes:
+        yield node
+        if isinstance(node, Loop):
+            yield from walk(node.body)
+        elif isinstance(node, Branch):
+            yield from walk(node.then_body)
+            yield from walk(node.else_body)
+
+
+@dataclass(frozen=True)
+class ParamInfo:
+    """One kernel parameter."""
+
+    name: str
+    type_name: str
+    is_pointer: bool
+    is_const: bool
+
+
+def parse_params(params_text: str) -> list[ParamInfo]:
+    """Parse a kernel's parameter list text."""
+    out: list[ParamInfo] = []
+    for raw in _split_top_commas(params_text):
+        raw = raw.strip()
+        if not raw:
+            continue
+        is_const = "const " in raw or raw.startswith("const")
+        is_ptr = "*" in raw
+        cleaned = (
+            raw.replace("__restrict__", " ")
+            .replace("const", " ")
+            .replace("*", " ")
+            .strip()
+        )
+        parts = cleaned.split()
+        if len(parts) < 2:
+            continue
+        name = parts[-1]
+        type_name = " ".join(parts[:-1])
+        out.append(
+            ParamInfo(name=name, type_name=type_name, is_pointer=is_ptr, is_const=is_const)
+        )
+    return out
+
+
+def _split_top_commas(text: str) -> list[str]:
+    parts = []
+    depth = 0
+    cur = []
+    for c in text:
+        if c in "([<":
+            depth += 1
+        elif c in ")]>":
+            depth -= 1
+        if c == "," and depth == 0:
+            parts.append("".join(cur))
+            cur = []
+        else:
+            cur.append(c)
+    if cur:
+        parts.append("".join(cur))
+    return parts

@@ -1,0 +1,120 @@
+"""Human-readable explanation of a static roofline classification.
+
+Produces the argument a careful analyst would write down: per-class
+arithmetic intensities against their balance points, the dominant traffic
+contributors, and the caveats (guessed trip counts, data-dependent accesses)
+that bound confidence. Used by the ``explain_kernel`` example and handy for
+debugging why the deep emulator path decided what it decided.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.analysis.intensity import (
+    StaticEstimate,
+    analyze_kernel_detailed,
+    classify_static,
+)
+from repro.analysis.kernelfind import KernelSource
+from repro.types import Boundedness, OpClass
+
+
+@dataclass(frozen=True)
+class Explanation:
+    """A structured justification for one static verdict."""
+
+    kernel_name: str
+    estimate: StaticEstimate
+    verdict: Boundedness
+    #: op class → (estimated AI, balance point, verdict contribution)
+    per_class: Mapping[OpClass, tuple[float, float, Boundedness]]
+    #: top traffic contributors: (array, kind, index text, bytes, share)
+    traffic: tuple[tuple[str, str, str, float, float], ...]
+
+    def render(self) -> str:
+        est = self.estimate
+        lines = [
+            f"kernel {self.kernel_name}: {self.verdict.word}-bound "
+            f"(static estimate)",
+            "",
+            f"per-thread work: {est.ops_sp:.4g} SP + {est.ops_dp:.4g} DP + "
+            f"{est.ops_int:.4g} INT ops over {est.bytes_per_thread:.4g} bytes",
+            "",
+            "class verdicts (AI vs balance point):",
+        ]
+        for op_class, (ai, bp, label) in self.per_class.items():
+            rel = "≥" if label is Boundedness.COMPUTE else "<"
+            lines.append(
+                f"  {op_class.display:8s} AI {ai:10.4g} {rel} {bp:8.4g}  "
+                f"→ {label.word}"
+            )
+        lines.append("")
+        lines.append("dominant traffic contributors:")
+        for array, kind, index, byts, share in self.traffic:
+            lines.append(
+                f"  {array}[{index}] ({kind}): {byts:.4g} B/thread "
+                f"({share * 100:.0f}%)"
+            )
+        caveats = []
+        if est.unresolved_bounds:
+            caveats.append(
+                f"{est.unresolved_bounds} loop bound(s) guessed (not in argv)"
+            )
+        if est.dynamic_accesses:
+            caveats.append(
+                f"{est.dynamic_accesses} data-dependent access(es) charged a "
+                "full sector"
+            )
+        if est.branch_sites:
+            caveats.append(
+                f"{est.branch_sites} branch(es) assumed 50% taken"
+            )
+        caveats.append("no cache-capacity model: re-reads of large working "
+                       "sets are under-charged")
+        lines.append("")
+        lines.append("caveats:")
+        lines.extend(f"  - {c}" for c in caveats)
+        lines.append(f"  (guess fraction: {est.guess_fraction:.2f})")
+        return "\n".join(lines)
+
+
+def explain_kernel(
+    kernel: KernelSource,
+    balance_points: Mapping[OpClass, float],
+    *,
+    param_values: Mapping[str, int] | None = None,
+    top_traffic: int = 5,
+) -> Explanation:
+    """Run the static pipeline and assemble its justification."""
+    estimate, sites = analyze_kernel_detailed(
+        kernel, param_values=param_values
+    )
+    verdict = classify_static(estimate, balance_points)
+    per_class = {}
+    for op_class in OpClass:
+        ai = estimate.intensity(op_class)
+        bp = balance_points[op_class]
+        label = (
+            Boundedness.COMPUTE if ai >= bp else Boundedness.BANDWIDTH
+        )
+        per_class[op_class] = (ai, bp, label)
+
+    total = sum(b for *_, b in sites) or 1.0
+    merged: dict[tuple[str, str, str], float] = {}
+    for array, kind, index, byts in sites:
+        key = (array, kind, index)
+        merged[key] = merged.get(key, 0.0) + byts
+    ranked = sorted(merged.items(), key=lambda kv: -kv[1])[:top_traffic]
+    traffic = tuple(
+        (array, kind, index, byts, byts / total)
+        for (array, kind, index), byts in ranked
+    )
+    return Explanation(
+        kernel_name=kernel.name,
+        estimate=estimate,
+        verdict=verdict,
+        per_class=per_class,
+        traffic=traffic,
+    )

@@ -1,0 +1,107 @@
+"""Kernel discovery in concatenated source text.
+
+Finds GPU kernels the way a careful reader would: CUDA kernels are
+``__global__`` functions; OpenMP offload kernels are functions whose body
+contains a ``#pragma omp target`` construct. Returns each kernel's name,
+parameter list text, and body text (balanced-brace extraction).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.analysis.clexer import strip_comments
+from repro.types import Language
+
+
+@dataclass(frozen=True)
+class KernelSource:
+    """One kernel as found in source text."""
+
+    name: str
+    params_text: str
+    body_text: str
+    language: Language
+    start: int
+
+
+_CUDA_KERNEL_RE = re.compile(
+    r"__global__\s+void\s+([A-Za-z_][A-Za-z_0-9]*)\s*\(", re.MULTILINE
+)
+_FUNC_RE = re.compile(
+    r"(?:^|\n)\s*(?:static\s+)?void\s+([A-Za-z_][A-Za-z_0-9]*)\s*\(", re.MULTILINE
+)
+
+
+def _matching(text: str, open_pos: int, open_ch: str, close_ch: str) -> int:
+    """Index just past the matching close bracket, or -1."""
+    depth = 0
+    for i in range(open_pos, len(text)):
+        c = text[i]
+        if c == open_ch:
+            depth += 1
+        elif c == close_ch:
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return -1
+
+
+def _extract(text: str, m: re.Match, language: Language) -> KernelSource | None:
+    name = m.group(1)
+    paren_open = text.index("(", m.end() - 1)
+    paren_close = _matching(text, paren_open, "(", ")")
+    if paren_close == -1:
+        return None
+    brace_open = text.find("{", paren_close)
+    if brace_open == -1:
+        return None
+    # Only whitespace may sit between ')' and '{' for a definition.
+    if text[paren_close:brace_open].strip():
+        return None
+    brace_close = _matching(text, brace_open, "{", "}")
+    if brace_close == -1:
+        return None
+    return KernelSource(
+        name=name,
+        params_text=text[paren_open + 1 : paren_close - 1],
+        body_text=text[brace_open + 1 : brace_close - 1],
+        language=language,
+        start=m.start(),
+    )
+
+
+def find_kernels(source: str, language: Language) -> list[KernelSource]:
+    """All kernels in source order."""
+    text = strip_comments(source)
+    out: list[KernelSource] = []
+    if language is Language.CUDA:
+        for m in _CUDA_KERNEL_RE.finditer(text):
+            ks = _extract(text, m, language)
+            if ks is not None:
+                out.append(ks)
+    else:
+        for m in _FUNC_RE.finditer(text):
+            ks = _extract(text, m, language)
+            if ks is not None and "#pragma omp target" in ks.body_text:
+                out.append(ks)
+    return out
+
+
+def find_kernel(source: str, name: str, language: Language) -> KernelSource:
+    """The kernel with the given name (raises KeyError if absent)."""
+    for ks in find_kernels(source, language):
+        if ks.name == name:
+            return ks
+    raise KeyError(f"kernel {name!r} not found in source")
+
+
+def first_kernel(source: str, language: Language) -> KernelSource:
+    """The program's first kernel in source order (the paper's query target
+    is the first kernel of the object dump; generated sources list kernels
+    in launch order)."""
+    kernels = find_kernels(source, language)
+    if not kernels:
+        raise ValueError("no kernels found in source")
+    return kernels[0]

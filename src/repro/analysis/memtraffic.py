@@ -1,0 +1,116 @@
+"""Memory-traffic estimation for the source-level analyst.
+
+Models what a careful human (or reasoning LLM) infers about DRAM traffic
+from source text alone: coalescing from the thread-index stride, warp-level
+sharing of broadcast loads, register-hoisting of loop-invariant loads, and a
+pessimistic full-sector charge for data-dependent gathers. It has *no* cache
+capacity model — that is the key dynamic fact the simulator's profiler knows
+and source inspection cannot, and it is the dominant source of residual
+misclassification for near-balance-point kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.clexer import TokKind, lex
+from repro.analysis.opcount import RawAccess, TypeEnv
+
+#: Thread-index symbols: vary across threads of a warp/block.
+THREAD_SYMS = frozenset({"gx", "lx"})
+THREAD_SYMS_Y = frozenset({"gy", "ly"})
+SECTOR_BYTES = 32.0
+WARP = 32.0
+
+
+@dataclass(frozen=True)
+class AccessEstimate:
+    """The analyst's verdict on one access site."""
+
+    array: str
+    bytes_per_exec: float
+    #: loop variables the address actually varies with (register hoisting)
+    varying_loops: tuple[str, ...]
+    is_dynamic: bool
+    is_write: bool
+    is_rmw: bool
+
+
+def _index_idents(index_text: str) -> list[str]:
+    return [t.text for t in lex(index_text) if t.kind is TokKind.IDENT]
+
+
+def _thread_stride(index_text: str) -> tuple[str, int]:
+    """Classify the x-thread-index stride of an index expression.
+
+    Returns ``(kind, stride)`` with kind one of:
+    ``"unit"`` (bare gx/lx), ``"const"`` (k * gx, stride k),
+    ``"symbolic"`` (ident * gx — row-major style, effectively uncoalesced),
+    ``"none"`` (no thread symbol).
+    """
+    tokens = lex(index_text)
+    kind = "none"
+    stride = 0
+    for i, t in enumerate(tokens):
+        if t.kind is not TokKind.IDENT or t.text not in THREAD_SYMS:
+            continue
+        prev = tokens[i - 1] if i > 0 else None
+        nxt = tokens[i + 1] if i + 1 < len(tokens) else None
+        neighbor = None
+        if prev is not None and prev.kind is TokKind.PUNCT and prev.text == "*":
+            neighbor = tokens[i - 2] if i >= 2 else None
+        elif nxt is not None and nxt.kind is TokKind.PUNCT and nxt.text == "*":
+            neighbor = tokens[i + 2] if i + 2 < len(tokens) else None
+        if neighbor is None:
+            # bare occurrence — unit stride unless a stronger one was seen
+            if kind == "none":
+                kind, stride = "unit", 1
+        elif neighbor.kind is TokKind.NUMBER:
+            k = int(float(neighbor.text.rstrip("fFlLuU")))
+            kind, stride = "const", max(1, abs(k))
+        else:
+            kind, stride = "symbolic", 0
+    return kind, stride
+
+
+def estimate_access(
+    access: RawAccess,
+    env: TypeEnv,
+    loop_vars: tuple[str, ...],
+) -> AccessEstimate | None:
+    """Estimate one access; returns None for on-chip (shared) accesses."""
+    if access.array in env.shared:
+        return None
+    elem = float(env.elem_size(access.array))
+    idents = _index_idents(access.index_text)
+    is_dynamic = "%" in access.index_text or "[" in access.index_text or any(
+        ident in env.pointers for ident in idents
+    )
+    varying = tuple(lv for lv in loop_vars if lv in idents)
+
+    if is_dynamic:
+        bytes_per_exec = SECTOR_BYTES  # scatter/gather: a sector per access
+    else:
+        kind, stride = _thread_stride(access.index_text)
+        if kind == "unit":
+            bytes_per_exec = elem
+        elif kind == "const":
+            bytes_per_exec = min(SECTOR_BYTES, stride * elem)
+        elif kind == "symbolic":
+            bytes_per_exec = SECTOR_BYTES
+        else:
+            # No thread symbol in the index.
+            if varying:
+                # Broadcast across the warp, new address per iteration.
+                bytes_per_exec = elem / WARP
+            else:
+                # Invariant for the whole kernel: cached after first touch.
+                bytes_per_exec = elem / 1024.0
+    return AccessEstimate(
+        array=access.array,
+        bytes_per_exec=bytes_per_exec,
+        varying_loops=varying,
+        is_dynamic=is_dynamic,
+        is_write=access.kind in ("store", "rmw"),
+        is_rmw=access.kind == "rmw",
+    )

@@ -1,0 +1,358 @@
+"""Operation counting over expression text.
+
+Given a statement's raw text and a type environment, counts arithmetic
+operations by class (SP/DP/INT) the way a careful performance analyst reads
+code: value arithmetic is classified by the operands' declared types,
+address arithmetic inside ``[]`` is integer work, and math intrinsics carry
+their expansion cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.clexer import (
+    TokKind,
+    Token,
+    lex,
+    number_is_f32,
+    number_is_float,
+)
+
+#: FLOP-equivalent cost and SFU weight per math intrinsic (matches the
+#: hardware-counter conventions the simulator uses; an analyst calibrated on
+#: profiled kernels would converge to the same table).
+MATH_COSTS: dict[str, tuple[float, float]] = {
+    "sqrtf": (4.0, 1.0), "sqrt": (4.0, 1.0),
+    "rsqrtf": (4.0, 1.0), "rsqrt": (4.0, 1.0),
+    "expf": (8.0, 1.0), "exp": (8.0, 1.0),
+    "logf": (8.0, 1.0), "log": (8.0, 1.0),
+    "sinf": (8.0, 1.0), "sin": (8.0, 1.0),
+    "cosf": (8.0, 1.0), "cos": (8.0, 1.0),
+    "tanhf": (12.0, 2.0), "tanh": (12.0, 2.0),
+    "powf": (16.0, 2.0), "pow": (16.0, 2.0),
+    "erff": (16.0, 2.0), "erf": (16.0, 2.0),
+    "fabsf": (1.0, 0.0), "fabs": (1.0, 0.0),
+    "fmaf": (2.0, 0.0), "fma": (2.0, 0.0),
+    "floorf": (1.0, 0.0), "floor": (1.0, 0.0),
+    "fminf": (1.0, 0.0), "fmin": (1.0, 0.0),
+    "fmaxf": (1.0, 0.0), "fmax": (1.0, 0.0),
+}
+
+_BINARY_OPS = {
+    "+": 1.0, "-": 1.0, "*": 1.0, "/": 4.0, "%": 4.0,
+    "&": 1.0, "|": 1.0, "^": 1.0, "<<": 1.0, ">>": 1.0,
+    "<": 1.0, ">": 1.0, "<=": 1.0, ">=": 1.0, "==": 1.0, "!=": 1.0,
+    "&&": 1.0, "||": 1.0, "?": 1.0,
+}
+
+_TYPE_SIZES = {"float": 4, "double": 8, "int": 4, "long long": 8, "long": 8,
+               "unsigned": 4, "size_t": 8}
+
+
+@dataclass
+class OpVector:
+    """Counted operations by class, plus special-function issue weight."""
+
+    sp: float = 0.0
+    dp: float = 0.0
+    int_: float = 0.0
+    sfu: float = 0.0
+
+    def add(self, other: "OpVector", scale: float = 1.0) -> None:
+        self.sp += other.sp * scale
+        self.dp += other.dp * scale
+        self.int_ += other.int_ * scale
+        self.sfu += other.sfu * scale
+
+    def add_class(self, cls: str, count: float) -> None:
+        if cls == "sp":
+            self.sp += count
+        elif cls == "dp":
+            self.dp += count
+        else:
+            self.int_ += count
+
+    @property
+    def total(self) -> float:
+        return self.sp + self.dp + self.int_
+
+
+@dataclass(frozen=True)
+class RawAccess:
+    """One array subscript found in a statement."""
+
+    array: str
+    index_text: str
+    kind: str  # "load" | "store" | "rmw"
+
+
+@dataclass
+class TypeEnv:
+    """Declared types of parameters and locals."""
+
+    scalars: dict[str, str] = field(default_factory=dict)
+    pointers: dict[str, str] = field(default_factory=dict)
+    shared: set[str] = field(default_factory=set)
+
+    def declare_scalar(self, name: str, type_name: str) -> None:
+        self.scalars[name] = type_name
+
+    def declare_pointer(self, name: str, type_name: str) -> None:
+        self.pointers[name] = type_name
+
+    def declare_shared(self, name: str, type_name: str) -> None:
+        self.pointers[name] = type_name
+        self.shared.add(name)
+
+    def elem_size(self, array: str) -> int:
+        return _TYPE_SIZES.get(self.pointers.get(array, "float"), 4)
+
+    def value_class(self, tokens: list[Token]) -> str:
+        """Arithmetic class of an expression: dp > sp > int precedence."""
+        saw_float = False
+        depth = 0
+        for i, t in enumerate(tokens):
+            if t.kind is TokKind.PUNCT:
+                if t.text == "[":
+                    depth += 1
+                elif t.text == "]":
+                    depth -= 1
+                continue
+            if depth > 0:
+                continue  # index arithmetic does not set the value class
+            if (
+                i > 0
+                and tokens[i - 1].kind is TokKind.PUNCT
+                and tokens[i - 1].text in (".", "->")
+            ):
+                continue  # member access (blockIdx.x), not a variable
+            if t.kind is TokKind.NUMBER:
+                if number_is_float(t.text):
+                    if number_is_f32(t.text):
+                        saw_float = True
+                    else:
+                        return "dp"
+            elif t.kind is TokKind.IDENT:
+                name = t.text
+                ty = self.scalars.get(name) or self.pointers.get(name)
+                if ty == "double":
+                    return "dp"
+                if ty == "float":
+                    saw_float = True
+                if name in ("double",):  # cast
+                    return "dp"
+                if name == "float":
+                    saw_float = True
+        return "sp" if saw_float else "int"
+
+
+def scan_statement(text: str, env: TypeEnv) -> tuple[OpVector, list[RawAccess]]:
+    """Count ops and collect array accesses for one statement's text.
+
+    Handles plain expressions, assignments (`lhs = rhs`, `lhs op= rhs`), and
+    ``atomicAdd(&arr[idx], v)`` read-modify-writes.
+    """
+    tokens = lex(text)
+    ops = OpVector()
+    accesses: list[RawAccess] = []
+    if not tokens:
+        return ops, accesses
+
+    # atomicAdd(&target[idx], value)
+    if tokens[0].kind is TokKind.IDENT and tokens[0].text == "atomicAdd":
+        inner = text[text.index("(") + 1 : text.rindex(")")]
+        parts = _split_top(inner)
+        if len(parts) == 2:
+            target = parts[0].lstrip(" &")
+            arr, idx = _split_subscript(target)
+            if arr:
+                accesses.append(RawAccess(arr, idx, "rmw"))
+                _count_expr(lex(idx), env, ops, in_index=True)
+            rhs_ops, rhs_acc = scan_statement(parts[1], env)
+            ops.add(rhs_ops)
+            accesses.extend(rhs_acc)
+            cls = "dp" if env.pointers.get(arr) == "double" else (
+                "sp" if env.pointers.get(arr) == "float" else "int"
+            )
+            ops.add_class(cls, 1.0)  # the add itself
+            return ops, accesses
+
+    # store form: IDENT [ ... ] =  / op=
+    store_split = _match_store(tokens, text)
+    if store_split is not None:
+        arr, idx_text, op_assign, rhs_text = store_split
+        kind = "store" if op_assign == "=" else "rmw"
+        accesses.append(RawAccess(arr, idx_text, kind))
+        _count_expr(lex(idx_text), env, ops, in_index=True)
+        rhs_ops, rhs_acc = scan_statement(rhs_text, env)
+        ops.add(rhs_ops)
+        accesses.extend(rhs_acc)
+        if op_assign != "=":
+            cls = env.value_class(lex(rhs_text))
+            ops.add_class(cls, 1.0)
+        return ops, accesses
+
+    # scalar assignment: IDENT = rhs / IDENT op= rhs
+    if (
+        len(tokens) >= 2
+        and tokens[0].kind is TokKind.IDENT
+        and tokens[1].kind is TokKind.PUNCT
+        and tokens[1].text in ("=", "+=", "-=", "*=", "/=")
+        and tokens[0].text not in MATH_COSTS
+    ):
+        eq_pos = text.index("=", tokens[1].pos) if "=" in tokens[1].text else -1
+        rhs_text = text[tokens[1].pos + len(tokens[1].text):]
+        rhs_ops, rhs_acc = scan_statement(rhs_text, env)
+        ops.add(rhs_ops)
+        accesses.extend(rhs_acc)
+        if tokens[1].text != "=":
+            cls = env.value_class(lex(rhs_text + " " + tokens[0].text))
+            ops.add_class(cls, 1.0)
+        return ops, accesses
+
+    _count_expr(tokens, env, ops, in_index=False, accesses=accesses)
+    return ops, accesses
+
+
+def _count_expr(
+    tokens: list[Token],
+    env: TypeEnv,
+    ops: OpVector,
+    *,
+    in_index: bool,
+    accesses: list[RawAccess] | None = None,
+) -> None:
+    """Linear scan over an expression's tokens, counting operators."""
+    value_class = "int" if in_index else env.value_class(tokens)
+    depth = 0
+    i = 0
+    n = len(tokens)
+    while i < n:
+        t = tokens[i]
+        if t.kind is TokKind.PUNCT:
+            if t.text == "[":
+                depth += 1
+            elif t.text == "]":
+                depth -= 1
+            elif t.text in _BINARY_OPS:
+                # unary +/- heuristics: preceded by nothing/op/open bracket
+                if t.text in ("+", "-") and (
+                    i == 0
+                    or (
+                        tokens[i - 1].kind is TokKind.PUNCT
+                        and tokens[i - 1].text not in (")", "]")
+                    )
+                ):
+                    i += 1
+                    continue
+                cls = "int" if (depth > 0 or in_index) else value_class
+                ops.add_class(cls, _BINARY_OPS[t.text])
+            i += 1
+            continue
+        if t.kind is TokKind.IDENT:
+            nxt = tokens[i + 1] if i + 1 < n else None
+            if nxt is not None and nxt.kind is TokKind.PUNCT and nxt.text == "(":
+                cost = MATH_COSTS.get(t.text)
+                if cost is not None:
+                    cls = value_class if value_class != "int" else "sp"
+                    ops.add_class(cls, cost[0])
+                    ops.sfu += cost[1]
+                i += 1
+                continue
+            if (
+                accesses is not None
+                and nxt is not None
+                and nxt.kind is TokKind.PUNCT
+                and nxt.text == "["
+                and t.text in env.pointers
+            ):
+                # collect the subscript text
+                close, idx_text = _subscript_text(tokens, i + 1)
+                accesses.append(RawAccess(t.text, idx_text, "load"))
+                # index arithmetic counted as INT
+                idx_ops = OpVector()
+                _count_expr(lex(idx_text), env, idx_ops, in_index=True)
+                ops.add(idx_ops)
+                ops.int_ += 1.0  # base+offset address add
+                i = close + 1
+                continue
+        i += 1
+
+
+def _subscript_text(tokens: list[Token], open_idx: int) -> tuple[int, str]:
+    depth = 0
+    texts: list[str] = []
+    for j in range(open_idx, len(tokens)):
+        t = tokens[j]
+        if t.kind is TokKind.PUNCT and t.text == "[":
+            depth += 1
+            if depth == 1:
+                continue
+        if t.kind is TokKind.PUNCT and t.text == "]":
+            depth -= 1
+            if depth == 0:
+                return j, " ".join(texts)
+        texts.append(t.text)
+    return len(tokens) - 1, " ".join(texts)
+
+
+def _match_store(tokens: list[Token], text: str):
+    """Detect ``arr[IDX] = rhs`` / ``arr[IDX] op= rhs`` at statement level."""
+    if (
+        len(tokens) < 4
+        or tokens[0].kind is not TokKind.IDENT
+        or tokens[1].kind is not TokKind.PUNCT
+        or tokens[1].text != "["
+    ):
+        return None
+    depth = 0
+    close = -1
+    for j in range(1, len(tokens)):
+        t = tokens[j]
+        if t.kind is TokKind.PUNCT and t.text == "[":
+            depth += 1
+        elif t.kind is TokKind.PUNCT and t.text == "]":
+            depth -= 1
+            if depth == 0:
+                close = j
+                break
+    if close == -1 or close + 1 >= len(tokens):
+        return None
+    assign = tokens[close + 1]
+    if assign.kind is not TokKind.PUNCT or assign.text not in ("=", "+=", "-=", "*=", "/="):
+        return None
+    if assign.text == "=" and close + 2 < len(tokens):
+        nxt = tokens[close + 2]
+        if nxt.kind is TokKind.PUNCT and nxt.text == "=":
+            return None  # '==' comparison, not a store
+    arr = tokens[0].text
+    idx_start = tokens[1].pos + 1
+    idx_end = tokens[close].pos
+    rhs_start = assign.pos + len(assign.text)
+    return arr, text[idx_start:idx_end].strip(), assign.text, text[rhs_start:]
+
+
+def _split_top(text: str) -> list[str]:
+    parts, depth, cur = [], 0, []
+    for c in text:
+        if c in "([":
+            depth += 1
+        elif c in ")]":
+            depth -= 1
+        if c == "," and depth == 0:
+            parts.append("".join(cur).strip())
+            cur = []
+        else:
+            cur.append(c)
+    if cur:
+        parts.append("".join(cur).strip())
+    return parts
+
+
+def _split_subscript(text: str) -> tuple[str, str]:
+    """Split ``arr[idx]`` into (arr, idx); ('', '') when not a subscript."""
+    b = text.find("[")
+    if b == -1 or not text.rstrip().endswith("]"):
+        return "", ""
+    return text[:b].strip(), text[b + 1 : text.rindex("]")].strip()

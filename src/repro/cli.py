@@ -1,0 +1,235 @@
+"""Command-line interface: run any of the paper's experiments from a shell.
+
+Installed as ``repro-paper``; every subcommand is also reachable via
+``python -m repro.cli``. Examples::
+
+    repro-paper models
+    repro-paper dataset --out balanced.jsonl
+    repro-paper classify cuda/saxpy-v1 --model o3-mini-high
+    repro-paper rq1 --model gpt-4o-mini
+    repro-paper rq2 --model o3-mini-high --limit 50
+    repro-paper rq4 --scope cuda
+    repro-paper decompose --model o1 --limit 50
+    repro-paper figures --which 1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+
+def _cmd_models(args: argparse.Namespace) -> int:
+    from repro.llm import all_models
+    from repro.util.tables import format_table
+
+    rows = []
+    for m in all_models():
+        c = m.config
+        rows.append([
+            c.name,
+            "yes" if c.reasoning else "",
+            f"${c.input_cost_per_m:g} / ${c.output_cost_per_m:g}",
+            "yes" if c.supports_sampling_params else "no",
+        ])
+    print(format_table(
+        ["Model", "Reasoning", "$/1M in/out", "Accepts temperature"],
+        rows, title="Emulated model zoo (Table 1)",
+    ))
+    return 0
+
+
+def _cmd_dataset(args: argparse.Namespace) -> int:
+    from repro.dataset import cell_counts, paper_dataset, save_samples
+
+    ds = paper_dataset()
+    r = ds.prune_report
+    print(f"profiled: {r.total_before} ({r.cuda_before} CUDA + {r.omp_before} OMP)")
+    print(f"pruned @ {r.cutoff} tokens: kept {r.total_after} "
+          f"({r.cuda_after} CUDA + {r.omp_after} OMP)")
+    print(f"balanced: {len(ds.balanced)}; split {len(ds.train)}/{len(ds.validation)}")
+    for (lang, label), n in sorted(cell_counts(list(ds.balanced)).items(), key=str):
+        print(f"  {lang.display:4s} {label.value}: {n}")
+    if args.out:
+        save_samples(list(ds.balanced), args.out, include_source=not args.compact)
+        print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_classify(args: argparse.Namespace) -> int:
+    from repro.dataset import paper_dataset
+    from repro.llm import get_model, query_cost_usd
+    from repro.prompts import build_classify_prompt
+
+    ds = paper_dataset()
+    matches = [s for s in ds.balanced if s.uid == args.uid]
+    if not matches:
+        print(f"error: {args.uid!r} is not in the balanced dataset "
+              f"(try one of: {', '.join(s.uid for s in ds.balanced[:3])} ...)",
+              file=sys.stderr)
+        return 2
+    sample = matches[0]
+    model = get_model(args.model)
+    prompt = build_classify_prompt(sample, few_shot=args.few_shot)
+    response = model.complete(prompt.text)
+    pred = response.boundedness()
+    print(f"program:    {sample.uid}")
+    print(f"kernel:     {sample.kernel_name}")
+    print(f"model:      {model.name} ({'few-shot' if args.few_shot else 'zero-shot'})")
+    print(f"prediction: {pred.word}")
+    print(f"truth:      {sample.label.word}")
+    print(f"correct:    {pred == sample.label}")
+    print(f"cost:       ${query_cost_usd(response.usage, model.config):.5f}")
+    return 0 if pred == sample.label else 1
+
+
+def _select_models(name: str):
+    from repro.llm import all_models, get_model
+
+    if name == "all":
+        return all_models()
+    return [get_model(name)]
+
+
+def _cmd_rq1(args: argparse.Namespace) -> int:
+    from repro.eval.rq1 import run_rq1
+    from repro.util.tables import format_table
+
+    rows = []
+    for model in _select_models(args.model):
+        r = run_rq1(model, num_rooflines=args.rooflines)
+        rows.append([model.name, r.best_accuracy, r.best_accuracy_cot])
+    print(format_table(["Model", "RQ1 Acc", "RQ1 CoT Acc"], rows,
+                       title=f"RQ1 over {args.rooflines} rooflines"))
+    return 0
+
+
+def _cmd_rq23(args: argparse.Namespace, few_shot: bool) -> int:
+    from repro.dataset import paper_dataset
+    from repro.eval.rq23 import run_classification
+    from repro.util.tables import format_table
+
+    samples = list(paper_dataset().balanced)
+    if args.limit:
+        samples = samples[: args.limit]
+    rows = []
+    for model in _select_models(args.model):
+        r = run_classification(model, samples, few_shot=few_shot)
+        m = r.metrics
+        rows.append([model.name, m.accuracy, m.macro_f1, m.mcc])
+    title = f"{'RQ3 (two-shot)' if few_shot else 'RQ2 (zero-shot)'} over {len(samples)} samples"
+    print(format_table(["Model", "Acc", "F1", "MCC"], rows, title=title))
+    return 0
+
+
+def _cmd_rq4(args: argparse.Namespace) -> int:
+    from repro.eval.rq4 import run_rq4
+
+    r = run_rq4(scope=args.scope)
+    print(f"scope:              {r.scope}")
+    print(f"train/validation:   {r.train_size}/{r.validation_size}")
+    print(f"validation acc:     {r.validation_metrics.accuracy:.2f}")
+    print(f"prediction entropy: {r.validation_prediction_entropy:.3f}")
+    print(f"collapsed:          {r.collapsed}"
+          + (f" (always answers {r.collapsed_to.word})" if r.collapsed_to else ""))
+    return 0
+
+
+def _cmd_decompose(args: argparse.Namespace) -> int:
+    from repro.dataset import paper_dataset
+    from repro.eval.decompose import run_decompose_experiment
+    from repro.eval.rq23 import run_rq2
+    from repro.util.tables import format_table
+
+    samples = list(paper_dataset().balanced)
+    if args.limit:
+        samples = samples[: args.limit]
+    rows = []
+    for model in _select_models(args.model):
+        rq2 = run_rq2(model, samples).metrics
+        dec = run_decompose_experiment(model, samples).metrics()
+        rows.append([model.name, rq2.accuracy, dec.accuracy,
+                     dec.accuracy - rq2.accuracy])
+    print(format_table(
+        ["Model", "RQ2 Acc", "Decomposed Acc", "Delta"], rows,
+        title=f"Question decomposition over {len(samples)} samples",
+    ))
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from repro.dataset import paper_dataset
+    from repro.eval.figures import figure1_data, figure2_data
+
+    ds = paper_dataset()
+    if args.which in ("1", "both"):
+        print(figure1_data(list(ds.profiled)).render_ascii())
+        print()
+    if args.which in ("2", "both"):
+        print(figure2_data(ds).render_ascii())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-paper",
+        description="Reproduction of 'Can Large Language Models Predict "
+        "Parallel Code Performance?' (Bolet et al., 2025)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("models", help="list the emulated model zoo")
+
+    p = sub.add_parser("dataset", help="build the paper's dataset pipeline")
+    p.add_argument("--out", help="write the balanced dataset to a JSONL file")
+    p.add_argument("--compact", action="store_true",
+                   help="omit source text from the output file")
+
+    p = sub.add_parser("classify", help="classify one dataset program")
+    p.add_argument("uid", help="program uid, e.g. cuda/saxpy-v1")
+    p.add_argument("--model", default="o3-mini-high")
+    p.add_argument("--few-shot", action="store_true")
+
+    p = sub.add_parser("rq1", help="RQ1: explicit roofline arithmetic")
+    p.add_argument("--model", default="all")
+    p.add_argument("--rooflines", type=int, default=240)
+
+    for name, help_text in (("rq2", "RQ2: zero-shot classification"),
+                            ("rq3", "RQ3: two-shot classification")):
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("--model", default="all")
+        p.add_argument("--limit", type=int, default=0,
+                       help="evaluate only the first N samples")
+
+    p = sub.add_parser("rq4", help="RQ4: fine-tuning study")
+    p.add_argument("--scope", choices=("all", "cuda", "omp"), default="all")
+
+    p = sub.add_parser("decompose", help="question-decomposition extension")
+    p.add_argument("--model", default="all")
+    p.add_argument("--limit", type=int, default=0)
+
+    p = sub.add_parser("figures", help="render Figures 1-2 as ASCII")
+    p.add_argument("--which", choices=("1", "2", "both"), default="both")
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "models": _cmd_models,
+        "dataset": _cmd_dataset,
+        "classify": _cmd_classify,
+        "rq1": _cmd_rq1,
+        "rq2": lambda a: _cmd_rq23(a, few_shot=False),
+        "rq3": lambda a: _cmd_rq23(a, few_shot=True),
+        "rq4": _cmd_rq4,
+        "decompose": _cmd_decompose,
+        "figures": _cmd_figures,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,66 @@
+"""Dataset construction: profile the corpus and attach ground-truth labels.
+
+Reproduces paper §2.1-2.2: every program's *first kernel* is profiled on the
+simulated RTX 3080, labelled BB/CB against the three theoretical rooflines,
+rendered to concatenated source text, and token-counted with the
+corpus-trained tokenizer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dataset.records import CounterSummary, Sample
+from repro.gpusim import DeviceModel, default_device, profile_first_kernel
+from repro.kernels.codegen import render_program
+from repro.kernels.corpus import Corpus, default_corpus
+from repro.roofline import classify_kernel
+from repro.tokenizer import BpeTokenizer, corpus_tokenizer
+
+
+def build_sample(
+    program, device: DeviceModel, tokenizer: BpeTokenizer
+) -> Sample:
+    """Profile, label, render, and token-count one program."""
+    profile = profile_first_kernel(program, device)
+    counters = profile.counters
+    detail = classify_kernel(
+        counters.intensity_profile(), device.spec.rooflines()
+    )
+    rendered = render_program(program)
+    source = rendered.concatenated_source()
+    first = program.first_kernel
+    return Sample(
+        uid=program.uid,
+        language=program.language,
+        family=program.family,
+        program_name=program.name,
+        kernel_name=first.kernel.name,
+        label=detail.label,
+        counters=CounterSummary(
+            sp_flops=counters.sp_flops,
+            dp_flops=counters.dp_flops,
+            int_ops=counters.int_ops,
+            dram_read_bytes=counters.dram_read_bytes,
+            dram_write_bytes=counters.dram_write_bytes,
+            time_s=counters.time_s,
+        ),
+        token_count=tokenizer.count_tokens(source),
+        source=source,
+        block=(first.launch.block.x, first.launch.block.y, first.launch.block.z),
+        grid=(first.launch.grid.x, first.launch.grid.y, first.launch.grid.z),
+        argv=program.cmdline.argv_string(),
+        gpu_name=device.spec.name,
+    )
+
+
+def build_samples(
+    corpus: Corpus | None = None,
+    device: DeviceModel | None = None,
+    tokenizer: BpeTokenizer | None = None,
+) -> list[Sample]:
+    """Profile and label the whole corpus (the paper's 749 programs)."""
+    corpus = corpus or default_corpus()
+    device = device or default_device()
+    tokenizer = tokenizer or corpus_tokenizer()
+    return [build_sample(p, device, tokenizer) for p in corpus.programs]

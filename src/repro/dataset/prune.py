@@ -1,0 +1,56 @@
+"""Token-count pruning (paper §2.2).
+
+*"To homogenize queried source codes and drop long inputs, we set a cutoff
+of 8e3 tokens"* — programs whose concatenated source exceeds the cutoff are
+dropped before balancing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dataset.records import Sample
+
+#: The paper's cutoff.
+TOKEN_CUTOFF = 8000
+
+
+@dataclass(frozen=True)
+class PruneReport:
+    """Before/after counts of the pruning step."""
+
+    cutoff: int
+    total_before: int
+    total_after: int
+    cuda_before: int
+    cuda_after: int
+    omp_before: int
+    omp_after: int
+
+    @property
+    def kept_fraction(self) -> float:
+        return self.total_after / self.total_before if self.total_before else 0.0
+
+
+def prune_by_tokens(
+    samples: list[Sample], cutoff: int = TOKEN_CUTOFF
+) -> tuple[list[Sample], PruneReport]:
+    """Drop samples whose source exceeds ``cutoff`` tokens."""
+    if cutoff <= 0:
+        raise ValueError("cutoff must be positive")
+    kept = [s for s in samples if s.token_count <= cutoff]
+    from repro.types import Language
+
+    def count(pop: list[Sample], lang: Language) -> int:
+        return sum(1 for s in pop if s.language is lang)
+
+    report = PruneReport(
+        cutoff=cutoff,
+        total_before=len(samples),
+        total_after=len(kept),
+        cuda_before=count(samples, Language.CUDA),
+        cuda_after=count(kept, Language.CUDA),
+        omp_before=count(samples, Language.OMP),
+        omp_after=count(kept, Language.OMP),
+    )
+    return kept, report

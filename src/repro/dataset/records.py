@@ -1,0 +1,132 @@
+"""Dataset record types.
+
+A :class:`Sample` is one (program, first-kernel) pair with everything the
+evaluation needs: the ground-truth label and its provenance (profiled
+counters), the concatenated source text shown to LLMs, the prompt metadata
+(kernel name, launch geometry, argv), and the token count used for pruning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.types import Boundedness, Language, OpClass
+
+
+@dataclass(frozen=True)
+class CounterSummary:
+    """The profiled metrics the paper collects per kernel (§2.1)."""
+
+    sp_flops: float
+    dp_flops: float
+    int_ops: float
+    dram_read_bytes: float
+    dram_write_bytes: float
+    time_s: float
+
+    @property
+    def dram_bytes(self) -> float:
+        return self.dram_read_bytes + self.dram_write_bytes
+
+    def intensity(self, op_class: OpClass) -> float:
+        ops = {
+            OpClass.SP: self.sp_flops,
+            OpClass.DP: self.dp_flops,
+            OpClass.INT: self.int_ops,
+        }[op_class]
+        return ops / self.dram_bytes
+
+    def to_dict(self) -> dict:
+        return {
+            "sp_flops": self.sp_flops,
+            "dp_flops": self.dp_flops,
+            "int_ops": self.int_ops,
+            "dram_read_bytes": self.dram_read_bytes,
+            "dram_write_bytes": self.dram_write_bytes,
+            "time_s": self.time_s,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Mapping) -> "CounterSummary":
+        return cls(
+            sp_flops=float(d["sp_flops"]),
+            dp_flops=float(d["dp_flops"]),
+            int_ops=float(d["int_ops"]),
+            dram_read_bytes=float(d["dram_read_bytes"]),
+            dram_write_bytes=float(d["dram_write_bytes"]),
+            time_s=float(d["time_s"]),
+        )
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One labelled dataset sample (one program, first kernel)."""
+
+    uid: str
+    language: Language
+    family: str
+    program_name: str
+    kernel_name: str
+    label: Boundedness
+    counters: CounterSummary
+    token_count: int
+    source: str
+    block: tuple[int, int, int]
+    grid: tuple[int, int, int]
+    argv: str
+    gpu_name: str
+
+    def __post_init__(self) -> None:
+        if self.token_count < 0:
+            raise ValueError("token_count must be non-negative")
+
+    @property
+    def cell(self) -> tuple[Language, Boundedness]:
+        """The (language, class) balancing cell (paper §2.2)."""
+        return (self.language, self.label)
+
+    def to_dict(self, *, include_source: bool = True) -> dict:
+        d = {
+            "uid": self.uid,
+            "language": self.language.value,
+            "family": self.family,
+            "program_name": self.program_name,
+            "kernel_name": self.kernel_name,
+            "label": self.label.value,
+            "counters": self.counters.to_dict(),
+            "token_count": self.token_count,
+            "block": list(self.block),
+            "grid": list(self.grid),
+            "argv": self.argv,
+            "gpu_name": self.gpu_name,
+        }
+        if include_source:
+            d["source"] = self.source
+        return d
+
+    @classmethod
+    def from_dict(cls, d: Mapping) -> "Sample":
+        return cls(
+            uid=d["uid"],
+            language=Language(d["language"]),
+            family=d["family"],
+            program_name=d["program_name"],
+            kernel_name=d["kernel_name"],
+            label=Boundedness(d["label"]),
+            counters=CounterSummary.from_dict(d["counters"]),
+            token_count=int(d["token_count"]),
+            source=d.get("source", ""),
+            block=tuple(d["block"]),
+            grid=tuple(d["grid"]),
+            argv=d["argv"],
+            gpu_name=d["gpu_name"],
+        )
+
+
+def cell_counts(samples: list[Sample]) -> dict[tuple[Language, Boundedness], int]:
+    """Count samples per (language, class) cell."""
+    out: dict[tuple[Language, Boundedness], int] = {}
+    for s in samples:
+        out[s.cell] = out.get(s.cell, 0) + 1
+    return out

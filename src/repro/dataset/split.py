@@ -1,0 +1,57 @@
+"""Train/validation split (paper §2.2).
+
+*"For later fine-tuning in RQ4, we further divide our dataset with an 80/20
+training/validation split. This gave us 68 samples for each language/class
+training combo, and similarly 17 samples for validation combos."*
+
+The split is stratified per (language, class) cell so both sides stay
+balanced, and deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dataset.records import Sample, cell_counts
+from repro.types import Boundedness, Language
+from repro.util.rng import RngStream
+
+
+@dataclass(frozen=True)
+class TrainValSplit:
+    train: tuple[Sample, ...]
+    validation: tuple[Sample, ...]
+
+    def __post_init__(self) -> None:
+        overlap = {s.uid for s in self.train} & {s.uid for s in self.validation}
+        if overlap:
+            raise ValueError(f"train/validation overlap: {sorted(overlap)[:3]}")
+
+
+def split_train_validation(
+    samples: list[Sample],
+    train_fraction: float = 0.8,
+    *,
+    seed_key: str = "dataset-split",
+) -> TrainValSplit:
+    """Stratified 80/20 split within each (language, class) cell."""
+    if not (0.0 < train_fraction < 1.0):
+        raise ValueError("train_fraction must be in (0, 1)")
+    rng = RngStream(seed_key)
+    train: list[Sample] = []
+    val: list[Sample] = []
+    for lang in (Language.CUDA, Language.OMP):
+        for label in (Boundedness.BANDWIDTH, Boundedness.COMPUTE):
+            pool = sorted(
+                (s for s in samples if s.cell == (lang, label)),
+                key=lambda s: s.uid,
+            )
+            if not pool:
+                continue
+            n_train = round(len(pool) * train_fraction)
+            shuffled = rng.child(lang.value, label.value).shuffle(pool)
+            train.extend(shuffled[:n_train])
+            val.extend(shuffled[n_train:])
+    train.sort(key=lambda s: s.uid)
+    val.sort(key=lambda s: s.uid)
+    return TrainValSplit(train=tuple(train), validation=tuple(val))

@@ -1,0 +1,64 @@
+"""JSON persistence for datasets.
+
+Stores samples as JSON-lines: one record per line, deterministic key order.
+Sources are stored by default (self-contained file); ``include_source=False``
+writes a compact index that can be rehydrated against the generated corpus.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.dataset.records import Sample
+
+
+def save_samples(
+    samples: list[Sample], path: str | Path, *, include_source: bool = True
+) -> None:
+    """Write samples as JSON-lines."""
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    with p.open("w", encoding="utf-8") as fh:
+        for s in samples:
+            fh.write(json.dumps(s.to_dict(include_source=include_source), sort_keys=True))
+            fh.write("\n")
+
+
+def load_samples(path: str | Path, *, rehydrate_source: bool = False) -> list[Sample]:
+    """Read samples from JSON-lines; optionally re-render missing sources."""
+    p = Path(path)
+    out: list[Sample] = []
+    with p.open("r", encoding="utf-8") as fh:
+        for line_no, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                out.append(Sample.from_dict(json.loads(line)))
+            except (json.JSONDecodeError, KeyError) as e:
+                raise ValueError(f"{p}:{line_no}: malformed sample record: {e}") from e
+    if rehydrate_source and any(not s.source for s in out):
+        out = _rehydrate(out)
+    return out
+
+
+def _rehydrate(samples: list[Sample]) -> list[Sample]:
+    import dataclasses
+
+    from repro.kernels.codegen import render_program
+    from repro.kernels.corpus import default_corpus
+
+    corpus = default_corpus()
+    by_uid = {p.uid: p for p in corpus.programs}
+    fixed = []
+    for s in samples:
+        if s.source:
+            fixed.append(s)
+            continue
+        prog = by_uid.get(s.uid)
+        if prog is None:
+            raise KeyError(f"cannot rehydrate {s.uid}: not in default corpus")
+        text = render_program(prog).concatenated_source()
+        fixed.append(dataclasses.replace(s, source=text))
+    return fixed

@@ -1,0 +1,63 @@
+"""Evaluation harness: metrics, experiment runners, Table 1 and figures."""
+
+from repro.eval.figures import (
+    RooflineFigure,
+    TokenDistributionFigure,
+    figure1_data,
+    figure2_data,
+)
+from repro.eval.hyperparams import (
+    DEFAULT_GRID,
+    HyperparamStudy,
+    run_hyperparam_study,
+)
+from repro.eval.metrics import (
+    ConfusionCounts,
+    MetricReport,
+    accuracy,
+    confusion,
+    macro_f1,
+    mcc,
+)
+from repro.eval.report import Comparison, ordering_agreement, render_comparisons
+from repro.eval.rq1 import Rq1Result, run_rq1
+from repro.eval.rq23 import ClassificationResult, run_classification, run_rq2, run_rq3
+from repro.eval.rq4 import Rq4Result, run_rq4, run_rq4_all_scopes
+from repro.eval.runner import PredictionRecord, RunResult, run_queries
+from repro.eval.table1 import PAPER_TABLE1, Table1, Table1Row, build_row, build_table1
+
+__all__ = [
+    "MetricReport",
+    "ConfusionCounts",
+    "accuracy",
+    "macro_f1",
+    "mcc",
+    "confusion",
+    "PredictionRecord",
+    "RunResult",
+    "run_queries",
+    "Rq1Result",
+    "run_rq1",
+    "ClassificationResult",
+    "run_classification",
+    "run_rq2",
+    "run_rq3",
+    "Rq4Result",
+    "run_rq4",
+    "run_rq4_all_scopes",
+    "HyperparamStudy",
+    "run_hyperparam_study",
+    "DEFAULT_GRID",
+    "RooflineFigure",
+    "TokenDistributionFigure",
+    "figure1_data",
+    "figure2_data",
+    "Table1",
+    "Table1Row",
+    "build_table1",
+    "build_row",
+    "PAPER_TABLE1",
+    "Comparison",
+    "render_comparisons",
+    "ordering_agreement",
+]

@@ -1,0 +1,94 @@
+"""CSV/JSON export of figure and table data.
+
+The benchmark harness renders ASCII; downstream users who want to re-plot
+the figures in their own tooling get machine-readable exports here.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from repro.eval.figures import RooflineFigure, TokenDistributionFigure
+from repro.eval.table1 import Table1
+from repro.types import OpClass
+
+
+def export_figure1_csv(figure: RooflineFigure, path: str | Path) -> None:
+    """One row per kernel point: op class, AI, achieved Gop/s, plus the
+    roofline parameters as a commented header."""
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    with p.open("w", newline="", encoding="utf-8") as fh:
+        fh.write(f"# gpu: {figure.gpu.name}\n")
+        for op_class in OpClass:
+            bp, peak = figure.balance[op_class]
+            fh.write(
+                f"# roofline {op_class.display}: peak={peak} "
+                f"balance_point={bp}\n"
+            )
+        writer = csv.writer(fh)
+        writer.writerow(["op_class", "arithmetic_intensity", "achieved_gops"])
+        for op_class in OpClass:
+            for ai, perf in figure.points[op_class]:
+                writer.writerow([op_class.value, f"{ai:.6g}", f"{perf:.6g}"])
+
+
+def export_figure2_csv(figure: TokenDistributionFigure, path: str | Path) -> None:
+    """One row per group with the five-number summary."""
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    stats = figure.box_stats()
+    with p.open("w", newline="", encoding="utf-8") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(
+            ["group", "n", "min", "q1", "median", "q3", "max",
+             "whisker_low", "whisker_high", "outliers"]
+        )
+        for name, s in stats.items():
+            writer.writerow([
+                name, s.n, s.minimum, s.q1, s.median, s.q3, s.maximum,
+                s.whisker_low, s.whisker_high, len(s.outliers),
+            ])
+
+
+def export_table1_json(table: Table1, path: str | Path) -> None:
+    """Full Table 1 as JSON, measured values only."""
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    rows = []
+    for row in table.rows:
+        rows.append({
+            "model": row.model_name,
+            "reasoning": row.reasoning,
+            "cost": row.cost,
+            "rq1_acc": row.rq1.best_accuracy if row.rq1 else None,
+            "rq1_cot_acc": row.rq1.best_accuracy_cot if row.rq1 else None,
+            "rq2": {
+                "accuracy": row.rq2.metrics.accuracy,
+                "macro_f1": row.rq2.metrics.macro_f1,
+                "mcc": row.rq2.metrics.mcc,
+            },
+            "rq3": {
+                "accuracy": row.rq3.metrics.accuracy,
+                "macro_f1": row.rq3.metrics.macro_f1,
+                "mcc": row.rq3.metrics.mcc,
+            },
+        })
+    p.write_text(json.dumps(rows, indent=2), encoding="utf-8")
+
+
+def load_figure1_csv(path: str | Path) -> dict[OpClass, list[tuple[float, float]]]:
+    """Round-trip reader for :func:`export_figure1_csv` (used in tests and
+    by downstream plotting scripts)."""
+    out: dict[OpClass, list[tuple[float, float]]] = {oc: [] for oc in OpClass}
+    with Path(path).open("r", encoding="utf-8") as fh:
+        rows = [ln for ln in fh if not ln.startswith("#")]
+    reader = csv.DictReader(rows)
+    for rec in reader:
+        oc = OpClass(rec["op_class"])
+        out[oc].append(
+            (float(rec["arithmetic_intensity"]), float(rec["achieved_gops"]))
+        )
+    return out

@@ -1,0 +1,136 @@
+"""Figure data generation (paper Figures 1 and 2).
+
+Figure 1: the RTX 3080 roofline chart — three op-class rooflines with their
+balance points, overlaid with every profiled kernel's (arithmetic intensity,
+achieved performance) point per op class.
+
+Figure 2: box-and-whisker token-count distributions of the balanced
+dataset's train/validation splits, per language and class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.dataset import PaperDataset, Sample, paper_dataset
+from repro.roofline import GpuSpec, default_gpu
+from repro.types import Boundedness, Language, OpClass
+from repro.util.stats import BoxStats, five_number_summary
+from repro.util.textplot import ascii_boxplot, ascii_scatter
+
+#: Kernels whose op-class counts fall below this fraction of their total op
+#: mix are not plotted for that class (matching the paper's per-class sample
+#: clouds, which only show classes a kernel meaningfully exercises).
+_MIN_CLASS_FRACTION = 1e-3
+
+
+@dataclass(frozen=True)
+class RooflineFigure:
+    """Figure 1's full data: ceilings, balance points, kernel points."""
+
+    gpu: GpuSpec
+    #: op class → list of (AI, achieved Gop/s) kernel points
+    points: Mapping[OpClass, tuple[tuple[float, float], ...]]
+    #: op class → (balance point AI, peak)
+    balance: Mapping[OpClass, tuple[float, float]]
+
+    def bb_fraction(self, op_class: OpClass) -> float:
+        """Fraction of this class's samples left of its balance point."""
+        pts = self.points[op_class]
+        if not pts:
+            return 0.0
+        bp = self.balance[op_class][0]
+        return sum(1 for ai, _ in pts if ai < bp) / len(pts)
+
+    def render_ascii(self, width: int = 78, height: int = 26) -> str:
+        rooflines = self.gpu.rooflines()
+        all_ai = [ai for pts in self.points.values() for ai, _ in pts]
+        ai_lo = max(min(all_ai) * 0.5, 1e-4)
+        ai_hi = max(all_ai) * 2.0
+        series: dict[str, list[tuple[float, float]]] = {}
+        for oc, rl in rooflines:
+            series[f"{oc.display} roofline"] = rl.ceiling_points(ai_lo, ai_hi, 160)
+        for oc in OpClass:
+            series[f"{oc.display} kernels"] = list(self.points[oc])
+        return ascii_scatter(
+            series,
+            width=width,
+            height=height,
+            x_label="Arithmetic Intensity (op/byte)",
+            y_label="Performance (Gop/s)",
+            markers="---sdi",
+            title=f"{self.gpu.name} roofline — profiled corpus",
+        )
+
+
+def figure1_data(
+    samples: Sequence[Sample] | None = None, gpu: GpuSpec | None = None
+) -> RooflineFigure:
+    """Build Figure 1 from profiled samples (defaults: full corpus)."""
+    gpu = gpu or default_gpu()
+    if samples is None:
+        samples = paper_dataset().profiled
+    rooflines = gpu.rooflines()
+    points: dict[OpClass, list[tuple[float, float]]] = {oc: [] for oc in OpClass}
+    for s in samples:
+        c = s.counters
+        total_ops = c.sp_flops + c.dp_flops + c.int_ops
+        if total_ops <= 0:
+            continue
+        per_class = {
+            OpClass.SP: c.sp_flops,
+            OpClass.DP: c.dp_flops,
+            OpClass.INT: c.int_ops,
+        }
+        for oc, ops in per_class.items():
+            if ops / total_ops < _MIN_CLASS_FRACTION:
+                continue
+            ai = ops / c.dram_bytes
+            achieved = ops / c.time_s / 1e9
+            points[oc].append((ai, achieved))
+    balance = {
+        oc: (rl.balance_point, rl.peak) for oc, rl in rooflines
+    }
+    return RooflineFigure(
+        gpu=gpu,
+        points={oc: tuple(v) for oc, v in points.items()},
+        balance=balance,
+    )
+
+
+@dataclass(frozen=True)
+class TokenDistributionFigure:
+    """Figure 2's data: token-count box stats per split/language/class."""
+
+    groups: Mapping[str, tuple[int, ...]]
+
+    def box_stats(self) -> dict[str, BoxStats]:
+        return {name: five_number_summary(v) for name, v in self.groups.items()}
+
+    def render_ascii(self, width: int = 66) -> str:
+        return ascii_boxplot(
+            {k: list(v) for k, v in self.groups.items()},
+            width=width,
+            title="Token-count distributions (train/validation x language x class)",
+            value_label="tokens",
+        )
+
+
+def figure2_data(dataset: PaperDataset | None = None) -> TokenDistributionFigure:
+    """Token-count distributions of the balanced train/val splits."""
+    ds = dataset or paper_dataset()
+    groups: dict[str, tuple[int, ...]] = {}
+    for split_name, split in (("train", ds.train), ("val", ds.validation)):
+        for lang in (Language.CUDA, Language.OMP):
+            for label in (Boundedness.BANDWIDTH, Boundedness.COMPUTE):
+                key = f"{split_name}/{lang.display}/{label.value}"
+                groups[key] = tuple(
+                    s.token_count
+                    for s in split
+                    if s.language is lang and s.label is label
+                )
+    for key, vals in groups.items():
+        if not vals:
+            raise RuntimeError(f"empty Figure 2 group {key}")
+    return TokenDistributionFigure(groups=groups)

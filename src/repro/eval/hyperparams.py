@@ -1,0 +1,85 @@
+"""Sampling-hyperparameter study (paper §3.2).
+
+*"We conducted a Chi-Squared test on the LLMs listed in Table 1 and found
+that a change in these two hyperparameters did not have any statistically
+significant impact on the predicted outcomes of the LLMs."*
+
+The experiment queries a model over the dataset at a grid of
+(temperature, top_p) settings, builds the settings × predicted-class
+contingency table, and runs Pearson's chi-squared test of independence.
+Reasoning models reject sampling overrides, so (as in the paper) only
+non-reasoning models enter the study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.dataset import Sample, paper_dataset
+from repro.llm.base import LlmModel
+from repro.prompts import build_classify_prompt
+from repro.types import Boundedness
+from repro.util.stats import Chi2Result, chi_squared_independence
+
+#: The hyperparameter grid swept per model.
+DEFAULT_GRID: tuple[tuple[float, float], ...] = (
+    (0.1, 0.2),
+    (0.5, 0.5),
+    (1.0, 0.9),
+    (1.5, 1.0),
+)
+
+
+@dataclass(frozen=True)
+class HyperparamStudy:
+    """Contingency table + test outcome for one model."""
+
+    model_name: str
+    grid: tuple[tuple[float, float], ...]
+    #: rows = settings, cols = (predicted Compute, predicted Bandwidth)
+    table: tuple[tuple[int, int], ...]
+    chi2: Chi2Result
+
+    @property
+    def significant(self) -> bool:
+        return self.chi2.significant_at_05
+
+
+def run_hyperparam_study(
+    model: LlmModel,
+    samples: Sequence[Sample] | None = None,
+    *,
+    grid: tuple[tuple[float, float], ...] = DEFAULT_GRID,
+    max_samples: int | None = None,
+) -> HyperparamStudy:
+    """Sweep the grid and chi-squared-test the prediction distribution."""
+    if not model.config.supports_sampling_params:
+        raise ValueError(
+            f"{model.name} rejects sampling overrides; the paper queries "
+            "reasoning models at their defaults only"
+        )
+    if samples is None:
+        samples = paper_dataset().balanced
+    if max_samples is not None:
+        samples = list(samples)[:max_samples]
+    prompts = [build_classify_prompt(s).text for s in samples]
+
+    table: list[tuple[int, int]] = []
+    for temperature, top_p in grid:
+        compute = 0
+        bandwidth = 0
+        for prompt in prompts:
+            pred = model.complete(
+                prompt, temperature=temperature, top_p=top_p
+            ).boundedness()
+            if pred is Boundedness.COMPUTE:
+                compute += 1
+            else:
+                bandwidth += 1
+        table.append((compute, bandwidth))
+
+    chi2 = chi_squared_independence(table)
+    return HyperparamStudy(
+        model_name=model.name, grid=grid, table=tuple(table), chi2=chi2
+    )

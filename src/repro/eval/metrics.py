@@ -1,0 +1,103 @@
+"""Classification metrics (paper §3.1).
+
+Accuracy, macro-F1, and Matthews Correlation Coefficient, all reported ×100
+as in Table 1. Macro-F1 and MCC are class-symmetric, which is why the paper
+chooses them for a task whose two classes have no natural positive.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.types import Boundedness
+
+
+@dataclass(frozen=True)
+class ConfusionCounts:
+    """2x2 confusion matrix with Compute as the reference positive class."""
+
+    tp: int  # truth CB, predicted CB
+    tn: int  # truth BB, predicted BB
+    fp: int  # truth BB, predicted CB
+    fn: int  # truth CB, predicted BB
+
+    @property
+    def total(self) -> int:
+        return self.tp + self.tn + self.fp + self.fn
+
+
+def confusion(
+    truths: Sequence[Boundedness], predictions: Sequence[Boundedness]
+) -> ConfusionCounts:
+    if len(truths) != len(predictions):
+        raise ValueError("truths/predictions length mismatch")
+    if not truths:
+        raise ValueError("empty evaluation")
+    tp = tn = fp = fn = 0
+    for t, p in zip(truths, predictions):
+        if t is Boundedness.COMPUTE and p is Boundedness.COMPUTE:
+            tp += 1
+        elif t is Boundedness.BANDWIDTH and p is Boundedness.BANDWIDTH:
+            tn += 1
+        elif t is Boundedness.BANDWIDTH and p is Boundedness.COMPUTE:
+            fp += 1
+        else:
+            fn += 1
+    return ConfusionCounts(tp=tp, tn=tn, fp=fp, fn=fn)
+
+
+def accuracy(c: ConfusionCounts) -> float:
+    """Accuracy ×100."""
+    return 100.0 * (c.tp + c.tn) / c.total
+
+
+def _f1(tp: int, fp: int, fn: int) -> float:
+    denom = 2 * tp + fp + fn
+    if denom == 0:
+        # Class absent and never predicted: nothing was gotten wrong.
+        return 1.0
+    return 2 * tp / denom
+
+
+def macro_f1(c: ConfusionCounts) -> float:
+    """Macro-averaged F1 ×100: mean of per-class F1 with each class as
+    positive in turn."""
+    f1_cb = _f1(c.tp, c.fp, c.fn)
+    f1_bb = _f1(c.tn, c.fn, c.fp)
+    return 100.0 * (f1_cb + f1_bb) / 2.0
+
+
+def mcc(c: ConfusionCounts) -> float:
+    """Matthews Correlation Coefficient ×100.
+
+    +100 = perfect, -100 = perfectly inverted, 0 = uninformative. Degenerate
+    margins (a constant predictor) give 0 by convention.
+    """
+    num = c.tp * c.tn - c.fp * c.fn
+    denom = math.sqrt(
+        float(c.tp + c.fp) * (c.tp + c.fn) * (c.tn + c.fp) * (c.tn + c.fn)
+    )
+    if denom == 0.0:
+        return 0.0
+    return 100.0 * num / denom
+
+
+@dataclass(frozen=True)
+class MetricReport:
+    """The paper's metric triple for one experiment run."""
+
+    accuracy: float
+    macro_f1: float
+    mcc: float
+    n: int
+
+    @classmethod
+    def from_predictions(
+        cls, truths: Sequence[Boundedness], predictions: Sequence[Boundedness]
+    ) -> "MetricReport":
+        c = confusion(truths, predictions)
+        return cls(
+            accuracy=accuracy(c), macro_f1=macro_f1(c), mcc=mcc(c), n=c.total
+        )

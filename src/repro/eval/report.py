@@ -1,0 +1,66 @@
+"""Rendering of side-by-side paper-vs-measured reports.
+
+Used by the benchmark harness to print, for every experiment, the paper's
+published value next to this reproduction's measured value, making the
+"shape holds" claim inspectable at a glance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.util.tables import format_table
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """One (metric, paper value, measured value) line item."""
+
+    experiment: str
+    metric: str
+    paper: float | None
+    measured: float
+
+    @property
+    def delta(self) -> float | None:
+        if self.paper is None:
+            return None
+        return self.measured - self.paper
+
+
+def render_comparisons(title: str, comparisons: Sequence[Comparison]) -> str:
+    rows = [
+        [c.experiment, c.metric, c.paper, c.measured, c.delta]
+        for c in comparisons
+    ]
+    return format_table(
+        ["Experiment", "Metric", "Paper", "Measured", "Delta"],
+        rows,
+        title=title,
+    )
+
+
+def ordering_agreement(
+    paper_values: Sequence[float], measured_values: Sequence[float]
+) -> float:
+    """Kendall-style pairwise ordering agreement in [0, 1].
+
+    1.0 = the measured values rank the models exactly as the paper does.
+    Ties (within 0.5 points) in either sequence are skipped.
+    """
+    if len(paper_values) != len(measured_values):
+        raise ValueError("length mismatch")
+    agree = 0
+    considered = 0
+    n = len(paper_values)
+    for i in range(n):
+        for j in range(i + 1, n):
+            dp = paper_values[i] - paper_values[j]
+            dm = measured_values[i] - measured_values[j]
+            if abs(dp) < 0.5 or abs(dm) < 0.5:
+                continue
+            considered += 1
+            if (dp > 0) == (dm > 0):
+                agree += 1
+    return agree / considered if considered else 1.0

@@ -1,0 +1,70 @@
+"""RQ1 experiment: baseline roofline-calculation accuracy (Table 1 cols 4-5).
+
+240 random rooflines × {BB, CB} arithmetic intensities, prompted at 2/4/8
+shots with and without chain-of-thought; the table reports each model's best
+accuracy over shot counts, per CoT setting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.eval.metrics import MetricReport
+from repro.eval.runner import RunResult, run_queries
+from repro.llm.base import LlmModel
+from repro.prompts.rq1 import (
+    NUM_ROOFLINES,
+    SHOT_COUNTS,
+    build_rq1_prompt,
+    generate_rq1_questions,
+)
+
+
+@dataclass(frozen=True)
+class Rq1Result:
+    """Per-shot-count accuracies for one model, with and without CoT."""
+
+    model_name: str
+    accuracy_by_shots: dict[int, float]
+    accuracy_by_shots_cot: dict[int, float]
+
+    @property
+    def best_accuracy(self) -> float:
+        return max(self.accuracy_by_shots.values())
+
+    @property
+    def best_accuracy_cot(self) -> float:
+        return max(self.accuracy_by_shots_cot.values())
+
+
+def run_rq1(
+    model: LlmModel,
+    *,
+    num_rooflines: int = NUM_ROOFLINES,
+    shot_counts: tuple[int, ...] = SHOT_COUNTS,
+) -> Rq1Result:
+    """Run the full RQ1 grid for one model."""
+    questions = generate_rq1_questions(num_rooflines)
+    by_shots: dict[int, float] = {}
+    by_shots_cot: dict[int, float] = {}
+    for shots in shot_counts:
+        for cot in (False, True):
+            items = [
+                (
+                    f"rq1-{i}-{shots}-{'cot' if cot else 'plain'}",
+                    build_rq1_prompt(q, shots=shots, chain_of_thought=cot),
+                    q.truth,
+                )
+                for i, q in enumerate(questions)
+            ]
+            result = run_queries(model, items)
+            acc = result.metrics().accuracy
+            if cot:
+                by_shots_cot[shots] = acc
+            else:
+                by_shots[shots] = acc
+    return Rq1Result(
+        model_name=model.name,
+        accuracy_by_shots=by_shots,
+        accuracy_by_shots_cot=by_shots_cot,
+    )

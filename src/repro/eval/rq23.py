@@ -1,0 +1,59 @@
+"""RQ2 (zero-shot) and RQ3 (two-shot) classification experiments
+(Table 1 cols 6-11).
+
+Both query all 340 balanced samples; RQ3 swaps the pseudo-code examples for
+two real code examples in the queried sample's language (paper §3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.dataset import Sample, paper_dataset
+from repro.eval.metrics import MetricReport
+from repro.eval.runner import RunResult, run_queries
+from repro.llm.base import LlmModel
+from repro.prompts import build_classify_prompt
+
+
+@dataclass(frozen=True)
+class ClassificationResult:
+    """One model's metrics on one classification regime."""
+
+    model_name: str
+    few_shot: bool
+    metrics: MetricReport
+    run: RunResult
+
+
+def run_classification(
+    model: LlmModel,
+    samples: Sequence[Sample] | None = None,
+    *,
+    few_shot: bool,
+) -> ClassificationResult:
+    """Run RQ2 (few_shot=False) or RQ3 (few_shot=True) for one model."""
+    if samples is None:
+        samples = paper_dataset().balanced
+    items = [
+        (s.uid, build_classify_prompt(s, few_shot=few_shot).text, s.label)
+        for s in samples
+    ]
+    run = run_queries(model, items)
+    return ClassificationResult(
+        model_name=model.name,
+        few_shot=few_shot,
+        metrics=run.metrics(),
+        run=run,
+    )
+
+
+def run_rq2(model: LlmModel, samples: Sequence[Sample] | None = None) -> ClassificationResult:
+    """Zero-shot classification (RQ2)."""
+    return run_classification(model, samples, few_shot=False)
+
+
+def run_rq3(model: LlmModel, samples: Sequence[Sample] | None = None) -> ClassificationResult:
+    """Two-shot classification with real examples (RQ3)."""
+    return run_classification(model, samples, few_shot=True)

@@ -1,0 +1,134 @@
+"""Table 1 orchestration: every model × every experiment column.
+
+Regenerates the paper's headline table — model metadata (reasoning flag,
+pricing), RQ1 accuracy (plain and CoT, best over shot counts), and RQ2/RQ3
+accuracy / macro-F1 / MCC — sorted like the paper (by RQ1 accuracy, with the
+unreported models keeping their row positions via dashes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.dataset import Sample, paper_dataset
+from repro.eval.rq1 import Rq1Result, run_rq1
+from repro.eval.rq23 import ClassificationResult, run_rq2, run_rq3
+from repro.llm.base import LlmModel
+from repro.llm.registry import all_models
+from repro.util.tables import format_markdown_table, format_table
+
+#: Paper values for side-by-side reporting in EXPERIMENTS.md.
+PAPER_TABLE1 = {
+    # name: (rq1, rq1_cot, rq2_acc, rq2_f1, rq2_mcc, rq3_acc, rq3_f1, rq3_mcc)
+    "o3-mini-high": (100.0, 100.0, 64.12, 62.33, 31.36, 63.53, 60.91, 31.63),
+    "o1": (None, None, 64.12, 61.67, 32.73, 61.47, 58.77, 26.70),
+    "o3-mini": (100.0, 100.0, 62.06, 60.80, 25.84, 62.94, 60.88, 29.13),
+    "gpt-4.5-preview": (None, None, 59.71, 59.45, 19.66, 60.88, 60.25, 22.50),
+    "o1-mini-2024-09-12": (100.0, 100.0, 59.64, 58.91, 19.92, 56.47, 55.98, 13.24),
+    "gemini-2.0-flash-001": (91.25, 92.50, 55.59, 55.45, 11.25, 53.82, 48.96, 9.72),
+    "gpt-4o-2024-11-20": (91.25, 96.25, 52.06, 41.04, 8.20, 53.24, 44.17, 10.93),
+    "gpt-4o-mini": (90.00, 100.0, 50.59, 50.03, 1.20, 52.35, 50.92, 5.01),
+    "gpt-4o-mini-2024-07-18": (90.00, 100.0, 50.29, 49.88, 0.60, 52.06, 50.46, 4.41),
+}
+
+HEADERS = (
+    "Model Name",
+    "Reasoning",
+    "Cost in/out ($/1M)",
+    "RQ1 Acc.",
+    "RQ1 CoT Acc.",
+    "RQ2 Acc.",
+    "RQ2 F1",
+    "RQ2 MCC",
+    "RQ3 Acc.",
+    "RQ3 F1",
+    "RQ3 MCC",
+)
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One model's measured results across all Table 1 columns."""
+
+    model_name: str
+    reasoning: bool
+    cost: str
+    rq1: Rq1Result | None
+    rq2: ClassificationResult
+    rq3: ClassificationResult
+
+    def cells(self) -> list[object]:
+        rq1_acc = self.rq1.best_accuracy if self.rq1 else None
+        rq1_cot = self.rq1.best_accuracy_cot if self.rq1 else None
+        return [
+            self.model_name,
+            "yes" if self.reasoning else "",
+            self.cost,
+            rq1_acc,
+            rq1_cot,
+            self.rq2.metrics.accuracy,
+            self.rq2.metrics.macro_f1,
+            self.rq2.metrics.mcc,
+            self.rq3.metrics.accuracy,
+            self.rq3.metrics.macro_f1,
+            self.rq3.metrics.mcc,
+        ]
+
+
+@dataclass(frozen=True)
+class Table1:
+    rows: tuple[Table1Row, ...]
+
+    def render(self) -> str:
+        return format_table(
+            HEADERS,
+            [r.cells() for r in self.rows],
+            title="Table 1 — evaluation results (measured by this reproduction)",
+        )
+
+    def render_markdown(self) -> str:
+        return format_markdown_table(HEADERS, [r.cells() for r in self.rows])
+
+    def row(self, model_name: str) -> Table1Row:
+        for r in self.rows:
+            if r.model_name == model_name:
+                return r
+        raise KeyError(model_name)
+
+
+def build_row(
+    model: LlmModel,
+    samples: Sequence[Sample],
+    *,
+    num_rooflines: int = 240,
+) -> Table1Row:
+    """Run all experiments for one model."""
+    cfg = model.config
+    rq1 = (
+        run_rq1(model, num_rooflines=num_rooflines) if cfg.rq1_reported else None
+    )
+    return Table1Row(
+        model_name=cfg.name,
+        reasoning=cfg.reasoning,
+        cost=f"${cfg.input_cost_per_m:g} / ${cfg.output_cost_per_m:g}",
+        rq1=rq1,
+        rq2=run_rq2(model, samples),
+        rq3=run_rq3(model, samples),
+    )
+
+
+def build_table1(
+    samples: Sequence[Sample] | None = None,
+    *,
+    models: Sequence[LlmModel] | None = None,
+    num_rooflines: int = 240,
+) -> Table1:
+    """Regenerate the full Table 1."""
+    if samples is None:
+        samples = paper_dataset().balanced
+    models = list(models) if models is not None else all_models()
+    rows = [
+        build_row(m, samples, num_rooflines=num_rooflines) for m in models
+    ]
+    return Table1(rows=tuple(rows))

@@ -1,0 +1,81 @@
+"""Profiling counters — the simulator's analogue of Nsight metrics.
+
+The paper captures, per kernel: SP-FLOP, DP-FLOP and INTOP counts, execution
+time, and global memory read/write volumes (§2.1). :class:`ProfileCounters`
+is exactly that record, plus derived arithmetic intensities and achieved
+performance for Figure 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.roofline.classify import IntensityProfile
+from repro.types import OpClass
+
+
+@dataclass(frozen=True)
+class ProfileCounters:
+    """Dynamic counters of one kernel invocation."""
+
+    kernel_name: str
+    sp_flops: float
+    dp_flops: float
+    int_ops: float
+    dram_read_bytes: float
+    dram_write_bytes: float
+    time_s: float
+
+    def __post_init__(self) -> None:
+        for f in ("sp_flops", "dp_flops", "int_ops", "dram_read_bytes", "dram_write_bytes"):
+            if getattr(self, f) < 0:
+                raise ValueError(f"{f} must be non-negative")
+        if self.time_s <= 0:
+            raise ValueError("time_s must be positive")
+        if self.dram_bytes <= 0:
+            raise ValueError("a profiled kernel must have moved some DRAM bytes")
+
+    @property
+    def dram_bytes(self) -> float:
+        return self.dram_read_bytes + self.dram_write_bytes
+
+    def ops(self) -> Mapping[OpClass, float]:
+        return {OpClass.SP: self.sp_flops, OpClass.DP: self.dp_flops, OpClass.INT: self.int_ops}
+
+    def op_count(self, op_class: OpClass) -> float:
+        return self.ops()[op_class]
+
+    def intensity(self, op_class: OpClass) -> float:
+        """Arithmetic intensity (op/byte) for one class."""
+        return self.op_count(op_class) / self.dram_bytes
+
+    def intensity_profile(self) -> IntensityProfile:
+        return IntensityProfile(ops=dict(self.ops()), dram_bytes=self.dram_bytes)
+
+    def achieved_gops(self, op_class: OpClass) -> float:
+        """Achieved throughput of one op class in Gop/s."""
+        return self.op_count(op_class) / self.time_s / 1e9
+
+    def achieved_bandwidth_gbs(self) -> float:
+        return self.dram_bytes / self.time_s / 1e9
+
+    @property
+    def dominant_class(self) -> OpClass:
+        order = [OpClass.SP, OpClass.DP, OpClass.INT]
+        return max(order, key=lambda oc: (self.op_count(oc), -order.index(oc)))
+
+
+def merge_counters(name: str, parts: list[ProfileCounters]) -> ProfileCounters:
+    """Sum counters over multiple kernels (whole-program totals)."""
+    if not parts:
+        raise ValueError("nothing to merge")
+    return ProfileCounters(
+        kernel_name=name,
+        sp_flops=sum(p.sp_flops for p in parts),
+        dp_flops=sum(p.dp_flops for p in parts),
+        int_ops=sum(p.int_ops for p in parts),
+        dram_read_bytes=sum(p.dram_read_bytes for p in parts),
+        dram_write_bytes=sum(p.dram_write_bytes for p in parts),
+        time_s=sum(p.time_s for p in parts),
+    )

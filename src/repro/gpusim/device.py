@@ -1,0 +1,64 @@
+"""Device execution model: simulation parameters derived from a GPU spec.
+
+Wraps a :class:`~repro.roofline.hardware.GpuSpec` with the microarchitectural
+constants the memory and timing models need (DRAM transaction granularity,
+usable L2 fraction, achievable-versus-peak efficiency ranges, launch
+overhead). Values are representative of Ampere-class hardware; they determine
+*shape*, not spec-sheet peaks, which come from the GpuSpec itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.roofline.hardware import GpuSpec, default_gpu
+from repro.util.rng import RngStream
+
+
+@dataclass(frozen=True)
+class DeviceModel:
+    """Simulation parameters for one device."""
+
+    spec: GpuSpec
+    #: DRAM transaction granularity (bytes). Modern NVIDIA parts fetch
+    #: 32-byte sectors of a 128-byte line.
+    sector_bytes: int = 32
+    #: Fraction of L2 usable for inter-thread data reuse before conflict and
+    #: streaming evictions defeat it.
+    l2_usable_fraction: float = 0.8
+    #: Fraction of peak DRAM bandwidth a well-coalesced kernel sustains.
+    bandwidth_efficiency: float = 0.88
+    #: Achievable fraction of peak compute throughput (range; the per-kernel
+    #: draw depends on occupancy and ILP, see :mod:`repro.gpusim.timing`).
+    compute_efficiency_lo: float = 0.22
+    compute_efficiency_hi: float = 0.72
+    #: Special-function (transcendental) throughput as a fraction of the SP
+    #: pipe; SFU-heavy kernels bottleneck here.
+    sfu_throughput_fraction: float = 0.25
+    #: Fixed kernel launch + tail latency.
+    launch_overhead_s: float = 4.0e-6
+    #: Relative measurement noise applied to counters (profilers never report
+    #: perfectly stable byte counts across runs).
+    counter_noise_sigma: float = 0.02
+
+    @property
+    def l2_capacity_bytes(self) -> float:
+        return self.spec.l2_cache_mb * 1024 * 1024 * self.l2_usable_fraction
+
+    @property
+    def warp_size(self) -> int:
+        return self.spec.warp_size
+
+    def efficiency_stream(self, kernel_uid: str) -> RngStream:
+        """Deterministic per-kernel stream for efficiency/noise draws.
+
+        Keyed by device + kernel identity so re-profiling the same kernel is
+        bit-stable (and distinct kernels land at distinct points under the
+        roofline, as in Figure 1's scatter).
+        """
+        return RngStream("gpusim", self.spec.name, kernel_uid)
+
+
+def default_device() -> DeviceModel:
+    """The paper's profiling platform: RTX 3080."""
+    return DeviceModel(spec=default_gpu())

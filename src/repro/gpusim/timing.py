@@ -1,0 +1,87 @@
+"""Execution-time model.
+
+The simulator's timing follows the hierarchical roofline intuition: a kernel
+finishes when its slowest resource does —
+
+``t = max(t_dram, t_sp, t_dp, t_int, t_sfu) + launch overhead``
+
+with achievable (not theoretical) throughputs: sustained bandwidth is a
+fixed fraction of peak further degraded by coalescing quality, and compute
+pipes run at an occupancy/ILP-dependent efficiency drawn deterministically
+per kernel. This reproduces the paper's Figure 1 observation that *"the
+theoretical peak performance is usually unmet"*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.gpusim.device import DeviceModel
+from repro.types import OpClass
+from repro.util.rng import RngStream
+
+
+@dataclass(frozen=True)
+class TimingBreakdown:
+    """Per-resource times (seconds) behind one kernel's runtime."""
+
+    dram_s: float
+    sp_s: float
+    dp_s: float
+    int_s: float
+    sfu_s: float
+    overhead_s: float
+
+    @property
+    def total_s(self) -> float:
+        return (
+            max(self.dram_s, self.sp_s, self.dp_s, self.int_s, self.sfu_s)
+            + self.overhead_s
+        )
+
+    @property
+    def bound_resource(self) -> str:
+        pairs = [
+            ("dram", self.dram_s),
+            ("sp", self.sp_s),
+            ("dp", self.dp_s),
+            ("int", self.int_s),
+            ("sfu", self.sfu_s),
+        ]
+        return max(pairs, key=lambda kv: kv[1])[0]
+
+
+def estimate_time(
+    *,
+    ops: Mapping[OpClass, float],
+    sfu_ops: float,
+    dram_bytes: float,
+    coalescing: float,
+    device: DeviceModel,
+    rng: RngStream,
+) -> TimingBreakdown:
+    """Estimate one invocation's runtime.
+
+    ``coalescing`` in [0, 1] scales sustained bandwidth: badly-coalesced
+    kernels pay twice — once in extra bytes (already in ``dram_bytes``) and
+    once in reduced sustained bandwidth from partial-sector transactions.
+    """
+    spec = device.spec
+    # Sustained bandwidth: peak * base efficiency * coalescing-dependent term.
+    bw_frac = device.bandwidth_efficiency * (0.6 + 0.4 * coalescing)
+    bw = spec.bandwidth_gbs * 1e9 * bw_frac
+    dram_s = dram_bytes / bw
+
+    # Per-kernel compute efficiency: occupancy and ILP vary across kernels;
+    # drawn once, deterministically, per (device, kernel).
+    eff = rng.uniform(device.compute_efficiency_lo, device.compute_efficiency_hi)
+    sp_s = ops.get(OpClass.SP, 0.0) / (spec.sp_peak_gflops * 1e9 * eff)
+    dp_s = ops.get(OpClass.DP, 0.0) / (spec.dp_peak_gflops * 1e9 * eff)
+    int_s = ops.get(OpClass.INT, 0.0) / (spec.int_peak_giops * 1e9 * eff)
+    sfu_s = sfu_ops / (spec.sp_peak_gflops * 1e9 * device.sfu_throughput_fraction * eff)
+
+    overhead = device.launch_overhead_s * rng.uniform(0.8, 1.6)
+    return TimingBreakdown(
+        dram_s=dram_s, sp_s=sp_s, dp_s=dp_s, int_s=int_s, sfu_s=sfu_s, overhead_s=overhead
+    )

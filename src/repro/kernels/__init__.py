@@ -1,0 +1,52 @@
+"""Synthetic GPU benchmark corpus: kernel IR, code generation, families.
+
+The reproduction's stand-in for HeCBench (paper §2.1): ~90 benchmark
+families, each defined as kernel IR that renders to CUDA and OpenMP-offload
+source and interprets under the :mod:`repro.gpusim` profiler.
+"""
+
+from repro.kernels.codegen import render_cuda, render_omp, render_program
+from repro.kernels.corpus import (
+    Corpus,
+    DEFAULT_CUDA_COUNT,
+    DEFAULT_OMP_COUNT,
+    build_corpus,
+    default_corpus,
+)
+from repro.kernels.families import all_families, families_for, get_family
+from repro.kernels.ir import DType, Kernel, Scope
+from repro.kernels.launch import (
+    CommandLine,
+    Dim3,
+    KernelInstance,
+    LaunchConfig,
+    plan_launch_1d,
+    plan_launch_2d,
+)
+from repro.kernels.program import ProgramSpec, RenderedProgram, SourceFile
+
+__all__ = [
+    "Corpus",
+    "DEFAULT_CUDA_COUNT",
+    "DEFAULT_OMP_COUNT",
+    "build_corpus",
+    "default_corpus",
+    "all_families",
+    "families_for",
+    "get_family",
+    "DType",
+    "Kernel",
+    "Scope",
+    "CommandLine",
+    "Dim3",
+    "KernelInstance",
+    "LaunchConfig",
+    "plan_launch_1d",
+    "plan_launch_2d",
+    "ProgramSpec",
+    "RenderedProgram",
+    "SourceFile",
+    "render_cuda",
+    "render_omp",
+    "render_program",
+]

@@ -1,0 +1,15 @@
+"""Source-code generation backends (CUDA and OpenMP offload)."""
+
+from repro.kernels.codegen.cuda import render_cuda
+from repro.kernels.codegen.omp import render_omp
+from repro.kernels.program import ProgramSpec, RenderedProgram
+from repro.types import Language
+
+__all__ = ["render_cuda", "render_omp", "render_program"]
+
+
+def render_program(spec: ProgramSpec) -> RenderedProgram:
+    """Render a spec with the backend matching its language."""
+    if spec.language is Language.CUDA:
+        return render_cuda(spec)
+    return render_omp(spec)

@@ -1,0 +1,321 @@
+"""OpenMP target-offload source generation.
+
+Renders a :class:`~repro.kernels.program.ProgramSpec` into C++-with-OpenMP
+source in HeCBench style: kernels as host functions containing a
+``#pragma omp target teams distribute parallel for`` loop, with an enclosing
+``target data`` region in ``main`` handling the device mapping.
+
+OpenMP offload variants do not use block-local shared memory or barriers;
+families provide OMP-compatible IR (the paper's OMP ports likewise differ
+structurally from their CUDA siblings).
+"""
+
+from __future__ import annotations
+
+from repro.kernels.codegen.common import BackendHooks, render_stmts
+from repro.kernels.ir import ArrayDecl, DType, Kernel, Scope
+from repro.kernels.launch import KernelInstance
+from repro.kernels.program import ProgramSpec, RenderedProgram, SourceFile
+from repro.types import Language
+
+
+def _rsqrt(args: str, dtype: DType) -> str:
+    one = "1.0f" if dtype is DType.F32 else "1.0"
+    fn = "sqrtf" if dtype is DType.F32 else "sqrt"
+    return f"({one} / {fn}({args}))"
+
+
+def _atomic_add(target: str, value: str, dtype: DType) -> list[str]:
+    return ["#pragma omp atomic update", f"{target} += {value};"]
+
+
+def _sync() -> list[str]:
+    raise NotImplementedError(
+        "block barriers are not representable in 'distribute parallel for' "
+        "OpenMP offload kernels; provide barrier-free IR for OMP variants"
+    )
+
+
+def _unroll(n: int) -> str:
+    return f"#pragma unroll({n})"
+
+
+OMP_HOOKS = BackendHooks(
+    rsqrt_spelling=_rsqrt,
+    atomic_add=_atomic_add,
+    sync_threads=_sync,
+    unroll_pragma=_unroll,
+)
+
+
+def _param_decl(arr: ArrayDecl) -> str:
+    qual = "" if arr.is_output else "const "
+    return f"{qual}{arr.dtype.c_name} *{arr.name}"
+
+
+def render_kernel(kernel: Kernel, block_hint: int) -> str:
+    """Render one offload kernel function."""
+    if kernel.shared_arrays():
+        raise ValueError(
+            f"kernel {kernel.name}: shared-memory arrays are not supported by "
+            "the OpenMP backend; supply an OMP-compatible kernel"
+        )
+    params = [_param_decl(a) for a in kernel.global_arrays()]
+    params += [f"{p.dtype.c_name} {p.name}" for p in kernel.params]
+    lines = [f"void {kernel.name}({', '.join(params)})", "{"]
+    nx = kernel.work_items if isinstance(kernel.work_items, str) else str(kernel.work_items)
+    if kernel.work_items_y is None:
+        lines.append(
+            f"  #pragma omp target teams distribute parallel for "
+            f"thread_limit({block_hint})"
+        )
+        lines.append(f"  for (int gx = 0; gx < {nx}; gx++) {{")
+        lines.extend(render_stmts(kernel.body, OMP_HOOKS, 2))
+        lines.append("  }")
+    else:
+        ny = (
+            kernel.work_items_y
+            if isinstance(kernel.work_items_y, str)
+            else str(kernel.work_items_y)
+        )
+        lines.append(
+            f"  #pragma omp target teams distribute parallel for collapse(2) "
+            f"thread_limit({block_hint})"
+        )
+        lines.append(f"  for (int gy = 0; gy < {ny}; gy++) {{")
+        lines.append(f"    for (int gx = 0; gx < {nx}; gx++) {{")
+        lines.extend(render_stmts(kernel.body, OMP_HOOKS, 3))
+        lines.append("    }")
+        lines.append("  }")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _size_expr(arr: ArrayDecl) -> str:
+    return arr.size if isinstance(arr.size, str) else str(arr.size)
+
+
+def _init_expr(arr: ArrayDecl, salt: int) -> str:
+    if arr.dtype.is_float:
+        suffix = "f" if arr.dtype is DType.F32 else ""
+        return f"({arr.dtype.c_name})((i % {97 + salt}) + 1) * 0.01{suffix}"
+    return f"(i * {13 + salt} + 7) % 1024"
+
+
+def _scalar_arg(value: int, dtype: DType) -> str:
+    if dtype is DType.F32:
+        return f"{value}.0f"
+    if dtype is DType.F64:
+        return f"{value}.0"
+    return str(value)
+
+
+def _host_scalar_args(inst: KernelInstance) -> list[str]:
+    args = []
+    env = dict(inst.binding_exprs)
+    for p in inst.kernel.params:
+        src = env[p.name]
+        if isinstance(src, int):
+            args.append(_scalar_arg(src, p.dtype))
+        else:
+            args.append(src if p.dtype is DType.I32 else f"({p.dtype.c_name}){src}")
+    return args
+
+
+def _unique_arrays(spec: ProgramSpec) -> list[ArrayDecl]:
+    seen: dict[str, ArrayDecl] = {}
+    for inst in spec.kernels:
+        for arr in inst.kernel.arrays:
+            if arr.scope is not Scope.GLOBAL:
+                continue
+            if arr.name in seen:
+                prev = seen[arr.name]
+                if prev.dtype is not arr.dtype:
+                    raise ValueError(
+                        f"array {arr.name} redeclared with different dtype across kernels"
+                    )
+                if arr.is_output and not prev.is_output:
+                    seen[arr.name] = arr
+            else:
+                seen[arr.name] = arr
+    return list(seen.values())
+
+
+def render_host(spec: ProgramSpec, kernels_in_header: bool) -> str:
+    """Render ``main.cpp``."""
+    v = spec.host_verbosity
+    lines: list[str] = []
+    from repro.kernels.codegen.common import license_banner
+
+    lines.extend(license_banner(spec.name))
+    lines.append(f"// {spec.name}: {spec.description}")
+    lines.append("// Generated benchmark program (OpenMP target offload).")
+    lines.append("#include <cstdio>")
+    lines.append("#include <cstdlib>")
+    lines.append("#include <cstring>")
+    lines.append("#include <cmath>")
+    lines.append("#include <omp.h>")
+    if spec.util_header:
+        lines.append('#include "benchmark_utils.h"')
+    if spec.util_header >= 2:
+        lines.append('#include "reference_impl.h"')
+    if kernels_in_header:
+        lines.append('#include "kernels.h"')
+    lines.append("")
+
+    arrays = _unique_arrays(spec)
+    flags = list(spec.cmdline.flags)
+
+    if v >= 1:
+        lines.append("static void usage(const char *prog) {")
+        flag_str = " ".join(f"[--{name} <int>]" for name, _ in flags)
+        lines.append(f'  printf("usage: %s {flag_str}\\n", prog);')
+        lines.append("}")
+        lines.append("")
+
+    if v >= 2 and any(a.is_output for a in arrays):
+        out = next(a for a in arrays if a.is_output)
+        ct = out.dtype.c_name
+        lines.extend(
+            [
+                "// CPU reference for verification (simplified).",
+                f"static double reference_norm(const {ct} *data, long n) {{",
+                "  double acc = 0.0;",
+                "  for (long i = 0; i < n; i++) acc += (double)data[i] * (double)data[i];",
+                "  return sqrt(acc / (double)(n > 0 ? n : 1));",
+                "}",
+                "",
+            ]
+        )
+
+    lines.append("int main(int argc, char **argv) {")
+    for name, default in flags:
+        lines.append(f"  int {name} = {default};")
+    lines.append("  for (int i = 1; i < argc; i++) {")
+    for j, (name, _) in enumerate(flags):
+        kw = "if" if j == 0 else "else if"
+        lines.append(
+            f'    {kw} (!strcmp(argv[i], "--{name}") && i + 1 < argc) {name} = atoi(argv[++i]);'
+        )
+    if flags:
+        lines.append("    else {")
+        if v >= 1:
+            lines.append("      usage(argv[0]);")
+        lines.append("      return 1;")
+        lines.append("    }")
+    lines.append("  }")
+    if v >= 1:
+        shown = ", ".join(f"{name}=%d" for name, _ in flags)
+        vals = ", ".join(name for name, _ in flags)
+        lines.append(f'  printf("{spec.name}: {shown}\\n", {vals});')
+    lines.append("")
+
+    for salt, arr in enumerate(arrays):
+        n = _size_expr(arr)
+        ct = arr.dtype.c_name
+        lines.append(f"  {ct} *{arr.name} = ({ct} *)malloc((size_t)({n}) * sizeof({ct}));")
+    for salt, arr in enumerate(arrays):
+        n = _size_expr(arr)
+        if arr.is_output:
+            lines.append(f"  memset({arr.name}, 0, (size_t)({n}) * sizeof({arr.dtype.c_name}));")
+        else:
+            lines.append(f"  for (long i = 0; i < (long)({n}); i++)")
+            lines.append(f"    {arr.name}[i] = {_init_expr(arr, salt)};")
+    lines.append("")
+
+    # target data region mapping all arrays for the kernel calls inside.
+    maps = []
+    for arr in arrays:
+        n = _size_expr(arr)
+        clause = "tofrom" if arr.is_output else "to"
+        maps.append(f"map({clause}: {arr.name}[0:{n}])")
+    lines.append(f"  #pragma omp target data {' '.join(maps)}")
+    lines.append("  {")
+    lines.append("    double t0 = omp_get_wtime();")
+    for inst in spec.kernels:
+        args = [a.name for a in inst.kernel.global_arrays()]
+        args += _host_scalar_args(inst)
+        lines.append(f"    {inst.kernel.name}({', '.join(args)});")
+    lines.append("    double t1 = omp_get_wtime();")
+    lines.append('    printf("kernel time: %.3f ms\\n", (t1 - t0) * 1e3);')
+    if spec.util_header >= 2:
+        first = spec.kernels[0]
+        args = [a.name for a in first.kernel.global_arrays()]
+        args += _host_scalar_args(first)
+        lines.append("")
+        lines.append("    struct BenchOptions opts;")
+        lines.append("    default_options(&opts);")
+        lines.append("    struct RunStats stats;")
+        lines.append("    stats_reset(&stats);")
+        lines.append("    WallTimer timer;")
+        lines.append(
+            "    for (int rep = 0; rep < opts.warmup_runs + opts.timed_runs; rep++) {"
+        )
+        lines.append("      timer.begin();")
+        lines.append(f"      {first.kernel.name}({', '.join(args)});")
+        lines.append("      double rep_ms = timer.end_ms();")
+        lines.append("      if (rep >= opts.warmup_runs) stats_add(&stats, rep_ms);")
+        lines.append("    }")
+        lines.append(f'    stats_print(&stats, "{spec.name}");')
+    lines.append("  }")
+    lines.append("")
+
+    outputs = [a for a in arrays if a.is_output]
+    if outputs:
+        out = outputs[0]
+        n = _size_expr(out)
+        lines.append("  double checksum = 0.0;")
+        lines.append(f"  for (long i = 0; i < (long)({n}); i++)")
+        lines.append(f"    checksum += (double){out.name}[i];")
+        lines.append('  printf("checksum: %.6e\\n", checksum);')
+        if v >= 2:
+            lines.append(f"  double rms = reference_norm({out.name}, (long)({n}));")
+            lines.append('  printf("output rms: %.6e\\n", rms);')
+            lines.append(
+                '  if (!(rms == rms)) { fprintf(stderr, "FAILED: NaN output\\n"); return 2; }'
+            )
+            lines.append('  printf("PASSED\\n");')
+    lines.append("")
+    for arr in arrays:
+        lines.append(f"  free({arr.name});")
+    lines.append("  return 0;")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def render_omp(spec: ProgramSpec) -> RenderedProgram:
+    """Render a full OpenMP-offload program (1-3 files)."""
+    from repro.kernels.codegen.utilheader import render_util_header
+
+    if spec.language is not Language.OMP:
+        raise ValueError(f"program {spec.name} is not an OMP spec")
+    kernel_text = "\n\n".join(
+        render_kernel(inst.kernel, inst.launch.block.total) for inst in spec.kernels
+    )
+    files: list[SourceFile] = []
+    if spec.util_header:
+        files.append(
+            SourceFile(
+                "benchmark_utils.h",
+                render_util_header(spec.util_header, Language.OMP, spec.name),
+            )
+        )
+    if spec.util_header >= 2:
+        from repro.kernels.codegen.reference import render_reference_file
+
+        files.append(render_reference_file(spec))
+    if spec.split_files:
+        header = "\n".join(
+            ["#ifndef KERNELS_H", "#define KERNELS_H", "", kernel_text, "", "#endif // KERNELS_H"]
+        )
+        files.append(SourceFile("kernels.h", header))
+        files.append(SourceFile("main.cpp", render_host(spec, kernels_in_header=True)))
+    else:
+        main = render_host(spec, kernels_in_header=False)
+        merged_lines = main.split("\n")
+        insert_at = next(i for i, ln in enumerate(merged_lines) if ln.startswith("int main"))
+        merged = "\n".join(
+            merged_lines[:insert_at] + [kernel_text, ""] + merged_lines[insert_at:]
+        )
+        files.append(SourceFile("main.cpp", merged))
+    return RenderedProgram(spec=spec, files=tuple(files))

@@ -1,0 +1,140 @@
+"""CPU reference implementation generation.
+
+Benchmark suites routinely ship a sequential reference implementation used
+to validate device results; for heavyweight (bloat level 2) programs we
+generate one — the same kernel IR rendered as plain nested host loops plus a
+validation driver. Kernels that depend on block-local shared memory have no
+direct sequential transliteration and are skipped with a note, as real
+suites often do.
+"""
+
+from __future__ import annotations
+
+from repro.kernels.codegen.common import BackendHooks, render_stmts
+from repro.kernels.ir import ArrayDecl, DType, Kernel
+from repro.kernels.launch import KernelInstance
+from repro.kernels.program import ProgramSpec, SourceFile
+
+
+def _rsqrt(args: str, dtype: DType) -> str:
+    one = "1.0f" if dtype is DType.F32 else "1.0"
+    fn = "sqrtf" if dtype is DType.F32 else "sqrt"
+    return f"({one} / {fn}({args}))"
+
+
+def _atomic_add(target: str, value: str, dtype: DType) -> list[str]:
+    # Sequential execution needs no atomicity.
+    return [f"{target} += {value};"]
+
+
+def _sync() -> list[str]:
+    raise NotImplementedError("shared-memory kernels have no sequential transliteration")
+
+
+def _unroll(n: int) -> str:
+    return f"// unroll({n}) elided in reference build"
+
+
+CPU_HOOKS = BackendHooks(
+    rsqrt_spelling=_rsqrt,
+    atomic_add=_atomic_add,
+    sync_threads=_sync,
+    unroll_pragma=_unroll,
+)
+
+
+def _param_decl(arr: ArrayDecl) -> str:
+    qual = "" if arr.is_output else "const "
+    return f"{qual}{arr.dtype.c_name} *{arr.name}"
+
+
+def render_reference_kernel(kernel: Kernel) -> str:
+    """Render the sequential CPU version of one kernel."""
+    if kernel.shared_arrays():
+        return (
+            f"// NOTE: {kernel.name} uses block-local shared memory; the tiled\n"
+            f"// schedule has no direct sequential transliteration. Validate this\n"
+            f"// kernel against the naive device variant instead."
+        )
+    params = [_param_decl(a) for a in kernel.global_arrays()]
+    params += [f"{p.dtype.c_name} {p.name}" for p in kernel.params]
+    lines = [f"static void {kernel.name}_cpu({', '.join(params)})", "{"]
+    nx = kernel.work_items if isinstance(kernel.work_items, str) else str(kernel.work_items)
+    if kernel.work_items_y is None:
+        lines.append(f"  for (int gx = 0; gx < {nx}; gx++) {{")
+        lines.extend(render_stmts(kernel.body, CPU_HOOKS, 2))
+        lines.append("  }")
+    else:
+        ny = (
+            kernel.work_items_y
+            if isinstance(kernel.work_items_y, str)
+            else str(kernel.work_items_y)
+        )
+        lines.append(f"  for (int gy = 0; gy < {ny}; gy++) {{")
+        lines.append(f"    for (int gx = 0; gx < {nx}; gx++) {{")
+        lines.extend(render_stmts(kernel.body, CPU_HOOKS, 3))
+        lines.append("    }")
+        lines.append("  }")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def render_reference_file(spec: ProgramSpec) -> SourceFile:
+    """Render ``reference_impl.h``: CPU kernels + a validation driver."""
+    first = spec.first_kernel
+    kern = first.kernel
+    lines = [
+        f"// reference_impl.h — sequential CPU reference for {spec.name}",
+        "// Used by the validation pass to cross-check device output.",
+        "#ifndef REFERENCE_IMPL_H",
+        "#define REFERENCE_IMPL_H",
+        "",
+        render_reference_kernel(kern),
+        "",
+    ]
+    outputs = [a for a in kern.global_arrays() if a.is_output]
+    if outputs and not kern.shared_arrays():
+        out = outputs[0]
+        ct = out.dtype.c_name
+        size = out.size if isinstance(out.size, str) else str(out.size)
+        arrays = kern.global_arrays()
+        alloc_lines = []
+        call_args = []
+        for a in arrays:
+            asize = a.size if isinstance(a.size, str) else str(a.size)
+            an = f"ref_{a.name}"
+            alloc_lines.append(
+                f"  {a.dtype.c_name} *{an} = ({a.dtype.c_name} *)"
+                f"malloc((size_t)({asize}) * sizeof({a.dtype.c_name}));"
+            )
+            alloc_lines.append(
+                f"  memcpy({an}, {a.name}, (size_t)({asize}) * sizeof({a.dtype.c_name}));"
+            )
+            call_args.append(an)
+        scalar_args = [p.name for p in kern.params]
+        flag_params = ", ".join(
+            f"{p.dtype.c_name} {p.name}" for p in kern.params
+        )
+        array_params = ", ".join(
+            f"const {a.dtype.c_name} *{a.name}" for a in arrays
+        )
+        lines.extend(
+            [
+                f"static double validate_{kern.name}({array_params}"
+                + (", " if flag_params else "")
+                + f"{flag_params}) {{",
+                *alloc_lines,
+                f"  {kern.name}_cpu({', '.join(call_args + scalar_args)});",
+                "  double err = 0.0;",
+                f"  for (long i = 0; i < (long)({size}); i++) {{",
+                f"    double d = (double)ref_{out.name}[i] - (double){out.name}[i];",
+                "    err += d * d;",
+                "  }",
+                *[f"  free(ref_{a.name});" for a in arrays],
+                f"  return sqrt(err / (double)({size}));",
+                "}",
+            ]
+        )
+    lines.append("")
+    lines.append("#endif // REFERENCE_IMPL_H")
+    return SourceFile("reference_impl.h", "\n".join(lines))

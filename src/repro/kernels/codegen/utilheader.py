@@ -1,0 +1,442 @@
+"""Generated ``benchmark_utils.h`` — the shared-utility header that real
+benchmark suites accumulate (timers, allocation wrappers, validation
+helpers, argument parsing).
+
+The paper concatenates *all* source files of a program into the prompt
+(§2.2 "Source Scraping"), so utility headers inflate token counts exactly
+like they do for HeCBench programs; the 8e3-token pruning cutoff then drops
+the heavier programs. ``level`` controls how much utility machinery a
+program carries (0 = none, 1 = timers + init, 2 = full validation suite).
+"""
+
+from __future__ import annotations
+
+from repro.types import Language
+
+
+def _timer_block(language: Language) -> list[str]:
+    if language is Language.CUDA:
+        return [
+            "// ---- device timing helpers -------------------------------------------",
+            "struct GpuTimer {",
+            "  cudaEvent_t start_ev;",
+            "  cudaEvent_t stop_ev;",
+            "  GpuTimer() {",
+            "    cudaEventCreate(&start_ev);",
+            "    cudaEventCreate(&stop_ev);",
+            "  }",
+            "  ~GpuTimer() {",
+            "    cudaEventDestroy(start_ev);",
+            "    cudaEventDestroy(stop_ev);",
+            "  }",
+            "  void begin() { cudaEventRecord(start_ev); }",
+            "  float end_ms() {",
+            "    cudaEventRecord(stop_ev);",
+            "    cudaEventSynchronize(stop_ev);",
+            "    float ms = 0.0f;",
+            "    cudaEventElapsedTime(&ms, start_ev, stop_ev);",
+            "    return ms;",
+            "  }",
+            "};",
+            "",
+            "static inline void device_sync_checked(const char *where) {",
+            "  cudaError_t err = cudaDeviceSynchronize();",
+            "  if (err != cudaSuccess) {",
+            '    fprintf(stderr, "sync error at %s: %s\\n", where, cudaGetErrorString(err));',
+            "    exit(1);",
+            "  }",
+            "}",
+        ]
+    return [
+        "// ---- host timing helpers ----------------------------------------------",
+        "struct WallTimer {",
+        "  double t0;",
+        "  void begin() { t0 = omp_get_wtime(); }",
+        "  double end_ms() { return (omp_get_wtime() - t0) * 1e3; }",
+        "};",
+        "",
+        "static inline int device_count_checked(void) {",
+        "  int ndev = omp_get_num_devices();",
+        "  if (ndev < 1) {",
+        '    fprintf(stderr, "warning: no offload device, falling back to host\\n");',
+        "  }",
+        "  return ndev;",
+        "}",
+    ]
+
+
+def _init_block() -> list[str]:
+    return [
+        "// ---- input initialization ----------------------------------------------",
+        "static inline void fill_linear_f32(float *buf, long n, float scale) {",
+        "  for (long i = 0; i < n; i++) buf[i] = (float)(i % 1024) * scale;",
+        "}",
+        "",
+        "static inline void fill_linear_f64(double *buf, long n, double scale) {",
+        "  for (long i = 0; i < n; i++) buf[i] = (double)(i % 1024) * scale;",
+        "}",
+        "",
+        "static inline void fill_lcg_i32(int *buf, long n, unsigned seed) {",
+        "  unsigned state = seed ? seed : 1u;",
+        "  for (long i = 0; i < n; i++) {",
+        "    state = state * 1664525u + 1013904223u;",
+        "    buf[i] = (int)(state >> 8);",
+        "  }",
+        "}",
+        "",
+        "static inline void fill_gaussian_like(float *buf, long n, unsigned seed) {",
+        "  // sum of four uniforms, shifted: cheap approximately-normal input",
+        "  unsigned state = seed ? seed : 7u;",
+        "  for (long i = 0; i < n; i++) {",
+        "    float acc = -2.0f;",
+        "    for (int k = 0; k < 4; k++) {",
+        "      state = state * 1664525u + 1013904223u;",
+        "      acc += (float)(state >> 16) / 65536.0f;",
+        "    }",
+        "    buf[i] = acc;",
+        "  }",
+        "}",
+    ]
+
+
+def _validate_block() -> list[str]:
+    return [
+        "// ---- validation helpers --------------------------------------------------",
+        "static inline double l2_norm_f32(const float *a, long n) {",
+        "  double acc = 0.0;",
+        "  for (long i = 0; i < n; i++) acc += (double)a[i] * (double)a[i];",
+        "  return sqrt(acc);",
+        "}",
+        "",
+        "static inline double max_abs_diff_f32(const float *a, const float *b, long n) {",
+        "  double worst = 0.0;",
+        "  for (long i = 0; i < n; i++) {",
+        "    double d = fabs((double)a[i] - (double)b[i]);",
+        "    if (d > worst) worst = d;",
+        "  }",
+        "  return worst;",
+        "}",
+        "",
+        "static inline int compare_with_tolerance(const float *got, const float *want,",
+        "                                         long n, double rtol, double atol) {",
+        "  long bad = 0;",
+        "  for (long i = 0; i < n; i++) {",
+        "    double g = (double)got[i];",
+        "    double w = (double)want[i];",
+        "    double tol = atol + rtol * fabs(w);",
+        "    if (fabs(g - w) > tol) {",
+        "      if (bad < 8) {",
+        '        fprintf(stderr, "mismatch at %ld: got %g want %g\\n", i, g, w);',
+        "      }",
+        "      bad++;",
+        "    }",
+        "  }",
+        "  return bad == 0;",
+        "}",
+        "",
+        "static inline void report_result(const char *bench, int ok, double ms) {",
+        "  if (ok) {",
+        '    printf("%s: PASS (%.3f ms)\\n", bench, ms);',
+        "  } else {",
+        '    printf("%s: FAIL (%.3f ms)\\n", bench, ms);',
+        "  }",
+        "}",
+    ]
+
+
+def _argparse_block() -> list[str]:
+    return [
+        "// ---- argument parsing ------------------------------------------------------",
+        "struct BenchOptions {",
+        "  int warmup_runs;",
+        "  int timed_runs;",
+        "  int verbose;",
+        "  int csv_output;",
+        "};",
+        "",
+        "static inline void default_options(struct BenchOptions *opt) {",
+        "  opt->warmup_runs = 1;",
+        "  opt->timed_runs = 3;",
+        "  opt->verbose = 0;",
+        "  opt->csv_output = 0;",
+        "}",
+        "",
+        "static inline int parse_common_flag(struct BenchOptions *opt, const char *arg,",
+        "                                    const char *value) {",
+        '  if (!strcmp(arg, "--warmup") && value) {',
+        "    opt->warmup_runs = atoi(value);",
+        "    return 2;",
+        "  }",
+        '  if (!strcmp(arg, "--repeat") && value) {',
+        "    opt->timed_runs = atoi(value);",
+        "    return 2;",
+        "  }",
+        '  if (!strcmp(arg, "--verbose")) {',
+        "    opt->verbose = 1;",
+        "    return 1;",
+        "  }",
+        '  if (!strcmp(arg, "--csv")) {',
+        "    opt->csv_output = 1;",
+        "    return 1;",
+        "  }",
+        "  return 0;",
+        "}",
+        "",
+        "static inline void emit_csv_row(const char *bench, const char *kernel,",
+        "                                double ms, double gbps, double gflops) {",
+        '  printf("%s,%s,%.4f,%.3f,%.3f\\n", bench, kernel, ms, gbps, gflops);',
+        "}",
+    ]
+
+
+def _stats_block() -> list[str]:
+    return [
+        "// ---- run statistics ---------------------------------------------------------",
+        "struct RunStats {",
+        "  double best_ms;",
+        "  double worst_ms;",
+        "  double total_ms;",
+        "  int runs;",
+        "};",
+        "",
+        "static inline void stats_reset(struct RunStats *s) {",
+        "  s->best_ms = 1e30;",
+        "  s->worst_ms = 0.0;",
+        "  s->total_ms = 0.0;",
+        "  s->runs = 0;",
+        "}",
+        "",
+        "static inline void stats_add(struct RunStats *s, double ms) {",
+        "  if (ms < s->best_ms) s->best_ms = ms;",
+        "  if (ms > s->worst_ms) s->worst_ms = ms;",
+        "  s->total_ms += ms;",
+        "  s->runs += 1;",
+        "}",
+        "",
+        "static inline double stats_mean(const struct RunStats *s) {",
+        "  return s->runs > 0 ? s->total_ms / (double)s->runs : 0.0;",
+        "}",
+        "",
+        "static inline void stats_print(const struct RunStats *s, const char *label) {",
+        '  printf("%s: best %.3f ms, mean %.3f ms, worst %.3f ms over %d runs\\n",',
+        "         label, s->best_ms, stats_mean(s), s->worst_ms, s->runs);",
+        "}",
+        "",
+        "static inline double bandwidth_gbps(double bytes_moved, double ms) {",
+        "  return ms > 0.0 ? bytes_moved / (ms * 1e6) : 0.0;",
+        "}",
+        "",
+        "static inline double throughput_gflops(double flops, double ms) {",
+        "  return ms > 0.0 ? flops / (ms * 1e6) : 0.0;",
+        "}",
+    ]
+
+
+def _io_block() -> list[str]:
+    return [
+        "// ---- output / logging --------------------------------------------------------",
+        "static inline void dump_array_f32(const char *path, const float *buf, long n) {",
+        '  FILE *fp = fopen(path, "w");',
+        "  if (!fp) {",
+        '    fprintf(stderr, "cannot open %s for writing\\n", path);',
+        "    return;",
+        "  }",
+        "  for (long i = 0; i < n; i++) {",
+        '    fprintf(fp, "%ld %.9g\\n", i, (double)buf[i]);',
+        "  }",
+        "  fclose(fp);",
+        "}",
+        "",
+        "static inline void print_preview_f32(const char *label, const float *buf, long n) {",
+        "  long shown = n < 8 ? n : 8;",
+        '  printf("%s: [", label);',
+        "  for (long i = 0; i < shown; i++) {",
+        '    printf(i ? ", %.4g" : "%.4g", (double)buf[i]);',
+        "  }",
+        '  printf(n > shown ? ", ...]\\n" : "]\\n");',
+        "}",
+        "",
+        "static inline long count_nonfinite_f32(const float *buf, long n) {",
+        "  long bad = 0;",
+        "  for (long i = 0; i < n; i++) {",
+        "    if (!(buf[i] == buf[i]) || buf[i] > 1e38f || buf[i] < -1e38f) bad++;",
+        "  }",
+        "  return bad;",
+        "}",
+    ]
+
+
+def _alloc_block() -> list[str]:
+    return [
+        "// ---- aligned allocation --------------------------------------------------------",
+        "static inline void *alloc_aligned(size_t bytes, size_t alignment) {",
+        "  void *ptr = NULL;",
+        "  if (posix_memalign(&ptr, alignment, bytes) != 0) {",
+        '    fprintf(stderr, "allocation of %zu bytes failed\\n", bytes);',
+        "    exit(1);",
+        "  }",
+        "  memset(ptr, 0, bytes);",
+        "  return ptr;",
+        "}",
+        "",
+        "static inline float *alloc_f32(long n) {",
+        "  return (float *)alloc_aligned((size_t)n * sizeof(float), 64);",
+        "}",
+        "",
+        "static inline double *alloc_f64(long n) {",
+        "  return (double *)alloc_aligned((size_t)n * sizeof(double), 64);",
+        "}",
+        "",
+        "static inline int *alloc_i32(long n) {",
+        "  return (int *)alloc_aligned((size_t)n * sizeof(int), 64);",
+        "}",
+    ]
+
+
+def _device_info_block(language: Language) -> list[str]:
+    if language is Language.CUDA:
+        return [
+            "// ---- device discovery ------------------------------------------------------",
+            "static inline void print_device_info(int dev) {",
+            "  cudaDeviceProp prop;",
+            "  if (cudaGetDeviceProperties(&prop, dev) != cudaSuccess) {",
+            '    fprintf(stderr, "cannot query device %d\\n", dev);',
+            "    return;",
+            "  }",
+            '  printf("device %d: %s\\n", dev, prop.name);',
+            '  printf("  SMs: %d, clock: %.2f GHz\\n", prop.multiProcessorCount,',
+            "         prop.clockRate / 1e6);",
+            '  printf("  global memory: %.1f GB\\n", prop.totalGlobalMem / 1073741824.0);',
+            '  printf("  memory clock: %.2f GHz, bus width: %d bits\\n",',
+            "         prop.memoryClockRate / 1e6, prop.memoryBusWidth);",
+            "  double peak_bw = 2.0 * (prop.memoryClockRate / 1e6) *",
+            "                   (prop.memoryBusWidth / 8.0);",
+            '  printf("  theoretical bandwidth: %.1f GB/s\\n", peak_bw);',
+            "}",
+            "",
+            "static inline int select_device(void) {",
+            "  int count = 0;",
+            "  cudaGetDeviceCount(&count);",
+            "  if (count < 1) {",
+            '    fprintf(stderr, "no CUDA device found\\n");',
+            "    exit(1);",
+            "  }",
+            '  const char *env = getenv("BENCH_DEVICE");',
+            "  int dev = env ? atoi(env) : 0;",
+            "  if (dev >= count) dev = 0;",
+            "  cudaSetDevice(dev);",
+            "  return dev;",
+            "}",
+        ]
+    return [
+        "// ---- device discovery ------------------------------------------------------",
+        "static inline void print_device_info(void) {",
+        "  int ndev = omp_get_num_devices();",
+        '  printf("offload devices available: %d\\n", ndev);',
+        '  printf("default device: %d\\n", omp_get_default_device());',
+        '  printf("host threads: %d\\n", omp_get_max_threads());',
+        "}",
+        "",
+        "static inline int select_device(void) {",
+        '  const char *env = getenv("BENCH_DEVICE");',
+        "  int dev = env ? atoi(env) : omp_get_default_device();",
+        "  omp_set_default_device(dev);",
+        "  return dev;",
+        "}",
+    ]
+
+
+def _reduction_block() -> list[str]:
+    return [
+        "// ---- host-side reductions ----------------------------------------------------",
+        "static inline double sum_f32(const float *buf, long n) {",
+        "  double acc = 0.0;",
+        "  for (long i = 0; i < n; i++) acc += (double)buf[i];",
+        "  return acc;",
+        "}",
+        "",
+        "static inline double sum_f64(const double *buf, long n) {",
+        "  double acc = 0.0;",
+        "  for (long i = 0; i < n; i++) acc += buf[i];",
+        "  return acc;",
+        "}",
+        "",
+        "static inline float min_f32(const float *buf, long n) {",
+        "  float best = buf[0];",
+        "  for (long i = 1; i < n; i++)",
+        "    if (buf[i] < best) best = buf[i];",
+        "  return best;",
+        "}",
+        "",
+        "static inline float max_f32(const float *buf, long n) {",
+        "  float best = buf[0];",
+        "  for (long i = 1; i < n; i++)",
+        "    if (buf[i] > best) best = buf[i];",
+        "  return best;",
+        "}",
+        "",
+        "static inline long argmax_f32(const float *buf, long n) {",
+        "  long best = 0;",
+        "  for (long i = 1; i < n; i++)",
+        "    if (buf[i] > buf[best]) best = i;",
+        "  return best;",
+        "}",
+        "",
+        "static inline double mean_f32(const float *buf, long n) {",
+        "  return n > 0 ? sum_f32(buf, n) / (double)n : 0.0;",
+        "}",
+        "",
+        "static inline double variance_f32(const float *buf, long n) {",
+        "  if (n < 2) return 0.0;",
+        "  double m = mean_f32(buf, n);",
+        "  double acc = 0.0;",
+        "  for (long i = 0; i < n; i++) {",
+        "    double d = (double)buf[i] - m;",
+        "    acc += d * d;",
+        "  }",
+        "  return acc / (double)(n - 1);",
+        "}",
+    ]
+
+
+def render_util_header(level: int, language: Language, prog_name: str) -> str:
+    """Render the utility header for a program at bloat ``level`` (1 or 2)."""
+    if level not in (1, 2):
+        raise ValueError(f"util header level must be 1 or 2, got {level}")
+    guard = "BENCHMARK_UTILS_H"
+    lines = [
+        f"// benchmark_utils.h — shared helpers for the {prog_name} benchmark",
+        f"#ifndef {guard}",
+        f"#define {guard}",
+        "",
+        "#include <cstdio>",
+        "#include <cstdlib>",
+        "#include <cstring>",
+        "#include <cmath>",
+    ]
+    if language is Language.CUDA:
+        lines.append("#include <cuda_runtime.h>")
+    else:
+        lines.append("#include <omp.h>")
+    lines.append("")
+    lines.extend(_timer_block(language))
+    lines.append("")
+    lines.extend(_init_block())
+    if level >= 2:
+        lines.append("")
+        lines.extend(_validate_block())
+        lines.append("")
+        lines.extend(_argparse_block())
+        lines.append("")
+        lines.extend(_stats_block())
+        lines.append("")
+        lines.extend(_io_block())
+        lines.append("")
+        lines.extend(_alloc_block())
+        lines.append("")
+        lines.extend(_device_info_block(language))
+        lines.append("")
+        lines.extend(_reduction_block())
+    lines.append("")
+    lines.append(f"#endif // {guard}")
+    return "\n".join(lines)

@@ -1,0 +1,91 @@
+"""Corpus assembly: the reproduction's stand-in for HeCBench.
+
+The paper builds and profiles 446 CUDA and 303 OpenMP-offload programs
+(§2.1). We enumerate (family, variant) pairs over the ~90 registered
+families in deterministic registration order, cycling variants until the
+target counts are met — families therefore get 4-5 CUDA variants and 3-4 OMP
+variants each, mirroring HeCBench's uneven per-benchmark coverage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.kernels.families import FamilySpec, families_for
+from repro.kernels.program import ProgramSpec
+from repro.types import Language
+
+#: Paper §2.1 corpus sizes.
+DEFAULT_CUDA_COUNT = 446
+DEFAULT_OMP_COUNT = 303
+
+
+@dataclass(frozen=True)
+class Corpus:
+    """The full generated benchmark suite."""
+
+    programs: tuple[ProgramSpec, ...]
+
+    def by_language(self, language: Language) -> list[ProgramSpec]:
+        return [p for p in self.programs if p.language is language]
+
+    def by_family(self, family: str) -> list[ProgramSpec]:
+        return [p for p in self.programs if p.family == family]
+
+    def get(self, uid: str) -> ProgramSpec:
+        for p in self.programs:
+            if p.uid == uid:
+                return p
+        raise KeyError(f"no program with uid {uid!r}")
+
+    def __len__(self) -> int:
+        return len(self.programs)
+
+
+def _enumerate(language: Language, count: int) -> list[ProgramSpec]:
+    fams = families_for(language)
+    if not fams:
+        raise RuntimeError("no families registered")
+    out: list[ProgramSpec] = []
+    variant = 0
+    while len(out) < count:
+        for fam in fams:
+            if len(out) >= count:
+                break
+            out.append(fam.build(variant, language))
+        variant += 1
+        if variant > 64:  # pragma: no cover - runaway guard
+            raise RuntimeError("variant enumeration did not converge")
+    return out
+
+
+def build_corpus(
+    cuda_count: int = DEFAULT_CUDA_COUNT,
+    omp_count: int = DEFAULT_OMP_COUNT,
+) -> Corpus:
+    """Build the full two-language corpus.
+
+    Deterministic: same counts → bit-identical corpus, across runs and
+    machines.
+    """
+    if cuda_count < 0 or omp_count < 0:
+        raise ValueError("corpus counts must be non-negative")
+    programs = _enumerate(Language.CUDA, cuda_count) + _enumerate(
+        Language.OMP, omp_count
+    )
+    uids = [p.uid for p in programs]
+    if len(uids) != len(set(uids)):
+        dupes = sorted({u for u in uids if uids.count(u) > 1})
+        raise RuntimeError(f"duplicate program uids in corpus: {dupes[:5]}")
+    return Corpus(programs=tuple(programs))
+
+
+_default_corpus: Corpus | None = None
+
+
+def default_corpus() -> Corpus:
+    """The paper-sized corpus, built once per process."""
+    global _default_corpus
+    if _default_corpus is None:
+        _default_corpus = build_corpus()
+    return _default_corpus

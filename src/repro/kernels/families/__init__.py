@@ -1,0 +1,103 @@
+"""Benchmark family registry.
+
+A *family* is one named benchmark (the analogue of one HeCBench program
+directory, e.g. ``saxpy-cuda``); each family builds several parameter
+*variants* (problem size, precision, block size, host verbosity), and may
+support CUDA only or both CUDA and OpenMP offload — mirroring HeCBench's
+uneven language coverage (446 CUDA vs 303 OMP programs in the paper).
+
+Families register themselves via the :func:`family` decorator at import
+time; :func:`all_families` triggers the imports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.kernels.program import ProgramSpec
+from repro.types import Language
+
+BuildFn = Callable[[int, Language], ProgramSpec]
+
+
+@dataclass(frozen=True)
+class FamilySpec:
+    """Metadata + builder for one benchmark family."""
+
+    name: str
+    group: str
+    build: BuildFn
+    languages: tuple[Language, ...] = (Language.CUDA, Language.OMP)
+    #: expected label tendency ("bb", "cb", "mixed") — documentation and
+    #: corpus-mix diagnostics only; ground truth always comes from profiling
+    tendency: str = "mixed"
+
+    def supports(self, language: Language) -> bool:
+        return language in self.languages
+
+
+_REGISTRY: dict[str, FamilySpec] = {}
+
+
+def family(
+    name: str,
+    group: str,
+    *,
+    languages: tuple[Language, ...] = (Language.CUDA, Language.OMP),
+    tendency: str = "mixed",
+) -> Callable[[BuildFn], BuildFn]:
+    """Register a family builder.
+
+    The decorated function receives ``(variant, language)`` and must return a
+    fully-formed :class:`~repro.kernels.program.ProgramSpec`.
+    """
+
+    def deco(fn: BuildFn) -> BuildFn:
+        if name in _REGISTRY:
+            raise ValueError(f"duplicate family name {name!r}")
+        _REGISTRY[name] = FamilySpec(
+            name=name, group=group, build=fn, languages=languages, tendency=tendency
+        )
+        return fn
+
+    return deco
+
+
+_LOADED = False
+
+
+def _load_all() -> None:
+    global _LOADED
+    if _LOADED:
+        return
+    # Import order fixes registry order, which fixes corpus enumeration.
+    from repro.kernels.families import (  # noqa: F401
+        streaming,
+        stencil,
+        linalg,
+        physics,
+        mathheavy,
+        integer,
+        misc,
+    )
+
+    _LOADED = True
+
+
+def all_families() -> dict[str, FamilySpec]:
+    """All registered families, keyed by name, in registration order."""
+    _load_all()
+    return dict(_REGISTRY)
+
+
+def get_family(name: str) -> FamilySpec:
+    _load_all()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(f"unknown family {name!r}") from None
+
+
+def families_for(language: Language) -> list[FamilySpec]:
+    return [f for f in all_families().values() if f.supports(language)]

@@ -1,0 +1,488 @@
+"""Integer-dominated families — hashing, PRNGs, bit manipulation, sorting
+network steps. These populate the INTOP roofline of Figure 1: mostly
+bandwidth-bound, with round-heavy crypto/PRNG kernels crossing into the
+integer compute-bound region."""
+
+from __future__ import annotations
+
+from repro.kernels.families import family
+from repro.kernels.families.helpers import assemble, draw_size_1d, variant_rng
+from repro.kernels.ir import (
+    ArrayDecl,
+    Assign,
+    AtomicAdd,
+    BinOp,
+    BinOpKind,
+    Cast,
+    Const,
+    DType,
+    DynamicIndex,
+    For,
+    If,
+    Kernel,
+    Let,
+    Load,
+    ScalarParam,
+    Select,
+    Store,
+    Var,
+    add,
+    aff,
+    load,
+    mul,
+    sub,
+    var,
+)
+from repro.types import Language
+
+I32 = DType.I32
+
+
+def _i(v: int) -> Const:
+    return Const(v, I32)
+
+
+def _iv(name: str) -> Var:
+    return Var(name, I32)
+
+
+def _ib(op: BinOpKind, a, b) -> BinOp:
+    return BinOp(op, a, b, I32)
+
+
+@family("histogram", "integer", tendency="bb")
+def build_histogram(variant: int, language: Language):
+    rng = variant_rng("histogram", variant, language)
+    n = draw_size_1d(rng)
+    nbins = int(rng.choice([256, 1024, 4096, 16384]))
+    bin_expr = _ib(BinOpKind.MOD, load("keys", aff("gx"), I32), _iv("nbins"))
+    body = (
+        AtomicAdd(
+            "hist",
+            DynamicIndex(expr=bin_expr, range_hint="nbins", pattern="random"),
+            _i(1),
+            I32,
+        ),
+    )
+    kernel = Kernel(
+        name="histogram_kernel",
+        arrays=(
+            ArrayDecl("keys", I32, "n"),
+            ArrayDecl("hist", I32, "nbins", is_output=True),
+        ),
+        params=(ScalarParam("nbins", I32), ScalarParam("n", I32)),
+        body=body,
+        work_items="n",
+    )
+    return assemble(
+        family="histogram", variant=variant, language=language, rng=rng,
+        kernel=kernel, flags={"n": n, "nbins": nbins},
+        binding_exprs={"nbins": "nbins", "n": "n"},
+        description="atomic histogram of integer keys",
+    )
+
+
+@family("xorshift_stream", "integer", tendency="cb")
+def build_xorshift(variant: int, language: Language):
+    rng = variant_rng("xorshift_stream", variant, language)
+    n = draw_size_1d(rng)
+    rounds = int(rng.choice([32, 48, 64]))
+    body = (
+        Let("state", _ib(BinOpKind.ADD, load("seeds", aff("gx"), I32), _i(88172645)), I32),
+        For(
+            "r", "rounds",
+            (
+                Assign("state", _ib(BinOpKind.XOR, _iv("state"),
+                                    _ib(BinOpKind.SHL, _iv("state"), _i(13))), I32),
+                Assign("state", _ib(BinOpKind.XOR, _iv("state"),
+                                    _ib(BinOpKind.SHR, _iv("state"), _i(7))), I32),
+                Assign("state", _ib(BinOpKind.XOR, _iv("state"),
+                                    _ib(BinOpKind.SHL, _iv("state"), _i(17))), I32),
+            ),
+        ),
+        Store("out", aff("gx"), _iv("state"), I32),
+    )
+    kernel = Kernel(
+        name="xorshift_stream_kernel",
+        arrays=(ArrayDecl("seeds", I32, "n"), ArrayDecl("out", I32, "n", is_output=True)),
+        params=(ScalarParam("rounds", I32), ScalarParam("n", I32)),
+        body=body,
+        work_items="n",
+    )
+    return assemble(
+        family="xorshift_stream", variant=variant, language=language, rng=rng,
+        kernel=kernel, flags={"n": n, "rounds": rounds},
+        binding_exprs={"rounds": "rounds", "n": "n"},
+        description="xorshift PRNG stream generation",
+    )
+
+
+@family("pcg_hash", "integer", tendency="bb")
+def build_pcg(variant: int, language: Language):
+    rng = variant_rng("pcg_hash", variant, language)
+    n = draw_size_1d(rng)
+    body = (
+        Let("h", _ib(BinOpKind.MUL, load("keys", aff("gx"), I32), _i(747796405)), I32),
+        Assign("h", _ib(BinOpKind.ADD, _iv("h"), _i(2891336453)), I32),
+        Let("w", _ib(BinOpKind.SHR, _iv("h"),
+                     _ib(BinOpKind.ADD, _ib(BinOpKind.SHR, _iv("h"), _i(28)), _i(4))), I32),
+        Assign("w", _ib(BinOpKind.MUL, _ib(BinOpKind.XOR, _iv("w"), _iv("h")), _i(277803737)), I32),
+        Store("out", aff("gx"), _ib(BinOpKind.XOR, _iv("w"),
+                                    _ib(BinOpKind.SHR, _iv("w"), _i(22))), I32),
+    )
+    kernel = Kernel(
+        name="pcg_hash_kernel",
+        arrays=(ArrayDecl("keys", I32, "n"), ArrayDecl("out", I32, "n", is_output=True)),
+        params=(ScalarParam("n", I32),),
+        body=body,
+        work_items="n",
+    )
+    return assemble(
+        family="pcg_hash", variant=variant, language=language, rng=rng,
+        kernel=kernel, flags={"n": n}, binding_exprs={"n": "n"},
+        description="PCG output-permutation hash per element",
+    )
+
+
+@family("crc_rounds", "integer", tendency="cb")
+def build_crc(variant: int, language: Language):
+    rng = variant_rng("crc_rounds", variant, language)
+    n = draw_size_1d(rng)
+    rounds = 32
+    body = (
+        Let("crc", load("words", aff("gx"), I32), I32),
+        For(
+            "b", "rounds",
+            (
+                Let("mask", sub(_i(0), _ib(BinOpKind.AND, _iv("crc"), _i(1)), I32), I32),
+                Assign(
+                    "crc",
+                    _ib(BinOpKind.XOR,
+                        _ib(BinOpKind.SHR, _iv("crc"), _i(1)),
+                        _ib(BinOpKind.AND, _i(0x6DB88320), _iv("mask"))),
+                    I32,
+                ),
+            ),
+        ),
+        Store("out", aff("gx"), _iv("crc"), I32),
+    )
+    kernel = Kernel(
+        name="crc32_bitwise_kernel",
+        arrays=(ArrayDecl("words", I32, "n"), ArrayDecl("out", I32, "n", is_output=True)),
+        params=(ScalarParam("rounds", I32), ScalarParam("n", I32)),
+        body=body,
+        work_items="n",
+    )
+    return assemble(
+        family="crc_rounds", variant=variant, language=language, rng=rng,
+        kernel=kernel, flags={"n": n, "rounds": rounds},
+        binding_exprs={"rounds": "rounds", "n": "n"},
+        description="bitwise CRC32 over one word per thread",
+    )
+
+
+@family("fnv1a_chunks", "integer", tendency="bb")
+def build_fnv(variant: int, language: Language):
+    rng = variant_rng("fnv1a_chunks", variant, language)
+    n = draw_size_1d(rng)
+    chunk = int(rng.choice([4, 8, 16]))
+    body = (
+        Let("h", _i(-2128831035), I32),
+        For(
+            "k", "chunk",
+            (
+                Let("byte_val", load("data", aff(("gx", "chunk"), "k"), I32), I32),
+                Assign("h", _ib(BinOpKind.XOR, _iv("h"), _iv("byte_val")), I32),
+                Assign("h", _ib(BinOpKind.MUL, _iv("h"), _i(16777619)), I32),
+            ),
+        ),
+        Store("hashes", aff("gx"), _iv("h"), I32),
+    )
+    kernel = Kernel(
+        name="fnv1a_hash_kernel",
+        arrays=(
+            ArrayDecl("data", I32, "n*chunk"),
+            ArrayDecl("hashes", I32, "n", is_output=True),
+        ),
+        params=(ScalarParam("chunk", I32), ScalarParam("n", I32)),
+        body=body,
+        work_items="n",
+    )
+    return assemble(
+        family="fnv1a_chunks", variant=variant, language=language, rng=rng,
+        kernel=kernel, flags={"n": n, "chunk": chunk},
+        binding_exprs={"chunk": "chunk", "n": "n"},
+        description=f"FNV-1a hash of {chunk}-word chunks",
+    )
+
+
+@family("murmur_mix", "integer", tendency="bb")
+def build_murmur(variant: int, language: Language):
+    rng = variant_rng("murmur_mix", variant, language)
+    n = draw_size_1d(rng)
+    body = (
+        Let("h", load("keys", aff("gx"), I32), I32),
+        Assign("h", _ib(BinOpKind.XOR, _iv("h"), _ib(BinOpKind.SHR, _iv("h"), _i(16))), I32),
+        Assign("h", _ib(BinOpKind.MUL, _iv("h"), _i(-2048144789)), I32),
+        Assign("h", _ib(BinOpKind.XOR, _iv("h"), _ib(BinOpKind.SHR, _iv("h"), _i(13))), I32),
+        Assign("h", _ib(BinOpKind.MUL, _iv("h"), _i(-1028477387)), I32),
+        Assign("h", _ib(BinOpKind.XOR, _iv("h"), _ib(BinOpKind.SHR, _iv("h"), _i(16))), I32),
+        Store("out", aff("gx"), _iv("h"), I32),
+    )
+    kernel = Kernel(
+        name="murmur3_finalizer_kernel",
+        arrays=(ArrayDecl("keys", I32, "n"), ArrayDecl("out", I32, "n", is_output=True)),
+        params=(ScalarParam("n", I32),),
+        body=body,
+        work_items="n",
+    )
+    return assemble(
+        family="murmur_mix", variant=variant, language=language, rng=rng,
+        kernel=kernel, flags={"n": n}, binding_exprs={"n": "n"},
+        description="MurmurHash3 finalizer mix",
+    )
+
+
+@family("bit_reverse", "integer", tendency="bb")
+def build_bit_reverse(variant: int, language: Language):
+    rng = variant_rng("bit_reverse", variant, language)
+    n = draw_size_1d(rng)
+    body = (
+        Let("v", load("words", aff("gx"), I32), I32),
+        Assign("v", _ib(
+            BinOpKind.OR,
+            _ib(BinOpKind.SHR, _ib(BinOpKind.AND, _iv("v"), _i(-1431655766)), _i(1)),
+            _ib(BinOpKind.SHL, _ib(BinOpKind.AND, _iv("v"), _i(1431655765)), _i(1))), I32),
+        Assign("v", _ib(
+            BinOpKind.OR,
+            _ib(BinOpKind.SHR, _ib(BinOpKind.AND, _iv("v"), _i(-858993460)), _i(2)),
+            _ib(BinOpKind.SHL, _ib(BinOpKind.AND, _iv("v"), _i(858993459)), _i(2))), I32),
+        Assign("v", _ib(
+            BinOpKind.OR,
+            _ib(BinOpKind.SHR, _ib(BinOpKind.AND, _iv("v"), _i(-252645136)), _i(4)),
+            _ib(BinOpKind.SHL, _ib(BinOpKind.AND, _iv("v"), _i(252645135)), _i(4))), I32),
+        Assign("v", _ib(
+            BinOpKind.OR,
+            _ib(BinOpKind.SHR, _ib(BinOpKind.AND, _iv("v"), _i(-16711936)), _i(8)),
+            _ib(BinOpKind.SHL, _ib(BinOpKind.AND, _iv("v"), _i(16711935)), _i(8))), I32),
+        Store("out", aff("gx"),
+              _ib(BinOpKind.OR,
+                  _ib(BinOpKind.SHR, _iv("v"), _i(16)),
+                  _ib(BinOpKind.SHL, _iv("v"), _i(16))), I32),
+    )
+    kernel = Kernel(
+        name="bit_reverse_kernel",
+        arrays=(ArrayDecl("words", I32, "n"), ArrayDecl("out", I32, "n", is_output=True)),
+        params=(ScalarParam("n", I32),),
+        body=body,
+        work_items="n",
+    )
+    return assemble(
+        family="bit_reverse", variant=variant, language=language, rng=rng,
+        kernel=kernel, flags={"n": n}, binding_exprs={"n": "n"},
+        description="32-bit bit-reversal via mask-and-shift",
+    )
+
+
+@family("popcount_chunks", "integer", tendency="bb")
+def build_popcount(variant: int, language: Language):
+    rng = variant_rng("popcount_chunks", variant, language)
+    n = draw_size_1d(rng)
+    body = (
+        Let("v", load("words", aff("gx"), I32), I32),
+        Assign("v", sub(_iv("v"),
+                        _ib(BinOpKind.AND, _ib(BinOpKind.SHR, _iv("v"), _i(1)),
+                            _i(1431655765)), I32), I32),
+        Assign("v", add(_ib(BinOpKind.AND, _iv("v"), _i(858993459)),
+                        _ib(BinOpKind.AND, _ib(BinOpKind.SHR, _iv("v"), _i(2)),
+                            _i(858993459)), I32), I32),
+        Assign("v", _ib(BinOpKind.AND,
+                        add(_iv("v"), _ib(BinOpKind.SHR, _iv("v"), _i(4)), I32),
+                        _i(252645135)), I32),
+        Store("counts", aff("gx"),
+              _ib(BinOpKind.SHR, _ib(BinOpKind.MUL, _iv("v"), _i(16843009)), _i(24)), I32),
+    )
+    kernel = Kernel(
+        name="popcount_kernel",
+        arrays=(ArrayDecl("words", I32, "n"), ArrayDecl("counts", I32, "n", is_output=True)),
+        params=(ScalarParam("n", I32),),
+        body=body,
+        work_items="n",
+    )
+    return assemble(
+        family="popcount_chunks", variant=variant, language=language, rng=rng,
+        kernel=kernel, flags={"n": n}, binding_exprs={"n": "n"},
+        description="SWAR population count per word",
+    )
+
+
+@family("modexp", "integer", tendency="cb")
+def build_modexp(variant: int, language: Language):
+    rng = variant_rng("modexp", variant, language)
+    n = draw_size_1d(rng)
+    rounds = int(rng.choice([24, 32, 48]))
+    body = (
+        Let("base", load("bases", aff("gx"), I32), I32),
+        Let("result", _i(1), I32),
+        Let("e", load("exps", aff("gx"), I32), I32),
+        For(
+            "r", "rounds",
+            (
+                If(
+                    cond=_ib(BinOpKind.AND, _iv("e"), _i(1)),
+                    then=(
+                        Assign("result",
+                               _ib(BinOpKind.MOD,
+                                   _ib(BinOpKind.MUL, _iv("result"), _iv("base")),
+                                   _iv("modulus")), I32),
+                    ),
+                    taken_fraction=0.5,
+                ),
+                Assign("base",
+                       _ib(BinOpKind.MOD,
+                           _ib(BinOpKind.MUL, _iv("base"), _iv("base")),
+                           _iv("modulus")), I32),
+                Assign("e", _ib(BinOpKind.SHR, _iv("e"), _i(1)), I32),
+            ),
+        ),
+        Store("out", aff("gx"), _iv("result"), I32),
+    )
+    kernel = Kernel(
+        name="modexp_kernel",
+        arrays=(
+            ArrayDecl("bases", I32, "n"),
+            ArrayDecl("exps", I32, "n"),
+            ArrayDecl("out", I32, "n", is_output=True),
+        ),
+        params=(ScalarParam("modulus", I32), ScalarParam("rounds", I32), ScalarParam("n", I32)),
+        body=body,
+        work_items="n",
+    )
+    return assemble(
+        family="modexp", variant=variant, language=language, rng=rng,
+        kernel=kernel, flags={"n": n, "rounds": rounds},
+        binding_exprs={"modulus": 1000000007, "rounds": "rounds", "n": "n"},
+        description="square-and-multiply modular exponentiation",
+    )
+
+
+@family("bitonic_pass", "integer", tendency="bb")
+def build_bitonic(variant: int, language: Language):
+    rng = variant_rng("bitonic_pass", variant, language)
+    n = draw_size_1d(rng)
+    stride = int(rng.choice([1, 2, 4, 8]))
+    lo = Load("keys", aff("gx"), I32)
+    hi = Load("keys", aff("gx", const=stride), I32)
+    body = (
+        Let("a_val", lo, I32),
+        Let("b_val", hi, I32),
+        Let("lo_val", _ib(BinOpKind.MIN, _iv("a_val"), _iv("b_val")), I32),
+        Let("hi_val", _ib(BinOpKind.MAX, _iv("a_val"), _iv("b_val")), I32),
+        Store("out", aff("gx"), _iv("lo_val"), I32),
+        Store("out", aff("gx", const=stride), _iv("hi_val"), I32),
+    )
+    kernel = Kernel(
+        name="bitonic_compare_swap",
+        arrays=(ArrayDecl("keys", I32, "m"), ArrayDecl("out", I32, "m", is_output=True)),
+        params=(ScalarParam("n", I32),),
+        body=body,
+        work_items="n",
+    )
+    return assemble(
+        family="bitonic_pass", variant=variant, language=language, rng=rng,
+        kernel=kernel, flags={"n": n, "m": n + stride},
+        binding_exprs={"n": "n"},
+        description=f"bitonic compare-exchange pass at stride {stride}",
+    )
+
+
+@family("sha_rounds", "integer", tendency="cb")
+def build_sha_rounds(variant: int, language: Language):
+    rng = variant_rng("sha_rounds", variant, language)
+    n = int(rng.choice([1 << 17, 1 << 18, 1 << 19]))
+    rounds = int(rng.choice([48, 64, 80]))
+    body = (
+        Let("a_reg", load("msg", aff(("gx", 2)), I32), I32),
+        Let("b_reg", load("msg", aff(("gx", 2), const=1), I32), I32),
+        Let("c_reg", _i(0x67452301), I32),
+        For(
+            "r", "rounds",
+            (
+                Let("f_mix", _ib(
+                    BinOpKind.XOR,
+                    _ib(BinOpKind.AND, _iv("a_reg"), _iv("b_reg")),
+                    _ib(BinOpKind.AND,
+                        _ib(BinOpKind.XOR, _iv("a_reg"), _i(-1)), _iv("c_reg"))), I32),
+                Let("rot", _ib(
+                    BinOpKind.OR,
+                    _ib(BinOpKind.SHL, _iv("a_reg"), _i(5)),
+                    _ib(BinOpKind.SHR, _iv("a_reg"), _i(27))), I32),
+                Let("tmp_val", add(add(_iv("rot"), _iv("f_mix"), I32),
+                                   add(_iv("c_reg"), _i(0x5A827999), I32), I32), I32),
+                Assign("c_reg", _iv("b_reg"), I32),
+                Assign("b_reg",
+                       _ib(BinOpKind.OR,
+                           _ib(BinOpKind.SHL, _iv("a_reg"), _i(30)),
+                           _ib(BinOpKind.SHR, _iv("a_reg"), _i(2))), I32),
+                Assign("a_reg", _iv("tmp_val"), I32),
+            ),
+        ),
+        Store("digest", aff("gx"),
+              _ib(BinOpKind.XOR, _iv("a_reg"),
+                  _ib(BinOpKind.XOR, _iv("b_reg"), _iv("c_reg"))), I32),
+    )
+    kernel = Kernel(
+        name="sha1_round_kernel",
+        arrays=(
+            ArrayDecl("msg", I32, "2*n"),
+            ArrayDecl("digest", I32, "n", is_output=True),
+        ),
+        params=(ScalarParam("rounds", I32), ScalarParam("n", I32)),
+        body=body,
+        work_items="n",
+    )
+    return assemble(
+        family="sha_rounds", variant=variant, language=language, rng=rng,
+        kernel=kernel, flags={"n": n, "rounds": rounds},
+        binding_exprs={"rounds": "rounds", "n": "n"},
+        description="SHA-1 style round compression per message pair",
+    )
+
+
+@family("adler32_chunks", "integer", tendency="bb")
+def build_adler(variant: int, language: Language):
+    rng = variant_rng("adler32_chunks", variant, language)
+    n = draw_size_1d(rng)
+    chunk = int(rng.choice([8, 16, 32]))
+    body = (
+        Let("s1", _i(1), I32),
+        Let("s2", _i(0), I32),
+        For(
+            "k", "chunk",
+            (
+                Assign("s1",
+                       _ib(BinOpKind.MOD,
+                           add(_iv("s1"), load("data", aff(("gx", "chunk"), "k"), I32), I32),
+                           _i(65521)), I32),
+                Assign("s2", _ib(BinOpKind.MOD, add(_iv("s2"), _iv("s1"), I32), _i(65521)), I32),
+            ),
+        ),
+        Store("checksums", aff("gx"),
+              _ib(BinOpKind.OR, _ib(BinOpKind.SHL, _iv("s2"), _i(16)), _iv("s1")), I32),
+    )
+    kernel = Kernel(
+        name="adler32_kernel",
+        arrays=(
+            ArrayDecl("data", I32, "n*chunk"),
+            ArrayDecl("checksums", I32, "n", is_output=True),
+        ),
+        params=(ScalarParam("chunk", I32), ScalarParam("n", I32)),
+        body=body,
+        work_items="n",
+    )
+    return assemble(
+        family="adler32_chunks", variant=variant, language=language, rng=rng,
+        kernel=kernel, flags={"n": n, "chunk": chunk},
+        binding_exprs={"chunk": "chunk", "n": "n"},
+        description=f"Adler-32 checksum of {chunk}-word chunks",
+    )

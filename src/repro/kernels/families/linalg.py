@@ -1,0 +1,478 @@
+"""Dense linear-algebra families.
+
+GEMM-like kernels with O(n^3) arithmetic over O(n^2) data are the corpus's
+compute-bound anchors; transpose/GEMV-like kernels are bandwidth-bound with
+interesting coalescing behaviour. Tiled shared-memory variants are CUDA-only
+(their OpenMP ports in HeCBench are structurally different, so here they
+simply don't exist in OMP, as in the paper's uneven language coverage).
+"""
+
+from __future__ import annotations
+
+from repro.kernels.families import family
+from repro.kernels.families.helpers import assemble, variant_rng
+from repro.kernels.ir import (
+    ArrayDecl,
+    Assign,
+    AtomicAdd,
+    DType,
+    For,
+    Kernel,
+    Let,
+    ScalarParam,
+    Scope,
+    Store,
+    SyncThreads,
+    Var,
+    add,
+    aff,
+    fma,
+    load,
+    mul,
+    sub,
+    var,
+)
+from repro.types import Language
+
+
+def _dt(variant: int) -> DType:
+    return DType.F64 if variant in (1, 4) else DType.F32
+
+
+def _mat_side(rng, dt: DType) -> int:
+    if dt is DType.F64:
+        return int(rng.choice([256, 384, 512, 640, 768]))
+    return int(rng.choice([512, 640, 768, 1024, 1280]))
+
+
+@family("gemm_naive", "linalg", tendency="cb")
+def build_gemm_naive(variant: int, language: Language):
+    rng = variant_rng("gemm_naive", variant, language)
+    dt = _dt(variant)
+    n = _mat_side(rng, dt)
+    body = (
+        Let("acc", mul(var("beta", dt), load("c_mat", aff(("gy", "n"), "gx"), dt), dt), dt),
+        For(
+            "kk", "n",
+            (
+                Assign(
+                    "acc",
+                    fma(
+                        load("a_mat", aff(("gy", "n"), "kk"), dt),
+                        load("b_mat", aff(("kk", "n"), "gx"), dt),
+                        var("acc", dt),
+                        dt,
+                    ),
+                    dt,
+                ),
+            ),
+        ),
+        Store("c_mat", aff(("gy", "n"), "gx"), var("acc", dt), dt),
+    )
+    kernel = Kernel(
+        name="gemm_naive_kernel",
+        arrays=(
+            ArrayDecl("a_mat", dt, "n*n"),
+            ArrayDecl("b_mat", dt, "n*n"),
+            ArrayDecl("c_mat", dt, "n*n", is_output=True),
+        ),
+        params=(ScalarParam("beta", dt), ScalarParam("n", DType.I32)),
+        body=body,
+        work_items="n",
+        work_items_y="n",
+    )
+    return assemble(
+        family="gemm_naive", variant=variant, language=language, rng=rng,
+        kernel=kernel, flags={"n": n}, binding_exprs={"beta": 1, "n": "n"},
+        description="dense matrix multiply, one output element per thread",
+        block2d=(16, 16),
+    )
+
+
+@family("gemm_tiled", "linalg", tendency="cb", languages=(Language.CUDA,))
+def build_gemm_tiled(variant: int, language: Language):
+    rng = variant_rng("gemm_tiled", variant, language)
+    dt = _dt(variant)
+    n = _mat_side(rng, dt)
+    tile = 16
+    ntiles = n // tile
+    body = (
+        Let("acc", mul(var("beta", dt), load("c_mat", aff(("gy", "n"), "gx"), dt), dt), dt),
+        For(
+            "t", "ntiles",
+            (
+                # Stage one tile of A and B through shared memory.
+                Store(
+                    "tile_a", aff(("ly", tile), "lx"),
+                    load("a_mat", aff(("gy", "n"), ("t", tile), "lx"), dt), dt,
+                ),
+                Store(
+                    "tile_b", aff(("ly", tile), "lx"),
+                    load("b_mat", aff(("t", f"{tile}*n"), ("ly", "n"), "gx"), dt), dt,
+                ),
+                SyncThreads(),
+                For(
+                    "kk", tile,
+                    (
+                        Assign(
+                            "acc",
+                            fma(
+                                load("tile_a", aff(("ly", tile), "kk"), dt),
+                                load("tile_b", aff(("kk", tile), "lx"), dt),
+                                var("acc", dt),
+                                dt,
+                            ),
+                            dt,
+                        ),
+                    ),
+                    unroll=tile,
+                ),
+                SyncThreads(),
+            ),
+        ),
+        Store("c_mat", aff(("gy", "n"), "gx"), var("acc", dt), dt),
+    )
+    kernel = Kernel(
+        name="gemm_tiled_kernel",
+        arrays=(
+            ArrayDecl("a_mat", dt, "n*n"),
+            ArrayDecl("b_mat", dt, "n*n"),
+            ArrayDecl("c_mat", dt, "n*n", is_output=True),
+            ArrayDecl("tile_a", dt, tile * tile, Scope.SHARED),
+            ArrayDecl("tile_b", dt, tile * tile, Scope.SHARED),
+        ),
+        params=(
+            ScalarParam("beta", dt),
+            ScalarParam("n", DType.I32),
+            ScalarParam("ntiles", DType.I32),
+        ),
+        body=body,
+        work_items="n",
+        work_items_y="n",
+    )
+    return assemble(
+        family="gemm_tiled", variant=variant, language=language, rng=rng,
+        kernel=kernel, flags={"n": n, "ntiles": ntiles},
+        binding_exprs={"beta": 1, "n": "n", "ntiles": "ntiles"},
+        description="shared-memory tiled dense matrix multiply",
+        block2d=(tile, tile),
+    )
+
+
+@family("gemv_row", "linalg", tendency="bb")
+def build_gemv_row(variant: int, language: Language):
+    rng = variant_rng("gemv_row", variant, language)
+    dt = _dt(variant)
+    n = _mat_side(rng, dt)
+    body = (
+        Let("acc", mul(var("beta", dt), load("y", aff("gx"), dt), dt), dt),
+        For(
+            "k", "n",
+            (
+                Assign(
+                    "acc",
+                    fma(
+                        load("a_mat", aff(("gx", "n"), "k"), dt),
+                        load("x", aff("k"), dt),
+                        var("acc", dt),
+                        dt,
+                    ),
+                    dt,
+                ),
+            ),
+        ),
+        Store("y", aff("gx"), var("acc", dt), dt),
+    )
+    kernel = Kernel(
+        name="gemv_row_kernel",
+        arrays=(
+            ArrayDecl("a_mat", dt, "n*n"),
+            ArrayDecl("x", dt, "n"),
+            ArrayDecl("y", dt, "n", is_output=True),
+        ),
+        params=(ScalarParam("beta", dt), ScalarParam("n", DType.I32)),
+        body=body,
+        work_items="n",
+    )
+    return assemble(
+        family="gemv_row", variant=variant, language=language, rng=rng,
+        kernel=kernel, flags={"n": n}, binding_exprs={"beta": 0, "n": "n"},
+        description="matrix-vector product, one row per thread (row-major reads)",
+    )
+
+
+@family("gemv_col", "linalg", tendency="bb")
+def build_gemv_col(variant: int, language: Language):
+    rng = variant_rng("gemv_col", variant, language)
+    dt = _dt(variant)
+    n = _mat_side(rng, dt)
+    body = (
+        Let("acc", mul(var("beta", dt), load("y", aff("gx"), dt), dt), dt),
+        For(
+            "k", "n",
+            (
+                Assign(
+                    "acc",
+                    fma(
+                        load("a_mat", aff(("k", "n"), "gx"), dt),
+                        load("x", aff("k"), dt),
+                        var("acc", dt),
+                        dt,
+                    ),
+                    dt,
+                ),
+            ),
+        ),
+        Store("y", aff("gx"), var("acc", dt), dt),
+    )
+    kernel = Kernel(
+        name="gemv_col_kernel",
+        arrays=(
+            ArrayDecl("a_mat", dt, "n*n"),
+            ArrayDecl("x", dt, "n"),
+            ArrayDecl("y", dt, "n", is_output=True),
+        ),
+        params=(ScalarParam("beta", dt), ScalarParam("n", DType.I32)),
+        body=body,
+        work_items="n",
+    )
+    return assemble(
+        family="gemv_col", variant=variant, language=language, rng=rng,
+        kernel=kernel, flags={"n": n}, binding_exprs={"beta": 0, "n": "n"},
+        description="transposed matrix-vector product with coalesced reads",
+    )
+
+
+@family("ger_rank1", "linalg", tendency="bb")
+def build_ger(variant: int, language: Language):
+    rng = variant_rng("ger_rank1", variant, language)
+    dt = _dt(variant)
+    n = _mat_side(rng, dt)
+    body = (
+        Store(
+            "a_mat", aff(("gy", "n"), "gx"),
+            fma(
+                mul(var("alpha", dt), load("x", aff("gy"), dt), dt),
+                load("y", aff("gx"), dt),
+                load("a_mat", aff(("gy", "n"), "gx"), dt),
+                dt,
+            ),
+            dt,
+        ),
+    )
+    kernel = Kernel(
+        name="ger_kernel",
+        arrays=(
+            ArrayDecl("a_mat", dt, "n*n", is_output=True),
+            ArrayDecl("x", dt, "n"),
+            ArrayDecl("y", dt, "n"),
+        ),
+        params=(ScalarParam("alpha", dt), ScalarParam("n", DType.I32)),
+        body=body,
+        work_items="n",
+        work_items_y="n",
+    )
+    return assemble(
+        family="ger_rank1", variant=variant, language=language, rng=rng,
+        kernel=kernel, flags={"n": n}, binding_exprs={"alpha": 2, "n": "n"},
+        description="rank-1 update A += alpha * x * y^T", block2d=(32, 8),
+    )
+
+
+@family("outer_product", "linalg", tendency="bb")
+def build_outer_product(variant: int, language: Language):
+    rng = variant_rng("outer_product", variant, language)
+    dt = _dt(variant)
+    n = _mat_side(rng, dt)
+    body = (
+        Store(
+            "a_mat", aff(("gy", "n"), "gx"),
+            mul(load("x", aff("gy"), dt), load("y", aff("gx"), dt), dt),
+            dt,
+        ),
+    )
+    kernel = Kernel(
+        name="outer_product_kernel",
+        arrays=(
+            ArrayDecl("a_mat", dt, "n*n", is_output=True),
+            ArrayDecl("x", dt, "n"),
+            ArrayDecl("y", dt, "n"),
+        ),
+        params=(ScalarParam("n", DType.I32),),
+        body=body,
+        work_items="n",
+        work_items_y="n",
+    )
+    return assemble(
+        family="outer_product", variant=variant, language=language, rng=rng,
+        kernel=kernel, flags={"n": n}, binding_exprs={"n": "n"},
+        description="outer product A = x * y^T", block2d=(32, 8),
+    )
+
+
+@family("syrk_naive", "linalg", tendency="cb")
+def build_syrk(variant: int, language: Language):
+    rng = variant_rng("syrk_naive", variant, language)
+    dt = _dt(variant)
+    n = _mat_side(rng, dt)
+    body = (
+        Let("acc", mul(var("beta", dt), load("c_mat", aff(("gy", "n"), "gx"), dt), dt), dt),
+        For(
+            "k", "n",
+            (
+                Assign(
+                    "acc",
+                    fma(
+                        load("a_mat", aff(("gy", "n"), "k"), dt),
+                        load("a_mat", aff(("gx", "n"), "k"), dt),
+                        var("acc", dt),
+                        dt,
+                    ),
+                    dt,
+                ),
+            ),
+        ),
+        Store("c_mat", aff(("gy", "n"), "gx"), var("acc", dt), dt),
+    )
+    kernel = Kernel(
+        name="syrk_kernel",
+        arrays=(
+            ArrayDecl("a_mat", dt, "n*n"),
+            ArrayDecl("c_mat", dt, "n*n", is_output=True),
+        ),
+        params=(ScalarParam("beta", dt), ScalarParam("n", DType.I32)),
+        body=body,
+        work_items="n",
+        work_items_y="n",
+    )
+    return assemble(
+        family="syrk_naive", variant=variant, language=language, rng=rng,
+        kernel=kernel, flags={"n": n}, binding_exprs={"beta": 1, "n": "n"},
+        description="symmetric rank-k update C = A * A^T + beta * C",
+        block2d=(16, 16),
+    )
+
+
+@family("transpose_naive", "linalg", tendency="bb")
+def build_transpose(variant: int, language: Language):
+    rng = variant_rng("transpose_naive", variant, language)
+    dt = _dt(variant)
+    n = _mat_side(rng, dt)
+    body = (
+        Store(
+            "out", aff(("gx", "n"), "gy"),
+            load("in_mat", aff(("gy", "n"), "gx"), dt), dt,
+        ),
+    )
+    kernel = Kernel(
+        name="transpose_kernel",
+        arrays=(
+            ArrayDecl("in_mat", dt, "n*n"),
+            ArrayDecl("out", dt, "n*n", is_output=True),
+        ),
+        params=(ScalarParam("n", DType.I32),),
+        body=body,
+        work_items="n",
+        work_items_y="n",
+    )
+    return assemble(
+        family="transpose_naive", variant=variant, language=language, rng=rng,
+        kernel=kernel, flags={"n": n}, binding_exprs={"n": "n"},
+        description="out-of-place matrix transpose (uncoalesced writes)",
+        block2d=(16, 16),
+    )
+
+
+@family("batch_gemm4", "linalg", tendency="mixed", languages=(Language.CUDA,))
+def build_batch_gemm4(variant: int, language: Language):
+    rng = variant_rng("batch_gemm4", variant, language)
+    dt = _dt(variant)
+    nb = int(rng.choice([1 << 16, 1 << 17, 1 << 18]))
+    m = 4  # 4x4 blocks, one per thread
+    inner: list = []
+    # fully unrolled 4x4x4 micro-GEMM on per-thread registers
+    body: list = []
+    for i in range(m):
+        for j in range(m):
+            body.append(
+                Let(f"c{i}{j}", mul(var("beta", dt),
+                    load("cs", aff(("gx", m * m), const=i * m + j), dt), dt), dt)
+            )
+    for i in range(m):
+        for j in range(m):
+            for k in range(m):
+                body.append(
+                    Assign(
+                        f"c{i}{j}",
+                        fma(
+                            load("as_", aff(("gx", m * m), const=i * m + k), dt),
+                            load("bs", aff(("gx", m * m), const=k * m + j), dt),
+                            var(f"c{i}{j}", dt),
+                            dt,
+                        ),
+                        dt,
+                    )
+                )
+    for i in range(m):
+        for j in range(m):
+            body.append(
+                Store("cs", aff(("gx", m * m), const=i * m + j), var(f"c{i}{j}", dt), dt)
+            )
+    kernel = Kernel(
+        name="batched_gemm4_kernel",
+        arrays=(
+            ArrayDecl("as_", dt, f"{m * m}*nb"),
+            ArrayDecl("bs", dt, f"{m * m}*nb"),
+            ArrayDecl("cs", dt, f"{m * m}*nb", is_output=True),
+        ),
+        params=(ScalarParam("beta", dt), ScalarParam("nb", DType.I32)),
+        body=tuple(body),
+        work_items="nb",
+    )
+    return assemble(
+        family="batch_gemm4", variant=variant, language=language, rng=rng,
+        kernel=kernel, flags={"nb": nb}, binding_exprs={"beta": 1, "nb": "nb"},
+        description="batched 4x4 matrix multiply, one block per thread",
+    )
+
+
+@family("row_dots", "linalg", tendency="bb")
+def build_row_dots(variant: int, language: Language):
+    rng = variant_rng("row_dots", variant, language)
+    dt = _dt(variant)
+    n = _mat_side(rng, dt)
+    body = (
+        Let("acc", mul(var("zero", dt), var("zero", dt), dt), dt),
+        For(
+            "k", "n",
+            (
+                Assign(
+                    "acc",
+                    fma(
+                        load("a_mat", aff(("gx", "n"), "k"), dt),
+                        load("b_mat", aff(("gx", "n"), "k"), dt),
+                        var("acc", dt),
+                        dt,
+                    ),
+                    dt,
+                ),
+            ),
+        ),
+        Store("d", aff("gx"), var("acc", dt), dt),
+    )
+    kernel = Kernel(
+        name="rowwise_dot_kernel",
+        arrays=(
+            ArrayDecl("a_mat", dt, "n*n"),
+            ArrayDecl("b_mat", dt, "n*n"),
+            ArrayDecl("d", dt, "n", is_output=True),
+        ),
+        params=(ScalarParam("zero", dt), ScalarParam("n", DType.I32)),
+        body=body,
+        work_items="n",
+    )
+    return assemble(
+        family="row_dots", variant=variant, language=language, rng=rng,
+        kernel=kernel, flags={"n": n}, binding_exprs={"zero": 0, "n": "n"},
+        description="per-row dot products d[i] = A[i,:] . B[i,:]",
+    )

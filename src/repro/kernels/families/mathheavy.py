@@ -1,0 +1,889 @@
+"""Math-intensive pointwise and iterative families.
+
+Iteration-heavy per-element kernels (fractals, series expansions, fixed-point
+solvers) are the single-precision compute-bound population; the pointwise
+transcendental kernels (Black-Scholes, GELU) sit well under the SP balance
+point but hop across the DP one when built in double precision — the same
+precision-dependent flip the paper's Figure 1 shows.
+"""
+
+from __future__ import annotations
+
+from repro.kernels.families import family
+from repro.kernels.families.helpers import (
+    assemble,
+    draw_iters,
+    draw_size_1d,
+    variant_rng,
+)
+from repro.kernels.ir import (
+    ArrayDecl,
+    Assign,
+    BinOp,
+    BinOpKind,
+    Call,
+    CallFn,
+    Cast,
+    Const,
+    DType,
+    For,
+    If,
+    Kernel,
+    Let,
+    ScalarParam,
+    Select,
+    Store,
+    Var,
+    add,
+    aff,
+    call,
+    div,
+    fma,
+    load,
+    mul,
+    sub,
+    var,
+)
+from repro.types import Language
+
+
+def _dt(variant: int) -> DType:
+    return DType.F64 if variant in (0, 1, 3) else DType.F32
+
+
+def _c(v: float, dt: DType) -> Const:
+    return Const(v, dt)
+
+
+@family("blackscholes", "mathheavy", tendency="mixed")
+def build_blackscholes(variant: int, language: Language):
+    rng = variant_rng("blackscholes", variant, language)
+    dt = _dt(variant)
+    n = draw_size_1d(rng)
+    s = var("s", dt)
+    body = (
+        Let("s", load("price", aff("gx"), dt), dt),
+        Let("x", load("strike", aff("gx"), dt), dt),
+        Let("t", load("expiry", aff("gx"), dt), dt),
+        Let("sqrt_t", call(CallFn.SQRT, var("t", dt), dtype=dt), dt),
+        Let(
+            "d1",
+            div(
+                add(
+                    call(CallFn.LOG, div(s, var("x", dt), dt), dtype=dt),
+                    mul(
+                        add(var("rate", dt),
+                            mul(_c(0.5, dt), mul(var("vol", dt), var("vol", dt), dt), dt), dt),
+                        var("t", dt),
+                        dt,
+                    ),
+                    dt,
+                ),
+                mul(var("vol", dt), var("sqrt_t", dt), dt),
+                dt,
+            ),
+            dt,
+        ),
+        Let("d2", sub(var("d1", dt), mul(var("vol", dt), var("sqrt_t", dt), dt), dt), dt),
+        Let(
+            "nd1",
+            mul(_c(0.5, dt),
+                add(_c(1.0, dt),
+                    call(CallFn.ERF, mul(var("d1", dt), _c(0.7071067811865475, dt), dt),
+                         dtype=dt), dt), dt),
+            dt,
+        ),
+        Let(
+            "nd2",
+            mul(_c(0.5, dt),
+                add(_c(1.0, dt),
+                    call(CallFn.ERF, mul(var("d2", dt), _c(0.7071067811865475, dt), dt),
+                         dtype=dt), dt), dt),
+            dt,
+        ),
+        Let(
+            "disc",
+            call(CallFn.EXP,
+                 sub(_c(0.0, dt), mul(var("rate", dt), var("t", dt), dt), dt), dtype=dt),
+            dt,
+        ),
+        Store(
+            "call_out", aff("gx"),
+            sub(mul(s, var("nd1", dt), dt),
+                mul(mul(var("x", dt), var("disc", dt), dt), var("nd2", dt), dt), dt),
+            dt,
+        ),
+        Store(
+            "put_out", aff("gx"),
+            add(
+                sub(mul(mul(var("x", dt), var("disc", dt), dt),
+                        sub(_c(1.0, dt), var("nd2", dt), dt), dt),
+                    mul(s, sub(_c(1.0, dt), var("nd1", dt), dt), dt), dt),
+                mul(_c(0.0, dt), s, dt),
+                dt,
+            ),
+            dt,
+        ),
+    )
+    kernel = Kernel(
+        name="black_scholes_kernel",
+        arrays=(
+            ArrayDecl("price", dt, "n"),
+            ArrayDecl("strike", dt, "n"),
+            ArrayDecl("expiry", dt, "n"),
+            ArrayDecl("call_out", dt, "n", is_output=True),
+            ArrayDecl("put_out", dt, "n", is_output=True),
+        ),
+        params=(ScalarParam("rate", dt), ScalarParam("vol", dt), ScalarParam("n", DType.I32)),
+        body=body,
+        work_items="n",
+    )
+    return assemble(
+        family="blackscholes", variant=variant, language=language, rng=rng,
+        kernel=kernel, flags={"n": n}, binding_exprs={"rate": 0, "vol": 1, "n": "n"},
+        description="European option pricing via the Black-Scholes formula",
+    )
+
+
+def _escape_iteration(name: str, family_name: str, cx_expr, cy_expr, description: str):
+    """Shared structure of mandelbrot/julia-style escape-time fractals."""
+
+    def build(variant: int, language: Language):
+        rng = variant_rng(family_name, variant, language)
+        dt = _dt(variant)
+        side = int(rng.choice([1024, 1536, 2048, 3072]))
+        max_iter = int(rng.choice([128, 256, 512]))
+        dtv = dt
+        body = (
+            Let("cx", cx_expr(dtv), dtv),
+            Let("cy", cy_expr(dtv), dtv),
+            Let("zx", mul(_c(0.0, dtv), var("cx", dtv), dtv), dtv),
+            Let("zy", mul(_c(0.0, dtv), var("cy", dtv), dtv), dtv),
+            Let("count", Const(0, DType.I32), DType.I32),
+            For(
+                "it", "max_iter",
+                (
+                    Let("zx2", mul(var("zx", dtv), var("zx", dtv), dtv), dtv),
+                    Let("zy2", mul(var("zy", dtv), var("zy", dtv), dtv), dtv),
+                    If(
+                        cond=BinOp(
+                            BinOpKind.LE,
+                            add(var("zx2", dtv), var("zy2", dtv), dtv),
+                            _c(4.0, dtv),
+                            DType.I32,
+                        ),
+                        then=(
+                            Assign(
+                                "zy",
+                                fma(mul(_c(2.0, dtv), var("zx", dtv), dtv),
+                                    var("zy", dtv), var("cy", dtv), dtv),
+                                dtv,
+                            ),
+                            Assign(
+                                "zx",
+                                add(sub(var("zx2", dtv), var("zy2", dtv), dtv),
+                                    var("cx", dtv), dtv),
+                                dtv,
+                            ),
+                            Assign(
+                                "count",
+                                add(var("count", DType.I32), Const(1, DType.I32), DType.I32),
+                                DType.I32,
+                            ),
+                        ),
+                        taken_fraction=0.55,
+                    ),
+                ),
+            ),
+            Store("iters", aff(("gy", "nx"), "gx"), var("count", DType.I32), DType.I32),
+        )
+        kernel = Kernel(
+            name=name,
+            arrays=(ArrayDecl("iters", DType.I32, "nx*ny", is_output=True),),
+            params=(
+                ScalarParam("scale", dtv),
+                ScalarParam("max_iter", DType.I32),
+                ScalarParam("nx", DType.I32),
+                ScalarParam("ny", DType.I32),
+            ),
+            body=body,
+            work_items="nx",
+            work_items_y="ny",
+        )
+        return assemble(
+            family=family_name, variant=variant, language=language, rng=rng,
+            kernel=kernel, flags={"nx": side, "ny": side, "max_iter": max_iter},
+            binding_exprs={"scale": 1, "max_iter": "max_iter", "nx": "nx", "ny": "ny"},
+            description=description, block2d=(32, 8),
+        )
+
+    return build
+
+
+def _pixel_x(dtv):
+    return mul(
+        var("scale", dtv),
+        sub(Cast(Var("gx", DType.I32), dtv), _c(512.0, dtv), dtv),
+        dtv,
+    )
+
+
+def _pixel_y(dtv):
+    return mul(
+        var("scale", dtv),
+        sub(Cast(Var("gy", DType.I32), dtv), _c(512.0, dtv), dtv),
+        dtv,
+    )
+
+
+family("mandelbrot", "mathheavy", tendency="cb")(
+    _escape_iteration(
+        "mandelbrot_kernel", "mandelbrot", _pixel_x, _pixel_y,
+        "Mandelbrot escape-time iteration per pixel",
+    )
+)
+
+family("julia_set", "mathheavy", tendency="cb")(
+    _escape_iteration(
+        "julia_kernel", "julia_set", _pixel_x, _pixel_y,
+        "Julia-set escape-time iteration per pixel",
+    )
+)
+
+
+@family("newton_roots", "mathheavy", tendency="cb")
+def build_newton(variant: int, language: Language):
+    rng = variant_rng("newton_roots", variant, language)
+    dt = _dt(variant)
+    n = draw_size_1d(rng)
+    iters = int(rng.choice([32, 48, 64]))
+    # Newton iteration for cube root: x <- (2x + a/x^2) / 3
+    body = (
+        Let("a_val", load("a_in", aff("gx"), dt), dt),
+        Let("x", add(mul(_c(0.5, dt), var("a_val", dt), dt), _c(1.0, dt), dt), dt),
+        For(
+            "it", "iters",
+            (
+                Let("x2", mul(var("x", dt), var("x", dt), dt), dt),
+                Assign(
+                    "x",
+                    mul(
+                        _c(0.3333333, dt),
+                        add(mul(_c(2.0, dt), var("x", dt), dt),
+                            div(var("a_val", dt), var("x2", dt), dt), dt),
+                        dt,
+                    ),
+                    dt,
+                ),
+            ),
+        ),
+        Store("root", aff("gx"), var("x", dt), dt),
+    )
+    kernel = Kernel(
+        name="newton_cbrt_kernel",
+        arrays=(ArrayDecl("a_in", dt, "n"), ArrayDecl("root", dt, "n", is_output=True)),
+        params=(ScalarParam("iters", DType.I32), ScalarParam("n", DType.I32)),
+        body=body,
+        work_items="n",
+    )
+    return assemble(
+        family="newton_roots", variant=variant, language=language, rng=rng,
+        kernel=kernel, flags={"n": n, "iters": iters},
+        binding_exprs={"iters": "iters", "n": "n"},
+        description="per-element Newton iteration for cube roots",
+    )
+
+
+@family("logistic_map", "mathheavy", tendency="cb")
+def build_logistic(variant: int, language: Language):
+    rng = variant_rng("logistic_map", variant, language)
+    dt = _dt(variant)
+    n = draw_size_1d(rng)
+    iters = draw_iters(rng)
+    body = (
+        Let("x", load("x0", aff("gx"), dt), dt),
+        For(
+            "it", "iters",
+            (
+                Assign(
+                    "x",
+                    mul(mul(var("r", dt), var("x", dt), dt),
+                        sub(_c(1.0, dt), var("x", dt), dt), dt),
+                    dt,
+                ),
+            ),
+        ),
+        Store("x_out", aff("gx"), var("x", dt), dt),
+    )
+    kernel = Kernel(
+        name="logistic_map_kernel",
+        arrays=(ArrayDecl("x0", dt, "n"), ArrayDecl("x_out", dt, "n", is_output=True)),
+        params=(ScalarParam("r", dt), ScalarParam("iters", DType.I32), ScalarParam("n", DType.I32)),
+        body=body,
+        work_items="n",
+    )
+    return assemble(
+        family="logistic_map", variant=variant, language=language, rng=rng,
+        kernel=kernel, flags={"n": n, "iters": iters},
+        binding_exprs={"r": 3, "iters": "iters", "n": "n"},
+        description="iterated logistic map orbit computation",
+    )
+
+
+@family("mc_pi", "mathheavy", tendency="cb")
+def build_mc_pi(variant: int, language: Language):
+    rng = variant_rng("mc_pi", variant, language)
+    dt = DType.F32
+    n = int(rng.choice([1 << 17, 1 << 18, 1 << 19]))
+    trials = int(rng.choice([128, 256, 512]))
+    i32 = DType.I32
+    xorshift = (
+        Assign("state", BinOp(BinOpKind.XOR, var("state", i32),
+                              BinOp(BinOpKind.SHL, var("state", i32), Const(13, i32), i32),
+                              i32), i32),
+        Assign("state", BinOp(BinOpKind.XOR, var("state", i32),
+                              BinOp(BinOpKind.SHR, var("state", i32), Const(17, i32), i32),
+                              i32), i32),
+        Assign("state", BinOp(BinOpKind.XOR, var("state", i32),
+                              BinOp(BinOpKind.SHL, var("state", i32), Const(5, i32), i32),
+                              i32), i32),
+    )
+    body = (
+        Let("state", BinOp(BinOpKind.ADD, Var("gx", i32), Const(12345, i32), i32), i32),
+        Let("hits", Const(0, i32), i32),
+        For(
+            "t", "trials",
+            xorshift
+            + (
+                Let("ux", mul(Cast(BinOp(BinOpKind.AND, var("state", i32),
+                                         Const(0xFFFF, i32), i32), dt),
+                              _c(1.0 / 65536.0, dt), dt), dt),
+            )
+            + xorshift
+            + (
+                Let("uy", mul(Cast(BinOp(BinOpKind.AND, var("state", i32),
+                                         Const(0xFFFF, i32), i32), dt),
+                              _c(1.0 / 65536.0, dt), dt), dt),
+                Let("d2", fma(var("ux", dt), var("ux", dt),
+                              mul(var("uy", dt), var("uy", dt), dt), dt), dt),
+                Assign(
+                    "hits",
+                    add(var("hits", i32),
+                        Select(BinOp(BinOpKind.LE, var("d2", dt), _c(1.0, dt), i32),
+                               Const(1, i32), Const(0, i32), i32), i32),
+                    i32,
+                ),
+            ),
+        ),
+        Store("counts", aff("gx"), var("hits", i32), i32),
+    )
+    kernel = Kernel(
+        name="monte_carlo_pi",
+        arrays=(ArrayDecl("counts", i32, "n", is_output=True),),
+        params=(ScalarParam("trials", i32), ScalarParam("n", i32)),
+        body=body,
+        work_items="n",
+    )
+    return assemble(
+        family="mc_pi", variant=variant, language=language, rng=rng,
+        kernel=kernel, flags={"n": n, "trials": trials},
+        binding_exprs={"trials": "trials", "n": "n"},
+        description="Monte-Carlo pi estimation with xorshift PRNG",
+    )
+
+
+@family("binomial_option", "mathheavy", tendency="cb")
+def build_binomial(variant: int, language: Language):
+    rng = variant_rng("binomial_option", variant, language)
+    dt = _dt(variant)
+    n = int(rng.choice([1 << 15, 1 << 16, 1 << 17]))
+    steps = int(rng.choice([64, 96, 128]))
+    body = (
+        Let("s0", load("price", aff("gx"), dt), dt),
+        Let("value", mul(_c(0.0, dt), var("s0", dt), dt), dt),
+        For(
+            "i", "steps",
+            (
+                Let(
+                    "node",
+                    mul(var("s0", dt),
+                        call(CallFn.EXP,
+                             mul(var("sigma", dt),
+                                 sub(mul(_c(2.0, dt), Cast(Var("i", DType.I32), dt), dt),
+                                     var("steps_f", dt), dt), dt),
+                             dtype=dt), dt),
+                    dt,
+                ),
+                Let(
+                    "payoff",
+                    BinOp(BinOpKind.MAX,
+                          sub(var("node", dt), var("strike", dt), dt),
+                          _c(0.0, dt), dt),
+                    dt,
+                ),
+                Assign("value",
+                       fma(var("payoff", dt), var("disc", dt), var("value", dt), dt), dt),
+            ),
+        ),
+        Store("option", aff("gx"), var("value", dt), dt),
+    )
+    kernel = Kernel(
+        name="binomial_option_kernel",
+        arrays=(ArrayDecl("price", dt, "n"), ArrayDecl("option", dt, "n", is_output=True)),
+        params=(
+            ScalarParam("sigma", dt),
+            ScalarParam("strike", dt),
+            ScalarParam("disc", dt),
+            ScalarParam("steps_f", dt),
+            ScalarParam("steps", DType.I32),
+            ScalarParam("n", DType.I32),
+        ),
+        body=body,
+        work_items="n",
+    )
+    return assemble(
+        family="binomial_option", variant=variant, language=language, rng=rng,
+        kernel=kernel, flags={"n": n, "steps": steps},
+        binding_exprs={
+            "sigma": 1, "strike": 100, "disc": 1, "steps_f": steps,
+            "steps": "steps", "n": "n",
+        },
+        description="binomial-tree option valuation per element",
+    )
+
+
+@family("gelu_map", "mathheavy", tendency="mixed")
+def build_gelu(variant: int, language: Language):
+    rng = variant_rng("gelu_map", variant, language)
+    dt = _dt(variant)
+    n = draw_size_1d(rng)
+    x = var("x", dt)
+    inner = mul(
+        _c(0.7978845608, dt),
+        fma(mul(_c(0.044715, dt), mul(x, x, dt), dt), x, x, dt),
+        dt,
+    )
+    body = (
+        Let("x", load("inp", aff("gx"), dt), dt),
+        Store(
+            "out", aff("gx"),
+            mul(mul(_c(0.5, dt), x, dt),
+                add(_c(1.0, dt), call(CallFn.TANH, inner, dtype=dt), dt), dt),
+            dt,
+        ),
+    )
+    kernel = Kernel(
+        name="gelu_kernel",
+        arrays=(ArrayDecl("inp", dt, "n"), ArrayDecl("out", dt, "n", is_output=True)),
+        params=(ScalarParam("n", DType.I32),),
+        body=body,
+        work_items="n",
+    )
+    return assemble(
+        family="gelu_map", variant=variant, language=language, rng=rng,
+        kernel=kernel, flags={"n": n}, binding_exprs={"n": "n"},
+        description="tanh-approximation GELU activation",
+    )
+
+
+@family("softplus_chain", "mathheavy", tendency="mixed")
+def build_softplus(variant: int, language: Language):
+    rng = variant_rng("softplus_chain", variant, language)
+    dt = _dt(variant)
+    n = draw_size_1d(rng)
+    depth = int(rng.choice([4, 6, 8]))
+    body: list = [Let("x", load("inp", aff("gx"), dt), dt)]
+    for _ in range(depth):
+        body.append(
+            Assign(
+                "x",
+                call(CallFn.LOG,
+                     add(_c(1.0, dt), call(CallFn.EXP, var("x", dt), dtype=dt), dt),
+                     dtype=dt),
+                dt,
+            )
+        )
+    body.append(Store("out", aff("gx"), var("x", dt), dt))
+    kernel = Kernel(
+        name="softplus_chain_kernel",
+        arrays=(ArrayDecl("inp", dt, "n"), ArrayDecl("out", dt, "n", is_output=True)),
+        params=(ScalarParam("n", DType.I32),),
+        body=tuple(body),
+        work_items="n",
+    )
+    return assemble(
+        family="softplus_chain", variant=variant, language=language, rng=rng,
+        kernel=kernel, flags={"n": n}, binding_exprs={"n": "n"},
+        description=f"chain of {depth} softplus activations",
+    )
+
+
+@family("bessel_series", "mathheavy", tendency="mixed")
+def build_bessel(variant: int, language: Language):
+    rng = variant_rng("bessel_series", variant, language)
+    dt = _dt(variant)
+    n = draw_size_1d(rng)
+    terms = int(rng.choice([16, 24, 32]))
+    body = (
+        Let("x", load("inp", aff("gx"), dt), dt),
+        Let("x2", mul(mul(_c(0.25, dt), var("x", dt), dt), var("x", dt), dt), dt),
+        Let("term", _c(1.0, dt), dt),
+        Let("acc", _c(1.0, dt), dt),
+        For(
+            "k1", "terms",
+            (
+                Let("kf", Cast(add(Var("k1", DType.I32), Const(1, DType.I32), DType.I32), dt), dt),
+                Assign(
+                    "term",
+                    div(mul(var("term", dt), var("x2", dt), dt),
+                        mul(var("kf", dt), var("kf", dt), dt), dt),
+                    dt,
+                ),
+                Assign("acc", sub(var("acc", dt), var("term", dt), dt), dt),
+            ),
+        ),
+        Store("out", aff("gx"), var("acc", dt), dt),
+    )
+    kernel = Kernel(
+        name="bessel_j0_series",
+        arrays=(ArrayDecl("inp", dt, "n"), ArrayDecl("out", dt, "n", is_output=True)),
+        params=(ScalarParam("terms", DType.I32), ScalarParam("n", DType.I32)),
+        body=body,
+        work_items="n",
+    )
+    return assemble(
+        family="bessel_series", variant=variant, language=language, rng=rng,
+        kernel=kernel, flags={"n": n, "terms": terms},
+        binding_exprs={"terms": "terms", "n": "n"},
+        description="Bessel J0 power-series evaluation",
+    )
+
+
+@family("horner_poly", "mathheavy", tendency="mixed")
+def build_horner(variant: int, language: Language):
+    rng = variant_rng("horner_poly", variant, language)
+    dt = _dt(variant)
+    n = draw_size_1d(rng)
+    degree = int(rng.choice([31, 63, 127]))
+    body = (
+        Let("x", load("inp", aff("gx"), dt), dt),
+        Let("acc", load("coef", aff(const=0), dt), dt),
+        For(
+            "d", "degree",
+            (
+                Assign(
+                    "acc",
+                    fma(var("acc", dt), var("x", dt),
+                        load("coef", aff("d", const=1), dt), dt),
+                    dt,
+                ),
+            ),
+        ),
+        Store("out", aff("gx"), var("acc", dt), dt),
+    )
+    kernel = Kernel(
+        name="horner_eval_kernel",
+        arrays=(
+            ArrayDecl("inp", dt, "n"),
+            ArrayDecl("coef", dt, "m"),
+            ArrayDecl("out", dt, "n", is_output=True),
+        ),
+        params=(ScalarParam("degree", DType.I32), ScalarParam("n", DType.I32)),
+        body=body,
+        work_items="n",
+    )
+    return assemble(
+        family="horner_poly", variant=variant, language=language, rng=rng,
+        kernel=kernel, flags={"n": n, "degree": degree, "m": degree + 1},
+        binding_exprs={"degree": "degree", "n": "n"},
+        description=f"degree-{degree} polynomial Horner evaluation",
+    )
+
+
+@family("cordic_rotate", "mathheavy", tendency="cb")
+def build_cordic(variant: int, language: Language):
+    rng = variant_rng("cordic_rotate", variant, language)
+    dt = DType.F32
+    i32 = DType.I32
+    n = draw_size_1d(rng)
+    rounds = int(rng.choice([24, 32, 48]))
+    body = (
+        Let("x", load("xs", aff("gx"), dt), dt),
+        Let("y", load("ys", aff("gx"), dt), dt),
+        Let("z", load("angle", aff("gx"), dt), dt),
+        For(
+            "k", "rounds",
+            (
+                Let("pw", call(CallFn.EXP,
+                               mul(_c(-0.6931472, dt), Cast(Var("k", i32), dt), dt),
+                               dtype=dt), dt),
+                Let(
+                    "sigma",
+                    Select(BinOp(BinOpKind.GE, var("z", dt), _c(0.0, dt), i32),
+                           _c(1.0, dt), _c(-1.0, dt), dt),
+                    dt,
+                ),
+                Let("xn", sub(var("x", dt),
+                              mul(mul(var("sigma", dt), var("pw", dt), dt),
+                                  var("y", dt), dt), dt), dt),
+                Assign("y", fma(mul(var("sigma", dt), var("pw", dt), dt),
+                                var("x", dt), var("y", dt), dt), dt),
+                Assign("x", var("xn", dt), dt),
+                Assign("z", sub(var("z", dt),
+                                mul(var("sigma", dt),
+                                    load("atan_tab", aff("k"), dt), dt), dt), dt),
+            ),
+        ),
+        Store("xs_out", aff("gx"), var("x", dt), dt),
+        Store("ys_out", aff("gx"), var("y", dt), dt),
+    )
+    kernel = Kernel(
+        name="cordic_rotation_kernel",
+        arrays=(
+            ArrayDecl("xs", dt, "n"),
+            ArrayDecl("ys", dt, "n"),
+            ArrayDecl("angle", dt, "n"),
+            ArrayDecl("atan_tab", dt, "rounds"),
+            ArrayDecl("xs_out", dt, "n", is_output=True),
+            ArrayDecl("ys_out", dt, "n", is_output=True),
+        ),
+        params=(ScalarParam("rounds", i32), ScalarParam("n", i32)),
+        body=body,
+        work_items="n",
+    )
+    return assemble(
+        family="cordic_rotate", variant=variant, language=language, rng=rng,
+        kernel=kernel, flags={"n": n, "rounds": rounds},
+        binding_exprs={"rounds": "rounds", "n": "n"},
+        description="CORDIC vector rotation iterations",
+    )
+
+
+@family("gammaln_series", "mathheavy", tendency="mixed")
+def build_gammaln(variant: int, language: Language):
+    rng = variant_rng("gammaln_series", variant, language)
+    dt = _dt(variant)
+    n = draw_size_1d(rng)
+    # Stirling series with five correction terms.
+    x = var("x", dt)
+    inv = div(_c(1.0, dt), x, dt)
+    body = (
+        Let("x", load("inp", aff("gx"), dt), dt),
+        Let("inv", inv, dt),
+        Let("inv2", mul(var("inv", dt), var("inv", dt), dt), dt),
+        Let(
+            "series",
+            fma(var("inv2", dt),
+                fma(var("inv2", dt),
+                    fma(var("inv2", dt), _c(-0.000595238, dt), _c(0.000793651, dt), dt),
+                    _c(-0.00277778, dt), dt),
+                _c(0.0833333, dt), dt),
+            dt,
+        ),
+        Store(
+            "out", aff("gx"),
+            add(
+                fma(sub(x, _c(0.5, dt), dt), call(CallFn.LOG, x, dtype=dt),
+                    sub(_c(0.9189385, dt), x, dt), dt),
+                mul(var("series", dt), var("inv", dt), dt),
+                dt,
+            ),
+            dt,
+        ),
+    )
+    kernel = Kernel(
+        name="lgamma_stirling_kernel",
+        arrays=(ArrayDecl("inp", dt, "n"), ArrayDecl("out", dt, "n", is_output=True)),
+        params=(ScalarParam("n", DType.I32),),
+        body=body,
+        work_items="n",
+    )
+    return assemble(
+        family="gammaln_series", variant=variant, language=language, rng=rng,
+        kernel=kernel, flags={"n": n}, binding_exprs={"n": "n"},
+        description="log-gamma via Stirling series",
+    )
+
+
+@family("sigmoid_deep", "mathheavy", tendency="mixed")
+def build_sigmoid_deep(variant: int, language: Language):
+    rng = variant_rng("sigmoid_deep", variant, language)
+    dt = _dt(variant)
+    n = draw_size_1d(rng)
+    depth = int(rng.choice([6, 8, 12]))
+    body: list = [Let("x", load("inp", aff("gx"), dt), dt)]
+    for _ in range(depth):
+        body.append(
+            Assign(
+                "x",
+                div(_c(1.0, dt),
+                    add(_c(1.0, dt),
+                        call(CallFn.EXP, sub(_c(0.0, dt), var("x", dt), dt), dtype=dt),
+                        dt),
+                    dt),
+                dt,
+            )
+        )
+    body.append(Store("out", aff("gx"), var("x", dt), dt))
+    kernel = Kernel(
+        name="sigmoid_chain_kernel",
+        arrays=(ArrayDecl("inp", dt, "n"), ArrayDecl("out", dt, "n", is_output=True)),
+        params=(ScalarParam("n", DType.I32),),
+        body=tuple(body),
+        work_items="n",
+    )
+    return assemble(
+        family="sigmoid_deep", variant=variant, language=language, rng=rng,
+        kernel=kernel, flags={"n": n}, binding_exprs={"n": "n"},
+        description=f"chain of {depth} sigmoid activations",
+    )
+
+
+@family("raytrace_spheres", "mathheavy", tendency="cb")
+def build_raytrace(variant: int, language: Language):
+    rng = variant_rng("raytrace_spheres", variant, language)
+    dt = DType.F32
+    side = int(rng.choice([768, 1024, 1536]))
+    nspheres = int(rng.choice([64, 128, 256]))
+    body = (
+        Let("ox", mul(var("inv_w", dt), Cast(Var("gx", DType.I32), dt), dt), dt),
+        Let("oy", mul(var("inv_w", dt), Cast(Var("gy", DType.I32), dt), dt), dt),
+        Let("best_t", _c(1e30, dt), dt),
+        For(
+            "s", "nspheres",
+            (
+                Let("cx", load("sph", aff(("s", 4)), dt), dt),
+                Let("cy", load("sph", aff(("s", 4), const=1), dt), dt),
+                Let("cz", load("sph", aff(("s", 4), const=2), dt), dt),
+                Let("rad", load("sph", aff(("s", 4), const=3), dt), dt),
+                Let("lx_d", sub(var("cx", dt), var("ox", dt), dt), dt),
+                Let("ly_d", sub(var("cy", dt), var("oy", dt), dt), dt),
+                # ray direction is +z from the image plane: t_ca = cz
+                Let(
+                    "d2",
+                    add(mul(var("lx_d", dt), var("lx_d", dt), dt),
+                        mul(var("ly_d", dt), var("ly_d", dt), dt), dt),
+                    dt,
+                ),
+                Let("r2", mul(var("rad", dt), var("rad", dt), dt), dt),
+                If(
+                    cond=BinOp(BinOpKind.LT, var("d2", dt), var("r2", dt), DType.I32),
+                    then=(
+                        Let(
+                            "thc",
+                            call(CallFn.SQRT, sub(var("r2", dt), var("d2", dt), dt),
+                                 dtype=dt),
+                            dt,
+                        ),
+                        Let("t_hit", sub(var("cz", dt), var("thc", dt), dt), dt),
+                        Assign(
+                            "best_t",
+                            BinOp(BinOpKind.MIN, var("best_t", dt), var("t_hit", dt), dt),
+                            dt,
+                        ),
+                    ),
+                    taken_fraction=0.18,
+                ),
+            ),
+        ),
+        Store("depth", aff(("gy", "nx"), "gx"), var("best_t", dt), dt),
+    )
+    kernel = Kernel(
+        name="raytrace_depth_kernel",
+        arrays=(
+            ArrayDecl("sph", dt, "4*nspheres"),
+            ArrayDecl("depth", dt, "nx*ny", is_output=True),
+        ),
+        params=(
+            ScalarParam("inv_w", dt),
+            ScalarParam("nspheres", DType.I32),
+            ScalarParam("nx", DType.I32),
+            ScalarParam("ny", DType.I32),
+        ),
+        body=body,
+        work_items="nx",
+        work_items_y="ny",
+    )
+    return assemble(
+        family="raytrace_spheres", variant=variant, language=language, rng=rng,
+        kernel=kernel, flags={"nx": side, "ny": side, "nspheres": nspheres},
+        binding_exprs={"inv_w": 1, "nspheres": "nspheres", "nx": "nx", "ny": "ny"},
+        description="primary-ray sphere intersection depth map",
+        block2d=(16, 16),
+    )
+
+
+@family("heston_paths", "mathheavy", tendency="cb")
+def build_heston(variant: int, language: Language):
+    rng = variant_rng("heston_paths", variant, language)
+    dt = DType.F64 if variant in (1, 3) else DType.F32
+    i32 = DType.I32
+    n = int(rng.choice([1 << 16, 1 << 17, 1 << 18]))
+    steps = int(rng.choice([64, 128, 256]))
+    body = (
+        Let("s_price", load("s0", aff("gx"), dt), dt),
+        Let("v_vol", load("v0", aff("gx"), dt), dt),
+        Let("state", add(Var("gx", i32), Const(424243, i32), i32), i32),
+        For(
+            "t", "steps",
+            (
+                Assign("state", BinOp(BinOpKind.XOR, Var("state", i32),
+                                      BinOp(BinOpKind.SHL, Var("state", i32),
+                                            Const(13, i32), i32), i32), i32),
+                Assign("state", BinOp(BinOpKind.XOR, Var("state", i32),
+                                      BinOp(BinOpKind.SHR, Var("state", i32),
+                                            Const(17, i32), i32), i32), i32),
+                Let("z_norm", mul(Cast(BinOp(BinOpKind.AND, Var("state", i32),
+                                             Const(0xFFFF, i32), i32), dt),
+                                  _c(3.0517578125e-05, dt), dt), dt),
+                Assign(
+                    "v_vol",
+                    BinOp(
+                        BinOpKind.MAX,
+                        fma(var("kappa", dt),
+                            sub(var("theta", dt), var("v_vol", dt), dt),
+                            fma(mul(var("xi", dt),
+                                    call(CallFn.SQRT, var("v_vol", dt), dtype=dt), dt),
+                                var("z_norm", dt), var("v_vol", dt), dt), dt),
+                        _c(0.0001, dt),
+                        dt,
+                    ),
+                    dt,
+                ),
+                Assign(
+                    "s_price",
+                    mul(var("s_price", dt),
+                        call(CallFn.EXP,
+                             fma(call(CallFn.SQRT, var("v_vol", dt), dtype=dt),
+                                 var("z_norm", dt),
+                                 mul(_c(-0.5, dt), var("v_vol", dt), dt), dt),
+                             dtype=dt), dt),
+                    dt,
+                ),
+            ),
+        ),
+        Store("paths", aff("gx"), var("s_price", dt), dt),
+    )
+    kernel = Kernel(
+        name="heston_path_kernel",
+        arrays=(
+            ArrayDecl("s0", dt, "n"),
+            ArrayDecl("v0", dt, "n"),
+            ArrayDecl("paths", dt, "n", is_output=True),
+        ),
+        params=(
+            ScalarParam("kappa", dt),
+            ScalarParam("theta", dt),
+            ScalarParam("xi", dt),
+            ScalarParam("steps", i32),
+            ScalarParam("n", i32),
+        ),
+        body=body,
+        work_items="n",
+    )
+    return assemble(
+        family="heston_paths", variant=variant, language=language, rng=rng,
+        kernel=kernel, flags={"n": n, "steps": steps},
+        binding_exprs={"kappa": 2, "theta": 1, "xi": 1, "steps": "steps", "n": "n"},
+        description="Heston stochastic-volatility Monte-Carlo paths",
+    )

@@ -1,0 +1,641 @@
+"""Mixed-behaviour families: ML layers, convolutions, statistics, graph and
+sparse kernels. Several of these pivot between BB and CB depending on
+precision, window size, and cache residency — the richest source of cases
+where source-level reasoning about boundedness is genuinely subtle."""
+
+from __future__ import annotations
+
+from repro.kernels.families import family
+from repro.kernels.families.helpers import assemble, draw_size_1d, variant_rng
+from repro.kernels.ir import (
+    ArrayDecl,
+    Assign,
+    BinOp,
+    BinOpKind,
+    Call,
+    CallFn,
+    Cast,
+    Const,
+    DType,
+    DynamicIndex,
+    For,
+    If,
+    Kernel,
+    Let,
+    Load,
+    ScalarParam,
+    Select,
+    Store,
+    Var,
+    add,
+    aff,
+    call,
+    div,
+    fma,
+    load,
+    mul,
+    sub,
+    var,
+)
+from repro.types import Language
+
+I32 = DType.I32
+
+
+def _dt(variant: int) -> DType:
+    return DType.F64 if variant in (0, 1, 4) else DType.F32
+
+
+def _c(v: float, dt: DType) -> Const:
+    return Const(v, dt)
+
+
+@family("softmax_rows", "misc", tendency="mixed")
+def build_softmax(variant: int, language: Language):
+    rng = variant_rng("softmax_rows", variant, language)
+    dt = _dt(variant)
+    rows = int(rng.choice([1 << 14, 1 << 15, 1 << 16]))
+    cols = int(rng.choice([64, 128, 256]))
+    body = (
+        Let("mx", load("logits", aff(("gx", "cols")), dt), dt),
+        For(
+            "j", "cols",
+            (
+                Assign(
+                    "mx",
+                    BinOp(BinOpKind.MAX, var("mx", dt),
+                          load("logits", aff(("gx", "cols"), "j"), dt), dt),
+                    dt,
+                ),
+            ),
+        ),
+        Let("denom", mul(_c(0.0, dt), var("mx", dt), dt), dt),
+        For(
+            "j", "cols",
+            (
+                Assign(
+                    "denom",
+                    add(var("denom", dt),
+                        call(CallFn.EXP,
+                             sub(load("logits", aff(("gx", "cols"), "j"), dt),
+                                 var("mx", dt), dt), dtype=dt), dt),
+                    dt,
+                ),
+            ),
+        ),
+        For(
+            "j", "cols",
+            (
+                Store(
+                    "probs", aff(("gx", "cols"), "j"),
+                    div(
+                        call(CallFn.EXP,
+                             sub(load("logits", aff(("gx", "cols"), "j"), dt),
+                                 var("mx", dt), dt), dtype=dt),
+                        var("denom", dt),
+                        dt,
+                    ),
+                    dt,
+                ),
+            ),
+        ),
+    )
+    kernel = Kernel(
+        name="softmax_rows_kernel",
+        arrays=(
+            ArrayDecl("logits", dt, "rows*cols"),
+            ArrayDecl("probs", dt, "rows*cols", is_output=True),
+        ),
+        params=(ScalarParam("cols", I32), ScalarParam("rows", I32)),
+        body=body,
+        work_items="rows",
+    )
+    return assemble(
+        family="softmax_rows", variant=variant, language=language, rng=rng,
+        kernel=kernel, flags={"rows": rows, "cols": cols},
+        binding_exprs={"cols": "cols", "rows": "rows"},
+        description="row-wise numerically-stable softmax",
+    )
+
+
+@family("layernorm_rows", "misc", tendency="mixed")
+def build_layernorm(variant: int, language: Language):
+    rng = variant_rng("layernorm_rows", variant, language)
+    dt = _dt(variant)
+    rows = int(rng.choice([1 << 14, 1 << 15, 1 << 16]))
+    cols = int(rng.choice([64, 128, 256]))
+    body = (
+        Let("mean", mul(_c(0.0, dt), var("inv_cols", dt), dt), dt),
+        For(
+            "j", "cols",
+            (Assign("mean", add(var("mean", dt),
+                                load("x", aff(("gx", "cols"), "j"), dt), dt), dt),),
+        ),
+        Assign("mean", mul(var("mean", dt), var("inv_cols", dt), dt), dt),
+        Let("varacc", mul(_c(0.0, dt), var("mean", dt), dt), dt),
+        For(
+            "j", "cols",
+            (
+                Let("d", sub(load("x", aff(("gx", "cols"), "j"), dt), var("mean", dt), dt), dt),
+                Assign("varacc", fma(var("d", dt), var("d", dt), var("varacc", dt), dt), dt),
+            ),
+        ),
+        Let(
+            "inv_std",
+            call(CallFn.RSQRT,
+                 fma(var("varacc", dt), var("inv_cols", dt), var("eps", dt), dt),
+                 dtype=dt),
+            dt,
+        ),
+        For(
+            "j", "cols",
+            (
+                Store(
+                    "y", aff(("gx", "cols"), "j"),
+                    mul(sub(load("x", aff(("gx", "cols"), "j"), dt), var("mean", dt), dt),
+                        var("inv_std", dt), dt),
+                    dt,
+                ),
+            ),
+        ),
+    )
+    kernel = Kernel(
+        name="layernorm_rows_kernel",
+        arrays=(
+            ArrayDecl("x", dt, "rows*cols"),
+            ArrayDecl("y", dt, "rows*cols", is_output=True),
+        ),
+        params=(
+            ScalarParam("inv_cols", dt),
+            ScalarParam("eps", dt),
+            ScalarParam("cols", I32),
+            ScalarParam("rows", I32),
+        ),
+        body=body,
+        work_items="rows",
+    )
+    return assemble(
+        family="layernorm_rows", variant=variant, language=language, rng=rng,
+        kernel=kernel, flags={"rows": rows, "cols": cols},
+        binding_exprs={"inv_cols": 1, "eps": 1, "cols": "cols", "rows": "rows"},
+        description="row-wise layer normalization",
+    )
+
+
+@family("batchnorm_infer", "misc", tendency="bb")
+def build_batchnorm(variant: int, language: Language):
+    rng = variant_rng("batchnorm_infer", variant, language)
+    dt = _dt(variant)
+    n = draw_size_1d(rng)
+    channels = int(rng.choice([32, 64, 128]))
+    ch = BinOp(BinOpKind.MOD, Var("gx", I32), Var("channels", I32), I32)
+    body = (
+        Let("c_idx", ch, I32),
+        Let("g_val", Load("gamma", DynamicIndex(expr=Var("c_idx", I32),
+                                                range_hint="channels",
+                                                pattern="local"), dt), dt),
+        Let("b_val", Load("beta", DynamicIndex(expr=Var("c_idx", I32),
+                                               range_hint="channels",
+                                               pattern="local"), dt), dt),
+        Store(
+            "y", aff("gx"),
+            fma(load("x", aff("gx"), dt), var("g_val", dt), var("b_val", dt), dt),
+            dt,
+        ),
+    )
+    kernel = Kernel(
+        name="batchnorm_inference_kernel",
+        arrays=(
+            ArrayDecl("x", dt, "n"),
+            ArrayDecl("gamma", dt, "channels"),
+            ArrayDecl("beta", dt, "channels"),
+            ArrayDecl("y", dt, "n", is_output=True),
+        ),
+        params=(ScalarParam("channels", I32), ScalarParam("n", I32)),
+        body=body,
+        work_items="n",
+    )
+    return assemble(
+        family="batchnorm_infer", variant=variant, language=language, rng=rng,
+        kernel=kernel, flags={"n": n, "channels": channels},
+        binding_exprs={"channels": "channels", "n": "n"},
+        description="batch-norm inference scale-and-shift",
+    )
+
+
+@family("conv1d_taps", "misc", tendency="mixed")
+def build_conv1d(variant: int, language: Language):
+    rng = variant_rng("conv1d_taps", variant, language)
+    dt = _dt(variant)
+    n = draw_size_1d(rng)
+    taps = int(rng.choice([9, 17, 33]))
+    body = (
+        Let("acc", mul(_c(0.0, dt), load("signal", aff("gx"), dt), dt), dt),
+        For(
+            "t", "taps",
+            (
+                Assign(
+                    "acc",
+                    fma(
+                        load("signal", aff("gx", "t"), dt),
+                        load("weights", aff("t"), dt),
+                        var("acc", dt),
+                        dt,
+                    ),
+                    dt,
+                ),
+            ),
+        ),
+        Store("filtered", aff("gx"), var("acc", dt), dt),
+    )
+    kernel = Kernel(
+        name="fir_filter_kernel",
+        arrays=(
+            ArrayDecl("signal", dt, "m"),
+            ArrayDecl("weights", dt, "taps"),
+            ArrayDecl("filtered", dt, "n", is_output=True),
+        ),
+        params=(ScalarParam("taps", I32), ScalarParam("n", I32)),
+        body=body,
+        work_items="n",
+    )
+    return assemble(
+        family="conv1d_taps", variant=variant, language=language, rng=rng,
+        kernel=kernel, flags={"n": n, "taps": taps, "m": n + taps},
+        binding_exprs={"taps": "taps", "n": "n"},
+        description=f"{taps}-tap FIR convolution",
+    )
+
+
+@family("conv2d_3x3", "misc", tendency="mixed")
+def build_conv2d(variant: int, language: Language):
+    rng = variant_rng("conv2d_3x3", variant, language)
+    dt = _dt(variant)
+    side = int(rng.choice([512, 768, 1024, 1536] if dt is DType.F32 else [384, 512, 640]))
+    acc = mul(_c(0.0, dt), load("img", aff(("gy", "nx"), "gx"), dt), dt)
+    k = 0
+    for row in (-1, 0, 1):
+        for off in (-1, 0, 1):
+            terms: list = [("gy", "nx"), ("gx", 1)]
+            if row:
+                terms.append(("nx", row))
+            acc = add(
+                acc,
+                mul(load("img", aff(*terms, const=off), dt),
+                    load("kern", aff(const=k), dt), dt),
+                dt,
+            )
+            k += 1
+    gx = Var("gx", I32)
+    gy = Var("gy", I32)
+    one = Const(1, I32)
+    cond = BinOp(
+        BinOpKind.LAND,
+        BinOp(
+            BinOpKind.LAND,
+            BinOp(BinOpKind.GT, gx, Const(0, I32), I32),
+            BinOp(BinOpKind.LT, gx, sub(Var("nx", I32), one, I32), I32),
+            I32,
+        ),
+        BinOp(
+            BinOpKind.LAND,
+            BinOp(BinOpKind.GT, gy, Const(0, I32), I32),
+            BinOp(BinOpKind.LT, gy, sub(Var("ny", I32), one, I32), I32),
+            I32,
+        ),
+        I32,
+    )
+    taken = ((side - 2) ** 2) / float(side * side)
+    body = (
+        If(cond=cond, then=(Store("out", aff(("gy", "nx"), "gx"), acc, dt),),
+           taken_fraction=taken),
+    )
+    kernel = Kernel(
+        name="conv2d_3x3_kernel",
+        arrays=(
+            ArrayDecl("img", dt, "nx*ny"),
+            ArrayDecl("kern", dt, 9),
+            ArrayDecl("out", dt, "nx*ny", is_output=True),
+        ),
+        params=(ScalarParam("nx", I32), ScalarParam("ny", I32)),
+        body=body,
+        work_items="nx",
+        work_items_y="ny",
+    )
+    return assemble(
+        family="conv2d_3x3", variant=variant, language=language, rng=rng,
+        kernel=kernel, flags={"nx": side, "ny": side},
+        binding_exprs={"nx": "nx", "ny": "ny"},
+        description="3x3 image convolution", block2d=(16, 16),
+    )
+
+
+@family("correlate_lags", "misc", tendency="cb")
+def build_correlate(variant: int, language: Language):
+    rng = variant_rng("correlate_lags", variant, language)
+    dt = _dt(variant)
+    lags = int(rng.choice([1 << 13, 1 << 14, 1 << 15]))
+    window = int(rng.choice([512, 1024, 2048]))
+    body = (
+        Let("acc", mul(_c(0.0, dt), load("sig", aff("gx"), dt), dt), dt),
+        For(
+            "k", "window",
+            (
+                Assign(
+                    "acc",
+                    fma(
+                        load("sig", aff("k"), dt),
+                        load("sig", aff("gx", "k"), dt),
+                        var("acc", dt),
+                        dt,
+                    ),
+                    dt,
+                ),
+            ),
+        ),
+        Store("corr", aff("gx"), var("acc", dt), dt),
+    )
+    kernel = Kernel(
+        name="autocorrelation_kernel",
+        arrays=(
+            ArrayDecl("sig", dt, "m"),
+            ArrayDecl("corr", dt, "lags", is_output=True),
+        ),
+        params=(ScalarParam("window", I32), ScalarParam("lags", I32)),
+        body=body,
+        work_items="lags",
+    )
+    return assemble(
+        family="correlate_lags", variant=variant, language=language, rng=rng,
+        kernel=kernel, flags={"lags": lags, "window": window, "m": lags + window},
+        binding_exprs={"window": "window", "lags": "lags"},
+        description="autocorrelation at one lag per thread",
+    )
+
+
+@family("covariance_cols", "misc", tendency="cb")
+def build_covariance(variant: int, language: Language):
+    rng = variant_rng("covariance_cols", variant, language)
+    dt = _dt(variant)
+    dims = int(rng.choice([128, 192, 256]))
+    samples = int(rng.choice([2048, 4096, 8192]))
+    body = (
+        Let("acc", mul(_c(0.0, dt), var("inv_n", dt), dt), dt),
+        For(
+            "s", "samples",
+            (
+                Assign(
+                    "acc",
+                    fma(
+                        load("data", aff(("s", "dims"), "gx"), dt),
+                        load("data", aff(("s", "dims"), "gy"), dt),
+                        var("acc", dt),
+                        dt,
+                    ),
+                    dt,
+                ),
+            ),
+        ),
+        Store("cov", aff(("gy", "dims"), "gx"),
+              mul(var("acc", dt), var("inv_n", dt), dt), dt),
+    )
+    kernel = Kernel(
+        name="covariance_kernel",
+        arrays=(
+            ArrayDecl("data", dt, "samples*dims"),
+            ArrayDecl("cov", dt, "dims*dims", is_output=True),
+        ),
+        params=(
+            ScalarParam("inv_n", dt),
+            ScalarParam("samples", I32),
+            ScalarParam("dims", I32),
+        ),
+        body=body,
+        work_items="dims",
+        work_items_y="dims",
+    )
+    return assemble(
+        family="covariance_cols", variant=variant, language=language, rng=rng,
+        kernel=kernel, flags={"dims": dims, "samples": samples},
+        binding_exprs={"inv_n": 1, "samples": "samples", "dims": "dims"},
+        description="covariance matrix entry per thread", block2d=(16, 16),
+    )
+
+
+@family("knn_dist", "misc", tendency="cb")
+def build_knn(variant: int, language: Language):
+    rng = variant_rng("knn_dist", variant, language)
+    dt = _dt(variant)
+    queries = int(rng.choice([1 << 15, 1 << 16, 1 << 17]))
+    refs = int(rng.choice([1024, 2048, 4096]))
+    body = (
+        Let("qx", load("qpts", aff(("gx", 2)), dt), dt),
+        Let("qy", load("qpts", aff(("gx", 2), const=1), dt), dt),
+        Let("best", _c(1e30, dt), dt),
+        For(
+            "r", "refs",
+            (
+                Let("dx", sub(load("rpts", aff(("r", 2)), dt), var("qx", dt), dt), dt),
+                Let("dy", sub(load("rpts", aff(("r", 2), const=1), dt), var("qy", dt), dt), dt),
+                Let("d2", fma(var("dx", dt), var("dx", dt),
+                              mul(var("dy", dt), var("dy", dt), dt), dt), dt),
+                Assign("best", BinOp(BinOpKind.MIN, var("best", dt), var("d2", dt), dt), dt),
+            ),
+        ),
+        Store("nearest", aff("gx"), var("best", dt), dt),
+    )
+    kernel = Kernel(
+        name="nearest_neighbor_kernel",
+        arrays=(
+            ArrayDecl("qpts", dt, "2*queries"),
+            ArrayDecl("rpts", dt, "2*refs"),
+            ArrayDecl("nearest", dt, "queries", is_output=True),
+        ),
+        params=(ScalarParam("refs", I32), ScalarParam("queries", I32)),
+        body=body,
+        work_items="queries",
+    )
+    return assemble(
+        family="knn_dist", variant=variant, language=language, rng=rng,
+        kernel=kernel, flags={"queries": queries, "refs": refs},
+        binding_exprs={"refs": "refs", "queries": "queries"},
+        description="brute-force nearest-neighbour distance",
+    )
+
+
+@family("kmeans_assign", "misc", tendency="cb")
+def build_kmeans(variant: int, language: Language):
+    rng = variant_rng("kmeans_assign", variant, language)
+    dt = _dt(variant)
+    n = int(rng.choice([1 << 17, 1 << 18, 1 << 19]))
+    clusters = int(rng.choice([16, 32, 64]))
+    body = (
+        Let("px_val", load("pts", aff(("gx", 2)), dt), dt),
+        Let("py_val", load("pts", aff(("gx", 2), const=1), dt), dt),
+        Let("best", _c(1e30, dt), dt),
+        Let("best_k", Const(0, I32), I32),
+        For(
+            "k", "clusters",
+            (
+                Let("dx", sub(load("centers", aff(("k", 2)), dt), var("px_val", dt), dt), dt),
+                Let("dy", sub(load("centers", aff(("k", 2), const=1), dt),
+                              var("py_val", dt), dt), dt),
+                Let("d2", fma(var("dx", dt), var("dx", dt),
+                              mul(var("dy", dt), var("dy", dt), dt), dt), dt),
+                If(
+                    cond=BinOp(BinOpKind.LT, var("d2", dt), var("best", dt), I32),
+                    then=(
+                        Assign("best", var("d2", dt), dt),
+                        Assign("best_k", Var("k", I32), I32),
+                    ),
+                    taken_fraction=0.2,
+                ),
+            ),
+        ),
+        Store("assign", aff("gx"), var("best_k", I32), I32),
+    )
+    kernel = Kernel(
+        name="kmeans_assign_kernel",
+        arrays=(
+            ArrayDecl("pts", dt, "2*n"),
+            ArrayDecl("centers", dt, "2*clusters"),
+            ArrayDecl("assign", I32, "n", is_output=True),
+        ),
+        params=(ScalarParam("clusters", I32), ScalarParam("n", I32)),
+        body=body,
+        work_items="n",
+    )
+    return assemble(
+        family="kmeans_assign", variant=variant, language=language, rng=rng,
+        kernel=kernel, flags={"n": n, "clusters": clusters},
+        binding_exprs={"clusters": "clusters", "n": "n"},
+        description="k-means cluster assignment step",
+    )
+
+
+@family("pagerank_push", "misc", tendency="bb")
+def build_pagerank(variant: int, language: Language):
+    rng = variant_rng("pagerank_push", variant, language)
+    dt = DType.F32
+    n = int(rng.choice([1 << 18, 1 << 19, 1 << 20]))
+    deg = int(rng.choice([8, 16, 32]))
+    edge = Load("col_idx", aff(("gx", "deg"), "e"), I32)
+    contrib = Load("rank_old",
+                   DynamicIndex(expr=edge, range_hint="n", pattern="random"), dt)
+    body = (
+        Let("acc", mul(_c(0.0, dt), var("damping", dt), dt), dt),
+        For(
+            "e", "deg",
+            (Assign("acc", add(var("acc", dt), contrib, dt), dt),),
+        ),
+        Store(
+            "rank_new", aff("gx"),
+            fma(var("damping", dt), var("acc", dt), var("teleport", dt), dt), dt,
+        ),
+    )
+    kernel = Kernel(
+        name="pagerank_gather_kernel",
+        arrays=(
+            ArrayDecl("col_idx", I32, "n*deg"),
+            ArrayDecl("rank_old", dt, "n"),
+            ArrayDecl("rank_new", dt, "n", is_output=True),
+        ),
+        params=(ScalarParam("damping", dt), ScalarParam("teleport", dt),
+                ScalarParam("deg", I32), ScalarParam("n", I32)),
+        body=body,
+        work_items="n",
+    )
+    return assemble(
+        family="pagerank_push", variant=variant, language=language, rng=rng,
+        kernel=kernel, flags={"n": n, "deg": deg},
+        binding_exprs={"damping": 1, "teleport": 0, "deg": "deg", "n": "n"},
+        description="PageRank gather step over fixed-degree graph",
+    )
+
+
+@family("spmv_ell", "misc", tendency="bb")
+def build_spmv(variant: int, language: Language):
+    rng = variant_rng("spmv_ell", variant, language)
+    dt = _dt(variant)
+    n = int(rng.choice([1 << 17, 1 << 18, 1 << 19]))
+    nnz = int(rng.choice([8, 16, 32]))
+    col = Load("cols", aff(("k", "n"), "gx"), I32)
+    xval = Load("x", DynamicIndex(expr=col, range_hint="n", pattern="local"), dt)
+    body = (
+        Let("acc", mul(_c(0.0, dt), var("zero", dt), dt), dt),
+        For(
+            "k", "nnz",
+            (
+                Assign(
+                    "acc",
+                    fma(load("vals", aff(("k", "n"), "gx"), dt), xval, var("acc", dt), dt),
+                    dt,
+                ),
+            ),
+        ),
+        Store("y", aff("gx"), var("acc", dt), dt),
+    )
+    kernel = Kernel(
+        name="spmv_ellpack_kernel",
+        arrays=(
+            ArrayDecl("vals", dt, "n*nnz"),
+            ArrayDecl("cols", I32, "n*nnz"),
+            ArrayDecl("x", dt, "n"),
+            ArrayDecl("y", dt, "n", is_output=True),
+        ),
+        params=(ScalarParam("zero", dt), ScalarParam("nnz", I32), ScalarParam("n", I32)),
+        body=body,
+        work_items="n",
+    )
+    return assemble(
+        family="spmv_ell", variant=variant, language=language, rng=rng,
+        kernel=kernel, flags={"n": n, "nnz": nnz},
+        binding_exprs={"zero": 0, "nnz": "nnz", "n": "n"},
+        description="ELLPACK sparse matrix-vector product",
+    )
+
+
+@family("random_walk", "misc", tendency="bb")
+def build_random_walk(variant: int, language: Language):
+    rng = variant_rng("random_walk", variant, language)
+    dt = DType.F32
+    n = int(rng.choice([1 << 17, 1 << 18, 1 << 19]))
+    steps = int(rng.choice([16, 32, 64]))
+    next_node = BinOp(BinOpKind.MOD, Var("state", I32), Var("n", I32), I32)
+    visit = Load("weights",
+                 DynamicIndex(expr=Var("node", I32), range_hint="n", pattern="random"), dt)
+    body = (
+        Let("state", add(Var("gx", I32), Const(99991, I32), I32), I32),
+        Let("node", BinOp(BinOpKind.MOD, Var("gx", I32), Var("n", I32), I32), I32),
+        Let("acc", mul(_c(0.0, dt), var("scale", dt), dt), dt),
+        For(
+            "s", "steps",
+            (
+                Assign("state", BinOp(BinOpKind.XOR, Var("state", I32),
+                                      BinOp(BinOpKind.SHL, Var("state", I32),
+                                            Const(13, I32), I32), I32), I32),
+                Assign("state", BinOp(BinOpKind.XOR, Var("state", I32),
+                                      BinOp(BinOpKind.SHR, Var("state", I32),
+                                            Const(17, I32), I32), I32), I32),
+                Assign("node", next_node, I32),
+                Assign("acc", add(var("acc", dt), visit, dt), dt),
+            ),
+        ),
+        Store("scores", aff("gx"), var("acc", dt), dt),
+    )
+    kernel = Kernel(
+        name="random_walk_kernel",
+        arrays=(
+            ArrayDecl("weights", dt, "n"),
+            ArrayDecl("scores", dt, "n", is_output=True),
+        ),
+        params=(ScalarParam("scale", dt), ScalarParam("steps", I32), ScalarParam("n", I32)),
+        body=body,
+        work_items="n",
+    )
+    return assemble(
+        family="random_walk", variant=variant, language=language, rng=rng,
+        kernel=kernel, flags={"n": n, "steps": steps},
+        binding_exprs={"scale": 1, "steps": "steps", "n": "n"},
+        description="random-walk weight accumulation with PRNG hops",
+    )

@@ -1,0 +1,712 @@
+"""Physics / molecular-dynamics families.
+
+Pairwise O(n^2) force kernels and long per-thread ODE integrations are the
+corpus's single-precision compute-bound anchors: their inner loops run
+hundreds of FLOPs per byte of DRAM traffic because positions fit in cache.
+Streaming integrator steps (Verlet, FDTD) stay bandwidth-bound.
+"""
+
+from __future__ import annotations
+
+from repro.kernels.families import family
+from repro.kernels.families.helpers import assemble, draw_iters, draw_size_1d, variant_rng
+from repro.kernels.ir import (
+    ArrayDecl,
+    Assign,
+    BinOp,
+    BinOpKind,
+    Call,
+    CallFn,
+    Cast,
+    Const,
+    DType,
+    DynamicIndex,
+    For,
+    If,
+    Kernel,
+    Let,
+    Load,
+    ScalarParam,
+    Scope,
+    Store,
+    SyncThreads,
+    Var,
+    add,
+    aff,
+    call,
+    div,
+    fma,
+    load,
+    mul,
+    sub,
+    var,
+)
+from repro.types import Language
+
+
+def _dt(variant: int) -> DType:
+    return DType.F64 if variant in (2,) else DType.F32
+
+
+def _c(v: float, dt: DType) -> Const:
+    return Const(v, dt)
+
+
+def _nbody_count(rng, dt: DType) -> int:
+    if dt is DType.F64:
+        return int(rng.choice([4096, 8192, 16384]))
+    return int(rng.choice([8192, 16384, 32768, 65536]))
+
+
+def _pairwise_body(dt: DType, force_expr_builder) -> tuple:
+    """Common pairwise loop: per-thread particle i against all j."""
+    return (
+        Let("xi", load("px", aff("gx"), dt), dt),
+        Let("yi", load("py", aff("gx"), dt), dt),
+        Let("zi", load("pz", aff("gx"), dt), dt),
+        Let("fx", mul(_c(0.0, dt), var("xi", dt), dt), dt),
+        Let("fy", mul(_c(0.0, dt), var("yi", dt), dt), dt),
+        Let("fz", mul(_c(0.0, dt), var("zi", dt), dt), dt),
+        For("j", "n", force_expr_builder(dt)),
+        Store("ax", aff("gx"), var("fx", dt), dt),
+        Store("ay", aff("gx"), var("fy", dt), dt),
+        Store("az", aff("gx"), var("fz", dt), dt),
+    )
+
+
+def _pairwise_kernel(name: str, dt: DType, body: tuple) -> Kernel:
+    return Kernel(
+        name=name,
+        arrays=(
+            ArrayDecl("px", dt, "n"),
+            ArrayDecl("py", dt, "n"),
+            ArrayDecl("pz", dt, "n"),
+            ArrayDecl("ax", dt, "n", is_output=True),
+            ArrayDecl("ay", dt, "n", is_output=True),
+            ArrayDecl("az", dt, "n", is_output=True),
+        ),
+        params=(ScalarParam("eps", dt), ScalarParam("n", DType.I32)),
+        body=body,
+        work_items="n",
+    )
+
+
+@family("nbody_naive", "physics", tendency="cb")
+def build_nbody(variant: int, language: Language):
+    rng = variant_rng("nbody_naive", variant, language)
+    dt = _dt(variant)
+    n = _nbody_count(rng, dt)
+
+    def force(dtt):
+        dx = sub(load("px", aff("j"), dtt), var("xi", dtt), dtt)
+        dy = sub(load("py", aff("j"), dtt), var("yi", dtt), dtt)
+        dz = sub(load("pz", aff("j"), dtt), var("zi", dtt), dtt)
+        r2 = add(
+            add(mul(dx, dx, dtt), mul(dy, dy, dtt), dtt),
+            add(mul(dz, dz, dtt), var("eps", dtt), dtt),
+            dtt,
+        )
+        inv_r = call(CallFn.RSQRT, r2, dtype=dtt)
+        inv_r3 = mul(mul(inv_r, inv_r, dtt), inv_r, dtt)
+        return (
+            Let("dx", dx, dtt),
+            Let("dy", dy, dtt),
+            Let("dz", dz, dtt),
+            Let("s", inv_r3, dtt),
+            Assign("fx", fma(var("s", dtt), var("dx", dtt), var("fx", dtt), dtt), dtt),
+            Assign("fy", fma(var("s", dtt), var("dy", dtt), var("fy", dtt), dtt), dtt),
+            Assign("fz", fma(var("s", dtt), var("dz", dtt), var("fz", dtt), dtt), dtt),
+        )
+
+    kernel = _pairwise_kernel("nbody_forces", dt, _pairwise_body(dt, force))
+    return assemble(
+        family="nbody_naive", variant=variant, language=language, rng=rng,
+        kernel=kernel, flags={"n": n}, binding_exprs={"eps": 1, "n": "n"},
+        description="all-pairs gravitational force accumulation",
+    )
+
+
+@family("nbody_tiled", "physics", tendency="cb", languages=(Language.CUDA,))
+def build_nbody_tiled(variant: int, language: Language):
+    rng = variant_rng("nbody_tiled", variant, language)
+    dt = _dt(variant)
+    n = _nbody_count(rng, dt)
+    tile = 256
+    ntiles = n // tile
+
+    inner = (
+        Let("dx", sub(load("tile_x", aff("j"), dt), var("xi", dt), dt), dt),
+        Let("dy", sub(load("tile_y", aff("j"), dt), var("yi", dt), dt), dt),
+        Let(
+            "r2",
+            add(
+                add(mul(var("dx", dt), var("dx", dt), dt),
+                    mul(var("dy", dt), var("dy", dt), dt), dt),
+                var("eps", dt),
+                dt,
+            ),
+            dt,
+        ),
+        Let("s", call(CallFn.RSQRT, var("r2", dt), dtype=dt), dt),
+        Assign("fx", fma(var("s", dt), var("dx", dt), var("fx", dt), dt), dt),
+        Assign("fy", fma(var("s", dt), var("dy", dt), var("fy", dt), dt), dt),
+    )
+    body = (
+        Let("xi", load("px", aff("gx"), dt), dt),
+        Let("yi", load("py", aff("gx"), dt), dt),
+        Let("fx", mul(_c(0.0, dt), var("xi", dt), dt), dt),
+        Let("fy", mul(_c(0.0, dt), var("yi", dt), dt), dt),
+        For(
+            "t", "ntiles",
+            (
+                Store("tile_x", aff("lx"), load("px", aff(("t", tile), "lx"), dt), dt),
+                Store("tile_y", aff("lx"), load("py", aff(("t", tile), "lx"), dt), dt),
+                SyncThreads(),
+                For("j", tile, inner),
+                SyncThreads(),
+            ),
+        ),
+        Store("ax", aff("gx"), var("fx", dt), dt),
+        Store("ay", aff("gx"), var("fy", dt), dt),
+    )
+    kernel = Kernel(
+        name="nbody_tiled_forces",
+        arrays=(
+            ArrayDecl("px", dt, "n"),
+            ArrayDecl("py", dt, "n"),
+            ArrayDecl("ax", dt, "n", is_output=True),
+            ArrayDecl("ay", dt, "n", is_output=True),
+            ArrayDecl("tile_x", dt, tile, Scope.SHARED),
+            ArrayDecl("tile_y", dt, tile, Scope.SHARED),
+        ),
+        params=(
+            ScalarParam("eps", dt),
+            ScalarParam("n", DType.I32),
+            ScalarParam("ntiles", DType.I32),
+        ),
+        body=body,
+        work_items="n",
+    )
+    return assemble(
+        family="nbody_tiled", variant=variant, language=language, rng=rng,
+        kernel=kernel, flags={"n": n, "ntiles": ntiles},
+        binding_exprs={"eps": 1, "n": "n", "ntiles": "ntiles"},
+        description="shared-memory tiled 2-D n-body force kernel",
+        block=tile,
+    )
+
+
+@family("lj_force", "physics", tendency="cb")
+def build_lj(variant: int, language: Language):
+    rng = variant_rng("lj_force", variant, language)
+    dt = _dt(variant)
+    n = _nbody_count(rng, dt)
+
+    def force(dtt):
+        dx = sub(load("px", aff("j"), dtt), var("xi", dtt), dtt)
+        dy = sub(load("py", aff("j"), dtt), var("yi", dtt), dtt)
+        dz = sub(load("pz", aff("j"), dtt), var("zi", dtt), dtt)
+        r2 = add(
+            add(mul(dx, dx, dtt), mul(dy, dy, dtt), dtt),
+            add(mul(dz, dz, dtt), var("eps", dtt), dtt),
+            dtt,
+        )
+        inv2 = div(_c(1.0, dtt), r2, dtt)
+        inv6 = mul(mul(inv2, inv2, dtt), inv2, dtt)
+        lj = mul(
+            mul(_c(24.0, dtt), inv2, dtt),
+            sub(mul(_c(2.0, dtt), mul(inv6, inv6, dtt), dtt), inv6, dtt),
+            dtt,
+        )
+        return (
+            Let("dx", dx, dtt),
+            Let("dy", dy, dtt),
+            Let("dz", dz, dtt),
+            Let("s", lj, dtt),
+            Assign("fx", fma(var("s", dtt), var("dx", dtt), var("fx", dtt), dtt), dtt),
+            Assign("fy", fma(var("s", dtt), var("dy", dtt), var("fy", dtt), dtt), dtt),
+            Assign("fz", fma(var("s", dtt), var("dz", dtt), var("fz", dtt), dtt), dtt),
+        )
+
+    kernel = _pairwise_kernel("lennard_jones_forces", dt, _pairwise_body(dt, force))
+    return assemble(
+        family="lj_force", variant=variant, language=language, rng=rng,
+        kernel=kernel, flags={"n": n}, binding_exprs={"eps": 1, "n": "n"},
+        description="all-pairs Lennard-Jones force evaluation",
+    )
+
+
+@family("coulomb_grid", "physics", tendency="cb")
+def build_coulomb(variant: int, language: Language):
+    rng = variant_rng("coulomb_grid", variant, language)
+    dt = _dt(variant)
+    n = _nbody_count(rng, dt)
+
+    def force(dtt):
+        dx = sub(load("px", aff("j"), dtt), var("xi", dtt), dtt)
+        dy = sub(load("py", aff("j"), dtt), var("yi", dtt), dtt)
+        dz = sub(load("pz", aff("j"), dtt), var("zi", dtt), dtt)
+        r2 = add(
+            add(mul(dx, dx, dtt), mul(dy, dy, dtt), dtt),
+            add(mul(dz, dz, dtt), var("eps", dtt), dtt),
+            dtt,
+        )
+        pot = mul(load("q", aff("j"), dtt), call(CallFn.RSQRT, r2, dtype=dtt), dtt)
+        return (Assign("fx", add(var("fx", dtt), pot, dtt), dtt),)
+
+    body = (
+        Let("xi", load("px", aff("gx"), dt), dt),
+        Let("yi", load("py", aff("gx"), dt), dt),
+        Let("zi", load("pz", aff("gx"), dt), dt),
+        Let("fx", mul(_c(0.0, dt), var("xi", dt), dt), dt),
+        For("j", "n", force(dt)),
+        Store("phi", aff("gx"), var("fx", dt), dt),
+    )
+    kernel = Kernel(
+        name="coulomb_potential",
+        arrays=(
+            ArrayDecl("px", dt, "n"),
+            ArrayDecl("py", dt, "n"),
+            ArrayDecl("pz", dt, "n"),
+            ArrayDecl("q", dt, "n"),
+            ArrayDecl("phi", dt, "n", is_output=True),
+        ),
+        params=(ScalarParam("eps", dt), ScalarParam("n", DType.I32)),
+        body=body,
+        work_items="n",
+    )
+    return assemble(
+        family="coulomb_grid", variant=variant, language=language, rng=rng,
+        kernel=kernel, flags={"n": n}, binding_exprs={"eps": 1, "n": "n"},
+        description="electrostatic potential summation over all charges",
+    )
+
+
+@family("sph_density", "physics", tendency="cb")
+def build_sph(variant: int, language: Language):
+    rng = variant_rng("sph_density", variant, language)
+    dt = _dt(variant)
+    n = _nbody_count(rng, dt)
+
+    def contrib(dtt):
+        dx = sub(load("px", aff("j"), dtt), var("xi", dtt), dtt)
+        dy = sub(load("py", aff("j"), dtt), var("yi", dtt), dtt)
+        dz = sub(load("pz", aff("j"), dtt), var("zi", dtt), dtt)
+        r2 = add(
+            add(mul(dx, dx, dtt), mul(dy, dy, dtt), dtt), mul(dz, dz, dtt), dtt
+        )
+        diff = sub(var("h2", dtt), r2, dtt)
+        poly6 = mul(mul(diff, diff, dtt), diff, dtt)
+        cond = BinOp(BinOpKind.LT, r2, var("h2", dtt), DType.I32)
+        return (
+            Let("r2", r2, dtt),
+            Let("diff", diff, dtt),
+            If(
+                cond=cond,
+                then=(
+                    Assign(
+                        "rho",
+                        fma(var("coef", dtt),
+                            mul(mul(var("diff", dtt), var("diff", dtt), dtt),
+                                var("diff", dtt), dtt),
+                            var("rho", dtt), dtt),
+                        dtt,
+                    ),
+                ),
+                taken_fraction=0.22,
+            ),
+        )
+
+    body = (
+        Let("xi", load("px", aff("gx"), dt), dt),
+        Let("yi", load("py", aff("gx"), dt), dt),
+        Let("zi", load("pz", aff("gx"), dt), dt),
+        Let("rho", mul(_c(0.0, dt), var("xi", dt), dt), dt),
+        For("j", "n", contrib(dt)),
+        Store("density", aff("gx"), var("rho", dt), dt),
+    )
+    kernel = Kernel(
+        name="sph_density_kernel",
+        arrays=(
+            ArrayDecl("px", dt, "n"),
+            ArrayDecl("py", dt, "n"),
+            ArrayDecl("pz", dt, "n"),
+            ArrayDecl("density", dt, "n", is_output=True),
+        ),
+        params=(
+            ScalarParam("h2", dt),
+            ScalarParam("coef", dt),
+            ScalarParam("n", DType.I32),
+        ),
+        body=body,
+        work_items="n",
+    )
+    return assemble(
+        family="sph_density", variant=variant, language=language, rng=rng,
+        kernel=kernel, flags={"n": n},
+        binding_exprs={"h2": 1, "coef": 4, "n": "n"},
+        description="SPH poly6 density summation with cutoff branch",
+    )
+
+
+@family("spring_ensemble", "physics", tendency="cb")
+def build_spring(variant: int, language: Language):
+    rng = variant_rng("spring_ensemble", variant, language)
+    dt = _dt(variant)
+    n = draw_size_1d(rng)
+    steps = draw_iters(rng)
+    body = (
+        Let("x", load("x0", aff("gx"), dt), dt),
+        Let("v", load("v0", aff("gx"), dt), dt),
+        For(
+            "s", "steps",
+            (
+                Assign(
+                    "v",
+                    fma(
+                        sub(mul(_c(0.0, dt), var("x", dt), dt),
+                            mul(var("k", dt), var("x", dt), dt), dt),
+                        var("dt_step", dt),
+                        var("v", dt),
+                        dt,
+                    ),
+                    dt,
+                ),
+                Assign("x", fma(var("v", dt), var("dt_step", dt), var("x", dt), dt), dt),
+            ),
+        ),
+        Store("x_out", aff("gx"), var("x", dt), dt),
+        Store("v_out", aff("gx"), var("v", dt), dt),
+    )
+    kernel = Kernel(
+        name="spring_integrate",
+        arrays=(
+            ArrayDecl("x0", dt, "n"),
+            ArrayDecl("v0", dt, "n"),
+            ArrayDecl("x_out", dt, "n", is_output=True),
+            ArrayDecl("v_out", dt, "n", is_output=True),
+        ),
+        params=(
+            ScalarParam("k", dt),
+            ScalarParam("dt_step", dt),
+            ScalarParam("steps", DType.I32),
+            ScalarParam("n", DType.I32),
+        ),
+        body=body,
+        work_items="n",
+    )
+    return assemble(
+        family="spring_ensemble", variant=variant, language=language, rng=rng,
+        kernel=kernel, flags={"n": n, "steps": steps},
+        binding_exprs={"k": 4, "dt_step": 1, "steps": "steps", "n": "n"},
+        description="ensemble of damped springs, semi-implicit Euler",
+    )
+
+
+@family("pendulum_sim", "physics", tendency="cb")
+def build_pendulum(variant: int, language: Language):
+    rng = variant_rng("pendulum_sim", variant, language)
+    dt = _dt(variant)
+    n = draw_size_1d(rng)
+    steps = draw_iters(rng)
+    body = (
+        Let("theta", load("theta0", aff("gx"), dt), dt),
+        Let("omega", load("omega0", aff("gx"), dt), dt),
+        For(
+            "s", "steps",
+            (
+                Let(
+                    "accel",
+                    sub(
+                        mul(_c(0.0, dt), var("theta", dt), dt),
+                        mul(var("g_over_l", dt),
+                            call(CallFn.SIN, var("theta", dt), dtype=dt), dt),
+                        dt,
+                    ),
+                    dt,
+                ),
+                Assign("omega", fma(var("accel", dt), var("h", dt), var("omega", dt), dt), dt),
+                Assign("theta", fma(var("omega", dt), var("h", dt), var("theta", dt), dt), dt),
+            ),
+        ),
+        Store("theta_out", aff("gx"), var("theta", dt), dt),
+    )
+    kernel = Kernel(
+        name="pendulum_integrate",
+        arrays=(
+            ArrayDecl("theta0", dt, "n"),
+            ArrayDecl("omega0", dt, "n"),
+            ArrayDecl("theta_out", dt, "n", is_output=True),
+        ),
+        params=(
+            ScalarParam("g_over_l", dt),
+            ScalarParam("h", dt),
+            ScalarParam("steps", DType.I32),
+            ScalarParam("n", DType.I32),
+        ),
+        body=body,
+        work_items="n",
+    )
+    return assemble(
+        family="pendulum_sim", variant=variant, language=language, rng=rng,
+        kernel=kernel, flags={"n": n, "steps": steps},
+        binding_exprs={"g_over_l": 10, "h": 1, "steps": "steps", "n": "n"},
+        description="nonlinear pendulum ensemble integration",
+    )
+
+
+@family("orbit_rk4", "physics", tendency="cb")
+def build_orbit(variant: int, language: Language):
+    rng = variant_rng("orbit_rk4", variant, language)
+    dt = _dt(variant)
+    n = int(rng.choice([1 << 17, 1 << 18, 1 << 19]))
+    steps = draw_iters(rng)
+
+    def accel(xs: str, ys: str, dtt):
+        r2 = add(
+            mul(var(xs, dtt), var(xs, dtt), dtt),
+            add(mul(var(ys, dtt), var(ys, dtt), dtt), var("soft", dtt), dtt),
+            dtt,
+        )
+        inv_r = call(CallFn.RSQRT, r2, dtype=dtt)
+        inv_r3 = mul(mul(inv_r, inv_r, dtt), inv_r, dtt)
+        return mul(sub(_c(0.0, dtt), var("mu", dtt), dtt), inv_r3, dtt)
+
+    step = (
+        Let("a_coef", accel("x", "y", dt), dt),
+        Assign("vx", fma(mul(var("a_coef", dt), var("x", dt), dt),
+                         var("h", dt), var("vx", dt), dt), dt),
+        Assign("vy", fma(mul(var("a_coef", dt), var("y", dt), dt),
+                         var("h", dt), var("vy", dt), dt), dt),
+        Assign("x", fma(var("vx", dt), var("h", dt), var("x", dt), dt), dt),
+        Assign("y", fma(var("vy", dt), var("h", dt), var("y", dt), dt), dt),
+    )
+    body = (
+        Let("x", load("x0", aff("gx"), dt), dt),
+        Let("y", load("y0", aff("gx"), dt), dt),
+        Let("vx", load("vx0", aff("gx"), dt), dt),
+        Let("vy", load("vy0", aff("gx"), dt), dt),
+        For("s", "steps", step),
+        Store("x_out", aff("gx"), var("x", dt), dt),
+        Store("y_out", aff("gx"), var("y", dt), dt),
+    )
+    kernel = Kernel(
+        name="orbit_integrate",
+        arrays=(
+            ArrayDecl("x0", dt, "n"),
+            ArrayDecl("y0", dt, "n"),
+            ArrayDecl("vx0", dt, "n"),
+            ArrayDecl("vy0", dt, "n"),
+            ArrayDecl("x_out", dt, "n", is_output=True),
+            ArrayDecl("y_out", dt, "n", is_output=True),
+        ),
+        params=(
+            ScalarParam("mu", dt),
+            ScalarParam("soft", dt),
+            ScalarParam("h", dt),
+            ScalarParam("steps", DType.I32),
+            ScalarParam("n", DType.I32),
+        ),
+        body=body,
+        work_items="n",
+    )
+    return assemble(
+        family="orbit_rk4", variant=variant, language=language, rng=rng,
+        kernel=kernel, flags={"n": n, "steps": steps},
+        binding_exprs={"mu": 1, "soft": 1, "h": 1, "steps": "steps", "n": "n"},
+        description="two-body orbit ensemble, symplectic Euler steps",
+    )
+
+
+@family("verlet_step", "physics", tendency="bb")
+def build_verlet(variant: int, language: Language):
+    rng = variant_rng("verlet_step", variant, language)
+    dt = _dt(variant)
+    n = draw_size_1d(rng)
+    body = (
+        Let("xn", load("x", aff("gx"), dt), dt),
+        Let("vn", load("v", aff("gx"), dt), dt),
+        Let("an", load("a", aff("gx"), dt), dt),
+        Let(
+            "x_new",
+            add(var("xn", dt),
+                fma(var("an", dt),
+                    mul(var("half_h2", dt), var("h", dt), dt),
+                    mul(var("vn", dt), var("h", dt), dt), dt), dt),
+            dt,
+        ),
+        Store("x", aff("gx"), var("x_new", dt), dt),
+        Store("v", aff("gx"), fma(var("an", dt), var("h", dt), var("vn", dt), dt), dt),
+    )
+    kernel = Kernel(
+        name="verlet_position_update",
+        arrays=(
+            ArrayDecl("x", dt, "n", is_output=True),
+            ArrayDecl("v", dt, "n", is_output=True),
+            ArrayDecl("a", dt, "n"),
+        ),
+        params=(
+            ScalarParam("h", dt),
+            ScalarParam("half_h2", dt),
+            ScalarParam("n", DType.I32),
+        ),
+        body=body,
+        work_items="n",
+    )
+    return assemble(
+        family="verlet_step", variant=variant, language=language, rng=rng,
+        kernel=kernel, flags={"n": n},
+        binding_exprs={"h": 1, "half_h2": 1, "n": "n"},
+        description="velocity-Verlet position/velocity update",
+    )
+
+
+@family("fdtd1d", "physics", tendency="bb")
+def build_fdtd(variant: int, language: Language):
+    rng = variant_rng("fdtd1d", variant, language)
+    dt = _dt(variant)
+    n = draw_size_1d(rng)
+    body = (
+        Let(
+            "curl",
+            sub(load("hz", aff("gx", const=1), dt), load("hz", aff("gx"), dt), dt),
+            dt,
+        ),
+        Store(
+            "ey", aff("gx"),
+            fma(var("cb", dt), var("curl", dt), load("ey", aff("gx"), dt), dt), dt,
+        ),
+    )
+    kernel = Kernel(
+        name="fdtd_e_update",
+        arrays=(
+            ArrayDecl("hz", dt, "m"),
+            ArrayDecl("ey", dt, "n", is_output=True),
+        ),
+        params=(ScalarParam("cb", dt), ScalarParam("n", DType.I32)),
+        body=body,
+        work_items="n",
+    )
+    return assemble(
+        family="fdtd1d", variant=variant, language=language, rng=rng,
+        kernel=kernel, flags={"n": n, "m": n + 1},
+        binding_exprs={"cb": 1, "n": "n"},
+        description="1-D FDTD electric-field update",
+    )
+
+
+@family("gravity_potential", "physics", tendency="cb")
+def build_gravity_potential(variant: int, language: Language):
+    rng = variant_rng("gravity_potential", variant, language)
+    dt = _dt(variant)
+    n = _nbody_count(rng, dt)
+    body = (
+        Let("xi", load("px", aff("gx"), dt), dt),
+        Let("yi", load("py", aff("gx"), dt), dt),
+        Let("pot", mul(_c(0.0, dt), var("xi", dt), dt), dt),
+        For(
+            "j", "n",
+            (
+                Let("dx", sub(load("px", aff("j"), dt), var("xi", dt), dt), dt),
+                Let("dy", sub(load("py", aff("j"), dt), var("yi", dt), dt), dt),
+                Let(
+                    "r2",
+                    add(
+                        mul(var("dx", dt), var("dx", dt), dt),
+                        add(mul(var("dy", dt), var("dy", dt), dt), var("soft", dt), dt),
+                        dt,
+                    ),
+                    dt,
+                ),
+                Assign(
+                    "pot",
+                    sub(var("pot", dt),
+                        mul(load("mass", aff("j"), dt),
+                            call(CallFn.RSQRT, var("r2", dt), dtype=dt), dt), dt),
+                    dt,
+                ),
+            ),
+        ),
+        Store("phi", aff("gx"), var("pot", dt), dt),
+    )
+    kernel = Kernel(
+        name="gravity_potential_kernel",
+        arrays=(
+            ArrayDecl("px", dt, "n"),
+            ArrayDecl("py", dt, "n"),
+            ArrayDecl("mass", dt, "n"),
+            ArrayDecl("phi", dt, "n", is_output=True),
+        ),
+        params=(ScalarParam("soft", dt), ScalarParam("n", DType.I32)),
+        body=body,
+        work_items="n",
+    )
+    return assemble(
+        family="gravity_potential", variant=variant, language=language, rng=rng,
+        kernel=kernel, flags={"n": n}, binding_exprs={"soft": 1, "n": "n"},
+        description="gravitational potential over all point masses",
+    )
+
+
+@family("md_cutoff", "physics", tendency="mixed")
+def build_md_cutoff(variant: int, language: Language):
+    rng = variant_rng("md_cutoff", variant, language)
+    dt = _dt(variant)
+    n = int(rng.choice([1 << 17, 1 << 18, 1 << 19]))
+    maxn = int(rng.choice([32, 64, 128]))
+    nbr_load = Load("nbr", aff(("gx", "maxn"), "k"), DType.I32)
+    pj = Load("px", DynamicIndex(expr=nbr_load, range_hint="n", pattern="local"), dt)
+    body = (
+        Let("xi", load("px", aff("gx"), dt), dt),
+        Let("fx", mul(_c(0.0, dt), var("xi", dt), dt), dt),
+        For(
+            "k", "maxn",
+            (
+                Let("xj", pj, dt),
+                Let("dx", sub(var("xj", dt), var("xi", dt), dt), dt),
+                Let("r2", fma(var("dx", dt), var("dx", dt), var("soft", dt), dt), dt),
+                If(
+                    cond=BinOp(BinOpKind.LT, var("r2", dt), var("cutoff2", dt), DType.I32),
+                    then=(
+                        Let("inv2", div(_c(1.0, dt), var("r2", dt), dt), dt),
+                        Let("inv6", mul(mul(var("inv2", dt), var("inv2", dt), dt),
+                                        var("inv2", dt), dt), dt),
+                        Assign(
+                            "fx",
+                            fma(
+                                mul(var("inv6", dt), var("inv2", dt), dt),
+                                var("dx", dt),
+                                var("fx", dt),
+                                dt,
+                            ),
+                            dt,
+                        ),
+                    ),
+                    taken_fraction=0.4,
+                ),
+            ),
+        ),
+        Store("force", aff("gx"), var("fx", dt), dt),
+    )
+    kernel = Kernel(
+        name="md_neighbor_forces",
+        arrays=(
+            ArrayDecl("px", dt, "n"),
+            ArrayDecl("nbr", DType.I32, "n*maxn"),
+            ArrayDecl("force", dt, "n", is_output=True),
+        ),
+        params=(
+            ScalarParam("soft", dt),
+            ScalarParam("cutoff2", dt),
+            ScalarParam("maxn", DType.I32),
+            ScalarParam("n", DType.I32),
+        ),
+        body=body,
+        work_items="n",
+    )
+    return assemble(
+        family="md_cutoff", variant=variant, language=language, rng=rng,
+        kernel=kernel, flags={"n": n, "maxn": maxn},
+        binding_exprs={"soft": 1, "cutoff2": 2, "maxn": "maxn", "n": "n"},
+        description="neighbour-list MD force kernel with distance cutoff",
+    )

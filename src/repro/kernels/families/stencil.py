@@ -1,0 +1,443 @@
+"""Stencil families — nearest-neighbour grid updates.
+
+Single-precision stencils sit deep in the bandwidth-bound region; the
+double-precision variants land near the DP balance point (0.61 FLOP/byte on
+the RTX 3080), where the BB/CB outcome hinges on whether the working set
+fits in L2 — a runtime fact that static source inspection cannot see. These
+are the corpus's deliberately-hard cases.
+"""
+
+from __future__ import annotations
+
+from repro.kernels.families import family
+from repro.kernels.families.helpers import (
+    assemble,
+    draw_size_1d,
+    variant_rng,
+)
+from repro.kernels.ir import (
+    ArrayDecl,
+    BinOp,
+    BinOpKind,
+    Const,
+    DType,
+    If,
+    Kernel,
+    Let,
+    ScalarParam,
+    Stmt,
+    Store,
+    Var,
+    add,
+    aff,
+    call,
+    CallFn,
+    load,
+    mul,
+    sub,
+    var,
+)
+from repro.types import Language
+
+
+def _dt(variant: int) -> DType:
+    return DType.F64 if variant in (0, 1, 3) else DType.F32
+
+
+def _side(rng, dt: DType) -> int:
+    # DP domains are kept smaller so some fit in L2 (the interesting cases).
+    if dt is DType.F64:
+        return int(rng.choice([384, 512, 640, 704, 768, 1024]))
+    return int(rng.choice([640, 768, 1024, 1280, 1536, 2048]))
+
+
+def _c(v: float, dt: DType) -> Const:
+    return Const(v, dt)
+
+
+def _i(v: int) -> Const:
+    return Const(v, DType.I32)
+
+
+def _interior_2d(nx_val: int, ny_val: int, body: tuple[Stmt, ...]) -> If:
+    gx = Var("gx", DType.I32)
+    gy = Var("gy", DType.I32)
+    nx = Var("nx", DType.I32)
+    ny = Var("ny", DType.I32)
+    cond = BinOp(
+        BinOpKind.LAND,
+        BinOp(
+            BinOpKind.LAND,
+            BinOp(BinOpKind.GT, gx, _i(0), DType.I32),
+            BinOp(BinOpKind.LT, gx, sub(nx, _i(1), DType.I32), DType.I32),
+            DType.I32,
+        ),
+        BinOp(
+            BinOpKind.LAND,
+            BinOp(BinOpKind.GT, gy, _i(0), DType.I32),
+            BinOp(BinOpKind.LT, gy, sub(ny, _i(1), DType.I32), DType.I32),
+            DType.I32,
+        ),
+        DType.I32,
+    )
+    taken = ((nx_val - 2) * (ny_val - 2)) / float(nx_val * ny_val)
+    return If(cond=cond, then=body, taken_fraction=taken)
+
+
+def _center(dt: DType, off: int = 0, row: int = 0):
+    """Load u[(gy+row)*nx + gx + off] (row-major 2-D neighbour)."""
+    terms: list = [("gy", "nx"), ("gx", 1)]
+    if row:
+        terms.append(("nx", row))
+    return load("u", aff(*terms, const=off), dt)
+
+
+def _stencil_2d_kernel(
+    name: str, dt: DType, expr_builder, nx: int, ny: int
+) -> Kernel:
+    body = (_interior_2d(nx, ny, expr_builder(dt)),)
+    return Kernel(
+        name=name,
+        arrays=(
+            ArrayDecl("u", dt, "nx*ny"),
+            ArrayDecl("out", dt, "nx*ny", is_output=True),
+        ),
+        params=(ScalarParam("nx", DType.I32), ScalarParam("ny", DType.I32)),
+        body=body,
+        work_items="nx",
+        work_items_y="ny",
+    )
+
+
+def _assemble_2d(family_name, variant, language, rng, kernel, nx, ny, description):
+    return assemble(
+        family=family_name, variant=variant, language=language, rng=rng,
+        kernel=kernel, flags={"nx": nx, "ny": ny},
+        binding_exprs={"nx": "nx", "ny": "ny"},
+        description=description, block2d=(16, 16),
+    )
+
+
+@family("stencil1d3", "stencil", tendency="bb")
+def build_stencil1d3(variant: int, language: Language):
+    rng = variant_rng("stencil1d3", variant, language)
+    dt = _dt(variant)
+    n = draw_size_1d(rng)
+    body = (
+        Let("acc", mul(_c(0.25, dt), load("x", aff("gx"), dt), dt), dt),
+        Store(
+            "y", aff("gx"),
+            add(
+                var("acc", dt),
+                add(
+                    mul(_c(0.5, dt), load("x", aff("gx", const=1), dt), dt),
+                    mul(_c(0.25, dt), load("x", aff("gx", const=2), dt), dt),
+                    dt,
+                ),
+                dt,
+            ),
+            dt,
+        ),
+    )
+    kernel = Kernel(
+        name="stencil_1d_3pt",
+        arrays=(ArrayDecl("x", dt, "m"), ArrayDecl("y", dt, "n", is_output=True)),
+        params=(ScalarParam("n", DType.I32),),
+        body=body,
+        work_items="n",
+    )
+    return assemble(
+        family="stencil1d3", variant=variant, language=language, rng=rng,
+        kernel=kernel, flags={"n": n, "m": n + 2}, binding_exprs={"n": "n"},
+        description="three-point weighted 1-D stencil",
+    )
+
+
+@family("stencil1d5", "stencil", tendency="bb")
+def build_stencil1d5(variant: int, language: Language):
+    rng = variant_rng("stencil1d5", variant, language)
+    dt = _dt(variant)
+    n = draw_size_1d(rng)
+    acc = mul(_c(0.1, dt), load("x", aff("gx"), dt), dt)
+    for k, w in ((1, 0.2), (2, 0.4), (3, 0.2), (4, 0.1)):
+        acc = add(acc, mul(_c(w, dt), load("x", aff("gx", const=k), dt), dt), dt)
+    kernel = Kernel(
+        name="stencil_1d_5pt",
+        arrays=(ArrayDecl("x", dt, "m"), ArrayDecl("y", dt, "n", is_output=True)),
+        params=(ScalarParam("n", DType.I32),),
+        body=(Store("y", aff("gx"), acc, dt),),
+        work_items="n",
+    )
+    return assemble(
+        family="stencil1d5", variant=variant, language=language, rng=rng,
+        kernel=kernel, flags={"n": n, "m": n + 4}, binding_exprs={"n": "n"},
+        description="five-point weighted 1-D stencil",
+    )
+
+
+@family("stencil2d5", "stencil", tendency="bb")
+def build_stencil2d5(variant: int, language: Language):
+    rng = variant_rng("stencil2d5", variant, language)
+    dt = _dt(variant)
+    nx = ny = _side(rng, dt)
+
+    def expr(dtt):
+        acc = mul(_c(0.5, dtt), _center(dtt), dtt)
+        for off, row in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+            acc = add(acc, mul(_c(0.125, dtt), _center(dtt, off, row), dtt), dtt)
+        return (Store("out", aff(("gy", "nx"), "gx"), acc, dtt),)
+
+    kernel = _stencil_2d_kernel("stencil_2d_5pt", dt, expr, nx, ny)
+    return _assemble_2d("stencil2d5", variant, language, rng, kernel, nx, ny,
+                        "five-point 2-D stencil sweep")
+
+
+@family("stencil2d9", "stencil", tendency="bb")
+def build_stencil2d9(variant: int, language: Language):
+    rng = variant_rng("stencil2d9", variant, language)
+    dt = _dt(variant)
+    nx = ny = _side(rng, dt)
+
+    def expr(dtt):
+        acc = mul(_c(0.2, dtt), _center(dtt), dtt)
+        for off, row in (
+            (1, 0), (-1, 0), (0, 1), (0, -1), (1, 1), (-1, 1), (1, -1), (-1, -1),
+        ):
+            acc = add(acc, mul(_c(0.1, dtt), _center(dtt, off, row), dtt), dtt)
+        return (Store("out", aff(("gy", "nx"), "gx"), acc, dtt),)
+
+    kernel = _stencil_2d_kernel("stencil_2d_9pt", dt, expr, nx, ny)
+    return _assemble_2d("stencil2d9", variant, language, rng, kernel, nx, ny,
+                        "nine-point box 2-D stencil sweep")
+
+
+@family("stencil3d7", "stencil", tendency="bb")
+def build_stencil3d7(variant: int, language: Language):
+    rng = variant_rng("stencil3d7", variant, language)
+    dt = _dt(variant)
+    s = int(rng.choice([48, 64, 80, 96] if dt is DType.F64 else [96, 128, 160, 192]))
+    n = s * s * s
+    # All reads are centred at gx + s2 inside the padded input grid; plane
+    # stride s*s and row stride s enter as parameter-coefficient terms.
+    acc = mul(_c(0.4, dt), load("u", aff("gx", ("s2", 1)), dt), dt)
+    for term in ((None, 1), (None, -1), ("s", 1), ("s", -1), ("s2", 1), ("s2", -1)):
+        sym, sign = term
+        if sym is None:
+            idx = aff("gx", ("s2", 1), const=sign)
+        elif sym == "s2":
+            idx = aff("gx", ("s2", 2)) if sign > 0 else aff("gx")
+        else:
+            idx = aff("gx", ("s2", 1), (sym, sign))
+        acc = add(acc, mul(_c(0.1, dt), load("u", idx, dt), dt), dt)
+    kernel = Kernel(
+        name="stencil_3d_7pt",
+        arrays=(ArrayDecl("u", dt, "m"), ArrayDecl("out", dt, "n", is_output=True)),
+        params=(
+            ScalarParam("n", DType.I32),
+            ScalarParam("s", DType.I32),
+            ScalarParam("s2", DType.I32),
+        ),
+        body=(Store("out", aff("gx"), acc, dt),),
+        work_items="n",
+    )
+    return assemble(
+        family="stencil3d7", variant=variant, language=language, rng=rng,
+        kernel=kernel,
+        flags={"n": n, "s": s, "s2": s * s, "m": n + 2 * s * s + s},
+        binding_exprs={"n": "n", "s": "s", "s2": "s2"},
+        description="seven-point 3-D stencil on a flattened grid",
+    )
+
+
+@family("jacobi2d", "stencil", tendency="mixed")
+def build_jacobi2d(variant: int, language: Language):
+    rng = variant_rng("jacobi2d", variant, language)
+    dt = _dt(variant)
+    nx = ny = _side(rng, dt)
+
+    def expr(dtt):
+        acc = _center(dtt, 1, 0)
+        for off, row in ((-1, 0), (0, 1), (0, -1)):
+            acc = add(acc, _center(dtt, off, row), dtt)
+        return (Store("out", aff(("gy", "nx"), "gx"), mul(_c(0.25, dtt), acc, dtt), dtt),)
+
+    kernel = _stencil_2d_kernel("jacobi_step", dt, expr, nx, ny)
+    return _assemble_2d("jacobi2d", variant, language, rng, kernel, nx, ny,
+                        "one Jacobi relaxation sweep")
+
+
+@family("heat2d", "stencil", tendency="mixed")
+def build_heat2d(variant: int, language: Language):
+    rng = variant_rng("heat2d", variant, language)
+    dt = _dt(variant)
+    nx = ny = _side(rng, dt)
+
+    def expr(dtt):
+        # Anisotropic diffusion plus a logistic reaction term: enough
+        # arithmetic per point that the DP variant straddles the DP balance
+        # point depending on whether the grid fits in L2.
+        c = _center(dtt)
+        lap_x = sub(add(_center(dtt, 1, 0), _center(dtt, -1, 0), dtt),
+                    mul(_c(2.0, dtt), c, dtt), dtt)
+        lap_y = sub(add(_center(dtt, 0, 1), _center(dtt, 0, -1), dtt),
+                    mul(_c(2.0, dtt), c, dtt), dtt)
+        diffusion = add(
+            mul(var("alpha", dtt), lap_x, dtt),
+            mul(mul(var("alpha", dtt), _c(0.85, dtt), dtt), lap_y, dtt),
+            dtt,
+        )
+        reaction = mul(
+            mul(_c(0.0625, dtt), c, dtt), sub(_c(1.0, dtt), c, dtt), dtt
+        )
+        new = add(c, add(diffusion, reaction, dtt), dtt)
+        return (Store("out", aff(("gy", "nx"), "gx"), new, dtt),)
+
+    body = (_interior_2d(nx, ny, expr(dt)),)
+    kernel = Kernel(
+        name="heat_step",
+        arrays=(
+            ArrayDecl("u", dt, "nx*ny"),
+            ArrayDecl("out", dt, "nx*ny", is_output=True),
+        ),
+        params=(
+            ScalarParam("alpha", dt),
+            ScalarParam("nx", DType.I32),
+            ScalarParam("ny", DType.I32),
+        ),
+        body=body,
+        work_items="nx",
+        work_items_y="ny",
+    )
+    return assemble(
+        family="heat2d", variant=variant, language=language, rng=rng, kernel=kernel,
+        flags={"nx": nx, "ny": ny},
+        binding_exprs={"alpha": 1, "nx": "nx", "ny": "ny"},
+        description="explicit heat-equation time step", block2d=(16, 16),
+    )
+
+
+@family("laplacian2d", "stencil", tendency="bb")
+def build_laplacian2d(variant: int, language: Language):
+    rng = variant_rng("laplacian2d", variant, language)
+    dt = _dt(variant)
+    nx = ny = _side(rng, dt)
+
+    def expr(dtt):
+        lap = sub(
+            add(add(_center(dtt, 1, 0), _center(dtt, -1, 0), dtt),
+                add(_center(dtt, 0, 1), _center(dtt, 0, -1), dtt), dtt),
+            mul(_c(4.0, dtt), _center(dtt), dtt),
+            dtt,
+        )
+        return (Store("out", aff(("gy", "nx"), "gx"), lap, dtt),)
+
+    kernel = _stencil_2d_kernel("laplacian_2d", dt, expr, nx, ny)
+    return _assemble_2d("laplacian2d", variant, language, rng, kernel, nx, ny,
+                        "discrete 2-D Laplacian")
+
+
+@family("gradmag2d", "stencil", tendency="mixed")
+def build_gradmag2d(variant: int, language: Language):
+    rng = variant_rng("gradmag2d", variant, language)
+    dt = _dt(variant)
+    nx = ny = _side(rng, dt)
+
+    def expr(dtt):
+        dx = mul(_c(0.5, dtt), sub(_center(dtt, 1, 0), _center(dtt, -1, 0), dtt), dtt)
+        dy = mul(_c(0.5, dtt), sub(_center(dtt, 0, 1), _center(dtt, 0, -1), dtt), dtt)
+        mag = call(
+            CallFn.SQRT,
+            add(mul(dx, dx, dtt), mul(dy, dy, dtt), dtt),
+            dtype=dtt,
+        )
+        return (Store("out", aff(("gy", "nx"), "gx"), mag, dtt),)
+
+    kernel = _stencil_2d_kernel("gradient_magnitude", dt, expr, nx, ny)
+    return _assemble_2d("gradmag2d", variant, language, rng, kernel, nx, ny,
+                        "central-difference gradient magnitude")
+
+
+@family("blur3x3", "stencil", tendency="mixed")
+def build_blur3x3(variant: int, language: Language):
+    rng = variant_rng("blur3x3", variant, language)
+    dt = _dt(variant)
+    nx = ny = _side(rng, dt)
+    weights = (0.0625, 0.125, 0.0625, 0.125, 0.25, 0.125, 0.0625, 0.125, 0.0625)
+
+    def expr(dtt):
+        taps = [(-1, -1), (0, -1), (1, -1), (-1, 0), (0, 0), (1, 0), (-1, 1), (0, 1), (1, 1)]
+        acc = mul(_c(weights[0], dtt), _center(dtt, *taps[0]), dtt)
+        for w, (off, row) in zip(weights[1:], taps[1:]):
+            acc = add(acc, mul(_c(w, dtt), _center(dtt, off, row), dtt), dtt)
+        return (Store("out", aff(("gy", "nx"), "gx"), acc, dtt),)
+
+    kernel = _stencil_2d_kernel("gaussian_blur_3x3", dt, expr, nx, ny)
+    return _assemble_2d("blur3x3", variant, language, rng, kernel, nx, ny,
+                        "separable-weight 3x3 Gaussian blur")
+
+
+@family("sobel2d", "stencil", tendency="mixed")
+def build_sobel2d(variant: int, language: Language):
+    rng = variant_rng("sobel2d", variant, language)
+    dt = _dt(variant)
+    nx = ny = _side(rng, dt)
+
+    def expr(dtt):
+        gx_acc = sub(
+            add(add(_center(dtt, 1, -1), mul(_c(2.0, dtt), _center(dtt, 1, 0), dtt), dtt),
+                _center(dtt, 1, 1), dtt),
+            add(add(_center(dtt, -1, -1), mul(_c(2.0, dtt), _center(dtt, -1, 0), dtt), dtt),
+                _center(dtt, -1, 1), dtt),
+            dtt,
+        )
+        gy_acc = sub(
+            add(add(_center(dtt, -1, 1), mul(_c(2.0, dtt), _center(dtt, 0, 1), dtt), dtt),
+                _center(dtt, 1, 1), dtt),
+            add(add(_center(dtt, -1, -1), mul(_c(2.0, dtt), _center(dtt, 0, -1), dtt), dtt),
+                _center(dtt, 1, -1), dtt),
+            dtt,
+        )
+        mag = add(
+            call(CallFn.FABS, gx_acc, dtype=dtt),
+            call(CallFn.FABS, gy_acc, dtype=dtt),
+            dtt,
+        )
+        return (Store("out", aff(("gy", "nx"), "gx"), mag, dtt),)
+
+    kernel = _stencil_2d_kernel("sobel_filter", dt, expr, nx, ny)
+    return _assemble_2d("sobel2d", variant, language, rng, kernel, nx, ny,
+                        "Sobel edge-detection filter")
+
+
+@family("wave1d", "stencil", tendency="bb")
+def build_wave1d(variant: int, language: Language):
+    rng = variant_rng("wave1d", variant, language)
+    dt = _dt(variant)
+    n = draw_size_1d(rng)
+    u = load("u", aff("gx", const=1), dt)
+    lap = sub(
+        add(load("u", aff("gx"), dt), load("u", aff("gx", const=2), dt), dt),
+        mul(_c(2.0, dt), u, dt),
+        dt,
+    )
+    new = sub(
+        add(mul(_c(2.0, dt), u, dt), mul(var("c2", dt), lap, dt), dt),
+        load("u_prev", aff("gx", const=1), dt),
+        dt,
+    )
+    kernel = Kernel(
+        name="wave_step",
+        arrays=(
+            ArrayDecl("u", dt, "m"),
+            ArrayDecl("u_prev", dt, "m"),
+            ArrayDecl("u_next", dt, "n", is_output=True),
+        ),
+        params=(ScalarParam("c2", dt), ScalarParam("n", DType.I32)),
+        body=(Store("u_next", aff("gx"), new, dt),),
+        work_items="n",
+    )
+    return assemble(
+        family="wave1d", variant=variant, language=language, rng=rng, kernel=kernel,
+        flags={"n": n, "m": n + 2}, binding_exprs={"c2": 1, "n": "n"},
+        description="second-order 1-D wave-equation update",
+    )

@@ -1,0 +1,542 @@
+"""Streaming / BLAS-1 style families — low arithmetic intensity, typically
+bandwidth-bound on any hardware (the dense cloud hugging the memory roofline
+in the paper's Figure 1)."""
+
+from __future__ import annotations
+
+from repro.kernels.families import family
+from repro.kernels.families.helpers import (
+    assemble,
+    draw_size_1d,
+    variant_rng,
+)
+from repro.kernels.ir import (
+    ArrayDecl,
+    AtomicAdd,
+    BinOp,
+    BinOpKind,
+    Call,
+    CallFn,
+    Cast,
+    Const,
+    DType,
+    Kernel,
+    Let,
+    ScalarParam,
+    Store,
+    Var,
+    add,
+    aff,
+    div,
+    load,
+    mul,
+    sub,
+    var,
+)
+from repro.types import Language
+
+
+def _dt(variant: int, dp_variants: tuple[int, ...] = (1, 3)) -> DType:
+    return DType.F64 if variant in dp_variants else DType.F32
+
+
+def _c(v: float, dt: DType) -> Const:
+    return Const(v, dt)
+
+
+@family("vecadd", "streaming", tendency="bb")
+def build_vecadd(variant: int, language: Language):
+    rng = variant_rng("vecadd", variant, language)
+    dt = _dt(variant)
+    n = draw_size_1d(rng)
+    body = (
+        Let("av", load("a", aff("gx"), dt), dt),
+        Let("bv", load("b", aff("gx"), dt), dt),
+        Store("c", aff("gx"), add(var("av", dt), var("bv", dt), dt), dt),
+    )
+    kernel = Kernel(
+        name="vector_add",
+        arrays=(
+            ArrayDecl("a", dt, "n"),
+            ArrayDecl("b", dt, "n"),
+            ArrayDecl("c", dt, "n", is_output=True),
+        ),
+        params=(ScalarParam("n", DType.I32),),
+        body=body,
+        work_items="n",
+    )
+    return assemble(
+        family="vecadd", variant=variant, language=language, rng=rng, kernel=kernel,
+        flags={"n": n}, binding_exprs={"n": "n"},
+        description="element-wise vector addition c = a + b",
+    )
+
+
+@family("saxpy", "streaming", tendency="bb")
+def build_saxpy(variant: int, language: Language):
+    rng = variant_rng("saxpy", variant, language)
+    dt = _dt(variant)
+    n = draw_size_1d(rng)
+    body = (
+        Let("xv", load("x", aff("gx"), dt), dt),
+        Let("yv", load("y", aff("gx"), dt), dt),
+        Store(
+            "y", aff("gx"),
+            add(mul(var("alpha", dt), var("xv", dt), dt), var("yv", dt), dt), dt,
+        ),
+    )
+    kernel = Kernel(
+        name="saxpy_kernel",
+        arrays=(ArrayDecl("x", dt, "n"), ArrayDecl("y", dt, "n", is_output=True)),
+        params=(ScalarParam("alpha", dt), ScalarParam("n", DType.I32)),
+        body=body,
+        work_items="n",
+    )
+    return assemble(
+        family="saxpy", variant=variant, language=language, rng=rng, kernel=kernel,
+        flags={"n": n}, binding_exprs={"alpha": 2, "n": "n"},
+        description="scaled vector update y = alpha * x + y",
+    )
+
+
+@family("triad", "streaming", tendency="bb")
+def build_triad(variant: int, language: Language):
+    rng = variant_rng("triad", variant, language)
+    dt = _dt(variant)
+    n = draw_size_1d(rng)
+    body = (
+        Store(
+            "a", aff("gx"),
+            add(
+                load("b", aff("gx"), dt),
+                mul(var("scalar", dt), load("c", aff("gx"), dt), dt), dt,
+            ),
+            dt,
+        ),
+    )
+    kernel = Kernel(
+        name="stream_triad",
+        arrays=(
+            ArrayDecl("a", dt, "n", is_output=True),
+            ArrayDecl("b", dt, "n"),
+            ArrayDecl("c", dt, "n"),
+        ),
+        params=(ScalarParam("scalar", dt), ScalarParam("n", DType.I32)),
+        body=body,
+        work_items="n",
+    )
+    return assemble(
+        family="triad", variant=variant, language=language, rng=rng, kernel=kernel,
+        flags={"n": n}, binding_exprs={"scalar": 3, "n": "n"},
+        description="STREAM triad a = b + scalar * c",
+    )
+
+
+@family("vecscale", "streaming", tendency="bb")
+def build_vecscale(variant: int, language: Language):
+    rng = variant_rng("vecscale", variant, language)
+    dt = _dt(variant)
+    n = draw_size_1d(rng)
+    body = (
+        Store("y", aff("gx"), mul(var("s", dt), load("x", aff("gx"), dt), dt), dt),
+    )
+    kernel = Kernel(
+        name="scale_kernel",
+        arrays=(ArrayDecl("x", dt, "n"), ArrayDecl("y", dt, "n", is_output=True)),
+        params=(ScalarParam("s", dt), ScalarParam("n", DType.I32)),
+        body=body,
+        work_items="n",
+    )
+    return assemble(
+        family="vecscale", variant=variant, language=language, rng=rng, kernel=kernel,
+        flags={"n": n}, binding_exprs={"s": 5, "n": "n"},
+        description="vector scaling y = s * x",
+    )
+
+
+@family("veccopy", "streaming", tendency="bb")
+def build_veccopy(variant: int, language: Language):
+    rng = variant_rng("veccopy", variant, language)
+    dt = _dt(variant, (2, 4))
+    n = draw_size_1d(rng)
+    body = (Store("dst", aff("gx"), load("src", aff("gx"), dt), dt),)
+    kernel = Kernel(
+        name="copy_kernel",
+        arrays=(ArrayDecl("src", dt, "n"), ArrayDecl("dst", dt, "n", is_output=True)),
+        params=(ScalarParam("n", DType.I32),),
+        body=body,
+        work_items="n",
+    )
+    return assemble(
+        family="veccopy", variant=variant, language=language, rng=rng, kernel=kernel,
+        flags={"n": n}, binding_exprs={"n": "n"},
+        description="device memory copy dst = src",
+    )
+
+
+@family("dotprod", "streaming", tendency="bb")
+def build_dotprod(variant: int, language: Language):
+    rng = variant_rng("dotprod", variant, language)
+    dt = _dt(variant)
+    n = draw_size_1d(rng)
+    body = (
+        Let("p", mul(load("x", aff("gx"), dt), load("y", aff("gx"), dt), dt), dt),
+        AtomicAdd("result", aff(const=0), var("p", dt), dt),
+    )
+    kernel = Kernel(
+        name="dot_product",
+        arrays=(
+            ArrayDecl("x", dt, "n"),
+            ArrayDecl("y", dt, "n"),
+            ArrayDecl("result", dt, 1, is_output=True),
+        ),
+        params=(ScalarParam("n", DType.I32),),
+        body=body,
+        work_items="n",
+    )
+    return assemble(
+        family="dotprod", variant=variant, language=language, rng=rng, kernel=kernel,
+        flags={"n": n}, binding_exprs={"n": "n"},
+        description="dot product via atomic accumulation",
+    )
+
+
+@family("reduce_sum", "streaming", tendency="bb")
+def build_reduce_sum(variant: int, language: Language):
+    rng = variant_rng("reduce_sum", variant, language)
+    dt = _dt(variant)
+    n = draw_size_1d(rng)
+    body = (
+        Let("v", load("x", aff("gx"), dt), dt),
+        AtomicAdd("total", aff(const=0), var("v", dt), dt),
+    )
+    kernel = Kernel(
+        name="reduce_sum_kernel",
+        arrays=(ArrayDecl("x", dt, "n"), ArrayDecl("total", dt, 1, is_output=True)),
+        params=(ScalarParam("n", DType.I32),),
+        body=body,
+        work_items="n",
+    )
+    return assemble(
+        family="reduce_sum", variant=variant, language=language, rng=rng, kernel=kernel,
+        flags={"n": n}, binding_exprs={"n": "n"},
+        description="global sum reduction",
+    )
+
+
+@family("axpby", "streaming", tendency="bb")
+def build_axpby(variant: int, language: Language):
+    rng = variant_rng("axpby", variant, language)
+    dt = _dt(variant)
+    n = draw_size_1d(rng)
+    body = (
+        Store(
+            "y", aff("gx"),
+            add(
+                mul(var("a", dt), load("x", aff("gx"), dt), dt),
+                mul(var("b", dt), load("y", aff("gx"), dt), dt),
+                dt,
+            ),
+            dt,
+        ),
+    )
+    kernel = Kernel(
+        name="axpby_kernel",
+        arrays=(ArrayDecl("x", dt, "n"), ArrayDecl("y", dt, "n", is_output=True)),
+        params=(ScalarParam("a", dt), ScalarParam("b", dt), ScalarParam("n", DType.I32)),
+        body=body,
+        work_items="n",
+    )
+    return assemble(
+        family="axpby", variant=variant, language=language, rng=rng, kernel=kernel,
+        flags={"n": n}, binding_exprs={"a": 2, "b": 3, "n": "n"},
+        description="BLAS-1 update y = a * x + b * y",
+    )
+
+
+@family("hadamard", "streaming", tendency="bb")
+def build_hadamard(variant: int, language: Language):
+    rng = variant_rng("hadamard", variant, language)
+    dt = _dt(variant)
+    n = draw_size_1d(rng)
+    body = (
+        Store(
+            "c", aff("gx"),
+            mul(load("a", aff("gx"), dt), load("b", aff("gx"), dt), dt), dt,
+        ),
+    )
+    kernel = Kernel(
+        name="hadamard_product",
+        arrays=(
+            ArrayDecl("a", dt, "n"),
+            ArrayDecl("b", dt, "n"),
+            ArrayDecl("c", dt, "n", is_output=True),
+        ),
+        params=(ScalarParam("n", DType.I32),),
+        body=body,
+        work_items="n",
+    )
+    return assemble(
+        family="hadamard", variant=variant, language=language, rng=rng, kernel=kernel,
+        flags={"n": n}, binding_exprs={"n": "n"},
+        description="element-wise product c = a .* b",
+    )
+
+
+@family("absdiff", "streaming", tendency="bb")
+def build_absdiff(variant: int, language: Language):
+    rng = variant_rng("absdiff", variant, language)
+    dt = _dt(variant)
+    n = draw_size_1d(rng)
+    body = (
+        Store(
+            "c", aff("gx"),
+            Call(CallFn.FABS,
+                 (sub(load("a", aff("gx"), dt), load("b", aff("gx"), dt), dt),), dt),
+            dt,
+        ),
+    )
+    kernel = Kernel(
+        name="abs_difference",
+        arrays=(
+            ArrayDecl("a", dt, "n"),
+            ArrayDecl("b", dt, "n"),
+            ArrayDecl("c", dt, "n", is_output=True),
+        ),
+        params=(ScalarParam("n", DType.I32),),
+        body=body,
+        work_items="n",
+    )
+    return assemble(
+        family="absdiff", variant=variant, language=language, rng=rng, kernel=kernel,
+        flags={"n": n}, binding_exprs={"n": "n"},
+        description="element-wise absolute difference",
+    )
+
+
+@family("lerp_blend", "streaming", tendency="bb")
+def build_lerp(variant: int, language: Language):
+    rng = variant_rng("lerp_blend", variant, language)
+    dt = _dt(variant)
+    n = draw_size_1d(rng)
+    body = (
+        Let("av", load("a", aff("gx"), dt), dt),
+        Let("bv", load("b", aff("gx"), dt), dt),
+        Store(
+            "c", aff("gx"),
+            add(var("av", dt),
+                mul(var("t", dt), sub(var("bv", dt), var("av", dt), dt), dt), dt),
+            dt,
+        ),
+    )
+    kernel = Kernel(
+        name="lerp_kernel",
+        arrays=(
+            ArrayDecl("a", dt, "n"),
+            ArrayDecl("b", dt, "n"),
+            ArrayDecl("c", dt, "n", is_output=True),
+        ),
+        params=(ScalarParam("t", dt), ScalarParam("n", DType.I32)),
+        body=body,
+        work_items="n",
+    )
+    return assemble(
+        family="lerp_blend", variant=variant, language=language, rng=rng, kernel=kernel,
+        flags={"n": n}, binding_exprs={"t": 1, "n": "n"},
+        description="linear interpolation c = a + t * (b - a)",
+    )
+
+
+@family("clamp_scale", "streaming", tendency="bb")
+def build_clamp_scale(variant: int, language: Language):
+    rng = variant_rng("clamp_scale", variant, language)
+    dt = _dt(variant)
+    n = draw_size_1d(rng)
+    scaled = mul(var("s", dt), load("x", aff("gx"), dt), dt)
+    clamped = BinOp(
+        BinOpKind.MIN,
+        BinOp(BinOpKind.MAX, scaled, _c(0.0, dt), dt),
+        _c(255.0, dt),
+        dt,
+    )
+    kernel = Kernel(
+        name="clamp_scale_kernel",
+        arrays=(ArrayDecl("x", dt, "n"), ArrayDecl("y", dt, "n", is_output=True)),
+        params=(ScalarParam("s", dt), ScalarParam("n", DType.I32)),
+        body=(Store("y", aff("gx"), clamped, dt),),
+        work_items="n",
+    )
+    return assemble(
+        family="clamp_scale", variant=variant, language=language, rng=rng, kernel=kernel,
+        flags={"n": n}, binding_exprs={"s": 4, "n": "n"},
+        description="scale then clamp to [0, 255]",
+    )
+
+
+@family("relu_map", "streaming", tendency="bb")
+def build_relu(variant: int, language: Language):
+    rng = variant_rng("relu_map", variant, language)
+    dt = _dt(variant)
+    n = draw_size_1d(rng)
+    body = (
+        Store(
+            "y", aff("gx"),
+            BinOp(BinOpKind.MAX, load("x", aff("gx"), dt), _c(0.0, dt), dt), dt,
+        ),
+    )
+    kernel = Kernel(
+        name="relu_kernel",
+        arrays=(ArrayDecl("x", dt, "n"), ArrayDecl("y", dt, "n", is_output=True)),
+        params=(ScalarParam("n", DType.I32),),
+        body=body,
+        work_items="n",
+    )
+    return assemble(
+        family="relu_map", variant=variant, language=language, rng=rng, kernel=kernel,
+        flags={"n": n}, binding_exprs={"n": "n"},
+        description="rectified linear activation y = max(x, 0)",
+    )
+
+
+@family("leaky_relu", "streaming", tendency="bb")
+def build_leaky_relu(variant: int, language: Language):
+    from repro.kernels.ir import Select
+
+    rng = variant_rng("leaky_relu", variant, language)
+    dt = _dt(variant)
+    n = draw_size_1d(rng)
+    xv = var("xv", dt)
+    body = (
+        Let("xv", load("x", aff("gx"), dt), dt),
+        Store(
+            "y", aff("gx"),
+            Select(
+                BinOp(BinOpKind.GT, xv, _c(0.0, dt), dt),
+                xv,
+                mul(_c(0.01, dt), xv, dt),
+                dt,
+            ),
+            dt,
+        ),
+    )
+    kernel = Kernel(
+        name="leaky_relu_kernel",
+        arrays=(ArrayDecl("x", dt, "n"), ArrayDecl("y", dt, "n", is_output=True)),
+        params=(ScalarParam("n", DType.I32),),
+        body=body,
+        work_items="n",
+    )
+    return assemble(
+        family="leaky_relu", variant=variant, language=language, rng=rng, kernel=kernel,
+        flags={"n": n}, binding_exprs={"n": "n"},
+        description="leaky ReLU activation",
+    )
+
+
+@family("saturating_add", "streaming", tendency="bb")
+def build_saturating_add(variant: int, language: Language):
+    rng = variant_rng("saturating_add", variant, language)
+    dt = _dt(variant, (2,))
+    n = draw_size_1d(rng)
+    body = (
+        Store(
+            "c", aff("gx"),
+            BinOp(
+                BinOpKind.MIN,
+                add(load("a", aff("gx"), dt), load("b", aff("gx"), dt), dt),
+                var("cap", dt),
+                dt,
+            ),
+            dt,
+        ),
+    )
+    kernel = Kernel(
+        name="saturating_add_kernel",
+        arrays=(
+            ArrayDecl("a", dt, "n"),
+            ArrayDecl("b", dt, "n"),
+            ArrayDecl("c", dt, "n", is_output=True),
+        ),
+        params=(ScalarParam("cap", dt), ScalarParam("n", DType.I32)),
+        body=body,
+        work_items="n",
+    )
+    return assemble(
+        family="saturating_add", variant=variant, language=language, rng=rng,
+        kernel=kernel, flags={"n": n}, binding_exprs={"cap": 100, "n": "n"},
+        description="saturating elementwise addition",
+    )
+
+
+@family("stream_update", "streaming", tendency="bb")
+def build_stream_update(variant: int, language: Language):
+    rng = variant_rng("stream_update", variant, language)
+    dt = _dt(variant)
+    n = draw_size_1d(rng)
+    body = (
+        Store(
+            "y", aff("gx"),
+            add(mul(var("a", dt), load("y", aff("gx"), dt), dt), var("b", dt), dt), dt,
+        ),
+    )
+    kernel = Kernel(
+        name="inplace_update",
+        arrays=(ArrayDecl("y", dt, "n", is_output=True),),
+        params=(ScalarParam("a", dt), ScalarParam("b", dt), ScalarParam("n", DType.I32)),
+        body=body,
+        work_items="n",
+    )
+    return assemble(
+        family="stream_update", variant=variant, language=language, rng=rng,
+        kernel=kernel, flags={"n": n}, binding_exprs={"a": 2, "b": 1, "n": "n"},
+        description="in-place affine update y = a * y + b",
+    )
+
+
+@family("strided_gather", "streaming", tendency="bb")
+def build_strided_gather(variant: int, language: Language):
+    rng = variant_rng("strided_gather", variant, language)
+    dt = _dt(variant, (3,))
+    n = draw_size_1d(rng)
+    stride = int(rng.choice([2, 4, 8, 16]))
+    body = (
+        Store("y", aff("gx"), load("x", aff(("gx", stride)), dt), dt),
+    )
+    kernel = Kernel(
+        name="strided_gather_kernel",
+        arrays=(
+            ArrayDecl("x", dt, f"{stride}*n"),
+            ArrayDecl("y", dt, "n", is_output=True),
+        ),
+        params=(ScalarParam("n", DType.I32),),
+        body=body,
+        work_items="n",
+    )
+    return assemble(
+        family="strided_gather", variant=variant, language=language, rng=rng,
+        kernel=kernel, flags={"n": n}, binding_exprs={"n": "n"},
+        description=f"strided load with stride {stride} (uncoalesced)",
+    )
+
+
+@family("reverse_copy", "streaming", tendency="bb")
+def build_reverse_copy(variant: int, language: Language):
+    rng = variant_rng("reverse_copy", variant, language)
+    dt = _dt(variant, (2,))
+    n = draw_size_1d(rng)
+    # y[gx] = x[n - 1 - gx]; descending unit stride still coalesces.
+    body = (
+        Store("y", aff("gx"), load("x", aff(("gx", -1), ("n", 1), const=-1), dt), dt),
+    )
+    kernel = Kernel(
+        name="reverse_copy_kernel",
+        arrays=(ArrayDecl("x", dt, "n"), ArrayDecl("y", dt, "n", is_output=True)),
+        params=(ScalarParam("n", DType.I32),),
+        body=body,
+        work_items="n",
+    )
+    return assemble(
+        family="reverse_copy", variant=variant, language=language, rng=rng,
+        kernel=kernel, flags={"n": n}, binding_exprs={"n": "n"},
+        description="reversed copy y[i] = x[n-1-i]",
+    )

@@ -1,0 +1,531 @@
+"""Kernel intermediate representation.
+
+One IR drives three consumers:
+
+* :mod:`repro.kernels.codegen` renders it to CUDA and OpenMP-offload source
+  text (what the LLMs see),
+* :mod:`repro.gpusim` interprets it to produce dynamic op/byte counters
+  (what the "profiler" measures → ground-truth labels),
+* :mod:`repro.analysis` never sees the IR — it works from the rendered
+  source text only, exactly like the LLMs in the paper.
+
+The IR models the performance-relevant structure of GPU kernels: per-thread
+straight-line arithmetic, sequential loops, global/shared array accesses with
+affine or data-dependent indexing, branches with data-dependent taken
+fractions, atomics, and barriers.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping, Sequence, Union
+
+
+class DType(str, enum.Enum):
+    """Scalar element types."""
+
+    F32 = "float"
+    F64 = "double"
+    I32 = "int"
+    I64 = "long long"
+
+    @property
+    def size(self) -> int:
+        return {DType.F32: 4, DType.F64: 8, DType.I32: 4, DType.I64: 8}[self]
+
+    @property
+    def is_float(self) -> bool:
+        return self in (DType.F32, DType.F64)
+
+    @property
+    def c_name(self) -> str:
+        return self.value
+
+
+class Scope(str, enum.Enum):
+    """Memory scope of an array."""
+
+    GLOBAL = "global"
+    SHARED = "shared"
+
+
+#: A compile-time-or-runtime scalar extent: either a literal or the name of a
+#: kernel scalar parameter bound at launch (e.g. ``"n"``).
+IndexScalar = Union[int, str]
+
+
+def eval_scalar(x: IndexScalar, bindings: Mapping[str, int]) -> int:
+    """Resolve an :data:`IndexScalar` against runtime parameter bindings.
+
+    String scalars may be a single parameter name or a ``*``-separated
+    product of names and integer literals (``"n*n"``, ``"3*n"``), matching
+    the size expressions rendered into host allocation code.
+    """
+    if isinstance(x, bool):
+        raise TypeError("bool is not a valid IndexScalar")
+    if isinstance(x, int):
+        return x
+    total = 1
+    for factor in x.split("*"):
+        f = factor.strip()
+        if not f:
+            raise ValueError(f"malformed scalar expression {x!r}")
+        if f.lstrip("-").isdigit():
+            total *= int(f)
+        else:
+            try:
+                total *= int(bindings[f])
+            except KeyError:
+                raise KeyError(
+                    f"unbound scalar parameter {f!r} in {x!r}; have {sorted(bindings)}"
+                ) from None
+    return total
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Expr:
+    """Base class for arithmetic expressions."""
+
+    def children(self) -> Sequence["Expr"]:
+        return ()
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    value: float | int
+    dtype: DType = DType.F32
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    """A scalar register / parameter / loop variable reference."""
+
+    name: str
+    dtype: DType = DType.F32
+
+
+@dataclass(frozen=True)
+class AffineIndex:
+    """An affine index expression ``sum(coeff_i * sym_i) + const``.
+
+    ``sym`` names are thread-id symbols (``gx``, ``gy``, ``lx``) or loop
+    variables; coefficients may be literal ints or scalar-parameter names
+    (e.g. row-major ``A[gy * n + gx]`` has the term ``("gy", "n")``).
+    """
+
+    terms: tuple[tuple[str, IndexScalar], ...] = ()
+    const: int = 0
+
+    def coeff(self, sym: str, bindings: Mapping[str, int]) -> int:
+        """Numeric coefficient of ``sym`` under parameter bindings."""
+        total = 0
+        for s, c in self.terms:
+            if s == sym:
+                total += eval_scalar(c, bindings)
+        return total
+
+    def symbols(self) -> tuple[str, ...]:
+        return tuple(s for s, _ in self.terms)
+
+    def shift(self, delta: int) -> "AffineIndex":
+        return AffineIndex(terms=self.terms, const=self.const + delta)
+
+
+@dataclass(frozen=True)
+class DynamicIndex:
+    """A data-dependent index (gather/scatter), e.g. ``hist[key % nbins]``.
+
+    ``expr`` is rendered in source; ``range_hint`` bounds the set of distinct
+    locations touched (the profiler uses it for its cache model); ``pattern``
+    hints locality: ``"random"`` for uniform scatter, ``"local"`` for
+    neighbourhood-limited indirection.
+    """
+
+    expr: Expr
+    range_hint: IndexScalar
+    pattern: str = "random"
+
+
+Index = Union[AffineIndex, DynamicIndex]
+
+
+def aff(*terms: tuple[str, IndexScalar] | str, const: int = 0) -> AffineIndex:
+    """Convenience constructor: ``aff("gx")``, ``aff(("gy","n"), "gx", const=1)``."""
+    norm: list[tuple[str, IndexScalar]] = []
+    for t in terms:
+        if isinstance(t, str):
+            norm.append((t, 1))
+        else:
+            sym, coeff = t
+            norm.append((sym, coeff))
+    return AffineIndex(terms=tuple(norm), const=const)
+
+
+@dataclass(frozen=True)
+class Load(Expr):
+    """Read one element of an array."""
+
+    array: str
+    index: Index
+    dtype: DType = DType.F32
+
+    def children(self) -> Sequence[Expr]:
+        if isinstance(self.index, DynamicIndex):
+            return (self.index.expr,)
+        return ()
+
+
+class BinOpKind(str, enum.Enum):
+    ADD = "+"
+    SUB = "-"
+    MUL = "*"
+    DIV = "/"
+    MOD = "%"
+    MIN = "min"
+    MAX = "max"
+    AND = "&"
+    OR = "|"
+    XOR = "^"
+    SHL = "<<"
+    SHR = ">>"
+    LT = "<"
+    GT = ">"
+    LE = "<="
+    GE = ">="
+    EQ = "=="
+    LAND = "&&"
+    LOR = "||"
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    op: BinOpKind
+    lhs: Expr
+    rhs: Expr
+    dtype: DType = DType.F32
+
+    def children(self) -> Sequence[Expr]:
+        return (self.lhs, self.rhs)
+
+
+class CallFn(str, enum.Enum):
+    """Intrinsic math functions with per-op cost weights (see gpusim)."""
+
+    SQRT = "sqrt"
+    RSQRT = "rsqrt"
+    EXP = "exp"
+    LOG = "log"
+    SIN = "sin"
+    COS = "cos"
+    TANH = "tanh"
+    POW = "pow"
+    FABS = "fabs"
+    FMA = "fma"
+    ERF = "erf"
+    FLOOR = "floor"
+
+
+@dataclass(frozen=True)
+class Call(Expr):
+    fn: CallFn
+    args: tuple[Expr, ...]
+    dtype: DType = DType.F32
+
+    def children(self) -> Sequence[Expr]:
+        return self.args
+
+
+@dataclass(frozen=True)
+class Cast(Expr):
+    expr: Expr
+    dtype: DType = DType.F32
+
+    def children(self) -> Sequence[Expr]:
+        return (self.expr,)
+
+
+@dataclass(frozen=True)
+class Select(Expr):
+    """Ternary ``cond ? a : b``."""
+
+    cond: Expr
+    if_true: Expr
+    if_false: Expr
+    dtype: DType = DType.F32
+
+    def children(self) -> Sequence[Expr]:
+        return (self.cond, self.if_true, self.if_false)
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Stmt:
+    """Base class for statements."""
+
+
+@dataclass(frozen=True)
+class Let(Stmt):
+    """Declare-and-assign a per-thread scalar register."""
+
+    name: str
+    expr: Expr
+    dtype: DType = DType.F32
+
+
+@dataclass(frozen=True)
+class Assign(Stmt):
+    """Re-assign an existing scalar register (e.g. an accumulator)."""
+
+    name: str
+    expr: Expr
+    dtype: DType = DType.F32
+
+
+@dataclass(frozen=True)
+class Store(Stmt):
+    array: str
+    index: Index
+    expr: Expr
+    dtype: DType = DType.F32
+
+
+@dataclass(frozen=True)
+class AtomicAdd(Stmt):
+    array: str
+    index: Index
+    expr: Expr
+    dtype: DType = DType.F32
+
+
+@dataclass(frozen=True)
+class For(Stmt):
+    """A sequential per-thread loop of ``extent`` iterations.
+
+    ``unroll`` is a codegen hint only (``#pragma unroll``); it does not change
+    the dynamic op counts.
+    """
+
+    var: str
+    extent: IndexScalar
+    body: tuple[Stmt, ...]
+    unroll: int = 1
+    start: int = 0
+    step: int = 1
+
+    def __post_init__(self) -> None:
+        if isinstance(self.extent, int) and self.extent <= 0:
+            raise ValueError(f"loop extent must be positive, got {self.extent}")
+        if self.step == 0:
+            raise ValueError("loop step must be non-zero")
+
+
+@dataclass(frozen=True)
+class If(Stmt):
+    """A branch. ``taken_fraction`` is dynamic metadata: the fraction of
+    (thread, iteration) executions that take the then-branch. It never
+    appears in the rendered source — this is exactly the kind of runtime
+    fact a static analyser cannot recover."""
+
+    cond: Expr
+    then: tuple[Stmt, ...]
+    els: tuple[Stmt, ...] = ()
+    taken_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.taken_fraction <= 1.0):
+            raise ValueError("taken_fraction must be within [0, 1]")
+
+
+@dataclass(frozen=True)
+class SyncThreads(Stmt):
+    """Block-level barrier (``__syncthreads()`` / implicit in OMP)."""
+
+
+@dataclass(frozen=True)
+class Comment(Stmt):
+    text: str = ""
+
+
+# ---------------------------------------------------------------------------
+# Kernel and program containers
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ArrayDecl:
+    """An array operand of a kernel.
+
+    ``size`` is in elements (an :data:`IndexScalar` resolved at launch);
+    shared-scope arrays live in on-chip memory and contribute no DRAM
+    traffic.
+    """
+
+    name: str
+    dtype: DType
+    size: IndexScalar
+    scope: Scope = Scope.GLOBAL
+    is_output: bool = False
+
+    def byte_size(self, bindings: Mapping[str, int]) -> int:
+        return eval_scalar(self.size, bindings) * self.dtype.size
+
+
+@dataclass(frozen=True)
+class ScalarParam:
+    """A scalar kernel parameter (problem size, coefficient, ...)."""
+
+    name: str
+    dtype: DType = DType.I32
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """One GPU kernel.
+
+    The implicit parallel iteration space is ``work_items`` threads (bound at
+    launch); each thread's id is the symbol ``gx`` (and ``gy`` when
+    ``work_items_y`` is set, giving a 2-D space).
+    """
+
+    name: str
+    arrays: tuple[ArrayDecl, ...]
+    params: tuple[ScalarParam, ...]
+    body: tuple[Stmt, ...]
+    work_items: IndexScalar
+    work_items_y: IndexScalar | None = None
+
+    def __post_init__(self) -> None:
+        names = [a.name for a in self.arrays] + [p.name for p in self.params]
+        if len(names) != len(set(names)):
+            raise ValueError(f"kernel {self.name}: duplicate operand names in {names}")
+
+    def array(self, name: str) -> ArrayDecl:
+        for a in self.arrays:
+            if a.name == name:
+                return a
+        raise KeyError(f"kernel {self.name} has no array {name!r}")
+
+    def global_arrays(self) -> tuple[ArrayDecl, ...]:
+        return tuple(a for a in self.arrays if a.scope is Scope.GLOBAL)
+
+    def shared_arrays(self) -> tuple[ArrayDecl, ...]:
+        return tuple(a for a in self.arrays if a.scope is Scope.SHARED)
+
+    def total_work(self, bindings: Mapping[str, int]) -> int:
+        n = eval_scalar(self.work_items, bindings)
+        if self.work_items_y is not None:
+            n *= eval_scalar(self.work_items_y, bindings)
+        return n
+
+
+# ---------------------------------------------------------------------------
+# Walkers
+# ---------------------------------------------------------------------------
+
+def walk_exprs(expr: Expr) -> Iterator[Expr]:
+    """Pre-order traversal of an expression tree."""
+    yield expr
+    for child in expr.children():
+        yield from walk_exprs(child)
+
+
+def stmt_exprs(stmt: Stmt) -> Iterator[Expr]:
+    """All top-level expressions directly owned by one statement."""
+    if isinstance(stmt, (Let, Assign)):
+        yield stmt.expr
+    elif isinstance(stmt, (Store, AtomicAdd)):
+        yield stmt.expr
+        if isinstance(stmt.index, DynamicIndex):
+            yield stmt.index.expr
+    elif isinstance(stmt, If):
+        yield stmt.cond
+
+
+def walk_stmts(body: Sequence[Stmt]) -> Iterator[Stmt]:
+    """Pre-order traversal of a statement list, descending into loops/branches."""
+    for stmt in body:
+        yield stmt
+        if isinstance(stmt, For):
+            yield from walk_stmts(stmt.body)
+        elif isinstance(stmt, If):
+            yield from walk_stmts(stmt.then)
+            yield from walk_stmts(stmt.els)
+
+
+def kernel_loads(kernel: Kernel) -> list[Load]:
+    """All Load expressions anywhere in the kernel body."""
+    out: list[Load] = []
+    for stmt in walk_stmts(kernel.body):
+        for top in stmt_exprs(stmt):
+            for e in walk_exprs(top):
+                if isinstance(e, Load):
+                    out.append(e)
+    return out
+
+
+def kernel_symbols(kernel: Kernel) -> set[str]:
+    """All scalar symbols referenced by the kernel body (Vars and index syms)."""
+    syms: set[str] = set()
+    for stmt in walk_stmts(kernel.body):
+        for top in stmt_exprs(stmt):
+            for e in walk_exprs(top):
+                if isinstance(e, Var):
+                    syms.add(e.name)
+                if isinstance(e, Load) and isinstance(e.index, AffineIndex):
+                    syms.update(e.index.symbols())
+        if isinstance(stmt, (Store, AtomicAdd)) and isinstance(stmt.index, AffineIndex):
+            syms.update(stmt.index.symbols())
+    return syms
+
+
+# -- small DSL helpers used by the family builders --------------------------
+
+def f32(v: float) -> Const:
+    return Const(float(v), DType.F32)
+
+
+def f64(v: float) -> Const:
+    return Const(float(v), DType.F64)
+
+
+def i32(v: int) -> Const:
+    return Const(int(v), DType.I32)
+
+
+def var(name: str, dtype: DType = DType.F32) -> Var:
+    return Var(name, dtype)
+
+
+def load(array: str, index: Index, dtype: DType = DType.F32) -> Load:
+    return Load(array, index, dtype)
+
+
+def add(a: Expr, b: Expr, dtype: DType = DType.F32) -> BinOp:
+    return BinOp(BinOpKind.ADD, a, b, dtype)
+
+
+def sub(a: Expr, b: Expr, dtype: DType = DType.F32) -> BinOp:
+    return BinOp(BinOpKind.SUB, a, b, dtype)
+
+
+def mul(a: Expr, b: Expr, dtype: DType = DType.F32) -> BinOp:
+    return BinOp(BinOpKind.MUL, a, b, dtype)
+
+
+def div(a: Expr, b: Expr, dtype: DType = DType.F32) -> BinOp:
+    return BinOp(BinOpKind.DIV, a, b, dtype)
+
+
+def fma(a: Expr, b: Expr, c: Expr, dtype: DType = DType.F32) -> Call:
+    return Call(CallFn.FMA, (a, b, c), dtype)
+
+
+def call(fn: CallFn, *args: Expr, dtype: DType = DType.F32) -> Call:
+    return Call(fn, tuple(args), dtype)

@@ -1,0 +1,162 @@
+"""Launch configuration and command-line model for benchmark programs.
+
+The paper's Figure 4 prompt includes the invoked kernel's block and grid
+sizes plus the executable's command-line arguments; both come from here.
+Parameter bindings (problem sizes) are derived from the argv so the whole
+chain — argv → bindings → trip counts → profiled counters — is consistent
+with what an LLM could in principle infer from the prompt.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.kernels.ir import Kernel, eval_scalar
+
+
+@dataclass(frozen=True)
+class Dim3:
+    """A CUDA-style 3-component extent."""
+
+    x: int
+    y: int = 1
+    z: int = 1
+
+    def __post_init__(self) -> None:
+        if min(self.x, self.y, self.z) < 1:
+            raise ValueError(f"dim3 components must be >= 1, got {self}")
+
+    @property
+    def total(self) -> int:
+        return self.x * self.y * self.z
+
+    def __str__(self) -> str:
+        return f"({self.x},{self.y},{self.z})"
+
+
+@dataclass(frozen=True)
+class LaunchConfig:
+    """Grid/block geometry for one kernel invocation."""
+
+    grid: Dim3
+    block: Dim3
+
+    @property
+    def total_threads(self) -> int:
+        return self.grid.total * self.block.total
+
+    def __str__(self) -> str:
+        return f"grid={self.grid} block={self.block}"
+
+
+def plan_launch_1d(work_items: int, block_x: int = 256) -> LaunchConfig:
+    """Standard 1-D launch: ceil-divide the work into ``block_x`` threads."""
+    if work_items < 1:
+        raise ValueError("work_items must be positive")
+    grid_x = (work_items + block_x - 1) // block_x
+    return LaunchConfig(grid=Dim3(grid_x), block=Dim3(block_x))
+
+
+def plan_launch_2d(
+    work_x: int, work_y: int, block_x: int = 16, block_y: int = 16
+) -> LaunchConfig:
+    """Standard 2-D tiled launch."""
+    if min(work_x, work_y) < 1:
+        raise ValueError("work extents must be positive")
+    gx = (work_x + block_x - 1) // block_x
+    gy = (work_y + block_y - 1) // block_y
+    return LaunchConfig(grid=Dim3(gx, gy), block=Dim3(block_x, block_y))
+
+
+@dataclass(frozen=True)
+class CommandLine:
+    """The executable's argv model.
+
+    ``flags`` maps option name (without dashes) to its integer value; the
+    rendered argv (what appears in the prompt and in the generated host
+    code's usage string) is ``prog --name value ...`` in declaration order.
+    """
+
+    prog: str
+    flags: tuple[tuple[str, int], ...] = ()
+
+    def argv(self) -> list[str]:
+        out = [f"./{self.prog}"]
+        for name, value in self.flags:
+            out.append(f"--{name}")
+            out.append(str(value))
+        return out
+
+    def argv_string(self) -> str:
+        return " ".join(self.argv())
+
+    def bindings(self) -> dict[str, int]:
+        return {name: value for name, value in self.flags}
+
+
+@dataclass(frozen=True)
+class KernelInstance:
+    """A kernel paired with its launch geometry inside one program.
+
+    ``binding_exprs`` maps each kernel scalar parameter to either an argv
+    flag name or a literal (sizes derived from flags, e.g. ``n = nx * ny``,
+    are pre-resolved by the family builder into a flag of their own so the
+    mapping stays transparent).
+    """
+
+    kernel: Kernel
+    launch: LaunchConfig
+    binding_exprs: tuple[tuple[str, str | int], ...] = ()
+
+    def resolve_bindings(self, cmdline: CommandLine) -> dict[str, int]:
+        """Produce the scalar environment for one invocation.
+
+        The result contains every argv flag plus the kernel's scalar
+        parameters (array sizes may reference flags, e.g. padded extents,
+        that are not kernel parameters).
+        """
+        flag_env = cmdline.bindings()
+        out: dict[str, int] = dict(flag_env)
+        for pname, src in self.binding_exprs:
+            if isinstance(src, int):
+                out[pname] = src
+            else:
+                if src not in flag_env:
+                    raise KeyError(
+                        f"kernel {self.kernel.name}: binding {pname!r} references "
+                        f"unknown flag {src!r}"
+                    )
+                out[pname] = flag_env[src]
+        # Sanity: every kernel scalar param must be bound.
+        missing = {p.name for p in self.kernel.params} - set(out)
+        if missing:
+            raise ValueError(
+                f"kernel {self.kernel.name}: unbound scalar params {sorted(missing)}"
+            )
+        return out
+
+    def active_threads(self, cmdline: CommandLine) -> int:
+        """Threads that pass the built-in bounds guard.
+
+        The canonical guard ``if (gx < n)`` masks the launch round-up; the
+        active count is ``min(total work, launched threads)``.
+        """
+        bindings = self.resolve_bindings(cmdline)
+        return min(self.kernel.total_work(bindings), self.launch.total_threads)
+
+
+def validate_launch(instance: KernelInstance, cmdline: CommandLine) -> None:
+    """Check that the launch covers the kernel's work and bindings resolve."""
+    bindings = instance.resolve_bindings(cmdline)
+    work = instance.kernel.total_work(bindings)
+    launched = instance.launch.total_threads
+    if launched < work:
+        raise ValueError(
+            f"kernel {instance.kernel.name}: launch of {launched} threads "
+            f"does not cover {work} work items"
+        )
+    for arr in instance.kernel.arrays:
+        size = eval_scalar(arr.size, bindings)
+        if size < 1:
+            raise ValueError(f"array {arr.name} resolves to non-positive size {size}")

@@ -1,0 +1,91 @@
+"""Program-level containers: a benchmark program spec and its rendered source.
+
+A :class:`ProgramSpec` is language-neutral metadata plus one or more
+:class:`~repro.kernels.launch.KernelInstance`; rendering it through a codegen
+backend yields a :class:`RenderedProgram` whose concatenated source is what
+gets tokenized, pruned, and pasted into LLM prompts (paper §2.2 "Source
+Scraping").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.kernels.launch import CommandLine, KernelInstance
+from repro.types import Language
+
+
+@dataclass(frozen=True)
+class ProgramSpec:
+    """A language-neutral benchmark program definition.
+
+    ``kernels[0]`` is the program's *first kernel* — the one the paper
+    profiles, labels, and asks the LLMs about; later entries are auxiliary
+    kernels that appear in the source as realistic distractors.
+    """
+
+    name: str
+    family: str
+    variant: int
+    language: Language
+    kernels: tuple[KernelInstance, ...]
+    cmdline: CommandLine
+    description: str
+    host_verbosity: int = 1
+    split_files: bool = False
+    #: 0 = no utility header, 1 = timers + init helpers, 2 = full suite
+    #: (validation, arg parsing, run statistics, IO, allocators)
+    util_header: int = 0
+    tags: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.kernels:
+            raise ValueError(f"program {self.name} has no kernels")
+        if self.host_verbosity not in (0, 1, 2):
+            raise ValueError("host_verbosity must be 0, 1, or 2")
+        if self.util_header not in (0, 1, 2):
+            raise ValueError("util_header must be 0, 1, or 2")
+
+    @property
+    def first_kernel(self) -> KernelInstance:
+        return self.kernels[0]
+
+    @property
+    def uid(self) -> str:
+        """Stable unique id across the corpus."""
+        return f"{self.language.value}/{self.name}"
+
+
+@dataclass(frozen=True)
+class SourceFile:
+    filename: str
+    text: str
+
+    @property
+    def line_count(self) -> int:
+        return self.text.count("\n") + 1
+
+
+@dataclass(frozen=True)
+class RenderedProgram:
+    """A program spec together with its generated source files."""
+
+    spec: ProgramSpec
+    files: tuple[SourceFile, ...]
+
+    def concatenated_source(self) -> str:
+        """All source files joined into one string (paper's scraping step).
+
+        Files are separated by a banner naming the file, mirroring a simple
+        ``cat``-style concatenation of a real benchmark directory.
+        """
+        parts = []
+        for f in self.files:
+            parts.append(f"// ===== file: {f.filename} =====")
+            parts.append(f.text)
+        return "\n".join(parts)
+
+    @property
+    def total_lines(self) -> int:
+        return sum(f.line_count for f in self.files)

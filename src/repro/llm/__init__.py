@@ -1,0 +1,67 @@
+"""Emulated LLMs: the reproduction's substitute for OpenAI/Gemini APIs.
+
+Same integration shape as a real API client::
+
+    from repro.llm import get_model
+    model = get_model("o3-mini-high")
+    response = model.complete(prompt)
+    prediction = response.boundedness()
+
+See DESIGN.md §2 for the substitution rationale and §5 for the calibration
+policy.
+"""
+
+from repro.llm.base import LlmModel, LlmResponse, SamplingNotSupported
+from repro.llm.config import ALL_CONFIGS, ModelConfig
+from repro.llm.finetune import (
+    FineTuneConfig,
+    FineTunedClassifier,
+    featurize,
+    prediction_entropy,
+)
+from repro.llm.pricing import Usage, UsageMeter, query_cost_usd
+from repro.llm.promptio import (
+    ClassifyQuery,
+    RooflineQuery,
+    estimate_prompt_tokens,
+    parse_classify_query,
+    parse_roofline_query,
+)
+from repro.llm.registry import (
+    MODEL_NAMES,
+    all_models,
+    get_config,
+    get_model,
+    non_reasoning_models,
+    reasoning_models,
+)
+from repro.llm.sampling import DEFAULT_TEMPERATURE, DEFAULT_TOP_P, SamplingParams
+
+__all__ = [
+    "LlmModel",
+    "LlmResponse",
+    "SamplingNotSupported",
+    "ModelConfig",
+    "ALL_CONFIGS",
+    "MODEL_NAMES",
+    "get_model",
+    "get_config",
+    "all_models",
+    "reasoning_models",
+    "non_reasoning_models",
+    "Usage",
+    "UsageMeter",
+    "query_cost_usd",
+    "ClassifyQuery",
+    "RooflineQuery",
+    "parse_classify_query",
+    "parse_roofline_query",
+    "estimate_prompt_tokens",
+    "SamplingParams",
+    "DEFAULT_TEMPERATURE",
+    "DEFAULT_TOP_P",
+    "FineTunedClassifier",
+    "FineTuneConfig",
+    "featurize",
+    "prediction_entropy",
+]

@@ -1,0 +1,47 @@
+"""RQ1 arithmetic solver with a slip model.
+
+Given a parsed roofline question, the correct procedure is one division and
+one comparison. Non-reasoning models occasionally slip — the emulator's slip
+modes mirror the error patterns visible in LLM arithmetic studies: inverting
+the comparison near the boundary, or botching the division when the operands
+are awkward. Chain-of-thought examples scaffold the procedure and lower the
+slip rate (Table 1: CoT lifts gpt-4o-mini from 90% to 100%).
+"""
+
+from __future__ import annotations
+
+from repro.llm.config import ModelConfig
+from repro.llm.promptio import RooflineQuery
+from repro.types import Boundedness
+from repro.util.rng import RngStream
+
+
+def solve_roofline(
+    query: RooflineQuery,
+    model: ModelConfig,
+    rng: RngStream,
+) -> Boundedness:
+    """Answer one RQ1 question under the model's slip profile."""
+    balance = query.peak_gflops / query.bandwidth_gbs
+    correct = (
+        Boundedness.BANDWIDTH if query.ai < balance else Boundedness.COMPUTE
+    )
+    slip_p = (
+        model.arithmetic_slip_cot
+        if query.has_chain_of_thought_examples
+        else model.arithmetic_slip
+    )
+    # More worked examples slightly reinforce the procedure.
+    if query.num_examples >= 8:
+        slip_p *= 0.8
+    elif query.num_examples >= 4:
+        slip_p *= 0.9
+    if slip_p <= 0.0:
+        return correct
+    # Slips are likelier near the balance point (a wrong division or a
+    # rounding error only matters when the margin is thin).
+    margin = abs(query.ai - balance) / max(balance, 1e-9)
+    proximity_boost = 2.0 if margin < 0.25 else 1.0
+    if rng.bernoulli(min(0.95, slip_p * proximity_boost)):
+        return correct.other
+    return correct

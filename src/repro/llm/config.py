@@ -1,0 +1,246 @@
+"""Per-model capability profiles.
+
+Each emulated LLM is described by a :class:`ModelConfig`: identity and
+pricing (Table 1, columns 1-3) plus the capability knobs that drive the
+emulator's behaviour. The knobs are calibrated so aggregate metrics land in
+the paper's reported bands (DESIGN.md §5); the *mechanisms* they control are
+generic:
+
+* ``arithmetic_slip`` / ``arithmetic_slip_cot`` — probability of a slip in
+  the RQ1 balance-point arithmetic, reduced by chain-of-thought scaffolding
+  (zero for reasoning models).
+* ``analysis_depth`` — how much the model's decision weighs the deep static
+  AI analysis versus surface lexical cues.
+* ``base_fail`` / ``attention_tokens`` — probability that the deep analysis
+  derails entirely (falling back to surface cues), growing with prompt
+  length (the paper's "lost in the middle" citation [22]).
+* ``deep_noise`` — noise on the estimated log-intensity margin (imperfect
+  reading of loop bounds, byte counts).
+* ``heuristic_skill`` — how informative the model's surface-cue scoring is
+  (0 = coin flip, 1 = best lexical heuristic).
+* ``response_bias`` — constant pull toward one response word (source of the
+  low macro-F1 of some non-reasoning models).
+* ``fewshot_skill_bonus`` — surface-cue improvement from the two real
+  examples in RQ3 prompts (non-reasoning models benefit; reasoning models
+  mostly pay the context-length cost instead).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Identity, pricing, and capability profile of one emulated LLM."""
+
+    name: str
+    reasoning: bool
+    input_cost_per_m: float
+    output_cost_per_m: float
+    # RQ1 arithmetic
+    arithmetic_slip: float
+    arithmetic_slip_cot: float
+    # RQ2/RQ3 classification
+    analysis_depth: float
+    base_fail: float
+    attention_tokens: float
+    deep_noise: float
+    heuristic_skill: float
+    response_bias: float
+    fewshot_skill_bonus: float
+    #: additive response-bias shift when real example shots are present
+    fewshot_bias_shift: float = 0.0
+    #: hidden reasoning tokens billed per query (reasoning models)
+    reasoning_output_tokens: int = 0
+    #: whether temperature/top_p are accepted (reasoning APIs reject them)
+    supports_sampling_params: bool = True
+    #: whether the paper reports RQ1 numbers for this model
+    rq1_reported: bool = True
+
+    def __post_init__(self) -> None:
+        for f in ("arithmetic_slip", "arithmetic_slip_cot", "analysis_depth",
+                  "base_fail", "heuristic_skill"):
+            v = getattr(self, f)
+            if not (0.0 <= v <= 1.0):
+                raise ValueError(f"{self.name}: {f} must be in [0, 1], got {v}")
+        if self.attention_tokens <= 0:
+            raise ValueError(f"{self.name}: attention_tokens must be positive")
+
+    def fail_probability(self, prompt_tokens: float) -> float:
+        """Probability the deep analysis derails for a prompt of this size."""
+        return min(0.95, self.base_fail + prompt_tokens / self.attention_tokens)
+
+
+# ---------------------------------------------------------------------------
+# The nine models of Table 1. Pricing as of April 2025 (paper column 3).
+# Capability values are calibration outputs; see tests/test_calibration.py
+# for the bands they are held to.
+# ---------------------------------------------------------------------------
+
+O3_MINI_HIGH = ModelConfig(
+    name="o3-mini-high",
+    reasoning=True,
+    input_cost_per_m=1.1,
+    output_cost_per_m=4.4,
+    arithmetic_slip=0.0,
+    arithmetic_slip_cot=0.0,
+    analysis_depth=0.96,
+    base_fail=0.7,
+    attention_tokens=150_000.0,
+    deep_noise=1.1,
+    heuristic_skill=0.55,
+    response_bias=0.02,
+    fewshot_skill_bonus=0.0,
+    reasoning_output_tokens=2048,
+    supports_sampling_params=False,
+)
+
+O1 = ModelConfig(
+    name="o1",
+    reasoning=True,
+    input_cost_per_m=15.0,
+    output_cost_per_m=60.0,
+    arithmetic_slip=0.0,
+    arithmetic_slip_cot=0.0,
+    analysis_depth=0.96,
+    base_fail=0.2,
+    attention_tokens=28_000.0,
+    deep_noise=1.8,
+    heuristic_skill=0.55,
+    response_bias=0.0,
+    fewshot_skill_bonus=0.0,
+    reasoning_output_tokens=3072,
+    supports_sampling_params=False,
+    rq1_reported=False,
+)
+
+O3_MINI = ModelConfig(
+    name="o3-mini",
+    reasoning=True,
+    input_cost_per_m=1.1,
+    output_cost_per_m=4.4,
+    arithmetic_slip=0.0,
+    arithmetic_slip_cot=0.0,
+    analysis_depth=0.93,
+    base_fail=0.6,
+    attention_tokens=150_000.0,
+    deep_noise=1.8,
+    heuristic_skill=0.5,
+    response_bias=0.02,
+    fewshot_skill_bonus=0.02,
+    reasoning_output_tokens=1536,
+    supports_sampling_params=False,
+)
+
+GPT_45_PREVIEW = ModelConfig(
+    name="gpt-4.5-preview",
+    reasoning=False,
+    input_cost_per_m=75.0,
+    output_cost_per_m=150.0,
+    arithmetic_slip=0.05,
+    arithmetic_slip_cot=0.02,
+    analysis_depth=0.82,
+    base_fail=0.70,
+    attention_tokens=150_000.0,
+    deep_noise=1.4,
+    heuristic_skill=0.6,
+    response_bias=-0.02,
+    fewshot_skill_bonus=0.08,
+    rq1_reported=False,
+)
+
+O1_MINI = ModelConfig(
+    name="o1-mini-2024-09-12",
+    reasoning=True,
+    input_cost_per_m=1.1,
+    output_cost_per_m=4.4,
+    arithmetic_slip=0.0,
+    arithmetic_slip_cot=0.0,
+    analysis_depth=0.88,
+    base_fail=0.5,
+    attention_tokens=30_000.0,
+    deep_noise=0.7,
+    heuristic_skill=0.5,
+    response_bias=-0.04,
+    fewshot_skill_bonus=0.0,
+    reasoning_output_tokens=1024,
+    supports_sampling_params=False,
+)
+
+GEMINI_FLASH = ModelConfig(
+    name="gemini-2.0-flash-001",
+    reasoning=False,
+    input_cost_per_m=0.1,
+    output_cost_per_m=0.4,
+    arithmetic_slip=0.0875,
+    arithmetic_slip_cot=0.075,
+    analysis_depth=0.42,
+    base_fail=0.90,
+    attention_tokens=25_000.0,
+    deep_noise=2.0,
+    heuristic_skill=0.1,
+    response_bias=-0.4,
+    fewshot_skill_bonus=0.0,
+    fewshot_bias_shift=-0.06,
+)
+
+GPT_4O = ModelConfig(
+    name="gpt-4o-2024-11-20",
+    reasoning=False,
+    input_cost_per_m=2.5,
+    output_cost_per_m=10.0,
+    arithmetic_slip=0.0875,
+    arithmetic_slip_cot=0.0375,
+    analysis_depth=0.18,
+    base_fail=0.1,
+    attention_tokens=40_000.0,
+    deep_noise=2.2,
+    heuristic_skill=0.35,
+    response_bias=-0.5,
+    fewshot_skill_bonus=0.05,
+)
+
+GPT_4O_MINI = ModelConfig(
+    name="gpt-4o-mini",
+    reasoning=False,
+    input_cost_per_m=0.15,
+    output_cost_per_m=0.6,
+    arithmetic_slip=0.10,
+    arithmetic_slip_cot=0.0,
+    analysis_depth=0.06,
+    base_fail=0.35,
+    attention_tokens=40_000.0,
+    deep_noise=2.5,
+    heuristic_skill=0.10,
+    response_bias=0.2,
+    fewshot_skill_bonus=0.04,
+)
+
+GPT_4O_MINI_2024 = ModelConfig(
+    name="gpt-4o-mini-2024-07-18",
+    reasoning=False,
+    input_cost_per_m=0.15,
+    output_cost_per_m=0.6,
+    arithmetic_slip=0.10,
+    arithmetic_slip_cot=0.0,
+    analysis_depth=0.05,
+    base_fail=0.80,
+    attention_tokens=40_000.0,
+    deep_noise=2.5,
+    heuristic_skill=0.5,
+    response_bias=-0.12,
+    fewshot_skill_bonus=0.08,
+)
+
+ALL_CONFIGS: tuple[ModelConfig, ...] = (
+    O3_MINI_HIGH,
+    O1,
+    O3_MINI,
+    GPT_45_PREVIEW,
+    O1_MINI,
+    GEMINI_FLASH,
+    GPT_4O,
+    GPT_4O_MINI,
+    GPT_4O_MINI_2024,
+)

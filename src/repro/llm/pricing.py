@@ -1,0 +1,61 @@
+"""Usage metering and cost accounting (Table 1's cost column).
+
+Every query is billed at the model's per-million-token input/output rates;
+reasoning models additionally bill their hidden reasoning tokens as output,
+matching how the OpenAI reasoning APIs charge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.llm.config import ModelConfig
+
+
+@dataclass(frozen=True)
+class Usage:
+    """Token usage for one request."""
+
+    input_tokens: int
+    output_tokens: int
+    reasoning_tokens: int = 0
+
+    @property
+    def billed_output_tokens(self) -> int:
+        return self.output_tokens + self.reasoning_tokens
+
+
+def query_cost_usd(usage: Usage, model: ModelConfig) -> float:
+    """Dollar cost of one request."""
+    return (
+        usage.input_tokens / 1e6 * model.input_cost_per_m
+        + usage.billed_output_tokens / 1e6 * model.output_cost_per_m
+    )
+
+
+@dataclass
+class UsageMeter:
+    """Accumulates usage and cost across an experiment."""
+
+    model: ModelConfig
+    requests: int = 0
+    input_tokens: int = 0
+    output_tokens: int = 0
+    reasoning_tokens: int = 0
+    cost_usd: float = 0.0
+
+    def record(self, usage: Usage) -> None:
+        self.requests += 1
+        self.input_tokens += usage.input_tokens
+        self.output_tokens += usage.output_tokens
+        self.reasoning_tokens += usage.reasoning_tokens
+        self.cost_usd += query_cost_usd(usage, self.model)
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "requests": float(self.requests),
+            "input_tokens": float(self.input_tokens),
+            "output_tokens": float(self.output_tokens),
+            "reasoning_tokens": float(self.reasoning_tokens),
+            "cost_usd": self.cost_usd,
+        }

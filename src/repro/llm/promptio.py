@@ -1,0 +1,149 @@
+"""Prompt parsing — the emulator's "language understanding" front end.
+
+The emulator receives exactly the prompt strings the paper's figures define
+and must recover the structured facts from them (hardware numbers, the
+queried kernel's name and language, argv, the code block, whether the shots
+carry chain-of-thought). It never sees any structured side channel — all
+information flows through the prompt text, as it would for a real API model.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.types import Language
+
+
+@dataclass(frozen=True)
+class RooflineQuery:
+    """A parsed RQ1 arithmetic question (the final question in the prompt)."""
+
+    bandwidth_gbs: float
+    peak_gflops: float
+    ai: float
+    has_chain_of_thought_examples: bool
+    num_examples: int
+
+
+@dataclass(frozen=True)
+class ClassifyQuery:
+    """A parsed RQ2/RQ3 classification request."""
+
+    language: Language
+    kernel_name: str
+    gpu_name: str
+    sp_peak: float
+    dp_peak: float
+    int_peak: float
+    bandwidth: float
+    block: tuple[int, int, int]
+    grid: tuple[int, int, int]
+    argv: str
+    source: str
+    has_real_examples: bool
+
+    def argv_values(self) -> dict[str, int]:
+        """Integer flag values recoverable from the command line."""
+        out: dict[str, int] = {}
+        toks = self.argv.split()
+        for i, t in enumerate(toks):
+            if t.startswith("--") and i + 1 < len(toks):
+                try:
+                    out[t[2:]] = int(toks[i + 1])
+                except ValueError:
+                    continue
+        return out
+
+    def balance_points(self) -> dict:
+        from repro.types import OpClass
+
+        return {
+            OpClass.SP: self.sp_peak / self.bandwidth,
+            OpClass.DP: self.dp_peak / self.bandwidth,
+            OpClass.INT: self.int_peak / self.bandwidth,
+        }
+
+
+_QUESTION_RE = re.compile(
+    r"max bandwidth of\s+([\d.]+)\s*GB/s.*?peak performance of\s+([\d.]+)\s*"
+    r"GFLOP/s.*?Arithmetic Intensity of\s+([\d.]+)\s*FLOP/Byte",
+    re.DOTALL,
+)
+
+
+def parse_roofline_query(prompt: str) -> RooflineQuery | None:
+    """Parse an RQ1 prompt; None when the text is not an RQ1 question."""
+    matches = _QUESTION_RE.findall(prompt)
+    if not matches:
+        return None
+    # The unanswered question is the last one; earlier ones are examples.
+    bw, peak, ai = (float(x) for x in matches[-1])
+    return RooflineQuery(
+        bandwidth_gbs=bw,
+        peak_gflops=peak,
+        ai=ai,
+        has_chain_of_thought_examples="Thought:" in prompt,
+        num_examples=max(0, len(matches) - 1),
+    )
+
+
+_CLASSIFY_RE = re.compile(
+    r"Classify the (CUDA|OMP) kernel called ([A-Za-z_][A-Za-z_0-9]*)"
+)
+_GPU_RE = re.compile(r"execute on is a (.+?) with:")
+_SP_RE = re.compile(r"peak single-precision performance of\s+([\d.]+)\s*GFLOP/s")
+_DP_RE = re.compile(r"peak double-precision performance of\s+([\d.]+)\s*GFLOP/s")
+_INT_RE = re.compile(r"peak integer performance of\s+([\d.]+)\s*GINTOP/s")
+_BW_RE = re.compile(r"max bandwidth of\s+([\d.]+)\s*GB/s")
+_DIMS_RE = re.compile(
+    r"block and grid sizes of the invoked kernel are "
+    r"\((\d+),(\d+),(\d+)\) and \((\d+),(\d+),(\d+)\)"
+)
+_ARGV_RE = re.compile(r"command-line arguments:\s*(.+?)\.\s*$", re.MULTILINE)
+_SOURCE_RE = re.compile(
+    r"Below is the source code of the requested (?:CUDA|OMP) kernel:\s*\n"
+)
+
+
+def parse_classify_query(prompt: str) -> ClassifyQuery | None:
+    """Parse a Figure 4 classification prompt; None when not one."""
+    m = _CLASSIFY_RE.search(prompt)
+    if m is None:
+        return None
+    lang = Language.CUDA if m.group(1) == "CUDA" else Language.OMP
+    kernel_name = m.group(2)
+
+    def grab(rx: re.Pattern, default: float = 0.0) -> float:
+        mm = rx.search(prompt)
+        return float(mm.group(1)) if mm else default
+
+    gm = _GPU_RE.search(prompt)
+    dm = _DIMS_RE.search(prompt)
+    am = _ARGV_RE.search(prompt)
+    sm = _SOURCE_RE.search(prompt)
+    if sm is None:
+        return None
+    block = tuple(int(dm.group(i)) for i in (1, 2, 3)) if dm else (256, 1, 1)
+    grid = tuple(int(dm.group(i)) for i in (4, 5, 6)) if dm else (1, 1, 1)
+    return ClassifyQuery(
+        language=lang,
+        kernel_name=kernel_name,
+        gpu_name=gm.group(1).strip() if gm else "unknown GPU",
+        sp_peak=grab(_SP_RE, 1.0),
+        dp_peak=grab(_DP_RE, 1.0),
+        int_peak=grab(_INT_RE, 1.0),
+        bandwidth=grab(_BW_RE, 1.0),
+        block=block,  # type: ignore[arg-type]
+        grid=grid,  # type: ignore[arg-type]
+        argv=am.group(1).strip() if am else "",
+        source=prompt[sm.end():],
+        has_real_examples="Kernel Source Code (CUDA):" in prompt
+        or "Kernel Source Code (OMP):" in prompt,
+    )
+
+
+def estimate_prompt_tokens(prompt: str) -> int:
+    """Cheap deterministic token estimate used for attention modelling and
+    usage accounting (≈3 chars per token on code-heavy prompts)."""
+    return max(1, len(prompt) // 3)

@@ -1,0 +1,75 @@
+"""Deep-analysis decision path — what reasoning models do.
+
+Runs the full source-level static pipeline (:mod:`repro.analysis`) on the
+queried kernel: find the kernel by name, resolve trip counts from the argv
+in the prompt, estimate per-class arithmetic intensity, and compare against
+the balance points derivable from the prompt's hardware bullet list.
+
+The decision value is the maximum log-ratio of estimated intensity to
+balance point across op classes (positive = some class looks compute-bound,
+the paper's CB rule), perturbed by model-specific reading noise that grows
+with how much of the estimate rests on guesses.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.analysis import analyze_kernel, find_kernel
+from repro.llm.config import ModelConfig
+from repro.llm.promptio import ClassifyQuery
+from repro.types import OpClass
+from repro.util.rng import RngStream
+
+
+@dataclass(frozen=True)
+class DeepAnalysis:
+    """Outcome of the deep path."""
+
+    logit: float          # positive = Compute
+    raw_margin: float     # noise-free log2 margin
+    guess_fraction: float
+    succeeded: bool
+
+
+def deep_logit(
+    query: ClassifyQuery,
+    model: ModelConfig,
+    rng: RngStream,
+) -> DeepAnalysis:
+    """Run the static pipeline and produce a decision value."""
+    try:
+        kernel = find_kernel(query.source, query.kernel_name, query.language)
+        estimate = analyze_kernel(
+            kernel,
+            param_values=query.argv_values(),
+            branch_taken=0.5,
+        )
+    except Exception:
+        return DeepAnalysis(logit=0.0, raw_margin=0.0, guess_fraction=1.0, succeeded=False)
+
+    balance = query.balance_points()
+    margin = -math.inf
+    for op_class in OpClass:
+        ai = estimate.intensity(op_class)
+        bp = balance[op_class]
+        if ai <= 0.0 or bp <= 0.0:
+            continue
+        margin = max(margin, math.log2(ai / bp))
+    if not math.isfinite(margin):
+        return DeepAnalysis(logit=0.0, raw_margin=0.0, guess_fraction=1.0, succeeded=False)
+
+    # Reading noise: scaled up when the estimate rests on guessed trip
+    # counts, branch densities, or data-dependent accesses.
+    sigma = model.deep_noise * (1.0 + estimate.guess_fraction)
+    noisy = margin + rng.normal(0.0, sigma)
+    # Squash: far-from-boundary kernels are confidently classified; the
+    # squash keeps the deep logit commensurate with the lexical one.
+    logit = math.tanh(noisy / 3.0)
+    return DeepAnalysis(
+        logit=logit,
+        raw_margin=margin,
+        guess_fraction=estimate.guess_fraction,
+        succeeded=True,
+    )

@@ -1,0 +1,38 @@
+"""Model registry: the nine LLMs of Table 1, in the paper's row order."""
+
+from __future__ import annotations
+
+from repro.llm.base import LlmModel
+from repro.llm.config import ALL_CONFIGS, ModelConfig
+
+#: Table 1 row order (sorted by RQ1 accuracy in the paper).
+MODEL_NAMES: tuple[str, ...] = tuple(c.name for c in ALL_CONFIGS)
+
+_CONFIGS: dict[str, ModelConfig] = {c.name: c for c in ALL_CONFIGS}
+
+
+def get_config(name: str) -> ModelConfig:
+    try:
+        return _CONFIGS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown model {name!r}; available: {sorted(_CONFIGS)}"
+        ) from None
+
+
+def get_model(name: str) -> LlmModel:
+    """Instantiate one emulated model by name."""
+    return LlmModel(get_config(name))
+
+
+def all_models() -> list[LlmModel]:
+    """All Table 1 models in row order."""
+    return [LlmModel(c) for c in ALL_CONFIGS]
+
+
+def reasoning_models() -> list[LlmModel]:
+    return [m for m in all_models() if m.config.reasoning]
+
+
+def non_reasoning_models() -> list[LlmModel]:
+    return [m for m in all_models() if not m.config.reasoning]

@@ -1,0 +1,60 @@
+"""Decoder sampling layer: temperature / top_p over a binary response.
+
+The emulated decision produces a logit for the two response words. At the
+paper's settings (temperature 0.1, top_p 0.2) the distribution is so peaked
+that sampling never flips the argmax — which is precisely why the paper's
+chi-squared test (§3.2) found no statistically significant effect of the
+sampling hyperparameters. Higher temperatures can flip genuinely borderline
+decisions, but those are rare, so the contingency tables stay homogeneous.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.types import Boundedness
+from repro.util.rng import RngStream
+
+#: The paper's chosen settings (§3.2).
+DEFAULT_TEMPERATURE = 0.1
+DEFAULT_TOP_P = 0.2
+
+#: Scale from abstract decision logit to the response-token logit gap. The
+#: gap is large for any non-borderline decision, mimicking a model that is
+#: confident in its one-word answer even when that answer is wrong.
+_LOGIT_GAP_SCALE = 14.0
+
+
+@dataclass(frozen=True)
+class SamplingParams:
+    temperature: float = DEFAULT_TEMPERATURE
+    top_p: float = DEFAULT_TOP_P
+
+    def __post_init__(self) -> None:
+        if self.temperature < 0.0:
+            raise ValueError("temperature must be non-negative")
+        if not (0.0 < self.top_p <= 1.0):
+            raise ValueError("top_p must be in (0, 1]")
+
+
+def sample_response(
+    decision_logit: float,
+    params: SamplingParams,
+    rng: RngStream,
+) -> Boundedness:
+    """Sample the response word from the softmax over the two candidates.
+
+    ``decision_logit`` positive favours Compute. Temperature rescales the
+    gap; top_p truncates the candidate set (at the paper's 0.2, the weaker
+    word survives only when the two are nearly tied).
+    """
+    gap = decision_logit * _LOGIT_GAP_SCALE
+    if params.temperature <= 1e-6:
+        return Boundedness.COMPUTE if gap >= 0 else Boundedness.BANDWIDTH
+    p_compute = 1.0 / (1.0 + math.exp(-gap / params.temperature))
+    # top_p nucleus: drop the minority word unless it clears the nucleus.
+    minority = min(p_compute, 1.0 - p_compute)
+    if minority < (1.0 - params.top_p):
+        return Boundedness.COMPUTE if p_compute >= 0.5 else Boundedness.BANDWIDTH
+    return Boundedness.COMPUTE if rng.uniform() < p_compute else Boundedness.BANDWIDTH

@@ -1,0 +1,35 @@
+"""Prompt construction (paper Figures 3 and 4)."""
+
+from repro.prompts.classify import ClassifyPrompt, SYSTEM_HEADER, build_classify_prompt
+from repro.prompts.examples import (
+    EXAMPLE_VARIANT,
+    PSEUDO_EXAMPLES,
+    CodeExample,
+    real_examples,
+    real_examples_block,
+)
+from repro.prompts.rq1 import (
+    NUM_ROOFLINES,
+    SHOT_COUNTS,
+    RooflineQuestion,
+    build_rq1_prompt,
+    generate_question,
+    generate_rq1_questions,
+)
+
+__all__ = [
+    "ClassifyPrompt",
+    "SYSTEM_HEADER",
+    "build_classify_prompt",
+    "PSEUDO_EXAMPLES",
+    "EXAMPLE_VARIANT",
+    "CodeExample",
+    "real_examples",
+    "real_examples_block",
+    "RooflineQuestion",
+    "build_rq1_prompt",
+    "generate_question",
+    "generate_rq1_questions",
+    "NUM_ROOFLINES",
+    "SHOT_COUNTS",
+]

@@ -1,0 +1,73 @@
+"""RQ2/RQ3 classification prompt (paper Figure 4).
+
+The system prompt declares the task and the response vocabulary; the user
+portion carries the queried kernel's language, name, target-GPU hardware
+bullet list, launch geometry, command line, and the program's concatenated
+source. RQ2 uses pseudo-code examples, RQ3 two real code examples matched to
+the queried language.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dataset.records import Sample
+from repro.prompts.examples import PSEUDO_EXAMPLES, real_examples_block
+from repro.roofline.hardware import GpuSpec, default_gpu
+
+SYSTEM_HEADER = """You are a GPU performance analysis expert that classifies kernels into
+Arithmetic Intensity Roofline model categories based on their source code
+characteristics. Your task is to provide one of the following performance
+boundedness classifications: Compute or Bandwidth.
+
+A kernel is considered Compute bound if its performance is primarily
+limited by the number of operations it performs, and Bandwidth bound
+if its performance is primarily limited by the rate at which data can be
+moved between memory and processing units.
+
+Provide only one word as your response, chosen from the set:
+['Compute', 'Bandwidth'].
+"""
+
+
+@dataclass(frozen=True)
+class ClassifyPrompt:
+    """A fully-assembled classification prompt plus its metadata."""
+
+    text: str
+    sample_uid: str
+    few_shot: bool
+
+
+def build_classify_prompt(
+    sample: Sample,
+    *,
+    few_shot: bool = False,
+    gpu: GpuSpec | None = None,
+) -> ClassifyPrompt:
+    """Assemble the Figure 4 prompt for one dataset sample.
+
+    ``few_shot=False`` is the RQ2 zero-shot form (pseudo-code examples);
+    ``few_shot=True`` the RQ3 form (two real examples in the sample's
+    language).
+    """
+    gpu = gpu or default_gpu()
+    lang = sample.language.display
+    bx, by, bz = sample.block
+    gx, gy, gz = sample.grid
+    examples = real_examples_block(sample.language) if few_shot else PSEUDO_EXAMPLES
+    body = (
+        f"{SYSTEM_HEADER}\n"
+        f"{examples}\n"
+        "Now, analyze the following source codes for the requested kernel of the\n"
+        "specified hardware.\n\n"
+        f"Classify the {lang} kernel called {sample.kernel_name} as Bandwidth or\n"
+        f"Compute bound. The system it will execute on is a {gpu.name} with:\n"
+        f"{gpu.prompt_block()}\n\n"
+        f"The block and grid sizes of the invoked kernel are ({bx},{by},{bz}) and "
+        f"({gx},{gy},{gz}),\nrespectively. The executable running this kernel is "
+        f"launched with the following\ncommand-line arguments: {sample.argv}.\n\n"
+        f"Below is the source code of the requested {lang} kernel:\n\n"
+        f"{sample.source}\n"
+    )
+    return ClassifyPrompt(text=body, sample_uid=sample.uid, few_shot=few_shot)

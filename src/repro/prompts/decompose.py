@@ -1,0 +1,137 @@
+"""Question-decomposition prompting (the paper's §4 future work).
+
+*"More recent question-decomposition, successive-prompting, and
+least-to-most prompting techniques have shown effectiveness in breaking down
+and solving complex tasks. In an effort to improve roofline classification
+metrics, these techniques warrant further investigation."*
+
+This module implements a three-step successive-prompting protocol for the
+roofline classification task; :mod:`repro.eval.decompose` drives it:
+
+1. **Spec extraction** — read the hardware bullet list back as numbers.
+2. **Work estimation** — estimate the queried kernel's per-thread operation
+   counts and DRAM bytes from source.
+3. **Roofline verdict** — an RQ1-style arithmetic question built from the
+   model's own step-1/step-2 answers.
+
+Each step is a separate completion; the driver (not the model) threads the
+intermediate answers, exactly how decomposition harnesses are built around
+real APIs.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.dataset.records import Sample
+from repro.roofline.hardware import GpuSpec, default_gpu
+
+#: Markers the emulator's prompt parser keys on — stable sentinel phrases a
+#: real harness would also use for automated response checking.
+STEP1_MARKER = "Report the hardware limits"
+STEP2_MARKER = "Estimate the per-thread work"
+STEP3_MARKER = "Apply the roofline verdict"
+
+
+def build_step1_prompt(gpu: GpuSpec | None = None) -> str:
+    """Spec-extraction prompt."""
+    gpu = gpu or default_gpu()
+    return (
+        "You are a GPU performance analysis expert working through a "
+        "roofline classification step by step.\n\n"
+        f"Step 1 of 3. {STEP1_MARKER} of the following device as four "
+        "numbers, answering in exactly this format:\n"
+        "SP=<GFLOP/s> DP=<GFLOP/s> INT=<GINTOP/s> BW=<GB/s>\n\n"
+        f"The device is a {gpu.name} with:\n{gpu.prompt_block()}\n"
+    )
+
+
+def build_step2_prompt(sample: Sample) -> str:
+    """Work-estimation prompt for the sample's first kernel."""
+    lang = sample.language.display
+    return (
+        "You are a GPU performance analysis expert working through a "
+        "roofline classification step by step.\n\n"
+        f"Step 2 of 3. {STEP2_MARKER} of the {lang} kernel called "
+        f"{sample.kernel_name}: how many single-precision floating point "
+        "operations, double-precision floating point operations, integer "
+        "operations, and DRAM bytes does ONE thread of this kernel "
+        "execute/move? Answer in exactly this format:\n"
+        "SP_OPS=<number> DP_OPS=<number> INT_OPS=<number> BYTES=<number>\n\n"
+        f"The executable is launched as: {sample.argv}.\n\n"
+        f"Below is the source code of the {lang} program:\n\n"
+        f"{sample.source}\n"
+    )
+
+
+def build_step3_prompt(
+    *,
+    sp_ops: float,
+    dp_ops: float,
+    int_ops: float,
+    bytes_per_thread: float,
+    sp_peak: float,
+    dp_peak: float,
+    int_peak: float,
+    bandwidth: float,
+) -> str:
+    """Final verdict prompt, assembled from the model's own prior answers."""
+    return (
+        "You are a GPU performance analysis expert working through a "
+        "roofline classification step by step.\n\n"
+        f"Step 3 of 3. {STEP3_MARKER}: a kernel thread performs "
+        f"{sp_ops:.4g} single-precision FLOPs, {dp_ops:.4g} double-precision "
+        f"FLOPs, and {int_ops:.4g} integer operations while moving "
+        f"{bytes_per_thread:.4g} bytes of DRAM traffic. The device peaks are "
+        f"{sp_peak:.4g} GFLOP/s single-precision, {dp_peak:.4g} GFLOP/s "
+        f"double-precision, {int_peak:.4g} GINTOP/s integer, with "
+        f"{bandwidth:.4g} GB/s of memory bandwidth.\n\n"
+        "Per the roofline model, the kernel is compute-bound if ANY "
+        "operation class's arithmetic intensity (its operations divided by "
+        "the bytes moved) is at or above that class's balance point (its "
+        "peak divided by the bandwidth); otherwise it is bandwidth-bound.\n\n"
+        "Respond with exactly one word from the set: "
+        "['Compute', 'Bandwidth'].\n"
+    )
+
+
+@dataclass(frozen=True)
+class Step1Answer:
+    sp_peak: float
+    dp_peak: float
+    int_peak: float
+    bandwidth: float
+
+
+@dataclass(frozen=True)
+class Step2Answer:
+    sp_ops: float
+    dp_ops: float
+    int_ops: float
+    bytes_per_thread: float
+
+
+_STEP1_RE = re.compile(
+    r"SP=([\d.eE+-]+)\s+DP=([\d.eE+-]+)\s+INT=([\d.eE+-]+)\s+BW=([\d.eE+-]+)"
+)
+_STEP2_RE = re.compile(
+    r"SP_OPS=([\d.eE+-]+)\s+DP_OPS=([\d.eE+-]+)\s+INT_OPS=([\d.eE+-]+)\s+"
+    r"BYTES=([\d.eE+-]+)"
+)
+
+
+def parse_step1_answer(text: str) -> Step1Answer:
+    m = _STEP1_RE.search(text)
+    if m is None:
+        raise ValueError(f"malformed step-1 answer: {text!r}")
+    sp, dp, int_, bw = (float(g) for g in m.groups())
+    return Step1Answer(sp_peak=sp, dp_peak=dp, int_peak=int_, bandwidth=bw)
+
+
+def parse_step2_answer(text: str) -> Step2Answer:
+    m = _STEP2_RE.search(text)
+    if m is None:
+        raise ValueError(f"malformed step-2 answer: {text!r}")
+    sp, dp, int_, by = (float(g) for g in m.groups())
+    return Step2Answer(sp_ops=sp, dp_ops=dp, int_ops=int_, bytes_per_thread=by)

@@ -1,0 +1,88 @@
+"""Prompt example shots.
+
+RQ2 uses the paper's two pseudo-code examples (Figure 4 verbatim); RQ3
+replaces them with *real* code examples in the queried language, drawn from
+held-out program variants that are guaranteed not to be in the evaluation
+dataset (the corpus enumerates variants 0..k; examples use variant 50).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.types import Boundedness, Language
+
+PSEUDO_EXAMPLES = """Examples:
+Example 1:
+Kernel Source Code (simplified):
+for i = 0 to 1000000 {
+  a[i] = a[i] + b[i];
+}
+Response: Compute
+
+Example 2:
+Kernel Source Code (simplified):
+for i = 0 to 10 {
+  load_data(large_array);
+  process_data(large_array);
+  store_data(large_array);
+}
+Response: Bandwidth
+"""
+
+#: Held-out variant index used for real example shots.
+EXAMPLE_VARIANT = 50
+
+
+@dataclass(frozen=True)
+class CodeExample:
+    """One worked example: kernel source plus its ground-truth response."""
+
+    language: Language
+    source: str
+    label: Boundedness
+    name: str
+
+
+@lru_cache(maxsize=None)
+def real_examples(language: Language) -> tuple[CodeExample, CodeExample]:
+    """One CB and one BB real-code example in the given language.
+
+    Built from held-out variants of a streaming family (BB) and a pairwise
+    physics family (CB), profiled to confirm their labels.
+    """
+    from repro.gpusim import default_device, profile_first_kernel
+    from repro.kernels.codegen import render_program
+    from repro.kernels.families import get_family
+    from repro.roofline import classify_kernel
+
+    device = default_device()
+    out = []
+    for fam_name in ("saxpy", "nbody_naive"):
+        fam = get_family(fam_name)
+        spec = fam.build(EXAMPLE_VARIANT, language)
+        profile = profile_first_kernel(spec, device)
+        label = classify_kernel(
+            profile.counters.intensity_profile(), device.spec.rooflines()
+        ).label
+        source = render_program(spec).concatenated_source()
+        out.append(
+            CodeExample(language=language, source=source, label=label, name=spec.name)
+        )
+    bb = next((e for e in out if e.label is Boundedness.BANDWIDTH), out[0])
+    cb = next((e for e in out if e.label is Boundedness.COMPUTE), out[-1])
+    return (bb, cb)
+
+
+def real_examples_block(language: Language) -> str:
+    """The RQ3 examples section (two real shots, matched to the language)."""
+    bb, cb = real_examples(language)
+    parts = ["Examples:"]
+    for i, ex in enumerate((bb, cb), 1):
+        parts.append(f"Example {i}:")
+        parts.append(f"Kernel Source Code ({ex.language.display}):")
+        parts.append(ex.source)
+        parts.append(f"Response: {ex.label.word}")
+        parts.append("")
+    return "\n".join(parts)

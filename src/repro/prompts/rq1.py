@@ -1,0 +1,132 @@
+"""RQ1 prompts — baseline roofline-calculation questions (paper Figure 3).
+
+Each prompt shows k (2/4/8) worked examples — optionally with
+chain-of-thought "Thought:" lines — followed by one unanswered question built
+from a randomly generated roofline and arithmetic intensity. The LLM must
+answer with the single word ``Compute`` or ``Bandwidth``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.roofline.classify import classify_ai
+from repro.types import Boundedness
+from repro.util.rng import RngStream
+
+#: The paper evaluates 2, 4, and 8-shot variants.
+SHOT_COUNTS = (2, 4, 8)
+#: Number of random rooflines in the RQ1 experiment (paper §3.3).
+NUM_ROOFLINES = 240
+
+
+@dataclass(frozen=True)
+class RooflineQuestion:
+    """One generated RQ1 instance."""
+
+    bandwidth_gbs: float
+    peak_gflops: float
+    ai: float
+    achieved_gflops: float
+
+    @property
+    def truth(self) -> Boundedness:
+        return classify_ai(self.ai, peak=self.peak_gflops, bandwidth=self.bandwidth_gbs)
+
+    @property
+    def balance_point(self) -> float:
+        return self.peak_gflops / self.bandwidth_gbs
+
+
+def _question_text(q: RooflineQuestion) -> str:
+    return (
+        f"Question: Given a GPU having a global memory with a max bandwidth of "
+        f"{q.bandwidth_gbs:.1f} GB/s and a peak performance of {q.peak_gflops:.2f} "
+        f"GFLOP/s, if a program executed with an Arithmetic Intensity of "
+        f"{q.ai:.2f} FLOP/Byte and a performance of {q.achieved_gflops:.1f} "
+        f"GFLOP/s, does the roofline model consider the program as "
+        f"compute-bound or bandwidth-bound?"
+    )
+
+
+def _thought_text(q: RooflineQuestion) -> str:
+    bp = q.balance_point
+    region = "before" if q.ai < bp else "at or past"
+    bound = "bandwidth-bound" if q.truth is Boundedness.BANDWIDTH else "compute-bound"
+    cmp_word = "<" if q.ai < bp else ">="
+    return (
+        f"Thought: The max bandwidth is {q.bandwidth_gbs:.1f} GB/s, and peak "
+        f"performance is {q.peak_gflops:.2f} GFLOP/s. The balance point is at "
+        f"{q.peak_gflops:.2f} / {q.bandwidth_gbs:.1f} = {bp:.2f} FLOP/Byte. The "
+        f"program's Arithmetic Intensity is {q.ai:.2f} FLOP/Byte. Because "
+        f"{q.ai:.2f} {cmp_word} {bp:.2f}, it is {region} the balance point, "
+        f"putting the program in the {bound} region. The roofline model would "
+        f"consider the program as {bound}."
+    )
+
+
+def generate_question(rng: RngStream, force_label: Boundedness | None = None) -> RooflineQuestion:
+    """Generate one random roofline + AI query.
+
+    The paper picks, for each random roofline, one BB and one CB arithmetic
+    intensity; ``force_label`` selects which side of the balance point the AI
+    lands on.
+    """
+    bandwidth = rng.uniform(20.0, 1500.0)
+    peak = rng.uniform(30.0, 30000.0)
+    bp = peak / bandwidth
+    if force_label is Boundedness.BANDWIDTH:
+        ai = bp * rng.uniform(0.1, 0.85)
+    elif force_label is Boundedness.COMPUTE:
+        ai = bp * rng.uniform(1.15, 8.0)
+    else:
+        ai = bp * rng.uniform(0.1, 8.0)
+    achieved = min(peak, ai * bandwidth) * rng.uniform(0.3, 0.95)
+    return RooflineQuestion(
+        bandwidth_gbs=round(bandwidth, 1),
+        peak_gflops=round(peak, 2),
+        ai=round(ai, 2),
+        achieved_gflops=round(achieved, 1),
+    )
+
+
+def build_rq1_prompt(
+    question: RooflineQuestion,
+    *,
+    shots: int = 2,
+    chain_of_thought: bool = False,
+    rng: RngStream | None = None,
+) -> str:
+    """Assemble the full Figure 3 prompt for one question."""
+    if shots < 2:
+        raise ValueError("the paper's RQ1 prompts always include at least two examples")
+    rng = rng or RngStream("rq1-examples", shots, chain_of_thought)
+    parts: list[str] = []
+    parts.append(
+        "You are a GPU performance analysis expert. Answer each question with "
+        "a single word chosen from the set: ['Compute', 'Bandwidth']."
+    )
+    parts.append("")
+    want = [Boundedness.BANDWIDTH, Boundedness.COMPUTE]
+    for i in range(shots):
+        ex = generate_question(rng.child("shot", i), force_label=want[i % 2])
+        parts.append(_question_text(ex))
+        if chain_of_thought:
+            parts.append(_thought_text(ex))
+        parts.append(f"Answer: {ex.truth.word}")
+        parts.append("")
+    parts.append(_question_text(question))
+    parts.append("Answer:")
+    return "\n".join(parts)
+
+
+def generate_rq1_questions(
+    num_rooflines: int = NUM_ROOFLINES, *, seed_key: str = "rq1"
+) -> list[RooflineQuestion]:
+    """The full RQ1 workload: one BB and one CB query per random roofline."""
+    rng = RngStream(seed_key)
+    out: list[RooflineQuestion] = []
+    for i in range(num_rooflines):
+        out.append(generate_question(rng.child(i, "bb"), force_label=Boundedness.BANDWIDTH))
+        out.append(generate_question(rng.child(i, "cb"), force_label=Boundedness.COMPUTE))
+    return out

@@ -1,0 +1,52 @@
+"""Roofline model core (paper §1–2): rooflines, balance points, BB/CB rules.
+
+Quick use::
+
+    from repro.roofline import RTX_3080, classify_kernel, IntensityProfile
+    from repro.types import OpClass
+
+    detail = classify_kernel(
+        IntensityProfile(ops={OpClass.SP: 1e9}, dram_bytes=4e8),
+        RTX_3080.rooflines(),
+    )
+    detail.label  # Boundedness.BANDWIDTH
+"""
+
+from repro.roofline.classify import (
+    ClassificationDetail,
+    IntensityProfile,
+    classify_ai,
+    classify_kernel,
+)
+from repro.roofline.hardware import (
+    A100,
+    GPU_DATABASE,
+    GpuSpec,
+    H100,
+    MI100,
+    RTX_2080_TI,
+    RTX_3080,
+    V100,
+    default_gpu,
+    get_gpu,
+)
+from repro.roofline.model import Roofline, RooflineSet
+
+__all__ = [
+    "Roofline",
+    "RooflineSet",
+    "IntensityProfile",
+    "ClassificationDetail",
+    "classify_ai",
+    "classify_kernel",
+    "GpuSpec",
+    "GPU_DATABASE",
+    "get_gpu",
+    "default_gpu",
+    "RTX_3080",
+    "RTX_2080_TI",
+    "V100",
+    "A100",
+    "MI100",
+    "H100",
+]

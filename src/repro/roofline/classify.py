@@ -1,0 +1,95 @@
+"""Kernel-level BB/CB classification (paper §2.1).
+
+The paper's labeling rule: compute each op class's arithmetic intensity
+(ops of that class / total DRAM bytes) and classify it against that class's
+roofline. *"If a kernel is BB in all 3 arithmetic operations, we consider it
+BB for classification; otherwise if there exists at least 1 operation type
+where the kernel is CB, we consider it CB."*
+
+Op classes the kernel never executes contribute an AI of zero, which is
+always bandwidth-bound, so the rule reduces to: CB iff some op class the
+kernel actually performs is compute-bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.roofline.model import RooflineSet
+from repro.types import Boundedness, OpClass
+
+
+@dataclass(frozen=True)
+class IntensityProfile:
+    """Per-op-class dynamic totals of one kernel invocation.
+
+    ``ops`` maps op class to total operation count; ``dram_bytes`` is the
+    total DRAM traffic (reads + writes) of the invocation.
+    """
+
+    ops: Mapping[OpClass, float]
+    dram_bytes: float
+
+    def __post_init__(self) -> None:
+        if self.dram_bytes <= 0:
+            raise ValueError("a profiled kernel must move a positive number of bytes")
+        for oc, count in self.ops.items():
+            if count < 0:
+                raise ValueError(f"negative op count for {oc}: {count}")
+
+    def intensity(self, op_class: OpClass) -> float:
+        """Arithmetic intensity (op/byte) of one op class."""
+        return float(self.ops.get(op_class, 0.0)) / self.dram_bytes
+
+    def intensities(self) -> dict[OpClass, float]:
+        return {oc: self.intensity(oc) for oc in OpClass}
+
+    @property
+    def total_ops(self) -> float:
+        return float(sum(self.ops.values()))
+
+    @property
+    def dominant_class(self) -> OpClass:
+        """Op class with the highest dynamic count (ties: SP > DP > INT)."""
+        order = [OpClass.SP, OpClass.DP, OpClass.INT]
+        return max(order, key=lambda oc: (self.ops.get(oc, 0.0), -order.index(oc)))
+
+
+@dataclass(frozen=True)
+class ClassificationDetail:
+    """Full per-class breakdown behind a kernel label (used in reports)."""
+
+    per_class: Mapping[OpClass, Boundedness]
+    intensities: Mapping[OpClass, float]
+    label: Boundedness
+
+
+def classify_kernel(profile: IntensityProfile, rooflines: RooflineSet) -> ClassificationDetail:
+    """Apply the paper's kernel-level labeling rule.
+
+    A class with zero executed ops has AI 0 and is trivially BB; only classes
+    the kernel actually performs can flip the label to CB.
+    """
+    per_class: dict[OpClass, Boundedness] = {}
+    intensities: dict[OpClass, float] = {}
+    label = Boundedness.BANDWIDTH
+    for op_class in OpClass:
+        ai = profile.intensity(op_class)
+        intensities[op_class] = ai
+        verdict = rooflines[op_class].classify(ai)
+        per_class[op_class] = verdict
+        if verdict is Boundedness.COMPUTE:
+            label = Boundedness.COMPUTE
+    return ClassificationDetail(per_class=per_class, intensities=intensities, label=label)
+
+
+def classify_ai(ai: float, *, peak: float, bandwidth: float) -> Boundedness:
+    """One-roofline classification used by RQ1 (explicit AI given).
+
+    This is the exact question posed to the LLMs in Figure 3: balance point
+    ``peak / bandwidth``; AI strictly below it is bandwidth-bound.
+    """
+    from repro.roofline.model import Roofline
+
+    return Roofline(peak=peak, bandwidth=bandwidth).classify(ai)

@@ -1,0 +1,166 @@
+"""GPU hardware specification database.
+
+The paper profiles on an NVIDIA RTX 3080 (10 GB). The spec sheet numbers
+below give the theoretical peaks used for the rooflines in Figure 1 and in
+every prompt's hardware block. Several additional devices are included to
+support the paper's "Expanding Dataset" future-work direction (re-profiling
+on varying hardware) and the RQ1 random-roofline generator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.roofline.model import RooflineSet
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """Static hardware description of one GPU model."""
+
+    name: str
+    vendor: str
+    sp_peak_gflops: float
+    dp_peak_gflops: float
+    int_peak_giops: float
+    bandwidth_gbs: float
+    memory_gb: float
+    num_sms: int
+    boost_clock_ghz: float
+    l2_cache_mb: float
+    max_threads_per_sm: int = 1536
+    warp_size: int = 32
+
+    def __post_init__(self) -> None:
+        for field in ("sp_peak_gflops", "dp_peak_gflops", "int_peak_giops", "bandwidth_gbs"):
+            if getattr(self, field) <= 0:
+                raise ValueError(f"{self.name}: {field} must be positive")
+
+    def rooflines(self) -> RooflineSet:
+        """Theoretical rooflines for this device (as in Figure 1)."""
+        return RooflineSet.from_peaks(
+            sp_peak=self.sp_peak_gflops,
+            dp_peak=self.dp_peak_gflops,
+            int_peak=self.int_peak_giops,
+            bandwidth=self.bandwidth_gbs,
+        )
+
+    def prompt_block(self) -> str:
+        """The hardware bullet list inserted into the Figure 4 prompt."""
+        return (
+            f"- peak single-precision performance of {self.sp_peak_gflops:.1f} GFLOP/s\n"
+            f"- peak double-precision performance of {self.dp_peak_gflops:.1f} GFLOP/s\n"
+            f"- peak integer performance of {self.int_peak_giops:.1f} GINTOP/s\n"
+            f"- max bandwidth of {self.bandwidth_gbs:.1f} GB/s"
+        )
+
+
+# GA102, 68 SMs @ ~1.71 GHz. FP32 29.77 TFLOP/s; FP64 at 1/64 rate; INT32
+# issue at half the FP32 rate; 760 GB/s GDDR6X. These are the spec-sheet
+# peaks drawn as the rooflines of the paper's Figure 1.
+RTX_3080 = GpuSpec(
+    name="NVIDIA GeForce RTX 3080",
+    vendor="NVIDIA",
+    sp_peak_gflops=29770.0,
+    dp_peak_gflops=465.1,
+    int_peak_giops=14885.0,
+    bandwidth_gbs=760.3,
+    memory_gb=10.0,
+    num_sms=68,
+    boost_clock_ghz=1.71,
+    l2_cache_mb=5.0,
+)
+
+V100 = GpuSpec(
+    name="NVIDIA Tesla V100",
+    vendor="NVIDIA",
+    sp_peak_gflops=14130.0,
+    dp_peak_gflops=7066.0,
+    int_peak_giops=14130.0,
+    bandwidth_gbs=900.0,
+    memory_gb=16.0,
+    num_sms=80,
+    boost_clock_ghz=1.38,
+    l2_cache_mb=6.0,
+    max_threads_per_sm=2048,
+)
+
+A100 = GpuSpec(
+    name="NVIDIA A100",
+    vendor="NVIDIA",
+    sp_peak_gflops=19490.0,
+    dp_peak_gflops=9746.0,
+    int_peak_giops=19490.0,
+    bandwidth_gbs=1555.0,
+    memory_gb=40.0,
+    num_sms=108,
+    boost_clock_ghz=1.41,
+    l2_cache_mb=40.0,
+    max_threads_per_sm=2048,
+)
+
+MI100 = GpuSpec(
+    name="AMD Instinct MI100",
+    vendor="AMD",
+    sp_peak_gflops=23100.0,
+    dp_peak_gflops=11500.0,
+    int_peak_giops=23100.0,
+    bandwidth_gbs=1228.8,
+    memory_gb=32.0,
+    num_sms=120,
+    boost_clock_ghz=1.50,
+    l2_cache_mb=8.0,
+    max_threads_per_sm=2560,
+    warp_size=64,
+)
+
+RTX_2080_TI = GpuSpec(
+    name="NVIDIA GeForce RTX 2080 Ti",
+    vendor="NVIDIA",
+    sp_peak_gflops=13450.0,
+    dp_peak_gflops=420.3,
+    int_peak_giops=13450.0,
+    bandwidth_gbs=616.0,
+    memory_gb=11.0,
+    num_sms=68,
+    boost_clock_ghz=1.545,
+    l2_cache_mb=5.5,
+    max_threads_per_sm=1024,
+)
+
+H100 = GpuSpec(
+    name="NVIDIA H100 PCIe",
+    vendor="NVIDIA",
+    sp_peak_gflops=51220.0,
+    dp_peak_gflops=25610.0,
+    int_peak_giops=51220.0,
+    bandwidth_gbs=2039.0,
+    memory_gb=80.0,
+    num_sms=114,
+    boost_clock_ghz=1.755,
+    l2_cache_mb=50.0,
+    max_threads_per_sm=2048,
+)
+
+GPU_DATABASE: dict[str, GpuSpec] = {
+    spec.name: spec
+    for spec in (RTX_3080, V100, A100, MI100, RTX_2080_TI, H100)
+}
+
+
+def get_gpu(name: str) -> GpuSpec:
+    """Look up a GPU by its full marketing name (case-insensitive substring ok)."""
+    if name in GPU_DATABASE:
+        return GPU_DATABASE[name]
+    lowered = name.lower()
+    matches = [spec for key, spec in GPU_DATABASE.items() if lowered in key.lower()]
+    if len(matches) == 1:
+        return matches[0]
+    if not matches:
+        raise KeyError(f"unknown GPU {name!r}; known: {sorted(GPU_DATABASE)}")
+    raise KeyError(f"ambiguous GPU name {name!r}; matches {[m.name for m in matches]}")
+
+
+def default_gpu() -> GpuSpec:
+    """The paper's profiling target."""
+    return RTX_3080

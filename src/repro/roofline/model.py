@@ -1,0 +1,126 @@
+"""The Roofline model (Williams et al., CACM 2009).
+
+A roofline is defined by a peak arithmetic throughput ``peak`` (Gop/s) and a
+peak memory bandwidth ``bandwidth`` (GB/s). The *balance point* (also called
+the machine balance or ridge point) is ``peak / bandwidth`` in op/byte: a
+kernel whose arithmetic intensity (AI) falls below the balance point is
+bandwidth-bound, above it compute-bound.
+
+:class:`RooflineSet` groups the three per-op-class rooflines (SP/DP/INT) of a
+GPU, matching the paper's Figure 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+from repro.types import Boundedness, OpClass
+
+
+@dataclass(frozen=True)
+class Roofline:
+    """A single performance roofline.
+
+    Parameters
+    ----------
+    peak:
+        Peak arithmetic throughput in Gop/s (GFLOP/s for SP/DP, GINTOP/s for
+        integer ops).
+    bandwidth:
+        Peak DRAM bandwidth in GB/s.
+    """
+
+    peak: float
+    bandwidth: float
+
+    def __post_init__(self) -> None:
+        if self.peak <= 0:
+            raise ValueError(f"peak must be positive, got {self.peak}")
+        if self.bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {self.bandwidth}")
+
+    @property
+    def balance_point(self) -> float:
+        """Machine balance in op/byte; the ridge of the roofline."""
+        return self.peak / self.bandwidth
+
+    def attainable(self, ai: float) -> float:
+        """Attainable performance (Gop/s) at arithmetic intensity ``ai``.
+
+        ``min(peak, ai * bandwidth)`` — the classic roofline ceiling.
+        """
+        if ai < 0:
+            raise ValueError(f"arithmetic intensity must be non-negative, got {ai}")
+        return min(self.peak, ai * self.bandwidth)
+
+    def classify(self, ai: float) -> Boundedness:
+        """Classify an AI value against this roofline.
+
+        AI below the balance point is bandwidth-bound; at or above it,
+        compute-bound. (The boundary itself is conventionally compute-bound;
+        the paper's prompt examples use strict ``<`` for the BB region.)
+        """
+        if ai < 0:
+            raise ValueError(f"arithmetic intensity must be non-negative, got {ai}")
+        return Boundedness.BANDWIDTH if ai < self.balance_point else Boundedness.COMPUTE
+
+    def ceiling_points(self, ai_lo: float, ai_hi: float, n: int = 64) -> list[tuple[float, float]]:
+        """Sample (AI, attainable) pairs along the roofline for plotting.
+
+        Points are geometrically spaced, which renders as straight segments
+        on the log-log axes of Figure 1.
+        """
+        if ai_lo <= 0 or ai_hi <= ai_lo:
+            raise ValueError("require 0 < ai_lo < ai_hi")
+        if n < 2:
+            raise ValueError("need at least two sample points")
+        ratio = (ai_hi / ai_lo) ** (1.0 / (n - 1))
+        pts = []
+        ai = ai_lo
+        for _ in range(n):
+            pts.append((ai, self.attainable(ai)))
+            ai *= ratio
+        return pts
+
+
+@dataclass(frozen=True)
+class RooflineSet:
+    """The three per-op-class rooflines of one device (paper Figure 1).
+
+    All three share the device's DRAM bandwidth but have distinct peaks.
+    """
+
+    sp: Roofline
+    dp: Roofline
+    int_: Roofline
+
+    def __post_init__(self) -> None:
+        bws = {self.sp.bandwidth, self.dp.bandwidth, self.int_.bandwidth}
+        if len(bws) != 1:
+            raise ValueError("all rooflines of one device must share DRAM bandwidth")
+
+    @property
+    def bandwidth(self) -> float:
+        return self.sp.bandwidth
+
+    def __getitem__(self, op_class: OpClass) -> Roofline:
+        return {OpClass.SP: self.sp, OpClass.DP: self.dp, OpClass.INT: self.int_}[op_class]
+
+    def __iter__(self) -> Iterator[tuple[OpClass, Roofline]]:
+        yield OpClass.SP, self.sp
+        yield OpClass.DP, self.dp
+        yield OpClass.INT, self.int_
+
+    def balance_points(self) -> Mapping[OpClass, float]:
+        return {oc: rl.balance_point for oc, rl in self}
+
+    @classmethod
+    def from_peaks(
+        cls, *, sp_peak: float, dp_peak: float, int_peak: float, bandwidth: float
+    ) -> "RooflineSet":
+        return cls(
+            sp=Roofline(sp_peak, bandwidth),
+            dp=Roofline(dp_peak, bandwidth),
+            int_=Roofline(int_peak, bandwidth),
+        )

@@ -1,0 +1,12 @@
+"""Trainable byte-level BPE tokenizer — the gpt-4o-mini tokenizer stand-in
+used for the paper's 8e3-token pruning cutoff (§2.2) and Figure 2."""
+
+from repro.tokenizer.bpe import BpeTokenizer, pretokenize
+from repro.tokenizer.pretrained import corpus_tokenizer, train_corpus_tokenizer
+
+__all__ = [
+    "BpeTokenizer",
+    "pretokenize",
+    "corpus_tokenizer",
+    "train_corpus_tokenizer",
+]

@@ -1,0 +1,178 @@
+"""Byte-level BPE tokenizer (trainable).
+
+The paper uses the gpt-4o-mini tokenizer to enforce its 8e3-token prompt
+cutoff and to draw Figure 2's token-count distributions. Offline, we train
+our own byte-level BPE on the generated corpus: what matters downstream is a
+consistent subword token count with code-like statistics (≈3-4 characters
+per token on C sources), which BPE delivers by construction.
+
+Implementation follows the classic algorithm: pre-tokenize into words with a
+GPT-style regex, then repeatedly merge the most frequent adjacent symbol
+pair. Training is deterministic (ties broken lexicographically).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable
+
+#: GPT-style pre-tokenization: identifiers (with one leading space), numbers,
+#: punctuation runs, whitespace runs.
+_PRETOKEN_RE = re.compile(
+    r" ?[A-Za-z_]+|[0-9]+|[^\sA-Za-z_0-9]+| +|\n+|\t+"
+)
+
+
+def pretokenize(text: str) -> list[str]:
+    """Split text into BPE word units."""
+    return _PRETOKEN_RE.findall(text)
+
+
+def _word_to_symbols(word: str) -> tuple[str, ...]:
+    return tuple(word)
+
+
+@dataclass
+class BpeTokenizer:
+    """A trained byte-level BPE tokenizer.
+
+    ``merges`` is an ordered list of symbol pairs; rank order defines merge
+    priority during encoding (lower rank merges first), exactly as in the
+    original BPE formulation.
+    """
+
+    merges: list[tuple[str, str]] = field(default_factory=list)
+    _ranks: dict[tuple[str, str], int] = field(default_factory=dict, repr=False)
+    _vocab: dict[str, int] = field(default_factory=dict, repr=False)
+    _cache: dict[str, tuple[str, ...]] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        self._rebuild()
+
+    def _rebuild(self) -> None:
+        self._ranks = {pair: i for i, pair in enumerate(self.merges)}
+        symbols: dict[str, int] = {}
+        for ch in map(chr, range(256)):
+            symbols.setdefault(ch, len(symbols))
+        for a, b in self.merges:
+            symbols.setdefault(a + b, len(symbols))
+        self._vocab = symbols
+        self._cache = {}
+
+    # -- training ------------------------------------------------------------
+    @classmethod
+    def train(
+        cls, corpus: Iterable[str], *, num_merges: int = 3000, min_pair_count: int = 2
+    ) -> "BpeTokenizer":
+        """Learn ``num_merges`` merge rules from the corpus texts."""
+        if num_merges < 0:
+            raise ValueError("num_merges must be non-negative")
+        word_freq: Counter[tuple[str, ...]] = Counter()
+        for text in corpus:
+            for word in pretokenize(text):
+                word_freq[_word_to_symbols(word)] += 1
+
+        merges: list[tuple[str, str]] = []
+        words = dict(word_freq)
+        for _ in range(num_merges):
+            pair_counts: Counter[tuple[str, str]] = Counter()
+            for word, freq in words.items():
+                for i in range(len(word) - 1):
+                    pair_counts[(word[i], word[i + 1])] += freq
+            if not pair_counts:
+                break
+            # Deterministic: max count, ties broken lexicographically.
+            best_pair, best_count = max(
+                pair_counts.items(), key=lambda kv: (kv[1], kv[0])
+            )
+            if best_count < min_pair_count:
+                break
+            merges.append(best_pair)
+            merged = best_pair[0] + best_pair[1]
+            new_words: dict[tuple[str, ...], int] = {}
+            for word, freq in words.items():
+                out: list[str] = []
+                i = 0
+                while i < len(word):
+                    if (
+                        i < len(word) - 1
+                        and word[i] == best_pair[0]
+                        and word[i + 1] == best_pair[1]
+                    ):
+                        out.append(merged)
+                        i += 2
+                    else:
+                        out.append(word[i])
+                        i += 1
+                key = tuple(out)
+                new_words[key] = new_words.get(key, 0) + freq
+            words = new_words
+        return cls(merges=merges)
+
+    # -- encoding ------------------------------------------------------------
+    def _encode_word(self, word: str) -> tuple[str, ...]:
+        cached = self._cache.get(word)
+        if cached is not None:
+            return cached
+        symbols = list(_word_to_symbols(word))
+        if len(symbols) > 1:
+            while True:
+                best_rank = None
+                best_i = -1
+                for i in range(len(symbols) - 1):
+                    rank = self._ranks.get((symbols[i], symbols[i + 1]))
+                    if rank is not None and (best_rank is None or rank < best_rank):
+                        best_rank = rank
+                        best_i = i
+                if best_rank is None:
+                    break
+                symbols[best_i : best_i + 2] = [symbols[best_i] + symbols[best_i + 1]]
+        result = tuple(symbols)
+        if len(self._cache) < 200_000:
+            self._cache[word] = result
+        return result
+
+    def encode(self, text: str) -> list[int]:
+        """Encode text into token ids."""
+        ids: list[int] = []
+        for word in pretokenize(text):
+            for sym in self._encode_word(word):
+                ids.append(self._vocab[sym])
+        return ids
+
+    def tokenize(self, text: str) -> list[str]:
+        """Encode text into token strings (for inspection)."""
+        out: list[str] = []
+        for word in pretokenize(text):
+            out.extend(self._encode_word(word))
+        return out
+
+    def count_tokens(self, text: str) -> int:
+        """Token count without materializing ids (the pruning hot path)."""
+        total = 0
+        for word in pretokenize(text):
+            total += len(self._encode_word(word))
+        return total
+
+    def decode(self, ids: list[int]) -> str:
+        rev = {i: s for s, i in self._vocab.items()}
+        try:
+            return "".join(rev[i] for i in ids)
+        except KeyError as e:
+            raise ValueError(f"unknown token id {e.args[0]}") from None
+
+    @property
+    def vocab_size(self) -> int:
+        return len(self._vocab)
+
+    # -- persistence -----------------------------------------------------------
+    def to_json(self) -> str:
+        return json.dumps({"merges": [list(p) for p in self.merges]})
+
+    @classmethod
+    def from_json(cls, payload: str) -> "BpeTokenizer":
+        data = json.loads(payload)
+        return cls(merges=[tuple(p) for p in data["merges"]])

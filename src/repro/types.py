@@ -1,0 +1,65 @@
+"""Shared enumerations used across subsystems.
+
+Kept in a leaf module so that :mod:`repro.roofline`, :mod:`repro.kernels`,
+:mod:`repro.dataset`, and :mod:`repro.llm` can all import them without
+circular dependencies.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Language(str, enum.Enum):
+    """Source language of a benchmark program (the paper's CUDA/OMP axis)."""
+
+    CUDA = "cuda"
+    OMP = "omp"
+
+    @property
+    def display(self) -> str:
+        return "CUDA" if self is Language.CUDA else "OMP"
+
+
+class Boundedness(str, enum.Enum):
+    """Roofline classification outcome.
+
+    The paper's response vocabulary is the single word ``Compute`` or
+    ``Bandwidth``; :attr:`word` is that canonical response token.
+    """
+
+    COMPUTE = "CB"
+    BANDWIDTH = "BB"
+
+    @property
+    def word(self) -> str:
+        return "Compute" if self is Boundedness.COMPUTE else "Bandwidth"
+
+    @classmethod
+    def from_word(cls, word: str) -> "Boundedness":
+        w = word.strip().strip(".").lower()
+        if w in ("compute", "compute-bound", "cb"):
+            return cls.COMPUTE
+        if w in ("bandwidth", "bandwidth-bound", "memory", "memory-bound", "bb"):
+            return cls.BANDWIDTH
+        raise ValueError(f"unrecognized boundedness word: {word!r}")
+
+    @property
+    def other(self) -> "Boundedness":
+        return Boundedness.BANDWIDTH if self is Boundedness.COMPUTE else Boundedness.COMPUTE
+
+
+class OpClass(str, enum.Enum):
+    """Arithmetic operation class; each has its own roofline (paper §2.1)."""
+
+    SP = "sp"     # single-precision floating point
+    DP = "dp"     # double-precision floating point
+    INT = "int"   # integer ops
+
+    @property
+    def display(self) -> str:
+        return {OpClass.SP: "SP-FLOP", OpClass.DP: "DP-FLOP", OpClass.INT: "INTOP"}[self]
+
+    @property
+    def unit(self) -> str:
+        return {OpClass.SP: "GFLOP/s", OpClass.DP: "GFLOP/s", OpClass.INT: "GINTOP/s"}[self]

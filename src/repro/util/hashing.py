@@ -1,0 +1,75 @@
+"""Stable, platform-independent hashing.
+
+Python's built-in :func:`hash` is salted per process (PYTHONHASHSEED), which
+would make corpus generation and emulator behaviour differ between runs.
+Everything here is SHA-256 based and deterministic.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable
+
+
+def stable_hash_bytes(*parts: object) -> bytes:
+    """Return a 32-byte SHA-256 digest of the given parts.
+
+    Each part is converted to a canonical string form; parts are separated by
+    an unambiguous delimiter so that ``("ab", "c")`` and ``("a", "bc")`` hash
+    differently.
+    """
+    h = hashlib.sha256()
+    for part in parts:
+        data = _canonical(part)
+        h.update(len(data).to_bytes(8, "little"))
+        h.update(data)
+    return h.digest()
+
+
+def stable_hash_hex(*parts: object) -> str:
+    """Hex digest form of :func:`stable_hash_bytes`."""
+    return stable_hash_bytes(*parts).hex()
+
+
+def stable_hash_u64(*parts: object) -> int:
+    """A 64-bit unsigned integer derived from :func:`stable_hash_bytes`."""
+    return int.from_bytes(stable_hash_bytes(*parts)[:8], "little")
+
+
+def _canonical(part: object) -> bytes:
+    if isinstance(part, bytes):
+        return b"b:" + part
+    if isinstance(part, str):
+        return b"s:" + part.encode("utf-8")
+    if isinstance(part, bool):
+        return b"B:" + (b"1" if part else b"0")
+    if isinstance(part, int):
+        return b"i:" + str(part).encode("ascii")
+    if isinstance(part, float):
+        # repr() is exact for floats and stable across platforms for finite
+        # values; this keeps float-keyed streams reproducible.
+        return b"f:" + repr(part).encode("ascii")
+    if part is None:
+        return b"n:"
+    if isinstance(part, (tuple, list)):
+        return b"t:" + stable_hash_bytes(*part)
+    raise TypeError(f"unhashable part type for stable hashing: {type(part)!r}")
+
+
+def stable_choice_index(weights: Iterable[float], u: float) -> int:
+    """Map a uniform draw ``u`` in [0, 1) to an index weighted by ``weights``.
+
+    Used for deterministic categorical sampling. Weights need not be
+    normalized; non-positive weights are treated as zero.
+    """
+    ws = [max(0.0, float(w)) for w in weights]
+    total = sum(ws)
+    if total <= 0.0:
+        raise ValueError("all weights are non-positive")
+    target = u * total
+    acc = 0.0
+    for i, w in enumerate(ws):
+        acc += w
+        if target < acc:
+            return i
+    return len(ws) - 1

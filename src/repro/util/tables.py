@@ -1,0 +1,74 @@
+"""Plain-text and Markdown table rendering for benchmark reports.
+
+The benchmark harness prints Table 1 (and the dataset-pipeline tables) in the
+same row/column layout as the paper; these helpers keep the formatting in one
+place.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def _cell(value: object, fmt: str | None) -> str:
+    if value is None:
+        return "-"
+    if fmt and isinstance(value, float):
+        return format(value, fmt)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    float_fmt: str = ".2f",
+    align_right: bool = True,
+    title: str | None = None,
+) -> str:
+    """Render an ASCII table with column-width alignment.
+
+    Numeric cells are formatted with ``float_fmt``; ``None`` renders as ``-``
+    (matching the dashes in the paper's Table 1 for models that were not run).
+    """
+    str_rows = [[_cell(v, float_fmt) for v in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        parts = []
+        for cell, w in zip(cells, widths):
+            parts.append(cell.rjust(w) if align_right else cell.ljust(w))
+        return "  ".join(parts)
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * max(len(title), sum(widths) + 2 * (len(widths) - 1)))
+    lines.append(fmt_row(list(headers)))
+    lines.append(fmt_row(["-" * w for w in widths]))
+    lines.extend(fmt_row(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def format_markdown_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    float_fmt: str = ".2f",
+) -> str:
+    """Render a GitHub-flavoured Markdown table (used by EXPERIMENTS.md)."""
+    str_rows = [[_cell(v, float_fmt) for v in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+    lines = ["| " + " | ".join(headers) + " |"]
+    lines.append("|" + "|".join("---" for _ in headers) + "|")
+    for row in str_rows:
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)

@@ -1,0 +1,152 @@
+"""ASCII rendering of the paper's figures.
+
+Figure 1 is a log-log roofline scatter; Figure 2 is a set of box-and-whisker
+plots. The benchmark harness emits these as text so the reproduction is fully
+inspectable without a display or plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+from repro.util.stats import BoxStats, five_number_summary
+
+
+def _log_ticks(lo: float, hi: float) -> list[float]:
+    """Decade tick positions covering [lo, hi]."""
+    lo_exp = math.floor(math.log10(lo))
+    hi_exp = math.ceil(math.log10(hi))
+    return [10.0 ** e for e in range(lo_exp, hi_exp + 1)]
+
+
+def ascii_scatter(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    *,
+    width: int = 78,
+    height: int = 24,
+    log_x: bool = True,
+    log_y: bool = True,
+    x_label: str = "x",
+    y_label: str = "y",
+    markers: str = "ox+*#@%&",
+    title: str | None = None,
+) -> str:
+    """Render named point series on a character grid.
+
+    Later series overwrite earlier ones where points collide, which makes
+    the roofline lines (drawn as a dense series) visible under the kernel
+    scatter.
+    """
+    all_pts = [p for pts in series.values() for p in pts]
+    if not all_pts:
+        raise ValueError("nothing to plot")
+    xs = [p[0] for p in all_pts]
+    ys = [p[1] for p in all_pts]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if log_x and x_lo <= 0:
+        raise ValueError("log x-axis requires positive x values")
+    if log_y and y_lo <= 0:
+        raise ValueError("log y-axis requires positive y values")
+
+    def to_col(x: float) -> int:
+        if log_x:
+            t = (math.log10(x) - math.log10(x_lo)) / max(
+                1e-12, math.log10(x_hi) - math.log10(x_lo)
+            )
+        else:
+            t = (x - x_lo) / max(1e-12, x_hi - x_lo)
+        return min(width - 1, max(0, int(round(t * (width - 1)))))
+
+    def to_row(y: float) -> int:
+        if log_y:
+            t = (math.log10(y) - math.log10(y_lo)) / max(
+                1e-12, math.log10(y_hi) - math.log10(y_lo)
+            )
+        else:
+            t = (y - y_lo) / max(1e-12, y_hi - y_lo)
+        return min(height - 1, max(0, int(round((1.0 - t) * (height - 1)))))
+
+    grid = [[" " for _ in range(width)] for _ in range(height)]
+    legend = []
+    for i, (name, pts) in enumerate(series.items()):
+        mark = markers[i % len(markers)]
+        legend.append(f"{mark} = {name}")
+        for x, y in pts:
+            grid[to_row(y)][to_col(x)] = mark
+
+    lines = []
+    if title:
+        lines.append(title.center(width + 10))
+    y_ticks = {}
+    if log_y:
+        for tick in _log_ticks(y_lo, y_hi):
+            if y_lo <= tick <= y_hi:
+                y_ticks[to_row(tick)] = f"{tick:.0e}"
+    for r in range(height):
+        label = y_ticks.get(r, "")
+        lines.append(f"{label:>9} |" + "".join(grid[r]))
+    lines.append(" " * 10 + "+" + "-" * width)
+    if log_x:
+        tick_line = [" "] * (width + 11)
+        for tick in _log_ticks(x_lo, x_hi):
+            if x_lo <= tick <= x_hi:
+                col = 11 + to_col(tick)
+                text = f"{tick:.0e}"
+                for j, ch in enumerate(text):
+                    if col + j < len(tick_line):
+                        tick_line[col + j] = ch
+        lines.append("".join(tick_line))
+    lines.append(f"{'':>11}x: {x_label}   y: {y_label}")
+    lines.append(f"{'':>11}" + "   ".join(legend))
+    return "\n".join(lines)
+
+
+def ascii_boxplot(
+    groups: Mapping[str, Sequence[float]],
+    *,
+    width: int = 70,
+    title: str | None = None,
+    value_label: str = "value",
+) -> str:
+    """Render horizontal box-and-whisker plots, one row group per sample set.
+
+    Layout per group::
+
+        name  |----[  Q1 |M| Q3  ]-----|   (whiskers, box, median)
+    """
+    if not groups:
+        raise ValueError("nothing to plot")
+    stats: dict[str, BoxStats] = {name: five_number_summary(v) for name, v in groups.items()}
+    lo = min(s.minimum for s in stats.values())
+    hi = max(s.maximum for s in stats.values())
+    span = max(1e-12, hi - lo)
+    name_w = max(len(n) for n in stats)
+
+    def col(v: float) -> int:
+        return min(width - 1, max(0, int(round((v - lo) / span * (width - 1)))))
+
+    lines = []
+    if title:
+        lines.append(title)
+    for name, s in stats.items():
+        row = [" "] * width
+        for c in range(col(s.whisker_low), col(s.whisker_high) + 1):
+            row[c] = "-"
+        row[col(s.whisker_low)] = "|"
+        row[col(s.whisker_high)] = "|"
+        for c in range(col(s.q1), col(s.q3) + 1):
+            row[c] = "="
+        row[col(s.q1)] = "["
+        row[col(s.q3)] = "]"
+        row[col(s.median)] = "M"
+        for out in s.outliers:
+            row[col(out)] = "o"
+        lines.append(f"{name:>{name_w}} {''.join(row)}")
+        lines.append(
+            f"{'':>{name_w}}   n={s.n} min={s.minimum:.0f} q1={s.q1:.0f} "
+            f"med={s.median:.0f} q3={s.q3:.0f} max={s.maximum:.0f}"
+        )
+    lines.append(f"{'':>{name_w}} {lo:.0f}{'':<{max(0, width - 14)}}{hi:.0f}  ({value_label})")
+    return "\n".join(lines)

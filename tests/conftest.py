@@ -1,0 +1,53 @@
+"""Shared fixtures.
+
+The paper-sized dataset pipeline costs a few seconds to build; it is
+session-scoped and shared across test modules. Smaller fixtures (mini
+corpus, single programs) are derived cheaply.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def dataset():
+    """The full paper dataset pipeline (built once per test session)."""
+    from repro.dataset import paper_dataset
+
+    return paper_dataset()
+
+
+@pytest.fixture(scope="session")
+def corpus():
+    """The full 749-program corpus."""
+    from repro.kernels.corpus import default_corpus
+
+    return default_corpus()
+
+
+@pytest.fixture(scope="session")
+def mini_corpus():
+    """A small corpus for fast structural tests."""
+    from repro.kernels.corpus import build_corpus
+
+    return build_corpus(30, 20)
+
+
+@pytest.fixture(scope="session")
+def tokenizer():
+    from repro.tokenizer import corpus_tokenizer
+
+    return corpus_tokenizer()
+
+
+@pytest.fixture(scope="session")
+def device():
+    from repro.gpusim import default_device
+
+    return default_device()
+
+
+@pytest.fixture(scope="session")
+def balanced_samples(dataset):
+    return list(dataset.balanced)

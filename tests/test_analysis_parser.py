@@ -1,0 +1,124 @@
+"""Tests for the structural body parser and parameter parsing."""
+
+import pytest
+
+from repro.analysis.cparser import (
+    Branch,
+    Decl,
+    ExprStmt,
+    Loop,
+    Pragma,
+    Return,
+    SharedDecl,
+    parse_block,
+    parse_params,
+    walk,
+)
+
+
+class TestParseBlock:
+    def test_declaration(self):
+        (node,) = parse_block("float acc = x[gx] * 2.0f;")
+        assert isinstance(node, Decl)
+        assert node.type_name == "float"
+        assert node.name == "acc"
+        assert "x[gx]" in node.init_text
+
+    def test_declaration_without_init(self):
+        (node,) = parse_block("double tmp;")
+        assert isinstance(node, Decl)
+        assert node.init_text == ""
+
+    def test_shared_declaration(self):
+        (node,) = parse_block("__shared__ float tile[256];")
+        assert isinstance(node, SharedDecl)
+        assert node.name == "tile"
+        assert node.size_text == "256"
+
+    def test_expression_statement(self):
+        (node,) = parse_block("y[gx] = acc;")
+        assert isinstance(node, ExprStmt)
+
+    def test_for_loop_bound(self):
+        (loop,) = parse_block("for (int k = 0; k < n; k++) { acc += x[k]; }")
+        assert isinstance(loop, Loop)
+        assert loop.var == "k"
+        assert loop.bound_text == "n"
+        assert len(loop.body) == 1
+
+    def test_for_loop_le_bound(self):
+        (loop,) = parse_block("for (int k = 0; k <= 15; k++) { s += k; }")
+        assert loop.bound_text == "15"
+
+    def test_for_loop_step(self):
+        (loop,) = parse_block("for (int k = 0; k < n; k += 4) { s += x[k]; }")
+        assert "+= 4" in loop.step_text
+
+    def test_nested_loops(self):
+        nodes = parse_block(
+            "for (int i = 0; i < m; i++) { for (int j = 0; j < n; j++) { s += a[i * n + j]; } }"
+        )
+        inner = [x for x in walk(nodes) if isinstance(x, Loop)]
+        assert len(inner) == 2
+        assert {l.var for l in inner} == {"i", "j"}
+
+    def test_if_else(self):
+        (node,) = parse_block("if (x > 0.0f) { y = x; } else { y = -x; }")
+        assert isinstance(node, Branch)
+        assert node.then_body and node.else_body
+
+    def test_guard_detection(self):
+        (node,) = parse_block("if (gx >= n) return;")
+        assert isinstance(node, Branch)
+        assert node.is_early_exit_guard
+
+    def test_non_guard_if(self):
+        (node,) = parse_block("if (v < cutoff) { acc += v; }")
+        assert not node.is_early_exit_guard
+
+    def test_pragma(self):
+        nodes = parse_block("#pragma unroll 4\nfor (int k = 0; k < 16; k++) { s += x[k]; }")
+        loops = [x for x in nodes if isinstance(x, Loop)]
+        assert loops[0].pragma == "#pragma unroll 4"
+
+    def test_braceless_for_body(self):
+        (loop,) = parse_block("for (int k = 0; k < n; k++) s += x[k];")
+        assert isinstance(loop, Loop)
+        assert len(loop.body) == 1
+
+    def test_braceless_if_return(self):
+        (node,) = parse_block("if (gx >= n) return;\nfloat v = 0.0f;"[:20])
+        assert isinstance(node, Branch)
+
+    def test_semicolons_inside_brackets_ignored(self):
+        # no false statement split inside for-headers of nested loops
+        nodes = parse_block(
+            "float s = 0.0f;\nfor (int k = 0; k < 8; k++) { s += 1.0f; }\ny[gx] = s;"
+        )
+        assert len(nodes) == 3
+
+    def test_unknown_loop_form_tolerated(self):
+        (loop,) = parse_block("for (i = start; i != end; i = next(i)) { go(i); }")
+        assert isinstance(loop, Loop)
+        assert loop.var == "_unknown"
+
+
+class TestParseParams:
+    def test_pointer_params(self):
+        params = parse_params("const float *__restrict__ x, float *y, int n")
+        assert [p.name for p in params] == ["x", "y", "n"]
+        assert params[0].is_pointer and params[0].is_const
+        assert params[1].is_pointer and not params[1].is_const
+        assert not params[2].is_pointer
+
+    def test_types(self):
+        params = parse_params("double *a, long long k")
+        assert params[0].type_name == "double"
+        assert params[1].type_name == "long long"
+
+    def test_empty(self):
+        assert parse_params("") == []
+
+    def test_whitespace_tolerant(self):
+        params = parse_params("  const   double  * a ,int   b ")
+        assert [p.name for p in params] == ["a", "b"]

@@ -1,0 +1,78 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["rq2"])
+        assert args.model == "all"
+        assert args.limit == 0
+
+
+class TestCommands:
+    def test_models(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        assert "o3-mini-high" in out
+        assert "$15 / $60" in out
+
+    def test_dataset(self, capsys, dataset):
+        assert main(["dataset"]) == 0
+        out = capsys.readouterr().out
+        assert "balanced: 340" in out
+
+    def test_dataset_save(self, capsys, tmp_path, dataset):
+        out_file = tmp_path / "ds.jsonl"
+        assert main(["dataset", "--out", str(out_file), "--compact"]) == 0
+        assert out_file.exists()
+        assert out_file.stat().st_size > 10_000
+
+    def test_classify_known_uid(self, capsys, dataset):
+        uid = dataset.balanced[0].uid
+        rc = main(["classify", uid, "--model", "o3-mini-high"])
+        out = capsys.readouterr().out
+        assert rc in (0, 1)  # 0 correct, 1 incorrect — both valid runs
+        assert f"program:    {uid}" in out
+        assert "prediction:" in out
+
+    def test_classify_unknown_uid(self, capsys, dataset):
+        assert main(["classify", "cuda/zzz-v99"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_rq1_single_model(self, capsys):
+        assert main(["rq1", "--model", "gpt-4o-mini", "--rooflines", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "gpt-4o-mini" in out
+
+    def test_rq2_with_limit(self, capsys, dataset):
+        assert main(["rq2", "--model", "o3-mini", "--limit", "15"]) == 0
+        out = capsys.readouterr().out
+        assert "15 samples" in out
+
+    def test_rq3_with_limit(self, capsys, dataset):
+        assert main(["rq3", "--model", "gpt-4o-mini", "--limit", "10"]) == 0
+        assert "two-shot" in capsys.readouterr().out
+
+    def test_rq4(self, capsys, dataset):
+        assert main(["rq4", "--scope", "all"]) == 0
+        out = capsys.readouterr().out
+        assert "collapsed:          True" in out
+
+    def test_decompose_with_limit(self, capsys, dataset):
+        assert main(["decompose", "--model", "o3-mini", "--limit", "10"]) == 0
+        assert "Decomposed" in capsys.readouterr().out
+
+    def test_figures(self, capsys, dataset):
+        assert main(["figures", "--which", "2"]) == 0
+        assert "train/CUDA/BB" in capsys.readouterr().out

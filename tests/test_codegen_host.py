@@ -1,0 +1,152 @@
+"""Structural tests for generated host code, across verbosity and bloat
+levels, for both backends."""
+
+import dataclasses
+import re
+
+import pytest
+
+from repro.kernels.codegen import render_cuda, render_omp
+from repro.kernels.codegen.cuda import _unique_arrays
+from repro.kernels.codegen.utilheader import render_util_header
+from repro.kernels.families import get_family
+from repro.types import Language
+
+
+def _spec(family="saxpy", variant=0, language=Language.CUDA, **overrides):
+    spec = get_family(family).build(variant, language)
+    return dataclasses.replace(spec, **overrides) if overrides else spec
+
+
+class TestCudaHost:
+    def test_malloc_free_pairing(self):
+        spec = _spec()
+        src = render_cuda(spec).concatenated_source()
+        arrays = _unique_arrays(spec)
+        assert len(arrays) >= 2
+        for arr in arrays:
+            assert f"h_{arr.name} = " in src
+            assert f"free(h_{arr.name});" in src
+            assert f"cudaFree(d_{arr.name});" in src
+
+    def test_every_flag_parsed(self):
+        spec = _spec("stencil3d7", 0)
+        src = render_cuda(spec).concatenated_source()
+        for name, default in spec.cmdline.flags:
+            assert f'strcmp(argv[i], "--{name}")' in src
+            assert f"int {name} = {default};" in src
+
+    def test_verbosity_zero_minimal(self):
+        spec = _spec(host_verbosity=0)
+        src = render_cuda(spec).concatenated_source()
+        assert "usage(" not in src
+        assert "CUDA_CHECK" not in src
+
+    def test_verbosity_two_has_reference(self):
+        spec = _spec(host_verbosity=2)
+        src = render_cuda(spec).concatenated_source()
+        assert "reference_norm" in src
+        assert "PASSED" in src
+
+    def test_util2_harness_uses_shared_helpers(self):
+        spec = _spec(util_header=2, host_verbosity=2)
+        src = render_cuda(spec).concatenated_source()
+        assert "struct BenchOptions opts;" in src
+        assert "stats_print(&stats" in src
+        assert "GpuTimer timer;" in src
+
+    def test_checksum_on_first_output(self):
+        spec = _spec()
+        src = render_cuda(spec).concatenated_source()
+        assert "double checksum = 0.0;" in src
+        assert 'printf("checksum: %.6e\\n", checksum);' in src
+
+    def test_scalar_literals_typed(self):
+        # saxpy passes alpha as a float literal
+        spec = _spec()
+        src = render_cuda(spec).concatenated_source()
+        assert re.search(r"saxpy_kernel<<<.*>>>\(d_x, d_y, 2\.0f, n\);", src)
+
+
+class TestOmpHost:
+    def test_map_clause_per_array(self):
+        spec = _spec(language=Language.OMP)
+        src = render_omp(spec).concatenated_source()
+        for arr in _unique_arrays(spec):
+            clause = "tofrom" if arr.is_output else "to"
+            size = arr.size if isinstance(arr.size, str) else str(arr.size)
+            assert f"map({clause}: {arr.name}[0:{size}])" in src
+
+    def test_wtime_timing(self):
+        src = render_omp(_spec(language=Language.OMP)).concatenated_source()
+        assert "omp_get_wtime()" in src
+
+    def test_util2_harness(self):
+        spec = _spec(language=Language.OMP, util_header=2, host_verbosity=2)
+        src = render_omp(spec).concatenated_source()
+        assert "WallTimer timer;" in src
+        assert "stats_print(&stats" in src
+
+    def test_free_per_array(self):
+        spec = _spec(language=Language.OMP)
+        src = render_omp(spec).concatenated_source()
+        for arr in _unique_arrays(spec):
+            assert f"free({arr.name});" in src
+
+
+class TestUtilHeader:
+    @pytest.mark.parametrize("language", [Language.CUDA, Language.OMP])
+    def test_level1_has_timer_and_init(self, language):
+        text = render_util_header(1, language, "prog")
+        assert "fill_linear_f32" in text
+        if language is Language.CUDA:
+            assert "GpuTimer" in text
+        else:
+            assert "WallTimer" in text
+
+    @pytest.mark.parametrize("language", [Language.CUDA, Language.OMP])
+    def test_level2_has_full_suite(self, language):
+        text = render_util_header(2, language, "prog")
+        for marker in ("compare_with_tolerance", "parse_common_flag",
+                       "stats_print", "dump_array_f32", "alloc_aligned",
+                       "select_device", "variance_f32"):
+            assert marker in text, marker
+
+    def test_level2_longer_than_level1(self):
+        l1 = render_util_header(1, Language.CUDA, "p")
+        l2 = render_util_header(2, Language.CUDA, "p")
+        assert len(l2) > 2 * len(l1)
+
+    def test_invalid_level_rejected(self):
+        with pytest.raises(ValueError):
+            render_util_header(0, Language.CUDA, "p")
+
+    def test_include_guard(self):
+        text = render_util_header(1, Language.OMP, "p")
+        assert text.count("BENCHMARK_UTILS_H") == 3  # ifndef/define/endif
+
+
+class TestReferenceImpl:
+    def test_reference_for_simple_kernel(self):
+        from repro.kernels.codegen.reference import render_reference_file
+
+        spec = _spec(util_header=2)
+        f = render_reference_file(spec)
+        assert f.filename == "reference_impl.h"
+        assert f"{spec.first_kernel.kernel.name}_cpu(" in f.text
+        assert "validate_" in f.text
+
+    def test_reference_skips_shared_memory_kernels(self):
+        from repro.kernels.codegen.reference import render_reference_file
+
+        spec = get_family("gemm_tiled").build(0, Language.CUDA)
+        f = render_reference_file(spec)
+        assert "no direct sequential transliteration" in f.text
+        assert "_cpu(" not in f.text
+
+    def test_reference_2d_kernel_nested_loops(self):
+        from repro.kernels.codegen.reference import render_reference_kernel
+
+        spec = get_family("gemm_naive").build(0, Language.CUDA)
+        text = render_reference_kernel(spec.first_kernel.kernel)
+        assert text.count("for (int g") == 2  # gy and gx loops

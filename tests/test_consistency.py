@@ -1,0 +1,130 @@
+"""Cross-subsystem consistency: codegen ↔ profiler ↔ static analyst.
+
+The profiler counts ops from IR; the analyst counts ops from the *rendered
+source*. They use the same op-cost conventions, so for kernels whose
+dynamic behaviour is statically visible (no data-dependent branches, no
+cache subtleties in the op counts), per-thread op counts must agree closely.
+This pins the two independent implementations against each other — a bug in
+either one breaks the agreement.
+"""
+
+import pytest
+
+from repro.analysis import analyze_kernel, find_kernel
+from repro.gpusim import profile_first_kernel
+from repro.kernels.codegen import render_program
+from repro.kernels.families import all_families, get_family
+from repro.types import Language, OpClass
+
+
+def _per_thread_profiler_ops(spec):
+    prof = profile_first_kernel(spec)
+    inst = spec.first_kernel
+    active = inst.active_threads(spec.cmdline)
+    c = prof.counters
+    return {
+        OpClass.SP: c.sp_flops / active,
+        OpClass.DP: c.dp_flops / active,
+        OpClass.INT: c.int_ops / active,
+    }
+
+
+def _static_estimate(spec):
+    rendered = render_program(spec)
+    source = rendered.concatenated_source()
+    kernel = find_kernel(source, spec.first_kernel.kernel.name, spec.language)
+    values = spec.cmdline.bindings()
+    return analyze_kernel(kernel, param_values=values)
+
+
+#: Families whose first kernel has no branches and no dynamic indexing:
+#: static per-thread FLOP counts should track the profiler's within noise.
+STRAIGHT_LINE_FAMILIES = (
+    "saxpy", "vecadd", "triad", "axpby", "hadamard", "gelu_map",
+    "blackscholes", "murmur_mix", "pcg_hash", "verlet_step",
+)
+
+LOOPED_FAMILIES = (
+    "gemv_row", "horner_poly", "newton_roots", "logistic_map",
+    "conv1d_taps", "xorshift_stream",
+)
+
+
+class TestAnalystProfilerAgreement:
+    @pytest.mark.parametrize("family", STRAIGHT_LINE_FAMILIES)
+    @pytest.mark.parametrize("language", [Language.CUDA, Language.OMP])
+    def test_straight_line_flop_agreement(self, family, language):
+        spec = get_family(family).build(0, language)
+        prof_ops = _per_thread_profiler_ops(spec)
+        est = _static_estimate(spec)
+        for op_class, static_val in (
+            (OpClass.SP, est.ops_sp), (OpClass.DP, est.ops_dp)
+        ):
+            dynamic_val = prof_ops[op_class]
+            if dynamic_val < 0.5 and static_val < 0.5:
+                continue  # class unused by this kernel
+            ratio = (static_val + 1.0) / (dynamic_val + 1.0)
+            assert 0.5 <= ratio <= 2.0, (family, language, op_class, ratio)
+
+    @pytest.mark.parametrize("family", LOOPED_FAMILIES)
+    def test_looped_flop_agreement(self, family):
+        """Loop trip counts come from argv in both pipelines — per-thread
+        float ops must agree within 2x even for loop-heavy kernels."""
+        spec = get_family(family).build(0, Language.CUDA)
+        prof_ops = _per_thread_profiler_ops(spec)
+        est = _static_estimate(spec)
+        dyn_f = prof_ops[OpClass.SP] + prof_ops[OpClass.DP]
+        sta_f = est.ops_sp + est.ops_dp
+        if dyn_f < 1.0 and sta_f < 1.0:
+            pytest.skip("integer-only kernel")
+        ratio = (sta_f + 1.0) / (dyn_f + 1.0)
+        assert 0.4 <= ratio <= 2.5, (family, ratio)
+
+    def test_int_ops_same_order_of_magnitude(self):
+        for family in ("saxpy", "pcg_hash", "gemv_row"):
+            spec = get_family(family).build(0, Language.CUDA)
+            prof_ops = _per_thread_profiler_ops(spec)
+            est = _static_estimate(spec)
+            ratio = (est.ops_int + 1.0) / (prof_ops[OpClass.INT] + 1.0)
+            assert 0.2 <= ratio <= 5.0, (family, ratio)
+
+
+class TestAnalystCoverage:
+    @pytest.mark.parametrize("name", sorted(all_families()))
+    def test_every_family_statically_analyzable(self, name):
+        """The analyst must produce a finite, positive estimate for every
+        family's first kernel, in every supported language."""
+        fam = get_family(name)
+        for language in fam.languages:
+            spec = fam.build(0, language)
+            est = _static_estimate(spec)
+            assert est.bytes_per_thread > 0, (name, language)
+            total = est.ops_sp + est.ops_dp + est.ops_int
+            assert total > 0, (name, language)
+            assert est.guess_fraction <= 1.0
+
+
+class TestCudaOmpConsistency:
+    """The two language renders of the same family/variant must expose the
+    same first-kernel structure to the analyst."""
+
+    # Families whose per-thread work is independent of the problem size
+    # (variant sizes are language-keyed on purpose, mirroring real ports).
+    @pytest.mark.parametrize(
+        "family", ["saxpy", "blackscholes", "gelu_map", "murmur_mix", "verlet_step"]
+    )
+    def test_cross_language_op_agreement(self, family):
+        fam = get_family(family)
+        if Language.OMP not in fam.languages:
+            pytest.skip("CUDA-only family")
+        cuda_est = _static_estimate(fam.build(0, Language.CUDA))
+        omp_est = _static_estimate(fam.build(0, Language.OMP))
+        # Same variant → same kernel body per thread: float ops must agree
+        # exactly; integer ops differ only by the CUDA-side thread-index
+        # computation and bounds guard (3 int ops).
+        assert omp_est.ops_sp == pytest.approx(cuda_est.ops_sp, abs=0.5), family
+        assert omp_est.ops_dp == pytest.approx(cuda_est.ops_dp, abs=0.5), family
+        assert abs(cuda_est.ops_int - omp_est.ops_int) <= 4.0, family
+        assert omp_est.bytes_per_thread == pytest.approx(
+            cuda_est.bytes_per_thread, rel=0.05
+        ), family

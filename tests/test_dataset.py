@@ -1,0 +1,139 @@
+"""Tests for the dataset pipeline (paper §2.1-2.2)."""
+
+import dataclasses
+
+import pytest
+
+from repro.dataset import (
+    PAPER_CELL_SIZE,
+    TOKEN_CUTOFF,
+    balance_cells,
+    cell_counts,
+    load_samples,
+    prune_by_tokens,
+    save_samples,
+    split_train_validation,
+)
+from repro.types import Boundedness, Language
+
+
+class TestPipelineShape:
+    def test_profiled_count(self, dataset):
+        assert len(dataset.profiled) == 749
+
+    def test_prune_report(self, dataset):
+        r = dataset.prune_report
+        assert r.cutoff == TOKEN_CUTOFF == 8000
+        assert r.cuda_before == 446
+        assert r.omp_before == 303
+        # paper kept 297 CUDA / 242 OMP; ours must land close
+        assert abs(r.cuda_after - 297) <= 15
+        assert 240 <= r.omp_after <= 290
+
+    def test_pruned_all_under_cutoff(self, dataset):
+        assert all(s.token_count <= 8000 for s in dataset.pruned)
+
+    def test_balanced_is_340(self, dataset):
+        assert len(dataset.balanced) == 340
+        counts = cell_counts(list(dataset.balanced))
+        assert set(counts.values()) == {PAPER_CELL_SIZE}
+
+    def test_split_sizes(self, dataset):
+        assert len(dataset.train) == 272
+        assert len(dataset.validation) == 68
+        for counts in (cell_counts(list(dataset.train)), cell_counts(list(dataset.validation))):
+            assert len(set(counts.values())) == 1
+        assert set(cell_counts(list(dataset.train)).values()) == {68}
+        assert set(cell_counts(list(dataset.validation)).values()) == {17}
+
+    def test_split_disjoint(self, dataset):
+        train_uids = {s.uid for s in dataset.train}
+        val_uids = {s.uid for s in dataset.validation}
+        assert not (train_uids & val_uids)
+        assert train_uids | val_uids == {s.uid for s in dataset.balanced}
+
+    def test_samples_have_sources(self, dataset):
+        for s in dataset.balanced[:20]:
+            assert s.kernel_name in s.source
+            assert s.argv.startswith("./")
+
+    def test_every_cell_has_headroom(self, dataset):
+        """The generated corpus must leave >= 85 samples per cell after
+        pruning, or the paper's balancing step is impossible."""
+        counts = cell_counts(list(dataset.pruned))
+        assert min(counts.values()) >= PAPER_CELL_SIZE
+
+
+class TestBalance:
+    def test_balance_to_min_cell(self, dataset):
+        balanced = balance_cells(list(dataset.pruned), cell_size=None)
+        counts = cell_counts(balanced)
+        assert len(set(counts.values())) == 1
+
+    def test_oversized_target_rejected(self, dataset):
+        with pytest.raises(ValueError):
+            balance_cells(list(dataset.pruned), cell_size=10_000)
+
+    def test_empty_cell_rejected(self, dataset):
+        only_cuda = [s for s in dataset.pruned if s.language is Language.CUDA]
+        with pytest.raises(ValueError):
+            balance_cells(only_cuda, cell_size=10)
+
+    def test_deterministic(self, dataset):
+        a = balance_cells(list(dataset.pruned))
+        b = balance_cells(list(dataset.pruned))
+        assert [s.uid for s in a] == [s.uid for s in b]
+
+
+class TestSplit:
+    def test_fraction_bounds(self, dataset):
+        with pytest.raises(ValueError):
+            split_train_validation(list(dataset.balanced), train_fraction=1.0)
+
+    def test_overlap_detected(self, dataset):
+        from repro.dataset.split import TrainValSplit
+
+        s = dataset.balanced[0]
+        with pytest.raises(ValueError):
+            TrainValSplit(train=(s,), validation=(s,))
+
+
+class TestPrune:
+    def test_custom_cutoff(self, dataset):
+        kept, report = prune_by_tokens(list(dataset.profiled), cutoff=2000)
+        assert all(s.token_count <= 2000 for s in kept)
+        assert report.total_after == len(kept)
+
+    def test_bad_cutoff(self, dataset):
+        with pytest.raises(ValueError):
+            prune_by_tokens(list(dataset.profiled), cutoff=0)
+
+
+class TestStore:
+    def test_roundtrip(self, dataset, tmp_path):
+        path = tmp_path / "samples.jsonl"
+        subset = list(dataset.balanced[:10])
+        save_samples(subset, path)
+        loaded = load_samples(path)
+        assert loaded == subset
+
+    def test_compact_and_rehydrate(self, dataset, tmp_path):
+        path = tmp_path / "index.jsonl"
+        subset = list(dataset.balanced[:5])
+        save_samples(subset, path, include_source=False)
+        loaded = load_samples(path, rehydrate_source=True)
+        assert [s.uid for s in loaded] == [s.uid for s in subset]
+        assert all(s.source for s in loaded)
+        assert loaded[0].source == subset[0].source
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"not": "a sample"}\n')
+        with pytest.raises(ValueError):
+            load_samples(path)
+
+    def test_sample_dict_roundtrip(self, dataset):
+        from repro.dataset import Sample
+
+        s = dataset.balanced[0]
+        assert Sample.from_dict(s.to_dict()) == s

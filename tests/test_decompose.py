@@ -1,0 +1,120 @@
+"""Tests for the question-decomposition extension (prompts, handlers, driver)."""
+
+import pytest
+
+from repro.eval.decompose import classify_decomposed, run_decompose_experiment
+from repro.llm import get_model
+from repro.llm.decompose_handler import answer, handles
+from repro.prompts.decompose import (
+    build_step1_prompt,
+    build_step2_prompt,
+    build_step3_prompt,
+    parse_step1_answer,
+    parse_step2_answer,
+)
+from repro.roofline import RTX_3080
+from repro.types import Boundedness
+
+
+class TestStepPrompts:
+    def test_step1_contains_specs(self):
+        p = build_step1_prompt()
+        assert "29770.0 GFLOP/s" in p
+        assert "SP=<GFLOP/s>" in p
+
+    def test_step2_contains_source(self, balanced_samples):
+        s = balanced_samples[0]
+        p = build_step2_prompt(s)
+        assert s.kernel_name in p
+        assert s.argv in p
+        assert s.source in p
+
+    def test_step3_contains_numbers(self):
+        p = build_step3_prompt(
+            sp_ops=12.0, dp_ops=0.0, int_ops=8.0, bytes_per_thread=24.0,
+            sp_peak=29770.0, dp_peak=465.1, int_peak=14885.0, bandwidth=760.3,
+        )
+        assert "12 single-precision FLOPs" in p
+        assert "760.3 GB/s" in p
+
+
+class TestAnswerParsing:
+    def test_step1_roundtrip(self):
+        a = parse_step1_answer("SP=29770 DP=465.1 INT=14885 BW=760.3")
+        assert a.sp_peak == 29770.0
+        assert a.bandwidth == 760.3
+
+    def test_step2_roundtrip(self):
+        a = parse_step2_answer("SP_OPS=12 DP_OPS=0 INT_OPS=8.5 BYTES=24")
+        assert a.sp_ops == 12.0
+        assert a.bytes_per_thread == 24.0
+
+    def test_malformed_raises(self):
+        with pytest.raises(ValueError):
+            parse_step1_answer("I think the GPU is fast")
+        with pytest.raises(ValueError):
+            parse_step2_answer("lots of operations")
+
+
+class TestHandlers:
+    def test_handles_detection(self, balanced_samples):
+        assert handles(build_step1_prompt())
+        assert handles(build_step2_prompt(balanced_samples[0]))
+        assert not handles("what is a roofline?")
+
+    def test_step1_reasoning_model_exact(self):
+        cfg = get_model("o3-mini-high").config
+        text = answer(build_step1_prompt(), cfg)
+        a = parse_step1_answer(text)
+        assert a.sp_peak == pytest.approx(RTX_3080.sp_peak_gflops, rel=0.001)
+        assert a.bandwidth == pytest.approx(RTX_3080.bandwidth_gbs, rel=0.001)
+
+    def test_step2_answers_parse(self, balanced_samples):
+        cfg = get_model("o3-mini-high").config
+        for s in balanced_samples[:10]:
+            a = parse_step2_answer(answer(build_step2_prompt(s), cfg))
+            assert a.bytes_per_thread > 0
+
+    def test_step3_verdict_correct_for_reasoning(self):
+        cfg = get_model("o1").config
+        # AI_sp = 100/2 = 50 > balance 39.2 -> Compute
+        p = build_step3_prompt(
+            sp_ops=100.0, dp_ops=0.0, int_ops=1.0, bytes_per_thread=2.0,
+            sp_peak=29770.0, dp_peak=465.1, int_peak=14885.0, bandwidth=760.3,
+        )
+        assert answer(p, cfg) == "Compute"
+        # AI_sp = 2/12 -> Bandwidth
+        p = build_step3_prompt(
+            sp_ops=2.0, dp_ops=0.0, int_ops=3.0, bytes_per_thread=12.0,
+            sp_peak=29770.0, dp_peak=465.1, int_peak=14885.0, bandwidth=760.3,
+        )
+        assert answer(p, cfg) == "Bandwidth"
+
+    def test_deterministic(self, balanced_samples):
+        cfg = get_model("gemini-2.0-flash-001").config
+        p = build_step2_prompt(balanced_samples[3])
+        assert answer(p, cfg) == answer(p, cfg)
+
+
+class TestDriver:
+    def test_single_sample(self, balanced_samples):
+        pred = classify_decomposed(get_model("o3-mini-high"), balanced_samples[0])
+        assert pred.steps_completed == 3
+        assert pred.prediction in (Boundedness.COMPUTE, Boundedness.BANDWIDTH)
+
+    def test_experiment_shape(self, balanced_samples):
+        result = run_decompose_experiment(
+            get_model("o3-mini"), balanced_samples[:20]
+        )
+        assert len(result.predictions) == 20
+        assert result.usage["requests"] == 60  # three steps per sample
+        assert 0 <= result.metrics().accuracy <= 100
+
+    def test_decomposition_beats_zero_shot_for_reasoning(self, balanced_samples):
+        from repro.eval.rq23 import run_rq2
+
+        model = get_model("o1")
+        subset = balanced_samples[:80]
+        rq2 = run_rq2(model, subset).metrics.accuracy
+        dec = run_decompose_experiment(model, subset).metrics().accuracy
+        assert dec >= rq2  # the extension's headline finding

@@ -1,0 +1,91 @@
+"""Tests for the metric triple (accuracy, macro-F1, MCC)."""
+
+import pytest
+
+from repro.eval.metrics import (
+    ConfusionCounts,
+    MetricReport,
+    accuracy,
+    confusion,
+    macro_f1,
+    mcc,
+)
+from repro.types import Boundedness
+
+CB = Boundedness.COMPUTE
+BB = Boundedness.BANDWIDTH
+
+
+class TestConfusion:
+    def test_counts(self):
+        c = confusion([CB, CB, BB, BB], [CB, BB, CB, BB])
+        assert (c.tp, c.fn, c.fp, c.tn) == (1, 1, 1, 1)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            confusion([CB], [CB, BB])
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            confusion([], [])
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        c = confusion([CB, BB], [CB, BB])
+        assert accuracy(c) == 100.0
+
+    def test_chance(self):
+        c = confusion([CB, CB, BB, BB], [CB, BB, CB, BB])
+        assert accuracy(c) == 50.0
+
+
+class TestMacroF1:
+    def test_perfect(self):
+        c = confusion([CB, BB], [CB, BB])
+        assert macro_f1(c) == 100.0
+
+    def test_symmetry_under_class_swap(self):
+        truths = [CB, CB, CB, BB, BB]
+        preds = [CB, BB, CB, BB, CB]
+        direct = macro_f1(confusion(truths, preds))
+        swapped = macro_f1(
+            confusion([t.other for t in truths], [p.other for p in preds])
+        )
+        assert direct == pytest.approx(swapped)
+
+    def test_constant_predictor_penalized(self):
+        # always Compute on a balanced set: acc 50, macro-F1 ~33
+        truths = [CB] * 5 + [BB] * 5
+        preds = [CB] * 10
+        c = confusion(truths, preds)
+        assert accuracy(c) == 50.0
+        assert macro_f1(c) == pytest.approx(33.33, abs=0.01)
+
+
+class TestMcc:
+    def test_perfect(self):
+        assert mcc(confusion([CB, BB], [CB, BB])) == 100.0
+
+    def test_inverted(self):
+        assert mcc(confusion([CB, BB], [BB, CB])) == -100.0
+
+    def test_random_near_zero(self):
+        assert mcc(confusion([CB, CB, BB, BB], [CB, BB, CB, BB])) == 0.0
+
+    def test_constant_predictor_zero(self):
+        assert mcc(confusion([CB, BB], [CB, CB])) == 0.0
+
+    def test_known_value(self):
+        # tp=6, tn=3, fp=1, fn=2  →  classic textbook value
+        c = ConfusionCounts(tp=6, tn=3, fp=1, fn=2)
+        expected = (6 * 3 - 1 * 2) / ((7 * 8 * 4 * 5) ** 0.5) * 100
+        assert mcc(c) == pytest.approx(expected)
+
+
+class TestMetricReport:
+    def test_from_predictions(self):
+        rep = MetricReport.from_predictions([CB, BB, CB, BB], [CB, BB, BB, BB])
+        assert rep.n == 4
+        assert rep.accuracy == 75.0
+        assert 0 < rep.macro_f1 < 100

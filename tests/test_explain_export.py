@@ -1,0 +1,122 @@
+"""Tests for the explanation module and the CSV/JSON exports."""
+
+import json
+
+import pytest
+
+from repro.analysis import explain_kernel, find_kernel
+from repro.eval.export import (
+    export_figure1_csv,
+    export_figure2_csv,
+    export_table1_json,
+    load_figure1_csv,
+)
+from repro.eval.figures import figure1_data, figure2_data
+from repro.roofline import RTX_3080
+from repro.types import Boundedness, OpClass
+
+
+@pytest.fixture(scope="module")
+def balance_points():
+    return {oc: rl.balance_point for oc, rl in RTX_3080.rooflines()}
+
+
+def _argv_values(argv):
+    toks = argv.split()
+    return {
+        t[2:]: int(v)
+        for t, v in zip(toks, toks[1:])
+        if t.startswith("--") and v.lstrip("-").isdigit()
+    }
+
+
+class TestExplain:
+    def test_explanation_structure(self, balanced_samples, balance_points):
+        s = balanced_samples[0]
+        k = find_kernel(s.source, s.kernel_name, s.language)
+        exp = explain_kernel(k, balance_points, param_values=_argv_values(s.argv))
+        assert exp.kernel_name == s.kernel_name
+        assert set(exp.per_class) == set(OpClass)
+        assert exp.traffic  # at least one contributor
+
+    def test_verdict_consistent_with_per_class(self, balanced_samples, balance_points):
+        for s in balanced_samples[:20]:
+            k = find_kernel(s.source, s.kernel_name, s.language)
+            exp = explain_kernel(k, balance_points, param_values=_argv_values(s.argv))
+            any_cb = any(
+                label is Boundedness.COMPUTE
+                for _, _, label in exp.per_class.values()
+            )
+            assert (exp.verdict is Boundedness.COMPUTE) == any_cb
+
+    def test_traffic_shares_sum_to_at_most_one(self, balanced_samples, balance_points):
+        s = balanced_samples[5]
+        k = find_kernel(s.source, s.kernel_name, s.language)
+        exp = explain_kernel(k, balance_points, param_values=_argv_values(s.argv))
+        assert sum(share for *_, share in exp.traffic) <= 1.0 + 1e-9
+
+    def test_render_contains_verdicts(self, balanced_samples, balance_points):
+        s = balanced_samples[0]
+        k = find_kernel(s.source, s.kernel_name, s.language)
+        text = explain_kernel(
+            k, balance_points, param_values=_argv_values(s.argv)
+        ).render()
+        assert "class verdicts" in text
+        assert "caveats" in text
+        assert "SP-FLOP" in text
+
+    def test_detailed_matches_plain_estimate(self, balanced_samples):
+        from repro.analysis import analyze_kernel, analyze_kernel_detailed
+
+        s = balanced_samples[3]
+        k = find_kernel(s.source, s.kernel_name, s.language)
+        vals = _argv_values(s.argv)
+        plain = analyze_kernel(k, param_values=vals)
+        detailed, sites = analyze_kernel_detailed(k, param_values=vals)
+        assert detailed == plain
+        assert sum(b for *_, b in sites) == pytest.approx(
+            plain.bytes_per_thread, rel=1e-6
+        ) or plain.bytes_per_thread == 0.5  # floor case
+
+
+class TestExports:
+    def test_figure1_csv_roundtrip(self, dataset, tmp_path):
+        fig = figure1_data(list(dataset.profiled)[:80])
+        path = tmp_path / "fig1.csv"
+        export_figure1_csv(fig, path)
+        loaded = load_figure1_csv(path)
+        for oc in OpClass:
+            assert len(loaded[oc]) == len(fig.points[oc])
+            if fig.points[oc]:
+                assert loaded[oc][0][0] == pytest.approx(fig.points[oc][0][0], rel=1e-4)
+
+    def test_figure1_csv_header_comments(self, dataset, tmp_path):
+        fig = figure1_data(list(dataset.profiled)[:40])
+        path = tmp_path / "fig1.csv"
+        export_figure1_csv(fig, path)
+        text = path.read_text()
+        assert text.startswith("# gpu: NVIDIA GeForce RTX 3080")
+        assert "balance_point=" in text
+
+    def test_figure2_csv(self, dataset, tmp_path):
+        fig = figure2_data(dataset)
+        path = tmp_path / "fig2.csv"
+        export_figure2_csv(fig, path)
+        lines = path.read_text().strip().split("\n")
+        assert len(lines) == 1 + 8  # header + 8 groups
+        assert "train/CUDA/BB" in lines[1]
+
+    def test_table1_json(self, balanced_samples, tmp_path):
+        from repro.eval.table1 import build_table1
+        from repro.llm import get_model
+
+        table = build_table1(
+            balanced_samples[:10],
+            models=[get_model("gpt-4o-mini")],
+            num_rooflines=5,
+        )
+        path = tmp_path / "table1.json"
+        export_table1_json(table, path)
+        data = json.loads(path.read_text())
+        assert data[0]["model"] == "gpt-4o-mini"
+        assert "accuracy" in data[0]["rq2"]

@@ -1,0 +1,309 @@
+"""Tests for the GPU simulator: memory model, profiler walker, timing."""
+
+import pytest
+
+from repro.gpusim import (
+    AccessSite,
+    DeviceModel,
+    ProfileCounters,
+    aggregate_traffic,
+    bytes_per_execution,
+    coalescing_quality,
+    default_device,
+    estimate_site_traffic,
+    estimate_time,
+    merge_counters,
+    profile_first_kernel,
+    profile_kernel,
+)
+from repro.gpusim.memory import merge_sites
+from repro.kernels.families import get_family
+from repro.types import Language, OpClass
+from repro.util.rng import RngStream
+
+
+@pytest.fixture(scope="module")
+def dev():
+    return default_device()
+
+
+def _site(**kwargs):
+    defaults = dict(
+        array="x",
+        elem_size=4,
+        is_write=False,
+        executions=1_000_000.0,
+        gx_stride=1,
+        footprint_elems=1_000_000.0,
+        pattern="affine",
+    )
+    defaults.update(kwargs)
+    return AccessSite(**defaults)
+
+
+class TestCoalescing:
+    def test_unit_stride_moves_element_size(self, dev):
+        assert bytes_per_execution(_site(gx_stride=1), dev) == 4.0
+
+    def test_broadcast_shares_sector_across_warp(self, dev):
+        assert bytes_per_execution(_site(gx_stride=0), dev) == dev.sector_bytes / 32
+
+    def test_large_stride_costs_full_sector(self, dev):
+        assert bytes_per_execution(_site(gx_stride=16), dev) == dev.sector_bytes
+
+    def test_moderate_stride_scales(self, dev):
+        assert bytes_per_execution(_site(gx_stride=2), dev) == 8.0
+
+    def test_random_pattern_costs_sector(self, dev):
+        assert bytes_per_execution(_site(pattern="random"), dev) == dev.sector_bytes
+
+    def test_descending_stride_same_as_ascending(self, dev):
+        up = bytes_per_execution(_site(gx_stride=1), dev)
+        down = bytes_per_execution(_site(gx_stride=-1), dev)
+        assert up == down
+
+
+class TestCacheReuse:
+    def test_cache_resident_footprint_caps_traffic(self, dev):
+        # Many re-reads of a small footprint: compulsory misses only.
+        site = _site(executions=1e9, footprint_elems=1000.0)
+        t = estimate_site_traffic(site, dev)
+        assert t.dram_read_bytes == pytest.approx(4000.0)
+
+    def test_streaming_footprint_pays_full_traffic(self, dev):
+        site = _site(executions=1e6, footprint_elems=1e6)
+        t = estimate_site_traffic(site, dev)
+        assert t.dram_read_bytes == pytest.approx(4e6)
+
+    def test_oversized_footprint_partial_reuse(self, dev):
+        l2_elems = dev.l2_capacity_bytes / 4
+        site = _site(executions=1e9, footprint_elems=l2_elems * 4)
+        t = estimate_site_traffic(site, dev)
+        assert t.dram_read_bytes > l2_elems * 4 * 4  # more than compulsory
+        assert t.dram_read_bytes < 4e9  # less than no-cache
+
+    def test_write_goes_to_write_channel(self, dev):
+        t = estimate_site_traffic(_site(is_write=True), dev)
+        assert t.dram_read_bytes == 0.0
+        assert t.dram_write_bytes > 0.0
+
+    def test_atomic_pays_both_directions(self, dev):
+        t = estimate_site_traffic(_site(is_atomic=True, is_write=True), dev)
+        assert t.dram_read_bytes > 0.0
+        assert t.dram_write_bytes > 0.0
+
+
+class TestSiteMerging:
+    def test_stencil_neighbours_merge(self):
+        sites = [
+            _site(executions=1e6),
+            _site(executions=1e6),
+            _site(executions=1e6),
+        ]
+        merged = merge_sites(sites)
+        assert len(merged) == 1
+        assert merged[0].executions == pytest.approx(3e6)
+
+    def test_different_arrays_stay_separate(self):
+        merged = merge_sites([_site(array="a"), _site(array="b")])
+        assert len(merged) == 2
+
+    def test_reads_and_writes_stay_separate(self):
+        merged = merge_sites([_site(), _site(is_write=True)])
+        assert len(merged) == 2
+
+    def test_merged_traffic_counts_footprint_once(self, dev):
+        sites = [_site(executions=1e8, footprint_elems=1000.0) for _ in range(5)]
+        r, w, useful, txn = aggregate_traffic(sites, dev)
+        assert r == pytest.approx(4000.0)  # one compulsory fetch
+
+
+class TestCoalescingQuality:
+    def test_perfect(self):
+        assert coalescing_quality(100.0, 100.0) == 1.0
+
+    def test_wasteful(self):
+        assert coalescing_quality(25.0, 100.0) == 0.25
+
+    def test_zero_transactions(self):
+        assert coalescing_quality(0.0, 0.0) == 1.0
+
+
+class TestTiming:
+    def test_memory_bound_kernel_time_tracks_bytes(self, dev):
+        rng = RngStream("t")
+        t = estimate_time(
+            ops={OpClass.SP: 1e6, OpClass.DP: 0.0, OpClass.INT: 1e6},
+            sfu_ops=0.0,
+            dram_bytes=1e9,
+            coalescing=1.0,
+            device=dev,
+            rng=rng,
+        )
+        assert t.bound_resource == "dram"
+        assert t.total_s > 1e9 / (dev.spec.bandwidth_gbs * 1e9)
+
+    def test_compute_bound_kernel(self, dev):
+        t = estimate_time(
+            ops={OpClass.SP: 1e13, OpClass.DP: 0.0, OpClass.INT: 0.0},
+            sfu_ops=0.0,
+            dram_bytes=1e6,
+            coalescing=1.0,
+            device=dev,
+            rng=RngStream("t2"),
+        )
+        assert t.bound_resource == "sp"
+
+    def test_sfu_can_dominate(self, dev):
+        t = estimate_time(
+            ops={OpClass.SP: 1e10, OpClass.DP: 0.0, OpClass.INT: 0.0},
+            sfu_ops=1e10,
+            dram_bytes=1e6,
+            coalescing=1.0,
+            device=dev,
+            rng=RngStream("t3"),
+        )
+        assert t.sfu_s > t.sp_s
+
+    def test_bad_coalescing_slows_memory(self, dev):
+        kwargs = dict(
+            ops={OpClass.SP: 0.0, OpClass.DP: 0.0, OpClass.INT: 0.0},
+            sfu_ops=0.0,
+            dram_bytes=1e9,
+            device=dev,
+        )
+        good = estimate_time(coalescing=1.0, rng=RngStream("t4"), **kwargs)
+        bad = estimate_time(coalescing=0.2, rng=RngStream("t4"), **kwargs)
+        assert bad.dram_s > good.dram_s
+
+
+class TestProfileCounters:
+    def test_intensity(self):
+        c = ProfileCounters("k", 100.0, 0.0, 50.0, 40.0, 10.0, 1e-3)
+        assert c.intensity(OpClass.SP) == pytest.approx(2.0)
+        assert c.intensity(OpClass.INT) == pytest.approx(1.0)
+
+    def test_achieved_rates(self):
+        c = ProfileCounters("k", 1e9, 0.0, 0.0, 1e6, 0.0, 1e-3)
+        assert c.achieved_gops(OpClass.SP) == pytest.approx(1000.0)
+        assert c.achieved_bandwidth_gbs() == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProfileCounters("k", -1.0, 0, 0, 1, 1, 1e-3)
+        with pytest.raises(ValueError):
+            ProfileCounters("k", 1.0, 0, 0, 1, 1, 0.0)
+
+    def test_merge(self):
+        a = ProfileCounters("a", 1, 2, 3, 4, 5, 1e-3)
+        b = ProfileCounters("b", 10, 20, 30, 40, 50, 2e-3)
+        m = merge_counters("m", [a, b])
+        assert m.sp_flops == 11
+        assert m.time_s == pytest.approx(3e-3)
+
+    def test_merge_empty_raises(self):
+        with pytest.raises(ValueError):
+            merge_counters("m", [])
+
+
+class TestProfiler:
+    def test_saxpy_counters_scale_with_n(self):
+        fam = get_family("saxpy")
+        spec = fam.build(0, Language.CUDA)
+        prof = profile_first_kernel(spec)
+        n = dict(spec.cmdline.flags)["n"]
+        dt_size = spec.first_kernel.kernel.arrays[0].dtype.size
+        # reads x and y, writes y: ~3 elements of traffic per work item
+        expected = 3 * n * dt_size
+        assert prof.counters.dram_bytes == pytest.approx(expected, rel=0.15)
+
+    def test_saxpy_flops(self):
+        spec = get_family("saxpy").build(0, Language.CUDA)
+        prof = profile_first_kernel(spec)
+        n = dict(spec.cmdline.flags)["n"]
+        dt = spec.first_kernel.kernel.arrays[0].dtype
+        flops = prof.counters.sp_flops if dt.size == 4 else prof.counters.dp_flops
+        assert flops == pytest.approx(2 * n, rel=0.1)  # one mul + one add
+
+    def test_pairwise_kernel_has_quadratic_flops(self):
+        spec = get_family("nbody_naive").build(4, Language.CUDA)
+        prof = profile_first_kernel(spec)
+        n = dict(spec.cmdline.flags)["n"]
+        total_fp = prof.counters.sp_flops + prof.counters.dp_flops
+        assert total_fp > 5 * n * n  # >= ~20 flops per pair
+
+    def test_shared_memory_reduces_traffic(self):
+        naive = get_family("gemm_naive").build(0, Language.CUDA)
+        tiled = get_family("gemm_tiled").build(0, Language.CUDA)
+        p_naive = profile_first_kernel(naive)
+        p_tiled = profile_first_kernel(tiled)
+        n_naive = dict(naive.cmdline.flags)["n"]
+        n_tiled = dict(tiled.cmdline.flags)["n"]
+        per_thread_naive = p_naive.counters.dram_bytes / n_naive**2
+        per_thread_tiled = p_tiled.counters.dram_bytes / n_tiled**2
+        assert per_thread_tiled <= per_thread_naive * 1.5
+
+    def test_profiling_deterministic(self):
+        spec = get_family("heat2d").build(1, Language.CUDA)
+        a = profile_first_kernel(spec).counters
+        b = profile_first_kernel(spec).counters
+        assert a == b
+
+    def test_distinct_kernels_distinct_draws(self):
+        a = profile_first_kernel(get_family("saxpy").build(0, Language.CUDA))
+        b = profile_first_kernel(get_family("vecadd").build(0, Language.CUDA))
+        assert a.counters.time_s != b.counters.time_s
+
+    def test_branch_taken_fraction_scales_ops(self):
+        """A branch with a small taken fraction contributes proportionally
+        fewer dynamic ops than the same branch always taken."""
+        import dataclasses
+
+        from repro.kernels.ir import (
+            ArrayDecl, BinOp, BinOpKind, Const, DType, If, Kernel, Let,
+            ScalarParam, Store, aff, load, mul, var,
+        )
+        from repro.kernels.launch import CommandLine, KernelInstance, plan_launch_1d
+
+        def make(taken):
+            body = (
+                Let("v", load("x", aff("gx")), DType.F32),
+                If(
+                    cond=BinOp(BinOpKind.GT, var("v"), Const(0.0, DType.F32), DType.I32),
+                    then=(
+                        Store("y", aff("gx"),
+                              mul(var("v"), mul(var("v"), var("v"), DType.F32), DType.F32),
+                              DType.F32),
+                    ),
+                    taken_fraction=taken,
+                ),
+            )
+            return Kernel(
+                name="branchy",
+                arrays=(
+                    ArrayDecl("x", DType.F32, "n"),
+                    ArrayDecl("y", DType.F32, "n", is_output=True),
+                ),
+                params=(ScalarParam("n", DType.I32),),
+                body=body,
+                work_items="n",
+            )
+
+        cl = CommandLine(prog="b", flags=(("n", 1 << 20),))
+        rare = profile_kernel(
+            KernelInstance(make(0.1), plan_launch_1d(1 << 20), (("n", "n"),)),
+            cl, uid="rare",
+        )
+        always = profile_kernel(
+            KernelInstance(make(1.0), plan_launch_1d(1 << 20), (("n", "n"),)),
+            cl, uid="always",
+        )
+        assert rare.counters.sp_flops < always.counters.sp_flops * 0.5
+
+    def test_achieved_below_theoretical_peak(self, dev):
+        """Figure 1's observation: achieved performance stays under peak."""
+        for fam_name in ("nbody_naive", "mandelbrot", "gemm_naive"):
+            spec = get_family(fam_name).build(0, Language.CUDA)
+            prof = profile_first_kernel(spec)
+            for oc, rl in dev.spec.rooflines():
+                assert prof.counters.achieved_gops(oc) <= rl.peak * 1.001

@@ -1,0 +1,194 @@
+"""Focused tests for the profiler walker's semantics: loop nesting, footprint
+bounds, dynamic indices, and 2-D thread spaces."""
+
+import pytest
+
+from repro.gpusim import profile_kernel
+from repro.kernels.ir import (
+    ArrayDecl,
+    Assign,
+    AtomicAdd,
+    BinOp,
+    BinOpKind,
+    Const,
+    DType,
+    DynamicIndex,
+    For,
+    Kernel,
+    Let,
+    Load,
+    ScalarParam,
+    Store,
+    Var,
+    add,
+    aff,
+    load,
+    mul,
+    var,
+)
+from repro.kernels.launch import CommandLine, KernelInstance, plan_launch_1d, plan_launch_2d
+from repro.types import OpClass
+
+F32 = DType.F32
+I32 = DType.I32
+
+
+def _profile(kernel, flags, binding_exprs, launch=None, uid="t"):
+    cl = CommandLine(prog="t", flags=tuple(flags.items()))
+    if launch is None:
+        launch = plan_launch_1d(flags["n"], 256)
+    inst = KernelInstance(kernel=kernel, launch=launch,
+                         binding_exprs=tuple(binding_exprs.items()))
+    return profile_kernel(inst, cl, uid=uid)
+
+
+class TestLoopSemantics:
+    def _loop_kernel(self, trips_param):
+        body = (
+            Let("acc", Const(0.0, F32), F32),
+            For("k", trips_param, (
+                Assign("acc", add(var("acc"), load("x", aff("gx")), F32), F32),
+            )),
+            Store("y", aff("gx"), var("acc"), F32),
+        )
+        return Kernel(
+            name="loopy",
+            arrays=(ArrayDecl("x", F32, "n"), ArrayDecl("y", F32, "n", is_output=True)),
+            params=(ScalarParam("iters", I32), ScalarParam("n", I32)),
+            body=body,
+            work_items="n",
+        )
+
+    def test_flops_scale_with_trip_count(self):
+        k = self._loop_kernel("iters")
+        small = _profile(k, {"n": 4096, "iters": 10}, {"iters": "iters", "n": "n"}, uid="a")
+        big = _profile(k, {"n": 4096, "iters": 1000}, {"iters": "iters", "n": "n"}, uid="a")
+        ratio = big.counters.sp_flops / small.counters.sp_flops
+        assert ratio == pytest.approx(100.0, rel=0.1)
+
+    def test_loop_invariant_load_cached(self):
+        """x[gx] inside the loop is loop-invariant: traffic must not scale
+        with the trip count (register/L1 hoisting)."""
+        k = self._loop_kernel("iters")
+        small = _profile(k, {"n": 1 << 20, "iters": 4}, {"iters": "iters", "n": "n"}, uid="b")
+        big = _profile(k, {"n": 1 << 20, "iters": 400}, {"iters": "iters", "n": "n"}, uid="b")
+        assert big.counters.dram_bytes == pytest.approx(
+            small.counters.dram_bytes, rel=0.1
+        )
+
+    def test_strided_loop_step(self):
+        body = (
+            Let("acc", Const(0.0, F32), F32),
+            For("k", "iters", (
+                Assign("acc", add(var("acc"), Const(1.0, F32), F32), F32),
+            ), step=4),
+            Store("y", aff("gx"), var("acc"), F32),
+        )
+        k = Kernel(
+            name="strided", arrays=(ArrayDecl("y", F32, "n", is_output=True),),
+            params=(ScalarParam("iters", I32), ScalarParam("n", I32)),
+            body=body, work_items="n",
+        )
+        p = _profile(k, {"n": 1024, "iters": 100}, {"iters": "iters", "n": "n"})
+        # 100/4 = 25 iterations -> 25 adds per thread
+        assert p.counters.sp_flops == pytest.approx(25 * 1024, rel=0.1)
+
+
+class TestFootprintBounds:
+    def test_footprint_capped_by_array_size(self):
+        """A loop re-reading a small array cannot generate more compulsory
+        traffic than the array's size."""
+        body = (
+            Let("acc", Const(0.0, F32), F32),
+            For("k", "iters", (
+                Assign("acc", add(var("acc"), load("tab", aff("k")), F32), F32),
+            )),
+            Store("y", aff("gx"), var("acc"), F32),
+        )
+        k = Kernel(
+            name="table",
+            arrays=(ArrayDecl("tab", F32, 64), ArrayDecl("y", F32, "n", is_output=True)),
+            params=(ScalarParam("iters", I32), ScalarParam("n", I32)),
+            body=body, work_items="n",
+        )
+        p = _profile(k, {"n": 1 << 20, "iters": 64}, {"iters": "iters", "n": "n"})
+        # tab contributes at most 64*4 = 256 compulsory bytes; the output
+        # write dominates.
+        write_bytes = p.counters.dram_write_bytes
+        assert write_bytes == pytest.approx((1 << 20) * 4, rel=0.1)
+        assert p.counters.dram_read_bytes < write_bytes * 0.1
+
+
+class TestDynamicIndices:
+    def test_small_range_hint_stays_cached(self):
+        gather = Load("lut", DynamicIndex(
+            expr=BinOp(BinOpKind.MOD, Var("gx", I32), Var("m", I32), I32),
+            range_hint="m", pattern="random"), F32)
+        body = (Store("y", aff("gx"), gather, F32),)
+        k = Kernel(
+            name="lutk",
+            arrays=(ArrayDecl("lut", F32, "m"), ArrayDecl("y", F32, "n", is_output=True)),
+            params=(ScalarParam("m", I32), ScalarParam("n", I32)),
+            body=body, work_items="n",
+        )
+        small = _profile(k, {"n": 1 << 20, "m": 256}, {"m": "m", "n": "n"}, uid="c1")
+        large = _profile(k, {"n": 1 << 20, "m": 1 << 24}, {"m": "m", "n": "n"}, uid="c1")
+        assert small.counters.dram_read_bytes < large.counters.dram_read_bytes / 10
+
+    def test_atomic_rmw_traffic(self):
+        body = (
+            AtomicAdd("hist", DynamicIndex(
+                expr=BinOp(BinOpKind.MOD, Var("gx", I32), Var("m", I32), I32),
+                range_hint="m", pattern="random"), Const(1, I32), I32),
+        )
+        k = Kernel(
+            name="histk",
+            arrays=(ArrayDecl("hist", I32, "m", is_output=True),),
+            params=(ScalarParam("m", I32), ScalarParam("n", I32)),
+            body=body, work_items="n",
+        )
+        p = _profile(k, {"n": 1 << 18, "m": 1024}, {"m": "m", "n": "n"})
+        # footprint-resident atomics: reads and writes both tiny
+        assert p.counters.dram_write_bytes < 1 << 16
+
+
+class Test2DThreadSpace:
+    def test_row_major_store_coalesced(self):
+        body = (
+            Store("out", aff(("gy", "w"), "gx"),
+                  mul(Const(2.0, F32), load("inp", aff(("gy", "w"), "gx")), F32), F32),
+        )
+        k = Kernel(
+            name="scale2d",
+            arrays=(ArrayDecl("inp", F32, "w*h"), ArrayDecl("out", F32, "w*h", is_output=True)),
+            params=(ScalarParam("w", I32), ScalarParam("h", I32)),
+            body=body, work_items="w", work_items_y="h",
+        )
+        cl = CommandLine(prog="t", flags=(("w", 1024), ("h", 512)))
+        inst = KernelInstance(kernel=k, launch=plan_launch_2d(1024, 512),
+                             binding_exprs=(("w", "w"), ("h", "h")))
+        p = profile_kernel(inst, cl, uid="d")
+        n = 1024 * 512
+        # coalesced read + write: ~8 bytes per element
+        assert p.counters.dram_bytes == pytest.approx(8 * n, rel=0.15)
+        assert p.counters.sp_flops == pytest.approx(n, rel=0.1)
+
+    def test_column_major_store_uncoalesced(self):
+        body = (
+            Store("out", aff(("gx", "h"), "gy"), load("inp", aff(("gy", "w"), "gx")), F32),
+        )
+        k = Kernel(
+            name="transpose2d",
+            arrays=(ArrayDecl("inp", F32, "w*h"), ArrayDecl("out", F32, "w*h", is_output=True)),
+            params=(ScalarParam("w", I32), ScalarParam("h", I32)),
+            body=body, work_items="w", work_items_y="h",
+        )
+        # 2048^2 x 4B = 16 MB: the write footprint exceeds usable L2, so the
+        # scattered partial-sector writes cannot be merged away.
+        cl = CommandLine(prog="t", flags=(("w", 2048), ("h", 2048)))
+        inst = KernelInstance(kernel=k, launch=plan_launch_2d(2048, 2048),
+                             binding_exprs=(("w", "w"), ("h", "h")))
+        p = profile_kernel(inst, cl, uid="e")
+        n = 2048 * 2048
+        # writes stride h across threads: far more than one element per store
+        assert p.counters.dram_write_bytes > 4 * n * 2

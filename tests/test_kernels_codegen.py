@@ -1,0 +1,168 @@
+"""Tests for the CUDA and OMP code generators.
+
+Checks structural properties of the emitted source: balanced braces, kernel
+signatures, launch syntax, include discipline, and the multi-file layout the
+dataset concatenation relies on.
+"""
+
+import re
+
+import pytest
+
+from repro.kernels.codegen import render_cuda, render_omp, render_program
+from repro.kernels.families import get_family
+from repro.types import Language
+
+
+@pytest.fixture(scope="module")
+def cuda_saxpy():
+    return render_cuda(get_family("saxpy").build(0, Language.CUDA))
+
+
+@pytest.fixture(scope="module")
+def omp_saxpy():
+    return render_omp(get_family("saxpy").build(0, Language.OMP))
+
+
+def _balanced(text: str) -> bool:
+    return text.count("{") == text.count("}") and text.count("(") == text.count(")")
+
+
+class TestCudaCodegen:
+    def test_kernel_signature(self, cuda_saxpy):
+        src = cuda_saxpy.concatenated_source()
+        assert "__global__ void saxpy_kernel(" in src
+
+    def test_thread_index_and_guard(self, cuda_saxpy):
+        src = cuda_saxpy.concatenated_source()
+        assert "blockIdx.x * blockDim.x + threadIdx.x" in src
+        assert re.search(r"if \(gx >= \w+\) return;", src)
+
+    def test_launch_syntax(self, cuda_saxpy):
+        src = cuda_saxpy.concatenated_source()
+        assert "<<<grid0, block0>>>" in src
+
+    def test_memory_management(self, cuda_saxpy):
+        src = cuda_saxpy.concatenated_source()
+        assert "cudaMalloc" in src
+        assert "cudaMemcpyHostToDevice" in src
+        assert "cudaMemcpyDeviceToHost" in src
+        assert "cudaFree" in src
+
+    def test_balanced_braces(self, cuda_saxpy):
+        for f in cuda_saxpy.files:
+            assert _balanced(f.text), f.filename
+
+    def test_timing_events(self, cuda_saxpy):
+        src = cuda_saxpy.concatenated_source()
+        assert "cudaEventElapsedTime" in src
+
+    def test_language_mismatch_rejected(self):
+        spec = get_family("saxpy").build(0, Language.OMP)
+        with pytest.raises(ValueError):
+            render_cuda(spec)
+
+    def test_shared_memory_kernel_renders(self):
+        spec = get_family("gemm_tiled").build(0, Language.CUDA)
+        src = render_cuda(spec).concatenated_source()
+        assert "__shared__" in src
+        assert "__syncthreads();" in src
+        assert "const int lx = threadIdx.x;" in src
+
+    def test_atomic_renders(self):
+        spec = get_family("dotprod").build(0, Language.CUDA)
+        src = render_cuda(spec).concatenated_source()
+        assert "atomicAdd(&" in src
+
+    def test_argv_parsing_present(self, cuda_saxpy):
+        src = cuda_saxpy.concatenated_source()
+        assert 'strcmp(argv[i], "--n")' in src
+
+
+class TestOmpCodegen:
+    def test_offload_pragma(self, omp_saxpy):
+        src = omp_saxpy.concatenated_source()
+        assert "#pragma omp target teams distribute parallel for" in src
+
+    def test_target_data_mapping(self, omp_saxpy):
+        src = omp_saxpy.concatenated_source()
+        assert "#pragma omp target data" in src
+        assert "map(to:" in src
+        assert "map(tofrom:" in src
+
+    def test_no_cuda_artifacts(self, omp_saxpy):
+        src = omp_saxpy.concatenated_source()
+        assert "cudaMalloc" not in src
+        assert "__global__" not in src
+        assert "<<<" not in src
+
+    def test_balanced_braces(self, omp_saxpy):
+        for f in omp_saxpy.files:
+            assert _balanced(f.text), f.filename
+
+    def test_2d_collapse(self):
+        spec = get_family("gemm_naive").build(0, Language.OMP)
+        src = render_omp(spec).concatenated_source()
+        assert "collapse(2)" in src
+
+    def test_atomic_pragma(self):
+        spec = get_family("dotprod").build(0, Language.OMP)
+        src = render_omp(spec).concatenated_source()
+        assert "#pragma omp atomic update" in src
+
+    def test_shared_memory_rejected(self):
+        from repro.kernels.codegen.omp import render_kernel
+
+        spec = get_family("gemm_tiled").build(0, Language.CUDA)
+        with pytest.raises(ValueError):
+            render_kernel(spec.first_kernel.kernel, 256)
+
+    def test_language_mismatch_rejected(self):
+        spec = get_family("saxpy").build(0, Language.CUDA)
+        with pytest.raises(ValueError):
+            render_omp(spec)
+
+
+class TestFileLayout:
+    def test_split_files_have_header(self, mini_corpus):
+        split_specs = [p for p in mini_corpus.programs if p.split_files]
+        assert split_specs, "corpus should contain split-file programs"
+        for spec in split_specs[:5]:
+            rendered = render_program(spec)
+            names = [f.filename for f in rendered.files]
+            assert any(n.startswith("kernels.") for n in names)
+            assert any(n.startswith("main.") for n in names)
+
+    def test_util_header_emitted(self, mini_corpus):
+        with_util = [p for p in mini_corpus.programs if p.util_header]
+        assert with_util, "corpus should contain util-header programs"
+        for spec in with_util[:5]:
+            rendered = render_program(spec)
+            names = [f.filename for f in rendered.files]
+            assert "benchmark_utils.h" in names
+            assert '#include "benchmark_utils.h"' in rendered.concatenated_source()
+
+    def test_reference_impl_for_heavy_programs(self, mini_corpus):
+        heavy = [p for p in mini_corpus.programs if p.util_header >= 2]
+        assert heavy, "corpus should contain heavyweight programs"
+        rendered = render_program(heavy[0])
+        assert any(f.filename == "reference_impl.h" for f in rendered.files)
+
+    def test_concatenation_banners(self, cuda_saxpy):
+        src = cuda_saxpy.concatenated_source()
+        for f in cuda_saxpy.files:
+            assert f"// ===== file: {f.filename} =====" in src
+
+    def test_license_banner_on_main(self, cuda_saxpy):
+        assert "Permission is hereby granted" in cuda_saxpy.concatenated_source()
+
+    def test_first_kernel_appears_before_others(self, mini_corpus):
+        """The profiled kernel must be the first kernel in source order —
+        the dataset's 'first kernel of the program' rule depends on it."""
+        from repro.analysis import find_kernels
+
+        for spec in mini_corpus.programs[:12]:
+            rendered = render_program(spec)
+            found = find_kernels(rendered.concatenated_source(), spec.language)
+            assert found, spec.uid
+            assert found[0].name == spec.first_kernel.kernel.name, spec.uid

@@ -1,0 +1,106 @@
+"""Tests for the benchmark family registry and builders."""
+
+import pytest
+
+from repro.gpusim import profile_first_kernel
+from repro.kernels.families import all_families, families_for, get_family
+from repro.kernels.launch import validate_launch
+from repro.roofline import RTX_3080, classify_kernel
+from repro.types import Boundedness, Language
+
+
+class TestRegistry:
+    def test_family_count(self):
+        # ~90 families per DESIGN.md (exact count pinned to catch accidents)
+        assert len(all_families()) == 92
+
+    def test_groups_present(self):
+        groups = {f.group for f in all_families().values()}
+        assert groups == {
+            "streaming", "stencil", "linalg", "physics",
+            "mathheavy", "integer", "misc",
+        }
+
+    def test_unknown_family_raises(self):
+        with pytest.raises(KeyError):
+            get_family("definitely-not-a-family")
+
+    def test_cuda_superset_of_omp(self):
+        cuda = {f.name for f in families_for(Language.CUDA)}
+        omp = {f.name for f in families_for(Language.OMP)}
+        assert omp <= cuda
+        assert len(cuda) > len(omp)  # some families are CUDA-only
+
+    def test_cuda_only_families(self):
+        omp = {f.name for f in families_for(Language.OMP)}
+        for name in ("gemm_tiled", "nbody_tiled", "batch_gemm4"):
+            assert name not in omp
+
+
+class TestBuilders:
+    @pytest.mark.parametrize("name", sorted(all_families()))
+    def test_every_family_builds_and_validates(self, name):
+        fam = get_family(name)
+        for language in fam.languages:
+            spec = fam.build(0, language)
+            assert spec.family == name
+            assert spec.language is language
+            for inst in spec.kernels:
+                validate_launch(inst, spec.cmdline)
+
+    @pytest.mark.parametrize("name", sorted(all_families()))
+    def test_every_family_profiles(self, name):
+        fam = get_family(name)
+        spec = fam.build(1, fam.languages[0])
+        profile = profile_first_kernel(spec)
+        assert profile.counters.dram_bytes > 0
+        assert profile.counters.time_s > 0
+
+    def test_variants_differ(self):
+        fam = get_family("saxpy")
+        a = fam.build(0, Language.CUDA)
+        b = fam.build(2, Language.CUDA)
+        assert a.cmdline.argv_string() != b.cmdline.argv_string() or (
+            a.host_verbosity != b.host_verbosity
+        ) or a.split_files != b.split_files
+
+    def test_determinism(self):
+        fam = get_family("nbody_naive")
+        a = fam.build(3, Language.CUDA)
+        b = fam.build(3, Language.CUDA)
+        assert a == b
+
+
+class TestLabelTendencies:
+    """Family groups must deliver their intended roofline behaviour —
+    these anchors keep the corpus's label mix from drifting."""
+
+    def _label(self, name: str, variant: int = 0, language=Language.CUDA):
+        spec = get_family(name).build(variant, language)
+        profile = profile_first_kernel(spec)
+        return classify_kernel(
+            profile.counters.intensity_profile(), RTX_3080.rooflines()
+        ).label
+
+    @pytest.mark.parametrize("name", ["saxpy", "vecadd", "triad", "veccopy"])
+    def test_streaming_is_bandwidth_bound(self, name):
+        assert self._label(name) is Boundedness.BANDWIDTH
+
+    @pytest.mark.parametrize(
+        "name", ["nbody_naive", "lj_force", "coulomb_grid", "mandelbrot"]
+    )
+    def test_pairwise_and_fractal_are_compute_bound(self, name):
+        # variant 2 is single-precision in these families
+        assert self._label(name, variant=4) is Boundedness.COMPUTE
+
+    def test_gemm_naive_is_compute_bound(self):
+        assert self._label("gemm_naive", variant=2) is Boundedness.COMPUTE
+
+    def test_transpose_is_bandwidth_bound(self):
+        assert self._label("transpose_naive", variant=2) is Boundedness.BANDWIDTH
+
+    def test_xorshift_rounds_are_integer_compute_bound(self):
+        assert self._label("xorshift_stream") is Boundedness.COMPUTE
+
+    def test_histogram_is_bandwidth_bound(self):
+        assert self._label("histogram") is Boundedness.BANDWIDTH

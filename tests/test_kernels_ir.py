@@ -1,0 +1,199 @@
+"""Tests for repro.kernels.ir — IR construction, walkers, scalar eval."""
+
+import pytest
+
+from repro.kernels.ir import (
+    AffineIndex,
+    ArrayDecl,
+    Assign,
+    BinOp,
+    BinOpKind,
+    Const,
+    DType,
+    For,
+    If,
+    Kernel,
+    Let,
+    Load,
+    ScalarParam,
+    Scope,
+    Store,
+    Var,
+    add,
+    aff,
+    eval_scalar,
+    kernel_loads,
+    kernel_symbols,
+    load,
+    mul,
+    var,
+    walk_stmts,
+)
+
+
+class TestEvalScalar:
+    def test_int_literal(self):
+        assert eval_scalar(42, {}) == 42
+
+    def test_param_lookup(self):
+        assert eval_scalar("n", {"n": 7}) == 7
+
+    def test_product_expression(self):
+        assert eval_scalar("n*n", {"n": 4}) == 16
+        assert eval_scalar("3*n", {"n": 5}) == 15
+        assert eval_scalar("n*m", {"n": 2, "m": 3}) == 6
+
+    def test_unbound_raises(self):
+        with pytest.raises(KeyError):
+            eval_scalar("missing", {"n": 1})
+
+    def test_unbound_in_product_raises(self):
+        with pytest.raises(KeyError):
+            eval_scalar("n*q", {"n": 1})
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            eval_scalar(True, {})
+
+    def test_malformed_raises(self):
+        with pytest.raises(ValueError):
+            eval_scalar("n**m", {"n": 1, "m": 2})
+
+
+class TestDType:
+    def test_sizes(self):
+        assert DType.F32.size == 4
+        assert DType.F64.size == 8
+        assert DType.I32.size == 4
+        assert DType.I64.size == 8
+
+    def test_float_flags(self):
+        assert DType.F32.is_float and DType.F64.is_float
+        assert not DType.I32.is_float
+
+    def test_c_names(self):
+        assert DType.F64.c_name == "double"
+        assert DType.I64.c_name == "long long"
+
+
+class TestAffineIndex:
+    def test_coeff_lookup(self):
+        idx = aff(("gy", "n"), "gx", const=1)
+        assert idx.coeff("gx", {}) == 1
+        assert idx.coeff("gy", {"n": 64}) == 64
+        assert idx.coeff("absent", {}) == 0
+
+    def test_coeff_sums_duplicates(self):
+        idx = AffineIndex(terms=(("gx", 2), ("gx", 3)))
+        assert idx.coeff("gx", {}) == 5
+
+    def test_shift(self):
+        idx = aff("gx", const=1).shift(2)
+        assert idx.const == 3
+
+    def test_symbols(self):
+        assert aff(("gy", "n"), "gx").symbols() == ("gy", "gx")
+
+
+class TestKernelConstruction:
+    def _simple(self, **kwargs):
+        defaults = dict(
+            name="k",
+            arrays=(ArrayDecl("x", DType.F32, "n"),),
+            params=(ScalarParam("n", DType.I32),),
+            body=(Let("v", load("x", aff("gx")), DType.F32),),
+            work_items="n",
+        )
+        defaults.update(kwargs)
+        return Kernel(**defaults)
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            self._simple(
+                arrays=(ArrayDecl("n", DType.F32, "n"),),  # collides with param
+            )
+
+    def test_array_lookup(self):
+        k = self._simple()
+        assert k.array("x").dtype is DType.F32
+        with pytest.raises(KeyError):
+            k.array("nope")
+
+    def test_scope_partition(self):
+        k = self._simple(
+            arrays=(
+                ArrayDecl("x", DType.F32, "n"),
+                ArrayDecl("tile", DType.F32, 64, Scope.SHARED),
+            )
+        )
+        assert [a.name for a in k.global_arrays()] == ["x"]
+        assert [a.name for a in k.shared_arrays()] == ["tile"]
+
+    def test_total_work_1d(self):
+        k = self._simple()
+        assert k.total_work({"n": 100}) == 100
+
+    def test_total_work_2d(self):
+        k = self._simple(work_items="n", work_items_y="m")
+        assert k.total_work({"n": 10, "m": 5}) == 50
+
+    def test_byte_size(self):
+        a = ArrayDecl("x", DType.F64, "n*n")
+        assert a.byte_size({"n": 4}) == 16 * 8
+
+
+class TestStatementValidation:
+    def test_loop_zero_extent_rejected(self):
+        with pytest.raises(ValueError):
+            For("i", 0, ())
+
+    def test_loop_zero_step_rejected(self):
+        with pytest.raises(ValueError):
+            For("i", 4, (), step=0)
+
+    def test_if_taken_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            If(cond=Const(1, DType.I32), then=(), taken_fraction=1.5)
+
+
+class TestWalkers:
+    def _kernel(self):
+        body = (
+            Let("acc", Const(0.0, DType.F32), DType.F32),
+            For(
+                "k", "n",
+                (
+                    Assign(
+                        "acc",
+                        add(var("acc"), load("x", aff("k")), DType.F32),
+                        DType.F32,
+                    ),
+                ),
+            ),
+            If(
+                cond=BinOp(BinOpKind.GT, var("acc"), Const(0.0, DType.F32), DType.I32),
+                then=(Store("y", aff("gx"), var("acc"), DType.F32),),
+                taken_fraction=0.5,
+            ),
+        )
+        return Kernel(
+            name="walky",
+            arrays=(ArrayDecl("x", DType.F32, "n"), ArrayDecl("y", DType.F32, "n", is_output=True)),
+            params=(ScalarParam("n", DType.I32),),
+            body=body,
+            work_items="n",
+        )
+
+    def test_walk_stmts_descends(self):
+        stmts = list(walk_stmts(self._kernel().body))
+        kinds = [type(s).__name__ for s in stmts]
+        assert "For" in kinds and "Assign" in kinds and "Store" in kinds
+
+    def test_kernel_loads(self):
+        loads = kernel_loads(self._kernel())
+        assert len(loads) == 1
+        assert loads[0].array == "x"
+
+    def test_kernel_symbols(self):
+        syms = kernel_symbols(self._kernel())
+        assert {"acc", "k", "gx"} <= syms

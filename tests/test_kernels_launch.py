@@ -1,0 +1,141 @@
+"""Tests for repro.kernels.launch."""
+
+import pytest
+
+from repro.kernels.ir import ArrayDecl, DType, Kernel, Let, ScalarParam, aff, load
+from repro.kernels.launch import (
+    CommandLine,
+    Dim3,
+    KernelInstance,
+    LaunchConfig,
+    plan_launch_1d,
+    plan_launch_2d,
+    validate_launch,
+)
+
+
+def _kernel(work="n"):
+    return Kernel(
+        name="k",
+        arrays=(ArrayDecl("x", DType.F32, "n"),),
+        params=(ScalarParam("n", DType.I32),),
+        body=(Let("v", load("x", aff("gx")), DType.F32),),
+        work_items=work,
+    )
+
+
+class TestDim3:
+    def test_total(self):
+        assert Dim3(4, 2, 3).total == 24
+
+    def test_str(self):
+        assert str(Dim3(1, 2, 3)) == "(1,2,3)"
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError):
+            Dim3(0)
+
+
+class TestPlanLaunch:
+    def test_1d_exact(self):
+        lc = plan_launch_1d(1024, 256)
+        assert lc.grid.x == 4
+        assert lc.block.x == 256
+        assert lc.total_threads == 1024
+
+    def test_1d_round_up(self):
+        lc = plan_launch_1d(1000, 256)
+        assert lc.grid.x == 4
+        assert lc.total_threads >= 1000
+
+    def test_1d_invalid(self):
+        with pytest.raises(ValueError):
+            plan_launch_1d(0)
+
+    def test_2d(self):
+        lc = plan_launch_2d(100, 50, 16, 16)
+        assert lc.grid.x == 7
+        assert lc.grid.y == 4
+        assert lc.total_threads >= 100 * 50
+
+
+class TestCommandLine:
+    def test_argv_rendering(self):
+        cl = CommandLine(prog="saxpy", flags=(("n", 1024), ("iters", 8)))
+        assert cl.argv_string() == "./saxpy --n 1024 --iters 8"
+
+    def test_bindings(self):
+        cl = CommandLine(prog="p", flags=(("n", 5),))
+        assert cl.bindings() == {"n": 5}
+
+
+class TestKernelInstance:
+    def test_resolve_bindings_includes_flags(self):
+        cl = CommandLine(prog="p", flags=(("n", 10), ("pad", 12)))
+        inst = KernelInstance(
+            kernel=_kernel(), launch=plan_launch_1d(10), binding_exprs=(("n", "n"),)
+        )
+        env = inst.resolve_bindings(cl)
+        assert env["n"] == 10
+        assert env["pad"] == 12  # non-param flags visible for array sizes
+
+    def test_literal_binding(self):
+        cl = CommandLine(prog="p", flags=(("n", 10),))
+        inst = KernelInstance(
+            kernel=_kernel(), launch=plan_launch_1d(10),
+            binding_exprs=(("n", 10),),
+        )
+        assert inst.resolve_bindings(cl)["n"] == 10
+
+    def test_unknown_flag_raises(self):
+        cl = CommandLine(prog="p", flags=(("n", 10),))
+        inst = KernelInstance(
+            kernel=_kernel(), launch=plan_launch_1d(10),
+            binding_exprs=(("n", "zebra"),),
+        )
+        with pytest.raises(KeyError):
+            inst.resolve_bindings(cl)
+
+    def test_param_bound_implicitly_by_matching_flag(self):
+        # a kernel param named like a flag resolves through the flag env
+        cl = CommandLine(prog="p", flags=(("n", 10),))
+        inst = KernelInstance(
+            kernel=_kernel(), launch=plan_launch_1d(10), binding_exprs=()
+        )
+        assert inst.resolve_bindings(cl)["n"] == 10
+
+    def test_missing_param_raises(self):
+        cl = CommandLine(prog="p", flags=(("m", 10),))
+        inst = KernelInstance(
+            kernel=_kernel(), launch=plan_launch_1d(10), binding_exprs=()
+        )
+        with pytest.raises(ValueError):
+            inst.resolve_bindings(cl)
+
+    def test_active_threads_guard_trim(self):
+        cl = CommandLine(prog="p", flags=(("n", 1000),))
+        inst = KernelInstance(
+            kernel=_kernel(), launch=plan_launch_1d(1000, 256),
+            binding_exprs=(("n", "n"),),
+        )
+        assert inst.active_threads(cl) == 1000  # guard masks the round-up
+
+
+class TestValidateLaunch:
+    def test_valid(self):
+        cl = CommandLine(prog="p", flags=(("n", 512),))
+        inst = KernelInstance(
+            kernel=_kernel(), launch=plan_launch_1d(512),
+            binding_exprs=(("n", "n"),),
+        )
+        validate_launch(inst, cl)  # no raise
+
+    def test_undersized_launch_rejected(self):
+        cl = CommandLine(prog="p", flags=(("n", 10_000),))
+        inst = KernelInstance(
+            kernel=_kernel(),
+            launch=LaunchConfig(grid=Dim3(1), block=Dim3(32)),
+            binding_exprs=(("n", "n"),),
+        )
+        with pytest.raises(ValueError):
+            validate_launch(inst, cl)

@@ -1,0 +1,68 @@
+"""Tests for program-level containers (ProgramSpec, RenderedProgram)."""
+
+import dataclasses
+
+import pytest
+
+from repro.kernels.families import get_family
+from repro.kernels.program import ProgramSpec, RenderedProgram, SourceFile
+from repro.types import Language
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return get_family("saxpy").build(0, Language.CUDA)
+
+
+class TestProgramSpec:
+    def test_uid_format(self, spec):
+        assert spec.uid == f"cuda/{spec.name}"
+
+    def test_first_kernel(self, spec):
+        assert spec.first_kernel is spec.kernels[0]
+
+    def test_no_kernels_rejected(self, spec):
+        with pytest.raises(ValueError):
+            dataclasses.replace(spec, kernels=())
+
+    def test_bad_verbosity_rejected(self, spec):
+        with pytest.raises(ValueError):
+            dataclasses.replace(spec, host_verbosity=3)
+
+    def test_bad_util_header_rejected(self, spec):
+        with pytest.raises(ValueError):
+            dataclasses.replace(spec, util_header=5)
+
+
+class TestSourceFile:
+    def test_line_count(self):
+        f = SourceFile("a.cu", "line1\nline2\nline3")
+        assert f.line_count == 3
+
+    def test_single_line(self):
+        assert SourceFile("a.cu", "only").line_count == 1
+
+
+class TestRenderedProgram:
+    def test_concatenation_contains_all_files(self, spec):
+        from repro.kernels.codegen import render_program
+
+        rendered = render_program(spec)
+        text = rendered.concatenated_source()
+        for f in rendered.files:
+            assert f.text in text
+            assert f"// ===== file: {f.filename} =====" in text
+
+    def test_total_lines(self):
+        r = RenderedProgram(
+            spec=get_family("saxpy").build(0, Language.CUDA),
+            files=(SourceFile("a", "x\ny"), SourceFile("b", "z")),
+        )
+        assert r.total_lines == 3
+
+    def test_render_is_deterministic(self, spec):
+        from repro.kernels.codegen import render_program
+
+        a = render_program(spec).concatenated_source()
+        b = render_program(spec).concatenated_source()
+        assert a == b

@@ -1,0 +1,116 @@
+"""Tests for the fine-tuning simulator (RQ4)."""
+
+import pytest
+
+from repro.llm.finetune import (
+    FineTuneConfig,
+    FineTunedClassifier,
+    featurize,
+    prediction_entropy,
+)
+from repro.types import Boundedness
+
+CB = Boundedness.COMPUTE
+BB = Boundedness.BANDWIDTH
+
+
+class TestFeaturize:
+    def test_normalized(self):
+        x = featurize("float x = a * b;", 1024)
+        norm = sum(v * v for v in x.values()) ** 0.5
+        assert norm == pytest.approx(1.0)
+
+    def test_empty_prompt(self):
+        assert featurize("", 1024) == {}
+
+    def test_dim_respected(self):
+        x = featurize("many words " * 50, 64)
+        assert all(0 <= i < 64 for i in x)
+
+    def test_deterministic(self):
+        assert featurize("same text", 512) == featurize("same text", 512)
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        FineTuneConfig()
+
+    def test_bad_epochs(self):
+        with pytest.raises(ValueError):
+            FineTuneConfig(epochs=0)
+
+    def test_bad_lr(self):
+        with pytest.raises(ValueError):
+            FineTuneConfig(learning_rate=0)
+
+    def test_bad_dim(self):
+        with pytest.raises(ValueError):
+            FineTuneConfig(feature_dim=4)
+
+
+class TestTraining:
+    def test_untrained_predict_raises(self):
+        clf = FineTunedClassifier()
+        with pytest.raises(RuntimeError):
+            clf.predict("x")
+
+    def test_length_mismatch(self):
+        clf = FineTunedClassifier()
+        with pytest.raises(ValueError):
+            clf.train(["a"], [])
+
+    def test_empty_rejected(self):
+        clf = FineTunedClassifier()
+        with pytest.raises(ValueError):
+            clf.train([], [])
+
+    def test_history_recorded(self):
+        clf = FineTunedClassifier(FineTuneConfig(epochs=3, learning_rate=0.1,
+                                                 bias_lr_multiplier=1.0))
+        hist = clf.train(["alpha beta"] * 4 + ["gamma delta"] * 4, [CB] * 4 + [BB] * 4)
+        assert len(hist.epoch_losses) == 3
+        assert len(hist.epoch_train_accuracy) == 3
+
+    def test_gentle_settings_can_learn_separable_data(self):
+        """With sane hyperparameters the head is a working classifier —
+        the collapse is a property of the aggressive regime, not a bug."""
+        cfg = FineTuneConfig(epochs=20, learning_rate=0.05, momentum=0.0,
+                             bias_lr_multiplier=1.0)
+        clf = FineTunedClassifier(cfg)
+        train = ["compute kernel loop flops"] * 8 + ["memory stream copy bytes"] * 8
+        labels = [CB] * 8 + [BB] * 8
+        clf.train(train, labels)
+        assert clf.predict("compute kernel loop flops") is CB
+        assert clf.predict("memory stream copy bytes") is BB
+
+
+class TestCollapse:
+    def test_paper_regime_collapses(self, dataset):
+        """The paper's RQ4: after two epochs the tuned model answers one
+        class for the whole validation set, in every scope."""
+        from repro.eval.rq4 import run_rq4_all_scopes
+
+        for result in run_rq4_all_scopes(dataset):
+            assert result.collapsed, result.scope
+            assert result.validation_prediction_entropy == 0.0
+            assert result.validation_metrics.accuracy == pytest.approx(50.0)
+            assert result.validation_metrics.mcc == 0.0
+
+    def test_split_sizes_match_paper(self, dataset):
+        from repro.eval.rq4 import run_rq4
+
+        r = run_rq4(dataset, scope="all")
+        assert r.train_size == 272
+        assert r.validation_size == 68
+
+
+class TestPredictionEntropy:
+    def test_constant_predictions(self):
+        assert prediction_entropy([CB, CB, CB]) == 0.0
+
+    def test_balanced_predictions(self):
+        assert prediction_entropy([CB, BB, CB, BB]) == pytest.approx(1.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            prediction_entropy([])

@@ -1,0 +1,156 @@
+"""Tests for prompt construction and the emulator's prompt parsing.
+
+The round trip (build prompt → parse prompt) must recover every structured
+fact: this is the contract between repro.prompts and repro.llm.
+"""
+
+import pytest
+
+from repro.llm.promptio import (
+    estimate_prompt_tokens,
+    parse_classify_query,
+    parse_roofline_query,
+)
+from repro.prompts import (
+    build_classify_prompt,
+    build_rq1_prompt,
+    generate_question,
+    generate_rq1_questions,
+)
+from repro.prompts.examples import real_examples
+from repro.roofline import RTX_3080
+from repro.types import Boundedness, Language, OpClass
+from repro.util.rng import RngStream
+
+
+class TestRq1Prompts:
+    def test_question_generation_respects_label(self):
+        rng = RngStream("t")
+        for want in (Boundedness.BANDWIDTH, Boundedness.COMPUTE):
+            for i in range(20):
+                q = generate_question(rng.child(i, want.value), force_label=want)
+                assert q.truth is want
+
+    def test_workload_is_balanced(self):
+        qs = generate_rq1_questions(50)
+        assert len(qs) == 100
+        cb = sum(1 for q in qs if q.truth is Boundedness.COMPUTE)
+        assert cb == 50
+
+    def test_prompt_contains_question_values(self):
+        q = generate_question(RngStream("x"))
+        prompt = build_rq1_prompt(q, shots=2)
+        assert f"{q.ai:.2f} FLOP/Byte" in prompt
+        assert "Answer:" in prompt
+
+    def test_cot_examples_marked(self):
+        q = generate_question(RngStream("x"))
+        plain = build_rq1_prompt(q, shots=2, chain_of_thought=False)
+        cot = build_rq1_prompt(q, shots=4, chain_of_thought=True)
+        assert "Thought:" not in plain
+        assert "Thought:" in cot
+        assert "balance point" in cot
+
+    def test_minimum_two_shots(self):
+        q = generate_question(RngStream("x"))
+        with pytest.raises(ValueError):
+            build_rq1_prompt(q, shots=1)
+
+    def test_parse_recovers_final_question(self):
+        q = generate_question(RngStream("y"))
+        prompt = build_rq1_prompt(q, shots=8, chain_of_thought=True)
+        parsed = parse_roofline_query(prompt)
+        assert parsed is not None
+        assert parsed.ai == pytest.approx(q.ai, abs=0.01)
+        assert parsed.bandwidth_gbs == pytest.approx(q.bandwidth_gbs, abs=0.1)
+        assert parsed.peak_gflops == pytest.approx(q.peak_gflops, abs=0.01)
+        assert parsed.num_examples == 8
+        assert parsed.has_chain_of_thought_examples
+
+    def test_parse_rejects_other_text(self):
+        assert parse_roofline_query("write me a poem about GPUs") is None
+
+
+class TestClassifyPrompts:
+    def test_prompt_structure(self, balanced_samples):
+        s = balanced_samples[0]
+        p = build_classify_prompt(s)
+        assert "GPU performance analysis expert" in p.text
+        assert f"kernel called {s.kernel_name}" in p.text
+        assert s.argv in p.text
+        assert s.source in p.text
+        assert "['Compute', 'Bandwidth']" in p.text
+
+    def test_zero_shot_uses_pseudo_examples(self, balanced_samples):
+        p = build_classify_prompt(balanced_samples[0], few_shot=False)
+        assert "load_data(large_array)" in p.text
+
+    def test_few_shot_uses_real_examples(self, balanced_samples):
+        s = balanced_samples[0]
+        p = build_classify_prompt(s, few_shot=True)
+        assert "load_data(large_array)" not in p.text
+        assert f"Kernel Source Code ({s.language.display})" in p.text
+
+    def test_parse_roundtrip(self, balanced_samples):
+        for s in balanced_samples[:25]:
+            prompt = build_classify_prompt(s).text
+            q = parse_classify_query(prompt)
+            assert q is not None, s.uid
+            assert q.kernel_name == s.kernel_name
+            assert q.language is s.language
+            assert q.argv == s.argv
+            assert q.block == s.block
+            assert q.grid == s.grid
+            assert q.sp_peak == pytest.approx(RTX_3080.sp_peak_gflops, abs=0.1)
+            assert q.bandwidth == pytest.approx(RTX_3080.bandwidth_gbs, abs=0.1)
+            assert s.kernel_name in q.source
+
+    def test_parse_detects_real_examples(self, balanced_samples):
+        s = balanced_samples[0]
+        q0 = parse_classify_query(build_classify_prompt(s, few_shot=False).text)
+        q3 = parse_classify_query(build_classify_prompt(s, few_shot=True).text)
+        assert not q0.has_real_examples
+        assert q3.has_real_examples
+
+    def test_argv_values(self, balanced_samples):
+        s = balanced_samples[0]
+        q = parse_classify_query(build_classify_prompt(s).text)
+        vals = q.argv_values()
+        assert vals  # at least one flag
+        for name, v in vals.items():
+            assert f"--{name} {v}" in s.argv
+
+    def test_balance_points(self, balanced_samples):
+        q = parse_classify_query(build_classify_prompt(balanced_samples[0]).text)
+        bp = q.balance_points()
+        expected = RTX_3080.rooflines().balance_points()
+        for oc in OpClass:
+            assert bp[oc] == pytest.approx(expected[oc], rel=0.01)
+
+    def test_parse_rejects_other_text(self):
+        assert parse_classify_query("please summarize this paper") is None
+
+
+class TestRealExamples:
+    @pytest.mark.parametrize("language", [Language.CUDA, Language.OMP])
+    def test_one_of_each_label(self, language):
+        bb, cb = real_examples(language)
+        assert bb.label is Boundedness.BANDWIDTH
+        assert cb.label is Boundedness.COMPUTE
+        assert bb.language is language
+
+    def test_examples_not_in_dataset(self, balanced_samples):
+        example_names = set()
+        for language in (Language.CUDA, Language.OMP):
+            for ex in real_examples(language):
+                example_names.add(ex.name)
+        dataset_names = {s.program_name for s in balanced_samples}
+        assert not (example_names & dataset_names)
+
+
+class TestTokenEstimate:
+    def test_monotone(self):
+        assert estimate_prompt_tokens("ab" * 100) > estimate_prompt_tokens("ab")
+
+    def test_minimum_one(self):
+        assert estimate_prompt_tokens("") == 1

@@ -1,0 +1,150 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import math
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.eval.metrics import MetricReport, confusion, macro_f1, mcc
+from repro.roofline import Roofline
+from repro.tokenizer import BpeTokenizer, pretokenize
+from repro.types import Boundedness
+from repro.util.rng import RngStream
+from repro.util.stats import chi2_sf, five_number_summary
+from repro.kernels.ir import eval_scalar
+
+positive_floats = st.floats(min_value=1e-3, max_value=1e6, allow_nan=False)
+label_lists = st.lists(
+    st.sampled_from([Boundedness.COMPUTE, Boundedness.BANDWIDTH]),
+    min_size=2,
+    max_size=60,
+)
+
+
+class TestRooflineProperties:
+    @given(peak=positive_floats, bw=positive_floats, ai=st.floats(0, 1e6))
+    def test_attainable_never_exceeds_peak(self, peak, bw, ai):
+        rl = Roofline(peak, bw)
+        assert rl.attainable(ai) <= peak + 1e-9
+
+    @given(peak=positive_floats, bw=positive_floats, ai=st.floats(0, 1e6))
+    def test_classification_consistent_with_attainable(self, peak, bw, ai):
+        rl = Roofline(peak, bw)
+        label = rl.classify(ai)
+        if label is Boundedness.COMPUTE:
+            assert ai * bw >= peak * (1 - 1e-12)
+        else:
+            assert ai * bw < peak
+
+    @given(peak=positive_floats, bw=positive_floats,
+           a=st.floats(0, 1e6), b=st.floats(0, 1e6))
+    def test_attainable_monotone(self, peak, bw, a, b):
+        assume(a <= b)
+        rl = Roofline(peak, bw)
+        assert rl.attainable(a) <= rl.attainable(b) + 1e-9
+
+
+class TestMetricProperties:
+    @given(truths=label_lists)
+    def test_perfect_predictions(self, truths):
+        rep = MetricReport.from_predictions(truths, truths)
+        assert rep.accuracy == 100.0
+        assert rep.macro_f1 == 100.0
+
+    @given(pairs=st.lists(st.tuples(
+        st.sampled_from([Boundedness.COMPUTE, Boundedness.BANDWIDTH]),
+        st.sampled_from([Boundedness.COMPUTE, Boundedness.BANDWIDTH]),
+    ), min_size=2, max_size=60))
+    def test_metric_ranges(self, pairs):
+        truths, preds = zip(*pairs)
+        c = confusion(truths, preds)
+        assert 0.0 <= macro_f1(c) <= 100.0
+        assert -100.0 <= mcc(c) <= 100.0
+
+    @given(pairs=st.lists(st.tuples(
+        st.sampled_from([Boundedness.COMPUTE, Boundedness.BANDWIDTH]),
+        st.sampled_from([Boundedness.COMPUTE, Boundedness.BANDWIDTH]),
+    ), min_size=2, max_size=60))
+    def test_class_swap_symmetry(self, pairs):
+        truths, preds = zip(*pairs)
+        direct = confusion(truths, preds)
+        swapped = confusion([t.other for t in truths], [p.other for p in preds])
+        assert macro_f1(direct) == macro_f1(swapped)
+        assert mcc(direct) == mcc(swapped)
+
+    @given(pairs=st.lists(st.tuples(
+        st.sampled_from([Boundedness.COMPUTE, Boundedness.BANDWIDTH]),
+        st.sampled_from([Boundedness.COMPUTE, Boundedness.BANDWIDTH]),
+    ), min_size=2, max_size=60))
+    def test_inversion_negates_mcc(self, pairs):
+        truths, preds = zip(*pairs)
+        direct = mcc(confusion(truths, preds))
+        inverted = mcc(confusion(truths, [p.other for p in preds]))
+        assert math.isclose(direct, -inverted, abs_tol=1e-9)
+
+
+class TestTokenizerProperties:
+    @settings(max_examples=40)
+    @given(text=st.text(alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+                        max_size=300))
+    def test_pretokenize_partition(self, text):
+        assert "".join(pretokenize(text)) == text
+
+    @settings(max_examples=25, deadline=None)
+    @given(text=st.text(alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+                        max_size=200))
+    def test_encode_decode_roundtrip(self, text):
+        tok = BpeTokenizer.train(["float x = a[i] + b[i];"], num_merges=20)
+        assert tok.decode(tok.encode(text)) == text
+
+    @settings(max_examples=25, deadline=None)
+    @given(text=st.text(alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+                        max_size=200))
+    def test_count_never_exceeds_chars(self, text):
+        tok = BpeTokenizer.train(["abc def"], num_merges=5)
+        assert tok.count_tokens(text) <= len(text)
+
+
+class TestRngProperties:
+    @given(key=st.text(max_size=20), lo=st.floats(-100, 100), span=st.floats(0.1, 100))
+    def test_uniform_in_bounds(self, key, lo, span):
+        rng = RngStream("prop", key)
+        v = rng.uniform(lo, lo + span)
+        assert lo <= v < lo + span
+
+    @given(key=st.text(max_size=20))
+    def test_reproducibility(self, key):
+        assert RngStream("p", key).uniform() == RngStream("p", key).uniform()
+
+
+class TestStatsProperties:
+    @given(x=st.floats(min_value=0.001, max_value=200), df=st.integers(1, 40))
+    def test_chi2_sf_is_probability(self, x, df):
+        p = chi2_sf(x, df)
+        assert 0.0 <= p <= 1.0
+
+    @given(values=st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=100))
+    def test_five_number_ordering(self, values):
+        s = five_number_summary(values)
+        assert s.minimum <= s.q1 <= s.median <= s.q3 <= s.maximum
+
+
+class TestScalarEvalProperties:
+    @given(n=st.integers(1, 10**6), m=st.integers(1, 10**3))
+    def test_product_eval(self, n, m):
+        env = {"n": n, "m": m}
+        assert eval_scalar("n*m", env) == n * m
+        assert eval_scalar("2*n", env) == 2 * n
+        assert eval_scalar(n, env) == n
+
+
+class TestEmulatorDeterminismProperty:
+    @settings(max_examples=10, deadline=None)
+    @given(idx=st.integers(0, 339))
+    def test_repeat_queries_identical(self, idx, dataset):
+        from repro.llm import get_model
+        from repro.prompts import build_classify_prompt
+
+        model = get_model("o3-mini")
+        prompt = build_classify_prompt(dataset.balanced[idx]).text
+        assert model.complete(prompt).text == model.complete(prompt).text

@@ -1,0 +1,180 @@
+"""Tests for repro.roofline — model, classification rule, hardware db."""
+
+import pytest
+
+from repro.roofline import (
+    GPU_DATABASE,
+    RTX_3080,
+    IntensityProfile,
+    Roofline,
+    RooflineSet,
+    classify_ai,
+    classify_kernel,
+    default_gpu,
+    get_gpu,
+)
+from repro.types import Boundedness, OpClass
+
+
+class TestRoofline:
+    def test_balance_point(self):
+        rl = Roofline(peak=100.0, bandwidth=50.0)
+        assert rl.balance_point == pytest.approx(2.0)
+
+    def test_attainable_below_ridge(self):
+        rl = Roofline(peak=100.0, bandwidth=50.0)
+        assert rl.attainable(1.0) == pytest.approx(50.0)
+
+    def test_attainable_above_ridge(self):
+        rl = Roofline(peak=100.0, bandwidth=50.0)
+        assert rl.attainable(10.0) == pytest.approx(100.0)
+
+    def test_attainable_at_ridge(self):
+        rl = Roofline(peak=100.0, bandwidth=50.0)
+        assert rl.attainable(2.0) == pytest.approx(100.0)
+
+    def test_classify_sides(self):
+        rl = Roofline(peak=100.0, bandwidth=50.0)
+        assert rl.classify(1.9) is Boundedness.BANDWIDTH
+        assert rl.classify(2.1) is Boundedness.COMPUTE
+
+    def test_classify_boundary_is_compute(self):
+        rl = Roofline(peak=100.0, bandwidth=50.0)
+        assert rl.classify(2.0) is Boundedness.COMPUTE
+
+    def test_negative_ai_raises(self):
+        with pytest.raises(ValueError):
+            Roofline(1.0, 1.0).classify(-0.1)
+
+    def test_invalid_params_raise(self):
+        with pytest.raises(ValueError):
+            Roofline(0.0, 1.0)
+        with pytest.raises(ValueError):
+            Roofline(1.0, -1.0)
+
+    def test_ceiling_points_monotone_nondecreasing(self):
+        rl = Roofline(peak=100.0, bandwidth=50.0)
+        pts = rl.ceiling_points(0.01, 100.0, 32)
+        ys = [y for _, y in pts]
+        assert all(a <= b + 1e-9 for a, b in zip(ys, ys[1:]))
+        assert max(ys) == pytest.approx(100.0)
+
+    def test_ceiling_points_validation(self):
+        rl = Roofline(100.0, 50.0)
+        with pytest.raises(ValueError):
+            rl.ceiling_points(1.0, 0.5)
+        with pytest.raises(ValueError):
+            rl.ceiling_points(1.0, 2.0, n=1)
+
+
+class TestRooflineSet:
+    def test_from_peaks(self):
+        rs = RooflineSet.from_peaks(sp_peak=100, dp_peak=10, int_peak=50, bandwidth=25)
+        assert rs[OpClass.SP].peak == 100
+        assert rs[OpClass.DP].peak == 10
+        assert rs[OpClass.INT].peak == 50
+
+    def test_mismatched_bandwidth_raises(self):
+        with pytest.raises(ValueError):
+            RooflineSet(
+                sp=Roofline(100, 25),
+                dp=Roofline(10, 30),
+                int_=Roofline(50, 25),
+            )
+
+    def test_iteration_order(self):
+        rs = RTX_3080.rooflines()
+        classes = [oc for oc, _ in rs]
+        assert classes == [OpClass.SP, OpClass.DP, OpClass.INT]
+
+    def test_balance_points_ordering_rtx3080(self):
+        # On the RTX 3080: DP balance << INT balance < SP balance.
+        bp = RTX_3080.rooflines().balance_points()
+        assert bp[OpClass.DP] < 1.0
+        assert bp[OpClass.DP] < bp[OpClass.INT] < bp[OpClass.SP]
+
+
+class TestClassifyKernel:
+    def _rooflines(self):
+        return RTX_3080.rooflines()
+
+    def test_streaming_kernel_is_bb(self):
+        # saxpy-like: 2 flops / 12 bytes
+        prof = IntensityProfile(ops={OpClass.SP: 2e9, OpClass.INT: 3e9}, dram_bytes=12e9)
+        detail = classify_kernel(prof, self._rooflines())
+        assert detail.label is Boundedness.BANDWIDTH
+
+    def test_dp_kernel_crossing_dp_roofline_is_cb(self):
+        # AI_dp = 1.0 > 0.61 balance
+        prof = IntensityProfile(ops={OpClass.DP: 1e9}, dram_bytes=1e9)
+        detail = classify_kernel(prof, self._rooflines())
+        assert detail.label is Boundedness.COMPUTE
+        assert detail.per_class[OpClass.DP] is Boundedness.COMPUTE
+
+    def test_any_cb_class_makes_kernel_cb(self):
+        # SP far below its roofline, but INT crosses.
+        prof = IntensityProfile(
+            ops={OpClass.SP: 1e9, OpClass.INT: 3e10}, dram_bytes=1e9
+        )
+        detail = classify_kernel(prof, self._rooflines())
+        assert detail.per_class[OpClass.SP] is Boundedness.BANDWIDTH
+        assert detail.per_class[OpClass.INT] is Boundedness.COMPUTE
+        assert detail.label is Boundedness.COMPUTE
+
+    def test_zero_op_classes_stay_bb(self):
+        prof = IntensityProfile(ops={OpClass.SP: 1e6}, dram_bytes=1e9)
+        detail = classify_kernel(prof, self._rooflines())
+        assert detail.per_class[OpClass.DP] is Boundedness.BANDWIDTH
+        assert detail.intensities[OpClass.DP] == 0.0
+
+    def test_zero_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            IntensityProfile(ops={OpClass.SP: 1.0}, dram_bytes=0.0)
+
+    def test_negative_ops_rejected(self):
+        with pytest.raises(ValueError):
+            IntensityProfile(ops={OpClass.SP: -1.0}, dram_bytes=1.0)
+
+    def test_dominant_class(self):
+        prof = IntensityProfile(
+            ops={OpClass.SP: 5.0, OpClass.DP: 10.0, OpClass.INT: 1.0},
+            dram_bytes=1.0,
+        )
+        assert prof.dominant_class is OpClass.DP
+
+
+class TestClassifyAi:
+    def test_rq1_semantics(self):
+        # the exact Figure 3 example: bp = 52.22/45.9 = 1.14; ai 0.6 -> BB
+        assert classify_ai(0.6, peak=52.22, bandwidth=45.9) is Boundedness.BANDWIDTH
+        assert classify_ai(1.55, peak=73.45, bandwidth=99.9) is Boundedness.COMPUTE
+
+
+class TestHardwareDb:
+    def test_default_is_rtx3080(self):
+        assert default_gpu().name == "NVIDIA GeForce RTX 3080"
+
+    def test_lookup_by_substring(self):
+        assert get_gpu("rtx 3080").name == RTX_3080.name
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_gpu("voodoo2")
+
+    def test_ambiguous_raises(self):
+        with pytest.raises(KeyError):
+            get_gpu("nvidia")
+
+    def test_all_entries_valid(self):
+        for spec in GPU_DATABASE.values():
+            rs = spec.rooflines()
+            assert rs.bandwidth == spec.bandwidth_gbs
+
+    def test_prompt_block_contains_all_specs(self):
+        block = RTX_3080.prompt_block()
+        assert "29770.0 GFLOP/s" in block
+        assert "760.3 GB/s" in block
+        assert "GINTOP/s" in block
+
+    def test_rtx3080_memory_matches_paper(self):
+        assert RTX_3080.memory_gb == 10.0

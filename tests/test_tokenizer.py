@@ -1,0 +1,109 @@
+"""Tests for the BPE tokenizer."""
+
+import pytest
+
+from repro.tokenizer import BpeTokenizer, pretokenize
+from repro.tokenizer.bpe import _word_to_symbols
+
+
+class TestPretokenize:
+    def test_identifiers_with_leading_space(self):
+        assert pretokenize("int foo") == ["int", " foo"]
+
+    def test_numbers_split(self):
+        assert "1024" in pretokenize("x = 1024;")
+
+    def test_punctuation_runs(self):
+        toks = pretokenize("a += b;")
+        assert "+=" in toks
+
+    def test_roundtrip_concatenation(self):
+        text = "for (int i = 0; i < n; i++) { x[i] = 0.5f * y[i]; }\n"
+        assert "".join(pretokenize(text)) == text
+
+
+class TestTraining:
+    def test_learns_frequent_pairs(self):
+        tok = BpeTokenizer.train(["the the the the the"], num_merges=10)
+        assert len(tok.merges) > 0
+        # "the" should become few tokens
+        assert len(tok.tokenize("the")) <= 2
+
+    def test_zero_merges(self):
+        tok = BpeTokenizer.train(["abc"], num_merges=0)
+        assert tok.merges == []
+        assert tok.tokenize("abc") == ["a", "b", "c"]
+
+    def test_negative_merges_rejected(self):
+        with pytest.raises(ValueError):
+            BpeTokenizer.train(["x"], num_merges=-1)
+
+    def test_min_pair_count_stops_training(self):
+        tok = BpeTokenizer.train(["abcdef"], num_merges=100, min_pair_count=2)
+        assert tok.merges == []  # every pair unique
+
+    def test_deterministic(self):
+        corpus = ["float x = a[i] * b[i];"] * 3
+        t1 = BpeTokenizer.train(corpus, num_merges=20)
+        t2 = BpeTokenizer.train(corpus, num_merges=20)
+        assert t1.merges == t2.merges
+
+
+class TestEncoding:
+    @pytest.fixture(scope="class")
+    def tok(self):
+        corpus = [
+            "for (int i = 0; i < n; i++) { out[i] = alpha * x[i] + y[i]; }",
+            "float alpha = 2.0f; const float *x; float *y;",
+        ] * 4
+        return BpeTokenizer.train(corpus, num_merges=60)
+
+    def test_encode_decode_roundtrip(self, tok):
+        text = "float alpha = 2.0f;"
+        assert tok.decode(tok.encode(text)) == text
+
+    def test_roundtrip_unseen_text(self, tok):
+        text = "__global__ void k(double *zz) { zz[0] = 1.0; }"
+        assert tok.decode(tok.encode(text)) == text
+
+    def test_count_matches_encode(self, tok):
+        text = "for (int i = 0; i < n; i++) y[i] = x[i];"
+        assert tok.count_tokens(text) == len(tok.encode(text))
+
+    def test_compression(self, tok):
+        text = "for (int i = 0; i < n; i++) { out[i] = alpha * x[i] + y[i]; }"
+        assert tok.count_tokens(text) < len(text)
+
+    def test_empty_text(self, tok):
+        assert tok.encode("") == []
+        assert tok.count_tokens("") == 0
+
+    def test_decode_unknown_id_raises(self, tok):
+        with pytest.raises(ValueError):
+            tok.decode([10**9])
+
+    def test_vocab_size_grows_with_merges(self):
+        small = BpeTokenizer.train(["aaaa bbbb aaaa bbbb"], num_merges=2)
+        assert small.vocab_size == 256 + len(small.merges)
+
+
+class TestPersistence:
+    def test_json_roundtrip(self):
+        tok = BpeTokenizer.train(["hello world hello world"], num_merges=10)
+        restored = BpeTokenizer.from_json(tok.to_json())
+        text = "hello world"
+        assert restored.encode(text) == tok.encode(text)
+
+
+class TestCorpusTokenizer:
+    def test_corpus_tokenizer_properties(self, tokenizer):
+        assert tokenizer.vocab_size > 500
+        sample = "__global__ void saxpy_kernel(const float *x, float *y, float a, int n)"
+        count = tokenizer.count_tokens(sample)
+        # code-like compression: between 2 and 5 chars/token
+        assert len(sample) / 5 < count < len(sample) / 2
+
+    def test_cached_singleton(self, tokenizer):
+        from repro.tokenizer import corpus_tokenizer
+
+        assert corpus_tokenizer() is tokenizer

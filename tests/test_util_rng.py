@@ -1,0 +1,115 @@
+"""Tests for repro.util.rng — determinism and stream independence."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import RngStream, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed("a", 1) == derive_seed("a", 1)
+
+    def test_distinct(self):
+        assert derive_seed("a") != derive_seed("b")
+
+
+class TestRngStream:
+    def test_same_key_same_sequence(self):
+        a = [RngStream("x", 1).uniform() for _ in range(5)]
+        b = [RngStream("x", 1).uniform() for _ in range(5)]
+        # each constructor restarts the stream
+        assert a[0] == b[0]
+        seq1 = RngStream("x", 1)
+        seq2 = RngStream("x", 1)
+        assert [seq1.uniform() for _ in range(10)] == [seq2.uniform() for _ in range(10)]
+
+    def test_different_keys_different_sequences(self):
+        assert RngStream("x").uniform() != RngStream("y").uniform()
+
+    def test_child_independent_of_parent(self):
+        parent = RngStream("p")
+        before = parent.uniform()
+        child = parent.child("c")
+        cv = child.uniform()
+        # re-derive: child value must not depend on parent's draw position
+        parent2 = RngStream("p")
+        parent2.uniform()
+        parent2.uniform()
+        child2 = parent2.child("c")
+        assert child2.uniform() == cv
+        assert before != cv
+
+    def test_uniform_bounds(self):
+        rng = RngStream("u")
+        for _ in range(100):
+            v = rng.uniform(2.0, 3.0)
+            assert 2.0 <= v < 3.0
+
+    def test_randint_bounds(self):
+        rng = RngStream("i")
+        vals = {rng.randint(0, 4) for _ in range(200)}
+        assert vals == {0, 1, 2, 3}
+
+    def test_randint_empty_range_raises(self):
+        with pytest.raises(ValueError):
+            RngStream("i").randint(5, 5)
+
+    def test_bernoulli_extremes(self):
+        rng = RngStream("b")
+        assert not any(rng.bernoulli(0.0) for _ in range(50))
+        assert all(rng.bernoulli(1.0) for _ in range(50))
+
+    def test_choice_unweighted(self):
+        rng = RngStream("c")
+        seq = ["a", "b", "c"]
+        assert all(rng.choice(seq) in seq for _ in range(50))
+
+    def test_choice_weighted_extreme(self):
+        rng = RngStream("cw")
+        assert all(rng.choice(["a", "b"], [1.0, 0.0]) == "a" for _ in range(30))
+
+    def test_choice_empty_raises(self):
+        with pytest.raises(ValueError):
+            RngStream("c").choice([])
+
+    def test_choice_weight_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            RngStream("c").choice(["a"], [1.0, 2.0])
+
+    def test_sample_distinct(self):
+        rng = RngStream("s")
+        picked = rng.sample(list(range(10)), 5)
+        assert len(set(picked)) == 5
+
+    def test_sample_too_many_raises(self):
+        with pytest.raises(ValueError):
+            RngStream("s").sample([1, 2], 3)
+
+    def test_shuffle_preserves_elements(self):
+        rng = RngStream("sh")
+        out = rng.shuffle([1, 2, 3, 4])
+        assert sorted(out) == [1, 2, 3, 4]
+
+    def test_shuffle_does_not_mutate_input(self):
+        src = [1, 2, 3, 4, 5, 6, 7, 8]
+        RngStream("sh2").shuffle(src)
+        assert src == [1, 2, 3, 4, 5, 6, 7, 8]
+
+    def test_permutation_is_permutation(self):
+        p = RngStream("perm").permutation(16)
+        assert sorted(p.tolist()) == list(range(16))
+
+    def test_uniform_array_shape(self):
+        arr = RngStream("ua").uniform_array(7)
+        assert arr.shape == (7,)
+        assert np.all((arr >= 0) & (arr < 1))
+
+    def test_lognormal_positive(self):
+        rng = RngStream("ln")
+        assert all(rng.lognormal(0, 0.5) > 0 for _ in range(50))
+
+    def test_statistical_sanity(self):
+        rng = RngStream("stat")
+        mean = np.mean(rng.uniform_array(20_000))
+        assert abs(mean - 0.5) < 0.02

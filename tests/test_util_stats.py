@@ -1,0 +1,121 @@
+"""Tests for repro.util.stats — chi-squared machinery and box stats.
+
+The chi-squared implementation is cross-validated against scipy (available
+in the dev environment, deliberately not a runtime dependency).
+"""
+
+import numpy as np
+import pytest
+import scipy.stats
+
+from repro.util.stats import (
+    BoxStats,
+    chi2_sf,
+    chi_squared_independence,
+    describe,
+    five_number_summary,
+)
+
+
+class TestChi2Sf:
+    @pytest.mark.parametrize("df", [1, 2, 3, 5, 10, 30])
+    @pytest.mark.parametrize("x", [0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 25.0, 60.0])
+    def test_matches_scipy(self, df, x):
+        ours = chi2_sf(x, df)
+        ref = scipy.stats.chi2.sf(x, df)
+        assert ours == pytest.approx(ref, rel=1e-9, abs=1e-12)
+
+    def test_at_zero(self):
+        assert chi2_sf(0.0, 3) == 1.0
+
+    def test_negative_x(self):
+        assert chi2_sf(-1.0, 3) == 1.0
+
+    def test_bad_df(self):
+        with pytest.raises(ValueError):
+            chi2_sf(1.0, 0)
+
+    def test_monotone_decreasing(self):
+        vals = [chi2_sf(x, 4) for x in (0.5, 1, 2, 4, 8, 16)]
+        assert all(a > b for a, b in zip(vals, vals[1:]))
+
+
+class TestChiSquaredIndependence:
+    def test_matches_scipy(self):
+        table = [[30, 70], [45, 55], [25, 75]]
+        ours = chi_squared_independence(table)
+        stat, p, dof, expected = scipy.stats.chi2_contingency(table, correction=False)
+        assert ours.statistic == pytest.approx(stat)
+        assert ours.p_value == pytest.approx(p)
+        assert ours.dof == dof
+        assert np.allclose(ours.expected, expected)
+
+    def test_homogeneous_table_not_significant(self):
+        res = chi_squared_independence([[50, 50], [50, 50], [51, 49]])
+        assert res.p_value > 0.9
+        assert not res.significant_at_05
+
+    def test_skewed_table_significant(self):
+        res = chi_squared_independence([[90, 10], [10, 90]])
+        assert res.significant_at_05
+
+    def test_too_small_raises(self):
+        with pytest.raises(ValueError):
+            chi_squared_independence([[1, 2]])
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            chi_squared_independence([[1, -2], [3, 4]])
+
+    def test_zero_margin_raises(self):
+        with pytest.raises(ValueError):
+            chi_squared_independence([[0, 0], [1, 2]])
+
+
+class TestFiveNumberSummary:
+    def test_simple(self):
+        s = five_number_summary([1, 2, 3, 4, 5])
+        assert s.minimum == 1
+        assert s.median == 3
+        assert s.maximum == 5
+        assert s.n == 5
+
+    def test_outlier_detection(self):
+        vals = list(range(1, 21)) + [1000]
+        s = five_number_summary(vals)
+        assert 1000 in s.outliers
+        assert s.whisker_high < 1000
+
+    def test_whiskers_within_data(self):
+        vals = [3, 1, 4, 1, 5, 9, 2, 6]
+        s = five_number_summary(vals)
+        assert s.minimum <= s.whisker_low <= s.q1
+        assert s.q3 <= s.whisker_high <= s.maximum
+
+    def test_iqr(self):
+        s = five_number_summary(list(range(101)))
+        assert s.iqr == pytest.approx(50.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            five_number_summary([])
+
+    def test_single_value(self):
+        s = five_number_summary([7.0])
+        assert s.minimum == s.median == s.maximum == 7.0
+        assert s.outliers == ()
+
+
+class TestDescribe:
+    def test_fields(self):
+        d = describe([1.0, 2.0, 3.0])
+        assert d["n"] == 3
+        assert d["mean"] == pytest.approx(2.0)
+        assert d["median"] == pytest.approx(2.0)
+
+    def test_std_single_sample(self):
+        assert describe([5.0])["std"] == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            describe([])

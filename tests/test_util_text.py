@@ -1,0 +1,101 @@
+"""Tests for repro.util.tables and repro.util.textplot."""
+
+import pytest
+
+from repro.util.tables import format_markdown_table, format_table
+from repro.util.textplot import ascii_boxplot, ascii_scatter
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [10, 3.25]])
+        lines = out.split("\n")
+        assert len(lines) == 4
+        widths = {len(l) for l in lines}
+        assert len(widths) == 1  # all rows same width
+
+    def test_none_renders_dash(self):
+        out = format_table(["x"], [[None]])
+        assert "-" in out.split("\n")[-1]
+
+    def test_float_format(self):
+        out = format_table(["x"], [[3.14159]], float_fmt=".1f")
+        assert "3.1" in out
+        assert "3.14" not in out
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="My Table")
+        assert out.startswith("My Table")
+
+    def test_width_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_string_cells_pass_through(self):
+        out = format_table(["m"], [["hello"]])
+        assert "hello" in out
+
+
+class TestMarkdownTable:
+    def test_structure(self):
+        out = format_markdown_table(["a", "b"], [[1, 2]])
+        lines = out.split("\n")
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert "| 1 |" in lines[2]
+
+    def test_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            format_markdown_table(["a"], [[1, 2]])
+
+
+class TestAsciiScatter:
+    def test_renders_points(self):
+        out = ascii_scatter(
+            {"s": [(1.0, 1.0), (10.0, 100.0), (100.0, 10.0)]},
+            width=40,
+            height=10,
+        )
+        assert "o" in out
+        assert "s" in out  # legend
+
+    def test_multiple_series_markers(self):
+        out = ascii_scatter(
+            {"a": [(1, 1)], "b": [(2, 2)]}, width=30, height=8
+        )
+        assert "o = a" in out
+        assert "x = b" in out
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            ascii_scatter({})
+
+    def test_log_axis_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ascii_scatter({"s": [(0.0, 1.0), (1.0, 2.0)]}, log_x=True)
+
+    def test_linear_axes_allow_zero(self):
+        out = ascii_scatter(
+            {"s": [(0.0, 0.0), (1.0, 1.0)]}, log_x=False, log_y=False,
+            width=20, height=6,
+        )
+        assert "o" in out
+
+
+class TestAsciiBoxplot:
+    def test_renders_groups(self):
+        out = ascii_boxplot(
+            {"g1": [1, 2, 3, 4, 5], "g2": [10, 20, 30, 40, 50]}, width=40
+        )
+        assert "g1" in out
+        assert "g2" in out
+        assert "M" in out  # median markers
+
+    def test_summary_line_present(self):
+        out = ascii_boxplot({"g": [5, 6, 7, 8, 9]}, width=30)
+        assert "med=" in out
+        assert "n=5" in out
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            ascii_boxplot({})
