@@ -10,7 +10,14 @@ Installed as ``repro-paper``; every subcommand is also reachable via
     repro-paper rq2 --model o3-mini-high --limit 50
     repro-paper rq4 --scope cuda
     repro-paper decompose --model o1 --limit 50
+    repro-paper table1 --jobs 8
     repro-paper figures --which 1
+    repro-paper cache --wipe
+
+Experiment commands accept ``--jobs`` (worker threads; 0 = all cores) and
+share a content-addressed response cache (``--cache-dir``, default
+``$REPRO_CACHE_DIR`` or ``.repro-cache``; disable with ``--no-cache``), so a
+repeated run replays memoized completions instead of re-querying the models.
 """
 
 from __future__ import annotations
@@ -18,6 +25,39 @@ from __future__ import annotations
 import argparse
 import sys
 from typing import Sequence
+
+
+def _add_engine_flags(p: argparse.ArgumentParser) -> None:
+    from repro.eval.engine import DEFAULT_CACHE_DIRNAME
+
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker threads for (model, item) work units "
+                        "(0 = all cores; default 1)")
+    p.add_argument("--cache-dir", default=None,
+                   help="response cache directory (default: $REPRO_CACHE_DIR "
+                        f"or {DEFAULT_CACHE_DIRNAME})")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the response cache for this run")
+
+
+def _make_engine(args: argparse.Namespace):
+    from repro.eval.engine import (
+        DiskResponseStore,
+        EvalEngine,
+        default_cache_dir,
+    )
+
+    store = None
+    if not args.no_cache:
+        store = DiskResponseStore(args.cache_dir or default_cache_dir())
+    return EvalEngine(jobs=args.jobs, store=store)
+
+
+def _report_cache(engine) -> None:
+    if engine.store is None:
+        return
+    print(f"cache: {engine.stats.summary()} "
+          f"({len(engine.store)} entries @ {engine.store.root})")
 
 
 def _cmd_models(args: argparse.Namespace) -> int:
@@ -96,12 +136,14 @@ def _cmd_rq1(args: argparse.Namespace) -> int:
     from repro.eval.rq1 import run_rq1
     from repro.util.tables import format_table
 
+    engine = _make_engine(args)
     rows = []
     for model in _select_models(args.model):
-        r = run_rq1(model, num_rooflines=args.rooflines)
+        r = run_rq1(model, num_rooflines=args.rooflines, engine=engine)
         rows.append([model.name, r.best_accuracy, r.best_accuracy_cot])
     print(format_table(["Model", "RQ1 Acc", "RQ1 CoT Acc"], rows,
                        title=f"RQ1 over {args.rooflines} rooflines"))
+    _report_cache(engine)
     return 0
 
 
@@ -110,23 +152,25 @@ def _cmd_rq23(args: argparse.Namespace, few_shot: bool) -> int:
     from repro.eval.rq23 import run_classification
     from repro.util.tables import format_table
 
-    samples = list(paper_dataset().balanced)
+    engine = _make_engine(args)
+    samples = list(paper_dataset(jobs=args.jobs).balanced)
     if args.limit:
         samples = samples[: args.limit]
     rows = []
     for model in _select_models(args.model):
-        r = run_classification(model, samples, few_shot=few_shot)
+        r = run_classification(model, samples, few_shot=few_shot, engine=engine)
         m = r.metrics
         rows.append([model.name, m.accuracy, m.macro_f1, m.mcc])
     title = f"{'RQ3 (two-shot)' if few_shot else 'RQ2 (zero-shot)'} over {len(samples)} samples"
     print(format_table(["Model", "Acc", "F1", "MCC"], rows, title=title))
+    _report_cache(engine)
     return 0
 
 
 def _cmd_rq4(args: argparse.Namespace) -> int:
     from repro.eval.rq4 import run_rq4
 
-    r = run_rq4(scope=args.scope)
+    r = run_rq4(scope=args.scope, jobs=args.jobs)
     print(f"scope:              {r.scope}")
     print(f"train/validation:   {r.train_size}/{r.validation_size}")
     print(f"validation acc:     {r.validation_metrics.accuracy:.2f}")
@@ -142,19 +186,53 @@ def _cmd_decompose(args: argparse.Namespace) -> int:
     from repro.eval.rq23 import run_rq2
     from repro.util.tables import format_table
 
-    samples = list(paper_dataset().balanced)
+    engine = _make_engine(args)
+    samples = list(paper_dataset(jobs=args.jobs).balanced)
     if args.limit:
         samples = samples[: args.limit]
     rows = []
     for model in _select_models(args.model):
-        rq2 = run_rq2(model, samples).metrics
-        dec = run_decompose_experiment(model, samples).metrics()
+        rq2 = run_rq2(model, samples, engine=engine).metrics
+        dec = run_decompose_experiment(model, samples, engine=engine).metrics()
         rows.append([model.name, rq2.accuracy, dec.accuracy,
                      dec.accuracy - rq2.accuracy])
     print(format_table(
         ["Model", "RQ2 Acc", "Decomposed Acc", "Delta"], rows,
         title=f"Question decomposition over {len(samples)} samples",
     ))
+    _report_cache(engine)
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.dataset import paper_dataset
+    from repro.eval.table1 import build_table1
+
+    engine = _make_engine(args)
+    samples = list(paper_dataset(jobs=args.jobs).balanced)
+    if args.limit:
+        samples = samples[: args.limit]
+    models = _select_models(args.model)
+    table = build_table1(
+        samples, models=models, num_rooflines=args.rooflines, engine=engine
+    )
+    print(table.render_markdown() if args.markdown else table.render())
+    _report_cache(engine)
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.eval.engine import DiskResponseStore, default_cache_dir
+
+    store = DiskResponseStore(args.cache_dir or default_cache_dir())
+    if args.wipe:
+        n = len(store)
+        store.clear()
+        print(f"wiped {n} entries @ {store.root}")
+        return 0
+    print(f"cache dir: {store.root}")
+    print(f"entries:   {len(store)}")
+    print(f"bytes:     {store.size_bytes()}")
     return 0
 
 
@@ -194,6 +272,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("rq1", help="RQ1: explicit roofline arithmetic")
     p.add_argument("--model", default="all")
     p.add_argument("--rooflines", type=int, default=240)
+    _add_engine_flags(p)
 
     for name, help_text in (("rq2", "RQ2: zero-shot classification"),
                             ("rq3", "RQ3: two-shot classification")):
@@ -201,13 +280,31 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--model", default="all")
         p.add_argument("--limit", type=int, default=0,
                        help="evaluate only the first N samples")
+        _add_engine_flags(p)
 
     p = sub.add_parser("rq4", help="RQ4: fine-tuning study")
     p.add_argument("--scope", choices=("all", "cuda", "omp"), default="all")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker threads for validation inference")
 
     p = sub.add_parser("decompose", help="question-decomposition extension")
     p.add_argument("--model", default="all")
     p.add_argument("--limit", type=int, default=0)
+    _add_engine_flags(p)
+
+    p = sub.add_parser("table1", help="regenerate the paper's full Table 1")
+    p.add_argument("--model", default="all")
+    p.add_argument("--rooflines", type=int, default=240)
+    p.add_argument("--limit", type=int, default=0,
+                   help="evaluate only the first N samples")
+    p.add_argument("--markdown", action="store_true",
+                   help="emit a markdown table instead of ASCII")
+    _add_engine_flags(p)
+
+    p = sub.add_parser("cache", help="inspect or wipe the response cache")
+    p.add_argument("--cache-dir", default=None)
+    p.add_argument("--wipe", action="store_true",
+                   help="delete every cached response")
 
     p = sub.add_parser("figures", help="render Figures 1-2 as ASCII")
     p.add_argument("--which", choices=("1", "2", "both"), default="both")
@@ -226,6 +323,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "rq3": lambda a: _cmd_rq23(a, few_shot=True),
         "rq4": _cmd_rq4,
         "decompose": _cmd_decompose,
+        "table1": _cmd_table1,
+        "cache": _cmd_cache,
         "figures": _cmd_figures,
     }
     return handlers[args.command](args)

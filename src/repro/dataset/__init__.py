@@ -54,12 +54,16 @@ class PaperDataset:
 _CACHED: PaperDataset | None = None
 
 
-def paper_dataset(force_rebuild: bool = False) -> PaperDataset:
-    """Build (once per process) the paper's dataset pipeline end-to-end."""
+def paper_dataset(force_rebuild: bool = False, *, jobs: int = 1) -> PaperDataset:
+    """Build (once per process) the paper's dataset pipeline end-to-end.
+
+    ``jobs`` fans the profiling/rendering stage over worker threads; the
+    result is identical at any worker count.
+    """
     global _CACHED
     if _CACHED is not None and not force_rebuild:
         return _CACHED
-    profiled = build_samples()
+    profiled = build_samples(jobs=jobs)
     pruned, report = prune_by_tokens(profiled)
     balanced = balance_cells(pruned)
     split = split_train_validation(balanced)

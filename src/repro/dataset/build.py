@@ -11,18 +11,33 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.dataset.records import CounterSummary, Sample
-from repro.gpusim import DeviceModel, default_device, profile_first_kernel
+from repro.gpusim import (
+    DeviceModel,
+    KernelProfile,
+    default_device,
+    profile_corpus,
+    profile_first_kernel,
+)
 from repro.kernels.codegen import render_program
 from repro.kernels.corpus import Corpus, default_corpus
 from repro.roofline import classify_kernel
 from repro.tokenizer import BpeTokenizer, corpus_tokenizer
+from repro.util.parallel import parallel_map
 
 
 def build_sample(
-    program, device: DeviceModel, tokenizer: BpeTokenizer
+    program,
+    device: DeviceModel,
+    tokenizer: BpeTokenizer,
+    profile: KernelProfile | None = None,
 ) -> Sample:
-    """Profile, label, render, and token-count one program."""
-    profile = profile_first_kernel(program, device)
+    """Profile, label, render, and token-count one program.
+
+    Pass ``profile`` to reuse a counter set from a batched
+    :func:`repro.gpusim.profile_corpus` pass instead of re-profiling.
+    """
+    if profile is None:
+        profile = profile_first_kernel(program, device)
     counters = profile.counters
     detail = classify_kernel(
         counters.intensity_profile(), device.spec.rooflines()
@@ -58,9 +73,21 @@ def build_samples(
     corpus: Corpus | None = None,
     device: DeviceModel | None = None,
     tokenizer: BpeTokenizer | None = None,
+    *,
+    jobs: int = 1,
 ) -> list[Sample]:
-    """Profile and label the whole corpus (the paper's 749 programs)."""
+    """Profile and label the whole corpus (the paper's 749 programs).
+
+    The gpusim profiling runs as one batched, memoized pass shared with
+    every other consumer of this (corpus, device) pair; rendering and
+    token-counting fan out over ``jobs`` threads.
+    """
     corpus = corpus or default_corpus()
     device = device or default_device()
     tokenizer = tokenizer or corpus_tokenizer()
-    return [build_sample(p, device, tokenizer) for p in corpus.programs]
+    profiles = profile_corpus(corpus, device, jobs=jobs)
+    return parallel_map(
+        lambda p: build_sample(p, device, tokenizer, profile=profiles[p.uid]),
+        corpus.programs,
+        jobs=jobs,
+    )

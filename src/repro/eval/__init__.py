@@ -1,5 +1,15 @@
 """Evaluation harness: metrics, experiment runners, Table 1 and figures."""
 
+from repro.eval.engine import (
+    CachedResponse,
+    CacheStats,
+    DiskResponseStore,
+    EvalEngine,
+    MemoryResponseStore,
+    ResponseStore,
+    cache_key,
+    default_cache_dir,
+)
 from repro.eval.figures import (
     RooflineFigure,
     TokenDistributionFigure,
@@ -27,6 +37,14 @@ from repro.eval.runner import PredictionRecord, RunResult, run_queries
 from repro.eval.table1 import PAPER_TABLE1, Table1, Table1Row, build_row, build_table1
 
 __all__ = [
+    "EvalEngine",
+    "CacheStats",
+    "CachedResponse",
+    "ResponseStore",
+    "MemoryResponseStore",
+    "DiskResponseStore",
+    "cache_key",
+    "default_cache_dir",
     "MetricReport",
     "ConfusionCounts",
     "accuracy",

@@ -14,9 +14,11 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.dataset import Sample, paper_dataset
+from repro.eval.engine import EvalEngine
 from repro.eval.metrics import MetricReport
 from repro.llm.base import LlmModel
 from repro.llm.pricing import UsageMeter
+from repro.util.parallel import parallel_map
 from repro.prompts.decompose import (
     build_step1_prompt,
     build_step2_prompt,
@@ -26,6 +28,17 @@ from repro.prompts.decompose import (
 )
 from repro.roofline.hardware import GpuSpec, default_gpu
 from repro.types import Boundedness
+
+
+class _UsageRecorder:
+    """Meter-shaped sink that defers accumulation (keeps float sums
+    order-exact when workers run out of order)."""
+
+    def __init__(self) -> None:
+        self.usages: list = []
+
+    def record(self, usage) -> None:
+        self.usages.append(usage)
 
 
 @dataclass(frozen=True)
@@ -57,13 +70,16 @@ class DecomposeResult:
 
 def classify_decomposed(
     model: LlmModel, sample: Sample, *, gpu: GpuSpec | None = None,
-    meter: UsageMeter | None = None,
+    meter: UsageMeter | None = None, engine: EvalEngine | None = None,
 ) -> DecomposedPrediction:
     """Run the full three-step protocol for one sample."""
     gpu = gpu or default_gpu()
 
     def complete(prompt: str) -> str:
-        response = model.complete(prompt)
+        if engine is not None:
+            response = engine.complete(model, prompt)
+        else:
+            response = model.complete(prompt)
         if meter is not None:
             meter.record(response.usage)
         return response.text
@@ -103,14 +119,34 @@ def run_decompose_experiment(
     samples: Sequence[Sample] | None = None,
     *,
     gpu: GpuSpec | None = None,
+    engine: EvalEngine | None = None,
 ) -> DecomposeResult:
-    """The full decomposition sweep for one model."""
+    """The full decomposition sweep for one model.
+
+    Samples are independent three-step chains, so they shard across the
+    engine's pool; each worker collects its sample's raw ``Usage`` records
+    and they are metered afterwards in (sample, step) order — the same
+    accumulation order as the sequential loop, so usage totals (including
+    float cost sums) are byte-identical at any worker count.
+    """
     if samples is None:
         samples = paper_dataset().balanced
+    engine = engine or EvalEngine()
+
+    def one(sample: Sample) -> tuple[DecomposedPrediction, list]:
+        recorder = _UsageRecorder()
+        pred = classify_decomposed(
+            model, sample, gpu=gpu, meter=recorder, engine=engine
+        )
+        return pred, recorder.usages
+
+    pairs = parallel_map(one, list(samples), jobs=engine.jobs)
     meter = UsageMeter(model.config)
-    predictions = tuple(
-        classify_decomposed(model, s, gpu=gpu, meter=meter) for s in samples
-    )
+    for _, usages in pairs:
+        for usage in usages:
+            meter.record(usage)
     return DecomposeResult(
-        model_name=model.name, predictions=predictions, usage=meter.summary()
+        model_name=model.name,
+        predictions=tuple(pred for pred, _ in pairs),
+        usage=meter.summary(),
     )

@@ -1,0 +1,385 @@
+"""Parallel, cached evaluation engine.
+
+Every experiment in the repo reduces to a grid of *(model, item)* work units:
+build a prompt, get one completion, parse one word. This module owns that
+hot path:
+
+* :class:`EvalEngine` shards work units across a thread pool
+  (:mod:`repro.util.parallel`) with deterministic, submission-order results —
+  any ``jobs`` value produces the same :class:`~repro.eval.runner.RunResult`
+  as the sequential loop it replaced.
+* Completions are memoized in a content-addressed store. Keys are
+  :func:`cache_key` digests over the *full* model capability profile, the
+  prompt text, and the sampling parameters, so any calibration change or
+  prompt edit invalidates exactly the affected entries, and keys are stable
+  across processes and machines (SHA-256, no interpreter salt).
+* Stores are injectable (:class:`MemoryResponseStore` for tests and warm
+  in-process sweeps, :class:`DiskResponseStore` for cross-run reuse), in the
+  spirit of :mod:`repro.dataset.store`'s JSON persistence.
+
+The emulated models are deterministic, so a cache hit is *exact*: the stored
+response text and token usage equal what the model would recompute.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import threading
+from dataclasses import dataclass
+from functools import lru_cache
+from pathlib import Path
+from typing import Protocol, Sequence
+
+from repro.llm.base import LlmModel, LlmResponse
+from repro.llm.config import ModelConfig
+from repro.llm.pricing import Usage, UsageMeter
+from repro.util.hashing import stable_hash_bytes
+from repro.util.parallel import parallel_map, resolve_jobs
+
+#: Bump when the cached-response record layout changes.
+CACHE_SCHEMA_VERSION = "repro-response-v1"
+
+#: Environment override for the on-disk cache location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Default on-disk cache directory (relative to the working directory).
+DEFAULT_CACHE_DIRNAME = ".repro-cache"
+
+
+def default_cache_dir() -> Path:
+    """Where the CLI keeps its response cache (``$REPRO_CACHE_DIR`` wins)."""
+    return Path(os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIRNAME)
+
+
+@lru_cache(maxsize=256)
+def _config_digest(config: ModelConfig) -> bytes:
+    """Digest of every :class:`ModelConfig` field, memoized per config."""
+    return stable_hash_bytes(
+        *(getattr(config, f.name) for f in dataclasses.fields(config))
+    )
+
+
+def cache_key(
+    config: ModelConfig,
+    prompt: str,
+    temperature: float | None = None,
+    top_p: float | None = None,
+) -> str:
+    """Content address of one completion.
+
+    Hashes every :class:`ModelConfig` field (not just the name) so two
+    calibrations of the same model never share entries; ``None`` sampling
+    params hash distinctly from explicit values, mirroring
+    :meth:`LlmModel.complete`'s defaulting. Keys are SHA-256 based —
+    stable across processes and machines. This sits on the warm-cache hot
+    path, hence the flat hashlib composition over the memoized config
+    digest rather than a generic ``stable_hash_hex`` call.
+    """
+    h = hashlib.sha256()
+    h.update(CACHE_SCHEMA_VERSION.encode("ascii"))
+    h.update(_config_digest(config))
+    data = prompt.encode("utf-8")
+    h.update(len(data).to_bytes(8, "little"))
+    h.update(data)
+    h.update(repr((temperature, top_p)).encode("ascii"))
+    return h.hexdigest()
+
+
+@dataclass(frozen=True)
+class CachedResponse:
+    """The persistable payload of one completion."""
+
+    text: str
+    input_tokens: int
+    output_tokens: int
+    reasoning_tokens: int
+
+    @classmethod
+    def from_response(cls, response: LlmResponse) -> "CachedResponse":
+        u = response.usage
+        return cls(
+            text=response.text,
+            input_tokens=u.input_tokens,
+            output_tokens=u.output_tokens,
+            reasoning_tokens=u.reasoning_tokens,
+        )
+
+    def to_response(self, model_name: str) -> LlmResponse:
+        return LlmResponse(
+            text=self.text,
+            usage=Usage(
+                input_tokens=self.input_tokens,
+                output_tokens=self.output_tokens,
+                reasoning_tokens=self.reasoning_tokens,
+            ),
+            model_name=model_name,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "text": self.text,
+            "input_tokens": self.input_tokens,
+            "output_tokens": self.output_tokens,
+            "reasoning_tokens": self.reasoning_tokens,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CachedResponse":
+        return cls(
+            text=data["text"],
+            input_tokens=int(data["input_tokens"]),
+            output_tokens=int(data["output_tokens"]),
+            reasoning_tokens=int(data["reasoning_tokens"]),
+        )
+
+
+class ResponseStore(Protocol):
+    """Injectable key → response storage."""
+
+    def get(self, key: str) -> CachedResponse | None: ...
+
+    def put(self, key: str, value: CachedResponse) -> None: ...
+
+    def __len__(self) -> int: ...
+
+    def clear(self) -> None: ...
+
+
+class MemoryResponseStore:
+    """In-process store (tests, single-run warm sweeps).
+
+    Single dict get/set operations are atomic under the GIL, so the hot
+    path is lock-free; the worst concurrent-writer outcome is two threads
+    installing identical content for the same key.
+    """
+
+    def __init__(self) -> None:
+        self._data: dict[str, CachedResponse] = {}
+
+    def get(self, key: str) -> CachedResponse | None:
+        return self._data.get(key)
+
+    def put(self, key: str, value: CachedResponse) -> None:
+        self._data[key] = value
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def clear(self) -> None:
+        self._data.clear()
+
+
+class DiskResponseStore:
+    """One JSON file per key, sharded by hex prefix.
+
+    Writes are atomic (temp file + :func:`os.replace`), so concurrent
+    writers — threads in one engine or separate processes sharing a cache
+    directory — can only ever race to install identical content.
+    """
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> CachedResponse | None:
+        path = self._path(key)
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            # Missing or torn entry (bad JSON, bad UTF-8) == miss; a put
+            # repairs it. JSONDecodeError and UnicodeDecodeError are both
+            # ValueErrors.
+            return None
+        try:
+            return CachedResponse.from_dict(data)
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def put(self, key: str, value: CachedResponse) -> None:
+        path = self._path(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(
+                f".tmp.{os.getpid()}.{threading.get_ident()}"
+            )
+            tmp.write_text(
+                json.dumps(value.to_dict(), sort_keys=True), encoding="utf-8"
+            )
+            os.replace(tmp, path)
+        except OSError:
+            return  # unwritable store degrades to uncached, never crashes
+
+    def _files(self) -> list[Path]:
+        if not self.root.is_dir():
+            return []
+        try:
+            return sorted(self.root.glob("??/*.json"))
+        except OSError:
+            return []  # shard dir vanished mid-scan (concurrent wipe)
+
+    def __len__(self) -> int:
+        return len(self._files())
+
+    def size_bytes(self) -> int:
+        total = 0
+        for p in self._files():
+            try:
+                total += p.stat().st_size
+            except OSError:
+                continue  # entry wiped by a concurrent process
+        return total
+
+    def clear(self) -> None:
+        # Remove only entry files and their (then-empty) shard dirs — never
+        # the root wholesale: --cache-dir may point at a directory that
+        # contains unrelated files.
+        for path in self._files():
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        if not self.root.is_dir():
+            return
+        for shard in self.root.iterdir():
+            if not (shard.is_dir() and len(shard.name) == 2):
+                continue
+            for stale in shard.glob("*.tmp.*"):
+                try:
+                    stale.unlink()
+                except OSError:
+                    pass
+            try:
+                shard.rmdir()
+            except OSError:
+                pass  # non-empty (foreign files): leave it
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one engine; misses == new model completions."""
+
+    hits: int = 0
+    misses: int = 0
+    uncached: int = 0  # completions issued with no store attached
+
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+
+    @property
+    def completions(self) -> int:
+        """Completions actually computed by a model (not served from cache)."""
+        return self.misses + self.uncached
+
+    @property
+    def total(self) -> int:
+        return self.hits + self.misses + self.uncached
+
+    def _bump(self, field_name: str) -> None:
+        with self._lock:
+            setattr(self, field_name, getattr(self, field_name) + 1)
+
+    def summary(self) -> str:
+        return (
+            f"{self.hits} hits, {self.misses} misses, "
+            f"{self.completions} new completions"
+        )
+
+
+class EvalEngine:
+    """Fans (model, item) work units over a worker pool, memoizing responses.
+
+    One engine instance is meant to span a whole experiment (or several: a
+    Table 1 run shares one engine across all models and RQs), so its
+    :attr:`stats` describe the sweep and its store amortises repeated
+    prompts across experiments.
+    """
+
+    def __init__(
+        self,
+        *,
+        jobs: int = 1,
+        store: ResponseStore | None = None,
+    ) -> None:
+        self.jobs = resolve_jobs(jobs)
+        self.store = store
+        self.stats = CacheStats()
+
+    # -- single completion ---------------------------------------------------
+    def complete(
+        self,
+        model: LlmModel,
+        prompt: str,
+        *,
+        temperature: float | None = None,
+        top_p: float | None = None,
+    ) -> LlmResponse:
+        """One completion, served from the store when possible."""
+        if self.store is None:
+            response = model.complete(
+                prompt, temperature=temperature, top_p=top_p
+            )
+            self.stats._bump("uncached")
+            return response
+        key = cache_key(model.config, prompt, temperature, top_p)
+        cached = self.store.get(key)
+        if cached is not None:
+            self.stats._bump("hits")
+            return cached.to_response(model.name)
+        response = model.complete(prompt, temperature=temperature, top_p=top_p)
+        self.store.put(key, CachedResponse.from_response(response))
+        self.stats._bump("misses")
+        return response
+
+    # -- batched evaluation --------------------------------------------------
+    def run(
+        self,
+        model: LlmModel,
+        items: Sequence[tuple[str, str, object]],
+        *,
+        temperature: float | None = None,
+        top_p: float | None = None,
+    ):
+        """Evaluate ``items`` of (item_id, prompt, truth) against one model.
+
+        Drop-in replacement for the old sequential loop in
+        :mod:`repro.eval.runner`: identical records in identical order, and
+        usage metered in item order so cost floats sum identically at any
+        ``jobs``.
+        """
+        from repro.eval.runner import PredictionRecord, RunResult
+
+        items = list(items)
+        if not items:
+            raise ValueError("no items to run")
+
+        def one(item: tuple[str, str, object]) -> tuple[PredictionRecord, Usage]:
+            item_id, prompt, truth = item
+            response = self.complete(
+                model, prompt, temperature=temperature, top_p=top_p
+            )
+            try:
+                pred = response.boundedness()
+            except ValueError:
+                pred = None
+            record = PredictionRecord(
+                item_id=item_id,
+                truth=truth,
+                prediction=pred,
+                response_text=response.text,
+            )
+            return record, response.usage
+
+        pairs = parallel_map(one, items, jobs=self.jobs)
+        meter = UsageMeter(model.config)
+        for _, usage in pairs:
+            meter.record(usage)
+        return RunResult(
+            model_name=model.name,
+            records=tuple(record for record, _ in pairs),
+            usage=meter.summary(),
+        )

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.eval.engine import EvalEngine
 from repro.eval.metrics import MetricReport
 from repro.eval.runner import RunResult, run_queries
 from repro.llm.base import LlmModel
@@ -42,8 +43,10 @@ def run_rq1(
     *,
     num_rooflines: int = NUM_ROOFLINES,
     shot_counts: tuple[int, ...] = SHOT_COUNTS,
+    engine: EvalEngine | None = None,
 ) -> Rq1Result:
     """Run the full RQ1 grid for one model."""
+    engine = engine or EvalEngine()
     questions = generate_rq1_questions(num_rooflines)
     by_shots: dict[int, float] = {}
     by_shots_cot: dict[int, float] = {}
@@ -57,7 +60,7 @@ def run_rq1(
                 )
                 for i, q in enumerate(questions)
             ]
-            result = run_queries(model, items)
+            result = run_queries(model, items, engine=engine)
             acc = result.metrics().accuracy
             if cot:
                 by_shots_cot[shots] = acc

@@ -11,6 +11,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.dataset import Sample, paper_dataset
+from repro.eval.engine import EvalEngine
 from repro.eval.metrics import MetricReport
 from repro.eval.runner import RunResult, run_queries
 from repro.llm.base import LlmModel
@@ -32,6 +33,7 @@ def run_classification(
     samples: Sequence[Sample] | None = None,
     *,
     few_shot: bool,
+    engine: EvalEngine | None = None,
 ) -> ClassificationResult:
     """Run RQ2 (few_shot=False) or RQ3 (few_shot=True) for one model."""
     if samples is None:
@@ -40,7 +42,7 @@ def run_classification(
         (s.uid, build_classify_prompt(s, few_shot=few_shot).text, s.label)
         for s in samples
     ]
-    run = run_queries(model, items)
+    run = run_queries(model, items, engine=engine or EvalEngine())
     return ClassificationResult(
         model_name=model.name,
         few_shot=few_shot,
@@ -49,11 +51,21 @@ def run_classification(
     )
 
 
-def run_rq2(model: LlmModel, samples: Sequence[Sample] | None = None) -> ClassificationResult:
+def run_rq2(
+    model: LlmModel,
+    samples: Sequence[Sample] | None = None,
+    *,
+    engine: EvalEngine | None = None,
+) -> ClassificationResult:
     """Zero-shot classification (RQ2)."""
-    return run_classification(model, samples, few_shot=False)
+    return run_classification(model, samples, few_shot=False, engine=engine)
 
 
-def run_rq3(model: LlmModel, samples: Sequence[Sample] | None = None) -> ClassificationResult:
+def run_rq3(
+    model: LlmModel,
+    samples: Sequence[Sample] | None = None,
+    *,
+    engine: EvalEngine | None = None,
+) -> ClassificationResult:
     """Two-shot classification with real examples (RQ3)."""
-    return run_classification(model, samples, few_shot=True)
+    return run_classification(model, samples, few_shot=True, engine=engine)

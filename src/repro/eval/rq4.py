@@ -51,8 +51,13 @@ def run_rq4(
     *,
     scope: str = "all",
     config: FineTuneConfig | None = None,
+    jobs: int = 1,
 ) -> Rq4Result:
-    """Fine-tune and evaluate; ``scope`` restricts to one language."""
+    """Fine-tune and evaluate; ``scope`` restricts to one language.
+
+    Training is inherently sequential SGD; ``jobs`` parallelises the
+    validation inference pass.
+    """
     ds = dataset or paper_dataset()
     train = list(ds.train)
     val = list(ds.validation)
@@ -70,7 +75,7 @@ def run_rq4(
 
     clf = FineTunedClassifier(config, seed_key=f"finetune-{scope}")
     history = clf.train(train_prompts, train_labels)
-    predictions = clf.predict_many(val_prompts)
+    predictions = clf.predict_many(val_prompts, jobs=jobs)
 
     entropy = prediction_entropy(predictions)
     collapsed_to = predictions[0] if len(set(predictions)) == 1 else None
@@ -85,7 +90,17 @@ def run_rq4(
     )
 
 
-def run_rq4_all_scopes(dataset: PaperDataset | None = None) -> list[Rq4Result]:
-    """The paper's three fine-tune runs: full dataset, CUDA-only, OMP-only."""
+def run_rq4_all_scopes(
+    dataset: PaperDataset | None = None, *, jobs: int = 1
+) -> list[Rq4Result]:
+    """The paper's three fine-tune runs: full dataset, CUDA-only, OMP-only.
+
+    The three scopes are independent fine-tunes, so they shard across the
+    pool (each keeps its own deterministic seed stream).
+    """
+    from repro.util.parallel import parallel_map
+
     ds = dataset or paper_dataset()
-    return [run_rq4(ds, scope=s) for s in ("all", "cuda", "omp")]
+    return parallel_map(
+        lambda s: run_rq4(ds, scope=s), ("all", "cuda", "omp"), jobs=jobs
+    )

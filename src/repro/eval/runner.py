@@ -2,17 +2,19 @@
 
 Centralizes response parsing (off-vocabulary responses count as wrong, as
 they would under the paper's automated response checking), usage metering,
-and per-sample prediction records for downstream analysis.
+and per-sample prediction records for downstream analysis. Execution is
+delegated to :class:`repro.eval.engine.EvalEngine`, which shards the
+(model, item) grid over a worker pool and memoizes responses.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from dataclasses import dataclass
+from typing import Sequence
 
+from repro.eval.engine import EvalEngine, ResponseStore
 from repro.eval.metrics import MetricReport
 from repro.llm.base import LlmModel
-from repro.llm.pricing import UsageMeter
 from repro.types import Boundedness
 
 
@@ -60,27 +62,16 @@ def run_queries(
     *,
     temperature: float | None = None,
     top_p: float | None = None,
+    jobs: int = 1,
+    cache: ResponseStore | None = None,
+    engine: EvalEngine | None = None,
 ) -> RunResult:
-    """Evaluate ``items`` of (item_id, prompt, truth) against one model."""
-    if not items:
-        raise ValueError("no items to run")
-    meter = UsageMeter(model.config)
-    records: list[PredictionRecord] = []
-    for item_id, prompt, truth in items:
-        response = model.complete(prompt, temperature=temperature, top_p=top_p)
-        meter.record(response.usage)
-        try:
-            pred: Boundedness | None = response.boundedness()
-        except ValueError:
-            pred = None
-        records.append(
-            PredictionRecord(
-                item_id=item_id,
-                truth=truth,
-                prediction=pred,
-                response_text=response.text,
-            )
-        )
-    return RunResult(
-        model_name=model.name, records=tuple(records), usage=meter.summary()
-    )
+    """Evaluate ``items`` of (item_id, prompt, truth) against one model.
+
+    ``jobs``/``cache`` configure a throwaway engine; pass ``engine`` instead
+    to share a pool and hit/miss stats across calls. Results are identical
+    at any worker count.
+    """
+    if engine is None:
+        engine = EvalEngine(jobs=jobs, store=cache)
+    return engine.run(model, items, temperature=temperature, top_p=top_p)

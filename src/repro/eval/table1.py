@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.dataset import Sample, paper_dataset
+from repro.eval.engine import EvalEngine
 from repro.eval.rq1 import Rq1Result, run_rq1
 from repro.eval.rq23 import ClassificationResult, run_rq2, run_rq3
 from repro.llm.base import LlmModel
@@ -102,19 +103,23 @@ def build_row(
     samples: Sequence[Sample],
     *,
     num_rooflines: int = 240,
+    engine: EvalEngine | None = None,
 ) -> Table1Row:
     """Run all experiments for one model."""
+    engine = engine or EvalEngine()
     cfg = model.config
     rq1 = (
-        run_rq1(model, num_rooflines=num_rooflines) if cfg.rq1_reported else None
+        run_rq1(model, num_rooflines=num_rooflines, engine=engine)
+        if cfg.rq1_reported
+        else None
     )
     return Table1Row(
         model_name=cfg.name,
         reasoning=cfg.reasoning,
         cost=f"${cfg.input_cost_per_m:g} / ${cfg.output_cost_per_m:g}",
         rq1=rq1,
-        rq2=run_rq2(model, samples),
-        rq3=run_rq3(model, samples),
+        rq2=run_rq2(model, samples, engine=engine),
+        rq3=run_rq3(model, samples, engine=engine),
     )
 
 
@@ -123,12 +128,19 @@ def build_table1(
     *,
     models: Sequence[LlmModel] | None = None,
     num_rooflines: int = 240,
+    engine: EvalEngine | None = None,
 ) -> Table1:
-    """Regenerate the full Table 1."""
+    """Regenerate the full Table 1.
+
+    One engine spans every (model × RQ) cell, so a warm cache turns the
+    whole grid into lookups and ``engine.stats`` describes the sweep.
+    """
     if samples is None:
         samples = paper_dataset().balanced
     models = list(models) if models is not None else all_models()
+    engine = engine or EvalEngine()
     rows = [
-        build_row(m, samples, num_rooflines=num_rooflines) for m in models
+        build_row(m, samples, num_rooflines=num_rooflines, engine=engine)
+        for m in models
     ]
     return Table1(rows=tuple(rows))

@@ -17,7 +17,12 @@ from repro.gpusim.memory import (
     coalescing_quality,
     estimate_site_traffic,
 )
-from repro.gpusim.profiler import KernelProfile, profile_first_kernel, profile_kernel
+from repro.gpusim.profiler import (
+    KernelProfile,
+    profile_corpus,
+    profile_first_kernel,
+    profile_kernel,
+)
 from repro.gpusim.timing import TimingBreakdown, estimate_time
 
 __all__ = [
@@ -34,6 +39,7 @@ __all__ = [
     "KernelProfile",
     "profile_kernel",
     "profile_first_kernel",
+    "profile_corpus",
     "TimingBreakdown",
     "estimate_time",
 ]

@@ -59,6 +59,17 @@ class DeviceModel:
         return RngStream("gpusim", self.spec.name, kernel_uid)
 
 
+_default_device: DeviceModel | None = None
+
+
 def default_device() -> DeviceModel:
-    """The paper's profiling platform: RTX 3080."""
-    return DeviceModel(spec=default_gpu())
+    """The paper's profiling platform: RTX 3080 (one shared instance).
+
+    The model is frozen/stateless, and identity-keyed caches (e.g. the
+    batched corpus-profile memo) rely on repeated calls returning the same
+    object — mirroring :func:`repro.kernels.corpus.default_corpus`.
+    """
+    global _default_device
+    if _default_device is None:
+        _default_device = DeviceModel(spec=default_gpu())
+    return _default_device

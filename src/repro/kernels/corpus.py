@@ -9,7 +9,7 @@ variants each, mirroring HeCBench's uneven per-benchmark coverage.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.kernels.families import FamilySpec, families_for
 from repro.kernels.program import ProgramSpec
@@ -25,6 +25,15 @@ class Corpus:
     """The full generated benchmark suite."""
 
     programs: tuple[ProgramSpec, ...]
+    #: uid → program index, built once at construction so :meth:`get` is a
+    #: dict lookup rather than a per-call scan of all 749 programs.
+    _by_uid: dict = field(
+        init=False, repr=False, compare=False, default_factory=dict
+    )
+
+    def __post_init__(self) -> None:
+        index = {p.uid: p for p in self.programs}
+        object.__setattr__(self, "_by_uid", index)
 
     def by_language(self, language: Language) -> list[ProgramSpec]:
         return [p for p in self.programs if p.language is language]
@@ -33,10 +42,10 @@ class Corpus:
         return [p for p in self.programs if p.family == family]
 
     def get(self, uid: str) -> ProgramSpec:
-        for p in self.programs:
-            if p.uid == uid:
-                return p
-        raise KeyError(f"no program with uid {uid!r}")
+        try:
+            return self._by_uid[uid]
+        except KeyError:
+            raise KeyError(f"no program with uid {uid!r}") from None
 
     def __len__(self) -> int:
         return len(self.programs)

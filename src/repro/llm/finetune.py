@@ -138,8 +138,11 @@ class FineTunedClassifier:
             else Boundedness.BANDWIDTH
         )
 
-    def predict_many(self, prompts: list[str]) -> list[Boundedness]:
-        return [self.predict(p) for p in prompts]
+    def predict_many(self, prompts: list[str], *, jobs: int = 1) -> list[Boundedness]:
+        """Predict every prompt; inference is read-only, so it fans out."""
+        from repro.util.parallel import parallel_map
+
+        return parallel_map(self.predict, prompts, jobs=jobs)
 
 
 def prediction_entropy(predictions: list[Boundedness]) -> float:

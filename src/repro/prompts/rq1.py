@@ -9,6 +9,7 @@ answer with the single word ``Compute`` or ``Bandwidth``.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.roofline.classify import classify_ai
 from repro.types import Boundedness
@@ -90,6 +91,37 @@ def generate_question(rng: RngStream, force_label: Boundedness | None = None) ->
     )
 
 
+_HEADER = (
+    "You are a GPU performance analysis expert. Answer each question with "
+    "a single word chosen from the set: ['Compute', 'Bandwidth']."
+)
+
+
+def _example_parts(
+    shots: int, chain_of_thought: bool, rng: RngStream
+) -> list[str]:
+    """The worked-example section (question/thought/answer blocks)."""
+    parts: list[str] = []
+    want = [Boundedness.BANDWIDTH, Boundedness.COMPUTE]
+    for i in range(shots):
+        ex = generate_question(rng.child("shot", i), force_label=want[i % 2])
+        parts.append(_question_text(ex))
+        if chain_of_thought:
+            parts.append(_thought_text(ex))
+        parts.append(f"Answer: {ex.truth.word}")
+        parts.append("")
+    return parts
+
+
+@lru_cache(maxsize=64)
+def _default_example_text(shots: int, chain_of_thought: bool) -> str:
+    # The default example stream depends only on (shots, chain_of_thought),
+    # so the block is byte-identical for every question in a sweep; caching
+    # it keeps prompt assembly off the experiment hot path.
+    rng = RngStream("rq1-examples", shots, chain_of_thought)
+    return "\n".join(_example_parts(shots, chain_of_thought, rng))
+
+
 def build_rq1_prompt(
     question: RooflineQuestion,
     *,
@@ -100,24 +132,13 @@ def build_rq1_prompt(
     """Assemble the full Figure 3 prompt for one question."""
     if shots < 2:
         raise ValueError("the paper's RQ1 prompts always include at least two examples")
-    rng = rng or RngStream("rq1-examples", shots, chain_of_thought)
-    parts: list[str] = []
-    parts.append(
-        "You are a GPU performance analysis expert. Answer each question with "
-        "a single word chosen from the set: ['Compute', 'Bandwidth']."
+    if rng is None:
+        examples = _default_example_text(shots, chain_of_thought)
+    else:
+        examples = "\n".join(_example_parts(shots, chain_of_thought, rng))
+    return "\n".join(
+        [_HEADER, "", examples, _question_text(question), "Answer:"]
     )
-    parts.append("")
-    want = [Boundedness.BANDWIDTH, Boundedness.COMPUTE]
-    for i in range(shots):
-        ex = generate_question(rng.child("shot", i), force_label=want[i % 2])
-        parts.append(_question_text(ex))
-        if chain_of_thought:
-            parts.append(_thought_text(ex))
-        parts.append(f"Answer: {ex.truth.word}")
-        parts.append("")
-    parts.append(_question_text(question))
-    parts.append("Answer:")
-    return "\n".join(parts)
 
 
 def generate_rq1_questions(

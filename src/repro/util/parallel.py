@@ -1,0 +1,55 @@
+"""Deterministic fan-out over a thread pool.
+
+The emulator is CPU-light, pure Python per work unit, so threads (no pickling,
+shared read-only state) are the right pool flavour; results always come back
+in submission order regardless of worker count, so any ``jobs`` value yields
+byte-identical downstream artefacts.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Hard ceiling on worker threads (beyond this the GIL is the bottleneck).
+MAX_JOBS = 64
+
+
+def resolve_jobs(jobs: int) -> int:
+    """Normalise a ``--jobs`` value: 0 or negative means "all cores"."""
+    if jobs <= 0:
+        jobs = os.cpu_count() or 1
+    return max(1, min(int(jobs), MAX_JOBS))
+
+
+def parallel_map(
+    fn: Callable[[T], R], items: Iterable[T], *, jobs: int = 1
+) -> list[R]:
+    """Apply ``fn`` to every item, fanning out across ``jobs`` threads.
+
+    Results are returned in input order; the first worker exception
+    propagates to the caller (matching a plain loop's failure behaviour).
+    Items are sharded into contiguous chunks — a handful per worker, so the
+    pool amortises scheduling over many items while still load-balancing
+    uneven work units.
+    """
+    seq: Sequence[T] = items if isinstance(items, (list, tuple)) else list(items)
+    jobs = resolve_jobs(jobs)
+    if jobs <= 1 or len(seq) <= 1:
+        return [fn(x) for x in seq]
+    jobs = min(jobs, len(seq))
+    chunk = max(1, len(seq) // (jobs * 4))
+    shards = [seq[i : i + chunk] for i in range(0, len(seq), chunk)]
+
+    def run_shard(shard: Sequence[T]) -> list[R]:
+        return [fn(x) for x in shard]
+
+    with ThreadPoolExecutor(max_workers=jobs) as pool:
+        out: list[R] = []
+        for shard_result in pool.map(run_shard, shards):
+            out.extend(shard_result)
+        return out

@@ -10,6 +10,12 @@ from __future__ import annotations
 import pytest
 
 
+@pytest.fixture(autouse=True)
+def _isolated_response_cache(tmp_path, monkeypatch):
+    """Keep CLI/default disk caches out of the working tree during tests."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "response-cache"))
+
+
 @pytest.fixture(scope="session")
 def dataset():
     """The full paper dataset pipeline (built once per test session)."""

@@ -11,6 +11,9 @@ import pytest
 
 from repro.eval.metrics import MetricReport
 from repro.eval.rq1 import run_rq1
+
+# Full-grid calibration sweeps are benchmark-adjacent: tier-2 only.
+pytestmark = pytest.mark.slow
 from repro.eval.table1 import PAPER_TABLE1
 from repro.llm import get_model, non_reasoning_models, reasoning_models
 from repro.prompts import build_classify_prompt

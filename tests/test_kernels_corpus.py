@@ -79,3 +79,39 @@ class TestCorpusStructure:
             name = p.first_kernel.kernel.name
             assert not name.startswith(("init_aux", "rescale_aux", "clamp_aux"))
             assert not name.endswith(("_warmup", "_v2"))
+
+
+class _CountingPrograms(tuple):
+    """Tuple that counts full iterations (a linear-scan detector)."""
+
+    iterations = 0
+
+    def __iter__(self):
+        type(self).iterations += 1
+        return super().__iter__()
+
+
+class TestIndexedLookup:
+    def test_get_does_not_scan(self, mini_corpus):
+        """Regression for the old O(n) ``Corpus.get``: after construction,
+        uid lookups must not iterate the program tuple at all."""
+        from repro.kernels.corpus import Corpus
+
+        _CountingPrograms.iterations = 0
+        corpus = Corpus(programs=_CountingPrograms(mini_corpus.programs))
+        built = _CountingPrograms.iterations
+        assert built >= 1  # the one-time index build is allowed to iterate
+        for p in mini_corpus.programs:
+            assert corpus.get(p.uid) is p
+        assert corpus.get(mini_corpus.programs[-1].uid) is mini_corpus.programs[-1]
+        with pytest.raises(KeyError):
+            corpus.get("cuda/definitely-missing-v1")
+        assert _CountingPrograms.iterations == built
+
+    def test_index_survives_len_and_contains_style_use(self, mini_corpus):
+        from repro.kernels.corpus import Corpus
+
+        corpus = Corpus(programs=tuple(mini_corpus.programs))
+        assert len(corpus) == len(mini_corpus.programs)
+        first = mini_corpus.programs[0]
+        assert corpus.get(first.uid).uid == first.uid

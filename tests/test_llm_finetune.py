@@ -84,6 +84,7 @@ class TestTraining:
         assert clf.predict("memory stream copy bytes") is BB
 
 
+@pytest.mark.slow
 class TestCollapse:
     def test_paper_regime_collapses(self, dataset):
         """The paper's RQ4: after two epochs the tuned model answers one
