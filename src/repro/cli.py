@@ -11,13 +11,16 @@ Installed as ``repro-paper``; every subcommand is also reachable via
     repro-paper rq4 --scope cuda
     repro-paper decompose --model o1 --limit 50
     repro-paper table1 --jobs 8
+    repro-paper matrix --gpus all --jobs 4 --backend process
     repro-paper figures --which 1
     repro-paper cache --wipe
 
-Experiment commands accept ``--jobs`` (worker threads; 0 = all cores) and
-share a content-addressed response cache (``--cache-dir``, default
-``$REPRO_CACHE_DIR`` or ``.repro-cache``; disable with ``--no-cache``), so a
-repeated run replays memoized completions instead of re-querying the models.
+Experiment commands accept ``--jobs`` (workers; 0 = all cores) and
+``--backend`` (``thread`` default; ``process`` sidesteps the GIL for cold
+sweeps), and share a content-addressed response cache (``--cache-dir``,
+default ``$REPRO_CACHE_DIR`` or ``.repro-cache``; size-bound it with
+``--cache-max-bytes``, disable with ``--no-cache``), so a repeated run
+replays memoized completions instead of re-querying the models.
 """
 
 from __future__ import annotations
@@ -29,13 +32,21 @@ from typing import Sequence
 
 def _add_engine_flags(p: argparse.ArgumentParser) -> None:
     from repro.eval.engine import DEFAULT_CACHE_DIRNAME
+    from repro.util.parallel import BACKENDS, DEFAULT_BACKEND
 
     p.add_argument("--jobs", type=int, default=1,
-                   help="worker threads for (model, item) work units "
+                   help="workers for (model, item) work units "
                         "(0 = all cores; default 1)")
+    p.add_argument("--backend", choices=BACKENDS, default=DEFAULT_BACKEND,
+                   help="executor backend: threads share memory (best warm); "
+                        "processes sidestep the GIL (best cold); "
+                        f"default {DEFAULT_BACKEND}")
     p.add_argument("--cache-dir", default=None,
                    help="response cache directory (default: $REPRO_CACHE_DIR "
                         f"or {DEFAULT_CACHE_DIRNAME})")
+    p.add_argument("--cache-max-bytes", type=int, default=None,
+                   help="size-bound the cache, evicting oldest entries "
+                        "(default: $REPRO_CACHE_MAX_BYTES or unbounded)")
     p.add_argument("--no-cache", action="store_true",
                    help="disable the response cache for this run")
 
@@ -45,12 +56,18 @@ def _make_engine(args: argparse.Namespace):
         DiskResponseStore,
         EvalEngine,
         default_cache_dir,
+        default_cache_max_bytes,
     )
 
     store = None
     if not args.no_cache:
-        store = DiskResponseStore(args.cache_dir or default_cache_dir())
-    return EvalEngine(jobs=args.jobs, store=store)
+        max_bytes = args.cache_max_bytes
+        if max_bytes is None:
+            max_bytes = default_cache_max_bytes()
+        store = DiskResponseStore(
+            args.cache_dir or default_cache_dir(), max_bytes=max_bytes
+        )
+    return EvalEngine(jobs=args.jobs, store=store, backend=args.backend)
 
 
 def _report_cache(engine) -> None:
@@ -170,7 +187,7 @@ def _cmd_rq23(args: argparse.Namespace, few_shot: bool) -> int:
 def _cmd_rq4(args: argparse.Namespace) -> int:
     from repro.eval.rq4 import run_rq4
 
-    r = run_rq4(scope=args.scope, jobs=args.jobs)
+    r = run_rq4(scope=args.scope, jobs=args.jobs, backend=args.backend)
     print(f"scope:              {r.scope}")
     print(f"train/validation:   {r.train_size}/{r.validation_size}")
     print(f"validation acc:     {r.validation_metrics.accuracy:.2f}")
@@ -221,6 +238,29 @@ def _cmd_table1(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_matrix(args: argparse.Namespace) -> int:
+    from repro.eval.matrix import run_matrix
+    from repro.roofline.hardware import resolve_gpus
+
+    try:
+        gpus = resolve_gpus(args.gpus)
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    rqs = ("rq2", "rq3") if args.rq == "both" else (args.rq,)
+    engine = _make_engine(args)
+    result = run_matrix(
+        _select_models(args.model),
+        gpus,
+        rqs=rqs,
+        limit=args.limit,
+        engine=engine,
+    )
+    print(result.render(flip_limit=args.flip_limit))
+    _report_cache(engine)
+    return 0
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     from repro.eval.engine import DiskResponseStore, default_cache_dir
 
@@ -230,9 +270,11 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         store.clear()
         print(f"wiped {n} entries @ {store.root}")
         return 0
+    if args.max_bytes is not None:
+        removed = store.evict(args.max_bytes)
+        print(f"evicted {removed} entries @ {store.root}")
     print(f"cache dir: {store.root}")
-    print(f"entries:   {len(store)}")
-    print(f"bytes:     {store.size_bytes()}")
+    print(store.manifest().render())
     return 0
 
 
@@ -282,10 +324,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="evaluate only the first N samples")
         _add_engine_flags(p)
 
+    from repro.util.parallel import BACKENDS, DEFAULT_BACKEND
+
     p = sub.add_parser("rq4", help="RQ4: fine-tuning study")
     p.add_argument("--scope", choices=("all", "cuda", "omp"), default="all")
     p.add_argument("--jobs", type=int, default=1,
-                   help="worker threads for validation inference")
+                   help="workers for validation inference")
+    p.add_argument("--backend", choices=BACKENDS, default=DEFAULT_BACKEND,
+                   help="executor backend for validation inference")
 
     p = sub.add_parser("decompose", help="question-decomposition extension")
     p.add_argument("--model", default="all")
@@ -301,8 +347,25 @@ def build_parser() -> argparse.ArgumentParser:
                    help="emit a markdown table instead of ASCII")
     _add_engine_flags(p)
 
-    p = sub.add_parser("cache", help="inspect or wipe the response cache")
+    p = sub.add_parser("matrix",
+                       help="hardware scenario matrix: sweep models × RQs "
+                            "over several GPUs and report label flips")
+    p.add_argument("--model", default="all")
+    p.add_argument("--gpus", default="all",
+                   help="comma-separated GPU names (substring match) or "
+                        "'all' (default)")
+    p.add_argument("--rq", choices=("rq2", "rq3", "both"), default="rq2",
+                   help="classification regime(s) to sweep (default rq2)")
+    p.add_argument("--limit", type=int, default=0,
+                   help="evaluate only the first N kernels per device")
+    p.add_argument("--flip-limit", type=int, default=20,
+                   help="max label-flip rows to print (default 20)")
+    _add_engine_flags(p)
+
+    p = sub.add_parser("cache", help="inspect, bound, or wipe the response cache")
     p.add_argument("--cache-dir", default=None)
+    p.add_argument("--max-bytes", type=int, default=None,
+                   help="evict oldest entries until the cache fits this size")
     p.add_argument("--wipe", action="store_true",
                    help="delete every cached response")
 
@@ -324,6 +387,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "rq4": _cmd_rq4,
         "decompose": _cmd_decompose,
         "table1": _cmd_table1,
+        "matrix": _cmd_matrix,
         "cache": _cmd_cache,
         "figures": _cmd_figures,
     }

@@ -21,6 +21,15 @@ from repro.eval.hyperparams import (
     HyperparamStudy,
     run_hyperparam_study,
 )
+from repro.eval.matrix import (
+    FlipTracking,
+    KernelFlip,
+    MatrixCell,
+    MatrixResult,
+    label_flips,
+    run_matrix,
+    scenario_samples,
+)
 from repro.eval.metrics import (
     ConfusionCounts,
     MetricReport,
@@ -78,4 +87,11 @@ __all__ = [
     "Comparison",
     "render_comparisons",
     "ordering_agreement",
+    "MatrixCell",
+    "MatrixResult",
+    "KernelFlip",
+    "FlipTracking",
+    "label_flips",
+    "run_matrix",
+    "scenario_samples",
 ]

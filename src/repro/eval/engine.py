@@ -4,18 +4,26 @@ Every experiment in the repo reduces to a grid of *(model, item)* work units:
 build a prompt, get one completion, parse one word. This module owns that
 hot path:
 
-* :class:`EvalEngine` shards work units across a thread pool
+* :class:`EvalEngine` shards work units over an executor backend
   (:mod:`repro.util.parallel`) with deterministic, submission-order results —
-  any ``jobs`` value produces the same :class:`~repro.eval.runner.RunResult`
-  as the sequential loop it replaced.
+  any ``jobs`` value and any backend (``sequential``/``thread``/``process``)
+  produce the same :class:`~repro.eval.runner.RunResult` as the sequential
+  loop they replaced. The process backend sidesteps the GIL for cold sweeps
+  of the pure-Python emulated models; cache reads/writes stay in the parent
+  process, so any :class:`ResponseStore` works unchanged and cache contents
+  are identical across backends.
 * Completions are memoized in a content-addressed store. Keys are
   :func:`cache_key` digests over the *full* model capability profile, the
   prompt text, and the sampling parameters, so any calibration change or
   prompt edit invalidates exactly the affected entries, and keys are stable
-  across processes and machines (SHA-256, no interpreter salt).
+  across processes and machines (SHA-256, no interpreter salt). The
+  hardware block of classification prompts rides in the prompt text, so
+  per-device scenarios (:mod:`repro.eval.matrix`) cache disjointly for free.
 * Stores are injectable (:class:`MemoryResponseStore` for tests and warm
   in-process sweeps, :class:`DiskResponseStore` for cross-run reuse), in the
   spirit of :mod:`repro.dataset.store`'s JSON persistence.
+  :class:`DiskResponseStore` optionally enforces a size bound by evicting
+  oldest-written entries first.
 
 The emulated models are deterministic, so a cache hit is *exact*: the stored
 response text and token usage equal what the model would recompute.
@@ -28,8 +36,9 @@ import hashlib
 import json
 import os
 import threading
+import time
 from dataclasses import dataclass
-from functools import lru_cache
+from functools import lru_cache, partial
 from pathlib import Path
 from typing import Protocol, Sequence
 
@@ -37,13 +46,25 @@ from repro.llm.base import LlmModel, LlmResponse
 from repro.llm.config import ModelConfig
 from repro.llm.pricing import Usage, UsageMeter
 from repro.util.hashing import stable_hash_bytes
-from repro.util.parallel import parallel_map, resolve_jobs
+from repro.util.parallel import (
+    DEFAULT_BACKEND,
+    parallel_map,
+    resolve_backend,
+    resolve_jobs,
+)
 
-#: Bump when the cached-response record layout changes.
+#: Bump when the cached-response record layout changes *incompatibly*.
+#: The ``model`` tag (manifest per-model accounting) did not bump it:
+#: readers default a missing tag to "" and old readers ignore the extra
+#: key, so pre-tag caches keep replaying — untagged entries just render
+#: as ``<untagged>`` in the manifest until rewritten.
 CACHE_SCHEMA_VERSION = "repro-response-v1"
 
 #: Environment override for the on-disk cache location.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Environment override for the on-disk cache size bound (bytes).
+CACHE_MAX_BYTES_ENV = "REPRO_CACHE_MAX_BYTES"
 
 #: Default on-disk cache directory (relative to the working directory).
 DEFAULT_CACHE_DIRNAME = ".repro-cache"
@@ -52,6 +73,18 @@ DEFAULT_CACHE_DIRNAME = ".repro-cache"
 def default_cache_dir() -> Path:
     """Where the CLI keeps its response cache (``$REPRO_CACHE_DIR`` wins)."""
     return Path(os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIRNAME)
+
+
+def default_cache_max_bytes() -> int | None:
+    """The CLI's cache size bound (``$REPRO_CACHE_MAX_BYTES``; None = unbounded)."""
+    raw = os.environ.get(CACHE_MAX_BYTES_ENV, "").strip()
+    if not raw:
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        return None
+    return value if value > 0 else None
 
 
 @lru_cache(maxsize=256)
@@ -96,6 +129,7 @@ class CachedResponse:
     input_tokens: int
     output_tokens: int
     reasoning_tokens: int
+    model: str = ""
 
     @classmethod
     def from_response(cls, response: LlmResponse) -> "CachedResponse":
@@ -105,6 +139,7 @@ class CachedResponse:
             input_tokens=u.input_tokens,
             output_tokens=u.output_tokens,
             reasoning_tokens=u.reasoning_tokens,
+            model=response.model_name,
         )
 
     def to_response(self, model_name: str) -> LlmResponse:
@@ -124,6 +159,7 @@ class CachedResponse:
             "input_tokens": self.input_tokens,
             "output_tokens": self.output_tokens,
             "reasoning_tokens": self.reasoning_tokens,
+            "model": self.model,
         }
 
     @classmethod
@@ -133,6 +169,7 @@ class CachedResponse:
             input_tokens=int(data["input_tokens"]),
             output_tokens=int(data["output_tokens"]),
             reasoning_tokens=int(data["reasoning_tokens"]),
+            model=str(data.get("model", "")),
         )
 
 
@@ -172,16 +209,50 @@ class MemoryResponseStore:
         self._data.clear()
 
 
+@dataclass(frozen=True)
+class CacheManifest:
+    """Summary of a disk store's contents (``repro-paper cache``)."""
+
+    entries: int
+    total_bytes: int
+    oldest_age_s: float | None  # None when the store is empty
+    newest_age_s: float | None
+    per_model: tuple[tuple[str, int], ...]  # (model name, entry count), sorted
+
+    def render(self) -> str:
+        lines = [f"entries:   {self.entries}", f"bytes:     {self.total_bytes}"]
+        if self.oldest_age_s is not None and self.newest_age_s is not None:
+            lines.append(
+                f"age:       {self.newest_age_s:.0f}s (newest) … "
+                f"{self.oldest_age_s:.0f}s (oldest)"
+            )
+        for name, count in self.per_model:
+            lines.append(f"  {name or '<untagged>'}: {count}")
+        return "\n".join(lines)
+
+
 class DiskResponseStore:
     """One JSON file per key, sharded by hex prefix.
 
     Writes are atomic (temp file + :func:`os.replace`), so concurrent
     writers — threads in one engine or separate processes sharing a cache
     directory — can only ever race to install identical content.
+
+    Pass ``max_bytes`` for a size-bounded store: when the total entry size
+    exceeds the bound, oldest-written entries are evicted first (write age
+    approximates recency well here because re-putting an existing key
+    rewrites its file). The check is amortised over puts so the bound is
+    approximate between checks, never off by more than one check interval.
     """
 
-    def __init__(self, root: str | Path):
+    #: Re-check the size bound every this many puts (scanning is O(entries)).
+    EVICTION_CHECK_INTERVAL = 64
+
+    def __init__(self, root: str | Path, *, max_bytes: int | None = None):
         self.root = Path(root)
+        self.max_bytes = max_bytes if max_bytes and max_bytes > 0 else None
+        self._puts_since_check = 0
+        self._evict_lock = threading.Lock()
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
@@ -213,6 +284,7 @@ class DiskResponseStore:
             os.replace(tmp, path)
         except OSError:
             return  # unwritable store degrades to uncached, never crashes
+        self._maybe_evict()
 
     def _files(self) -> list[Path]:
         if not self.root.is_dir():
@@ -233,6 +305,78 @@ class DiskResponseStore:
             except OSError:
                 continue  # entry wiped by a concurrent process
         return total
+
+    # -- size-bounded eviction ----------------------------------------------
+    def _maybe_evict(self) -> None:
+        if self.max_bytes is None:
+            return
+        with self._evict_lock:
+            self._puts_since_check += 1
+            if self._puts_since_check < self.EVICTION_CHECK_INTERVAL:
+                return
+            self._puts_since_check = 0
+        self.evict()
+
+    def evict(self, max_bytes: int | None = None) -> int:
+        """Delete oldest-written entries until the store fits ``max_bytes``
+        (defaults to the store's configured bound). Returns entries removed.
+        """
+        bound = self.max_bytes if max_bytes is None else max_bytes
+        if bound is None or bound <= 0:
+            # Same convention as the constructor: no positive bound means
+            # unbounded, never "evict everything".
+            return 0
+        stats: list[tuple[float, int, Path]] = []
+        total = 0
+        for p in self._files():
+            try:
+                st = p.stat()
+            except OSError:
+                continue
+            stats.append((st.st_mtime, st.st_size, p))
+            total += st.st_size
+        if total <= bound:
+            return 0
+        removed = 0
+        for _, size, path in sorted(stats):
+            if total <= bound:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue  # lost a race with a concurrent evictor
+            total -= size
+            removed += 1
+        return removed
+
+    def manifest(self) -> CacheManifest:
+        """Entry count, byte total, age range, and per-model entry counts."""
+        now = time.time()
+        per_model: dict[str, int] = {}
+        total = 0
+        oldest: float | None = None
+        newest: float | None = None
+        count = 0
+        for p in self._files():
+            try:
+                st = p.stat()
+                data = json.loads(p.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                continue
+            count += 1
+            total += st.st_size
+            age = max(0.0, now - st.st_mtime)
+            oldest = age if oldest is None else max(oldest, age)
+            newest = age if newest is None else min(newest, age)
+            model = str(data.get("model", ""))
+            per_model[model] = per_model.get(model, 0) + 1
+        return CacheManifest(
+            entries=count,
+            total_bytes=total,
+            oldest_age_s=oldest,
+            newest_age_s=newest,
+            per_model=tuple(sorted(per_model.items())),
+        )
 
     def clear(self) -> None:
         # Remove only entry files and their (then-empty) shard dirs — never
@@ -279,15 +423,31 @@ class CacheStats:
     def total(self) -> int:
         return self.hits + self.misses + self.uncached
 
-    def _bump(self, field_name: str) -> None:
+    def _bump(self, field_name: str, count: int = 1) -> None:
         with self._lock:
-            setattr(self, field_name, getattr(self, field_name) + 1)
+            setattr(self, field_name, getattr(self, field_name) + count)
 
     def summary(self) -> str:
         return (
             f"{self.hits} hits, {self.misses} misses, "
             f"{self.completions} new completions"
         )
+
+
+def _complete_uncached(
+    model: LlmModel,
+    temperature: float | None,
+    top_p: float | None,
+    prompt: str,
+) -> CachedResponse:
+    """One completion as its persistable payload.
+
+    Module-level (and invoked via :func:`functools.partial` over picklable
+    args) so the process backend can ship it to workers; the model object is
+    pickled once per shard, not per item.
+    """
+    response = model.complete(prompt, temperature=temperature, top_p=top_p)
+    return CachedResponse.from_response(response)
 
 
 class EvalEngine:
@@ -297,6 +457,13 @@ class EvalEngine:
     Table 1 run shares one engine across all models and RQs), so its
     :attr:`stats` describe the sweep and its store amortises repeated
     prompts across experiments.
+
+    ``backend`` picks the executor for :meth:`run`'s fan-out: ``"thread"``
+    (default; best for warm caches and IO), ``"process"`` (cold CPU-bound
+    sweeps scale with cores), or ``"sequential"``. Results and cache
+    contents are byte-identical across backends; with the process backend
+    the parent resolves cache hits and writes all cache entries, so workers
+    never touch the store.
     """
 
     def __init__(
@@ -304,9 +471,11 @@ class EvalEngine:
         *,
         jobs: int = 1,
         store: ResponseStore | None = None,
+        backend: str = DEFAULT_BACKEND,
     ) -> None:
         self.jobs = resolve_jobs(jobs)
         self.store = store
+        self.backend = resolve_backend(backend)
         self.stats = CacheStats()
 
     # -- single completion ---------------------------------------------------
@@ -349,37 +518,99 @@ class EvalEngine:
         Drop-in replacement for the old sequential loop in
         :mod:`repro.eval.runner`: identical records in identical order, and
         usage metered in item order so cost floats sum identically at any
-        ``jobs``.
+        ``jobs`` and any backend.
         """
-        from repro.eval.runner import PredictionRecord, RunResult
+        from repro.eval.runner import RunResult
 
         items = list(items)
         if not items:
             raise ValueError("no items to run")
 
-        def one(item: tuple[str, str, object]) -> tuple[PredictionRecord, Usage]:
-            item_id, prompt, truth = item
-            response = self.complete(
-                model, prompt, temperature=temperature, top_p=top_p
+        if self.backend == "process" and self.jobs > 1 and len(items) > 1:
+            responses = self._responses_via_processes(
+                model, items, temperature, top_p
             )
-            try:
-                pred = response.boundedness()
-            except ValueError:
-                pred = None
-            record = PredictionRecord(
-                item_id=item_id,
-                truth=truth,
-                prediction=pred,
-                response_text=response.text,
+        else:
+            fn = partial(self._complete_item, model, temperature, top_p)
+            responses = parallel_map(
+                fn, items, jobs=self.jobs, backend=self.backend
             )
-            return record, response.usage
 
-        pairs = parallel_map(one, items, jobs=self.jobs)
+        records = [
+            _make_record(item_id, truth, response)
+            for (item_id, _, truth), response in zip(items, responses)
+        ]
         meter = UsageMeter(model.config)
-        for _, usage in pairs:
-            meter.record(usage)
+        for response in responses:
+            meter.record(response.usage)
         return RunResult(
             model_name=model.name,
-            records=tuple(record for record, _ in pairs),
+            records=tuple(records),
             usage=meter.summary(),
         )
+
+    def _complete_item(
+        self,
+        model: LlmModel,
+        temperature: float | None,
+        top_p: float | None,
+        item: tuple[str, str, object],
+    ) -> LlmResponse:
+        return self.complete(
+            model, item[1], temperature=temperature, top_p=top_p
+        )
+
+    def _responses_via_processes(
+        self,
+        model: LlmModel,
+        items: Sequence[tuple[str, str, object]],
+        temperature: float | None,
+        top_p: float | None,
+    ) -> list[LlmResponse]:
+        """Process-backend fan-out: parent serves cache hits and owns every
+        store write; only cache-missing prompts are shipped to workers."""
+        responses: list[LlmResponse | None] = [None] * len(items)
+        pending: list[tuple[int, str, str | None]] = []  # (index, prompt, key)
+        for i, (_, prompt, _) in enumerate(items):
+            if self.store is None:
+                pending.append((i, prompt, None))
+                continue
+            key = cache_key(model.config, prompt, temperature, top_p)
+            cached = self.store.get(key)
+            if cached is not None:
+                responses[i] = cached.to_response(model.name)
+            else:
+                pending.append((i, prompt, key))
+        self.stats._bump("hits", len(items) - len(pending))
+        if pending:
+            fn = partial(_complete_uncached, model, temperature, top_p)
+            computed = parallel_map(
+                fn,
+                [prompt for _, prompt, _ in pending],
+                jobs=self.jobs,
+                backend="process",
+            )
+            for (i, _, key), cached in zip(pending, computed):
+                if key is not None:
+                    self.store.put(key, cached)
+                responses[i] = cached.to_response(model.name)
+            field = "uncached" if self.store is None else "misses"
+            self.stats._bump(field, len(pending))
+        return responses  # type: ignore[return-value]
+
+
+def _make_record(item_id: str, truth: object, response: LlmResponse):
+    """Response → per-item record; shared by every backend so records are
+    byte-identical however the completion was computed."""
+    from repro.eval.runner import PredictionRecord
+
+    try:
+        pred = response.boundedness()
+    except ValueError:
+        pred = None
+    return PredictionRecord(
+        item_id=item_id,
+        truth=truth,
+        prediction=pred,
+        response_text=response.text,
+    )

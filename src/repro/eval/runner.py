@@ -16,6 +16,7 @@ from repro.eval.engine import EvalEngine, ResponseStore
 from repro.eval.metrics import MetricReport
 from repro.llm.base import LlmModel
 from repro.types import Boundedness
+from repro.util.parallel import DEFAULT_BACKEND
 
 
 @dataclass(frozen=True)
@@ -63,15 +64,16 @@ def run_queries(
     temperature: float | None = None,
     top_p: float | None = None,
     jobs: int = 1,
+    backend: str = DEFAULT_BACKEND,
     cache: ResponseStore | None = None,
     engine: EvalEngine | None = None,
 ) -> RunResult:
     """Evaluate ``items`` of (item_id, prompt, truth) against one model.
 
-    ``jobs``/``cache`` configure a throwaway engine; pass ``engine`` instead
-    to share a pool and hit/miss stats across calls. Results are identical
-    at any worker count.
+    ``jobs``/``backend``/``cache`` configure a throwaway engine; pass
+    ``engine`` instead to share a pool and hit/miss stats across calls.
+    Results are identical at any worker count and on any backend.
     """
     if engine is None:
-        engine = EvalEngine(jobs=jobs, store=cache)
+        engine = EvalEngine(jobs=jobs, store=cache, backend=backend)
     return engine.run(model, items, temperature=temperature, top_p=top_p)

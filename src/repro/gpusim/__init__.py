@@ -8,7 +8,7 @@ paper derives them from Nsight metrics.
 """
 
 from repro.gpusim.counters import ProfileCounters, merge_counters
-from repro.gpusim.device import DeviceModel, default_device
+from repro.gpusim.device import DeviceModel, default_device, device_for
 from repro.gpusim.memory import (
     AccessSite,
     SiteTraffic,
@@ -30,6 +30,7 @@ __all__ = [
     "merge_counters",
     "DeviceModel",
     "default_device",
+    "device_for",
     "AccessSite",
     "SiteTraffic",
     "aggregate_traffic",

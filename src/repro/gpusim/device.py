@@ -59,17 +59,27 @@ class DeviceModel:
         return RngStream("gpusim", self.spec.name, kernel_uid)
 
 
-_default_device: DeviceModel | None = None
+_device_instances: dict[GpuSpec, DeviceModel] = {}
 
 
-def default_device() -> DeviceModel:
-    """The paper's profiling platform: RTX 3080 (one shared instance).
+def device_for(spec: GpuSpec) -> DeviceModel:
+    """The shared :class:`DeviceModel` for one GPU spec (one per spec value).
 
     The model is frozen/stateless, and identity-keyed caches (e.g. the
     batched corpus-profile memo) rely on repeated calls returning the same
-    object — mirroring :func:`repro.kernels.corpus.default_corpus`.
+    object — mirroring :func:`repro.kernels.corpus.default_corpus`. The
+    hardware-matrix sweep leans on this: six scenario devices mean exactly
+    six memoized corpus-profiling passes, however many experiments consume
+    them. Keyed by the (frozen, hashable) spec itself, so a tweaked spec
+    sharing a marketing name gets its own device.
     """
-    global _default_device
-    if _default_device is None:
-        _default_device = DeviceModel(spec=default_gpu())
-    return _default_device
+    device = _device_instances.get(spec)
+    if device is None:
+        device = DeviceModel(spec=spec)
+        _device_instances[spec] = device
+    return device
+
+
+def default_device() -> DeviceModel:
+    """The paper's profiling platform: RTX 3080 (one shared instance)."""
+    return device_for(default_gpu())

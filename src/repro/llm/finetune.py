@@ -138,11 +138,17 @@ class FineTunedClassifier:
             else Boundedness.BANDWIDTH
         )
 
-    def predict_many(self, prompts: list[str], *, jobs: int = 1) -> list[Boundedness]:
-        """Predict every prompt; inference is read-only, so it fans out."""
+    def predict_many(
+        self, prompts: list[str], *, jobs: int = 1, backend: str = "thread"
+    ) -> list[Boundedness]:
+        """Predict every prompt; inference is read-only, so it fans out.
+
+        ``self.predict`` is a bound method of a picklable classifier, so the
+        process backend works too (weights ship once per shard).
+        """
         from repro.util.parallel import parallel_map
 
-        return parallel_map(self.predict, prompts, jobs=jobs)
+        return parallel_map(self.predict, prompts, jobs=jobs, backend=backend)
 
 
 def prediction_entropy(predictions: list[Boundedness]) -> float:

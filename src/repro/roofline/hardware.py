@@ -148,6 +148,16 @@ GPU_DATABASE: dict[str, GpuSpec] = {
 }
 
 
+def short_gpu_name(name: str) -> str:
+    """A compact table-header form of a marketing name (e.g. ``RTX 3080``)."""
+    out = name
+    for prefix in ("NVIDIA ", "AMD ", "GeForce ", "Tesla ", "Instinct "):
+        out = out.replace(prefix, "")
+    for suffix in (" PCIe", " SXM"):
+        out = out.removesuffix(suffix)
+    return out.strip()
+
+
 def get_gpu(name: str) -> GpuSpec:
     """Look up a GPU by its full marketing name (case-insensitive substring ok)."""
     if name in GPU_DATABASE:
@@ -159,6 +169,28 @@ def get_gpu(name: str) -> GpuSpec:
     if not matches:
         raise KeyError(f"unknown GPU {name!r}; known: {sorted(GPU_DATABASE)}")
     raise KeyError(f"ambiguous GPU name {name!r}; matches {[m.name for m in matches]}")
+
+
+def resolve_gpus(arg: str) -> list[GpuSpec]:
+    """Parse a ``--gpus`` value: ``all`` or a comma-separated name list.
+
+    Names go through :func:`get_gpu`'s case-insensitive substring matching,
+    so ``--gpus v100,h100`` works. The returned list keeps database order
+    for ``all`` and argument order otherwise; duplicates collapse.
+    """
+    if arg.strip().lower() == "all":
+        return list(GPU_DATABASE.values())
+    gpus: list[GpuSpec] = []
+    for part in arg.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        spec = get_gpu(part)
+        if spec not in gpus:
+            gpus.append(spec)
+    if not gpus:
+        raise ValueError(f"no GPUs selected by {arg!r}")
+    return gpus
 
 
 def default_gpu() -> GpuSpec:

@@ -1,15 +1,27 @@
-"""Deterministic fan-out over a thread pool.
+"""Deterministic fan-out over pluggable executor backends.
 
-The emulator is CPU-light, pure Python per work unit, so threads (no pickling,
-shared read-only state) are the right pool flavour; results always come back
-in submission order regardless of worker count, so any ``jobs`` value yields
-byte-identical downstream artefacts.
+Every sweep in the repo funnels through :func:`parallel_map`, which shards
+work across one of three backends:
+
+* ``"sequential"`` — a plain loop; the reference semantics.
+* ``"thread"`` — a :class:`~concurrent.futures.ThreadPoolExecutor`; no
+  pickling, shared read-only state. Right for cached/IO-bound paths, but
+  the emulated models are pure-Python CPU work, so the GIL caps cold-sweep
+  speedup.
+* ``"process"`` — a :class:`~concurrent.futures.ProcessPoolExecutor`;
+  sidesteps the GIL so cold sweeps scale with cores. The mapped function
+  and its items must be picklable (module-level functions / ``partial``
+  over picklable args), and per-shard pickling is the overhead to amortise.
+
+Whatever the backend and worker count, results always come back in
+submission order, so any execution plan yields byte-identical downstream
+artefacts.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, Iterable, Sequence, TypeVar
 
 T = TypeVar("T")
@@ -17,6 +29,13 @@ R = TypeVar("R")
 
 #: Hard ceiling on worker threads (beyond this the GIL is the bottleneck).
 MAX_JOBS = 64
+
+#: The recognised executor backends, in "cheapest first" order.
+BACKENDS = ("sequential", "thread", "process")
+
+#: Default backend: threads keep the no-pickling semantics the repo grew
+#: up with; pass ``backend="process"`` for cold CPU-bound sweeps.
+DEFAULT_BACKEND = "thread"
 
 
 def resolve_jobs(jobs: int) -> int:
@@ -26,30 +45,55 @@ def resolve_jobs(jobs: int) -> int:
     return max(1, min(int(jobs), MAX_JOBS))
 
 
+def resolve_backend(backend: str) -> str:
+    """Validate and normalise an executor-backend name."""
+    name = str(backend).strip().lower()
+    if name not in BACKENDS:
+        raise ValueError(
+            f"unknown executor backend {backend!r}; choose from {BACKENDS}"
+        )
+    return name
+
+
+def _shards(seq: Sequence[T], jobs: int) -> list[Sequence[T]]:
+    """Contiguous chunks — a handful per worker, so the pool amortises
+    scheduling (and, for processes, pickling) over many items while still
+    load-balancing uneven work units."""
+    chunk = max(1, len(seq) // (jobs * 4))
+    return [seq[i : i + chunk] for i in range(0, len(seq), chunk)]
+
+
+def _apply_shard(fn: Callable[[T], R], shard: Sequence[T]) -> list[R]:
+    """Module-level so the process backend can pickle (fn, shard) pairs."""
+    return [fn(x) for x in shard]
+
+
 def parallel_map(
-    fn: Callable[[T], R], items: Iterable[T], *, jobs: int = 1
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    *,
+    jobs: int = 1,
+    backend: str = DEFAULT_BACKEND,
 ) -> list[R]:
-    """Apply ``fn`` to every item, fanning out across ``jobs`` threads.
+    """Apply ``fn`` to every item, fanning out across ``jobs`` workers.
 
     Results are returned in input order; the first worker exception
     propagates to the caller (matching a plain loop's failure behaviour).
-    Items are sharded into contiguous chunks — a handful per worker, so the
-    pool amortises scheduling over many items while still load-balancing
-    uneven work units.
+    ``jobs <= 1`` (or a single item) always degrades to the sequential
+    loop, whatever the backend. With ``backend="process"``, ``fn`` and the
+    items must be picklable; each shard pickles ``fn`` once.
     """
     seq: Sequence[T] = items if isinstance(items, (list, tuple)) else list(items)
     jobs = resolve_jobs(jobs)
-    if jobs <= 1 or len(seq) <= 1:
+    backend = resolve_backend(backend)
+    if jobs <= 1 or len(seq) <= 1 or backend == "sequential":
         return [fn(x) for x in seq]
     jobs = min(jobs, len(seq))
-    chunk = max(1, len(seq) // (jobs * 4))
-    shards = [seq[i : i + chunk] for i in range(0, len(seq), chunk)]
-
-    def run_shard(shard: Sequence[T]) -> list[R]:
-        return [fn(x) for x in shard]
-
-    with ThreadPoolExecutor(max_workers=jobs) as pool:
+    shards = _shards(seq, jobs)
+    pool_cls = ProcessPoolExecutor if backend == "process" else ThreadPoolExecutor
+    with pool_cls(max_workers=jobs) as pool:
+        futures = [pool.submit(_apply_shard, fn, shard) for shard in shards]
         out: list[R] = []
-        for shard_result in pool.map(run_shard, shards):
-            out.extend(shard_result)
+        for future in futures:
+            out.extend(future.result())
         return out

@@ -1,0 +1,204 @@
+"""Cache lifecycle: size-bounded eviction and the manifest.
+
+Covers the ``DiskResponseStore`` bound (oldest-written entries evicted
+first, amortised checks), the per-model manifest behind ``repro-paper
+cache``, and the v2 record layout that tags entries with their model.
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.eval.engine import (
+    CACHE_MAX_BYTES_ENV,
+    CachedResponse,
+    DiskResponseStore,
+    EvalEngine,
+    default_cache_max_bytes,
+)
+from repro.eval.runner import run_queries
+from repro.llm import get_model
+from repro.prompts.rq1 import build_rq1_prompt, generate_rq1_questions
+
+
+def _response(i: int, model: str = "test-model") -> CachedResponse:
+    return CachedResponse(
+        text=f"Compute {i}",
+        input_tokens=10 + i,
+        output_tokens=1,
+        reasoning_tokens=0,
+        model=model,
+    )
+
+
+def _fill(store: DiskResponseStore, n: int, *, model: str = "test-model"):
+    keys = [f"{i:02x}{'0' * 62}" for i in range(n)]
+    for i, key in enumerate(keys):
+        store.put(key, _response(i, model=model))
+    return keys
+
+
+class TestEviction:
+    def test_oldest_entries_evicted_first(self, tmp_path):
+        store = DiskResponseStore(tmp_path)
+        keys = _fill(store, 8)
+        # Age the first half explicitly (mtime drives eviction order).
+        now = time.time()
+        for i, key in enumerate(keys[:4]):
+            os.utime(store._path(key), (now - 1000 + i, now - 1000 + i))
+        entry_size = store.size_bytes() // 8
+        removed = store.evict(entry_size * 4)
+        assert removed == 4
+        survivors = {p.stem for p in tmp_path.glob("??/*.json")}
+        assert survivors == set(keys[4:])
+
+    def test_evict_noop_under_bound(self, tmp_path):
+        store = DiskResponseStore(tmp_path)
+        _fill(store, 3)
+        assert store.evict(store.size_bytes()) == 0
+        assert len(store) == 3
+
+    def test_unbounded_store_never_evicts(self, tmp_path):
+        store = DiskResponseStore(tmp_path)
+        _fill(store, 3)
+        assert store.evict() == 0
+        assert store.max_bytes is None
+
+    def test_put_enforces_bound_amortised(self, tmp_path):
+        store = DiskResponseStore(tmp_path, max_bytes=1)
+        interval = DiskResponseStore.EVICTION_CHECK_INTERVAL
+        _fill(store, interval + 1)
+        # The check fires every `interval` puts, so a 1-byte bound leaves
+        # at most the puts since the last check.
+        assert len(store) <= interval
+
+    def test_zero_or_negative_bound_means_unbounded(self, tmp_path):
+        assert DiskResponseStore(tmp_path, max_bytes=0).max_bytes is None
+        assert DiskResponseStore(tmp_path, max_bytes=-5).max_bytes is None
+        # evict() follows the same convention: 0 is not "evict everything".
+        store = DiskResponseStore(tmp_path)
+        _fill(store, 2)
+        assert store.evict(0) == 0
+        assert len(store) == 2
+
+    def test_engine_sweep_respects_bound(self):
+        questions = generate_rq1_questions(8, seed_key="evict")
+        items = [
+            (f"q{i}", build_rq1_prompt(q, shots=2), q.truth)
+            for i, q in enumerate(questions)
+        ]
+        model = get_model("gpt-4o-mini")
+        unbounded = run_queries(model, items)
+        # A bounded store must degrade capacity, never correctness.
+        import tempfile
+
+        with tempfile.TemporaryDirectory() as root:
+            store = DiskResponseStore(root, max_bytes=1)
+            store.EVICTION_CHECK_INTERVAL = 4
+            engine = EvalEngine(jobs=2, store=store)
+            bounded = engine.run(model, items)
+            assert bounded.records == unbounded.records
+            assert len(store) < len(items)
+
+
+class TestManifest:
+    def test_counts_age_and_models(self, tmp_path):
+        store = DiskResponseStore(tmp_path)
+        _fill(store, 3, model="model-a")
+        keys_b = [f"f{i:01x}{'0' * 62}" for i in range(2)]
+        for i, key in enumerate(keys_b):
+            store.put(key, _response(i, model="model-b"))
+        manifest = store.manifest()
+        assert manifest.entries == 5
+        assert manifest.total_bytes == store.size_bytes()
+        assert manifest.per_model == (("model-a", 3), ("model-b", 2))
+        assert manifest.oldest_age_s >= manifest.newest_age_s >= 0.0
+
+    def test_empty_store(self, tmp_path):
+        manifest = DiskResponseStore(tmp_path).manifest()
+        assert manifest.entries == 0
+        assert manifest.oldest_age_s is None
+        assert manifest.per_model == ()
+
+    def test_render_lists_models(self, tmp_path):
+        store = DiskResponseStore(tmp_path)
+        _fill(store, 2, model="o3-mini-high")
+        text = store.manifest().render()
+        assert "entries:   2" in text
+        assert "o3-mini-high: 2" in text
+
+    def test_untagged_v1_style_entry_skipped_gracefully(self, tmp_path):
+        store = DiskResponseStore(tmp_path)
+        _fill(store, 1)
+        legacy = tmp_path / "ab" / ("ab" + "0" * 62 + ".json")
+        legacy.parent.mkdir(exist_ok=True)
+        legacy.write_text(json.dumps({
+            "text": "Compute", "input_tokens": 5,
+            "output_tokens": 1, "reasoning_tokens": 0,
+        }))
+        manifest = store.manifest()
+        assert manifest.entries == 2
+        assert ("", 1) in manifest.per_model
+
+
+class TestRecordModelTag:
+    def test_round_trip_preserves_model(self):
+        r = _response(1, model="o1")
+        assert CachedResponse.from_dict(r.to_dict()) == r
+
+    def test_engine_tags_entries_with_model(self, tmp_path):
+        model = get_model("o3-mini")
+        q = generate_rq1_questions(1, seed_key="tag")[0]
+        items = [("q0", build_rq1_prompt(q, shots=2), q.truth)]
+        store = DiskResponseStore(tmp_path)
+        run_queries(model, items, cache=store)
+        manifest = store.manifest()
+        assert dict(manifest.per_model) == {"o3-mini": 1}
+
+    def test_missing_model_field_defaults_empty(self):
+        r = CachedResponse.from_dict({
+            "text": "Bandwidth", "input_tokens": 1,
+            "output_tokens": 1, "reasoning_tokens": 0,
+        })
+        assert r.model == ""
+
+
+class TestEnvDefaults:
+    def test_env_bound_parsed(self, monkeypatch):
+        monkeypatch.setenv(CACHE_MAX_BYTES_ENV, "12345")
+        assert default_cache_max_bytes() == 12345
+
+    @pytest.mark.parametrize("raw", ["", "  ", "banana", "0", "-3"])
+    def test_env_bound_rejects_junk(self, monkeypatch, raw):
+        monkeypatch.setenv(CACHE_MAX_BYTES_ENV, raw)
+        assert default_cache_max_bytes() is None
+
+
+class TestCacheCli:
+    def test_manifest_output(self, capsys, tmp_path):
+        store = DiskResponseStore(tmp_path / "c")
+        _fill(store, 4, model="gpt-4o-mini")
+        assert main(["cache", "--cache-dir", str(tmp_path / "c")]) == 0
+        out = capsys.readouterr().out
+        assert "entries:   4" in out
+        assert "gpt-4o-mini: 4" in out
+
+    def test_max_bytes_evicts(self, capsys, tmp_path):
+        store = DiskResponseStore(tmp_path / "c")
+        _fill(store, 4)
+        assert main([
+            "cache", "--cache-dir", str(tmp_path / "c"), "--max-bytes", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "evicted 4 entries" in out
+        assert len(store) == 0
+
+    def test_wipe_still_works(self, capsys, tmp_path):
+        store = DiskResponseStore(tmp_path / "c")
+        _fill(store, 2)
+        assert main(["cache", "--cache-dir", str(tmp_path / "c"), "--wipe"]) == 0
+        assert "wiped 2 entries" in capsys.readouterr().out
+        assert len(store) == 0

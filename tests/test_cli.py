@@ -76,3 +76,30 @@ class TestCommands:
     def test_figures(self, capsys, dataset):
         assert main(["figures", "--which", "2"]) == 0
         assert "train/CUDA/BB" in capsys.readouterr().out
+
+    def test_matrix_two_gpus(self, capsys, dataset):
+        assert main([
+            "matrix", "--model", "o3-mini", "--gpus", "v100,h100",
+            "--limit", "12", "--jobs", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Hardware matrix" in out
+        assert "V100" in out and "H100" in out
+
+    def test_matrix_process_backend(self, capsys, dataset):
+        assert main([
+            "matrix", "--model", "gpt-4o-mini", "--gpus", "rtx 3080",
+            "--limit", "8", "--jobs", "2", "--backend", "process",
+        ]) == 0
+        assert "RTX 3080" in capsys.readouterr().out
+
+    def test_matrix_unknown_gpu(self, capsys, dataset):
+        assert main(["matrix", "--gpus", "tpu-v5", "--limit", "4"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_backend_flag_on_rq_commands(self, capsys, dataset):
+        assert main([
+            "rq2", "--model", "o3-mini", "--limit", "8",
+            "--backend", "sequential",
+        ]) == 0
+        assert "8 samples" in capsys.readouterr().out

@@ -2,7 +2,8 @@
 
 Seeded corpus + seeded (deterministic) models must yield byte-identical
 ``RunResult`` artefacts no matter how the work is executed: any worker
-count, any submission shuffle, cold or warm cache, memory or disk store.
+count, any executor backend (sequential/thread/process), any submission
+shuffle, cold or warm cache, memory or disk store.
 """
 
 import pytest
@@ -13,6 +14,7 @@ from repro.eval.engine import EvalEngine, MemoryResponseStore
 from repro.eval.runner import run_queries
 from repro.llm import MODEL_NAMES, get_model
 from repro.prompts.rq1 import build_rq1_prompt, generate_rq1_questions
+from repro.util.parallel import BACKENDS
 from repro.util.rng import RngStream
 
 #: One shared seeded workload: RQ1 questions are corpus-free and cheap.
@@ -103,6 +105,91 @@ class TestParallelismInvariance:
         )
         assert run_bytes(disk_cold) == run_bytes(mem)
         assert run_bytes(disk_warm) == run_bytes(mem)
+
+
+class TestBackendInvariance:
+    """``thread``/``process``/``sequential`` are pure execution details."""
+
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        model_name=st.sampled_from(MODEL_NAMES),
+        backend=st.sampled_from(BACKENDS),
+        jobs=st.integers(min_value=1, max_value=6),
+    )
+    def test_backend_never_changes_result(self, model_name, backend, jobs):
+        model = get_model(model_name)
+        baseline = run_queries(model, _ITEMS)
+        result = run_queries(model, _ITEMS, jobs=jobs, backend=backend)
+        assert run_bytes(result) == run_bytes(baseline)
+
+    @settings(max_examples=8, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        backend=st.sampled_from(BACKENDS),
+        cold_jobs=st.integers(min_value=1, max_value=6),
+        warm_jobs=st.integers(min_value=1, max_value=6),
+    )
+    def test_backend_cache_contents_identical(self, backend, cold_jobs, warm_jobs):
+        """Every backend writes the same key → response mapping, and warm
+        replays stay byte-identical across backends."""
+        model = get_model("o3-mini-high")
+        reference = MemoryResponseStore()
+        baseline = run_queries(model, _ITEMS, jobs=1, cache=reference)
+        store = MemoryResponseStore()
+        cold = run_queries(
+            model, _ITEMS, jobs=cold_jobs, backend=backend, cache=store
+        )
+        assert store._data == reference._data
+        warm = run_queries(
+            model, _ITEMS, jobs=warm_jobs, backend=backend, cache=store
+        )
+        assert store._data == reference._data
+        assert run_bytes(cold) == run_bytes(baseline)
+        assert run_bytes(warm) == run_bytes(baseline)
+
+    @pytest.mark.parametrize("jobs", [1, 4])
+    def test_backends_share_disk_cache_files(self, jobs, tmp_path):
+        """A disk cache written by one backend is replayed verbatim by the
+        others: same file set, zero new completions."""
+        from repro.eval.engine import DiskResponseStore
+
+        model = get_model("gpt-4o-mini")
+        root = tmp_path / "store"
+        writer = EvalEngine(
+            jobs=jobs, store=DiskResponseStore(root), backend="process"
+        )
+        baseline = writer.run(model, _ITEMS)
+        files = sorted(p.name for p in root.glob("??/*.json"))
+        assert writer.stats.misses == len(_ITEMS)
+        for backend in BACKENDS:
+            reader = EvalEngine(
+                jobs=jobs, store=DiskResponseStore(root), backend=backend
+            )
+            replay = reader.run(model, _ITEMS)
+            assert run_bytes(replay) == run_bytes(baseline)
+            assert reader.stats.hits == len(_ITEMS)
+            assert reader.stats.completions == 0
+        assert sorted(p.name for p in root.glob("??/*.json")) == files
+
+    def test_process_backend_mixed_warmth(self):
+        """A half-warm store: hits come from the parent, misses from the
+        workers, stitched back in submission order."""
+        model = get_model("o1")
+        store = MemoryResponseStore()
+        half = list(_ITEMS[::2])
+        run_queries(model, half, jobs=1, cache=store)
+        engine = EvalEngine(jobs=4, store=store, backend="process")
+        result = engine.run(model, _ITEMS)
+        assert run_bytes(result) == run_bytes(run_queries(model, _ITEMS))
+        assert engine.stats.hits == len(half)
+        assert engine.stats.misses == len(_ITEMS) - len(half)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            EvalEngine(backend="fibers")
+        with pytest.raises(ValueError):
+            run_queries(get_model("o1"), _ITEMS, backend="gpu")
 
 
 class TestSeededPipelineDeterminism:
