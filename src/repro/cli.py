@@ -12,6 +12,8 @@ Installed as ``repro-paper``; every subcommand is also reachable via
     repro-paper decompose --model o1 --limit 50
     repro-paper table1 --jobs 8
     repro-paper matrix --gpus all --jobs 4 --backend process
+    repro-paper sweep --gpus v100,h100 --shard 0/3 --cache-dir shard-0
+    repro-paper merge-caches shard-0 shard-1 shard-2 --into merged
     repro-paper figures --which 1
     repro-paper cache --wipe
 
@@ -21,6 +23,11 @@ sweeps), and share a content-addressed response cache (``--cache-dir``,
 default ``$REPRO_CACHE_DIR`` or ``.repro-cache``; size-bound it with
 ``--cache-max-bytes``, disable with ``--no-cache``), so a repeated run
 replays memoized completions instead of re-querying the models.
+
+Distributed sweeps: ``sweep --shard I/N`` executes one deterministic shard
+of the (model × RQ × GPU × kernel) grid on any machine, and
+``merge-caches`` unions the shard caches into one store whose replayed
+report is byte-identical to a single-machine run.
 """
 
 from __future__ import annotations
@@ -261,10 +268,93 @@ def _cmd_matrix(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.eval.shard import parse_shard_spec, run_shard
+    from repro.roofline.hardware import resolve_gpus
+
+    try:
+        shard_index, num_shards = parse_shard_spec(args.shard)
+        gpus = resolve_gpus(args.gpus)
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if num_shards == 1:
+        # An unsharded sweep IS a matrix run (same flags, same report).
+        return _cmd_matrix(args)
+    rqs = ("rq2", "rq3") if args.rq == "both" else (args.rq,)
+    models = _select_models(args.model)
+    engine = _make_engine(args)
+    if engine.store is None:
+        print("error: a sharded sweep's output is its cache; "
+              "drop --no-cache (or point --cache-dir at the shard's store)",
+              file=sys.stderr)
+        return 2
+    report = run_shard(
+        models,
+        gpus,
+        shard_index=shard_index,
+        num_shards=num_shards,
+        rqs=rqs,
+        limit=args.limit,
+        engine=engine,
+    )
+    print(report.render())
+    _report_cache(engine)
+    return 0
+
+
+def _cmd_merge_caches(args: argparse.Namespace) -> int:
+    from repro.eval.engine import DiskResponseStore, EvalEngine
+    from repro.eval.shard import CacheMergeConflict, merge_caches
+
+    try:
+        report = merge_caches(
+            args.sources, args.into, max_bytes=args.cache_max_bytes
+        )
+    except CacheMergeConflict as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(report.render())
+    store = DiskResponseStore(args.into, max_bytes=args.cache_max_bytes)
+    print(store.manifest().render())
+    if not args.report:
+        return 0
+
+    from repro.eval.matrix import run_matrix
+    from repro.roofline.hardware import resolve_gpus
+
+    try:
+        gpus = resolve_gpus(args.gpus)
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    rqs = ("rq2", "rq3") if args.rq == "both" else (args.rq,)
+    engine = EvalEngine(jobs=args.jobs, store=store, backend=args.backend)
+    result = run_matrix(
+        _select_models(args.model), gpus, rqs=rqs, limit=args.limit,
+        engine=engine,
+    )
+    print()
+    print(result.render())
+    _report_cache(engine)
+    # Replaying may have recomputed entries the size bound evicted; the
+    # amortised put-path check only fires every N writes, so re-apply the
+    # bound before exiting (no-op when unbounded).
+    store.evict()
+    return 0
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     from repro.eval.engine import DiskResponseStore, default_cache_dir
 
     store = DiskResponseStore(args.cache_dir or default_cache_dir())
+    if not store.root.is_dir():
+        # A missing directory is an empty cache, not an error — common on
+        # fresh checkouts and CI runners inspecting never-populated stores.
+        print(f"cache dir: {store.root} (missing; treated as empty)")
+        if not args.wipe:
+            print(store.manifest().render())
+        return 0
     if args.wipe:
         n = len(store)
         store.clear()
@@ -362,6 +452,42 @@ def build_parser() -> argparse.ArgumentParser:
                    help="max label-flip rows to print (default 20)")
     _add_engine_flags(p)
 
+    p = sub.add_parser("sweep",
+                       help="matrix sweep, optionally one shard of a "
+                            "distributed plan (--shard I/N)")
+    p.add_argument("--model", default="all")
+    p.add_argument("--gpus", default="all",
+                   help="comma-separated GPU names (substring match) or "
+                        "'all' (default)")
+    p.add_argument("--rq", choices=("rq2", "rq3", "both"), default="rq2")
+    p.add_argument("--limit", type=int, default=0,
+                   help="evaluate only the first N kernels per device")
+    p.add_argument("--shard", default="0/1",
+                   help="execute shard I of a deterministic N-shard plan "
+                        "(e.g. 1/3); the default 0/1 runs the whole grid "
+                        "and prints the matrix report")
+    p.add_argument("--flip-limit", type=int, default=20,
+                   help="max label-flip rows to print (unsharded runs)")
+    _add_engine_flags(p)
+
+    p = sub.add_parser("merge-caches",
+                       help="union shard caches into one store, verifying "
+                            "no conflicting entries")
+    p.add_argument("sources", nargs="+", help="shard cache directories")
+    p.add_argument("--into", required=True, help="destination cache directory")
+    p.add_argument("--cache-max-bytes", type=int, default=None,
+                   help="size-bound the merged store, evicting oldest "
+                        "entries after the union")
+    p.add_argument("--report", action="store_true",
+                   help="after merging, replay the sweep grid from the "
+                        "merged cache and print the matrix report")
+    p.add_argument("--model", default="all")
+    p.add_argument("--gpus", default="all")
+    p.add_argument("--rq", choices=("rq2", "rq3", "both"), default="rq2")
+    p.add_argument("--limit", type=int, default=0)
+    p.add_argument("--jobs", type=int, default=1)
+    p.add_argument("--backend", choices=BACKENDS, default=DEFAULT_BACKEND)
+
     p = sub.add_parser("cache", help="inspect, bound, or wipe the response cache")
     p.add_argument("--cache-dir", default=None)
     p.add_argument("--max-bytes", type=int, default=None,
@@ -388,6 +514,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "decompose": _cmd_decompose,
         "table1": _cmd_table1,
         "matrix": _cmd_matrix,
+        "sweep": _cmd_sweep,
+        "merge-caches": _cmd_merge_caches,
         "cache": _cmd_cache,
         "figures": _cmd_figures,
     }

@@ -69,6 +69,11 @@ CACHE_MAX_BYTES_ENV = "REPRO_CACHE_MAX_BYTES"
 #: Default on-disk cache directory (relative to the working directory).
 DEFAULT_CACHE_DIRNAME = ".repro-cache"
 
+#: Sidecar file (at a disk store's root) recording which source cache each
+#: merged entry came from. Not an entry file — ``??/*.json`` globs never
+#: see it — so merged and single-run stores stay entry-for-entry identical.
+MERGE_PROVENANCE_FILENAME = "merge-provenance.json"
+
 
 def default_cache_dir() -> Path:
     """Where the CLI keeps its response cache (``$REPRO_CACHE_DIR`` wins)."""
@@ -218,6 +223,9 @@ class CacheManifest:
     oldest_age_s: float | None  # None when the store is empty
     newest_age_s: float | None
     per_model: tuple[tuple[str, int], ...]  # (model name, entry count), sorted
+    #: (source cache label, live merged entries), sorted — empty unless the
+    #: store was assembled by ``merge_caches``.
+    per_source: tuple[tuple[str, int], ...] = ()
 
     def render(self) -> str:
         lines = [f"entries:   {self.entries}", f"bytes:     {self.total_bytes}"]
@@ -228,6 +236,8 @@ class CacheManifest:
             )
         for name, count in self.per_model:
             lines.append(f"  {name or '<untagged>'}: {count}")
+        for label, count in self.per_source:
+            lines.append(f"  merged from {label}: {count}")
         return "\n".join(lines)
 
 
@@ -297,6 +307,16 @@ class DiskResponseStore:
     def __len__(self) -> int:
         return len(self._files())
 
+    def iter_entries(self):
+        """Yield ``(key, path)`` for every entry file, in key order.
+
+        The raw-file view of the store used by cache merging
+        (:func:`repro.eval.shard.merge_caches`), which copies entry bytes
+        verbatim instead of decoding and re-encoding them.
+        """
+        for path in self._files():
+            yield path.stem, path
+
     def size_bytes(self) -> int:
         total = 0
         for p in self._files():
@@ -349,10 +369,60 @@ class DiskResponseStore:
             removed += 1
         return removed
 
+    # -- merge provenance ---------------------------------------------------
+    @property
+    def _provenance_path(self) -> Path:
+        return self.root / MERGE_PROVENANCE_FILENAME
+
+    def provenance(self) -> dict[str, str]:
+        """key → source-cache label for entries installed by a merge.
+
+        Tolerant of a missing, torn, or foreign sidecar file (all read as
+        "no provenance") — a plain single-machine cache never has one.
+        """
+        try:
+            data = json.loads(self._provenance_path.read_text(encoding="utf-8"))
+            sources = data["sources"]
+            return {str(k): str(v) for k, v in sources.items()}
+        except (OSError, ValueError, KeyError, TypeError, AttributeError):
+            return {}
+
+    def record_provenance(self, mapping: dict[str, str]) -> None:
+        """Merge ``mapping`` into the provenance sidecar (atomic write).
+
+        Repeated merges into the same store accumulate. ``mapping`` holds
+        only keys the caller just installed, so its labels win over stale
+        sidecar entries (a key evicted and later re-installed from another
+        source belongs to the new source); keys whose entry file no longer
+        exists are pruned so eviction/wipe cycles can't grow the sidecar.
+        """
+        if not mapping:
+            return
+        merged = {
+            key: label
+            for key, label in self.provenance().items()
+            if self._path(key).is_file()
+        }
+        merged.update(mapping)
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            tmp = self._provenance_path.with_suffix(f".tmp.{os.getpid()}")
+            tmp.write_text(
+                json.dumps({"version": 1, "sources": merged}, sort_keys=True),
+                encoding="utf-8",
+            )
+            os.replace(tmp, self._provenance_path)
+        except OSError:
+            return  # provenance is advisory; never fail the merge over it
+
     def manifest(self) -> CacheManifest:
-        """Entry count, byte total, age range, and per-model entry counts."""
+        """Entry count, byte total, age range, per-model and (for merged
+        stores) per-source entry counts. A missing or empty cache directory
+        reads as an empty manifest, never an error."""
         now = time.time()
         per_model: dict[str, int] = {}
+        provenance = self.provenance()
+        per_source: dict[str, int] = {}
         total = 0
         oldest: float | None = None
         newest: float | None = None
@@ -370,12 +440,16 @@ class DiskResponseStore:
             newest = age if newest is None else min(newest, age)
             model = str(data.get("model", ""))
             per_model[model] = per_model.get(model, 0) + 1
+            source = provenance.get(p.stem)
+            if source is not None:
+                per_source[source] = per_source.get(source, 0) + 1
         return CacheManifest(
             entries=count,
             total_bytes=total,
             oldest_age_s=oldest,
             newest_age_s=newest,
             per_model=tuple(sorted(per_model.items())),
+            per_source=tuple(sorted(per_source.items())),
         )
 
     def clear(self) -> None:
@@ -387,6 +461,10 @@ class DiskResponseStore:
                 path.unlink()
             except OSError:
                 pass
+        try:
+            self._provenance_path.unlink()
+        except OSError:
+            pass  # absent on non-merged stores
         if not self.root.is_dir():
             return
         for shard in self.root.iterdir():

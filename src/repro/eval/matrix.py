@@ -27,6 +27,7 @@ RQ3 (two-shot) regimes.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from functools import cached_property
 from typing import Sequence
@@ -34,12 +35,12 @@ from typing import Sequence
 from repro.dataset import Sample, paper_dataset
 from repro.dataset.build import build_sample
 from repro.eval.engine import EvalEngine
+from repro.eval.rq23 import classification_items
 from repro.eval.runner import RunResult, run_queries
 from repro.gpusim import device_for
 from repro.kernels.corpus import default_corpus
 from repro.llm.base import LlmModel
 from repro.llm.registry import all_models
-from repro.prompts import build_classify_prompt
 from repro.roofline.hardware import GPU_DATABASE, GpuSpec, short_gpu_name
 from repro.tokenizer import corpus_tokenizer
 from repro.types import Boundedness
@@ -98,6 +99,19 @@ def scenario_samples(
     )
     _SCENARIO_MEMO[key] = samples
     return samples
+
+
+def grid_uids(limit: int = 0, *, jobs: int = 1) -> tuple[str, ...]:
+    """The kernel subset of one sweep grid: the paper's balanced set,
+    optionally truncated to its first ``limit`` uids.
+
+    The same subset is used on every device (keeping flips well-defined)
+    and by every shard of a distributed sweep (keeping shard plans and
+    cache contents aligned with the single-machine run).
+    """
+    balanced = paper_dataset(jobs=jobs).balanced
+    uids = tuple(s.uid for s in balanced)
+    return uids[:limit] if limit else uids
 
 
 @dataclass(frozen=True)
@@ -214,6 +228,26 @@ class MatrixResult:
             for model_name in self.model_names
             for rq in self.rqs
         ]
+
+    def digest(self) -> str:
+        """SHA-256 over the whole sweep (axes, per-cell run digests, flips).
+
+        Two sweeps of the same grid — whatever the worker count, backend,
+        or shard/merge plan that produced their caches — must agree on
+        this value; CI and the shard benchmark assert exactly that.
+        """
+        payload = repr((
+            self.gpu_names,
+            self.model_names,
+            self.rqs,
+            self.num_kernels,
+            tuple(
+                (c.model_name, c.gpu_name, c.rq, c.run.digest())
+                for c in self.cells
+            ),
+            self.flips,
+        ))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
     # -- rendering -----------------------------------------------------------
     def render_accuracy_table(self) -> str:
@@ -335,10 +369,7 @@ def run_matrix(
         raise ValueError("no GPUs selected")
     engine = engine or EvalEngine(jobs=jobs, backend=backend)
 
-    uids: tuple[str, ...] | None = None
-    if limit:
-        balanced = paper_dataset(jobs=engine.jobs).balanced
-        uids = tuple(s.uid for s in balanced[:limit])
+    uids = grid_uids(limit, jobs=engine.jobs) if limit else None
 
     samples_by_gpu: dict[str, Sequence[Sample]] = {}
     cells: list[MatrixCell] = []
@@ -349,16 +380,9 @@ def run_matrix(
         num_kernels = len(samples)
         for model in models:
             for rq in rqs:
-                items = [
-                    (
-                        s.uid,
-                        build_classify_prompt(
-                            s, few_shot=(rq == "rq3"), gpu=gpu
-                        ).text,
-                        s.label,
-                    )
-                    for s in samples
-                ]
+                items = classification_items(
+                    samples, few_shot=(rq == "rq3"), gpu=gpu
+                )
                 run = run_queries(model, items, engine=engine)
                 cells.append(
                     MatrixCell(

@@ -16,6 +16,8 @@ from repro.eval.metrics import MetricReport
 from repro.eval.runner import RunResult, run_queries
 from repro.llm.base import LlmModel
 from repro.prompts import build_classify_prompt
+from repro.roofline.hardware import GpuSpec
+from repro.types import Boundedness
 
 
 @dataclass(frozen=True)
@@ -28,6 +30,30 @@ class ClassificationResult:
     run: RunResult
 
 
+def classification_items(
+    samples: Sequence[Sample],
+    *,
+    few_shot: bool,
+    gpu: GpuSpec | None = None,
+) -> list[tuple[str, str, Boundedness]]:
+    """(item_id, prompt, truth) work units for one classification cell.
+
+    The single source of classification prompt construction — shared by
+    RQ2/RQ3, the hardware matrix, and the shard executor
+    (:mod:`repro.eval.shard`), so a sharded sweep's cache keys are
+    guaranteed to match the single-machine run's. ``gpu=None`` keeps the
+    paper's default profiling target.
+    """
+    return [
+        (
+            s.uid,
+            build_classify_prompt(s, few_shot=few_shot, gpu=gpu).text,
+            s.label,
+        )
+        for s in samples
+    ]
+
+
 def run_classification(
     model: LlmModel,
     samples: Sequence[Sample] | None = None,
@@ -38,10 +64,7 @@ def run_classification(
     """Run RQ2 (few_shot=False) or RQ3 (few_shot=True) for one model."""
     if samples is None:
         samples = paper_dataset().balanced
-    items = [
-        (s.uid, build_classify_prompt(s, few_shot=few_shot).text, s.label)
-        for s in samples
-    ]
+    items = classification_items(samples, few_shot=few_shot)
     run = run_queries(model, items, engine=engine or EvalEngine())
     return ClassificationResult(
         model_name=model.name,

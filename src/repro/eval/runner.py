@@ -9,6 +9,7 @@ delegated to :class:`repro.eval.engine.EvalEngine`, which shards the
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -55,6 +56,18 @@ class RunResult:
     @property
     def accuracy(self) -> float:
         return self.metrics().accuracy
+
+    def digest(self) -> str:
+        """SHA-256 over the value form of this result (name, records, usage).
+
+        ``repr`` is value-based and float reprs are exact, so the digest is
+        stable across processes and machines — the identity check used to
+        assert that sharded, merged, and single-machine sweeps agree.
+        """
+        payload = repr(
+            (self.model_name, self.records, sorted(self.usage.items()))
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
 def run_queries(

@@ -55,6 +55,20 @@ def resolve_backend(backend: str) -> str:
     return name
 
 
+def round_robin_partition(seq: Sequence[T], buckets: int) -> list[list[T]]:
+    """Deterministic interleaved partition: bucket ``j`` gets ``seq[j::buckets]``.
+
+    Bucket sizes differ by at most one and the assignment depends only on
+    ``seq`` order and ``buckets``. This is the primitive under
+    :mod:`repro.eval.shard`'s planner, where interleaving a canonically
+    sorted grid spreads every (model, GPU, RQ) cell's items evenly across
+    shards instead of handing whole cells to one worker.
+    """
+    if buckets < 1:
+        raise ValueError(f"buckets must be >= 1, got {buckets}")
+    return [list(seq[j::buckets]) for j in range(buckets)]
+
+
 def _shards(seq: Sequence[T], jobs: int) -> list[Sequence[T]]:
     """Contiguous chunks — a handful per worker, so the pool amortises
     scheduling (and, for processes, pickling) over many items while still

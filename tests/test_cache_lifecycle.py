@@ -130,6 +130,27 @@ class TestManifest:
         assert "entries:   2" in text
         assert "o3-mini-high: 2" in text
 
+    def test_plain_store_has_no_source_provenance(self, tmp_path):
+        store = DiskResponseStore(tmp_path)
+        _fill(store, 2)
+        manifest = store.manifest()
+        assert manifest.per_source == ()
+        assert "merged from" not in manifest.render()
+
+    def test_missing_dir_manifest_is_empty_not_an_error(self, tmp_path):
+        manifest = DiskResponseStore(tmp_path / "never-created").manifest()
+        assert manifest.entries == 0
+        assert manifest.per_source == ()
+
+    def test_provenance_counts_only_live_entries(self, tmp_path):
+        store = DiskResponseStore(tmp_path)
+        keys = _fill(store, 3)
+        store.record_provenance({k: "shard-x" for k in keys})
+        store._path(keys[0]).unlink()  # evicted or wiped entry
+        manifest = store.manifest()
+        assert dict(manifest.per_source) == {"shard-x": 2}
+        assert "merged from shard-x: 2" in manifest.render()
+
     def test_untagged_v1_style_entry_skipped_gracefully(self, tmp_path):
         store = DiskResponseStore(tmp_path)
         _fill(store, 1)

@@ -103,3 +103,101 @@ class TestCommands:
             "--backend", "sequential",
         ]) == 0
         assert "8 samples" in capsys.readouterr().out
+
+
+class TestShardedSweepCli:
+    def test_sweep_defaults_to_whole_grid(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.shard == "0/1"
+        assert args.gpus == "all"
+
+    def test_sweep_unsharded_prints_matrix_report(self, capsys, dataset):
+        assert main([
+            "sweep", "--model", "o3-mini", "--gpus", "v100", "--limit", "6",
+            "--no-cache",
+        ]) == 0
+        assert "Hardware matrix" in capsys.readouterr().out
+
+    def test_sweep_bad_shard_spec(self, capsys):
+        assert main(["sweep", "--shard", "3/3", "--limit", "4"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_sweep_sharded_requires_cache(self, capsys):
+        assert main([
+            "sweep", "--shard", "0/2", "--limit", "4", "--no-cache",
+        ]) == 2
+        assert "cache" in capsys.readouterr().err
+
+    def test_shard_merge_replay_round_trip(self, capsys, tmp_path, dataset):
+        grid = ["--model", "o3-mini-high", "--gpus", "v100", "--rq", "rq2",
+                "--limit", "6"]
+        for i in range(2):
+            assert main([
+                "sweep", *grid, "--shard", f"{i}/2",
+                "--cache-dir", str(tmp_path / f"shard-{i}"),
+            ]) == 0
+            assert f"Shard {i}/2" in capsys.readouterr().out
+        assert main([
+            "merge-caches", str(tmp_path / "shard-0"),
+            str(tmp_path / "shard-1"), "--into", str(tmp_path / "merged"),
+            "--report", *grid,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "merged into" in out
+        assert "merged from" in out
+        assert "Hardware matrix" in out
+        assert "6 hits, 0 misses, 0 new completions" in out
+
+    def test_merge_report_respects_size_bound(self, capsys, tmp_path, dataset):
+        from repro.eval.engine import DiskResponseStore
+
+        grid = ["--model", "o3-mini-high", "--gpus", "v100", "--rq", "rq2",
+                "--limit", "4"]
+        for i in range(2):
+            assert main([
+                "sweep", *grid, "--shard", f"{i}/2",
+                "--cache-dir", str(tmp_path / f"shard-{i}"),
+            ]) == 0
+        capsys.readouterr()
+        store = DiskResponseStore(tmp_path / "shard-0")
+        bound = (store.size_bytes() // 2) * 2  # room for ~2 of 4 entries
+        assert main([
+            "merge-caches", str(tmp_path / "shard-0"),
+            str(tmp_path / "shard-1"), "--into", str(tmp_path / "merged"),
+            "--cache-max-bytes", str(bound), "--report", *grid,
+        ]) == 0
+        assert "Hardware matrix" in capsys.readouterr().out
+        # The replay recomputes what eviction dropped, but the command must
+        # leave the store within the requested bound.
+        merged = DiskResponseStore(tmp_path / "merged")
+        assert merged.size_bytes() <= bound
+
+    def test_merge_conflict_exits_nonzero(self, capsys, tmp_path):
+        from repro.eval.engine import CachedResponse, DiskResponseStore
+
+        key = "ab" + "0" * 62
+        for name, text in (("a", "Compute"), ("b", "Bandwidth")):
+            store = DiskResponseStore(tmp_path / name)
+            store.put(key, CachedResponse(
+                text=text, input_tokens=1, output_tokens=1,
+                reasoning_tokens=0, model="m",
+            ))
+        assert main([
+            "merge-caches", str(tmp_path / "a"), str(tmp_path / "b"),
+            "--into", str(tmp_path / "merged"),
+        ]) == 1
+        assert "merge conflict" in capsys.readouterr().err
+
+    def test_cache_tolerates_missing_dir(self, capsys, tmp_path):
+        assert main([
+            "cache", "--cache-dir", str(tmp_path / "never-created"),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "missing; treated as empty" in out
+        assert "entries:   0" in out
+
+    def test_cache_wipe_tolerates_missing_dir(self, capsys, tmp_path):
+        assert main([
+            "cache", "--cache-dir", str(tmp_path / "nope"), "--wipe",
+        ]) == 0
+        assert "missing; treated as empty" in capsys.readouterr().out
