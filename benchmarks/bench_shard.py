@@ -33,10 +33,16 @@ GRID = [
 NUM_SHARDS = 4
 
 
-def _env() -> dict:
+def _env(profile_cache: Path) -> dict:
     env = dict(os.environ)
     src = str(Path(__file__).resolve().parents[1] / "src")
     env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    # Pin the kernel-profile store per strategy: it keeps the CLI's
+    # default `.repro-profile-cache` out of the working tree, and giving
+    # the 1-shard and 4-shard runs *separate* cold stores keeps the timed
+    # comparison about sharding, not profile-store warmth (the four shard
+    # processes still share one store, as real shard fleets would).
+    env["REPRO_PROFILE_CACHE"] = str(profile_cache)
     return env
 
 
@@ -52,13 +58,15 @@ def _entry_files(root: Path) -> dict:
 
 
 def test_shard_subprocess_walltime(tmp_path):
-    env = _env()
+    env_single = _env(tmp_path / "profile-store-single")
+    env_sharded = _env(tmp_path / "profile-store-sharded")
+    env = env_single
 
     # Cold 1-shard: one process sweeps the whole grid.
     t0 = time.perf_counter()
     subprocess.run(
         _sweep_cmd(["--cache-dir", str(tmp_path / "single")]),
-        check=True, env=env, stdout=subprocess.DEVNULL,
+        check=True, env=env_single, stdout=subprocess.DEVNULL,
     )
     t_single = time.perf_counter() - t0
 
@@ -70,7 +78,7 @@ def test_shard_subprocess_walltime(tmp_path):
                 "--shard", f"{i}/{NUM_SHARDS}",
                 "--cache-dir", str(tmp_path / f"shard-{i}"),
             ]),
-            env=env, stdout=subprocess.DEVNULL,
+            env=env_sharded, stdout=subprocess.DEVNULL,
         )
         for i in range(NUM_SHARDS)
     ]

@@ -22,7 +22,12 @@ Experiment commands accept ``--jobs`` (workers; 0 = all cores) and
 sweeps), and share a content-addressed response cache (``--cache-dir``,
 default ``$REPRO_CACHE_DIR`` or ``.repro-cache``; size-bound it with
 ``--cache-max-bytes``, disable with ``--no-cache``), so a repeated run
-replays memoized completions instead of re-querying the models.
+replays memoized completions instead of re-querying the models. Kernel
+profiling persists the same way in a content-addressed profile store
+(``--profile-cache``, default ``$REPRO_PROFILE_CACHE`` or
+``.repro-profile-cache``; ``--profile-cache-max-bytes`` /
+``--no-profile-cache``), so a warm store skips the symbolic IR walk
+entirely on later runs, shards, and CI jobs.
 
 Distributed sweeps: ``sweep --shard I/N`` executes one deterministic shard
 of the (model × RQ × GPU × kernel) grid on any machine, and
@@ -35,6 +40,21 @@ from __future__ import annotations
 import argparse
 import sys
 from typing import Sequence
+
+
+def _add_profile_flags(p: argparse.ArgumentParser) -> None:
+    from repro.gpusim.store import DEFAULT_PROFILE_CACHE_DIRNAME
+
+    p.add_argument("--profile-cache", default=None,
+                   help="persistent kernel-profile store directory "
+                        "(default: $REPRO_PROFILE_CACHE or "
+                        f"{DEFAULT_PROFILE_CACHE_DIRNAME})")
+    p.add_argument("--profile-cache-max-bytes", type=int, default=None,
+                   help="size-bound the profile store, evicting oldest "
+                        "segments (default: $REPRO_PROFILE_CACHE_MAX_BYTES "
+                        "or unbounded)")
+    p.add_argument("--no-profile-cache", action="store_true",
+                   help="disable the persistent profile store for this run")
 
 
 def _add_engine_flags(p: argparse.ArgumentParser) -> None:
@@ -56,6 +76,32 @@ def _add_engine_flags(p: argparse.ArgumentParser) -> None:
                         "(default: $REPRO_CACHE_MAX_BYTES or unbounded)")
     p.add_argument("--no-cache", action="store_true",
                    help="disable the response cache for this run")
+    _add_profile_flags(p)
+
+
+def _configure_profile_store(args: argparse.Namespace) -> None:
+    """Install the process-wide kernel-profile store from CLI flags.
+
+    Every profiling consumer downstream (dataset build, matrix scenarios,
+    shard execution) picks it up via
+    :func:`repro.gpusim.store.active_profile_store` — no threading of a
+    store object through call chains.
+    """
+    from repro.gpusim.store import (
+        ProfileStore,
+        default_profile_cache_dir,
+        default_profile_cache_max_bytes,
+        set_active_profile_store,
+    )
+
+    if getattr(args, "no_profile_cache", False):
+        set_active_profile_store(None)
+        return
+    max_bytes = getattr(args, "profile_cache_max_bytes", None)
+    if max_bytes is None:
+        max_bytes = default_profile_cache_max_bytes()
+    root = getattr(args, "profile_cache", None) or default_profile_cache_dir()
+    set_active_profile_store(ProfileStore(root, max_bytes=max_bytes))
 
 
 def _make_engine(args: argparse.Namespace):
@@ -66,6 +112,7 @@ def _make_engine(args: argparse.Namespace):
         default_cache_max_bytes,
     )
 
+    _configure_profile_store(args)
     store = None
     if not args.no_cache:
         max_bytes = args.cache_max_bytes
@@ -107,7 +154,8 @@ def _cmd_models(args: argparse.Namespace) -> int:
 def _cmd_dataset(args: argparse.Namespace) -> int:
     from repro.dataset import cell_counts, paper_dataset, save_samples
 
-    ds = paper_dataset()
+    _configure_profile_store(args)
+    ds = paper_dataset(jobs=args.jobs)
     r = ds.prune_report
     print(f"profiled: {r.total_before} ({r.cuda_before} CUDA + {r.omp_before} OMP)")
     print(f"pruned @ {r.cutoff} tokens: kept {r.total_after} "
@@ -126,6 +174,7 @@ def _cmd_classify(args: argparse.Namespace) -> int:
     from repro.llm import get_model, query_cost_usd
     from repro.prompts import build_classify_prompt
 
+    _configure_profile_store(args)
     ds = paper_dataset()
     matches = [s for s in ds.balanced if s.uid == args.uid]
     if not matches:
@@ -194,6 +243,7 @@ def _cmd_rq23(args: argparse.Namespace, few_shot: bool) -> int:
 def _cmd_rq4(args: argparse.Namespace) -> int:
     from repro.eval.rq4 import run_rq4
 
+    _configure_profile_store(args)
     r = run_rq4(scope=args.scope, jobs=args.jobs, backend=args.backend)
     print(f"scope:              {r.scope}")
     print(f"train/validation:   {r.train_size}/{r.validation_size}")
@@ -329,6 +379,7 @@ def _cmd_merge_caches(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     rqs = ("rq2", "rq3") if args.rq == "both" else (args.rq,)
+    _configure_profile_store(args)
     engine = EvalEngine(jobs=args.jobs, store=store, backend=args.backend)
     result = run_matrix(
         _select_models(args.model), gpus, rqs=rqs, limit=args.limit,
@@ -346,25 +397,44 @@ def _cmd_merge_caches(args: argparse.Namespace) -> int:
 
 def _cmd_cache(args: argparse.Namespace) -> int:
     from repro.eval.engine import DiskResponseStore, default_cache_dir
+    from repro.gpusim.store import ProfileStore, default_profile_cache_dir
 
     store = DiskResponseStore(args.cache_dir or default_cache_dir())
+    profiles = ProfileStore(args.profile_cache or default_profile_cache_dir())
+    if args.wipe:
+        if not store.root.is_dir():
+            print(f"cache dir: {store.root} (missing; treated as empty)")
+        else:
+            n = len(store)
+            store.clear()
+            print(f"wiped {n} entries @ {store.root}")
+        if not profiles.root.is_dir():
+            print(f"profile store: {profiles.root} (missing; treated as empty)")
+        else:
+            n = len(profiles)
+            profiles.clear()
+            print(f"wiped {n} profile entries @ {profiles.root}")
+        return 0
     if not store.root.is_dir():
         # A missing directory is an empty cache, not an error — common on
         # fresh checkouts and CI runners inspecting never-populated stores.
         print(f"cache dir: {store.root} (missing; treated as empty)")
-        if not args.wipe:
-            print(store.manifest().render())
-        return 0
-    if args.wipe:
-        n = len(store)
-        store.clear()
-        print(f"wiped {n} entries @ {store.root}")
-        return 0
-    if args.max_bytes is not None:
-        removed = store.evict(args.max_bytes)
-        print(f"evicted {removed} entries @ {store.root}")
-    print(f"cache dir: {store.root}")
-    print(store.manifest().render())
+        print(store.manifest().render())
+    else:
+        if args.max_bytes is not None:
+            removed = store.evict(args.max_bytes)
+            print(f"evicted {removed} entries @ {store.root}")
+        print(f"cache dir: {store.root}")
+        print(store.manifest().render())
+    print()
+    if not profiles.root.is_dir():
+        print(f"profile store: {profiles.root} (missing; treated as empty)")
+    else:
+        if args.profile_max_bytes is not None:
+            removed = profiles.evict(args.profile_max_bytes)
+            print(f"evicted {removed} profile segments @ {profiles.root}")
+        print(f"profile store: {profiles.root}")
+    print(profiles.manifest().render())
     return 0
 
 
@@ -372,6 +442,7 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     from repro.dataset import paper_dataset
     from repro.eval.figures import figure1_data, figure2_data
 
+    _configure_profile_store(args)
     ds = paper_dataset()
     if args.which in ("1", "both"):
         print(figure1_data(list(ds.profiled)).render_ascii())
@@ -395,11 +466,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", help="write the balanced dataset to a JSONL file")
     p.add_argument("--compact", action="store_true",
                    help="omit source text from the output file")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="workers for the profile/render pass (0 = all cores)")
+    _add_profile_flags(p)
 
     p = sub.add_parser("classify", help="classify one dataset program")
     p.add_argument("uid", help="program uid, e.g. cuda/saxpy-v1")
     p.add_argument("--model", default="o3-mini-high")
     p.add_argument("--few-shot", action="store_true")
+    _add_profile_flags(p)
 
     p = sub.add_parser("rq1", help="RQ1: explicit roofline arithmetic")
     p.add_argument("--model", default="all")
@@ -422,6 +497,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="workers for validation inference")
     p.add_argument("--backend", choices=BACKENDS, default=DEFAULT_BACKEND,
                    help="executor backend for validation inference")
+    _add_profile_flags(p)
 
     p = sub.add_parser("decompose", help="question-decomposition extension")
     p.add_argument("--model", default="all")
@@ -487,16 +563,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--limit", type=int, default=0)
     p.add_argument("--jobs", type=int, default=1)
     p.add_argument("--backend", choices=BACKENDS, default=DEFAULT_BACKEND)
+    _add_profile_flags(p)
 
-    p = sub.add_parser("cache", help="inspect, bound, or wipe the response cache")
+    p = sub.add_parser("cache", help="inspect, bound, or wipe the response "
+                                     "cache and the kernel-profile store")
     p.add_argument("--cache-dir", default=None)
     p.add_argument("--max-bytes", type=int, default=None,
                    help="evict oldest entries until the cache fits this size")
+    p.add_argument("--profile-cache", default=None,
+                   help="kernel-profile store directory (default: "
+                        "$REPRO_PROFILE_CACHE or .repro-profile-cache)")
+    p.add_argument("--profile-max-bytes", type=int, default=None,
+                   help="evict oldest profile segments until the store "
+                        "fits this size")
     p.add_argument("--wipe", action="store_true",
-                   help="delete every cached response")
+                   help="delete every cached response and stored profile")
 
     p = sub.add_parser("figures", help="render Figures 1-2 as ASCII")
     p.add_argument("--which", choices=("1", "2", "both"), default="both")
+    _add_profile_flags(p)
 
     return parser
 

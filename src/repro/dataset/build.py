@@ -78,8 +78,11 @@ def build_samples(
 ) -> list[Sample]:
     """Profile and label the whole corpus (the paper's 749 programs).
 
-    The gpusim profiling runs as one batched, memoized pass shared with
-    every other consumer of this (corpus, device) pair; rendering and
+    The gpusim profiling runs as one batched, memoized, two-phase pass
+    shared with every other consumer of this (corpus, device) pair — and,
+    when a persistent profile store is active
+    (:func:`repro.gpusim.store.active_profile_store`), served from disk
+    with zero IR walks in warm-store processes. Rendering and
     token-counting fan out over ``jobs`` threads.
     """
     corpus = corpus or default_corpus()

@@ -129,9 +129,11 @@ def run_decompose_experiment(
     accumulation order as the sequential loop, so usage totals (including
     float cost sums) are byte-identical at any worker count.
     """
-    if samples is None:
-        samples = paper_dataset().balanced
     engine = engine or EvalEngine()
+    if samples is None:
+        # Cold start builds (and profiles) the dataset here: fan it over
+        # the engine's workers instead of a single thread.
+        samples = paper_dataset(jobs=engine.jobs).balanced
 
     def one(sample: Sample) -> tuple[DecomposedPrediction, list]:
         recorder = _UsageRecorder()

@@ -52,6 +52,7 @@ def run_hyperparam_study(
     *,
     grid: tuple[tuple[float, float], ...] = DEFAULT_GRID,
     max_samples: int | None = None,
+    jobs: int = 1,
 ) -> HyperparamStudy:
     """Sweep the grid and chi-squared-test the prediction distribution."""
     if not model.config.supports_sampling_params:
@@ -60,7 +61,9 @@ def run_hyperparam_study(
             "reasoning models at their defaults only"
         )
     if samples is None:
-        samples = paper_dataset().balanced
+        # Cold start builds (and profiles) the dataset here: fan it over
+        # ``jobs`` workers instead of a single thread.
+        samples = paper_dataset(jobs=jobs).balanced
     if max_samples is not None:
         samples = list(samples)[:max_samples]
     prompts = [build_classify_prompt(s).text for s in samples]

@@ -66,20 +66,20 @@ def scenario_samples(
 
     ``uids`` defaults to the paper's balanced subset (same kernels on every
     device, in the same order — the invariant the flip report relies on);
-    that full-set path rides the batched, memoized
-    :func:`repro.gpusim.profile_corpus` pass (one per device, shared with
-    the dataset pipeline). An explicit ``uids`` subset profiles only those
-    programs. Profiling is deterministic per (kernel, device), so the
-    result is memoized per (gpu, subset) and stable across calls and
-    processes.
+    an explicit ``uids`` subset profiles only those programs. Either way
+    the profiles come from one batched two-phase
+    :func:`repro.gpusim.profile_programs` pass: the device-independent IR
+    walk is shared across every scenario GPU (and with the dataset
+    pipeline), only the cheap per-device finalize runs per roofline, and a
+    warm profile store serves whole device batches with zero walks.
+    Profiling is deterministic per (kernel, device), so the result is
+    memoized per (gpu, subset) and stable across calls and processes.
     """
-    from repro.gpusim import profile_corpus
+    from repro.gpusim import profile_programs
 
     corpus = default_corpus()
-    profiles = None
     if uids is None:
         uids = [s.uid for s in paper_dataset(jobs=jobs).balanced]
-        profiles = profile_corpus(corpus, device_for(gpu), jobs=jobs)
     key = (gpu, tuple(uids))
     hit = _SCENARIO_MEMO.get(key)
     if hit is not None:
@@ -87,11 +87,11 @@ def scenario_samples(
     device = device_for(gpu)
     tokenizer = corpus_tokenizer()
     programs = [corpus.get(uid) for uid in uids]
+    profiles = profile_programs(programs, device, jobs=jobs)
     samples = tuple(
         parallel_map(
             lambda p: build_sample(
-                p, device, tokenizer,
-                profile=profiles[p.uid] if profiles else None,
+                p, device, tokenizer, profile=profiles[p.uid]
             ),
             programs,
             jobs=jobs,

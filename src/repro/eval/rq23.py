@@ -62,10 +62,13 @@ def run_classification(
     engine: EvalEngine | None = None,
 ) -> ClassificationResult:
     """Run RQ2 (few_shot=False) or RQ3 (few_shot=True) for one model."""
+    engine = engine or EvalEngine()
     if samples is None:
-        samples = paper_dataset().balanced
+        # Cold start builds (and profiles) the dataset here: fan it over
+        # the engine's workers instead of a single thread.
+        samples = paper_dataset(jobs=engine.jobs).balanced
     items = classification_items(samples, few_shot=few_shot)
-    run = run_queries(model, items, engine=engine or EvalEngine())
+    run = run_queries(model, items, engine=engine)
     return ClassificationResult(
         model_name=model.name,
         few_shot=few_shot,

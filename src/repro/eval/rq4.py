@@ -58,9 +58,9 @@ def run_rq4(
     """Fine-tune and evaluate; ``scope`` restricts to one language.
 
     Training is inherently sequential SGD; ``jobs``/``backend`` parallelise
-    the validation inference pass.
+    the validation inference pass (and a cold-start dataset build).
     """
-    ds = dataset or paper_dataset()
+    ds = dataset or paper_dataset(jobs=jobs)
     train = list(ds.train)
     val = list(ds.validation)
     if scope == "cuda":
@@ -110,7 +110,7 @@ def run_rq4_all_scopes(
 
     from repro.util.parallel import parallel_map
 
-    ds = dataset or paper_dataset()
+    ds = dataset or paper_dataset(jobs=jobs)
     return parallel_map(
         partial(_rq4_scope, ds), ("all", "cuda", "omp"), jobs=jobs, backend=backend
     )

@@ -26,6 +26,12 @@ never need to talk to each other:
 
 Interrupted or lost shards are cheap: re-running a shard replays its
 finished work from its cache and computes only what's missing.
+
+Shard execution profiles its kernels through the same batched two-phase
+path as single-machine sweeps (:func:`repro.eval.matrix.scenario_samples`
+→ :func:`repro.gpusim.profile_programs`), so shard subprocesses sharing a
+persistent profile store (``--profile-cache`` / ``$REPRO_PROFILE_CACHE``)
+skip the symbolic IR walk entirely once any one of them has warmed it.
 """
 
 from __future__ import annotations

@@ -135,10 +135,12 @@ def build_table1(
     One engine spans every (model × RQ) cell, so a warm cache turns the
     whole grid into lookups and ``engine.stats`` describes the sweep.
     """
-    if samples is None:
-        samples = paper_dataset().balanced
-    models = list(models) if models is not None else all_models()
     engine = engine or EvalEngine()
+    if samples is None:
+        # Cold start builds (and profiles) the dataset here: fan it over
+        # the engine's workers instead of a single thread.
+        samples = paper_dataset(jobs=engine.jobs).balanced
+    models = list(models) if models is not None else all_models()
     rows = [
         build_row(m, samples, num_rooflines=num_rooflines, engine=engine)
         for m in models

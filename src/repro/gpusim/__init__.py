@@ -19,9 +19,21 @@ from repro.gpusim.memory import (
 )
 from repro.gpusim.profiler import (
     KernelProfile,
+    SymbolicTrace,
+    finalize_profile,
     profile_corpus,
     profile_first_kernel,
     profile_kernel,
+    profile_programs,
+    symbolic_trace,
+)
+from repro.gpusim.store import (
+    PROFILER_VERSION,
+    ProfileStore,
+    active_profile_store,
+    device_profile_key,
+    program_profile_key,
+    set_active_profile_store,
 )
 from repro.gpusim.timing import TimingBreakdown, estimate_time
 
@@ -38,9 +50,19 @@ __all__ = [
     "coalescing_quality",
     "estimate_site_traffic",
     "KernelProfile",
+    "SymbolicTrace",
+    "symbolic_trace",
+    "finalize_profile",
     "profile_kernel",
     "profile_first_kernel",
     "profile_corpus",
+    "profile_programs",
+    "PROFILER_VERSION",
+    "ProfileStore",
+    "active_profile_store",
+    "set_active_profile_store",
+    "program_profile_key",
+    "device_profile_key",
     "TimingBreakdown",
     "estimate_time",
 ]

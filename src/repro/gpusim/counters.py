@@ -65,6 +65,31 @@ class ProfileCounters:
         order = [OpClass.SP, OpClass.DP, OpClass.INT]
         return max(order, key=lambda oc: (self.op_count(oc), -order.index(oc)))
 
+    def to_dict(self) -> dict:
+        """JSON-ready form for the persistent profile store (bit-exact:
+        floats round-trip through JSON via their shortest repr)."""
+        return {
+            "kernel_name": self.kernel_name,
+            "sp_flops": self.sp_flops,
+            "dp_flops": self.dp_flops,
+            "int_ops": self.int_ops,
+            "dram_read_bytes": self.dram_read_bytes,
+            "dram_write_bytes": self.dram_write_bytes,
+            "time_s": self.time_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ProfileCounters":
+        return cls(
+            kernel_name=str(data["kernel_name"]),
+            sp_flops=float(data["sp_flops"]),
+            dp_flops=float(data["dp_flops"]),
+            int_ops=float(data["int_ops"]),
+            dram_read_bytes=float(data["dram_read_bytes"]),
+            dram_write_bytes=float(data["dram_write_bytes"]),
+            time_s=float(data["time_s"]),
+        )
+
 
 def merge_counters(name: str, parts: list[ProfileCounters]) -> ProfileCounters:
     """Sum counters over multiple kernels (whole-program totals)."""

@@ -45,6 +45,37 @@ class AccessSite:
         if self.executions < 0 or self.footprint_elems < 0:
             raise ValueError("executions/footprint must be non-negative")
 
+    def to_dict(self) -> dict:
+        """JSON-ready form for the persistent profile store.
+
+        Floats survive a JSON round trip bit-exactly (``json`` serialises
+        via the shortest round-tripping repr), so a site read back from
+        disk aggregates to byte-identical traffic.
+        """
+        return {
+            "array": self.array,
+            "elem_size": self.elem_size,
+            "is_write": self.is_write,
+            "executions": self.executions,
+            "gx_stride": self.gx_stride,
+            "footprint_elems": self.footprint_elems,
+            "pattern": self.pattern,
+            "is_atomic": self.is_atomic,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AccessSite":
+        return cls(
+            array=str(data["array"]),
+            elem_size=int(data["elem_size"]),
+            is_write=bool(data["is_write"]),
+            executions=float(data["executions"]),
+            gx_stride=int(data["gx_stride"]),
+            footprint_elems=float(data["footprint_elems"]),
+            pattern=str(data["pattern"]),
+            is_atomic=bool(data["is_atomic"]),
+        )
+
 
 @dataclass(frozen=True)
 class SiteTraffic:
@@ -148,11 +179,22 @@ def merge_sites(sites: list[AccessSite]) -> list[AccessSite]:
 
 
 def aggregate_traffic(
-    sites: list[AccessSite], device: DeviceModel
+    sites: list[AccessSite],
+    device: DeviceModel,
+    *,
+    assume_merged: bool = False,
 ) -> tuple[float, float, float, float]:
-    """Total (read, write, useful, transaction) bytes across merged sites."""
+    """Total (read, write, useful, transaction) bytes across merged sites.
+
+    ``assume_merged=True`` skips the :func:`merge_sites` pass for callers
+    that already hold merged sites (the profiler's device-independent
+    :class:`~repro.gpusim.profiler.SymbolicTrace` merges once per kernel
+    instead of once per kernel × device). Merging is idempotent and
+    order-preserving, so both paths accumulate in the same order and the
+    float sums are bit-identical.
+    """
     r = w = u = t = 0.0
-    for site in merge_sites(sites):
+    for site in sites if assume_merged else merge_sites(sites):
         st = estimate_site_traffic(site, device)
         r += st.dram_read_bytes
         w += st.dram_write_bytes

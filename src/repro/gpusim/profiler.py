@@ -14,7 +14,7 @@ exactly the gap the paper's LLMs have to bridge.
 from __future__ import annotations
 
 import threading
-import weakref
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Mapping
 
@@ -136,20 +136,23 @@ class _Accumulator:
 
 
 class _Walker:
-    """Symbolic executor for one kernel invocation."""
+    """Symbolic executor for one kernel invocation.
+
+    Entirely device-independent: ops, SFU issue weights, trip counts, and
+    access-site geometry depend only on the kernel IR and the launch-time
+    bindings. The device enters in phase 2 (:func:`finalize_profile`).
+    """
 
     def __init__(
         self,
         kernel: Kernel,
         bindings: Mapping[str, int],
-        device: DeviceModel,
         launched_threads: int,
         block_x: int = 256,
         block_y: int = 1,
     ) -> None:
         self.kernel = kernel
         self.bindings = dict(bindings)
-        self.device = device
         self.acc = _Accumulator()
         # Extents of the implicit parallel dimensions (global and block-local).
         nx = eval_scalar(kernel.work_items, bindings)
@@ -320,7 +323,88 @@ class _Walker:
 
 
 # ---------------------------------------------------------------------------
-# Public API
+# Public API — phase 1 (device-independent symbolic trace)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SymbolicTrace:
+    """Phase 1 of a profile: the device-independent result of the IR walk.
+
+    Everything here depends only on (kernel IR, launch geometry, argv
+    bindings) — op counts by class, SFU issue weight, and the merged
+    global-memory access sites. One trace finalizes against any number of
+    devices (:func:`finalize_profile`), so a 6-GPU matrix sweep walks each
+    kernel once instead of six times; it also serialises to JSON bit-exactly
+    for the persistent profile store (:mod:`repro.gpusim.store`).
+
+    ``sites`` are already :func:`~repro.gpusim.memory.merge_sites`-merged
+    (merging is device-independent and idempotent), in first-seen walker
+    order, so phase 2 aggregates them in the same float-addition order as
+    the seed single-pass profiler.
+    """
+
+    kernel_name: str
+    sp_ops: float
+    dp_ops: float
+    int_ops: float
+    sfu_ops: float
+    sites: tuple[AccessSite, ...]
+
+    def ops(self) -> dict[OpClass, float]:
+        """Op counts keyed by class, in the accumulator's SP/DP/INT order."""
+        return {
+            OpClass.SP: self.sp_ops,
+            OpClass.DP: self.dp_ops,
+            OpClass.INT: self.int_ops,
+        }
+
+    def to_dict(self) -> dict:
+        return {
+            "kernel_name": self.kernel_name,
+            "sp_ops": self.sp_ops,
+            "dp_ops": self.dp_ops,
+            "int_ops": self.int_ops,
+            "sfu_ops": self.sfu_ops,
+            "sites": [s.to_dict() for s in self.sites],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SymbolicTrace":
+        return cls(
+            kernel_name=str(data["kernel_name"]),
+            sp_ops=float(data["sp_ops"]),
+            dp_ops=float(data["dp_ops"]),
+            int_ops=float(data["int_ops"]),
+            sfu_ops=float(data["sfu_ops"]),
+            sites=tuple(AccessSite.from_dict(s) for s in data["sites"]),
+        )
+
+
+def symbolic_trace(instance: KernelInstance, cmdline: CommandLine) -> SymbolicTrace:
+    """Phase 1: walk one kernel invocation symbolically (no device needed)."""
+    from repro.gpusim.memory import merge_sites
+
+    bindings = instance.resolve_bindings(cmdline)
+    walker = _Walker(
+        instance.kernel,
+        bindings,
+        instance.launch.total_threads,
+        block_x=instance.launch.block.x,
+        block_y=instance.launch.block.y,
+    )
+    acc = walker.run()
+    return SymbolicTrace(
+        kernel_name=instance.kernel.name,
+        sp_ops=acc.ops[OpClass.SP],
+        dp_ops=acc.ops[OpClass.DP],
+        int_ops=acc.ops[OpClass.INT],
+        sfu_ops=acc.sfu_ops,
+        sites=tuple(merge_sites(acc.sites)),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Public API — phase 2 (per-device finalize)
 # ---------------------------------------------------------------------------
 
 @dataclass(frozen=True)
@@ -330,6 +414,77 @@ class KernelProfile:
     counters: ProfileCounters
     timing: TimingBreakdown
     coalescing: float
+
+    def to_dict(self) -> dict:
+        return {
+            "counters": self.counters.to_dict(),
+            "timing": self.timing.to_dict(),
+            "coalescing": self.coalescing,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "KernelProfile":
+        return cls(
+            counters=ProfileCounters.from_dict(data["counters"]),
+            timing=TimingBreakdown.from_dict(data["timing"]),
+            coalescing=float(data["coalescing"]),
+        )
+
+
+def finalize_profile(
+    trace: SymbolicTrace,
+    device: DeviceModel | None = None,
+    *,
+    uid: str = "",
+) -> KernelProfile:
+    """Phase 2: turn a symbolic trace into one device's profile.
+
+    Reproduces the seed single-pass profiler bit-for-bit: traffic
+    aggregation, counter jitter, and timing draw from the same streams in
+    the same order. ``uid`` keys the per-kernel noise/efficiency draws
+    (defaults to the kernel name, matching :func:`profile_kernel`).
+    """
+    device = device or default_device()
+    read_b, write_b, useful_b, txn_b = aggregate_traffic(
+        trace.sites, device, assume_merged=True
+    )
+    quality = coalescing_quality(useful_b, txn_b)
+
+    rng = device.efficiency_stream(uid or trace.kernel_name)
+    noise = rng.child("counter-noise")
+    sigma = device.counter_noise_sigma
+
+    def jitter(x: float) -> float:
+        if x <= 0.0:
+            return 0.0
+        return x * noise.lognormal(0.0, sigma)
+
+    ops = {oc: jitter(v) for oc, v in trace.ops().items()}
+    dram_read = jitter(read_b)
+    dram_write = jitter(write_b)
+    # Every real kernel invocation moves at least a few cache lines
+    # (arguments, instruction fetch); avoids zero-byte degenerate profiles.
+    floor_bytes = 32.0 * device.sector_bytes
+    dram_read = max(dram_read, floor_bytes)
+
+    timing = estimate_time(
+        ops=ops,
+        sfu_ops=trace.sfu_ops,
+        dram_bytes=dram_read + dram_write,
+        coalescing=quality,
+        device=device,
+        rng=rng.child("timing"),
+    )
+    counters = ProfileCounters(
+        kernel_name=trace.kernel_name,
+        sp_flops=ops[OpClass.SP],
+        dp_flops=ops[OpClass.DP],
+        int_ops=ops[OpClass.INT],
+        dram_read_bytes=dram_read,
+        dram_write_bytes=dram_write,
+        time_s=timing.total_s,
+    )
+    return KernelProfile(counters=counters, timing=timing, coalescing=quality)
 
 
 def profile_kernel(
@@ -344,57 +499,16 @@ def profile_kernel(
     ``uid`` keys the deterministic per-kernel efficiency/noise draws; pass
     the program uid so identical kernels in different programs land at
     different (realistic) points under the roofline.
+
+    Composed of the two phases — :func:`symbolic_trace` then
+    :func:`finalize_profile` — and byte-identical to the seed single-pass
+    profiler.
     """
-    device = device or default_device()
-    bindings = instance.resolve_bindings(cmdline)
-    walker = _Walker(
-        instance.kernel,
-        bindings,
+    return finalize_profile(
+        symbolic_trace(instance, cmdline),
         device,
-        instance.launch.total_threads,
-        block_x=instance.launch.block.x,
-        block_y=instance.launch.block.y,
+        uid=uid or instance.kernel.name,
     )
-    acc = walker.run()
-
-    read_b, write_b, useful_b, txn_b = aggregate_traffic(acc.sites, device)
-    quality = coalescing_quality(useful_b, txn_b)
-
-    rng = device.efficiency_stream(uid or instance.kernel.name)
-    noise = rng.child("counter-noise")
-    sigma = device.counter_noise_sigma
-
-    def jitter(x: float) -> float:
-        if x <= 0.0:
-            return 0.0
-        return x * noise.lognormal(0.0, sigma)
-
-    ops = {oc: jitter(v) for oc, v in acc.ops.items()}
-    dram_read = jitter(read_b)
-    dram_write = jitter(write_b)
-    # Every real kernel invocation moves at least a few cache lines
-    # (arguments, instruction fetch); avoids zero-byte degenerate profiles.
-    floor_bytes = 32.0 * device.sector_bytes
-    dram_read = max(dram_read, floor_bytes)
-
-    timing = estimate_time(
-        ops=ops,
-        sfu_ops=acc.sfu_ops,
-        dram_bytes=dram_read + dram_write,
-        coalescing=quality,
-        device=device,
-        rng=rng.child("timing"),
-    )
-    counters = ProfileCounters(
-        kernel_name=instance.kernel.name,
-        sp_flops=ops[OpClass.SP],
-        dp_flops=ops[OpClass.DP],
-        int_ops=ops[OpClass.INT],
-        dram_read_bytes=dram_read,
-        dram_write_bytes=dram_write,
-        time_s=timing.total_s,
-    )
-    return KernelProfile(counters=counters, timing=timing, coalescing=quality)
 
 
 def profile_first_kernel(
@@ -407,49 +521,144 @@ def profile_first_kernel(
 
 
 # ---------------------------------------------------------------------------
-# Batched corpus profiling
+# Batched corpus profiling (digest-keyed, store-backed)
 # ---------------------------------------------------------------------------
 
-# Profiling is deterministic in (program, device), so a corpus needs exactly
-# one pass per device; every experiment that re-derives samples shares it.
-# Keyed by object identity, held via weakrefs so throwaway corpora/devices
-# (and their ~749-profile dicts) are released rather than pinned for the
-# life of the process; a dead weakref also defuses id() reuse.
-_BATCH_LOCK = threading.Lock()
-_BATCHES: dict[
-    tuple[int, int],
-    tuple["weakref.ref", "weakref.ref", dict[str, KernelProfile]],
-] = {}
+# Profiling is deterministic in (program, device), so a batch of programs
+# needs exactly one pass per device; every experiment that re-derives
+# samples shares it. Batches are memoized by *content digest* — SHA-256
+# over (program IR, launch, argv, uid) and the device parameters — so two
+# structurally equal corpora share one pass, the memo layers over the
+# persistent profile store (same key discipline), and no id()-reuse
+# hazards exist. The memo is a small LRU: each entry is a ~749-profile
+# dict, and six scenario devices plus the default fit comfortably.
+_MEMO_LOCK = threading.Lock()
+_PROFILE_MEMO: "OrderedDict[tuple[str, str, str], dict[str, KernelProfile]]" = OrderedDict()
+_PROFILE_MEMO_CAP = 16
+
+# Device-independent traces, keyed by program digest, shared across every
+# device pass in the process. Bounded: on overflow the oldest half is
+# dropped (traces are cheap to rebuild, one walk each).
+_TRACE_MEMO: dict[str, SymbolicTrace] = {}
+_TRACE_MEMO_CAP = 4096
+
+#: Sentinel: "use the process-wide active profile store" (see
+#: :func:`repro.gpusim.store.active_profile_store`). Pass ``store=None``
+#: to force store-less profiling.
+_ACTIVE_STORE = object()
 
 
-def profile_corpus(
-    corpus, device: DeviceModel | None = None, *, jobs: int = 1
+def _install_traces(traces: Mapping[str, SymbolicTrace]) -> None:
+    with _MEMO_LOCK:
+        _TRACE_MEMO.update(traces)
+        if len(_TRACE_MEMO) > _TRACE_MEMO_CAP:
+            for stale in list(_TRACE_MEMO)[: _TRACE_MEMO_CAP // 2]:
+                del _TRACE_MEMO[stale]
+
+
+def profile_programs(
+    programs,
+    device: DeviceModel | None = None,
+    *,
+    jobs: int = 1,
+    store=_ACTIVE_STORE,
 ) -> dict[str, KernelProfile]:
-    """Profile every program's first kernel, once, as one batched pass.
+    """Profile each program's first kernel as one batched two-phase pass.
 
-    Returns uid → :class:`KernelProfile` in corpus order. The pass fans out
-    over ``jobs`` worker threads (the symbolic walker is pure per program)
-    and is memoized per (corpus, device) pair, so repeated experiment runs
-    in one process profile the corpus exactly once.
+    Returns uid → :class:`KernelProfile` in input order. The pass
+
+    * serves whole profiles from ``store`` (a
+      :class:`~repro.gpusim.store.ProfileStore`; defaults to the
+      process-wide active store, ``None`` disables) — a warm store means a
+      cold process walks **zero** kernels;
+    * reuses device-independent traces across devices (memory first, then
+      the store), so only programs never seen by any device pay the walk;
+    * fans phase 1+2 of the misses over ``jobs`` worker threads;
+    * is memoized per (program-set digest, device digest, store root), so
+      repeated experiment runs in one process profile each batch exactly
+      once — and writes every newly computed profile/trace back to the
+      store.
     """
+    from repro.gpusim.store import (
+        active_profile_store,
+        device_profile_key,
+        program_profile_key,
+    )
+    from repro.util.hashing import stable_hash_hex
     from repro.util.parallel import parallel_map
 
     device = device or default_device()
-    key = (id(corpus), id(device))
-    with _BATCH_LOCK:
-        hit = _BATCHES.get(key)
-        if hit is not None and hit[0]() is corpus and hit[1]() is device:
-            return hit[2]
-    profiles = parallel_map(
-        lambda p: profile_first_kernel(p, device), corpus.programs, jobs=jobs
-    )
-    result = {p.uid: prof for p, prof in zip(corpus.programs, profiles)}
-    with _BATCH_LOCK:
-        dead = [
-            k for k, (c, d, _) in _BATCHES.items()
-            if c() is None or d() is None
-        ]
-        for k in dead:
-            del _BATCHES[k]
-        _BATCHES[key] = (weakref.ref(corpus), weakref.ref(device), result)
+    if store is _ACTIVE_STORE:
+        store = active_profile_store()
+    programs = list(programs)
+    pkeys = [program_profile_key(p) for p in programs]
+    dkey = device_profile_key(device)
+    # The store rides in the memo key: a batch first profiled store-less
+    # (or against a different root) must not memo-shadow the pass that
+    # would have written this store — warmth is part of the contract.
+    store_tag = str(store.root) if store is not None else ""
+    memo_key = (stable_hash_hex(*pkeys), dkey, store_tag)
+    with _MEMO_LOCK:
+        hit = _PROFILE_MEMO.get(memo_key)
+        if hit is not None:
+            _PROFILE_MEMO.move_to_end(memo_key)
+            return hit
+
+    stored: dict[str, KernelProfile] = {}
+    if store is not None and programs:
+        stored = store.get_profiles(device, pkeys)
+    missing = [(p, k) for p, k in zip(programs, pkeys) if k not in stored]
+
+    computed: dict[str, KernelProfile] = {}
+    if missing:
+        traces: dict[str, SymbolicTrace] = {
+            k: _TRACE_MEMO[k] for _, k in missing if k in _TRACE_MEMO
+        }
+        if store is not None:
+            need = [k for _, k in missing if k not in traces]
+            if need:
+                traces.update(store.get_traces(need))
+        walked: dict[str, SymbolicTrace] = {}
+
+        def profile_one(item: tuple[ProgramSpec, str]) -> KernelProfile:
+            program, key = item
+            trace = traces.get(key)
+            if trace is None:
+                trace = symbolic_trace(program.first_kernel, program.cmdline)
+                walked[key] = trace
+            return finalize_profile(trace, device, uid=program.uid)
+
+        profiles = parallel_map(profile_one, missing, jobs=jobs)
+        computed = {k: prof for (_, k), prof in zip(missing, profiles)}
+        if walked:
+            _install_traces(walked)
+        if store is not None:
+            store.put_profiles(device, computed)
+            if walked:
+                store.put_traces(walked)
+
+    result = {
+        p.uid: stored[k] if k in stored else computed[k]
+        for p, k in zip(programs, pkeys)
+    }
+    with _MEMO_LOCK:
+        _PROFILE_MEMO[memo_key] = result
+        _PROFILE_MEMO.move_to_end(memo_key)
+        while len(_PROFILE_MEMO) > _PROFILE_MEMO_CAP:
+            _PROFILE_MEMO.popitem(last=False)
     return result
+
+
+def profile_corpus(
+    corpus,
+    device: DeviceModel | None = None,
+    *,
+    jobs: int = 1,
+    store=_ACTIVE_STORE,
+) -> dict[str, KernelProfile]:
+    """Profile every program's first kernel, once, as one batched pass.
+
+    Returns uid → :class:`KernelProfile` in corpus order; see
+    :func:`profile_programs` for the store/memo/trace-reuse semantics.
+    """
+    return profile_programs(corpus.programs, device, jobs=jobs, store=store)

@@ -1,0 +1,475 @@
+"""Persistent, content-addressed profile store.
+
+The response cache (PR 1) made LLM completions replayable across
+processes; this module does the same for the other cold-path cost — the
+``ncu``-style per-kernel profiles of :mod:`repro.gpusim.profiler`. Every
+profile is addressed by SHA-256 over
+
+* the **program digest** — kernel IR, launch geometry, argv bindings, and
+  the program uid (the uid keys the deterministic noise draws, so two
+  IR-identical programs with different uids profile differently and must
+  never share an entry),
+* the **device digest** — every :class:`~repro.roofline.hardware.GpuSpec`
+  field plus every :class:`~repro.gpusim.device.DeviceModel` simulation
+  parameter, and
+* :data:`PROFILER_VERSION`, bumped whenever walker/finalize semantics
+  change.
+
+Any IR edit, recalibration, or profiler change therefore invalidates
+exactly the affected entries; a stale entry can only ever read as a miss,
+never as a wrong profile.
+
+Storage is segment-per-device rather than file-per-entry: one profile
+pass reads and writes whole device batches, and a single JSON segment
+turns a warm 6-device corpus pass into six file reads instead of ~4500.
+Phase-1 traces (:class:`~repro.gpusim.profiler.SymbolicTrace`) persist in
+their own device-independent segment, so even a device never profiled
+before skips the IR walk. Both segment kinds are written atomically
+(temp file + :func:`os.replace`) and torn/corrupt/foreign files read as
+empty — a put repairs them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import threading
+import weakref
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
+
+from repro.util.hashing import stable_hash_hex
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (profiler imports us)
+    from repro.gpusim.device import DeviceModel
+    from repro.gpusim.profiler import KernelProfile, SymbolicTrace
+    from repro.kernels.program import ProgramSpec
+
+#: Bump whenever the walker, traffic model, jitter, or timing semantics
+#: change: the version is hashed into every key, so old entries become
+#: unreachable (misses) instead of replaying stale counters.
+PROFILER_VERSION = "gpusim-profiler-v1"
+
+#: Environment override for the on-disk profile store location.
+PROFILE_CACHE_ENV = "REPRO_PROFILE_CACHE"
+
+#: Environment override for the profile store size bound (bytes).
+PROFILE_CACHE_MAX_BYTES_ENV = "REPRO_PROFILE_CACHE_MAX_BYTES"
+
+#: Default on-disk profile store directory (the CLI's default; the library
+#: attaches no store unless ``$REPRO_PROFILE_CACHE`` is set).
+DEFAULT_PROFILE_CACHE_DIRNAME = ".repro-profile-cache"
+
+_SEGMENT_PREFIX_PROFILES = "profiles-"
+_SEGMENT_PREFIX_TRACES = "traces-"
+
+
+def default_profile_cache_dir() -> Path:
+    """Where the CLI keeps its profile store (``$REPRO_PROFILE_CACHE`` wins)."""
+    return Path(
+        os.environ.get(PROFILE_CACHE_ENV) or DEFAULT_PROFILE_CACHE_DIRNAME
+    )
+
+
+def default_profile_cache_max_bytes() -> int | None:
+    """``$REPRO_PROFILE_CACHE_MAX_BYTES`` as an int (None = unbounded)."""
+    raw = os.environ.get(PROFILE_CACHE_MAX_BYTES_ENV, "").strip()
+    if not raw:
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        return None
+    return value if value > 0 else None
+
+
+# ---------------------------------------------------------------------------
+# Content digests
+# ---------------------------------------------------------------------------
+
+# Digests are memoized per object identity (the corpus and the per-spec
+# DeviceModels are long-lived shared instances); weakref callbacks evict
+# entries when the object dies, which also defuses id() reuse.
+_KEY_LOCK = threading.Lock()
+_PROGRAM_KEYS: dict[int, tuple["weakref.ref", str]] = {}
+_DEVICE_KEYS: dict[int, tuple["weakref.ref", str]] = {}
+
+
+def _memoized_key(obj: object, memo: dict, compute) -> str:
+    ident = id(obj)
+    with _KEY_LOCK:
+        hit = memo.get(ident)
+        if hit is not None and hit[0]() is obj:
+            return hit[1]
+    key = compute(obj)
+
+    # The lock rides in as a default arg: at interpreter shutdown module
+    # globals are torn down to None before late weakref callbacks fire.
+    def _evict(_ref, *, ident=ident, memo=memo, lock=_KEY_LOCK) -> None:
+        with lock:
+            memo.pop(ident, None)
+
+    with _KEY_LOCK:
+        memo[ident] = (weakref.ref(obj, _evict), key)
+    return key
+
+
+def program_profile_key(program: "ProgramSpec") -> str:
+    """SHA-256 content address of one program's profiling inputs.
+
+    Covers the first kernel's IR, launch geometry, and binding expressions
+    (via the deterministic ``repr`` of the frozen dataclass tree), the
+    command line, the program uid (it keys the noise streams), and the
+    profiler version.
+    """
+    return _memoized_key(program, _PROGRAM_KEYS, _compute_program_key)
+
+
+def _compute_program_key(program: "ProgramSpec") -> str:
+    return stable_hash_hex(
+        PROFILER_VERSION,
+        program.uid,
+        repr(program.first_kernel),
+        repr(program.cmdline),
+    )
+
+
+def device_profile_key(device: "DeviceModel") -> str:
+    """SHA-256 content address of one device's simulation parameters."""
+    return _memoized_key(device, _DEVICE_KEYS, _compute_device_key)
+
+
+def _compute_device_key(device: "DeviceModel") -> str:
+    spec = device.spec
+    spec_parts = [getattr(spec, f.name) for f in dataclasses.fields(spec)]
+    model_parts = [
+        getattr(device, f.name)
+        for f in dataclasses.fields(device)
+        if f.name != "spec"
+    ]
+    return stable_hash_hex(PROFILER_VERSION, spec_parts, model_parts)
+
+
+# ---------------------------------------------------------------------------
+# The store
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ProfileStoreManifest:
+    """Summary of a profile store's contents (``repro-paper cache``)."""
+
+    version: str
+    profile_entries: int
+    trace_entries: int
+    total_bytes: int
+    per_device: tuple[tuple[str, int], ...]  # (device name, entries), sorted
+
+    def render(self) -> str:
+        lines = [
+            f"profiler:  {self.version}",
+            f"profiles:  {self.profile_entries}",
+            f"traces:    {self.trace_entries}",
+            f"bytes:     {self.total_bytes}",
+        ]
+        for name, count in self.per_device:
+            lines.append(f"  {name}: {count}")
+        return "\n".join(lines)
+
+
+class ProfileStore:
+    """Disk-backed profile/trace segments with size-bounded eviction.
+
+    One JSON segment per device (plus one per profiler version for the
+    device-independent traces). Writes are atomic and read-merge-write, so
+    concurrent writers can at worst lose some of each other's *warmth* —
+    entries are content-addressed and deterministic, so no interleaving
+    can install a wrong value.
+
+    Pass ``max_bytes`` for a size-bounded store: after each put, whole
+    segments are evicted oldest-written-first until the store fits (a
+    segment is the reuse unit — profile passes read device batches — so
+    entry-level eviction would buy nothing but bookkeeping).
+    """
+
+    def __init__(self, root: str | Path, *, max_bytes: int | None = None):
+        self.root = Path(root)
+        self.max_bytes = max_bytes if max_bytes and max_bytes > 0 else None
+
+    # -- segment I/O ---------------------------------------------------------
+    def _profiles_path(self, device_key: str) -> Path:
+        return self.root / f"{_SEGMENT_PREFIX_PROFILES}{device_key[:32]}.json"
+
+    def _traces_path(self) -> Path:
+        version_key = stable_hash_hex(PROFILER_VERSION)
+        return self.root / f"{_SEGMENT_PREFIX_TRACES}{version_key[:32]}.json"
+
+    def _segment_files(self) -> list[Path]:
+        if not self.root.is_dir():
+            return []
+        try:
+            return sorted(
+                p
+                for p in self.root.iterdir()
+                if p.name.endswith(".json")
+                and p.name.startswith(
+                    (_SEGMENT_PREFIX_PROFILES, _SEGMENT_PREFIX_TRACES)
+                )
+            )
+        except OSError:
+            return []  # root vanished mid-scan (concurrent wipe)
+
+    def _read_segment(self, path: Path, *, expect_key: str | None) -> dict:
+        """A segment's ``entries`` dict; anything unreadable reads as empty.
+
+        ``expect_key`` guards against prefix-truncated filename collisions
+        and version skew: a segment whose recorded key differs is ignored.
+        """
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return {}
+        if not isinstance(data, dict) or data.get("version") != PROFILER_VERSION:
+            return {}
+        if expect_key is not None and data.get("key") != expect_key:
+            return {}
+        entries = data.get("entries")
+        return entries if isinstance(entries, dict) else {}
+
+    def _write_segment(
+        self, path: Path, payload: dict, merge_into: dict
+    ) -> None:
+        """Atomically install ``payload`` with ``entries`` = merge of the
+        segment's current entries and ``merge_into``. Unwritable stores
+        degrade to uncached, never crash a profile pass."""
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(
+                f".tmp.{os.getpid()}.{threading.get_ident()}"
+            )
+            tmp.write_text(
+                json.dumps({**payload, "entries": merge_into}, sort_keys=True),
+                encoding="utf-8",
+            )
+            os.replace(tmp, path)
+        except OSError:
+            return
+        self._maybe_evict()
+
+    # -- profiles ------------------------------------------------------------
+    def get_profiles(
+        self, device: "DeviceModel", program_keys: Sequence[str]
+    ) -> dict[str, "KernelProfile"]:
+        """program key → profile for every requested key present on disk."""
+        from repro.gpusim.profiler import KernelProfile
+
+        dkey = device_profile_key(device)
+        entries = self._read_segment(
+            self._profiles_path(dkey), expect_key=dkey
+        )
+        out: dict[str, KernelProfile] = {}
+        for key in program_keys:
+            raw = entries.get(key)
+            if raw is None:
+                continue
+            try:
+                out[key] = KernelProfile.from_dict(raw)
+            except (KeyError, TypeError, ValueError):
+                continue  # corrupt entry == miss; the re-put repairs it
+        return out
+
+    def put_profiles(
+        self, device: "DeviceModel", profiles: Mapping[str, "KernelProfile"]
+    ) -> None:
+        """Merge ``program key → profile`` into the device's segment."""
+        if not profiles:
+            return
+        dkey = device_profile_key(device)
+        path = self._profiles_path(dkey)
+        entries = self._read_segment(path, expect_key=dkey)
+        entries.update(
+            {key: prof.to_dict() for key, prof in profiles.items()}
+        )
+        self._write_segment(
+            path,
+            {
+                "version": PROFILER_VERSION,
+                "key": dkey,
+                "device": device.spec.name,
+            },
+            entries,
+        )
+
+    # -- traces --------------------------------------------------------------
+    def get_traces(
+        self, program_keys: Sequence[str]
+    ) -> dict[str, "SymbolicTrace"]:
+        """program key → phase-1 trace for every requested key on disk."""
+        from repro.gpusim.profiler import SymbolicTrace
+
+        entries = self._read_segment(self._traces_path(), expect_key=None)
+        out: dict[str, SymbolicTrace] = {}
+        for key in program_keys:
+            raw = entries.get(key)
+            if raw is None:
+                continue
+            try:
+                out[key] = SymbolicTrace.from_dict(raw)
+            except (KeyError, TypeError, ValueError):
+                continue
+        return out
+
+    def put_traces(self, traces: Mapping[str, "SymbolicTrace"]) -> None:
+        if not traces:
+            return
+        path = self._traces_path()
+        entries = self._read_segment(path, expect_key=None)
+        entries.update({key: tr.to_dict() for key, tr in traces.items()})
+        self._write_segment(
+            path, {"version": PROFILER_VERSION}, entries
+        )
+
+    # -- lifecycle -----------------------------------------------------------
+    def __len__(self) -> int:
+        """Total stored profile entries (traces are not counted)."""
+        total = 0
+        for path in self._segment_files():
+            if path.name.startswith(_SEGMENT_PREFIX_PROFILES):
+                total += len(self._read_segment(path, expect_key=None))
+        return total
+
+    def size_bytes(self) -> int:
+        total = 0
+        for p in self._segment_files():
+            try:
+                total += p.stat().st_size
+            except OSError:
+                continue
+        return total
+
+    def _maybe_evict(self) -> None:
+        if self.max_bytes is not None:
+            self.evict()
+
+    def evict(self, max_bytes: int | None = None) -> int:
+        """Delete oldest-written segments until the store fits ``max_bytes``
+        (defaults to the configured bound). Returns segments removed."""
+        bound = self.max_bytes if max_bytes is None else max_bytes
+        if bound is None or bound <= 0:
+            return 0
+        stats: list[tuple[float, int, Path]] = []
+        total = 0
+        for p in self._segment_files():
+            try:
+                st = p.stat()
+            except OSError:
+                continue
+            stats.append((st.st_mtime, st.st_size, p))
+            total += st.st_size
+        if total <= bound:
+            return 0
+        removed = 0
+        for _, size, path in sorted(stats):
+            if total <= bound:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue  # lost a race with a concurrent evictor
+            total -= size
+            removed += 1
+        return removed
+
+    def manifest(self) -> ProfileStoreManifest:
+        """Entry counts, bytes, and per-device breakdown. A missing or
+        empty directory reads as an empty manifest, never an error."""
+        profile_entries = 0
+        trace_entries = 0
+        total_bytes = 0
+        per_device: dict[str, int] = {}
+        for path in self._segment_files():
+            try:
+                total_bytes += path.stat().st_size
+                data = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                continue
+            if not isinstance(data, dict) or data.get("version") != PROFILER_VERSION:
+                continue
+            entries = data.get("entries")
+            if not isinstance(entries, dict):
+                continue
+            if path.name.startswith(_SEGMENT_PREFIX_TRACES):
+                trace_entries += len(entries)
+            else:
+                profile_entries += len(entries)
+                name = str(data.get("device", "<unknown device>"))
+                per_device[name] = per_device.get(name, 0) + len(entries)
+        return ProfileStoreManifest(
+            version=PROFILER_VERSION,
+            profile_entries=profile_entries,
+            trace_entries=trace_entries,
+            total_bytes=total_bytes,
+            per_device=tuple(sorted(per_device.items())),
+        )
+
+    def clear(self) -> None:
+        # Remove only segment files, never the root wholesale: the
+        # directory may contain unrelated files.
+        for path in self._segment_files():
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        if not self.root.is_dir():
+            return
+        for stale in self.root.glob("*.tmp.*"):
+            try:
+                stale.unlink()
+            except OSError:
+                pass
+
+
+# ---------------------------------------------------------------------------
+# Process-wide active store
+# ---------------------------------------------------------------------------
+
+# The profile pass sits *under* deep call chains (paper_dataset →
+# build_samples → profile_corpus), so the store is configured process-wide
+# rather than threaded through every signature: the CLI installs one per
+# invocation, the library defaults to $REPRO_PROFILE_CACHE, tests inject
+# or disable per call via profile_corpus(store=...).
+_ACTIVE_LOCK = threading.Lock()
+_active_store: ProfileStore | None = None
+_active_configured = False
+
+
+def set_active_profile_store(store: ProfileStore | None) -> None:
+    """Install (or, with ``None``, disable) the process-wide store."""
+    global _active_store, _active_configured
+    with _ACTIVE_LOCK:
+        _active_store = store
+        _active_configured = True
+
+
+def reset_active_profile_store() -> None:
+    """Forget any installed store; revert to the ``$REPRO_PROFILE_CACHE``
+    fallback (used by tests to undo :func:`set_active_profile_store`)."""
+    global _active_store, _active_configured
+    with _ACTIVE_LOCK:
+        _active_store = None
+        _active_configured = False
+
+
+def active_profile_store() -> ProfileStore | None:
+    """The process-wide store: whatever :func:`set_active_profile_store`
+    installed, else one rooted at ``$REPRO_PROFILE_CACHE`` when set, else
+    ``None`` (profiling stays purely in-memory). The env fallback is
+    re-read per call, so monkeypatched environments behave."""
+    with _ACTIVE_LOCK:
+        if _active_configured:
+            return _active_store
+    path = os.environ.get(PROFILE_CACHE_ENV, "").strip()
+    if not path:
+        return None
+    return ProfileStore(path, max_bytes=default_profile_cache_max_bytes())

@@ -51,6 +51,28 @@ class TimingBreakdown:
         ]
         return max(pairs, key=lambda kv: kv[1])[0]
 
+    def to_dict(self) -> dict:
+        """JSON-ready form for the persistent profile store (bit-exact)."""
+        return {
+            "dram_s": self.dram_s,
+            "sp_s": self.sp_s,
+            "dp_s": self.dp_s,
+            "int_s": self.int_s,
+            "sfu_s": self.sfu_s,
+            "overhead_s": self.overhead_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TimingBreakdown":
+        return cls(
+            dram_s=float(data["dram_s"]),
+            sp_s=float(data["sp_s"]),
+            dp_s=float(data["dp_s"]),
+            int_s=float(data["int_s"]),
+            sfu_s=float(data["sfu_s"]),
+            overhead_s=float(data["overhead_s"]),
+        )
+
 
 def estimate_time(
     *,

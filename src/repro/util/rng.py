@@ -35,7 +35,19 @@ class RngStream:
 
     def __init__(self, *key: object):
         self._key = tuple(key)
-        self._gen = np.random.Generator(np.random.PCG64(derive_seed(*key)))
+        # Seeding a PCG64 costs ~15 µs (SeedSequence mixing dominates), and
+        # many streams exist only to derive children (the gpusim profiler
+        # builds one parent stream per kernel × device and draws nothing
+        # from it) — so the generator is materialised on first draw.
+        self._lazy_gen: np.random.Generator | None = None
+
+    @property
+    def _gen(self) -> np.random.Generator:
+        gen = self._lazy_gen
+        if gen is None:
+            gen = np.random.Generator(np.random.PCG64(derive_seed(*self._key)))
+            self._lazy_gen = gen
+        return gen
 
     @property
     def key(self) -> tuple:

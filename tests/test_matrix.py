@@ -162,6 +162,40 @@ class TestRunMatrix:
         again = run_matrix(models, gpus, rqs=("rq2",), limit=24, jobs=5)
         assert again == small_matrix
 
+    def test_digest_identical_with_and_without_profile_store(
+        self, dataset, tmp_path
+    ):
+        """Acceptance: reports are byte-identical whether kernel profiles
+        come from a fresh walk, a cold store pass, or a warm store."""
+        from repro.eval import matrix as matrix_mod
+        from repro.gpusim.profiler import _PROFILE_MEMO, _TRACE_MEMO
+        from repro.gpusim.store import (
+            ProfileStore,
+            reset_active_profile_store,
+            set_active_profile_store,
+        )
+
+        models = [get_model("o3-mini-high")]
+        gpus = [get_gpu("V100"), get_gpu("2080")]
+
+        def fresh_run():
+            matrix_mod._SCENARIO_MEMO.clear()
+            _PROFILE_MEMO.clear()
+            _TRACE_MEMO.clear()
+            return run_matrix(models, gpus, rqs=("rq2",), limit=8)
+
+        try:
+            set_active_profile_store(None)
+            bare = fresh_run()
+            set_active_profile_store(ProfileStore(tmp_path / "ps"))
+            cold = fresh_run()
+            warm = fresh_run()
+        finally:
+            reset_active_profile_store()
+        assert cold == bare and warm == bare
+        assert cold.digest() == bare.digest()
+        assert warm.digest() == bare.digest()
+
     def test_matrix_on_paper_gpu_matches_rq2(self, dataset):
         from repro.eval.rq23 import run_rq2
         from repro.roofline.hardware import default_gpu
