@@ -27,7 +27,12 @@ profiling persists the same way in a content-addressed profile store
 (``--profile-cache``, default ``$REPRO_PROFILE_CACHE`` or
 ``.repro-profile-cache``; ``--profile-cache-max-bytes`` /
 ``--no-profile-cache``), so a warm store skips the symbolic IR walk
-entirely on later runs, shards, and CI jobs.
+entirely on later runs, shards, and CI jobs. Text artifacts — the
+trained BPE tokenizer, rendered program sources, and token counts —
+persist in a third content-addressed store (``--artifact-cache``,
+default ``$REPRO_ARTIFACT_CACHE`` or ``.repro-artifact-cache``;
+``--artifact-cache-max-bytes`` / ``--no-artifact-cache``), so a warm
+cache trains zero tokenizers and renders zero programs.
 
 Distributed sweeps: ``sweep --shard I/N`` executes one deterministic shard
 of the (model × RQ × GPU × kernel) grid on any machine, and
@@ -42,8 +47,9 @@ import sys
 from typing import Sequence
 
 
-def _add_profile_flags(p: argparse.ArgumentParser) -> None:
+def _add_store_flags(p: argparse.ArgumentParser) -> None:
     from repro.gpusim.store import DEFAULT_PROFILE_CACHE_DIRNAME
+    from repro.store.text import DEFAULT_ARTIFACT_CACHE_DIRNAME
 
     p.add_argument("--profile-cache", default=None,
                    help="persistent kernel-profile store directory "
@@ -55,6 +61,18 @@ def _add_profile_flags(p: argparse.ArgumentParser) -> None:
                         "or unbounded)")
     p.add_argument("--no-profile-cache", action="store_true",
                    help="disable the persistent profile store for this run")
+    p.add_argument("--artifact-cache", default=None,
+                   help="persistent text-artifact store directory: trained "
+                        "tokenizers, rendered sources, token counts "
+                        "(default: $REPRO_ARTIFACT_CACHE or "
+                        f"{DEFAULT_ARTIFACT_CACHE_DIRNAME})")
+    p.add_argument("--artifact-cache-max-bytes", type=int, default=None,
+                   help="size-bound the artifact cache, evicting oldest "
+                        "segments (default: $REPRO_ARTIFACT_CACHE_MAX_BYTES "
+                        "or unbounded)")
+    p.add_argument("--no-artifact-cache", action="store_true",
+                   help="disable the persistent text-artifact store for "
+                        "this run")
 
 
 def _add_engine_flags(p: argparse.ArgumentParser) -> None:
@@ -76,16 +94,18 @@ def _add_engine_flags(p: argparse.ArgumentParser) -> None:
                         "(default: $REPRO_CACHE_MAX_BYTES or unbounded)")
     p.add_argument("--no-cache", action="store_true",
                    help="disable the response cache for this run")
-    _add_profile_flags(p)
+    _add_store_flags(p)
 
 
-def _configure_profile_store(args: argparse.Namespace) -> None:
-    """Install the process-wide kernel-profile store from CLI flags.
+def _configure_stores(args: argparse.Namespace) -> None:
+    """Install the process-wide profile store and artifact cache from CLI
+    flags.
 
-    Every profiling consumer downstream (dataset build, matrix scenarios,
-    shard execution) picks it up via
-    :func:`repro.gpusim.store.active_profile_store` — no threading of a
-    store object through call chains.
+    Every consumer downstream (dataset build, tokenizer training, matrix
+    scenarios, shard execution) picks them up via
+    :func:`repro.gpusim.store.active_profile_store` /
+    :func:`repro.store.text.active_artifact_cache` — no threading of
+    store objects through call chains.
     """
     from repro.gpusim.store import (
         ProfileStore,
@@ -93,15 +113,33 @@ def _configure_profile_store(args: argparse.Namespace) -> None:
         default_profile_cache_max_bytes,
         set_active_profile_store,
     )
+    from repro.store.text import (
+        ArtifactCache,
+        default_artifact_cache_dir,
+        default_artifact_cache_max_bytes,
+        set_active_artifact_cache,
+    )
 
     if getattr(args, "no_profile_cache", False):
         set_active_profile_store(None)
-        return
-    max_bytes = getattr(args, "profile_cache_max_bytes", None)
-    if max_bytes is None:
-        max_bytes = default_profile_cache_max_bytes()
-    root = getattr(args, "profile_cache", None) or default_profile_cache_dir()
-    set_active_profile_store(ProfileStore(root, max_bytes=max_bytes))
+    else:
+        max_bytes = getattr(args, "profile_cache_max_bytes", None)
+        if max_bytes is None:
+            max_bytes = default_profile_cache_max_bytes()
+        root = getattr(args, "profile_cache", None) or default_profile_cache_dir()
+        set_active_profile_store(ProfileStore(root, max_bytes=max_bytes))
+
+    if getattr(args, "no_artifact_cache", False):
+        set_active_artifact_cache(None)
+    else:
+        max_bytes = getattr(args, "artifact_cache_max_bytes", None)
+        if max_bytes is None:
+            max_bytes = default_artifact_cache_max_bytes()
+        root = (
+            getattr(args, "artifact_cache", None)
+            or default_artifact_cache_dir()
+        )
+        set_active_artifact_cache(ArtifactCache(root, max_bytes=max_bytes))
 
 
 def _make_engine(args: argparse.Namespace):
@@ -112,7 +150,7 @@ def _make_engine(args: argparse.Namespace):
         default_cache_max_bytes,
     )
 
-    _configure_profile_store(args)
+    _configure_stores(args)
     store = None
     if not args.no_cache:
         max_bytes = args.cache_max_bytes
@@ -154,7 +192,7 @@ def _cmd_models(args: argparse.Namespace) -> int:
 def _cmd_dataset(args: argparse.Namespace) -> int:
     from repro.dataset import cell_counts, paper_dataset, save_samples
 
-    _configure_profile_store(args)
+    _configure_stores(args)
     ds = paper_dataset(jobs=args.jobs)
     r = ds.prune_report
     print(f"profiled: {r.total_before} ({r.cuda_before} CUDA + {r.omp_before} OMP)")
@@ -174,7 +212,7 @@ def _cmd_classify(args: argparse.Namespace) -> int:
     from repro.llm import get_model, query_cost_usd
     from repro.prompts import build_classify_prompt
 
-    _configure_profile_store(args)
+    _configure_stores(args)
     ds = paper_dataset()
     matches = [s for s in ds.balanced if s.uid == args.uid]
     if not matches:
@@ -243,7 +281,7 @@ def _cmd_rq23(args: argparse.Namespace, few_shot: bool) -> int:
 def _cmd_rq4(args: argparse.Namespace) -> int:
     from repro.eval.rq4 import run_rq4
 
-    _configure_profile_store(args)
+    _configure_stores(args)
     r = run_rq4(scope=args.scope, jobs=args.jobs, backend=args.backend)
     print(f"scope:              {r.scope}")
     print(f"train/validation:   {r.train_size}/{r.validation_size}")
@@ -379,7 +417,7 @@ def _cmd_merge_caches(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     rqs = ("rq2", "rq3") if args.rq == "both" else (args.rq,)
-    _configure_profile_store(args)
+    _configure_stores(args)
     engine = EvalEngine(jobs=args.jobs, store=store, backend=args.backend)
     result = run_matrix(
         _select_models(args.model), gpus, rqs=rqs, limit=args.limit,
@@ -398,9 +436,13 @@ def _cmd_merge_caches(args: argparse.Namespace) -> int:
 def _cmd_cache(args: argparse.Namespace) -> int:
     from repro.eval.engine import DiskResponseStore, default_cache_dir
     from repro.gpusim.store import ProfileStore, default_profile_cache_dir
+    from repro.store.text import ArtifactCache, default_artifact_cache_dir
 
     store = DiskResponseStore(args.cache_dir or default_cache_dir())
     profiles = ProfileStore(args.profile_cache or default_profile_cache_dir())
+    artifacts = ArtifactCache(
+        args.artifact_cache or default_artifact_cache_dir()
+    )
     if args.wipe:
         if not store.root.is_dir():
             print(f"cache dir: {store.root} (missing; treated as empty)")
@@ -414,6 +456,14 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             n = len(profiles)
             profiles.clear()
             print(f"wiped {n} profile entries @ {profiles.root}")
+        if not artifacts.root.is_dir():
+            print(f"artifact cache: {artifacts.root} "
+                  "(missing; treated as empty)")
+        else:
+            m = artifacts.manifest()
+            n = m.tokenizer_entries + m.source_entries + m.count_entries
+            artifacts.clear()
+            print(f"wiped {n} artifact entries @ {artifacts.root}")
         return 0
     if not store.root.is_dir():
         # A missing directory is an empty cache, not an error — common on
@@ -435,6 +485,15 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             print(f"evicted {removed} profile segments @ {profiles.root}")
         print(f"profile store: {profiles.root}")
     print(profiles.manifest().render())
+    print()
+    if not artifacts.root.is_dir():
+        print(f"artifact cache: {artifacts.root} (missing; treated as empty)")
+    else:
+        if args.artifact_max_bytes is not None:
+            removed = artifacts.evict(args.artifact_max_bytes)
+            print(f"evicted {removed} artifact segments @ {artifacts.root}")
+        print(f"artifact cache: {artifacts.root}")
+    print(artifacts.manifest().render())
     return 0
 
 
@@ -442,7 +501,7 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     from repro.dataset import paper_dataset
     from repro.eval.figures import figure1_data, figure2_data
 
-    _configure_profile_store(args)
+    _configure_stores(args)
     ds = paper_dataset()
     if args.which in ("1", "both"):
         print(figure1_data(list(ds.profiled)).render_ascii())
@@ -468,13 +527,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="omit source text from the output file")
     p.add_argument("--jobs", type=int, default=1,
                    help="workers for the profile/render pass (0 = all cores)")
-    _add_profile_flags(p)
+    _add_store_flags(p)
 
     p = sub.add_parser("classify", help="classify one dataset program")
     p.add_argument("uid", help="program uid, e.g. cuda/saxpy-v1")
     p.add_argument("--model", default="o3-mini-high")
     p.add_argument("--few-shot", action="store_true")
-    _add_profile_flags(p)
+    _add_store_flags(p)
 
     p = sub.add_parser("rq1", help="RQ1: explicit roofline arithmetic")
     p.add_argument("--model", default="all")
@@ -497,7 +556,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="workers for validation inference")
     p.add_argument("--backend", choices=BACKENDS, default=DEFAULT_BACKEND,
                    help="executor backend for validation inference")
-    _add_profile_flags(p)
+    _add_store_flags(p)
 
     p = sub.add_parser("decompose", help="question-decomposition extension")
     p.add_argument("--model", default="all")
@@ -563,10 +622,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--limit", type=int, default=0)
     p.add_argument("--jobs", type=int, default=1)
     p.add_argument("--backend", choices=BACKENDS, default=DEFAULT_BACKEND)
-    _add_profile_flags(p)
+    _add_store_flags(p)
 
     p = sub.add_parser("cache", help="inspect, bound, or wipe the response "
-                                     "cache and the kernel-profile store")
+                                     "cache, the kernel-profile store, and "
+                                     "the text-artifact cache")
     p.add_argument("--cache-dir", default=None)
     p.add_argument("--max-bytes", type=int, default=None,
                    help="evict oldest entries until the cache fits this size")
@@ -576,12 +636,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--profile-max-bytes", type=int, default=None,
                    help="evict oldest profile segments until the store "
                         "fits this size")
+    p.add_argument("--artifact-cache", default=None,
+                   help="text-artifact store directory (default: "
+                        "$REPRO_ARTIFACT_CACHE or .repro-artifact-cache)")
+    p.add_argument("--artifact-max-bytes", type=int, default=None,
+                   help="evict oldest artifact segments until the store "
+                        "fits this size")
     p.add_argument("--wipe", action="store_true",
-                   help="delete every cached response and stored profile")
+                   help="delete every cached response, stored profile, "
+                        "and text artifact")
 
     p = sub.add_parser("figures", help="render Figures 1-2 as ASCII")
     p.add_argument("--which", choices=("1", "2", "both"), default="both")
-    _add_profile_flags(p)
+    _add_store_flags(p)
 
     return parser
 

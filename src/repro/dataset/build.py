@@ -8,9 +8,8 @@ corpus-trained tokenizer.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 from repro.dataset.records import CounterSummary, Sample
+from repro.dataset.text import TextArtifact, program_texts
 from repro.gpusim import (
     DeviceModel,
     KernelProfile,
@@ -30,11 +29,15 @@ def build_sample(
     device: DeviceModel,
     tokenizer: BpeTokenizer,
     profile: KernelProfile | None = None,
+    text: TextArtifact | None = None,
 ) -> Sample:
     """Profile, label, render, and token-count one program.
 
     Pass ``profile`` to reuse a counter set from a batched
-    :func:`repro.gpusim.profile_corpus` pass instead of re-profiling.
+    :func:`repro.gpusim.profile_corpus` pass, and ``text`` to reuse a
+    device-independent render/token-count from a batched
+    :func:`repro.dataset.text.program_texts` pass, instead of recomputing
+    either per device.
     """
     if profile is None:
         profile = profile_first_kernel(program, device)
@@ -42,8 +45,12 @@ def build_sample(
     detail = classify_kernel(
         counters.intensity_profile(), device.spec.rooflines()
     )
-    rendered = render_program(program)
-    source = rendered.concatenated_source()
+    if text is None:
+        source = render_program(program).concatenated_source()
+        token_count = tokenizer.count_tokens(source)
+    else:
+        source = text.source
+        token_count = text.token_count
     first = program.first_kernel
     return Sample(
         uid=program.uid,
@@ -60,7 +67,7 @@ def build_sample(
             dram_write_bytes=counters.dram_write_bytes,
             time_s=counters.time_s,
         ),
-        token_count=tokenizer.count_tokens(source),
+        token_count=token_count,
         source=source,
         block=(first.launch.block.x, first.launch.block.y, first.launch.block.z),
         grid=(first.launch.grid.x, first.launch.grid.y, first.launch.grid.z),
@@ -83,14 +90,23 @@ def build_samples(
     when a persistent profile store is active
     (:func:`repro.gpusim.store.active_profile_store`), served from disk
     with zero IR walks in warm-store processes. Rendering and
-    token-counting fan out over ``jobs`` threads.
+    token-counting run the same way through the device-independent
+    :func:`repro.dataset.text.program_texts` pass (memoized, and served
+    whole from a warm artifact cache), fanned over ``jobs`` threads.
     """
     corpus = corpus or default_corpus()
     device = device or default_device()
     tokenizer = tokenizer or corpus_tokenizer()
     profiles = profile_corpus(corpus, device, jobs=jobs)
+    texts = program_texts(corpus.programs, tokenizer, jobs=jobs)
     return parallel_map(
-        lambda p: build_sample(p, device, tokenizer, profile=profiles[p.uid]),
+        lambda p: build_sample(
+            p,
+            device,
+            tokenizer,
+            profile=profiles[p.uid],
+            text=texts[p.uid],
+        ),
         corpus.programs,
         jobs=jobs,
     )

@@ -1,0 +1,236 @@
+"""Batched, memoized, store-backed text preparation (render + token count).
+
+Rendered source and its token count are **device-independent**: the same
+program renders to the same bytes whichever GPU the scenario profiles, so
+a 6-device matrix sweep must pay the render/tokenize cost once, not six
+times. This module is that shared pass, layered like
+:func:`repro.gpusim.profile_programs`:
+
+* an in-process memo keyed by *object identity* (weakref-evicted, so a
+  dead corpus frees its text and id reuse cannot alias) — the corpus and
+  scenario passes share one render per program object, and the memo
+  costs no digest work at all;
+* under it, the persistent render store
+  (:class:`repro.store.text.RenderStore`), addressed by the SHA-256
+  content digests of :func:`repro.store.text.program_text_key` and the
+  tokenizer digest — digests are computed only when a store is attached,
+  a warm artifact cache means a cold process renders and token-counts
+  **zero** programs, and a stale entry can only read as a miss;
+* misses fan out over ``jobs`` worker threads and write back through
+  both layers.
+
+Sources and counts round-trip JSON byte-exactly, so samples, prune
+decisions, and report digests are identical with and without the cache.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+from repro.kernels.codegen import render_program
+from repro.store.text import active_artifact_cache, program_text_key
+from repro.util.parallel import parallel_map
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.kernels.program import ProgramSpec
+    from repro.tokenizer.bpe import BpeTokenizer
+
+
+@dataclass(frozen=True)
+class TextArtifact:
+    """One program's device-independent text: source and its token count."""
+
+    source: str
+    token_count: int
+
+
+# Identity-keyed memos (value caches, same weakref discipline as
+# repro.store.base.memoized_object_key): _SOURCE_MEMO maps id(program) →
+# source, _COUNT_MEMO maps (tokenizer digest, id(program)) → count. The
+# tokenizer digest (one memoized hash over the merge list) rides in the
+# count key because one process can hold several trained tokenizers.
+_TEXT_LOCK = threading.Lock()
+_SOURCE_MEMO: dict[int, tuple["weakref.ref", str]] = {}
+_COUNT_MEMO: dict[tuple[str, int], tuple["weakref.ref", int]] = {}
+
+#: Sentinel: "use the process-wide active artifact cache" (see
+#: :func:`repro.store.text.active_artifact_cache`). Pass ``cache=None``
+#: to force store-less rendering.
+_ACTIVE_CACHE = object()
+
+
+def clear_text_memos() -> None:
+    """Drop every in-process text memo (tests and benchmarks only)."""
+    with _TEXT_LOCK:
+        _SOURCE_MEMO.clear()
+        _COUNT_MEMO.clear()
+
+
+def _memo_get(memo: dict, key, obj: object):
+    hit = memo.get(key)
+    if hit is not None and hit[0]() is obj:
+        return hit[1]
+    return None
+
+
+def _memo_install(memo: dict, entries: dict) -> None:
+    """``entries`` maps memo key → (anchor object, value)."""
+
+    def _evict(_ref, *, key, memo=memo, lock=_TEXT_LOCK) -> None:
+        # The lock rides in as a default arg: at interpreter shutdown
+        # module globals are torn down before late weakref callbacks fire.
+        with lock:
+            memo.pop(key, None)
+
+    with _TEXT_LOCK:
+        for key, (obj, value) in entries.items():
+            memo[key] = (
+                weakref.ref(obj, lambda r, key=key: _evict(r, key=key)),
+                value,
+            )
+
+
+def rendered_sources(
+    programs: Sequence["ProgramSpec"],
+    *,
+    jobs: int = 1,
+    cache=_ACTIVE_CACHE,
+) -> dict[str, str]:
+    """uid → concatenated source, rendering each program at most once.
+
+    Layered memo → render store → :func:`render_program`; newly rendered
+    sources are written back through both layers.
+    """
+    if cache is _ACTIVE_CACHE:
+        cache = active_artifact_cache()
+    programs = list(programs)
+    sources: dict[int, str] = {}
+    missing: list[tuple[int, "ProgramSpec"]] = []
+    with _TEXT_LOCK:
+        for i, program in enumerate(programs):
+            hit = _memo_get(_SOURCE_MEMO, id(program), program)
+            if hit is not None:
+                sources[i] = hit
+            else:
+                missing.append((i, program))
+    if cache is not None and missing:
+        keys = [program_text_key(p) for _, p in missing]
+        stored = cache.renders.get_sources(keys)
+        if stored:
+            rest = []
+            for (i, program), key in zip(missing, keys):
+                if key in stored:
+                    sources[i] = stored[key]
+                else:
+                    rest.append((i, program))
+            _memo_install(
+                _SOURCE_MEMO,
+                {
+                    id(p): (p, stored[k])
+                    for (_, p), k in zip(missing, keys)
+                    if k in stored
+                },
+            )
+            missing = rest
+    if missing:
+        rendered = parallel_map(
+            lambda item: render_program(item[1]).concatenated_source(),
+            missing,
+            jobs=jobs,
+        )
+        for (i, _), text in zip(missing, rendered):
+            sources[i] = text
+        _memo_install(
+            _SOURCE_MEMO,
+            {
+                id(p): (p, text)
+                for (_, p), text in zip(missing, rendered)
+            },
+        )
+        if cache is not None:
+            cache.renders.put_sources(
+                {
+                    program_text_key(p): text
+                    for (_, p), text in zip(missing, rendered)
+                }
+            )
+    return {p.uid: sources[i] for i, p in enumerate(programs)}
+
+
+def program_texts(
+    programs: Sequence["ProgramSpec"],
+    tokenizer: "BpeTokenizer",
+    *,
+    jobs: int = 1,
+    cache=_ACTIVE_CACHE,
+) -> dict[str, TextArtifact]:
+    """uid → :class:`TextArtifact` for one batch of programs.
+
+    The device-independent half of :func:`repro.dataset.build.build_sample`,
+    hoisted out of the per-device loop: every scenario GPU of a matrix
+    sweep shares one render and one token count per program.
+    """
+    if cache is _ACTIVE_CACHE:
+        cache = active_artifact_cache()
+    programs = list(programs)
+    tdigest = tokenizer.digest()
+    sources = rendered_sources(programs, jobs=jobs, cache=cache)
+
+    counts: dict[int, int] = {}
+    missing: list[tuple[int, "ProgramSpec"]] = []
+    with _TEXT_LOCK:
+        for i, program in enumerate(programs):
+            hit = _memo_get(_COUNT_MEMO, (tdigest, id(program)), program)
+            if hit is not None:
+                counts[i] = hit
+            else:
+                missing.append((i, program))
+    if cache is not None and missing:
+        keys = [program_text_key(p) for _, p in missing]
+        stored = cache.renders.get_token_counts(tdigest, keys)
+        if stored:
+            rest = []
+            for (i, program), key in zip(missing, keys):
+                if key in stored:
+                    counts[i] = stored[key]
+                else:
+                    rest.append((i, program))
+            _memo_install(
+                _COUNT_MEMO,
+                {
+                    (tdigest, id(p)): (p, stored[k])
+                    for (_, p), k in zip(missing, keys)
+                    if k in stored
+                },
+            )
+            missing = rest
+    if missing:
+        counted = parallel_map(
+            lambda item: tokenizer.count_tokens(sources[item[1].uid]),
+            missing,
+            jobs=jobs,
+        )
+        for (i, _), count in zip(missing, counted):
+            counts[i] = count
+        _memo_install(
+            _COUNT_MEMO,
+            {
+                (tdigest, id(p)): (p, count)
+                for (_, p), count in zip(missing, counted)
+            },
+        )
+        if cache is not None:
+            cache.renders.put_token_counts(
+                tdigest,
+                {
+                    program_text_key(p): count
+                    for (_, p), count in zip(missing, counted)
+                },
+            )
+    return {
+        p.uid: TextArtifact(source=sources[p.uid], token_count=counts[i])
+        for i, p in enumerate(programs)
+    }

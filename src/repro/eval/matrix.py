@@ -71,10 +71,14 @@ def scenario_samples(
     :func:`repro.gpusim.profile_programs` pass: the device-independent IR
     walk is shared across every scenario GPU (and with the dataset
     pipeline), only the cheap per-device finalize runs per roofline, and a
-    warm profile store serves whole device batches with zero walks.
+    warm profile store serves whole device batches with zero walks. The
+    render/token-count half is device-independent too and comes from the
+    shared :func:`repro.dataset.text.program_texts` pass — a 6-device
+    sweep renders and tokenizes each program once, not six times.
     Profiling is deterministic per (kernel, device), so the result is
     memoized per (gpu, subset) and stable across calls and processes.
     """
+    from repro.dataset.text import program_texts
     from repro.gpusim import profile_programs
 
     corpus = default_corpus()
@@ -88,10 +92,12 @@ def scenario_samples(
     tokenizer = corpus_tokenizer()
     programs = [corpus.get(uid) for uid in uids]
     profiles = profile_programs(programs, device, jobs=jobs)
+    texts = program_texts(programs, tokenizer, jobs=jobs)
     samples = tuple(
         parallel_map(
             lambda p: build_sample(
-                p, device, tokenizer, profile=profiles[p.uid]
+                p, device, tokenizer, profile=profiles[p.uid],
+                text=texts[p.uid],
             ),
             programs,
             jobs=jobs,

@@ -24,22 +24,24 @@ pass reads and writes whole device batches, and a single JSON segment
 turns a warm 6-device corpus pass into six file reads instead of ~4500.
 Phase-1 traces (:class:`~repro.gpusim.profiler.SymbolicTrace`) persist in
 their own device-independent segment, so even a device never profiled
-before skips the IR walk. Both segment kinds are written atomically
-(temp file + :func:`os.replace`) and torn/corrupt/foreign files read as
-empty — a put repairs them.
+before skips the IR walk.
+
+The segment/eviction/atomic-write machinery lives in the shared
+:class:`~repro.store.base.ArtifactStore` base (also under the tokenizer
+and render stores of :mod:`repro.store.text`); :class:`ProfileStore` is a
+thin subclass, byte-compatible with pre-refactor store directories.
 """
 
 from __future__ import annotations
 
 import dataclasses
-import json
 import os
 import threading
-import weakref
 from dataclasses import dataclass
 from pathlib import Path
-from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
+from typing import TYPE_CHECKING, Mapping, Sequence
 
+from repro.store.base import ArtifactStore, memoized_object_key
 from repro.util.hashing import stable_hash_hex
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (profiler imports us)
@@ -90,30 +92,10 @@ def default_profile_cache_max_bytes() -> int | None:
 # ---------------------------------------------------------------------------
 
 # Digests are memoized per object identity (the corpus and the per-spec
-# DeviceModels are long-lived shared instances); weakref callbacks evict
-# entries when the object dies, which also defuses id() reuse.
-_KEY_LOCK = threading.Lock()
-_PROGRAM_KEYS: dict[int, tuple["weakref.ref", str]] = {}
-_DEVICE_KEYS: dict[int, tuple["weakref.ref", str]] = {}
-
-
-def _memoized_key(obj: object, memo: dict, compute) -> str:
-    ident = id(obj)
-    with _KEY_LOCK:
-        hit = memo.get(ident)
-        if hit is not None and hit[0]() is obj:
-            return hit[1]
-    key = compute(obj)
-
-    # The lock rides in as a default arg: at interpreter shutdown module
-    # globals are torn down to None before late weakref callbacks fire.
-    def _evict(_ref, *, ident=ident, memo=memo, lock=_KEY_LOCK) -> None:
-        with lock:
-            memo.pop(ident, None)
-
-    with _KEY_LOCK:
-        memo[ident] = (weakref.ref(obj, _evict), key)
-    return key
+# DeviceModels are long-lived shared instances) via the shared
+# weakref-evicting helper in repro.store.base.
+_PROGRAM_KEYS: dict[int, tuple] = {}
+_DEVICE_KEYS: dict[int, tuple] = {}
 
 
 def program_profile_key(program: "ProgramSpec") -> str:
@@ -124,7 +106,7 @@ def program_profile_key(program: "ProgramSpec") -> str:
     command line, the program uid (it keys the noise streams), and the
     profiler version.
     """
-    return _memoized_key(program, _PROGRAM_KEYS, _compute_program_key)
+    return memoized_object_key(program, _PROGRAM_KEYS, _compute_program_key)
 
 
 def _compute_program_key(program: "ProgramSpec") -> str:
@@ -138,7 +120,7 @@ def _compute_program_key(program: "ProgramSpec") -> str:
 
 def device_profile_key(device: "DeviceModel") -> str:
     """SHA-256 content address of one device's simulation parameters."""
-    return _memoized_key(device, _DEVICE_KEYS, _compute_device_key)
+    return memoized_object_key(device, _DEVICE_KEYS, _compute_device_key)
 
 
 def _compute_device_key(device: "DeviceModel") -> str:
@@ -178,84 +160,25 @@ class ProfileStoreManifest:
         return "\n".join(lines)
 
 
-class ProfileStore:
+class ProfileStore(ArtifactStore):
     """Disk-backed profile/trace segments with size-bounded eviction.
 
     One JSON segment per device (plus one per profiler version for the
-    device-independent traces). Writes are atomic and read-merge-write, so
-    concurrent writers can at worst lose some of each other's *warmth* —
-    entries are content-addressed and deterministic, so no interleaving
-    can install a wrong value.
-
-    Pass ``max_bytes`` for a size-bounded store: after each put, whole
-    segments are evicted oldest-written-first until the store fits (a
-    segment is the reuse unit — profile passes read device batches — so
-    entry-level eviction would buy nothing but bookkeeping).
+    device-independent traces); see :class:`~repro.store.base.ArtifactStore`
+    for the write/eviction contract shared with the text-artifact stores.
     """
 
-    def __init__(self, root: str | Path, *, max_bytes: int | None = None):
-        self.root = Path(root)
-        self.max_bytes = max_bytes if max_bytes and max_bytes > 0 else None
+    version = PROFILER_VERSION
+    segment_prefixes = (_SEGMENT_PREFIX_PROFILES, _SEGMENT_PREFIX_TRACES)
 
-    # -- segment I/O ---------------------------------------------------------
+    # -- segment naming ------------------------------------------------------
     def _profiles_path(self, device_key: str) -> Path:
-        return self.root / f"{_SEGMENT_PREFIX_PROFILES}{device_key[:32]}.json"
+        return self._segment_path(_SEGMENT_PREFIX_PROFILES, device_key)
 
     def _traces_path(self) -> Path:
-        version_key = stable_hash_hex(PROFILER_VERSION)
-        return self.root / f"{_SEGMENT_PREFIX_TRACES}{version_key[:32]}.json"
-
-    def _segment_files(self) -> list[Path]:
-        if not self.root.is_dir():
-            return []
-        try:
-            return sorted(
-                p
-                for p in self.root.iterdir()
-                if p.name.endswith(".json")
-                and p.name.startswith(
-                    (_SEGMENT_PREFIX_PROFILES, _SEGMENT_PREFIX_TRACES)
-                )
-            )
-        except OSError:
-            return []  # root vanished mid-scan (concurrent wipe)
-
-    def _read_segment(self, path: Path, *, expect_key: str | None) -> dict:
-        """A segment's ``entries`` dict; anything unreadable reads as empty.
-
-        ``expect_key`` guards against prefix-truncated filename collisions
-        and version skew: a segment whose recorded key differs is ignored.
-        """
-        try:
-            data = json.loads(path.read_text(encoding="utf-8"))
-        except (OSError, ValueError):
-            return {}
-        if not isinstance(data, dict) or data.get("version") != PROFILER_VERSION:
-            return {}
-        if expect_key is not None and data.get("key") != expect_key:
-            return {}
-        entries = data.get("entries")
-        return entries if isinstance(entries, dict) else {}
-
-    def _write_segment(
-        self, path: Path, payload: dict, merge_into: dict
-    ) -> None:
-        """Atomically install ``payload`` with ``entries`` = merge of the
-        segment's current entries and ``merge_into``. Unwritable stores
-        degrade to uncached, never crash a profile pass."""
-        try:
-            self.root.mkdir(parents=True, exist_ok=True)
-            tmp = path.with_suffix(
-                f".tmp.{os.getpid()}.{threading.get_ident()}"
-            )
-            tmp.write_text(
-                json.dumps({**payload, "entries": merge_into}, sort_keys=True),
-                encoding="utf-8",
-            )
-            os.replace(tmp, path)
-        except OSError:
-            return
-        self._maybe_evict()
+        return self._segment_path(
+            _SEGMENT_PREFIX_TRACES, stable_hash_hex(PROFILER_VERSION)
+        )
 
     # -- profiles ------------------------------------------------------------
     def get_profiles(
@@ -286,19 +209,15 @@ class ProfileStore:
         if not profiles:
             return
         dkey = device_profile_key(device)
-        path = self._profiles_path(dkey)
-        entries = self._read_segment(path, expect_key=dkey)
-        entries.update(
-            {key: prof.to_dict() for key, prof in profiles.items()}
-        )
-        self._write_segment(
-            path,
+        self._merge_entries(
+            self._profiles_path(dkey),
             {
                 "version": PROFILER_VERSION,
                 "key": dkey,
                 "device": device.spec.name,
             },
-            entries,
+            {key: prof.to_dict() for key, prof in profiles.items()},
+            expect_key=dkey,
         )
 
     # -- traces --------------------------------------------------------------
@@ -323,11 +242,11 @@ class ProfileStore:
     def put_traces(self, traces: Mapping[str, "SymbolicTrace"]) -> None:
         if not traces:
             return
-        path = self._traces_path()
-        entries = self._read_segment(path, expect_key=None)
-        entries.update({key: tr.to_dict() for key, tr in traces.items()})
-        self._write_segment(
-            path, {"version": PROFILER_VERSION}, entries
+        self._merge_entries(
+            self._traces_path(),
+            {"version": PROFILER_VERSION},
+            {key: tr.to_dict() for key, tr in traces.items()},
+            expect_key=None,
         )
 
     # -- lifecycle -----------------------------------------------------------
@@ -339,66 +258,18 @@ class ProfileStore:
                 total += len(self._read_segment(path, expect_key=None))
         return total
 
-    def size_bytes(self) -> int:
-        total = 0
-        for p in self._segment_files():
-            try:
-                total += p.stat().st_size
-            except OSError:
-                continue
-        return total
-
-    def _maybe_evict(self) -> None:
-        if self.max_bytes is not None:
-            self.evict()
-
-    def evict(self, max_bytes: int | None = None) -> int:
-        """Delete oldest-written segments until the store fits ``max_bytes``
-        (defaults to the configured bound). Returns segments removed."""
-        bound = self.max_bytes if max_bytes is None else max_bytes
-        if bound is None or bound <= 0:
-            return 0
-        stats: list[tuple[float, int, Path]] = []
-        total = 0
-        for p in self._segment_files():
-            try:
-                st = p.stat()
-            except OSError:
-                continue
-            stats.append((st.st_mtime, st.st_size, p))
-            total += st.st_size
-        if total <= bound:
-            return 0
-        removed = 0
-        for _, size, path in sorted(stats):
-            if total <= bound:
-                break
-            try:
-                path.unlink()
-            except OSError:
-                continue  # lost a race with a concurrent evictor
-            total -= size
-            removed += 1
-        return removed
-
     def manifest(self) -> ProfileStoreManifest:
         """Entry counts, bytes, and per-device breakdown. A missing or
-        empty directory reads as an empty manifest, never an error."""
+        empty directory reads as an empty manifest, never an error.
+
+        Bytes cover *every* segment file — including corrupt or
+        version-skewed ones whose entries are not counted — so the total
+        matches what :meth:`size_bytes` and the eviction bound see."""
         profile_entries = 0
         trace_entries = 0
-        total_bytes = 0
         per_device: dict[str, int] = {}
-        for path in self._segment_files():
-            try:
-                total_bytes += path.stat().st_size
-                data = json.loads(path.read_text(encoding="utf-8"))
-            except (OSError, ValueError):
-                continue
-            if not isinstance(data, dict) or data.get("version") != PROFILER_VERSION:
-                continue
-            entries = data.get("entries")
-            if not isinstance(entries, dict):
-                continue
+        for path, data in self.iter_segments():
+            entries = data["entries"]
             if path.name.startswith(_SEGMENT_PREFIX_TRACES):
                 trace_entries += len(entries)
             else:
@@ -409,25 +280,9 @@ class ProfileStore:
             version=PROFILER_VERSION,
             profile_entries=profile_entries,
             trace_entries=trace_entries,
-            total_bytes=total_bytes,
+            total_bytes=self.size_bytes(),
             per_device=tuple(sorted(per_device.items())),
         )
-
-    def clear(self) -> None:
-        # Remove only segment files, never the root wholesale: the
-        # directory may contain unrelated files.
-        for path in self._segment_files():
-            try:
-                path.unlink()
-            except OSError:
-                pass
-        if not self.root.is_dir():
-            return
-        for stale in self.root.glob("*.tmp.*"):
-            try:
-                stale.unlink()
-            except OSError:
-                pass
 
 
 # ---------------------------------------------------------------------------

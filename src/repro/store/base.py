@@ -1,0 +1,226 @@
+"""The :class:`ArtifactStore` base: segments, eviction, atomic writes.
+
+Extracted verbatim from the profile store (PR 4) so that every
+content-addressed disk cache in the repo shares one implementation of the
+risky parts — atomic read-merge-write segment I/O, corruption-tolerant
+reads, and size-bounded oldest-first eviction. Subclasses declare their
+``version`` string (recorded in and checked against every segment) and
+their ``segment_prefixes`` (the filename prefixes of every segment kind
+the store *family* owns — stores sharing one root directory list the
+union, so a shared size bound spans all of them).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import weakref
+from pathlib import Path
+from typing import Callable, Iterator, Mapping, TypeVar
+
+T = TypeVar("T")
+
+# ---------------------------------------------------------------------------
+# Identity-memoized content keys
+# ---------------------------------------------------------------------------
+
+# Content digests cover deep object trees (kernel IR, program specs), so
+# they are memoized per object identity — the corpus programs, the
+# per-spec DeviceModels, and the trained tokenizer are long-lived shared
+# instances. Weakref callbacks evict entries when the object dies, which
+# also defuses id() reuse.
+_KEY_LOCK = threading.Lock()
+
+
+def memoized_object_key(
+    obj: object, memo: dict, compute: Callable[[object], str]
+) -> str:
+    """``compute(obj)``, cached per object identity in ``memo``."""
+    ident = id(obj)
+    with _KEY_LOCK:
+        hit = memo.get(ident)
+        if hit is not None and hit[0]() is obj:
+            return hit[1]
+    key = compute(obj)
+
+    # The lock rides in as a default arg: at interpreter shutdown module
+    # globals are torn down to None before late weakref callbacks fire.
+    def _evict(_ref, *, ident=ident, memo=memo, lock=_KEY_LOCK) -> None:
+        with lock:
+            memo.pop(ident, None)
+
+    with _KEY_LOCK:
+        memo[ident] = (weakref.ref(obj, _evict), key)
+    return key
+
+
+# ---------------------------------------------------------------------------
+# The store base
+# ---------------------------------------------------------------------------
+
+class ArtifactStore:
+    """Disk-backed JSON segments with size-bounded eviction.
+
+    One JSON segment per reuse unit (a device's profiles, a corpus's
+    sources, a tokenizer's counts). Writes are atomic and
+    read-merge-write, so concurrent writers can at worst lose some of
+    each other's *warmth* — entries are content-addressed and
+    deterministic, so no interleaving can install a wrong value.
+
+    Pass ``max_bytes`` for a size-bounded store: after each put, whole
+    segments are evicted oldest-written-first until the store fits (a
+    segment is the reuse unit, so entry-level eviction would buy nothing
+    but bookkeeping).
+    """
+
+    #: Recorded in every segment payload and checked on read; bump in the
+    #: subclass whenever the artifact's semantics change.
+    version: str = ""
+
+    #: Filename prefixes of every segment kind this store's family owns.
+    #: Size accounting, eviction, and ``clear`` operate over the union, so
+    #: stores sharing one root share one bound.
+    segment_prefixes: tuple[str, ...] = ()
+
+    def __init__(self, root: str | Path, *, max_bytes: int | None = None):
+        self.root = Path(root)
+        self.max_bytes = max_bytes if max_bytes and max_bytes > 0 else None
+
+    # -- segment I/O ---------------------------------------------------------
+    def _segment_path(self, prefix: str, key: str) -> Path:
+        return self.root / f"{prefix}{key[:32]}.json"
+
+    def _segment_files(self) -> list[Path]:
+        if not self.root.is_dir():
+            return []
+        try:
+            return sorted(
+                p
+                for p in self.root.iterdir()
+                if p.name.endswith(".json")
+                and p.name.startswith(self.segment_prefixes)
+            )
+        except OSError:
+            return []  # root vanished mid-scan (concurrent wipe)
+
+    def _read_segment(self, path: Path, *, expect_key: str | None) -> dict:
+        """A segment's ``entries`` dict; anything unreadable reads as empty.
+
+        ``expect_key`` guards against prefix-truncated filename collisions
+        and version skew: a segment whose recorded key differs is ignored.
+        """
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return {}
+        if not isinstance(data, dict) or data.get("version") != self.version:
+            return {}
+        if expect_key is not None and data.get("key") != expect_key:
+            return {}
+        entries = data.get("entries")
+        return entries if isinstance(entries, dict) else {}
+
+    def _write_segment(
+        self, path: Path, payload: dict, merge_into: dict
+    ) -> None:
+        """Atomically install ``payload`` with ``entries`` = merge of the
+        segment's current entries and ``merge_into``. Unwritable stores
+        degrade to uncached, never crash the computing pass."""
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(
+                f".tmp.{os.getpid()}.{threading.get_ident()}"
+            )
+            tmp.write_text(
+                json.dumps({**payload, "entries": merge_into}, sort_keys=True),
+                encoding="utf-8",
+            )
+            os.replace(tmp, path)
+        except OSError:
+            return
+        self._maybe_evict()
+
+    def _merge_entries(
+        self, path: Path, payload: dict, entries: Mapping, *,
+        expect_key: str | None,
+    ) -> None:
+        """Read-merge-write ``entries`` into the segment at ``path``."""
+        if not entries:
+            return
+        merged = self._read_segment(path, expect_key=expect_key)
+        merged.update(entries)
+        self._write_segment(path, payload, merged)
+
+    def iter_segments(self) -> Iterator[tuple[Path, dict]]:
+        """Yield ``(path, payload)`` for every readable current-version
+        segment — the raw material for subclass manifests."""
+        for path in self._segment_files():
+            try:
+                data = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                continue
+            if not isinstance(data, dict) or data.get("version") != self.version:
+                continue
+            if not isinstance(data.get("entries"), dict):
+                continue
+            yield path, data
+
+    # -- lifecycle -----------------------------------------------------------
+    def size_bytes(self) -> int:
+        total = 0
+        for p in self._segment_files():
+            try:
+                total += p.stat().st_size
+            except OSError:
+                continue
+        return total
+
+    def _maybe_evict(self) -> None:
+        if self.max_bytes is not None:
+            self.evict()
+
+    def evict(self, max_bytes: int | None = None) -> int:
+        """Delete oldest-written segments until the store fits ``max_bytes``
+        (defaults to the configured bound). Returns segments removed."""
+        bound = self.max_bytes if max_bytes is None else max_bytes
+        if bound is None or bound <= 0:
+            return 0
+        stats: list[tuple[float, int, Path]] = []
+        total = 0
+        for p in self._segment_files():
+            try:
+                st = p.stat()
+            except OSError:
+                continue
+            stats.append((st.st_mtime, st.st_size, p))
+            total += st.st_size
+        if total <= bound:
+            return 0
+        removed = 0
+        for _, size, path in sorted(stats):
+            if total <= bound:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue  # lost a race with a concurrent evictor
+            total -= size
+            removed += 1
+        return removed
+
+    def clear(self) -> None:
+        # Remove only segment files, never the root wholesale: the
+        # directory may contain unrelated files.
+        for path in self._segment_files():
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        if not self.root.is_dir():
+            return
+        for stale in self.root.glob("*.tmp.*"):
+            try:
+                stale.unlink()
+            except OSError:
+                pass

@@ -1,0 +1,366 @@
+"""Persistent, content-addressed text artifacts: tokenizers and renders.
+
+With completions replayed from the response cache and kernel profiles
+served by the profile store, a cold ``paper_dataset()`` spends nearly all
+of its remaining time *re-deriving deterministic text*: training the BPE
+tokenizer and rendering/token-counting every program. Both are pure
+functions of versioned inputs, so both persist here:
+
+* :class:`TokenizerStore` keeps learned BPE merge lists, keyed by SHA-256
+  over the **training-text digests** (the
+  :func:`program_text_key` of every sampled training program — each of
+  which already pins the codegen semantics via :data:`TEXT_VERSION`), the
+  merge budget, and the tokenizer version. A warm store means a cold
+  process trains **zero** tokenizers — and never renders the training
+  sample either, because the key derives from the render *inputs*, not
+  the rendered bytes.
+* :class:`RenderStore` keeps two segment kinds, mirroring the profile
+  store's trace/profile split: a tokenizer-independent **sources**
+  segment (program text key → concatenated source) and one
+  **token-count** segment per tokenizer digest (program text key → token
+  count). A 6-device matrix sweep token-counts each program once, and a
+  warm store renders and counts **nothing**.
+
+Any codegen, pretokenizer, or trainer change bumps a version hashed into
+every key, so stale entries can only read as misses, never as wrong text.
+Both stores share one root directory (the **artifact cache**,
+``--artifact-cache`` / ``$REPRO_ARTIFACT_CACHE``) and one size bound;
+:class:`ArtifactCache` bundles them for configuration plumbing.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
+
+from repro.store.base import ArtifactStore, memoized_object_key
+from repro.tokenizer.bpe import BPE_VERSION
+from repro.util.hashing import stable_hash_hex
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.kernels.program import ProgramSpec
+
+#: Bump whenever codegen rendering or pretokenization semantics change:
+#: hashed into every text key, so old sources/counts/tokenizers become
+#: unreachable (misses) instead of replaying stale text.
+TEXT_VERSION = "text-artifacts-v1"
+
+#: Environment override for the on-disk artifact cache location.
+ARTIFACT_CACHE_ENV = "REPRO_ARTIFACT_CACHE"
+
+#: Environment override for the artifact cache size bound (bytes).
+ARTIFACT_CACHE_MAX_BYTES_ENV = "REPRO_ARTIFACT_CACHE_MAX_BYTES"
+
+#: Default on-disk artifact cache directory (the CLI's default; the
+#: library attaches no cache unless ``$REPRO_ARTIFACT_CACHE`` is set).
+DEFAULT_ARTIFACT_CACHE_DIRNAME = ".repro-artifact-cache"
+
+_SEGMENT_PREFIX_TOKENIZERS = "tokenizers-"
+_SEGMENT_PREFIX_SOURCES = "sources-"
+_SEGMENT_PREFIX_COUNTS = "tokencounts-"
+
+#: Every text-artifact segment kind. Both stores list the full family so
+#: one size bound (and one ``clear``) spans the shared root.
+TEXT_SEGMENT_PREFIXES = (
+    _SEGMENT_PREFIX_TOKENIZERS,
+    _SEGMENT_PREFIX_SOURCES,
+    _SEGMENT_PREFIX_COUNTS,
+)
+
+
+def default_artifact_cache_dir() -> Path:
+    """Where the CLI keeps its artifact cache (``$REPRO_ARTIFACT_CACHE`` wins)."""
+    return Path(
+        os.environ.get(ARTIFACT_CACHE_ENV) or DEFAULT_ARTIFACT_CACHE_DIRNAME
+    )
+
+
+def default_artifact_cache_max_bytes() -> int | None:
+    """``$REPRO_ARTIFACT_CACHE_MAX_BYTES`` as an int (None = unbounded)."""
+    raw = os.environ.get(ARTIFACT_CACHE_MAX_BYTES_ENV, "").strip()
+    if not raw:
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        return None
+    return value if value > 0 else None
+
+
+# ---------------------------------------------------------------------------
+# Content digests
+# ---------------------------------------------------------------------------
+
+_PROGRAM_TEXT_KEYS: dict[int, tuple] = {}
+
+
+def program_text_key(program: "ProgramSpec") -> str:
+    """SHA-256 content address of one program's *rendering* inputs.
+
+    Covers the full frozen spec tree — every kernel's IR (not just the
+    profiled first kernel: auxiliary kernels render too), launch
+    geometry, cmdline, verbosity/header/split knobs — via the
+    deterministic ``repr``, plus :data:`TEXT_VERSION`. Identity-memoized;
+    the corpus programs are long-lived shared instances.
+    """
+    return memoized_object_key(program, _PROGRAM_TEXT_KEYS, _compute_text_key)
+
+
+def _compute_text_key(program: "ProgramSpec") -> str:
+    return stable_hash_hex(TEXT_VERSION, program.uid, repr(program))
+
+
+def tokenizer_train_key(
+    programs: Sequence["ProgramSpec"], num_merges: int
+) -> str:
+    """SHA-256 content address of one corpus-tokenizer training run.
+
+    Derives from the training programs' text keys rather than their
+    rendered bytes, so a warm :class:`TokenizerStore` lookup needs no
+    rendering at all; :data:`BPE_VERSION` rides along so trainer semantic
+    changes invalidate stored merges.
+    """
+    return stable_hash_hex(
+        TEXT_VERSION,
+        BPE_VERSION,
+        int(num_merges),
+        [program_text_key(p) for p in programs],
+    )
+
+
+# ---------------------------------------------------------------------------
+# The stores
+# ---------------------------------------------------------------------------
+
+class TokenizerStore(ArtifactStore):
+    """Learned BPE merge lists, one segment for all trained tokenizers.
+
+    Entries are tiny (~900 merge pairs) and every consumer wants the whole
+    tokenizer, so a single segment is the natural reuse unit.
+    """
+
+    version = TEXT_VERSION
+    segment_prefixes = TEXT_SEGMENT_PREFIXES
+
+    def _tokenizers_path(self) -> Path:
+        return self._segment_path(
+            _SEGMENT_PREFIX_TOKENIZERS, stable_hash_hex(TEXT_VERSION)
+        )
+
+    def get_merges(self, key: str) -> list[tuple[str, str]] | None:
+        """The stored merge list under ``key``, or ``None`` on a miss."""
+        entries = self._read_segment(self._tokenizers_path(), expect_key=None)
+        raw = entries.get(key)
+        if not isinstance(raw, list):
+            return None
+        merges: list[tuple[str, str]] = []
+        for pair in raw:
+            if (
+                not isinstance(pair, (list, tuple))
+                or len(pair) != 2
+                or not all(isinstance(s, str) for s in pair)
+            ):
+                return None  # corrupt entry == miss; the re-put repairs it
+            merges.append((pair[0], pair[1]))
+        return merges
+
+    def put_merges(
+        self, key: str, merges: Iterable[tuple[str, str]]
+    ) -> None:
+        path = self._tokenizers_path()
+        self._merge_entries(
+            path,
+            {"version": TEXT_VERSION},
+            {key: [list(pair) for pair in merges]},
+            expect_key=None,
+        )
+
+
+class RenderStore(ArtifactStore):
+    """Rendered program sources + per-tokenizer token counts.
+
+    Sources are tokenizer-independent (one segment, like the profile
+    store's device-independent traces); token counts hang off a tokenizer
+    digest (one segment per tokenizer, like per-device profiles).
+    """
+
+    version = TEXT_VERSION
+    segment_prefixes = TEXT_SEGMENT_PREFIXES
+
+    def _sources_path(self) -> Path:
+        return self._segment_path(
+            _SEGMENT_PREFIX_SOURCES, stable_hash_hex(TEXT_VERSION)
+        )
+
+    def _counts_path(self, tokenizer_digest: str) -> Path:
+        return self._segment_path(_SEGMENT_PREFIX_COUNTS, tokenizer_digest)
+
+    # -- sources -------------------------------------------------------------
+    def get_sources(self, text_keys: Sequence[str]) -> dict[str, str]:
+        """text key → concatenated source for every requested key on disk."""
+        entries = self._read_segment(self._sources_path(), expect_key=None)
+        return {
+            key: entries[key]
+            for key in text_keys
+            if isinstance(entries.get(key), str)
+        }
+
+    def put_sources(self, sources: Mapping[str, str]) -> None:
+        self._merge_entries(
+            self._sources_path(),
+            {"version": TEXT_VERSION},
+            dict(sources),
+            expect_key=None,
+        )
+
+    # -- token counts --------------------------------------------------------
+    def get_token_counts(
+        self, tokenizer_digest: str, text_keys: Sequence[str]
+    ) -> dict[str, int]:
+        """text key → token count under one tokenizer digest."""
+        entries = self._read_segment(
+            self._counts_path(tokenizer_digest), expect_key=tokenizer_digest
+        )
+        out: dict[str, int] = {}
+        for key in text_keys:
+            raw = entries.get(key)
+            if isinstance(raw, int) and not isinstance(raw, bool):
+                out[key] = raw
+        return out
+
+    def put_token_counts(
+        self, tokenizer_digest: str, counts: Mapping[str, int]
+    ) -> None:
+        self._merge_entries(
+            self._counts_path(tokenizer_digest),
+            {"version": TEXT_VERSION, "key": tokenizer_digest},
+            dict(counts),
+            expect_key=tokenizer_digest,
+        )
+
+
+# ---------------------------------------------------------------------------
+# The bundled cache + manifest
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ArtifactCacheManifest:
+    """Summary of an artifact cache's contents (``repro-paper cache``)."""
+
+    version: str
+    tokenizer_entries: int
+    source_entries: int
+    count_entries: int
+    count_tokenizers: int  # distinct tokenizer digests with count segments
+    total_bytes: int
+
+    def render(self) -> str:
+        return "\n".join([
+            f"artifacts:  {self.version}",
+            f"tokenizers: {self.tokenizer_entries}",
+            f"sources:    {self.source_entries}",
+            f"counts:     {self.count_entries} "
+            f"({self.count_tokenizers} tokenizer"
+            f"{'' if self.count_tokenizers == 1 else 's'})",
+            f"bytes:      {self.total_bytes}",
+        ])
+
+
+class ArtifactCache:
+    """Both text stores over one root directory and one size bound.
+
+    The two stores share segment-family prefixes, so either one's
+    ``evict``/``clear`` covers the whole cache; this wrapper is the unit
+    the CLI and the process-wide plumbing configure.
+    """
+
+    def __init__(self, root: str | Path, *, max_bytes: int | None = None):
+        self.root = Path(root)
+        self.max_bytes = max_bytes if max_bytes and max_bytes > 0 else None
+        self.tokenizers = TokenizerStore(root, max_bytes=self.max_bytes)
+        self.renders = RenderStore(root, max_bytes=self.max_bytes)
+
+    def size_bytes(self) -> int:
+        return self.renders.size_bytes()
+
+    def evict(self, max_bytes: int | None = None) -> int:
+        return self.renders.evict(max_bytes)
+
+    def clear(self) -> None:
+        self.renders.clear()
+
+    def manifest(self) -> ArtifactCacheManifest:
+        """Entry counts and bytes. A missing or empty directory reads as
+        an empty manifest, never an error.
+
+        Bytes cover *every* segment file — including corrupt or
+        version-skewed ones whose entries are not counted — so the total
+        matches what :meth:`size_bytes` and the eviction bound see."""
+        tokenizer_entries = source_entries = count_entries = 0
+        count_tokenizers = 0
+        for path, data in self.renders.iter_segments():
+            n = len(data["entries"])
+            if path.name.startswith(_SEGMENT_PREFIX_TOKENIZERS):
+                tokenizer_entries += n
+            elif path.name.startswith(_SEGMENT_PREFIX_SOURCES):
+                source_entries += n
+            else:
+                count_entries += n
+                count_tokenizers += 1
+        return ArtifactCacheManifest(
+            version=TEXT_VERSION,
+            tokenizer_entries=tokenizer_entries,
+            source_entries=source_entries,
+            count_entries=count_entries,
+            count_tokenizers=count_tokenizers,
+            total_bytes=self.size_bytes(),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Process-wide active cache
+# ---------------------------------------------------------------------------
+
+# Text preparation sits under deep call chains (paper_dataset →
+# build_samples → program_texts; corpus_tokenizer → train), so the cache
+# is configured process-wide rather than threaded through every
+# signature: the CLI installs one per invocation, the library defaults to
+# $REPRO_ARTIFACT_CACHE, tests inject or disable per call via
+# program_texts(cache=...).
+_ACTIVE_LOCK = threading.Lock()
+_active_cache: ArtifactCache | None = None
+_active_configured = False
+
+
+def set_active_artifact_cache(cache: ArtifactCache | None) -> None:
+    """Install (or, with ``None``, disable) the process-wide cache."""
+    global _active_cache, _active_configured
+    with _ACTIVE_LOCK:
+        _active_cache = cache
+        _active_configured = True
+
+
+def reset_active_artifact_cache() -> None:
+    """Forget any installed cache; revert to the ``$REPRO_ARTIFACT_CACHE``
+    fallback (used by tests to undo :func:`set_active_artifact_cache`)."""
+    global _active_cache, _active_configured
+    with _ACTIVE_LOCK:
+        _active_cache = None
+        _active_configured = False
+
+
+def active_artifact_cache() -> ArtifactCache | None:
+    """The process-wide cache: whatever :func:`set_active_artifact_cache`
+    installed, else one rooted at ``$REPRO_ARTIFACT_CACHE`` when set, else
+    ``None`` (text preparation stays purely in-memory). The env fallback
+    is re-read per call, so monkeypatched environments behave."""
+    with _ACTIVE_LOCK:
+        if _active_configured:
+            return _active_cache
+    path = os.environ.get(ARTIFACT_CACHE_ENV, "").strip()
+    if not path:
+        return None
+    return ArtifactCache(path, max_bytes=default_artifact_cache_max_bytes())

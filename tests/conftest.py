@@ -15,13 +15,17 @@ def _isolated_response_cache(tmp_path, monkeypatch):
     """Keep CLI/default disk caches out of the working tree during tests."""
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "response-cache"))
     monkeypatch.setenv("REPRO_PROFILE_CACHE", str(tmp_path / "profile-cache"))
-    # CLI invocations install a process-global profile store; forget it so
-    # each test sees only its own environment.
+    monkeypatch.setenv("REPRO_ARTIFACT_CACHE", str(tmp_path / "artifact-cache"))
+    # CLI invocations install process-global stores; forget them so each
+    # test sees only its own environment.
     from repro.gpusim.store import reset_active_profile_store
+    from repro.store.text import reset_active_artifact_cache
 
     reset_active_profile_store()
+    reset_active_artifact_cache()
     yield
     reset_active_profile_store()
+    reset_active_artifact_cache()
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,473 @@
+"""Tests for the generic artifact store and the text-artifact pipeline.
+
+Three contracts:
+
+* **Store mechanics** (shared with :class:`ProfileStore` through the
+  :class:`ArtifactStore` base): round trips are byte-exact, corrupt or
+  version-skewed segments read as misses and are repaired by the next
+  put, eviction is oldest-segment-first across the whole segment family,
+  and a shared root honors one size bound.
+* **Invisibility**: samples, token counts, and trained merges are
+  byte-identical with the cache enabled, disabled, cold, or warm.
+* **Render-once**: a multi-device matrix sweep renders and token-counts
+  each program exactly once; a warm cache, zero times.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.dataset.build import build_sample, build_samples
+from repro.dataset import text as text_mod
+from repro.dataset.text import program_texts, rendered_sources
+from repro.gpusim import device_for
+from repro.gpusim.store import ProfileStore
+from repro.kernels.corpus import build_corpus
+from repro.store.base import ArtifactStore
+from repro.store.text import (
+    TEXT_VERSION,
+    ArtifactCache,
+    RenderStore,
+    TokenizerStore,
+    active_artifact_cache,
+    program_text_key,
+    reset_active_artifact_cache,
+    set_active_artifact_cache,
+    tokenizer_train_key,
+)
+from repro.tokenizer.bpe import BpeTokenizer
+from repro.roofline.hardware import GPU_DATABASE
+
+MERGES = [("a", "b"), ("ab", "c"), (" ", "f")]
+
+
+@pytest.fixture()
+def small_corpus():
+    return build_corpus(8, 5)
+
+
+@pytest.fixture()
+def small_tokenizer():
+    return BpeTokenizer(merges=list(MERGES))
+
+
+@pytest.fixture()
+def fresh_text_memos():
+    """Snapshot/clear the in-process text memos around a test."""
+    saved_sources = dict(text_mod._SOURCE_MEMO)
+    saved_counts = dict(text_mod._COUNT_MEMO)
+    text_mod.clear_text_memos()
+    yield
+    text_mod.clear_text_memos()
+    text_mod._SOURCE_MEMO.update(saved_sources)
+    text_mod._COUNT_MEMO.update(saved_counts)
+
+
+class TestSharedBase:
+    def test_every_store_shares_the_base(self):
+        for cls in (ProfileStore, TokenizerStore, RenderStore):
+            assert issubclass(cls, ArtifactStore)
+        # The eviction/write/read machinery is inherited, not reimplemented.
+        for name in ("_write_segment", "_read_segment", "evict", "clear",
+                     "size_bytes"):
+            for cls in (ProfileStore, TokenizerStore, RenderStore):
+                assert getattr(cls, name) is getattr(ArtifactStore, name)
+
+    def test_profile_segments_stay_byte_compatible(self, tmp_path):
+        # The refactor must keep writing exactly the pre-refactor payload
+        # shape, so existing .repro-profile-cache dirs keep hitting.
+        from repro.gpusim import profile_corpus
+        from repro.gpusim.store import PROFILER_VERSION, device_profile_key
+
+        corpus = build_corpus(3, 2)
+        device = device_for(next(iter(GPU_DATABASE.values())))
+        store = ProfileStore(tmp_path / "ps")
+        profile_corpus(corpus, device, store=store)
+        path = store._profiles_path(device_profile_key(device))
+        data = json.loads(path.read_text(encoding="utf-8"))
+        assert set(data) == {"version", "key", "device", "entries"}
+        assert data["version"] == PROFILER_VERSION
+        assert data["key"] == device_profile_key(device)
+        assert path.name == f"profiles-{device_profile_key(device)[:32]}.json"
+
+
+class TestTokenizerStore:
+    def test_round_trip(self, tmp_path):
+        store = TokenizerStore(tmp_path / "ac")
+        assert store.get_merges("k") is None
+        store.put_merges("k", MERGES)
+        assert store.get_merges("k") == MERGES
+
+    def test_multiple_keys_share_one_segment(self, tmp_path):
+        store = TokenizerStore(tmp_path / "ac")
+        store.put_merges("k1", MERGES)
+        store.put_merges("k2", MERGES[:1])
+        assert store.get_merges("k1") == MERGES
+        assert store.get_merges("k2") == MERGES[:1]
+        assert len(store._segment_files()) == 1
+
+    def test_corrupt_entry_reads_as_miss(self, tmp_path):
+        store = TokenizerStore(tmp_path / "ac")
+        store.put_merges("good", MERGES)
+        path = store._tokenizers_path()
+        data = json.loads(path.read_text(encoding="utf-8"))
+        data["entries"]["bad-shape"] = [["a", "b", "c"]]
+        data["entries"]["bad-type"] = "zap"
+        path.write_text(json.dumps(data), encoding="utf-8")
+        assert store.get_merges("bad-shape") is None
+        assert store.get_merges("bad-type") is None
+        assert store.get_merges("good") == MERGES
+
+    def test_corrupt_segment_reads_as_miss_and_put_repairs(self, tmp_path):
+        store = TokenizerStore(tmp_path / "ac")
+        store.put_merges("k", MERGES)
+        store._tokenizers_path().write_text("{ not json", encoding="utf-8")
+        assert store.get_merges("k") is None
+        store.put_merges("k", MERGES)
+        assert store.get_merges("k") == MERGES
+
+    def test_version_skew_reads_as_miss(self, tmp_path):
+        store = TokenizerStore(tmp_path / "ac")
+        store.put_merges("k", MERGES)
+        path = store._tokenizers_path()
+        data = json.loads(path.read_text(encoding="utf-8"))
+        data["version"] = "text-artifacts-v999"
+        path.write_text(json.dumps(data), encoding="utf-8")
+        assert store.get_merges("k") is None
+
+
+class TestRenderStore:
+    def test_sources_round_trip_byte_exact(self, tmp_path):
+        store = RenderStore(tmp_path / "ac")
+        sources = {
+            "k1": "int main() {\n\treturn 0;\n}\n",
+            "k2": "// weird: é \\ \" '\n\x0b",
+            "k3": "",
+        }
+        store.put_sources(sources)
+        assert store.get_sources(list(sources)) == sources
+        assert store.get_sources(["missing"]) == {}
+
+    def test_counts_round_trip_per_tokenizer(self, tmp_path):
+        store = RenderStore(tmp_path / "ac")
+        store.put_token_counts("tok-a", {"k1": 11, "k2": 22})
+        store.put_token_counts("tok-b", {"k1": 99})
+        assert store.get_token_counts("tok-a", ["k1", "k2"]) == {
+            "k1": 11, "k2": 22,
+        }
+        assert store.get_token_counts("tok-b", ["k1", "k2"]) == {"k1": 99}
+        assert store.get_token_counts("tok-c", ["k1"]) == {}
+
+    def test_count_segment_guards_its_tokenizer_key(self, tmp_path):
+        store = RenderStore(tmp_path / "ac")
+        store.put_token_counts("tok-a", {"k1": 11})
+        path = store._counts_path("tok-a")
+        data = json.loads(path.read_text(encoding="utf-8"))
+        data["key"] = "tok-other"
+        path.write_text(json.dumps(data), encoding="utf-8")
+        assert store.get_token_counts("tok-a", ["k1"]) == {}
+
+    def test_non_int_counts_read_as_misses(self, tmp_path):
+        store = RenderStore(tmp_path / "ac")
+        store.put_token_counts("t", {"k1": 11})
+        path = store._counts_path("t")
+        data = json.loads(path.read_text(encoding="utf-8"))
+        data["entries"]["k2"] = "12"
+        data["entries"]["k3"] = True
+        path.write_text(json.dumps(data), encoding="utf-8")
+        assert store.get_token_counts("t", ["k1", "k2", "k3"]) == {"k1": 11}
+
+
+class TestSharedLifecycle:
+    def _populate(self, root):
+        """One segment of every text kind, oldest → newest."""
+        tokenizers = TokenizerStore(root)
+        renders = RenderStore(root)
+        tokenizers.put_merges("k", MERGES)
+        renders.put_sources({"k1": "x" * 64})
+        renders.put_token_counts("tok-a", {"k1": 1})
+        renders.put_token_counts("tok-b", {"k1": 2})
+        return tokenizers, renders
+
+    def test_eviction_is_oldest_first_across_kinds(self, tmp_path):
+        root = tmp_path / "ac"
+        tokenizers, renders = self._populate(root)
+        files = renders._segment_files()
+        assert len(files) == 4
+        oldest = tokenizers._tokenizers_path()
+        past = time.time() - 3600
+        os.utime(oldest, (past, past))
+
+        bound = renders.size_bytes() - 1
+        removed = renders.evict(bound)
+        assert removed >= 1
+        assert not oldest.exists()  # the tokenizer segment went first
+        assert renders.size_bytes() <= bound
+
+    def test_one_bound_spans_both_stores(self, tmp_path):
+        root = tmp_path / "ac"
+        cache = ArtifactCache(root, max_bytes=1)
+        cache.tokenizers.put_merges("k", MERGES)
+        cache.renders.put_sources({"k1": "y" * 256})
+        # Each put re-applied the bound over the whole family.
+        assert cache.size_bytes() <= 1
+
+    def test_clear_spans_both_stores_and_leaves_foreign_files(self, tmp_path):
+        root = tmp_path / "ac"
+        _, renders = self._populate(root)
+        foreign = root / "README.txt"
+        foreign.write_text("not a segment")
+        renders.clear()
+        assert foreign.exists()
+        assert renders._segment_files() == []
+
+    def test_missing_root_reads_empty(self, tmp_path):
+        cache = ArtifactCache(tmp_path / "never")
+        assert cache.tokenizers.get_merges("k") is None
+        assert cache.renders.get_sources(["k"]) == {}
+        assert cache.manifest().source_entries == 0
+        assert cache.evict(10) == 0
+        cache.clear()  # no-op, no crash
+
+    def test_manifest_bytes_match_eviction_view(self, tmp_path):
+        # Version-skewed segments contribute no *entries* but still hold
+        # disk space the eviction bound sees — the manifest must report
+        # the bytes that are actually there, not just the valid ones.
+        root = tmp_path / "ac"
+        _, renders = self._populate(root)
+        for path in renders._segment_files():
+            data = json.loads(path.read_text(encoding="utf-8"))
+            data["version"] = "text-artifacts-v999"
+            path.write_text(json.dumps(data), encoding="utf-8")
+        m = ArtifactCache(root).manifest()
+        assert m.tokenizer_entries + m.source_entries + m.count_entries == 0
+        assert m.total_bytes == renders.size_bytes() > 0
+
+    def test_manifest_counts(self, tmp_path):
+        root = tmp_path / "ac"
+        self._populate(root)
+        m = ArtifactCache(root).manifest()
+        assert m.version == TEXT_VERSION
+        assert m.tokenizer_entries == 1
+        assert m.source_entries == 1
+        assert m.count_entries == 2
+        assert m.count_tokenizers == 2
+        assert m.total_bytes > 0
+        rendered = m.render()
+        assert TEXT_VERSION in rendered
+        assert "sources" in rendered
+
+
+class TestContentKeys:
+    def test_text_key_distinguishes_programs(self, small_corpus):
+        keys = {program_text_key(p) for p in small_corpus.programs}
+        assert len(keys) == len(small_corpus.programs)
+
+    def test_text_key_covers_render_knobs(self, small_corpus):
+        import dataclasses
+
+        p = small_corpus.programs[0]
+        q = dataclasses.replace(p, host_verbosity=(p.host_verbosity + 1) % 3)
+        assert program_text_key(p) != program_text_key(q)
+
+    def test_text_key_is_version_pinned(self, small_corpus, monkeypatch):
+        from repro.store import text as stext
+
+        before = stext._compute_text_key(small_corpus.programs[0])
+        monkeypatch.setattr(stext, "TEXT_VERSION", "text-artifacts-v999")
+        assert stext._compute_text_key(small_corpus.programs[0]) != before
+
+    def test_tokenizer_train_key_depends_on_inputs(self, small_corpus):
+        programs = list(small_corpus.programs[:4])
+        base = tokenizer_train_key(programs, 100)
+        assert tokenizer_train_key(programs, 101) != base
+        assert tokenizer_train_key(programs[:3], 100) != base
+        assert tokenizer_train_key(programs, 100) == base
+
+
+class TestTextPipeline:
+    def test_results_identical_with_without_and_across_cache_states(
+        self, small_corpus, small_tokenizer, tmp_path, fresh_text_memos
+    ):
+        programs = list(small_corpus.programs)
+        bare = program_texts(programs, small_tokenizer, cache=None)
+        text_mod.clear_text_memos()
+        cache = ArtifactCache(tmp_path / "ac")
+        cold = program_texts(programs, small_tokenizer, cache=cache)
+        text_mod.clear_text_memos()
+        warm = program_texts(programs, small_tokenizer, cache=cache)
+        assert cold == bare
+        assert warm == bare
+
+    def test_warm_cache_renders_and_counts_nothing(
+        self, small_corpus, small_tokenizer, tmp_path, fresh_text_memos,
+        monkeypatch,
+    ):
+        programs = list(small_corpus.programs)
+        cache = ArtifactCache(tmp_path / "ac")
+        expected = program_texts(programs, small_tokenizer, cache=cache)
+        text_mod.clear_text_memos()
+
+        def _boom(*a, **k):
+            raise AssertionError("warm cache must not recompute")
+
+        monkeypatch.setattr(text_mod, "render_program", _boom)
+        monkeypatch.setattr(BpeTokenizer, "count_tokens", _boom)
+        assert program_texts(programs, small_tokenizer, cache=cache) == expected
+
+    def test_counts_match_tokenizer_exactly(
+        self, small_corpus, small_tokenizer, fresh_text_memos
+    ):
+        programs = list(small_corpus.programs[:3])
+        texts = program_texts(programs, small_tokenizer, cache=None)
+        for artifact in texts.values():
+            assert artifact.token_count == small_tokenizer.count_tokens(
+                artifact.source
+            )
+
+    def test_samples_identical_with_and_without_text_pass(
+        self, small_corpus, small_tokenizer, fresh_text_memos
+    ):
+        device = device_for(next(iter(GPU_DATABASE.values())))
+        via_pipeline = build_samples(
+            small_corpus, device, small_tokenizer
+        )
+        direct = [
+            build_sample(p, device, small_tokenizer)
+            for p in small_corpus.programs
+        ]
+        assert via_pipeline == direct
+
+    def test_sources_shared_between_tokenizer_training_and_dataset(
+        self, tmp_path, fresh_text_memos
+    ):
+        # Training through rendered_sources seeds the same store segment
+        # the dataset pass reads: one render, two consumers.
+        from repro.tokenizer.pretrained import (
+            train_corpus_tokenizer,
+            training_programs,
+        )
+
+        cache = ArtifactCache(tmp_path / "ac")
+        train_corpus_tokenizer(sample=6, num_merges=30, cache=cache)
+        chosen = training_programs(sample=6)
+        stored = cache.renders.get_sources(
+            [program_text_key(p) for p in chosen]
+        )
+        assert len(stored) == len(chosen)
+
+    def test_warm_store_trains_zero_tokenizers(
+        self, tmp_path, fresh_text_memos, monkeypatch
+    ):
+        from repro.tokenizer.pretrained import train_corpus_tokenizer
+
+        cache = ArtifactCache(tmp_path / "ac")
+        first = train_corpus_tokenizer(sample=6, num_merges=30, cache=cache)
+
+        def _boom(*a, **k):
+            raise AssertionError("warm store must not retrain")
+
+        monkeypatch.setattr(BpeTokenizer, "train", _boom)
+        again = train_corpus_tokenizer(sample=6, num_merges=30, cache=cache)
+        assert again.merges == first.merges
+        assert again.digest() == first.digest()
+
+    def test_different_budget_misses_the_store(
+        self, tmp_path, fresh_text_memos
+    ):
+        from repro.tokenizer.pretrained import train_corpus_tokenizer
+
+        cache = ArtifactCache(tmp_path / "ac")
+        small = train_corpus_tokenizer(sample=6, num_merges=10, cache=cache)
+        large = train_corpus_tokenizer(sample=6, num_merges=30, cache=cache)
+        assert len(small.merges) == 10
+        assert len(large.merges) == 30
+
+
+class TestRenderOnceMatrix:
+    @pytest.fixture()
+    def fresh_scenario_memo(self):
+        from repro.eval import matrix as matrix_mod
+
+        saved = dict(matrix_mod._SCENARIO_MEMO)
+        matrix_mod._SCENARIO_MEMO.clear()
+        yield
+        matrix_mod._SCENARIO_MEMO.clear()
+        matrix_mod._SCENARIO_MEMO.update(saved)
+
+    def test_multi_device_sweep_renders_each_program_once(
+        self, fresh_text_memos, fresh_scenario_memo, monkeypatch, tokenizer
+    ):
+        from repro.eval.matrix import scenario_samples
+        from repro.kernels.corpus import default_corpus
+
+        uids = tuple(p.uid for p in default_corpus().programs[7:12])
+        gpus = list(GPU_DATABASE.values())[:3]
+
+        renders = []
+        real_render = text_mod.render_program
+        monkeypatch.setattr(
+            text_mod,
+            "render_program",
+            lambda p: renders.append(p.uid) or real_render(p),
+        )
+        counts = []
+        real_count = BpeTokenizer.count_tokens
+        monkeypatch.setattr(
+            BpeTokenizer,
+            "count_tokens",
+            lambda self, text: counts.append(1) or real_count(self, text),
+        )
+
+        per_gpu = [scenario_samples(g, uids=uids) for g in gpus]
+
+        # Device-independent text work ran once per program, not once per
+        # (program, device); the per-device profiles still differ.
+        assert sorted(renders) == sorted(uids)
+        assert len(counts) == len(uids)
+        for samples in per_gpu[1:]:
+            for a, b in zip(per_gpu[0], samples):
+                assert a.source == b.source
+                assert a.token_count == b.token_count
+        names = {s.gpu_name for samples in per_gpu for s in samples}
+        assert len(names) == len(gpus)
+
+
+class TestActiveCache:
+    def test_env_var_activates_cache(
+        self, small_corpus, small_tokenizer, tmp_path, monkeypatch,
+        fresh_text_memos,
+    ):
+        monkeypatch.setenv("REPRO_ARTIFACT_CACHE", str(tmp_path / "env-ac"))
+        assert active_artifact_cache() is not None
+        program_texts(
+            list(small_corpus.programs[:2]), small_tokenizer
+        )  # default: active cache
+        manifest = ArtifactCache(tmp_path / "env-ac").manifest()
+        assert manifest.source_entries == 2
+        assert manifest.count_entries == 2
+
+    def test_empty_env_means_no_cache(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ARTIFACT_CACHE", "")
+        assert active_artifact_cache() is None
+
+    def test_set_active_overrides_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_ARTIFACT_CACHE", str(tmp_path / "ignored"))
+        set_active_artifact_cache(None)
+        try:
+            assert active_artifact_cache() is None
+        finally:
+            reset_active_artifact_cache()
+
+    def test_env_max_bytes_parsed(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_ARTIFACT_CACHE", str(tmp_path / "ac"))
+        monkeypatch.setenv("REPRO_ARTIFACT_CACHE_MAX_BYTES", "4096")
+        cache = active_artifact_cache()
+        assert cache is not None
+        assert cache.max_bytes == 4096
+        monkeypatch.setenv("REPRO_ARTIFACT_CACHE_MAX_BYTES", "junk")
+        assert active_artifact_cache().max_bytes is None

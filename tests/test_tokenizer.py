@@ -1,6 +1,8 @@
 """Tests for the BPE tokenizer."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.tokenizer import BpeTokenizer, pretokenize
 from repro.tokenizer.bpe import _word_to_symbols
@@ -107,3 +109,147 @@ class TestCorpusTokenizer:
         from repro.tokenizer import corpus_tokenizer
 
         assert corpus_tokenizer() is tokenizer
+
+
+def seed_train(corpus, num_merges=3000, min_pair_count=2):
+    """The seed repo's recount-everything BPE trainer, replicated verbatim.
+
+    O(num_merges × corpus): every iteration recounts every pair frequency
+    across the whole word dict and rebuilds every word. The incremental
+    trainer in :meth:`BpeTokenizer.train` must learn a byte-identical
+    merge sequence; the hypothesis property below pins that equivalence.
+    """
+    from collections import Counter
+
+    if num_merges < 0:
+        raise ValueError("num_merges must be non-negative")
+    word_freq = Counter()
+    for text in corpus:
+        for word in pretokenize(text):
+            word_freq[_word_to_symbols(word)] += 1
+
+    merges = []
+    words = dict(word_freq)
+    for _ in range(num_merges):
+        pair_counts = Counter()
+        for word, freq in words.items():
+            for i in range(len(word) - 1):
+                pair_counts[(word[i], word[i + 1])] += freq
+        if not pair_counts:
+            break
+        best_pair, best_count = max(
+            pair_counts.items(), key=lambda kv: (kv[1], kv[0])
+        )
+        if best_count < min_pair_count:
+            break
+        merges.append(best_pair)
+        merged = best_pair[0] + best_pair[1]
+        new_words = {}
+        for word, freq in words.items():
+            out = []
+            i = 0
+            while i < len(word):
+                if (
+                    i < len(word) - 1
+                    and word[i] == best_pair[0]
+                    and word[i + 1] == best_pair[1]
+                ):
+                    out.append(merged)
+                    i += 2
+                else:
+                    out.append(word[i])
+                    i += 1
+            key = tuple(out)
+            new_words[key] = new_words.get(key, 0) + freq
+        words = new_words
+    return merges
+
+
+class TestIncrementalTrainerEquivalence:
+    """The incremental trainer is byte-identical to the seed trainer."""
+
+    @settings(max_examples=120, deadline=None)
+    @given(
+        texts=st.lists(
+            st.text(
+                alphabet="ab AB0(){};*+.\n\t_", min_size=0, max_size=120
+            ),
+            min_size=0,
+            max_size=5,
+        ),
+        num_merges=st.integers(min_value=0, max_value=48),
+        min_pair_count=st.integers(min_value=1, max_value=3),
+    )
+    def test_matches_seed_trainer(self, texts, num_merges, min_pair_count):
+        expected = seed_train(
+            texts, num_merges=num_merges, min_pair_count=min_pair_count
+        )
+        tok = BpeTokenizer.train(
+            texts, num_merges=num_merges, min_pair_count=min_pair_count
+        )
+        assert tok.merges == expected
+        # Same merges ⇒ same counting behaviour on arbitrary text,
+        # including text outside the training distribution.
+        reference = BpeTokenizer(merges=list(expected))
+        probe = "".join(texts) + " zz0*9 __global__ {\n\t} +== .q"
+        assert tok.count_tokens(probe) == reference.count_tokens(probe)
+        assert tok.encode(probe) == reference.encode(probe)
+
+    def test_matches_seed_on_code_like_text(self):
+        corpus = [
+            "for (int i = 0; i < n; i++) { out[i] = alpha * x[i] + y[i]; }",
+            "__global__ void k(float *x, int n) { x[0] = 0.5f; }",
+            "#pragma omp target teams distribute parallel for\n",
+        ] * 3
+        assert BpeTokenizer.train(corpus, num_merges=200).merges == seed_train(
+            corpus, num_merges=200
+        )
+
+    def test_min_pair_count_one_exhausts_identically(self):
+        # min_pair_count=1 drives training until no pairs remain — the
+        # loop-termination edge the incremental bookkeeping must also hit.
+        corpus = ["abcabd ee ff"]
+        assert BpeTokenizer.train(
+            corpus, num_merges=1000, min_pair_count=1
+        ).merges == seed_train(corpus, num_merges=1000, min_pair_count=1)
+
+
+class TestEncodeCache:
+    def _tok(self, cache_size):
+        return BpeTokenizer(
+            merges=[("a", "b"), ("ab", "c")], cache_size=cache_size
+        )
+
+    def test_cache_is_bounded(self):
+        tok = self._tok(cache_size=3)
+        for word in ["abc", "abd", "abe", "abf", "abg"]:
+            tok._encode_word(word)
+        assert len(tok._cache) <= 3
+
+    def test_lru_eviction_keeps_recently_used(self):
+        tok = self._tok(cache_size=3)
+        for word in ["one", "two", "three"]:
+            tok._encode_word(word)
+        tok._encode_word("one")  # refresh: now "two" is oldest
+        tok._encode_word("four")
+        assert "one" in tok._cache
+        assert "two" not in tok._cache
+
+    def test_zero_cache_size_disables_caching(self):
+        tok = self._tok(cache_size=0)
+        assert tok._encode_word("abc") == ("abc",)
+        assert tok._cache == {}
+
+    def test_cached_and_uncached_agree(self):
+        cached, uncached = self._tok(200_000), self._tok(0)
+        text = "abc abd xabcy ab ababab c"
+        assert cached.encode(text) == uncached.encode(text)
+        assert cached.count_tokens(text) == uncached.count_tokens(text)
+
+    def test_digest_depends_only_on_merges(self):
+        a = BpeTokenizer(merges=[("a", "b")], cache_size=7)
+        b = BpeTokenizer(merges=[("a", "b")])
+        c = BpeTokenizer(merges=[("a", "c")])
+        a.count_tokens("abab")  # cache contents must not leak into digests
+        assert a.digest() == b.digest()
+        assert a.digest() != c.digest()
