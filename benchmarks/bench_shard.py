@@ -51,10 +51,7 @@ def _sweep_cmd(extra: list[str]) -> list[str]:
 
 
 def _entry_files(root: Path) -> dict:
-    return {
-        str(p.relative_to(root)): p.read_bytes()
-        for p in root.glob("??/*.json")
-    }
+    return {p.name: p.read_bytes() for p in root.glob("responses-*.bin")}
 
 
 def test_shard_subprocess_walltime(tmp_path):

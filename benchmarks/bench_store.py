@@ -1,0 +1,197 @@
+"""F-store — segment codec: legacy JSON segments vs packed binary + mmap.
+
+The PR-5-era store kept each segment as one JSON document, so *any* read —
+even a single-entry probe — paid a full-file parse. The packed binary
+codec (``repro.store.base``) front-loads a tiny struct header and an entry
+index; attaching a segment mmaps it and parses only the index, and each
+requested entry decodes exactly its own blob. This bench builds one
+store-realistic segment (4 096 entries, ~1.5 KB each) in both layouts and
+times the access patterns the stores actually issue:
+
+* **attach + 1 entry** — a fresh process probing a warm on-disk store,
+  the dominant shard/CI pattern. Asserted ≥5× faster on binary.
+* **warm view, per entry** — repeated probes through the in-process view
+  cache (legacy wins by construction: its eager parse already paid for
+  every entry).
+* **whole segment** — full decode, the merge/manifest pattern. Binary
+  pays a per-entry ``json.loads`` where legacy parsed one document, so it
+  loses this row; merges are rare and batched, probes are constant, which
+  is exactly the trade the codec makes.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro.store.base import (
+    _VIEW_CACHE,
+    _VIEW_CACHE_LOCK,
+    ArtifactStore,
+    encode_segment,
+)
+from repro.util.tables import format_table
+
+N_ENTRIES = 4096
+ATTACH_REPS = 30
+WARM_REPS = 2000
+SEGMENT_KEY = "f" * 64
+
+
+class _BenchStore(ArtifactStore):
+    version = "bench-v1"
+    segment_prefixes = ("bench-",)
+
+
+def _entries() -> dict:
+    pad = "x" * 1400  # bulk entries like profile counters / responses
+    return {
+        f"{i:064x}": {"text": f"Compute {i}", "n": i, "pad": pad}
+        for i in range(N_ENTRIES)
+    }
+
+
+def _drop_views() -> None:
+    with _VIEW_CACHE_LOCK:
+        _VIEW_CACHE.clear()
+
+
+def _build(tmp_path, entries):
+    payload = {"version": _BenchStore.version, "key": SEGMENT_KEY}
+    binary = _BenchStore(tmp_path / "binary")
+    binary.root.mkdir(parents=True, exist_ok=True)
+    binary._segment_path("bench-", SEGMENT_KEY).write_bytes(
+        encode_segment(payload, entries)
+    )
+    legacy = _BenchStore(tmp_path / "legacy")
+    legacy.root.mkdir(parents=True, exist_ok=True)
+    legacy._legacy_segment_path("bench-", SEGMENT_KEY).write_text(
+        json.dumps({**payload, "entries": entries}, sort_keys=True),
+        encoding="utf-8",
+    )
+    return binary, legacy
+
+
+def _get_one(store: _BenchStore, entry_key: str) -> dict:
+    return store._get_entries(
+        "bench-", SEGMENT_KEY, [entry_key], expect_key=SEGMENT_KEY
+    )
+
+
+def _time_attach_probe(store: _BenchStore, keys) -> float:
+    start = time.perf_counter()
+    for i in range(ATTACH_REPS):
+        _drop_views()  # every rep is a fresh process attaching to the store
+        got = _get_one(store, keys[i % len(keys)])
+        assert len(got) == 1
+    return (time.perf_counter() - start) / ATTACH_REPS
+
+
+def _time_warm_probe(store: _BenchStore, keys) -> float:
+    _drop_views()
+    _get_one(store, keys[0])  # pay the attach outside the timed region
+    start = time.perf_counter()
+    for i in range(WARM_REPS):
+        got = _get_one(store, keys[i % len(keys)])
+        assert len(got) == 1
+    return (time.perf_counter() - start) / WARM_REPS
+
+
+def _time_whole_segment(store: _BenchStore) -> float:
+    start = time.perf_counter()
+    for _ in range(ATTACH_REPS):
+        _drop_views()
+        view = store._view_for("bench-", SEGMENT_KEY, expect_key=SEGMENT_KEY)
+        assert len(view.entries()) == N_ENTRIES
+    return (time.perf_counter() - start) / ATTACH_REPS
+
+
+def test_segment_read_paths(tmp_path):
+    entries = _entries()
+    binary, legacy = _build(tmp_path, entries)
+    keys = list(entries)[:: N_ENTRIES // 64]
+
+    # The two layouts must serve identical values before we time anything.
+    probe = keys[7]
+    assert _get_one(binary, probe) == _get_one(legacy, probe) == {
+        probe: entries[probe]
+    }
+
+    t_attach_bin = _time_attach_probe(binary, keys)
+    t_attach_json = _time_attach_probe(legacy, keys)
+    t_warm_bin = _time_warm_probe(binary, keys)
+    t_warm_json = _time_warm_probe(legacy, keys)
+    t_whole_bin = _time_whole_segment(binary)
+    t_whole_json = _time_whole_segment(legacy)
+
+    def us(t: float) -> str:
+        return f"{t * 1e6:,.0f}"
+
+    rows = [
+        ["attach + 1 entry (fresh process)", us(t_attach_json),
+         us(t_attach_bin), f"{t_attach_json / t_attach_bin:.1f}x"],
+        ["warm view, per entry", us(t_warm_json), us(t_warm_bin),
+         f"{t_warm_json / t_warm_bin:.1f}x"],
+        ["whole segment decode", us(t_whole_json), us(t_whole_bin),
+         f"{t_whole_json / t_whole_bin:.1f}x"],
+    ]
+    print()
+    print(format_table(
+        ["read pattern", "JSON segment (us)", "binary segment (us)",
+         "binary speedup"],
+        rows,
+        title=f"Segment codec: {N_ENTRIES} entries, one segment",
+    ))
+
+    # The load-bearing claim: a cold attach serving one entry must not pay
+    # the whole-segment parse. 5x is the floor; the margin grows with
+    # segment size.
+    assert t_attach_json / t_attach_bin >= 5.0, (
+        f"single-entry attach speedup {t_attach_json / t_attach_bin:.1f}x "
+        "< 5x floor"
+    )
+
+
+def test_batched_puts_vs_per_put_flush(tmp_path):
+    """One deferred flush per batch vs a read-merge-write per put."""
+    n = 384
+    items = {
+        f"{i:064x}": {"text": f"Compute {i}", "n": i} for i in range(n)
+    }
+    payload = {"version": _BenchStore.version, "key": SEGMENT_KEY}
+
+    eager = _BenchStore(tmp_path / "eager")
+    start = time.perf_counter()
+    for key, value in items.items():
+        eager._merge_entries(
+            "bench-", SEGMENT_KEY, payload, {key: value},
+            expect_key=SEGMENT_KEY,
+        )
+    t_eager = time.perf_counter() - start
+
+    batched = _BenchStore(tmp_path / "batched")
+    start = time.perf_counter()
+    with batched.deferred():
+        for key, value in items.items():
+            batched._merge_entries(
+                "bench-", SEGMENT_KEY, payload, {key: value},
+                expect_key=SEGMENT_KEY,
+            )
+    t_batched = time.perf_counter() - start
+
+    # Identical segments either way — batching changes cost, not content.
+    seg = "bench-" + SEGMENT_KEY[:32] + ".bin"
+    assert (eager.root / seg).read_bytes() == (batched.root / seg).read_bytes()
+
+    print()
+    print(format_table(
+        ["write pattern", "total (ms)", "per put (us)"],
+        [
+            ["per-put flush", f"{t_eager * 1e3:,.1f}",
+             f"{t_eager / n * 1e6:,.0f}"],
+            ["one deferred batch", f"{t_batched * 1e3:,.1f}",
+             f"{t_batched / n * 1e6:,.0f}"],
+        ],
+        title=f"{n} puts into one segment",
+    ))
+    assert t_batched < t_eager

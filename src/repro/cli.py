@@ -426,9 +426,8 @@ def _cmd_merge_caches(args: argparse.Namespace) -> int:
     print()
     print(result.render())
     _report_cache(engine)
-    # Replaying may have recomputed entries the size bound evicted; the
-    # amortised put-path check only fires every N writes, so re-apply the
-    # bound before exiting (no-op when unbounded).
+    # Replaying may have recomputed entries the size bound evicted;
+    # re-apply the bound before exiting (no-op when unbounded).
     store.evict()
     return 0
 
@@ -473,7 +472,7 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     else:
         if args.max_bytes is not None:
             removed = store.evict(args.max_bytes)
-            print(f"evicted {removed} entries @ {store.root}")
+            print(f"evicted {removed} segments @ {store.root}")
         print(f"cache dir: {store.root}")
         print(store.manifest().render())
     print()

@@ -37,6 +37,7 @@ import json
 import os
 import threading
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass
 from functools import lru_cache, partial
 from pathlib import Path
@@ -45,6 +46,7 @@ from typing import Protocol, Sequence
 from repro.llm.base import LlmModel, LlmResponse
 from repro.llm.config import ModelConfig
 from repro.llm.pricing import Usage, UsageMeter
+from repro.store.base import ArtifactStore, _segment_view, parse_max_bytes
 from repro.util.hashing import stable_hash_bytes
 from repro.util.parallel import (
     DEFAULT_BACKEND,
@@ -70,8 +72,8 @@ CACHE_MAX_BYTES_ENV = "REPRO_CACHE_MAX_BYTES"
 DEFAULT_CACHE_DIRNAME = ".repro-cache"
 
 #: Sidecar file (at a disk store's root) recording which source cache each
-#: merged entry came from. Not an entry file — ``??/*.json`` globs never
-#: see it — so merged and single-run stores stay entry-for-entry identical.
+#: merged entry came from. Not a segment or entry file — no store glob ever
+#: sees it — so merged and single-run stores stay entry-for-entry identical.
 MERGE_PROVENANCE_FILENAME = "merge-provenance.json"
 
 
@@ -81,15 +83,11 @@ def default_cache_dir() -> Path:
 
 
 def default_cache_max_bytes() -> int | None:
-    """The CLI's cache size bound (``$REPRO_CACHE_MAX_BYTES``; None = unbounded)."""
-    raw = os.environ.get(CACHE_MAX_BYTES_ENV, "").strip()
-    if not raw:
-        return None
-    try:
-        value = int(raw)
-    except ValueError:
-        return None
-    return value if value > 0 else None
+    """The CLI's cache size bound (``$REPRO_CACHE_MAX_BYTES``; ``None`` =
+    unbounded; ``0`` = keep nothing; junk warns and stays unbounded)."""
+    return parse_max_bytes(
+        os.environ.get(CACHE_MAX_BYTES_ENV), source=CACHE_MAX_BYTES_ENV
+    )
 
 
 @lru_cache(maxsize=256)
@@ -226,6 +224,7 @@ class CacheManifest:
     #: (source cache label, live merged entries), sorted — empty unless the
     #: store was assembled by ``merge_caches``.
     per_source: tuple[tuple[str, int], ...] = ()
+    stale_segments: int = 0  # version-skewed/unreadable; GC'd on next evict
 
     def render(self) -> str:
         lines = [f"entries:   {self.entries}", f"bytes:     {self.total_bytes}"]
@@ -234,6 +233,12 @@ class CacheManifest:
                 f"age:       {self.newest_age_s:.0f}s (newest) … "
                 f"{self.oldest_age_s:.0f}s (oldest)"
             )
+        if self.stale_segments:
+            lines.append(
+                f"stale:     {self.stale_segments} segment"
+                f"{'' if self.stale_segments == 1 else 's'} "
+                "(reclaimed on next eviction)"
+            )
         for name, count in self.per_model:
             lines.append(f"  {name or '<untagged>'}: {count}")
         for label, count in self.per_source:
@@ -241,62 +246,46 @@ class CacheManifest:
         return "\n".join(lines)
 
 
-class DiskResponseStore:
-    """One JSON file per key, sharded by hex prefix.
+class DiskResponseStore(ArtifactStore):
+    """Packed binary response segments, sharded by 2-hex key prefix.
 
-    Writes are atomic (temp file + :func:`os.replace`), so concurrent
-    writers — threads in one engine or separate processes sharing a cache
-    directory — can only ever race to install identical content.
+    One segment per key prefix (≤256 segments) instead of one JSON file
+    per key: a warm sweep resolves each hit with one mmap-backed index
+    probe and one per-entry JSON decode, and a deferred batch of puts
+    costs one read-merge-write per touched segment. Writes stay atomic
+    (temp file + :func:`os.replace`), so concurrent writers — threads in
+    one engine or separate processes sharing a cache directory — can only
+    ever race to install identical content.
 
-    Pass ``max_bytes`` for a size-bounded store: when the total entry size
-    exceeds the bound, oldest-written entries are evicted first (write age
-    approximates recency well here because re-putting an existing key
-    rewrites its file). The check is amortised over puts so the bound is
-    approximate between checks, never off by more than one check interval.
+    Pre-PR-6 caches (one ``root/xx/<key>.json`` file per entry) keep
+    serving: a key missing from its segment falls back to the legacy file,
+    and those files stay visible to ``size_bytes``/eviction/merging.
+
+    Pass ``max_bytes`` for a size-bounded store: when the total store size
+    exceeds the bound, oldest-written segments are evicted first. ``0``
+    keeps nothing; ``None`` is unbounded; negative bounds are rejected
+    (see :class:`~repro.store.base.ArtifactStore`).
     """
 
-    #: Re-check the size bound every this many puts (scanning is O(entries)).
-    EVICTION_CHECK_INTERVAL = 64
+    version = CACHE_SCHEMA_VERSION
+    segment_prefixes = ("responses-",)
 
-    def __init__(self, root: str | Path, *, max_bytes: int | None = None):
-        self.root = Path(root)
-        self.max_bytes = max_bytes if max_bytes and max_bytes > 0 else None
-        self._puts_since_check = 0
-        self._evict_lock = threading.Lock()
+    #: Inside ``deferred()`` (one engine sweep), merge pending entries to
+    #: disk every this many puts, so a crash mid-sweep loses at most one
+    #: interval of warmth.
+    DEFERRED_FLUSH_ENTRIES = 64
 
-    def _path(self, key: str) -> Path:
+    def _shard_of(self, key: str) -> str:
+        return key[:2]
+
+    def _response_payload(self, shard: str) -> dict:
+        return {"version": CACHE_SCHEMA_VERSION, "key": shard}
+
+    # -- legacy per-entry files (pre-segment caches) -------------------------
+    def _legacy_path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
 
-    def get(self, key: str) -> CachedResponse | None:
-        path = self._path(key)
-        try:
-            data = json.loads(path.read_text(encoding="utf-8"))
-        except (OSError, ValueError):
-            # Missing or torn entry (bad JSON, bad UTF-8) == miss; a put
-            # repairs it. JSONDecodeError and UnicodeDecodeError are both
-            # ValueErrors.
-            return None
-        try:
-            return CachedResponse.from_dict(data)
-        except (KeyError, TypeError, ValueError):
-            return None
-
-    def put(self, key: str, value: CachedResponse) -> None:
-        path = self._path(key)
-        try:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            tmp = path.with_suffix(
-                f".tmp.{os.getpid()}.{threading.get_ident()}"
-            )
-            tmp.write_text(
-                json.dumps(value.to_dict(), sort_keys=True), encoding="utf-8"
-            )
-            os.replace(tmp, path)
-        except OSError:
-            return  # unwritable store degrades to uncached, never crashes
-        self._maybe_evict()
-
-    def _files(self) -> list[Path]:
+    def _legacy_entry_files(self) -> list[Path]:
         if not self.root.is_dir():
             return []
         try:
@@ -304,70 +293,125 @@ class DiskResponseStore:
         except OSError:
             return []  # shard dir vanished mid-scan (concurrent wipe)
 
+    def _extra_data_files(self) -> list[Path]:
+        return self._legacy_entry_files()
+
+    def _iter_tmp_files(self) -> list[Path]:
+        files = super()._iter_tmp_files()
+        # Pre-segment writers left their tmp files inside the shard dirs.
+        if self.root.is_dir():
+            try:
+                files.extend(
+                    p for p in self.root.glob("??/*.tmp.*") if p.is_file()
+                )
+            except OSError:
+                pass
+        return files
+
+    def _legacy_dict(self, key: str) -> dict | None:
+        try:
+            data = json.loads(
+                self._legacy_path(key).read_text(encoding="utf-8")
+            )
+        except (OSError, ValueError):
+            # Missing or torn entry (bad JSON, bad UTF-8) == miss; a put
+            # repairs it. JSONDecodeError and UnicodeDecodeError are both
+            # ValueErrors.
+            return None
+        return data if isinstance(data, dict) else None
+
+    # -- the ResponseStore protocol ------------------------------------------
+    def get(self, key: str) -> CachedResponse | None:
+        shard = self._shard_of(key)
+        entries = self._get_entries(
+            "responses-", shard, [key], expect_key=shard
+        )
+        raw = entries.get(key)
+        if raw is None:
+            raw = self._legacy_dict(key)
+        if not isinstance(raw, dict):
+            return None
+        try:
+            return CachedResponse.from_dict(raw)
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def put(self, key: str, value: CachedResponse) -> None:
+        shard = self._shard_of(key)
+        self._merge_entries(
+            "responses-",
+            shard,
+            self._response_payload(shard),
+            {key: value.to_dict()},
+            expect_key=shard,
+        )
+
+    def _has(self, key: str) -> bool:
+        shard = self._shard_of(key)
+        with self._store_lock:
+            pend = self._pending.get(self._segment_path("responses-", shard))
+            if pend is not None and key in pend[3]:
+                return True
+        view = self._view_for("responses-", shard, expect_key=shard)
+        if view is not None and key in view:
+            return True
+        return self._legacy_path(key).is_file()
+
+    def _live_blobs(self) -> dict[str, bytes]:
+        """key → canonical entry bytes for every live entry; a segment
+        entry shadows its (already-migrated) legacy twin."""
+        self.flush()
+        blobs: dict[str, bytes] = {}
+        for path in self._segment_files():
+            if path.suffix == ".json" and path.with_suffix(".bin").is_file():
+                continue
+            view = _segment_view(path)
+            if view is None or view.payload.get("version") != self.version:
+                continue
+            for key in view.keys():
+                blob = view.blob(key)
+                if blob is not None:
+                    blobs[key] = blob
+        for p in self._legacy_entry_files():
+            if p.stem in blobs:
+                continue
+            data = self._legacy_dict(p.stem)
+            if data is not None:
+                blobs[p.stem] = json.dumps(data, sort_keys=True).encode("utf-8")
+        return blobs
+
     def __len__(self) -> int:
-        return len(self._files())
+        return len(self._live_blobs())
 
     def iter_entries(self):
-        """Yield ``(key, path)`` for every entry file, in key order.
+        """Yield ``(key, canonical JSON bytes)`` per live entry, key-sorted.
 
-        The raw-file view of the store used by cache merging
-        (:func:`repro.eval.shard.merge_caches`), which copies entry bytes
-        verbatim instead of decoding and re-encoding them.
+        The raw-bytes view of the store used by cache merging
+        (:func:`repro.eval.shard.merge_caches`): entry blobs are canonical
+        (sorted keys, deterministic JSON) in both the binary segments and
+        legacy per-entry files, so byte equality means value equality.
         """
-        for path in self._files():
-            yield path.stem, path
+        blobs = self._live_blobs()
+        for key in sorted(blobs):
+            yield key, blobs[key]
 
-    def size_bytes(self) -> int:
-        total = 0
-        for p in self._files():
-            try:
-                total += p.stat().st_size
-            except OSError:
-                continue  # entry wiped by a concurrent process
-        return total
-
-    # -- size-bounded eviction ----------------------------------------------
-    def _maybe_evict(self) -> None:
-        if self.max_bytes is None:
-            return
-        with self._evict_lock:
-            self._puts_since_check += 1
-            if self._puts_since_check < self.EVICTION_CHECK_INTERVAL:
-                return
-            self._puts_since_check = 0
-        self.evict()
-
-    def evict(self, max_bytes: int | None = None) -> int:
-        """Delete oldest-written entries until the store fits ``max_bytes``
-        (defaults to the store's configured bound). Returns entries removed.
-        """
-        bound = self.max_bytes if max_bytes is None else max_bytes
-        if bound is None or bound <= 0:
-            # Same convention as the constructor: no positive bound means
-            # unbounded, never "evict everything".
-            return 0
-        stats: list[tuple[float, int, Path]] = []
-        total = 0
-        for p in self._files():
-            try:
-                st = p.stat()
-            except OSError:
-                continue
-            stats.append((st.st_mtime, st.st_size, p))
-            total += st.st_size
-        if total <= bound:
-            return 0
-        removed = 0
-        for _, size, path in sorted(stats):
-            if total <= bound:
-                break
-            try:
-                path.unlink()
-            except OSError:
-                continue  # lost a race with a concurrent evictor
-            total -= size
-            removed += 1
-        return removed
+    def get_blob(self, key: str) -> bytes | None:
+        """One live entry's canonical JSON bytes (segment, pending batch,
+        or legacy file), or ``None`` — the merge conflict check."""
+        shard = self._shard_of(key)
+        with self._store_lock:
+            pend = self._pending.get(self._segment_path("responses-", shard))
+            if pend is not None and key in pend[3]:
+                return json.dumps(pend[3][key], sort_keys=True).encode("utf-8")
+        view = self._view_for("responses-", shard, expect_key=shard)
+        if view is not None:
+            blob = view.blob(key)
+            if blob is not None:
+                return blob
+        data = self._legacy_dict(key)
+        if data is None:
+            return None
+        return json.dumps(data, sort_keys=True).encode("utf-8")
 
     # -- merge provenance ---------------------------------------------------
     @property
@@ -398,10 +442,11 @@ class DiskResponseStore:
         """
         if not mapping:
             return
+        self.flush()
         merged = {
             key: label
             for key, label in self.provenance().items()
-            if self._path(key).is_file()
+            if self._has(key)
         }
         merged.update(mapping)
         try:
@@ -418,7 +463,11 @@ class DiskResponseStore:
     def manifest(self) -> CacheManifest:
         """Entry count, byte total, age range, per-model and (for merged
         stores) per-source entry counts. A missing or empty cache directory
-        reads as an empty manifest, never an error."""
+        reads as an empty manifest, never an error.
+
+        Entry ages derive from their file's mtime — every entry in one
+        segment shares the segment's last-write age."""
+        self.flush()
         now = time.time()
         per_model: dict[str, int] = {}
         provenance = self.provenance()
@@ -427,22 +476,47 @@ class DiskResponseStore:
         oldest: float | None = None
         newest: float | None = None
         count = 0
-        for p in self._files():
-            try:
-                st = p.stat()
-                data = json.loads(p.read_text(encoding="utf-8"))
-            except (OSError, ValueError):
-                continue
+        seen: set[str] = set()
+
+        def _tally(key: str, data: dict, age: float) -> None:
+            nonlocal count, oldest, newest
             count += 1
-            total += st.st_size
-            age = max(0.0, now - st.st_mtime)
+            seen.add(key)
             oldest = age if oldest is None else max(oldest, age)
             newest = age if newest is None else min(newest, age)
             model = str(data.get("model", ""))
             per_model[model] = per_model.get(model, 0) + 1
-            source = provenance.get(p.stem)
+            source = provenance.get(key)
             if source is not None:
                 per_source[source] = per_source.get(source, 0) + 1
+
+        for path in self._segment_files():
+            if path.suffix == ".json" and path.with_suffix(".bin").is_file():
+                continue
+            view = _segment_view(path)
+            if view is None or view.payload.get("version") != self.version:
+                continue
+            try:
+                st = path.stat()
+            except OSError:
+                continue
+            total += st.st_size
+            age = max(0.0, now - st.st_mtime)
+            for key, data in view.entries().items():
+                if isinstance(data, dict):
+                    _tally(key, data, age)
+        for p in self._legacy_entry_files():
+            if p.stem in seen:
+                continue
+            try:
+                st = p.stat()
+            except OSError:
+                continue
+            data = self._legacy_dict(p.stem)
+            if data is None:
+                continue
+            total += st.st_size
+            _tally(p.stem, data, max(0.0, now - st.st_mtime))
         return CacheManifest(
             entries=count,
             total_bytes=total,
@@ -450,17 +524,14 @@ class DiskResponseStore:
             newest_age_s=newest,
             per_model=tuple(sorted(per_model.items())),
             per_source=tuple(sorted(per_source.items())),
+            stale_segments=self.stale_segment_count(),
         )
 
     def clear(self) -> None:
-        # Remove only entry files and their (then-empty) shard dirs — never
-        # the root wholesale: --cache-dir may point at a directory that
-        # contains unrelated files.
-        for path in self._files():
-            try:
-                path.unlink()
-            except OSError:
-                pass
+        # Remove only files the store owns and then-empty shard dirs —
+        # never the root wholesale: --cache-dir may point at a directory
+        # that contains unrelated files.
+        super().clear()
         try:
             self._provenance_path.unlink()
         except OSError:
@@ -470,11 +541,6 @@ class DiskResponseStore:
         for shard in self.root.iterdir():
             if not (shard.is_dir() and len(shard.name) == 2):
                 continue
-            for stale in shard.glob("*.tmp.*"):
-                try:
-                    stale.unlink()
-                except OSError:
-                    pass
             try:
                 shard.rmdir()
             except OSError:
@@ -604,15 +670,20 @@ class EvalEngine:
         if not items:
             raise ValueError("no items to run")
 
-        if self.backend == "process" and self.jobs > 1 and len(items) > 1:
-            responses = self._responses_via_processes(
-                model, items, temperature, top_p
-            )
-        else:
-            fn = partial(self._complete_item, model, temperature, top_p)
-            responses = parallel_map(
-                fn, items, jobs=self.jobs, backend=self.backend
-            )
+        # Batch the sweep's store writes: one read-merge-write per touched
+        # segment per flush interval instead of one per completion. Stores
+        # without deferral (MemoryResponseStore, test doubles) run as-is.
+        deferred = getattr(self.store, "deferred", None)
+        with deferred() if deferred is not None else nullcontext():
+            if self.backend == "process" and self.jobs > 1 and len(items) > 1:
+                responses = self._responses_via_processes(
+                    model, items, temperature, top_p
+                )
+            else:
+                fn = partial(self._complete_item, model, temperature, top_p)
+                responses = parallel_map(
+                    fn, items, jobs=self.jobs, backend=self.backend
+                )
 
         records = [
             _make_record(item_id, truth, response)

@@ -17,12 +17,13 @@ never need to talk to each other:
   :func:`repro.eval.rq23.classification_items` path as the single-machine
   sweep, so shard cache keys are exactly the keys a single run would write.
 * :func:`merge_caches` unions shard caches into one store
-  (``repro-paper merge-caches``), copying entry files byte-verbatim,
-  refusing conflicting values under one key, recording shard provenance in
-  a sidecar manifest, and honoring a size bound. For a partitioned grid the
-  merged store equals the single-machine store entry-for-entry, so a sweep
-  replayed over it issues **zero** new completions and reproduces the
-  matrix report byte-identically.
+  (``repro-paper merge-caches``), copying entry blobs byte-verbatim into
+  the destination's segments, refusing conflicting values under one key,
+  recording shard provenance in a sidecar manifest, and honoring a size
+  bound. For a partitioned grid the merged store equals the single-machine
+  store entry-for-entry (and, segments being canonically encoded,
+  file-for-file), so a sweep replayed over it issues **zero** new
+  completions and reproduces the matrix report byte-identically.
 
 Interrupted or lost shards are cheap: re-running a shard replays its
 finished work from its cache and computes only what's missing.
@@ -36,12 +37,13 @@ skip the symbolic IR walk entirely once any one of them has warmed it.
 
 from __future__ import annotations
 
-import os
+import json
+from contextlib import ExitStack
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Sequence
 
-from repro.eval.engine import DiskResponseStore, EvalEngine
+from repro.eval.engine import CachedResponse, DiskResponseStore, EvalEngine
 from repro.eval.matrix import MATRIX_RQS, grid_uids, scenario_samples
 from repro.eval.rq23 import classification_items
 from repro.llm.base import LlmModel
@@ -243,33 +245,44 @@ def run_shard(
     for (_, gpu_name, _), cell_uids in grouped.items():
         union = uids_by_gpu.setdefault(gpu_name, [])
         union.extend(u for u in cell_uids if u not in union)
-    samples_by_gpu = {
-        gpu_name: {
-            s.uid: s
-            for s in scenario_samples(
-                gpu_by_name[gpu_name], uids=tuple(sorted(union)),
-                jobs=engine.jobs,
-            )
-        }
-        for gpu_name, union in uids_by_gpu.items()
-    }
+    from repro.gpusim.store import active_profile_store
+    from repro.store.text import active_artifact_cache
 
     cells = []
-    for (model_name, gpu_name, rq), cell_uids in grouped.items():
-        gpu = gpu_by_name[gpu_name]
-        samples = [samples_by_gpu[gpu_name][uid] for uid in cell_uids]
-        items = classification_items(
-            samples, few_shot=(rq == "rq3"), gpu=gpu
-        )
-        engine.run(model_by_name[model_name], items)
-        cells.append(
-            ShardCellSlice(
-                model_name=model_name,
-                gpu_name=gpu_name,
-                rq=rq,
-                items=len(items),
+    with ExitStack() as stack:
+        # Batch the whole shard's profile/artifact-store writes: one
+        # read-merge-write per segment at block exit (or per flush
+        # interval) instead of one per device pass. The response store
+        # batches per engine.run call already.
+        for batched in (active_profile_store(), active_artifact_cache()):
+            if batched is not None:
+                stack.enter_context(batched.deferred())
+        samples_by_gpu = {
+            gpu_name: {
+                s.uid: s
+                for s in scenario_samples(
+                    gpu_by_name[gpu_name], uids=tuple(sorted(union)),
+                    jobs=engine.jobs,
+                )
+            }
+            for gpu_name, union in uids_by_gpu.items()
+        }
+
+        for (model_name, gpu_name, rq), cell_uids in grouped.items():
+            gpu = gpu_by_name[gpu_name]
+            samples = [samples_by_gpu[gpu_name][uid] for uid in cell_uids]
+            items = classification_items(
+                samples, few_shot=(rq == "rq3"), gpu=gpu
             )
-        )
+            engine.run(model_by_name[model_name], items)
+            cells.append(
+                ShardCellSlice(
+                    model_name=model_name,
+                    gpu_name=gpu_name,
+                    rq=rq,
+                    items=len(items),
+                )
+            )
     return ShardRunReport(
         shard_index=shard_index,
         num_shards=num_shards,
@@ -334,56 +347,60 @@ def merge_caches(
 ) -> MergeReport:
     """Union shard caches into one store.
 
-    Entry files are copied byte-verbatim (atomic temp-file + rename), so
-    for a partitioned grid the merged store equals the single-machine store
-    entry-for-entry. A key present in the destination or an earlier source
-    must carry identical bytes — anything else raises
+    Entry *blobs* are copied byte-verbatim into the destination's binary
+    segments (legacy per-entry source files included — their canonical
+    JSON bytes are what a segment would hold), so for a partitioned grid
+    the merged store equals the single-machine store entry-for-entry,
+    segment-file-for-segment-file. A key present in the destination or an
+    earlier source must carry identical bytes — anything else raises
     :class:`CacheMergeConflict` rather than silently corrupting results.
     Missing or empty sources are tolerated (an interrupted shard simply
     contributes nothing; the report names it). Each installed entry's
     source is recorded in the destination's provenance sidecar, surfaced by
-    ``repro-paper cache``; with ``max_bytes``, oldest-written entries are
+    ``repro-paper cache``; with ``max_bytes``, oldest-written segments are
     evicted after the union.
     """
-    dest_store = DiskResponseStore(dest, max_bytes=max_bytes)
+    # Unbounded during the union: the size bound applies once at the end,
+    # so mid-merge flushes never evict entries a later source still needs
+    # for byte-conflict checks.
+    dest_store = DiskResponseStore(dest)
     merged = duplicates = 0
     per_source: list[tuple[str, int]] = []
     empty: list[str] = []
     provenance: dict[str, str] = {}
     try:
-        for source in sources:
-            label = str(source)
-            contributed = 0
-            entries = list(DiskResponseStore(source).iter_entries())
-            if not entries:
-                empty.append(label)
-                per_source.append((label, 0))
-                continue
-            for key, path in entries:
-                try:
-                    data = path.read_bytes()
-                except OSError:
-                    continue  # entry vanished mid-merge: same as an empty slot
-                dest_path = dest_store._path(key)
-                if dest_path.exists():
-                    if dest_path.read_bytes() != data:
-                        raise CacheMergeConflict(key, label, str(dest))
-                    duplicates += 1
+        with dest_store.deferred():
+            for source in sources:
+                label = str(source)
+                contributed = 0
+                entries = list(DiskResponseStore(source).iter_entries())
+                if not entries:
+                    empty.append(label)
+                    per_source.append((label, 0))
                     continue
-                dest_path.parent.mkdir(parents=True, exist_ok=True)
-                tmp = dest_path.with_suffix(f".tmp.{os.getpid()}.merge")
-                tmp.write_bytes(data)
-                os.replace(tmp, dest_path)
-                provenance[key] = label
-                contributed += 1
-                merged += 1
-            per_source.append((label, contributed))
+                for key, blob in entries:
+                    existing = dest_store.get_blob(key)
+                    if existing is not None:
+                        if existing != blob:
+                            raise CacheMergeConflict(key, label, str(dest))
+                        duplicates += 1
+                        continue
+                    try:
+                        value = CachedResponse.from_dict(json.loads(blob))
+                    except (KeyError, TypeError, ValueError):
+                        continue  # unreadable source entry: an empty slot
+                    dest_store.put(key, value)
+                    provenance[key] = label
+                    contributed += 1
+                    merged += 1
+                per_source.append((label, contributed))
     finally:
         # Even on a conflict abort the entries installed so far stay in
-        # dest, so their provenance must stay with them — otherwise a
-        # retry (which sees them as duplicates) could never label them.
+        # dest (the deferred block flushes on the way out), so their
+        # provenance must stay with them — otherwise a retry (which sees
+        # them as duplicates) could never label them.
         dest_store.record_provenance(provenance)
-    evicted = dest_store.evict(max_bytes) if max_bytes else 0
+    evicted = dest_store.evict(max_bytes) if max_bytes is not None else 0
     return MergeReport(
         dest=str(dest),
         merged=merged,

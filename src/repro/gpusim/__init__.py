@@ -21,6 +21,7 @@ from repro.gpusim.profiler import (
     KernelProfile,
     SymbolicTrace,
     finalize_profile,
+    finalize_profiles,
     profile_corpus,
     profile_first_kernel,
     profile_kernel,
@@ -53,6 +54,7 @@ __all__ = [
     "SymbolicTrace",
     "symbolic_trace",
     "finalize_profile",
+    "finalize_profiles",
     "profile_kernel",
     "profile_first_kernel",
     "profile_corpus",

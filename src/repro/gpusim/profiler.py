@@ -23,6 +23,7 @@ from repro.gpusim.device import DeviceModel, default_device
 from repro.gpusim.memory import (
     AccessSite,
     aggregate_traffic,
+    batch_site_traffic,
     coalescing_quality,
 )
 from repro.gpusim.timing import TimingBreakdown, estimate_time
@@ -431,23 +432,16 @@ class KernelProfile:
         )
 
 
-def finalize_profile(
+def _finalize_from_traffic(
     trace: SymbolicTrace,
-    device: DeviceModel | None = None,
-    *,
-    uid: str = "",
+    device: DeviceModel,
+    uid: str,
+    read_b: float,
+    write_b: float,
+    useful_b: float,
+    txn_b: float,
 ) -> KernelProfile:
-    """Phase 2: turn a symbolic trace into one device's profile.
-
-    Reproduces the seed single-pass profiler bit-for-bit: traffic
-    aggregation, counter jitter, and timing draw from the same streams in
-    the same order. ``uid`` keys the per-kernel noise/efficiency draws
-    (defaults to the kernel name, matching :func:`profile_kernel`).
-    """
-    device = device or default_device()
-    read_b, write_b, useful_b, txn_b = aggregate_traffic(
-        trace.sites, device, assume_merged=True
-    )
+    """Shared phase-2 tail: jitter + timing from aggregated traffic."""
     quality = coalescing_quality(useful_b, txn_b)
 
     rng = device.efficiency_stream(uid or trace.kernel_name)
@@ -485,6 +479,74 @@ def finalize_profile(
         time_s=timing.total_s,
     )
     return KernelProfile(counters=counters, timing=timing, coalescing=quality)
+
+
+def finalize_profile(
+    trace: SymbolicTrace,
+    device: DeviceModel | None = None,
+    *,
+    uid: str = "",
+) -> KernelProfile:
+    """Phase 2: turn a symbolic trace into one device's profile.
+
+    Reproduces the seed single-pass profiler bit-for-bit: traffic
+    aggregation, counter jitter, and timing draw from the same streams in
+    the same order. ``uid`` keys the per-kernel noise/efficiency draws
+    (defaults to the kernel name, matching :func:`profile_kernel`).
+    """
+    device = device or default_device()
+    read_b, write_b, useful_b, txn_b = aggregate_traffic(
+        trace.sites, device, assume_merged=True
+    )
+    return _finalize_from_traffic(
+        trace, device, uid, read_b, write_b, useful_b, txn_b
+    )
+
+
+def finalize_profiles(
+    traces: list[SymbolicTrace],
+    device: DeviceModel | None = None,
+    *,
+    uids: list[str] | None = None,
+) -> list[KernelProfile]:
+    """Phase 2 over a whole batch: one vectorized traffic pass per device.
+
+    Bit-identical to mapping :func:`finalize_profile` over the batch. The
+    per-site coalescing/reuse model runs once over preallocated float64
+    columns spanning every trace's sites
+    (:func:`~repro.gpusim.memory.batch_site_traffic`, elementwise-exact),
+    then each trace reduces its own slice with sequential Python float
+    additions — the same order the scalar aggregator uses, so the sums
+    match bit for bit. The per-kernel RNG draws (counter jitter, timing)
+    are keyed by uid and independent across kernels, so they stay scalar.
+    """
+    device = device or default_device()
+    traces = list(traces)
+    if uids is None:
+        uids = [""] * len(traces)
+    flat: list[AccessSite] = []
+    bounds = [0]
+    for trace in traces:
+        flat.extend(trace.sites)
+        bounds.append(len(flat))
+    if flat:
+        read_a, write_a, useful_a, txn_a = batch_site_traffic(flat, device)
+        reads, writes = read_a.tolist(), write_a.tolist()
+        usefuls, txns = useful_a.tolist(), txn_a.tolist()
+    else:
+        reads = writes = usefuls = txns = []
+    profiles: list[KernelProfile] = []
+    for trace, uid, lo, hi in zip(traces, uids, bounds, bounds[1:]):
+        r = w = u = t = 0.0
+        for i in range(lo, hi):
+            r += reads[i]
+            w += writes[i]
+            u += usefuls[i]
+            t += txns[i]
+        profiles.append(
+            _finalize_from_traffic(trace, device, uid, r, w, u, t)
+        )
+    return profiles
 
 
 def profile_kernel(
@@ -620,15 +682,20 @@ def profile_programs(
                 traces.update(store.get_traces(need))
         walked: dict[str, SymbolicTrace] = {}
 
-        def profile_one(item: tuple[ProgramSpec, str]) -> KernelProfile:
+        def trace_one(item: tuple[ProgramSpec, str]) -> SymbolicTrace:
             program, key = item
             trace = traces.get(key)
             if trace is None:
                 trace = symbolic_trace(program.first_kernel, program.cmdline)
                 walked[key] = trace
-            return finalize_profile(trace, device, uid=program.uid)
+            return trace
 
-        profiles = parallel_map(profile_one, missing, jobs=jobs)
+        # Phase 1 (the IR walks) fans out over the workers; phase 2 runs
+        # as one vectorized finalize over the whole device batch.
+        batch = parallel_map(trace_one, missing, jobs=jobs)
+        profiles = finalize_profiles(
+            batch, device, uids=[p.uid for p, _ in missing]
+        )
         computed = {k: prof for (_, k), prof in zip(missing, profiles)}
         if walked:
             _install_traces(walked)

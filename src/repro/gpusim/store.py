@@ -20,8 +20,9 @@ exactly the affected entries; a stale entry can only ever read as a miss,
 never as a wrong profile.
 
 Storage is segment-per-device rather than file-per-entry: one profile
-pass reads and writes whole device batches, and a single JSON segment
-turns a warm 6-device corpus pass into six file reads instead of ~4500.
+pass reads and writes whole device batches, and a single packed binary
+segment (mmap-backed, decoded lazily per entry) turns a warm 6-device
+corpus pass into six index parses instead of ~4500 file reads.
 Phase-1 traces (:class:`~repro.gpusim.profiler.SymbolicTrace`) persist in
 their own device-independent segment, so even a device never profiled
 before skips the IR walk.
@@ -41,7 +42,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Mapping, Sequence
 
-from repro.store.base import ArtifactStore, memoized_object_key
+from repro.store.base import ArtifactStore, memoized_object_key, parse_max_bytes
 from repro.util.hashing import stable_hash_hex
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (profiler imports us)
@@ -76,15 +77,12 @@ def default_profile_cache_dir() -> Path:
 
 
 def default_profile_cache_max_bytes() -> int | None:
-    """``$REPRO_PROFILE_CACHE_MAX_BYTES`` as an int (None = unbounded)."""
-    raw = os.environ.get(PROFILE_CACHE_MAX_BYTES_ENV, "").strip()
-    if not raw:
-        return None
-    try:
-        value = int(raw)
-    except ValueError:
-        return None
-    return value if value > 0 else None
+    """``$REPRO_PROFILE_CACHE_MAX_BYTES`` as an int (``None`` =
+    unbounded; ``0`` = keep nothing; junk warns and stays unbounded)."""
+    return parse_max_bytes(
+        os.environ.get(PROFILE_CACHE_MAX_BYTES_ENV),
+        source=PROFILE_CACHE_MAX_BYTES_ENV,
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -147,6 +145,7 @@ class ProfileStoreManifest:
     trace_entries: int
     total_bytes: int
     per_device: tuple[tuple[str, int], ...]  # (device name, entries), sorted
+    stale_segments: int = 0  # version-skewed/unreadable; GC'd on next evict
 
     def render(self) -> str:
         lines = [
@@ -155,6 +154,12 @@ class ProfileStoreManifest:
             f"traces:    {self.trace_entries}",
             f"bytes:     {self.total_bytes}",
         ]
+        if self.stale_segments:
+            lines.append(
+                f"stale:     {self.stale_segments} segment"
+                f"{'' if self.stale_segments == 1 else 's'} "
+                "(reclaimed on next eviction)"
+            )
         for name, count in self.per_device:
             lines.append(f"  {name}: {count}")
         return "\n".join(lines)
@@ -172,28 +177,31 @@ class ProfileStore(ArtifactStore):
     segment_prefixes = (_SEGMENT_PREFIX_PROFILES, _SEGMENT_PREFIX_TRACES)
 
     # -- segment naming ------------------------------------------------------
+    def _traces_key(self) -> str:
+        return stable_hash_hex(PROFILER_VERSION)
+
     def _profiles_path(self, device_key: str) -> Path:
         return self._segment_path(_SEGMENT_PREFIX_PROFILES, device_key)
 
     def _traces_path(self) -> Path:
-        return self._segment_path(
-            _SEGMENT_PREFIX_TRACES, stable_hash_hex(PROFILER_VERSION)
-        )
+        return self._segment_path(_SEGMENT_PREFIX_TRACES, self._traces_key())
 
     # -- profiles ------------------------------------------------------------
     def get_profiles(
         self, device: "DeviceModel", program_keys: Sequence[str]
     ) -> dict[str, "KernelProfile"]:
-        """program key → profile for every requested key present on disk."""
+        """program key → profile for every requested key present on disk.
+
+        Lazy: decodes only the requested keys' blobs, not the device's
+        whole segment."""
         from repro.gpusim.profiler import KernelProfile
 
         dkey = device_profile_key(device)
-        entries = self._read_segment(
-            self._profiles_path(dkey), expect_key=dkey
+        entries = self._get_entries(
+            _SEGMENT_PREFIX_PROFILES, dkey, program_keys, expect_key=dkey
         )
         out: dict[str, KernelProfile] = {}
-        for key in program_keys:
-            raw = entries.get(key)
+        for key, raw in entries.items():
             if raw is None:
                 continue
             try:
@@ -210,7 +218,8 @@ class ProfileStore(ArtifactStore):
             return
         dkey = device_profile_key(device)
         self._merge_entries(
-            self._profiles_path(dkey),
+            _SEGMENT_PREFIX_PROFILES,
+            dkey,
             {
                 "version": PROFILER_VERSION,
                 "key": dkey,
@@ -224,13 +233,17 @@ class ProfileStore(ArtifactStore):
     def get_traces(
         self, program_keys: Sequence[str]
     ) -> dict[str, "SymbolicTrace"]:
-        """program key → phase-1 trace for every requested key on disk."""
+        """program key → phase-1 trace for every requested key (lazy)."""
         from repro.gpusim.profiler import SymbolicTrace
 
-        entries = self._read_segment(self._traces_path(), expect_key=None)
+        entries = self._get_entries(
+            _SEGMENT_PREFIX_TRACES,
+            self._traces_key(),
+            program_keys,
+            expect_key=None,
+        )
         out: dict[str, SymbolicTrace] = {}
-        for key in program_keys:
-            raw = entries.get(key)
+        for key, raw in entries.items():
             if raw is None:
                 continue
             try:
@@ -243,7 +256,8 @@ class ProfileStore(ArtifactStore):
         if not traces:
             return
         self._merge_entries(
-            self._traces_path(),
+            _SEGMENT_PREFIX_TRACES,
+            self._traces_key(),
             {"version": PROFILER_VERSION},
             {key: tr.to_dict() for key, tr in traces.items()},
             expect_key=None,
@@ -252,10 +266,14 @@ class ProfileStore(ArtifactStore):
     # -- lifecycle -----------------------------------------------------------
     def __len__(self) -> int:
         """Total stored profile entries (traces are not counted)."""
+        self.flush()
         total = 0
         for path in self._segment_files():
-            if path.name.startswith(_SEGMENT_PREFIX_PROFILES):
-                total += len(self._read_segment(path, expect_key=None))
+            if not path.name.startswith(_SEGMENT_PREFIX_PROFILES):
+                continue
+            if path.suffix == ".json" and path.with_suffix(".bin").is_file():
+                continue  # legacy twin shadowed by its migrated segment
+            total += len(self._read_segment(path, expect_key=None))
         return total
 
     def manifest(self) -> ProfileStoreManifest:
@@ -282,6 +300,7 @@ class ProfileStore(ArtifactStore):
             trace_entries=trace_entries,
             total_bytes=self.size_bytes(),
             per_device=tuple(sorted(per_device.items())),
+            stale_segments=self.stale_segment_count(),
         )
 
 

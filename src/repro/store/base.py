@@ -1,23 +1,57 @@
 """The :class:`ArtifactStore` base: segments, eviction, atomic writes.
 
-Extracted verbatim from the profile store (PR 4) so that every
-content-addressed disk cache in the repo shares one implementation of the
-risky parts — atomic read-merge-write segment I/O, corruption-tolerant
-reads, and size-bounded oldest-first eviction. Subclasses declare their
-``version`` string (recorded in and checked against every segment) and
-their ``segment_prefixes`` (the filename prefixes of every segment kind
-the store *family* owns — stores sharing one root directory list the
-union, so a shared size bound spans all of them).
+Extracted from the profile store (PR 4) so that every content-addressed
+disk cache in the repo shares one implementation of the risky parts —
+atomic read-merge-write segment I/O, corruption-tolerant reads, and
+size-bounded oldest-first eviction. Subclasses declare their ``version``
+string (recorded in and checked against every segment) and their
+``segment_prefixes`` (the filename prefixes of every segment kind the
+store *family* owns — stores sharing one root directory list the union,
+so a shared size bound spans all of them).
+
+Segments are **packed binary** files (PR 6)::
+
+    magic | total size | meta len | index len     (20-byte struct header)
+    meta JSON   {"version": ..., "key": ..., ...} (payload sans entries)
+    index       "\n"-joined key blob + packed (offset, length) span array
+    body        u32-length-prefixed JSON blobs, one per entry, key-sorted
+
+Reads are mmap-backed and **lazy**: opening a segment parses only the
+header and index; each requested entry decodes exactly its own blob, so a
+warm single-entry probe of a 5 000-entry segment never touches the other
+4 999. The recorded total size makes torn writes detectable — a segment
+truncated at *any* byte reads as empty, never raises. Encoding is
+canonical (sorted keys, deterministic JSON), so two stores holding the
+same entries hold byte-identical segment files.
+
+Legacy ``.json`` segments (PR 4/5 era) remain readable: reads fall back
+to the ``.json`` twin when no binary segment exists, and the next write
+to that segment migrates it (merge into binary, unlink the legacy file).
+Existing ``.repro-*-cache`` directories therefore keep serving without a
+flag day.
+
+Writes are buffered: each ``put`` lands in an in-process pending map that
+:meth:`ArtifactStore.flush` merges into disk segments — one
+read-merge-write per segment per flush, not per entry batch. Outside a
+:meth:`ArtifactStore.deferred` block every put flushes immediately (the
+pre-PR-6 durability contract); hot sweep paths open a ``deferred()``
+block to batch many put calls into one merge.
 """
 
 from __future__ import annotations
 
 import json
+import mmap
 import os
+import struct
 import threading
+import time
+import warnings
 import weakref
+from collections import OrderedDict
+from contextlib import contextmanager
 from pathlib import Path
-from typing import Callable, Iterator, Mapping, TypeVar
+from typing import Callable, Iterable, Iterator, Mapping, Sequence, TypeVar
 
 T = TypeVar("T")
 
@@ -56,22 +90,338 @@ def memoized_object_key(
 
 
 # ---------------------------------------------------------------------------
+# Size-bound parsing (shared by every store's env override)
+# ---------------------------------------------------------------------------
+
+def parse_max_bytes(raw: object, *, source: str = "") -> int | None:
+    """Parse a store size bound.
+
+    ``None``/blank → unbounded; ``"0"`` → keep nothing (evict everything);
+    anything unparseable or negative is **warned about** and treated as
+    unbounded — silently honouring ``1GB`` as "never evict" is exactly the
+    bug this guards against.
+    """
+    if raw is None:
+        return None
+    text = str(raw).strip()
+    if not text:
+        return None
+    origin = f" from {source}" if source else ""
+    try:
+        value = int(text)
+    except ValueError:
+        warnings.warn(
+            f"ignoring unparseable size bound {text!r}{origin}: expected an "
+            "integer byte count (e.g. 1073741824, not '1GB'); the store "
+            "stays unbounded",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return None
+    if value < 0:
+        warnings.warn(
+            f"ignoring negative size bound {value}{origin}: use 0 to keep "
+            "nothing or omit the bound for an unbounded store",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return None
+    return value
+
+
+# ---------------------------------------------------------------------------
+# The packed binary segment codec
+# ---------------------------------------------------------------------------
+
+SEGMENT_MAGIC = b"RSG1"
+
+#: magic, total file size, meta length, index length (little-endian).
+_SEGMENT_HEADER = struct.Struct("<4sQII")
+_BLOB_PREFIX = struct.Struct("<I")
+#: index layout: u32 key-blob length, the "\n"-joined key blob, then one
+#: packed (u64 offset, u32 length) span per key in the same order. Packed
+#: rather than JSON so attaching a segment decodes the whole index with
+#: three C-level calls (split / iter_unpack / dict-of-zip) — the
+#: attach-and-probe-one-entry path must never pay a per-key Python loop.
+_KEY_BLOB_PREFIX = struct.Struct("<I")
+_SPAN = struct.Struct("<QI")
+
+_MISS = object()
+
+
+def _encode_blob(value: object) -> bytes:
+    """One entry's canonical JSON blob — byte-identical to the encoding
+    legacy JSON segments used for entry values, so format migration never
+    changes a value's bytes."""
+    if isinstance(value, bytes):
+        return value
+    return json.dumps(value, sort_keys=True).encode("utf-8")
+
+
+def encode_segment(payload: Mapping, entries: Mapping[str, object]) -> bytes:
+    """Pack ``payload`` + ``entries`` into one binary segment.
+
+    Deterministic: entries are laid out in sorted key order and every JSON
+    piece is canonically encoded, so equal logical content yields equal
+    bytes (the shard-merge suite compares whole segment files on this).
+    Entry keys must not contain newlines (they delimit the key blob) —
+    every store keys entries by hex digests or identifiers, so this is a
+    codec constraint, not a practical one.
+    """
+    keys = sorted(entries)
+    spans: list[bytes] = []
+    parts: list[bytes] = []
+    offset = 0
+    for key in keys:
+        if "\n" in key:
+            raise ValueError(f"segment entry key contains newline: {key!r}")
+        blob = _encode_blob(entries[key])
+        spans.append(_SPAN.pack(offset, len(blob)))
+        parts.append(_BLOB_PREFIX.pack(len(blob)))
+        parts.append(blob)
+        offset += _BLOB_PREFIX.size + len(blob)
+    meta = json.dumps(dict(payload), sort_keys=True).encode("utf-8")
+    key_blob = "\n".join(keys).encode("utf-8")
+    index_len = _KEY_BLOB_PREFIX.size + len(key_blob) + len(b"".join(spans))
+    total = _SEGMENT_HEADER.size + len(meta) + index_len + offset
+    return b"".join(
+        [
+            _SEGMENT_HEADER.pack(SEGMENT_MAGIC, total, len(meta), index_len),
+            meta,
+            _KEY_BLOB_PREFIX.pack(len(key_blob)),
+            key_blob,
+            *spans,
+            *parts,
+        ]
+    )
+
+
+class SegmentView:
+    """Parsed header + lazily decodable entries of one readable segment.
+
+    Binary segments keep an mmap of the file and decode single entries on
+    demand; legacy JSON segments arrive fully decoded (the whole file was
+    one JSON document) and merely present the same interface.
+    """
+
+    __slots__ = ("payload", "_index", "_buf", "_body_start", "_entries")
+
+    def __init__(
+        self,
+        payload: dict,
+        *,
+        index: dict | None = None,
+        buf=None,
+        body_start: int = 0,
+        entries: dict | None = None,
+    ):
+        self.payload = payload
+        self._index = index
+        self._buf = buf
+        self._body_start = body_start
+        self._entries = entries
+
+    def __len__(self) -> int:
+        if self._entries is not None:
+            return len(self._entries)
+        return len(self._index)
+
+    def __contains__(self, key: str) -> bool:
+        if self._entries is not None:
+            return key in self._entries
+        return key in self._index
+
+    def keys(self):
+        if self._entries is not None:
+            return self._entries.keys()
+        return self._index.keys()
+
+    def blob(self, key: str) -> bytes | None:
+        """The entry's canonical JSON bytes, or ``None`` when absent."""
+        if self._entries is not None:
+            if key not in self._entries:
+                return None
+            return _encode_blob(self._entries[key])
+        span = self._index.get(key)
+        # Spans come straight from the untrusted index JSON; validate here,
+        # per probe, so attaching never pays a whole-index scan.
+        if (
+            not isinstance(span, (list, tuple))
+            or len(span) != 2
+            or not all(isinstance(v, int) for v in span)
+        ):
+            return None
+        offset, length = span
+        if offset < 0 or length < 0:
+            return None
+        start = self._body_start + offset
+        try:
+            (prefixed,) = _BLOB_PREFIX.unpack_from(self._buf, start)
+        except struct.error:
+            return None
+        if prefixed != length:
+            return None  # index/body disagree: corrupt entry == miss
+        blob = bytes(self._buf[start + _BLOB_PREFIX.size : start + _BLOB_PREFIX.size + length])
+        if len(blob) != length:
+            return None
+        return blob
+
+    def get(self, key: str, default=None):
+        """Decode exactly one entry (lazy for binary segments)."""
+        if self._entries is not None:
+            return self._entries.get(key, default)
+        blob = self.blob(key)
+        if blob is None:
+            return default
+        try:
+            return json.loads(blob)
+        except ValueError:
+            return default
+
+    def entries(self) -> dict:
+        """Full decode — the manifest/merge path, not the warm-read path."""
+        if self._entries is not None:
+            return dict(self._entries)
+        out = {}
+        for key in self._index:
+            value = self.get(key, _MISS)
+            if value is not _MISS:
+                out[key] = value
+        return out
+
+
+def _load_binary_view(path: Path) -> SegmentView | None:
+    """Parse one binary segment's header and index; ``None`` when the file
+    is missing, torn (size mismatch with the recorded total), or trash."""
+    try:
+        with open(path, "rb") as f:
+            st = os.fstat(f.fileno())
+            size = st.st_size
+            if size < _SEGMENT_HEADER.size:
+                return None
+            try:
+                buf = mmap.mmap(f.fileno(), 0, access=mmap.ACCESS_READ)
+            except (OSError, ValueError):
+                buf = f.read()
+    except OSError:
+        return None
+    try:
+        magic, total, meta_len, index_len = _SEGMENT_HEADER.unpack_from(buf, 0)
+        if magic != SEGMENT_MAGIC or total != size:
+            return None
+        meta_start = _SEGMENT_HEADER.size
+        index_start = meta_start + meta_len
+        body_start = index_start + index_len
+        if body_start > size:
+            return None
+        payload = json.loads(bytes(buf[meta_start:index_start]))
+        if not isinstance(payload, dict):
+            return None
+        (key_blob_len,) = _KEY_BLOB_PREFIX.unpack_from(buf, index_start)
+        keys_start = index_start + _KEY_BLOB_PREFIX.size
+        spans_start = keys_start + key_blob_len
+        if spans_start > body_start:
+            return None
+        if key_blob_len:
+            keys = bytes(buf[keys_start:spans_start]).decode("utf-8").split("\n")
+        else:
+            keys = []
+        span_bytes = bytes(buf[spans_start:body_start])
+        if len(span_bytes) != len(keys) * _SPAN.size:
+            return None
+        # All C-level: attach cost is index I/O, never a per-key loop.
+        index = dict(zip(keys, _SPAN.iter_unpack(span_bytes)))
+        if len(index) != len(keys):
+            return None  # duplicate keys: not a segment we wrote
+    except (struct.error, ValueError, TypeError, UnicodeDecodeError):
+        return None
+    # Span *contents* are validated lazily in :meth:`SegmentView.blob` — a
+    # span pointing outside the body is a per-entry miss.
+    return SegmentView(payload, index=index, buf=buf, body_start=body_start)
+
+
+def _load_legacy_view(path: Path) -> SegmentView | None:
+    """Parse one legacy whole-JSON segment into an eager view."""
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+    if not isinstance(data, dict):
+        return None
+    entries = data.get("entries")
+    if not isinstance(entries, dict):
+        return None
+    payload = {k: v for k, v in data.items() if k != "entries"}
+    return SegmentView(payload, entries=entries)
+
+
+# Parsed views are cached process-wide by (path, stat signature): a warm
+# replay probes the same segment thousands of times, and re-parsing the
+# index (let alone re-reading a legacy JSON file) per probe would defeat
+# the lazy format. A rewrite changes the signature and reloads; mmaps of
+# replaced files stay valid until dropped.
+_VIEW_CACHE_LOCK = threading.Lock()
+_VIEW_CACHE: "OrderedDict[str, tuple[tuple, SegmentView | None]]" = OrderedDict()
+_VIEW_CACHE_CAP = 512
+
+
+def _segment_view(path: Path) -> SegmentView | None:
+    """The cached view of ``path`` (binary or legacy by suffix), or ``None``
+    for anything missing or unreadable."""
+    try:
+        st = os.stat(path)
+    except OSError:
+        return None
+    sig = (st.st_mtime_ns, st.st_size, st.st_ino)
+    cache_key = str(path)
+    with _VIEW_CACHE_LOCK:
+        hit = _VIEW_CACHE.get(cache_key)
+        if hit is not None and hit[0] == sig:
+            _VIEW_CACHE.move_to_end(cache_key)
+            return hit[1]
+    if path.suffix == ".json":
+        view = _load_legacy_view(path)
+    else:
+        view = _load_binary_view(path)
+    with _VIEW_CACHE_LOCK:
+        _VIEW_CACHE[cache_key] = (sig, view)
+        _VIEW_CACHE.move_to_end(cache_key)
+        while len(_VIEW_CACHE) > _VIEW_CACHE_CAP:
+            _VIEW_CACHE.popitem(last=False)
+    return view
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except OSError:
+        return True  # exists but not ours (EPERM): treat as alive
+    return True
+
+
+# ---------------------------------------------------------------------------
 # The store base
 # ---------------------------------------------------------------------------
 
 class ArtifactStore:
-    """Disk-backed JSON segments with size-bounded eviction.
+    """Disk-backed packed-binary segments with size-bounded eviction.
 
-    One JSON segment per reuse unit (a device's profiles, a corpus's
-    sources, a tokenizer's counts). Writes are atomic and
-    read-merge-write, so concurrent writers can at worst lose some of
-    each other's *warmth* — entries are content-addressed and
-    deterministic, so no interleaving can install a wrong value.
+    One segment per reuse unit (a device's profiles, a corpus's sources, a
+    tokenizer's counts). Writes are atomic and read-merge-write, so
+    concurrent writers can at worst lose some of each other's *warmth* —
+    entries are content-addressed and deterministic, so no interleaving
+    can install a wrong value.
 
-    Pass ``max_bytes`` for a size-bounded store: after each put, whole
-    segments are evicted oldest-written-first until the store fits (a
-    segment is the reuse unit, so entry-level eviction would buy nothing
-    but bookkeeping).
+    ``max_bytes`` semantics: ``None`` (default) is unbounded; ``0`` keeps
+    nothing — every eviction pass deletes every segment (useful to force a
+    cache-off sweep without unplumbing the store); a positive bound evicts
+    whole segments oldest-written-first until the store fits. Negative
+    bounds are rejected. Eviction also garbage-collects version-skewed and
+    unreadable segments (stranded by version bumps) and sweeps stale
+    ``*.tmp.*`` files leaked by crashed writers; live tmp files count
+    toward the bound so it stays honest.
     """
 
     #: Recorded in every segment payload and checked on read; bump in the
@@ -83,12 +433,36 @@ class ArtifactStore:
     #: stores sharing one root share one bound.
     segment_prefixes: tuple[str, ...] = ()
 
+    #: Inside a ``deferred()`` block, flush anyway once this many entries
+    #: are buffered (bounds memory on huge sweeps).
+    DEFERRED_FLUSH_ENTRIES = 4096
+
+    #: A ``*.tmp.*`` file older than this is stale even if a process with
+    #: its recorded pid is still alive (pids recycle).
+    STALE_TMP_AGE_S = 3600.0
+
     def __init__(self, root: str | Path, *, max_bytes: int | None = None):
         self.root = Path(root)
-        self.max_bytes = max_bytes if max_bytes and max_bytes > 0 else None
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError(
+                f"max_bytes must be >= 0 or None, got {max_bytes} "
+                "(0 keeps nothing; None is unbounded)"
+            )
+        self.max_bytes = max_bytes
+        self._store_lock = threading.RLock()
+        self._pending: dict[Path, list] = {}
+        self._pending_entries = 0
+        self._defer_depth = 0
+        # Crashed writers leak tmp files that no size check used to see;
+        # sweep the stale ones whenever a store attaches to a directory.
+        if self.root.is_dir():
+            self._sweep_stale_tmp_files()
 
-    # -- segment I/O ---------------------------------------------------------
+    # -- segment naming ------------------------------------------------------
     def _segment_path(self, prefix: str, key: str) -> Path:
+        return self.root / f"{prefix}{key[:32]}.bin"
+
+    def _legacy_segment_path(self, prefix: str, key: str) -> Path:
         return self.root / f"{prefix}{key[:32]}.json"
 
     def _segment_files(self) -> list[Path]:
@@ -98,94 +472,266 @@ class ArtifactStore:
             return sorted(
                 p
                 for p in self.root.iterdir()
-                if p.name.endswith(".json")
+                if p.name.endswith((".bin", ".json"))
                 and p.name.startswith(self.segment_prefixes)
             )
         except OSError:
             return []  # root vanished mid-scan (concurrent wipe)
 
-    def _read_segment(self, path: Path, *, expect_key: str | None) -> dict:
-        """A segment's ``entries`` dict; anything unreadable reads as empty.
+    def _iter_tmp_files(self) -> list[Path]:
+        if not self.root.is_dir():
+            return []
+        try:
+            return [p for p in self.root.glob("*.tmp.*") if p.is_file()]
+        except OSError:
+            return []
+
+    def _extra_data_files(self) -> list[Path]:
+        """Non-segment files the store also owns (counted and evictable);
+        hook for :class:`~repro.eval.engine.DiskResponseStore`'s legacy
+        per-entry files."""
+        return []
+
+    # -- reads ---------------------------------------------------------------
+    def _view_for(
+        self, prefix: str, key: str, *, expect_key: str | None
+    ) -> SegmentView | None:
+        """The readable current-version view of one logical segment —
+        binary first, legacy ``.json`` fallback.
 
         ``expect_key`` guards against prefix-truncated filename collisions
         and version skew: a segment whose recorded key differs is ignored.
         """
-        try:
-            data = json.loads(path.read_text(encoding="utf-8"))
-        except (OSError, ValueError):
-            return {}
-        if not isinstance(data, dict) or data.get("version") != self.version:
-            return {}
-        if expect_key is not None and data.get("key") != expect_key:
-            return {}
-        entries = data.get("entries")
-        return entries if isinstance(entries, dict) else {}
+        for path in (
+            self._segment_path(prefix, key),
+            self._legacy_segment_path(prefix, key),
+        ):
+            view = _segment_view(path)
+            if view is None:
+                continue
+            if view.payload.get("version") != self.version:
+                continue
+            if expect_key is not None and view.payload.get("key") != expect_key:
+                continue
+            return view
+        return None
 
-    def _write_segment(
-        self, path: Path, payload: dict, merge_into: dict
+    def _get_entries(
+        self,
+        prefix: str,
+        key: str,
+        entry_keys: Sequence[str],
+        *,
+        expect_key: str | None,
+    ) -> dict:
+        """entry key → raw (JSON-shaped) value for every requested key
+        present, decoding **only** the requested entries. Buffered puts
+        overlay the on-disk segment, so a deferred batch reads its own
+        writes."""
+        out: dict = {}
+        view = self._view_for(prefix, key, expect_key=expect_key)
+        if view is not None:
+            for k in entry_keys:
+                value = view.get(k, _MISS)
+                if value is not _MISS:
+                    out[k] = value
+        with self._store_lock:
+            pend = self._pending.get(self._segment_path(prefix, key))
+            if pend is not None:
+                entries = pend[3]
+                for k in entry_keys:
+                    if k in entries:
+                        out[k] = entries[k]
+        return out
+
+    def _read_segment(self, path: Path, *, expect_key: str | None) -> dict:
+        """A segment file's full ``entries`` dict; anything unreadable,
+        version-skewed, or mis-keyed reads as empty."""
+        view = _segment_view(path)
+        if view is None or view.payload.get("version") != self.version:
+            return {}
+        if expect_key is not None and view.payload.get("key") != expect_key:
+            return {}
+        return view.entries()
+
+    def iter_segments(self) -> Iterator[tuple[Path, dict]]:
+        """Yield ``(path, payload)`` for every readable current-version
+        segment — the raw material for subclass manifests. A legacy
+        ``.json`` segment shadowed by its migrated binary twin is skipped,
+        so entries are never double-counted."""
+        self.flush()
+        for path in self._segment_files():
+            if path.suffix == ".json" and path.with_suffix(".bin").is_file():
+                continue
+            view = _segment_view(path)
+            if view is None or view.payload.get("version") != self.version:
+                continue
+            data = dict(view.payload)
+            data["entries"] = view.entries()
+            yield path, data
+
+    def stale_segment_count(self) -> int:
+        """Segment files that can no longer serve reads — version-skewed
+        (stranded by a version bump) or unreadable — plus legacy files
+        shadowed by a migrated binary twin. The next :meth:`evict` call
+        garbage-collects them; manifests surface this count."""
+        stale = 0
+        for path in self._segment_files():
+            if path.suffix == ".json" and path.with_suffix(".bin").is_file():
+                stale += 1
+                continue
+            view = _segment_view(path)
+            if view is None or view.payload.get("version") != self.version:
+                stale += 1
+        return stale
+
+    # -- writes --------------------------------------------------------------
+    def _merge_entries(
+        self,
+        prefix: str,
+        key: str,
+        payload: dict,
+        entries: Mapping,
+        *,
+        expect_key: str | None,
     ) -> None:
-        """Atomically install ``payload`` with ``entries`` = merge of the
-        segment's current entries and ``merge_into``. Unwritable stores
-        degrade to uncached, never crash the computing pass."""
+        """Buffer ``entries`` for the segment at ``(prefix, key)``; outside
+        a :meth:`deferred` block this flushes (one read-merge-write)
+        immediately."""
+        if not entries:
+            return
+        path = self._segment_path(prefix, key)
+        with self._store_lock:
+            pend = self._pending.get(path)
+            if pend is None:
+                self._pending[path] = [prefix, key, dict(payload), dict(entries), expect_key]
+            else:
+                pend[2] = dict(payload)
+                pend[3].update(entries)
+            self._pending_entries += len(entries)
+            flush_now = (
+                self._defer_depth == 0
+                or self._pending_entries >= self.DEFERRED_FLUSH_ENTRIES
+            )
+        if flush_now:
+            self.flush()
+
+    def flush(self) -> None:
+        """Merge every buffered batch into its disk segment — one
+        read-merge-write per segment regardless of how many put calls
+        accumulated. A no-op with nothing pending.
+
+        The whole merge loop holds the store lock: two threads flushing
+        the same segment would otherwise interleave their read-merge-write
+        cycles and the last replace would drop the other's entries.
+        Blocking a ``put`` until an in-flight flush lands is also what
+        makes read-your-writes hold when another thread's flush happens to
+        carry this thread's pending batch."""
+        with self._store_lock:
+            if not self._pending:
+                return
+            pending = self._pending
+            self._pending = {}
+            self._pending_entries = 0
+            for path, (prefix, key, payload, entries, expect_key) in pending.items():
+                merged = {}
+                view = self._view_for(prefix, key, expect_key=expect_key)
+                if view is not None:
+                    merged = view.entries()
+                merged.update(entries)
+                self._write_segment(path, payload, merged)
+        self._maybe_evict()
+
+    @contextmanager
+    def deferred(self):
+        """Batch puts: inside the block they buffer in memory (reads still
+        see them); the block exit flushes once per touched segment."""
+        with self._store_lock:
+            self._defer_depth += 1
+        try:
+            yield self
+        finally:
+            with self._store_lock:
+                self._defer_depth -= 1
+                flush_now = self._defer_depth == 0
+            if flush_now:
+                self.flush()
+
+    def _write_segment(self, path: Path, payload: dict, entries: dict) -> None:
+        """Atomically install the binary segment; a same-stem legacy
+        ``.json`` segment is unlinked afterwards (its entries were merged
+        in, completing the migration). Unwritable stores degrade to
+        uncached, never crash the computing pass."""
         try:
             self.root.mkdir(parents=True, exist_ok=True)
             tmp = path.with_suffix(
                 f".tmp.{os.getpid()}.{threading.get_ident()}"
             )
-            tmp.write_text(
-                json.dumps({**payload, "entries": merge_into}, sort_keys=True),
-                encoding="utf-8",
-            )
+            tmp.write_bytes(encode_segment(payload, entries))
             os.replace(tmp, path)
         except OSError:
             return
-        self._maybe_evict()
-
-    def _merge_entries(
-        self, path: Path, payload: dict, entries: Mapping, *,
-        expect_key: str | None,
-    ) -> None:
-        """Read-merge-write ``entries`` into the segment at ``path``."""
-        if not entries:
-            return
-        merged = self._read_segment(path, expect_key=expect_key)
-        merged.update(entries)
-        self._write_segment(path, payload, merged)
-
-    def iter_segments(self) -> Iterator[tuple[Path, dict]]:
-        """Yield ``(path, payload)`` for every readable current-version
-        segment — the raw material for subclass manifests."""
-        for path in self._segment_files():
-            try:
-                data = json.loads(path.read_text(encoding="utf-8"))
-            except (OSError, ValueError):
-                continue
-            if not isinstance(data, dict) or data.get("version") != self.version:
-                continue
-            if not isinstance(data.get("entries"), dict):
-                continue
-            yield path, data
+        legacy = path.with_suffix(".json")
+        try:
+            legacy.unlink()
+        except OSError:
+            pass  # usually just absent
 
     # -- lifecycle -----------------------------------------------------------
     def size_bytes(self) -> int:
+        """Bytes the store occupies on disk: segments, legacy files, and
+        ``*.tmp.*`` leftovers — everything the eviction bound must cover."""
+        self.flush()
         total = 0
-        for p in self._segment_files():
+        for p in (
+            *self._segment_files(),
+            *self._extra_data_files(),
+            *self._iter_tmp_files(),
+        ):
             try:
                 total += p.stat().st_size
             except OSError:
                 continue
         return total
 
+    def _sweep_stale_tmp_files(self) -> int:
+        """Delete tmp files leaked by crashed writers: their recorded pid
+        is dead, or they outlived :data:`STALE_TMP_AGE_S`. A live writer's
+        in-flight tmp file survives."""
+        removed = 0
+        now = time.time()
+        for p in self._iter_tmp_files():
+            pid: int | None = None
+            _, _, tail = p.name.partition(".tmp.")
+            head = tail.split(".", 1)[0]
+            if head.isdigit():
+                pid = int(head)
+            stale = True
+            if pid is not None and _pid_alive(pid):
+                try:
+                    stale = now - p.stat().st_mtime > self.STALE_TMP_AGE_S
+                except OSError:
+                    continue  # vanished mid-sweep: nothing left to do
+            if stale:
+                try:
+                    p.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
     def _maybe_evict(self) -> None:
         if self.max_bytes is not None:
             self.evict()
 
     def evict(self, max_bytes: int | None = None) -> int:
-        """Delete oldest-written segments until the store fits ``max_bytes``
-        (defaults to the configured bound). Returns segments removed."""
-        bound = self.max_bytes if max_bytes is None else max_bytes
-        if bound is None or bound <= 0:
-            return 0
+        """Garbage-collect stale segments and tmp leftovers, then delete
+        oldest-written segments until the store fits ``max_bytes``
+        (defaults to the configured bound; ``0`` keeps nothing; ``None``
+        skips the bound pass). Returns segment/data files removed."""
+        self.flush()
+        self._sweep_stale_tmp_files()
+        removed = 0
         stats: list[tuple[float, int, Path]] = []
         total = 0
         for p in self._segment_files():
@@ -193,11 +739,40 @@ class ArtifactStore:
                 st = p.stat()
             except OSError:
                 continue
+            shadowed = (
+                p.suffix == ".json" and p.with_suffix(".bin").is_file()
+            )
+            view = _segment_view(p)
+            if (
+                shadowed
+                or view is None
+                or view.payload.get("version") != self.version
+            ):
+                # Version-skewed, unreadable, or superseded: unreachable
+                # disk garbage regardless of any size bound.
+                try:
+                    p.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+                continue
             stats.append((st.st_mtime, st.st_size, p))
             total += st.st_size
-        if total <= bound:
-            return 0
-        removed = 0
+        for p in self._extra_data_files():
+            try:
+                st = p.stat()
+            except OSError:
+                continue
+            stats.append((st.st_mtime, st.st_size, p))
+            total += st.st_size
+        for p in self._iter_tmp_files():
+            try:
+                total += p.stat().st_size  # live writers count, too
+            except OSError:
+                continue
+        bound = self.max_bytes if max_bytes is None else max_bytes
+        if bound is None or total <= bound:
+            return removed
         for _, size, path in sorted(stats):
             if total <= bound:
                 break
@@ -210,16 +785,17 @@ class ArtifactStore:
         return removed
 
     def clear(self) -> None:
-        # Remove only segment files, never the root wholesale: the
+        # Remove only files the store owns, never the root wholesale: the
         # directory may contain unrelated files.
-        for path in self._segment_files():
+        with self._store_lock:
+            self._pending.clear()
+            self._pending_entries = 0
+        for path in (*self._segment_files(), *self._extra_data_files()):
             try:
                 path.unlink()
             except OSError:
                 pass
-        if not self.root.is_dir():
-            return
-        for stale in self.root.glob("*.tmp.*"):
+        for stale in self._iter_tmp_files():
             try:
                 stale.unlink()
             except OSError:

@@ -32,11 +32,12 @@ from __future__ import annotations
 
 import os
 import threading
+from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
 
-from repro.store.base import ArtifactStore, memoized_object_key
+from repro.store.base import ArtifactStore, memoized_object_key, parse_max_bytes
 from repro.tokenizer.bpe import BPE_VERSION
 from repro.util.hashing import stable_hash_hex
 
@@ -79,15 +80,12 @@ def default_artifact_cache_dir() -> Path:
 
 
 def default_artifact_cache_max_bytes() -> int | None:
-    """``$REPRO_ARTIFACT_CACHE_MAX_BYTES`` as an int (None = unbounded)."""
-    raw = os.environ.get(ARTIFACT_CACHE_MAX_BYTES_ENV, "").strip()
-    if not raw:
-        return None
-    try:
-        value = int(raw)
-    except ValueError:
-        return None
-    return value if value > 0 else None
+    """``$REPRO_ARTIFACT_CACHE_MAX_BYTES`` as an int (``None`` =
+    unbounded; ``0`` = keep nothing; junk warns and stays unbounded)."""
+    return parse_max_bytes(
+        os.environ.get(ARTIFACT_CACHE_MAX_BYTES_ENV),
+        source=ARTIFACT_CACHE_MAX_BYTES_ENV,
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -145,14 +143,24 @@ class TokenizerStore(ArtifactStore):
     version = TEXT_VERSION
     segment_prefixes = TEXT_SEGMENT_PREFIXES
 
+    def _tokenizers_key(self) -> str:
+        return stable_hash_hex(TEXT_VERSION)
+
     def _tokenizers_path(self) -> Path:
         return self._segment_path(
-            _SEGMENT_PREFIX_TOKENIZERS, stable_hash_hex(TEXT_VERSION)
+            _SEGMENT_PREFIX_TOKENIZERS, self._tokenizers_key()
         )
 
     def get_merges(self, key: str) -> list[tuple[str, str]] | None:
-        """The stored merge list under ``key``, or ``None`` on a miss."""
-        entries = self._read_segment(self._tokenizers_path(), expect_key=None)
+        """The stored merge list under ``key``, or ``None`` on a miss.
+
+        Lazy: decodes only this tokenizer's blob, not the segment."""
+        entries = self._get_entries(
+            _SEGMENT_PREFIX_TOKENIZERS,
+            self._tokenizers_key(),
+            [key],
+            expect_key=None,
+        )
         raw = entries.get(key)
         if not isinstance(raw, list):
             return None
@@ -170,9 +178,9 @@ class TokenizerStore(ArtifactStore):
     def put_merges(
         self, key: str, merges: Iterable[tuple[str, str]]
     ) -> None:
-        path = self._tokenizers_path()
         self._merge_entries(
-            path,
+            _SEGMENT_PREFIX_TOKENIZERS,
+            self._tokenizers_key(),
             {"version": TEXT_VERSION},
             {key: [list(pair) for pair in merges]},
             expect_key=None,
@@ -190,27 +198,36 @@ class RenderStore(ArtifactStore):
     version = TEXT_VERSION
     segment_prefixes = TEXT_SEGMENT_PREFIXES
 
+    def _sources_key(self) -> str:
+        return stable_hash_hex(TEXT_VERSION)
+
     def _sources_path(self) -> Path:
-        return self._segment_path(
-            _SEGMENT_PREFIX_SOURCES, stable_hash_hex(TEXT_VERSION)
-        )
+        return self._segment_path(_SEGMENT_PREFIX_SOURCES, self._sources_key())
 
     def _counts_path(self, tokenizer_digest: str) -> Path:
         return self._segment_path(_SEGMENT_PREFIX_COUNTS, tokenizer_digest)
 
     # -- sources -------------------------------------------------------------
     def get_sources(self, text_keys: Sequence[str]) -> dict[str, str]:
-        """text key → concatenated source for every requested key on disk."""
-        entries = self._read_segment(self._sources_path(), expect_key=None)
+        """text key → concatenated source for every requested key on disk.
+
+        Lazy: only the requested programs' source blobs decode."""
+        entries = self._get_entries(
+            _SEGMENT_PREFIX_SOURCES,
+            self._sources_key(),
+            text_keys,
+            expect_key=None,
+        )
         return {
-            key: entries[key]
-            for key in text_keys
-            if isinstance(entries.get(key), str)
+            key: value
+            for key, value in entries.items()
+            if isinstance(value, str)
         }
 
     def put_sources(self, sources: Mapping[str, str]) -> None:
         self._merge_entries(
-            self._sources_path(),
+            _SEGMENT_PREFIX_SOURCES,
+            self._sources_key(),
             {"version": TEXT_VERSION},
             dict(sources),
             expect_key=None,
@@ -220,13 +237,15 @@ class RenderStore(ArtifactStore):
     def get_token_counts(
         self, tokenizer_digest: str, text_keys: Sequence[str]
     ) -> dict[str, int]:
-        """text key → token count under one tokenizer digest."""
-        entries = self._read_segment(
-            self._counts_path(tokenizer_digest), expect_key=tokenizer_digest
+        """text key → token count under one tokenizer digest (lazy)."""
+        entries = self._get_entries(
+            _SEGMENT_PREFIX_COUNTS,
+            tokenizer_digest,
+            text_keys,
+            expect_key=tokenizer_digest,
         )
         out: dict[str, int] = {}
-        for key in text_keys:
-            raw = entries.get(key)
+        for key, raw in entries.items():
             if isinstance(raw, int) and not isinstance(raw, bool):
                 out[key] = raw
         return out
@@ -235,7 +254,8 @@ class RenderStore(ArtifactStore):
         self, tokenizer_digest: str, counts: Mapping[str, int]
     ) -> None:
         self._merge_entries(
-            self._counts_path(tokenizer_digest),
+            _SEGMENT_PREFIX_COUNTS,
+            tokenizer_digest,
             {"version": TEXT_VERSION, "key": tokenizer_digest},
             dict(counts),
             expect_key=tokenizer_digest,
@@ -256,9 +276,10 @@ class ArtifactCacheManifest:
     count_entries: int
     count_tokenizers: int  # distinct tokenizer digests with count segments
     total_bytes: int
+    stale_segments: int = 0  # version-skewed/unreadable; GC'd on next evict
 
     def render(self) -> str:
-        return "\n".join([
+        lines = [
             f"artifacts:  {self.version}",
             f"tokenizers: {self.tokenizer_entries}",
             f"sources:    {self.source_entries}",
@@ -266,7 +287,14 @@ class ArtifactCacheManifest:
             f"({self.count_tokenizers} tokenizer"
             f"{'' if self.count_tokenizers == 1 else 's'})",
             f"bytes:      {self.total_bytes}",
-        ])
+        ]
+        if self.stale_segments:
+            lines.append(
+                f"stale:      {self.stale_segments} segment"
+                f"{'' if self.stale_segments == 1 else 's'} "
+                "(reclaimed on next eviction)"
+            )
+        return "\n".join(lines)
 
 
 class ArtifactCache:
@@ -279,17 +307,33 @@ class ArtifactCache:
 
     def __init__(self, root: str | Path, *, max_bytes: int | None = None):
         self.root = Path(root)
-        self.max_bytes = max_bytes if max_bytes and max_bytes > 0 else None
-        self.tokenizers = TokenizerStore(root, max_bytes=self.max_bytes)
-        self.renders = RenderStore(root, max_bytes=self.max_bytes)
+        # Same bound semantics as ArtifactStore: None unbounded, 0 keeps
+        # nothing, negatives rejected (the member store raises).
+        self.tokenizers = TokenizerStore(root, max_bytes=max_bytes)
+        self.renders = RenderStore(root, max_bytes=max_bytes)
+        self.max_bytes = self.renders.max_bytes
 
     def size_bytes(self) -> int:
+        self.tokenizers.flush()
         return self.renders.size_bytes()
 
+    def flush(self) -> None:
+        self.tokenizers.flush()
+        self.renders.flush()
+
+    @contextmanager
+    def deferred(self):
+        """Batch puts on both member stores (see
+        :meth:`~repro.store.base.ArtifactStore.deferred`)."""
+        with self.tokenizers.deferred(), self.renders.deferred():
+            yield self
+
     def evict(self, max_bytes: int | None = None) -> int:
+        self.tokenizers.flush()
         return self.renders.evict(max_bytes)
 
     def clear(self) -> None:
+        self.tokenizers.clear()
         self.renders.clear()
 
     def manifest(self) -> ArtifactCacheManifest:
@@ -317,6 +361,7 @@ class ArtifactCache:
             count_entries=count_entries,
             count_tokenizers=count_tokenizers,
             total_bytes=self.size_bytes(),
+            stale_segments=self.renders.stale_segment_count(),
         )
 
 

@@ -45,6 +45,26 @@ from repro.roofline.hardware import GPU_DATABASE
 MERGES = [("a", "b"), ("ab", "c"), (" ", "f")]
 
 
+def read_segment(path):
+    """Decode one (binary or legacy) segment into the PR-5-era dict shape:
+    the payload keys plus an ``entries`` dict."""
+    from repro.store.base import _segment_view
+
+    view = _segment_view(path)
+    assert view is not None, f"unreadable segment {path}"
+    data = dict(view.payload)
+    data["entries"] = view.entries()
+    return data
+
+
+def write_segment(path, data):
+    """Re-encode a ``read_segment``-shaped dict as a binary segment."""
+    from repro.store.base import encode_segment
+
+    payload = {k: v for k, v in data.items() if k != "entries"}
+    path.write_bytes(encode_segment(payload, data["entries"]))
+
+
 @pytest.fixture()
 def small_corpus():
     return build_corpus(8, 5)
@@ -77,9 +97,9 @@ class TestSharedBase:
             for cls in (ProfileStore, TokenizerStore, RenderStore):
                 assert getattr(cls, name) is getattr(ArtifactStore, name)
 
-    def test_profile_segments_stay_byte_compatible(self, tmp_path):
-        # The refactor must keep writing exactly the pre-refactor payload
-        # shape, so existing .repro-profile-cache dirs keep hitting.
+    def test_profile_segments_keep_payload_shape(self, tmp_path):
+        # The binary codec must keep recording exactly the pre-refactor
+        # payload shape, so segment metadata stays forward-portable.
         from repro.gpusim import profile_corpus
         from repro.gpusim.store import PROFILER_VERSION, device_profile_key
 
@@ -88,11 +108,37 @@ class TestSharedBase:
         store = ProfileStore(tmp_path / "ps")
         profile_corpus(corpus, device, store=store)
         path = store._profiles_path(device_profile_key(device))
-        data = json.loads(path.read_text(encoding="utf-8"))
+        data = read_segment(path)
         assert set(data) == {"version", "key", "device", "entries"}
         assert data["version"] == PROFILER_VERSION
         assert data["key"] == device_profile_key(device)
-        assert path.name == f"profiles-{device_profile_key(device)[:32]}.json"
+        assert path.name == f"profiles-{device_profile_key(device)[:32]}.bin"
+
+    def test_legacy_json_segment_dir_keeps_hitting(self, tmp_path):
+        # A PR-5-era store dir (whole-JSON segments) must serve reads
+        # without a flag day; the next put migrates it to binary.
+        from repro.store.text import TEXT_VERSION
+
+        binary = TokenizerStore(tmp_path / "ac")
+        binary.put_merges("k", MERGES)
+        seg = read_segment(binary._tokenizers_path())
+        legacy_dir = tmp_path / "legacy"
+        legacy_dir.mkdir()
+        legacy_path = legacy_dir / binary._tokenizers_path().with_suffix(
+            ".json"
+        ).name
+        legacy_path.write_text(json.dumps(seg), encoding="utf-8")
+
+        store = TokenizerStore(legacy_dir)
+        assert store.get_merges("k") == MERGES
+        store.put_merges("k2", MERGES[:1])  # migrate: binary written …
+        assert store._tokenizers_path().is_file()
+        assert not legacy_path.exists()  # … and the legacy twin removed
+        assert store.get_merges("k") == MERGES
+        assert store.get_merges("k2") == MERGES[:1]
+        migrated = read_segment(store._tokenizers_path())
+        assert migrated["version"] == TEXT_VERSION
+        assert set(migrated["entries"]) == {"k", "k2"}
 
 
 class TestTokenizerStore:
@@ -114,10 +160,10 @@ class TestTokenizerStore:
         store = TokenizerStore(tmp_path / "ac")
         store.put_merges("good", MERGES)
         path = store._tokenizers_path()
-        data = json.loads(path.read_text(encoding="utf-8"))
+        data = read_segment(path)
         data["entries"]["bad-shape"] = [["a", "b", "c"]]
         data["entries"]["bad-type"] = "zap"
-        path.write_text(json.dumps(data), encoding="utf-8")
+        write_segment(path, data)
         assert store.get_merges("bad-shape") is None
         assert store.get_merges("bad-type") is None
         assert store.get_merges("good") == MERGES
@@ -134,9 +180,9 @@ class TestTokenizerStore:
         store = TokenizerStore(tmp_path / "ac")
         store.put_merges("k", MERGES)
         path = store._tokenizers_path()
-        data = json.loads(path.read_text(encoding="utf-8"))
+        data = read_segment(path)
         data["version"] = "text-artifacts-v999"
-        path.write_text(json.dumps(data), encoding="utf-8")
+        write_segment(path, data)
         assert store.get_merges("k") is None
 
 
@@ -166,19 +212,19 @@ class TestRenderStore:
         store = RenderStore(tmp_path / "ac")
         store.put_token_counts("tok-a", {"k1": 11})
         path = store._counts_path("tok-a")
-        data = json.loads(path.read_text(encoding="utf-8"))
+        data = read_segment(path)
         data["key"] = "tok-other"
-        path.write_text(json.dumps(data), encoding="utf-8")
+        write_segment(path, data)
         assert store.get_token_counts("tok-a", ["k1"]) == {}
 
     def test_non_int_counts_read_as_misses(self, tmp_path):
         store = RenderStore(tmp_path / "ac")
         store.put_token_counts("t", {"k1": 11})
         path = store._counts_path("t")
-        data = json.loads(path.read_text(encoding="utf-8"))
+        data = read_segment(path)
         data["entries"]["k2"] = "12"
         data["entries"]["k3"] = True
-        path.write_text(json.dumps(data), encoding="utf-8")
+        write_segment(path, data)
         assert store.get_token_counts("t", ["k1", "k2", "k3"]) == {"k1": 11}
 
 
@@ -240,12 +286,13 @@ class TestSharedLifecycle:
         root = tmp_path / "ac"
         _, renders = self._populate(root)
         for path in renders._segment_files():
-            data = json.loads(path.read_text(encoding="utf-8"))
+            data = read_segment(path)
             data["version"] = "text-artifacts-v999"
-            path.write_text(json.dumps(data), encoding="utf-8")
+            write_segment(path, data)
         m = ArtifactCache(root).manifest()
         assert m.tokenizer_entries + m.source_entries + m.count_entries == 0
         assert m.total_bytes == renders.size_bytes() > 0
+        assert m.stale_segments == 4  # surfaced for the cache manifest
 
     def test_manifest_counts(self, tmp_path):
         root = tmp_path / "ac"
@@ -470,4 +517,5 @@ class TestActiveCache:
         assert cache is not None
         assert cache.max_bytes == 4096
         monkeypatch.setenv("REPRO_ARTIFACT_CACHE_MAX_BYTES", "junk")
-        assert active_artifact_cache().max_bytes is None
+        with pytest.warns(RuntimeWarning, match="size bound"):
+            assert active_artifact_cache().max_bytes is None

@@ -42,17 +42,18 @@ def _fill(store: DiskResponseStore, n: int, *, model: str = "test-model"):
 
 
 class TestEviction:
-    def test_oldest_entries_evicted_first(self, tmp_path):
+    def test_oldest_segments_evicted_first(self, tmp_path):
         store = DiskResponseStore(tmp_path)
-        keys = _fill(store, 8)
+        keys = _fill(store, 8)  # distinct prefixes: one segment per key
         # Age the first half explicitly (mtime drives eviction order).
         now = time.time()
         for i, key in enumerate(keys[:4]):
-            os.utime(store._path(key), (now - 1000 + i, now - 1000 + i))
+            seg = store._segment_path("responses-", key[:2])
+            os.utime(seg, (now - 1000 + i, now - 1000 + i))
         entry_size = store.size_bytes() // 8
         removed = store.evict(entry_size * 4)
         assert removed == 4
-        survivors = {p.stem for p in tmp_path.glob("??/*.json")}
+        survivors = {k for k, _ in store.iter_entries()}
         assert survivors == set(keys[4:])
 
     def test_evict_noop_under_bound(self, tmp_path):
@@ -67,22 +68,37 @@ class TestEviction:
         assert store.evict() == 0
         assert store.max_bytes is None
 
-    def test_put_enforces_bound_amortised(self, tmp_path):
+    def test_immediate_puts_enforce_bound(self, tmp_path):
         store = DiskResponseStore(tmp_path, max_bytes=1)
-        interval = DiskResponseStore.EVICTION_CHECK_INTERVAL
-        _fill(store, interval + 1)
-        # The check fires every `interval` puts, so a 1-byte bound leaves
-        # at most the puts since the last check.
-        assert len(store) <= interval
+        _fill(store, 4)  # outside deferred(): every put flushes + evicts
+        assert len(store) == 0
 
-    def test_zero_or_negative_bound_means_unbounded(self, tmp_path):
-        assert DiskResponseStore(tmp_path, max_bytes=0).max_bytes is None
-        assert DiskResponseStore(tmp_path, max_bytes=-5).max_bytes is None
-        # evict() follows the same convention: 0 is not "evict everything".
+    def test_deferred_puts_batch_into_one_segment(self, tmp_path):
         store = DiskResponseStore(tmp_path)
+        keys = [f"aa{i:062x}" for i in range(10)]  # one shared shard
+        with store.deferred():
+            for i, key in enumerate(keys):
+                store.put(key, _response(i))
+            # Pending entries serve reads before anything hits disk.
+            assert store.get(keys[0]) == _response(0)
+            assert store._segment_files() == []
+        assert len(store._segment_files()) == 1  # one merge for the batch
+        assert {k for k, _ in store.iter_entries()} == set(keys)
+
+    def test_zero_bound_keeps_nothing_negative_rejected(self, tmp_path):
+        # 0 used to silently coerce to "unbounded" — now it means what it
+        # says (keep nothing), and negatives are rejected outright.
+        store = DiskResponseStore(tmp_path / "zero", max_bytes=0)
+        assert store.max_bytes == 0
         _fill(store, 2)
-        assert store.evict(0) == 0
-        assert len(store) == 2
+        assert len(store) == 0
+        with pytest.raises(ValueError):
+            DiskResponseStore(tmp_path / "neg", max_bytes=-5)
+        # evict(0) follows the constructor's convention.
+        unbounded = DiskResponseStore(tmp_path / "ub")
+        _fill(unbounded, 2)
+        assert unbounded.evict(0) == 2
+        assert len(unbounded) == 0
 
     def test_engine_sweep_respects_bound(self):
         questions = generate_rq1_questions(8, seed_key="evict")
@@ -97,7 +113,7 @@ class TestEviction:
 
         with tempfile.TemporaryDirectory() as root:
             store = DiskResponseStore(root, max_bytes=1)
-            store.EVICTION_CHECK_INTERVAL = 4
+            store.DEFERRED_FLUSH_ENTRIES = 4
             engine = EvalEngine(jobs=2, store=store)
             bounded = engine.run(model, items)
             assert bounded.records == unbounded.records
@@ -146,7 +162,8 @@ class TestManifest:
         store = DiskResponseStore(tmp_path)
         keys = _fill(store, 3)
         store.record_provenance({k: "shard-x" for k in keys})
-        store._path(keys[0]).unlink()  # evicted or wiped entry
+        # Evicted or wiped entry: drop its (single-entry) segment.
+        store._segment_path("responses-", keys[0][:2]).unlink()
         manifest = store.manifest()
         assert dict(manifest.per_source) == {"shard-x": 2}
         assert "merged from shard-x: 2" in manifest.render()
@@ -192,10 +209,22 @@ class TestEnvDefaults:
         monkeypatch.setenv(CACHE_MAX_BYTES_ENV, "12345")
         assert default_cache_max_bytes() == 12345
 
-    @pytest.mark.parametrize("raw", ["", "  ", "banana", "0", "-3"])
-    def test_env_bound_rejects_junk(self, monkeypatch, raw):
+    @pytest.mark.parametrize("raw", ["", "  "])
+    def test_env_bound_blank_means_unbounded(self, monkeypatch, raw):
         monkeypatch.setenv(CACHE_MAX_BYTES_ENV, raw)
         assert default_cache_max_bytes() is None
+
+    @pytest.mark.parametrize("raw", ["banana", "1GB", "-3"])
+    def test_env_bound_warns_on_junk(self, monkeypatch, raw):
+        # Junk used to silently mean "unbounded"; it still falls back to
+        # unbounded but must say so.
+        monkeypatch.setenv(CACHE_MAX_BYTES_ENV, raw)
+        with pytest.warns(RuntimeWarning, match="size bound"):
+            assert default_cache_max_bytes() is None
+
+    def test_env_bound_zero_parses_as_zero(self, monkeypatch):
+        monkeypatch.setenv(CACHE_MAX_BYTES_ENV, "0")
+        assert default_cache_max_bytes() == 0
 
 
 class TestCacheCli:
@@ -214,7 +243,7 @@ class TestCacheCli:
             "cache", "--cache-dir", str(tmp_path / "c"), "--max-bytes", "1",
         ]) == 0
         out = capsys.readouterr().out
-        assert "evicted 4 entries" in out
+        assert "evicted 4 segments" in out
         assert len(store) == 0
 
     def test_wipe_still_works(self, capsys, tmp_path):

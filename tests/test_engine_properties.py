@@ -160,7 +160,7 @@ class TestBackendInvariance:
             jobs=jobs, store=DiskResponseStore(root), backend="process"
         )
         baseline = writer.run(model, _ITEMS)
-        files = sorted(p.name for p in root.glob("??/*.json"))
+        files = sorted(p.name for p in root.glob("responses-*.bin"))
         assert writer.stats.misses == len(_ITEMS)
         for backend in BACKENDS:
             reader = EvalEngine(
@@ -170,7 +170,7 @@ class TestBackendInvariance:
             assert run_bytes(replay) == run_bytes(baseline)
             assert reader.stats.hits == len(_ITEMS)
             assert reader.stats.completions == 0
-        assert sorted(p.name for p in root.glob("??/*.json")) == files
+        assert sorted(p.name for p in root.glob("responses-*.bin")) == files
 
     def test_process_backend_mixed_warmth(self):
         """A half-warm store: hits come from the parent, misses from the

@@ -170,11 +170,32 @@ class TestDiskStore:
         store = DiskResponseStore(tmp_path / "cache")
         assert store.get("ff" + "0" * 62) is None
 
-    def test_corrupt_entry_is_miss(self, tmp_path):
+    def test_corrupt_segment_is_miss_and_put_repairs(self, tmp_path):
         store = DiskResponseStore(tmp_path / "cache")
         key = "cd" + "0" * 62
-        store.put(key, CachedResponse("Bandwidth", 5, 1, 0))
-        store._path(key).write_text("{not json", encoding="utf-8")
+        value = CachedResponse("Bandwidth", 5, 1, 0)
+        store.put(key, value)
+        store._segment_path("responses-", "cd").write_text(
+            "{not a segment", encoding="utf-8"
+        )
+        assert store.get(key) is None
+        store.put(key, value)
+        assert store.get(key) == value
+
+    def test_legacy_per_entry_file_still_serves(self, tmp_path):
+        # A pre-segment cache dir (one root/xx/<key>.json file per entry)
+        # must keep hitting — and corrupt legacy files read as misses.
+        store = DiskResponseStore(tmp_path / "cache")
+        key = "cd" + "0" * 62
+        value = CachedResponse("Bandwidth", 5, 1, 0)
+        legacy = store._legacy_path(key)
+        legacy.parent.mkdir(parents=True)
+        legacy.write_text(
+            json.dumps(value.to_dict(), sort_keys=True), encoding="utf-8"
+        )
+        assert store.get(key) == value
+        assert len(store) == 1
+        legacy.write_text("{not json", encoding="utf-8")
         assert store.get(key) is None
 
     def test_clear(self, tmp_path):
@@ -216,11 +237,11 @@ class TestDiskStore:
         assert warm.stats.hits == 8
         assert model.calls == 8
 
-    def test_entries_parse_as_json(self, tmp_path):
+    def test_entry_blobs_parse_as_json(self, tmp_path):
         store = DiskResponseStore(tmp_path / "cache")
         key = "ef" + "0" * 62
         store.put(key, CachedResponse("Compute", 3, 1, 2))
-        data = json.loads(store._path(key).read_text(encoding="utf-8"))
+        data = json.loads(store.get_blob(key))
         assert data["text"] == "Compute"
         assert data["reasoning_tokens"] == 2
 

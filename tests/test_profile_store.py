@@ -22,6 +22,7 @@ from repro.gpusim import (
     device_for,
     device_profile_key,
     finalize_profile,
+    finalize_profiles,
     profile_corpus,
     profile_first_kernel,
     profile_kernel,
@@ -190,6 +191,22 @@ class TestTwoPhaseEquivalence:
             instance, cmdline, ALL_DEVICES[0]
         )
 
+    def test_vectorized_batch_finalize_matches_scalar(self, corpus):
+        # The whole-batch numpy path must be indistinguishable from the
+        # scalar per-trace path, profile for profile, on every device.
+        programs = corpus.programs[::47]
+        traces = [
+            symbolic_trace(p.first_kernel, p.cmdline) for p in programs
+        ]
+        uids = [p.uid for p in programs]
+        for device in ALL_DEVICES:
+            batch = finalize_profiles(traces, device, uids=uids)
+            for trace, uid, profile in zip(traces, uids, batch):
+                assert profile == finalize_profile(trace, device, uid=uid)
+
+    def test_batch_finalize_of_empty_batch(self):
+        assert finalize_profiles([]) == []
+
     def test_trace_serialization_round_trips_bit_exactly(self):
         instance, cmdline = make_instance(1 << 18, 37, 0.31, True)
         trace = symbolic_trace(instance, cmdline)
@@ -304,7 +321,7 @@ class TestProfileStore:
         store = ProfileStore(tmp_path / "ps")
         device = ALL_DEVICES[0]
         expected = profile_corpus(small_corpus, device, store=store)
-        segments = sorted((tmp_path / "ps").glob("*.json"))
+        segments = sorted((tmp_path / "ps").glob("*.bin"))
         assert segments
         for i, segment in enumerate(segments):
             if i % 3 == 0:

@@ -149,10 +149,7 @@ def _entry_files(root) -> dict:
     from pathlib import Path
 
     root = Path(root)
-    return {
-        str(p.relative_to(root)): p.read_bytes()
-        for p in root.glob("??/*.json")
-    }
+    return {p.name: p.read_bytes() for p in root.glob("responses-*.bin")}
 
 
 class TestMergeProperties:
@@ -299,7 +296,7 @@ class TestMergeCaches:
         merge_caches([a.root], tmp_path / "merged")
         merged = DiskResponseStore(tmp_path / "merged")
         # Size-bound churn: the entry is evicted, then re-merged from b.
-        merged._path(_key(0)).unlink()
+        merged._segment_path("responses-", _key(0)[:2]).unlink()
         merge_caches([b.root], tmp_path / "merged")
         # The stale a-label was pruned, not resurrected.
         assert merged.provenance() == {_key(0): str(b.root)}

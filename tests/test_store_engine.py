@@ -1,0 +1,277 @@
+"""Store-engine hardening: torn writes, concurrency, lifecycle sweeps.
+
+The binary segment codec (``repro.store.base``) backs all three store
+families; this module pins the failure-mode contracts the codec promises:
+
+* a segment truncated at **any** byte boundary reads as an empty segment —
+  never an exception, never a partial entry;
+* concurrent writers on one store lose no entries and leave every segment
+  valid;
+* stale ``*.tmp.<pid>.<tid>`` droppings are swept and version-skewed
+  segments garbage-collected;
+* the byte-count env parsers of all three stores agree on junk handling;
+* results stay digest-identical with the store off, cold, warm, and with a
+  legacy per-entry-JSON cache dir standing in for a binary one.
+"""
+
+import json
+import os
+import threading
+
+import pytest
+
+from repro.eval.engine import (
+    CachedResponse,
+    DiskResponseStore,
+    EvalEngine,
+)
+from repro.eval.matrix import run_matrix
+from repro.llm import get_model
+from repro.roofline.hardware import get_gpu
+from repro.store.base import SEGMENT_MAGIC, encode_segment, parse_max_bytes
+
+
+def _response(i: int) -> CachedResponse:
+    return CachedResponse(
+        text=f"Compute {i}",
+        input_tokens=i,
+        output_tokens=1,
+        reasoning_tokens=0,
+        model="test-model",
+    )
+
+
+class TestTornWrites:
+    def test_every_truncation_boundary_reads_as_empty(self, tmp_path):
+        """Atomic-replace should prevent torn segments, but a dying disk
+        or filesystem bug must still degrade to a cache miss."""
+        store = DiskResponseStore(tmp_path)
+        keys = [f"ab{i:062x}" for i in range(3)]
+        for i, key in enumerate(keys):
+            store.put(key, _response(i))
+        seg = store._segment_path("responses-", "ab")
+        payload = seg.read_bytes()
+        assert payload.startswith(SEGMENT_MAGIC)
+        for cut in range(len(payload)):
+            seg.write_bytes(payload[:cut])
+            for key in keys:
+                assert store.get(key) is None, f"cut={cut} served a hit"
+        # A fresh put over the torn file repairs the segment wholesale.
+        seg.write_bytes(payload[: len(payload) // 2])
+        store.put(keys[0], _response(0))
+        assert store.get(keys[0]) == _response(0)
+
+    def test_trailing_garbage_reads_as_empty(self, tmp_path):
+        store = DiskResponseStore(tmp_path)
+        key = "cd" + "0" * 62
+        store.put(key, _response(1))
+        seg = store._segment_path("responses-", "cd")
+        seg.write_bytes(seg.read_bytes() + b"\x00garbage")
+        assert store.get(key) is None  # total-size check rejects the file
+
+    def test_entry_span_past_eof_reads_as_empty(self, tmp_path):
+        """A forged index pointing past the body must not crash the mmap
+        reader."""
+        store = DiskResponseStore(tmp_path)
+        seg = store._segment_path("responses-", "ee")
+        seg.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"version": store.version, "key": "ee"}
+        data = bytearray(encode_segment(payload, {"ee" + "0" * 62: {"x": 1}}))
+        seg.write_bytes(bytes(data[:-4]) + b"\xff\xff\xff\x7f")
+        assert store.get("ee" + "0" * 62) is None
+
+
+class TestConcurrentWriters:
+    def test_parallel_puts_lose_nothing(self, tmp_path):
+        """Writers racing on the same and different shards: every entry
+        survives, every segment stays readable."""
+        store = DiskResponseStore(tmp_path)
+        n_threads, per_thread = 8, 24
+        barrier = threading.Barrier(n_threads)
+        errors: list[BaseException] = []
+
+        def writer(t: int) -> None:
+            try:
+                barrier.wait()
+                for i in range(per_thread):
+                    # Even i: all threads share shard "aa" (merge races);
+                    # odd i: per-thread shard (replace races).
+                    prefix = "aa" if i % 2 == 0 else f"{t:02x}"
+                    key = f"{prefix}{t:02x}{i:02x}{'0' * 58}"
+                    store.put(key, _response(t * 1000 + i))
+                    assert store.get(key) == _response(t * 1000 + i)
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=writer, args=(t,)) for t in range(n_threads)
+        ]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+        assert not errors
+        live = {k for k, _ in store.iter_entries()}
+        assert len(live) == n_threads * per_thread
+        assert len(store) == n_threads * per_thread
+
+    def test_deferred_writers_flush_cleanly(self, tmp_path):
+        store = DiskResponseStore(tmp_path)
+        errors: list[BaseException] = []
+
+        def writer(t: int) -> None:
+            try:
+                with store.deferred():
+                    for i in range(16):
+                        key = f"bb{t:02x}{i:02x}{'0' * 58}"
+                        store.put(key, _response(t * 100 + i))
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer, args=(t,)) for t in range(4)]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+        assert not errors
+        assert len(store) == 4 * 16
+
+
+class TestLifecycleSweeps:
+    def test_stale_tmp_files_swept_on_init_and_evict(self, tmp_path):
+        store = DiskResponseStore(tmp_path)
+        store.put("ab" + "0" * 62, _response(0))
+        dead = tmp_path / "responses-ab.bin.tmp.999999999.123"
+        dead.write_bytes(b"orphan")
+        # Re-opening the directory sweeps droppings from dead writers.
+        DiskResponseStore(tmp_path)
+        assert not dead.exists()
+        dead.write_bytes(b"orphan")
+        store.evict()
+        assert not dead.exists()
+
+    def test_live_tmp_files_kept_and_counted(self, tmp_path):
+        store = DiskResponseStore(tmp_path)
+        mine = tmp_path / f"responses-ab.bin.tmp.{os.getpid()}.7"
+        mine.write_bytes(b"x" * 128)
+        DiskResponseStore(tmp_path)  # init sweep must spare a live writer
+        assert mine.exists()
+        assert store.size_bytes() >= 128  # tmp bytes count against the bound
+
+    def test_version_skewed_segments_gced_on_evict(self, tmp_path):
+        store = DiskResponseStore(tmp_path)
+        store.put("ab" + "0" * 62, _response(0))
+        skewed = store._segment_path("responses-", "zz")
+        skewed.write_bytes(
+            encode_segment({"version": "paleolithic", "key": "zz"}, {})
+        )
+        assert store.stale_segment_count() == 1
+        assert store.manifest().stale_segments == 1
+        store.evict()
+        assert not skewed.exists()
+        assert store.stale_segment_count() == 0
+        assert store.get("ab" + "0" * 62) == _response(0)  # live data spared
+
+
+class TestSizeEnvParsers:
+    """One contract, three parsers: the response cache, the profile store,
+    and the artifact cache must agree on how byte bounds parse."""
+
+    CASES = [
+        ("repro.eval.engine", "default_cache_max_bytes",
+         "REPRO_CACHE_MAX_BYTES"),
+        ("repro.gpusim.store", "default_profile_cache_max_bytes",
+         "REPRO_PROFILE_CACHE_MAX_BYTES"),
+        ("repro.store.text", "default_artifact_cache_max_bytes",
+         "REPRO_ARTIFACT_CACHE_MAX_BYTES"),
+    ]
+
+    @pytest.fixture(params=CASES, ids=[c[2] for c in CASES])
+    def parser(self, request, monkeypatch):
+        import importlib
+
+        module, fn, env = request.param
+        return getattr(importlib.import_module(module), fn), env, monkeypatch
+
+    def test_valid_integer(self, parser):
+        fn, env, monkeypatch = parser
+        monkeypatch.setenv(env, "123456")
+        assert fn() == 123456
+
+    def test_unset_and_blank_mean_unbounded(self, parser):
+        fn, env, monkeypatch = parser
+        monkeypatch.delenv(env, raising=False)
+        assert fn() is None
+        monkeypatch.setenv(env, "   ")
+        assert fn() is None
+
+    def test_zero_means_zero(self, parser):
+        fn, env, monkeypatch = parser
+        monkeypatch.setenv(env, "0")
+        assert fn() == 0
+
+    @pytest.mark.parametrize("raw", ["junk", "1.5e9", "10MB", "-1"])
+    def test_junk_warns_and_falls_back(self, parser, raw):
+        fn, env, monkeypatch = parser
+        monkeypatch.setenv(env, raw)
+        with pytest.warns(RuntimeWarning, match=env):
+            assert fn() is None
+
+    def test_parse_max_bytes_names_its_source(self):
+        with pytest.warns(RuntimeWarning, match="SOME_ENV"):
+            assert parse_max_bytes("nope", source="SOME_ENV") is None
+
+
+#: Small but two-axis grid: enough to exercise both RQs' cache traffic.
+_MODELS = ("o3-mini-high",)
+_GPUS = ("V100",)
+_LIMIT = 6
+
+
+class TestDigestInvariance:
+    def _run(self, engine) -> tuple[str, object]:
+        models = [get_model(n) for n in _MODELS]
+        gpus = [get_gpu(n) for n in _GPUS]
+        result = run_matrix(
+            models, gpus, rqs=("rq2",), limit=_LIMIT, engine=engine
+        )
+        return result.digest(), result
+
+    def test_off_cold_warm_and_legacy_all_identical(self, tmp_path, dataset):
+        off_digest, off = self._run(EvalEngine())
+
+        store = DiskResponseStore(tmp_path / "binary")
+        cold_digest, _ = self._run(EvalEngine(jobs=2, store=store))
+        warm_engine = EvalEngine(jobs=2, store=DiskResponseStore(tmp_path / "binary"))
+        warm_digest, warm = self._run(warm_engine)
+        assert cold_digest == off_digest
+        assert warm_digest == off_digest
+        assert warm.render() == off.render()
+        assert warm_engine.stats.completions == 0
+
+        # Rebuild the same cache as a PR-5-era per-entry-JSON directory:
+        # the binary-native engine must replay it hit-for-hit.
+        legacy_root = tmp_path / "legacy"
+        for key, blob in store.iter_entries():
+            path = legacy_root / key[:2] / f"{key}.json"
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_bytes(blob)
+        legacy_engine = EvalEngine(
+            jobs=2, store=DiskResponseStore(legacy_root)
+        )
+        legacy_digest, _ = self._run(legacy_engine)
+        assert legacy_digest == off_digest
+        assert legacy_engine.stats.completions == 0
+
+    def test_legacy_blobs_round_trip_byte_exactly(self, tmp_path):
+        """The glue the legacy replay relies on: a canonical blob decoded
+        and re-encoded through CachedResponse is the identical bytes."""
+        store = DiskResponseStore(tmp_path)
+        key = "ab" + "0" * 62
+        store.put(key, _response(3))
+        blob = store.get_blob(key)
+        rebuilt = json.dumps(
+            CachedResponse.from_dict(json.loads(blob)).to_dict(),
+            sort_keys=True,
+        ).encode("utf-8")
+        assert rebuilt == blob
