@@ -1,0 +1,184 @@
+"""CI smoke test for ``repro-paper serve``.
+
+End-to-end, across real processes:
+
+1. warm a response cache with the batch CLI (``rq2 --limit N``) and
+   record the batch path's per-kernel labels;
+2. start ``repro-paper serve`` as a subprocess against that cache;
+3. issue HTTP classification queries for the warmed kernels and assert
+   every answer is served from cache with labels matching the batch
+   CLI's (``repro-paper classify`` is cross-checked for the first
+   kernels);
+4. assert the server's counters report **zero** new completions.
+
+Exits non-zero with a diagnostic on any violation.
+
+Run:  PYTHONPATH=src python scripts/serve_smoke.py [--limit N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.parse
+import urllib.request
+from pathlib import Path
+
+MODEL = "o3-mini-high"
+CLI = [sys.executable, "-m", "repro.cli"]
+
+
+def run_cli(*args: str) -> str:
+    proc = subprocess.run(
+        [*CLI, *args], capture_output=True, text=True, timeout=600
+    )
+    if proc.returncode not in (0, 1):  # classify exits 1 on a wrong label
+        raise SystemExit(
+            f"command {' '.join(args)} failed rc={proc.returncode}:\n"
+            f"{proc.stdout}\n{proc.stderr}"
+        )
+    return proc.stdout
+
+
+def get_json(url: str, **params) -> dict:
+    if params:
+        url = f"{url}?{urllib.parse.urlencode(params)}"
+    with urllib.request.urlopen(url, timeout=120) as resp:
+        return json.loads(resp.read().decode("utf-8"))
+
+
+def batch_labels(cache_dir: str, limit: int) -> dict[str, str]:
+    """Warm the cache via the batch CLI, then replay the same grid
+    in-process (same code path, zero completions) to collect its labels."""
+    out = run_cli(
+        "rq2", "--model", MODEL, "--limit", str(limit),
+        "--cache-dir", cache_dir, "--jobs", "2",
+    )
+    if "RQ2 (zero-shot)" not in out:
+        raise SystemExit(f"unexpected rq2 output:\n{out}")
+
+    from repro.dataset import paper_dataset
+    from repro.eval.engine import DiskResponseStore, EvalEngine
+    from repro.eval.rq23 import classification_items
+    from repro.llm import get_model
+
+    samples = list(paper_dataset().balanced)[:limit]
+    engine = EvalEngine(store=DiskResponseStore(cache_dir))
+    result = engine.run(
+        get_model(MODEL), classification_items(samples, few_shot=False)
+    )
+    if engine.stats.completions != 0:
+        raise SystemExit(
+            f"replay of the warmed cache recomputed "
+            f"{engine.stats.completions} completions"
+        )
+    return {
+        r.item_id: r.prediction.word if r.prediction else None
+        for r in result.records
+    }
+
+
+def start_server(cache_dir: str) -> tuple[subprocess.Popen, str]:
+    proc = subprocess.Popen(
+        [*CLI, "serve", "--port", "0", "--cache-dir", cache_dir, "--warm"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+    deadline = time.monotonic() + 300
+    url = None
+    assert proc.stdout is not None
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            raise SystemExit(
+                f"serve exited rc={proc.wait()} before binding"
+            )
+        sys.stdout.write(f"  [serve] {line}")
+        m = re.search(r"serving on (http://\S+)", line)
+        if m:
+            url = m.group(1)
+            break
+    if url is None:
+        proc.kill()
+        raise SystemExit("serve never reported its URL")
+    # Wait for liveness.
+    for _ in range(100):
+        try:
+            if get_json(f"{url}/healthz")["status"] == "ok":
+                return proc, url
+        except OSError:
+            time.sleep(0.1)
+    proc.kill()
+    raise SystemExit("serve bound but /healthz never came up")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--limit", type=int, default=8,
+                        help="kernels to warm and query (default 8)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="cache directory (default: a temp dir)")
+    args = parser.parse_args()
+
+    cache_dir = args.cache_dir or tempfile.mkdtemp(prefix="serve-smoke-")
+    print(f"1) warming cache @ {cache_dir} via batch CLI ({args.limit} kernels)")
+    labels = batch_labels(cache_dir, args.limit)
+    print(f"   batch labels: {labels}")
+
+    print("2) starting repro-paper serve against the warm cache")
+    proc, url = start_server(cache_dir)
+    try:
+        print(f"3) querying {len(labels)} kernels over HTTP @ {url}")
+        for uid, label in labels.items():
+            body = get_json(f"{url}/v1/classify", uid=uid, model=MODEL)
+            if not body["cached"]:
+                raise SystemExit(f"{uid}: served cold, expected a warm hit")
+            if body["prediction"] != label:
+                raise SystemExit(
+                    f"{uid}: HTTP prediction {body['prediction']!r} != "
+                    f"batch CLI label {label!r}"
+                )
+            print(f"   {uid}: {body['prediction']} (cached)")
+
+        # Cross-check the single-kernel CLI on the first two kernels: its
+        # "prediction:" line must agree with the served answer.
+        for uid in list(labels)[:2]:
+            out = run_cli("classify", uid, "--model", MODEL)
+            m = re.search(r"prediction:\s+(\w+)", out)
+            if not m or m.group(1) != labels[uid]:
+                raise SystemExit(
+                    f"classify CLI disagrees for {uid}: "
+                    f"{m.group(1) if m else out!r} != {labels[uid]!r}"
+                )
+        print("   classify CLI cross-check agrees")
+
+        print("4) checking server counters")
+        stats = get_json(f"{url}/v1/stats")
+        if stats["completions"] != 0:
+            raise SystemExit(
+                f"server issued {stats['completions']} new completions; "
+                "expected 0 on a warm cache"
+            )
+        if stats["hits"] != len(labels):
+            raise SystemExit(
+                f"expected {len(labels)} cache hits, saw {stats['hits']}"
+            )
+        print(f"   stats: {stats}")
+    finally:
+        proc.terminate()
+        try:
+            proc.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+
+    print("serve smoke: OK (warm HTTP path, 0 new completions, "
+          "labels match the batch CLI)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,6 +16,7 @@ Installed as ``repro-paper``; every subcommand is also reachable via
     repro-paper merge-caches shard-0 shard-1 shard-2 --into merged
     repro-paper figures --which 1
     repro-paper cache --wipe
+    repro-paper serve --port 8077 --warm
 
 Experiment commands accept ``--jobs`` (workers; 0 = all cores) and
 ``--backend`` (``thread`` default; ``process`` sidesteps the GIL for cold
@@ -75,17 +76,9 @@ def _add_store_flags(p: argparse.ArgumentParser) -> None:
                         "this run")
 
 
-def _add_engine_flags(p: argparse.ArgumentParser) -> None:
+def _add_cache_flags(p: argparse.ArgumentParser) -> None:
     from repro.eval.engine import DEFAULT_CACHE_DIRNAME
-    from repro.util.parallel import BACKENDS, DEFAULT_BACKEND
 
-    p.add_argument("--jobs", type=int, default=1,
-                   help="workers for (model, item) work units "
-                        "(0 = all cores; default 1)")
-    p.add_argument("--backend", choices=BACKENDS, default=DEFAULT_BACKEND,
-                   help="executor backend: threads share memory (best warm); "
-                        "processes sidestep the GIL (best cold); "
-                        f"default {DEFAULT_BACKEND}")
     p.add_argument("--cache-dir", default=None,
                    help="response cache directory (default: $REPRO_CACHE_DIR "
                         f"or {DEFAULT_CACHE_DIRNAME})")
@@ -95,6 +88,19 @@ def _add_engine_flags(p: argparse.ArgumentParser) -> None:
     p.add_argument("--no-cache", action="store_true",
                    help="disable the response cache for this run")
     _add_store_flags(p)
+
+
+def _add_engine_flags(p: argparse.ArgumentParser) -> None:
+    from repro.util.parallel import BACKENDS, DEFAULT_BACKEND
+
+    p.add_argument("--jobs", type=int, default=1,
+                   help="workers for (model, item) work units "
+                        "(0 = all cores; default 1)")
+    p.add_argument("--backend", choices=BACKENDS, default=DEFAULT_BACKEND,
+                   help="executor backend: threads share memory (best warm); "
+                        "processes sidestep the GIL (best cold); "
+                        f"default {DEFAULT_BACKEND}")
+    _add_cache_flags(p)
 
 
 def _configure_stores(args: argparse.Namespace) -> None:
@@ -142,24 +148,31 @@ def _configure_stores(args: argparse.Namespace) -> None:
         set_active_artifact_cache(ArtifactCache(root, max_bytes=max_bytes))
 
 
-def _make_engine(args: argparse.Namespace):
+def _make_store(args: argparse.Namespace):
+    """The response store selected by the cache flags (None = disabled)."""
     from repro.eval.engine import (
         DiskResponseStore,
-        EvalEngine,
         default_cache_dir,
         default_cache_max_bytes,
     )
 
+    if args.no_cache:
+        return None
+    max_bytes = args.cache_max_bytes
+    if max_bytes is None:
+        max_bytes = default_cache_max_bytes()
+    return DiskResponseStore(
+        args.cache_dir or default_cache_dir(), max_bytes=max_bytes
+    )
+
+
+def _make_engine(args: argparse.Namespace):
+    from repro.eval.engine import EvalEngine
+
     _configure_stores(args)
-    store = None
-    if not args.no_cache:
-        max_bytes = args.cache_max_bytes
-        if max_bytes is None:
-            max_bytes = default_cache_max_bytes()
-        store = DiskResponseStore(
-            args.cache_dir or default_cache_dir(), max_bytes=max_bytes
-        )
-    return EvalEngine(jobs=args.jobs, store=store, backend=args.backend)
+    return EvalEngine(
+        jobs=args.jobs, store=_make_store(args), backend=args.backend
+    )
 
 
 def _report_cache(engine) -> None:
@@ -496,6 +509,51 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import (
+        AsyncEvalEngine,
+        PredictionServer,
+        PredictionService,
+        RateLimiter,
+        RetryPolicy,
+    )
+
+    _configure_stores(args)
+    store = _make_store(args)
+    engine = AsyncEvalEngine(
+        store=store,
+        retry=RetryPolicy(
+            max_attempts=args.retries,
+            timeout_s=args.attempt_timeout,
+        ),
+        limiter=RateLimiter(args.rate_limit, burst=args.burst),
+        max_concurrency=args.max_concurrency,
+    )
+    service = PredictionService(
+        engine, provider_family=args.provider_family, jobs=args.jobs
+    )
+    if args.warm:
+        print(f"warming sample index... {service.warm()} samples", flush=True)
+    server = PredictionServer(
+        service,
+        host=args.host,
+        port=args.port,
+        verbose=args.verbose,
+    )
+    if store is not None:
+        print(f"cache: {len(store)} entries @ {store.root}", flush=True)
+    print(f"serving on {server.url} "
+          f"(providers: {args.provider_family}; Ctrl-C to stop)", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+        print(f"served: {engine.stats.summary()}")
+    return 0
+
+
 def _cmd_figures(args: argparse.Namespace) -> int:
     from repro.dataset import paper_dataset
     from repro.eval.figures import figure1_data, figure2_data
@@ -645,6 +703,39 @@ def build_parser() -> argparse.ArgumentParser:
                    help="delete every cached response, stored profile, "
                         "and text artifact")
 
+    p = sub.add_parser("serve",
+                       help="answer classification queries over HTTP from "
+                            "the warm response/profile/artifact stores")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=8077,
+                   help="bind port; 0 picks an ephemeral port (default 8077)")
+    p.add_argument("--provider-family",
+                   choices=("emulated", "wire"), default="emulated",
+                   help="completion path: 'emulated' calls the zoo directly; "
+                        "'wire' routes through each model's API-shaped "
+                        "adapter (OpenAI/Gemini/Anthropic payloads) backed "
+                        "by the emulated transport (default emulated)")
+    p.add_argument("--retries", type=int, default=4,
+                   help="max attempts per upstream completion (default 4)")
+    p.add_argument("--attempt-timeout", type=float, default=None,
+                   help="per-attempt deadline in seconds, jittered "
+                        "(default: none)")
+    p.add_argument("--rate-limit", type=float, default=None,
+                   help="max upstream completions/s, token-bucket "
+                        "(default: unlimited)")
+    p.add_argument("--burst", type=int, default=8,
+                   help="rate-limit burst size (default 8)")
+    p.add_argument("--max-concurrency", type=int, default=64,
+                   help="max in-flight completions per batch (default 64)")
+    p.add_argument("--warm", action="store_true",
+                   help="build the sample index before accepting requests")
+    p.add_argument("--verbose", action="store_true",
+                   help="log one line per HTTP request")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="workers for dataset/profile builds (0 = all cores)")
+    _add_cache_flags(p)
+
     p = sub.add_parser("figures", help="render Figures 1-2 as ASCII")
     p.add_argument("--which", choices=("1", "2", "both"), default="both")
     _add_store_flags(p)
@@ -668,6 +759,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "sweep": _cmd_sweep,
         "merge-caches": _cmd_merge_caches,
         "cache": _cmd_cache,
+        "serve": _cmd_serve,
         "figures": _cmd_figures,
     }
     return handlers[args.command](args)

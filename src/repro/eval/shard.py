@@ -368,6 +368,12 @@ def merge_caches(
     per_source: list[tuple[str, int]] = []
     empty: list[str] = []
     provenance: dict[str, str] = {}
+    # A conflict aborts the merge but must not lose the entries installed
+    # so far: deferred() discards its buffer on an exceptional exit, so
+    # the conflict is caught *inside* the block and re-raised after the
+    # clean exit has flushed. A retry without the bad source then sees the
+    # kept entries as duplicates, with their provenance intact.
+    conflict: CacheMergeConflict | None = None
     try:
         with dest_store.deferred():
             for source in sources:
@@ -382,7 +388,10 @@ def merge_caches(
                     existing = dest_store.get_blob(key)
                     if existing is not None:
                         if existing != blob:
-                            raise CacheMergeConflict(key, label, str(dest))
+                            conflict = CacheMergeConflict(
+                                key, label, str(dest)
+                            )
+                            break
                         duplicates += 1
                         continue
                     try:
@@ -393,13 +402,13 @@ def merge_caches(
                     provenance[key] = label
                     contributed += 1
                     merged += 1
+                if conflict is not None:
+                    break
                 per_source.append((label, contributed))
     finally:
-        # Even on a conflict abort the entries installed so far stay in
-        # dest (the deferred block flushes on the way out), so their
-        # provenance must stay with them — otherwise a retry (which sees
-        # them as duplicates) could never label them.
         dest_store.record_provenance(provenance)
+    if conflict is not None:
+        raise conflict
     evicted = dest_store.evict(max_bytes) if max_bytes is not None else 0
     return MergeReport(
         dest=str(dest),

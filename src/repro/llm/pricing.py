@@ -7,7 +7,8 @@ matching how the OpenAI reasoning APIs charge.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import threading
+from dataclasses import dataclass
 
 from repro.llm.config import ModelConfig
 
@@ -35,7 +36,14 @@ def query_cost_usd(usage: Usage, model: ModelConfig) -> float:
 
 @dataclass
 class UsageMeter:
-    """Accumulates usage and cost across an experiment."""
+    """Accumulates usage and cost across an experiment.
+
+    :meth:`record` is thread-safe: completions may be metered from
+    concurrent workers or asyncio tasks (``repro.serve``), and unsynchronized
+    ``+=`` on the shared counters would drop increments under contention.
+    Single-threaded metering order still determines the float summation
+    order of ``cost_usd``, so batch-path results are unchanged.
+    """
 
     model: ModelConfig
     requests: int = 0
@@ -44,15 +52,21 @@ class UsageMeter:
     reasoning_tokens: int = 0
     cost_usd: float = 0.0
 
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+
     def record(self, usage: Usage) -> None:
-        self.requests += 1
-        self.input_tokens += usage.input_tokens
-        self.output_tokens += usage.output_tokens
-        self.reasoning_tokens += usage.reasoning_tokens
-        self.cost_usd += query_cost_usd(usage, self.model)
+        cost = query_cost_usd(usage, self.model)
+        with self._lock:
+            self.requests += 1
+            self.input_tokens += usage.input_tokens
+            self.output_tokens += usage.output_tokens
+            self.reasoning_tokens += usage.reasoning_tokens
+            self.cost_usd += cost
 
     def summary(self) -> dict[str, float]:
-        return {
+        with self._lock:  # consistent snapshot while workers still record
+            return {
             "requests": float(self.requests),
             "input_tokens": float(self.input_tokens),
             "output_tokens": float(self.output_tokens),

@@ -1,0 +1,67 @@
+"""Async prediction serving: provider adapters, retrying engine, HTTP API.
+
+The bridge from batch reproduction to a traffic-serving system. The
+pieces compose bottom-up:
+
+* :mod:`repro.serve.providers` — one async :class:`ProviderClient` face
+  over the emulated zoo and OpenAI/Gemini/Anthropic wire shapes, with
+  injectable transports (no SDKs, no network required).
+* :mod:`repro.serve.retry` — jittered exponential backoff, per-attempt
+  deadlines, and an async token-bucket rate limiter.
+* :mod:`repro.serve.engine` — :class:`AsyncEvalEngine`, the asyncio twin
+  of the sync engine: same cache keys, byte-identical results, plus
+  in-flight request coalescing.
+* :mod:`repro.serve.http` — the stdlib HTTP front end behind
+  ``repro-paper serve``.
+"""
+
+from repro.serve.engine import AsyncEvalEngine, ServeStats
+from repro.serve.http import (
+    DEFAULT_MODEL,
+    PredictionServer,
+    PredictionService,
+    ServiceError,
+)
+from repro.serve.providers import (
+    RETRYABLE_ERRORS,
+    AnthropicProvider,
+    EmulatedProvider,
+    GeminiProvider,
+    OpenAiProvider,
+    ProviderClient,
+    ProviderError,
+    ProviderNotConfigured,
+    ProviderTimeout,
+    RateLimitError,
+    TransientProviderError,
+    emulated_transport,
+    provider_family,
+    resolve_provider,
+)
+from repro.serve.retry import RateLimiter, RetryPolicy, call_with_retry
+
+__all__ = [
+    "AsyncEvalEngine",
+    "ServeStats",
+    "DEFAULT_MODEL",
+    "PredictionServer",
+    "PredictionService",
+    "ServiceError",
+    "RETRYABLE_ERRORS",
+    "AnthropicProvider",
+    "EmulatedProvider",
+    "GeminiProvider",
+    "OpenAiProvider",
+    "ProviderClient",
+    "ProviderError",
+    "ProviderNotConfigured",
+    "ProviderTimeout",
+    "RateLimitError",
+    "TransientProviderError",
+    "emulated_transport",
+    "provider_family",
+    "resolve_provider",
+    "RateLimiter",
+    "RetryPolicy",
+    "call_with_retry",
+]

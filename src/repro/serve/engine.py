@@ -1,0 +1,239 @@
+"""The asyncio twin of :class:`repro.eval.engine.EvalEngine`.
+
+:class:`AsyncEvalEngine` serves completions concurrently from an event
+loop while preserving the batch engine's contract bit for bit:
+
+* **Same cache keys.** Misses and hits go through the same
+  :func:`repro.eval.engine.cache_key` digests over the same
+  :class:`~repro.llm.config.ModelConfig`/prompt/sampling inputs, against
+  the same injectable :class:`~repro.eval.engine.ResponseStore` — a
+  served completion warms the batch CLI's cache and vice versa.
+* **Same results.** :meth:`AsyncEvalEngine.run` assembles records with
+  the sync engine's ``_make_record`` and meters usage in item order, so
+  for the same grid it returns a byte-identical
+  :class:`~repro.eval.runner.RunResult` (pinned by digest in the tests)
+  and writes byte-identical cache segments.
+
+What the async path adds over the sync one:
+
+* **Request coalescing.** Identical in-flight prompts (same cache key)
+  share one upstream completion: the first arrival owns the request, the
+  rest await its future. With deterministic providers the duplicates'
+  responses are exact, and with real APIs coalescing is what keeps a
+  burst of identical queries from billing N times.
+* **Retry/backoff + rate limiting.** Every upstream call runs under a
+  :class:`~repro.serve.retry.RetryPolicy` (bounded attempts, jittered
+  exponential backoff, jittered per-attempt deadlines) and an optional
+  :class:`~repro.serve.retry.RateLimiter` token bucket, acquired inside
+  each attempt so backed-off retries re-queue behind fresh work.
+
+Store calls run in worker threads (:func:`asyncio.to_thread`) so disk
+segment reads never stall the loop; the stores' own locking makes that
+safe, and inside :meth:`run` writes batch through ``store.deferred()``
+exactly like the sync engine.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from contextlib import nullcontext
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.eval.engine import (
+    CachedResponse,
+    CacheStats,
+    ResponseStore,
+    _make_record,
+    cache_key,
+)
+from repro.llm.base import LlmResponse
+from repro.llm.pricing import UsageMeter
+from repro.serve.providers import ProviderClient
+from repro.serve.retry import RateLimiter, RetryPolicy, Sleep, call_with_retry
+
+
+@dataclass
+class ServeStats(CacheStats):
+    """Engine accounting plus the serving-only counters.
+
+    ``coalesced`` waiters piggybacked on another request's completion (they
+    are *not* hits or misses — the owning request books those);
+    ``retries`` counts upstream re-attempts after retryable failures.
+    """
+
+    coalesced: int = 0
+    retries: int = 0
+
+    def summary(self) -> str:
+        return (
+            f"{super().summary()}, {self.coalesced} coalesced, "
+            f"{self.retries} retries"
+        )
+
+
+class AsyncEvalEngine:
+    """Concurrent cached evaluation against one or more providers.
+
+    One engine spans a service lifetime: its ``stats`` describe all
+    traffic served and its ``_inflight`` table coalesces concurrent
+    duplicates across every entry point (single :meth:`complete` calls
+    and :meth:`run` batches alike).
+
+    All state mutation happens on one event loop (the inflight table is
+    touched with no ``await`` between lookup and insert, so no lock is
+    needed); blocking work — model inference, disk segment I/O — is
+    pushed to worker threads.
+    """
+
+    def __init__(
+        self,
+        *,
+        store: ResponseStore | None = None,
+        retry: RetryPolicy | None = None,
+        limiter: RateLimiter | None = None,
+        max_concurrency: int = 64,
+        rng: random.Random | None = None,
+        sleep: Sleep = asyncio.sleep,
+    ) -> None:
+        if max_concurrency < 1:
+            raise ValueError(
+                f"max_concurrency must be >= 1, got {max_concurrency}"
+            )
+        self.store = store
+        self.retry = retry or RetryPolicy()
+        self.limiter = limiter
+        self.max_concurrency = max_concurrency
+        self.stats = ServeStats()
+        self._rng = rng if rng is not None else random.Random()
+        self._sleep = sleep
+        self._inflight: dict[str, asyncio.Future[LlmResponse]] = {}
+
+    # -- single completion ---------------------------------------------------
+    async def complete(
+        self,
+        provider: ProviderClient,
+        prompt: str,
+        *,
+        temperature: float | None = None,
+        top_p: float | None = None,
+    ) -> LlmResponse:
+        """One completion: cache hit, coalesced join, or owned upstream call."""
+        if self.store is None:
+            response = await self._upstream(
+                provider, prompt, temperature=temperature, top_p=top_p
+            )
+            self.stats._bump("uncached")
+            return response
+
+        key = cache_key(provider.config, prompt, temperature, top_p)
+        existing = self._inflight.get(key)
+        if existing is not None:
+            self.stats._bump("coalesced")
+            return await asyncio.shield(existing)
+        # No await between the miss above and this insert: on one event
+        # loop that makes check-then-set atomic, so every concurrent
+        # duplicate lands in the branch above.
+        future: asyncio.Future[LlmResponse] = (
+            asyncio.get_running_loop().create_future()
+        )
+        self._inflight[key] = future
+        try:
+            cached = await asyncio.to_thread(self.store.get, key)
+            if cached is not None:
+                self.stats._bump("hits")
+                response = cached.to_response(provider.name)
+            else:
+                response = await self._upstream(
+                    provider, prompt, temperature=temperature, top_p=top_p
+                )
+                await asyncio.to_thread(
+                    self.store.put, key, CachedResponse.from_response(response)
+                )
+                self.stats._bump("misses")
+            future.set_result(response)
+            return response
+        except BaseException as exc:
+            future.set_exception(exc)
+            future.exception()  # consumed: a waiterless failure isn't a leak
+            raise
+        finally:
+            self._inflight.pop(key, None)
+
+    async def _upstream(
+        self,
+        provider: ProviderClient,
+        prompt: str,
+        *,
+        temperature: float | None,
+        top_p: float | None,
+    ) -> LlmResponse:
+        """One provider call under the rate limiter and retry policy."""
+
+        async def attempt() -> LlmResponse:
+            if self.limiter is not None:
+                # Acquired per attempt: a retry after backoff waits its
+                # turn again rather than holding a stale reservation.
+                await self.limiter.acquire()
+            return await provider.complete(
+                prompt, temperature=temperature, top_p=top_p
+            )
+
+        return await call_with_retry(
+            attempt,
+            policy=self.retry,
+            rng=self._rng,
+            sleep=self._sleep,
+            on_retry=lambda _attempt, _exc: self.stats._bump("retries"),
+        )
+
+    # -- batched evaluation --------------------------------------------------
+    async def run(
+        self,
+        provider: ProviderClient,
+        items: Sequence[tuple[str, str, object]],
+        *,
+        temperature: float | None = None,
+        top_p: float | None = None,
+    ):
+        """Evaluate ``items`` of (item_id, prompt, truth) concurrently.
+
+        The async counterpart of :meth:`EvalEngine.run`: identical
+        records in identical order, usage metered in item order — the
+        returned :class:`~repro.eval.runner.RunResult` and the store
+        contents are byte-identical to the sync engine's for the same
+        grid, whatever ``max_concurrency``.
+        """
+        from repro.eval.runner import RunResult
+
+        items = list(items)
+        if not items:
+            raise ValueError("no items to run")
+
+        gate = asyncio.Semaphore(self.max_concurrency)
+
+        async def bounded(prompt: str) -> LlmResponse:
+            async with gate:
+                return await self.complete(
+                    provider, prompt, temperature=temperature, top_p=top_p
+                )
+
+        deferred = getattr(self.store, "deferred", None)
+        with deferred() if deferred is not None else nullcontext():
+            responses = await asyncio.gather(
+                *(bounded(prompt) for _, prompt, _ in items)
+            )
+
+        records = [
+            _make_record(item_id, truth, response)
+            for (item_id, _, truth), response in zip(items, responses)
+        ]
+        meter = UsageMeter(provider.config)
+        for response in responses:
+            meter.record(response.usage)
+        return RunResult(
+            model_name=provider.name,
+            records=tuple(records),
+            usage=meter.summary(),
+        )

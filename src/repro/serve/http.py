@@ -1,0 +1,343 @@
+"""Stdlib HTTP front end answering roofline-classification queries.
+
+Two layers:
+
+* :class:`PredictionService` — the async application: uid → sample lookup
+  (the paper's balanced dataset, or any scenario GPU's re-profiled twin),
+  prompt construction through the *same* :func:`build_classify_prompt`
+  path as the batch CLI (so cache keys match entry for entry), and
+  completion through an :class:`~repro.serve.engine.AsyncEvalEngine`.
+  Against a warm :class:`~repro.eval.engine.DiskResponseStore` every
+  query is a cache hit — zero new completions, no model inference on the
+  request path.
+* :class:`PredictionServer` — a :class:`ThreadingHTTPServer` whose
+  handler threads bridge into one background asyncio event loop
+  (``run_coroutine_threadsafe``), keeping the engine's single-loop
+  coalescing semantics while the stdlib server deals with sockets.
+
+Endpoints (all JSON):
+
+* ``GET /healthz`` — liveness.
+* ``GET /v1/models`` — servable model names.
+* ``GET /v1/samples`` — balanced-dataset uids with ground-truth labels.
+* ``GET /v1/stats`` — engine counters (hits/misses/coalesced/retries…).
+* ``GET|POST /v1/classify`` — one prediction. Query params (GET) or a
+  JSON body (POST): ``uid`` (required), ``model``, ``few_shot``, ``gpu``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Sequence
+from urllib.parse import parse_qs, urlsplit
+
+from repro.dataset import Sample, paper_dataset
+from repro.eval.matrix import scenario_samples
+from repro.llm.pricing import query_cost_usd
+from repro.llm.registry import MODEL_NAMES
+from repro.prompts import build_classify_prompt
+from repro.roofline.hardware import GpuSpec, get_gpu
+from repro.serve.engine import AsyncEvalEngine
+from repro.serve.providers import ProviderClient, resolve_provider
+
+#: The paper's headline model — the default for unqualified queries.
+DEFAULT_MODEL = "o3-mini-high"
+
+
+class ServiceError(Exception):
+    """A client-visible failure with an HTTP status."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+
+
+class PredictionService:
+    """The serving application: samples + providers + async engine.
+
+    Sample indices and provider clients are built lazily and memoized:
+    the first query against a GPU pays its (profile-store-backed) dataset
+    build, later ones are dictionary lookups. Memo access is locked —
+    handler threads funnel work onto one event loop, but the blocking
+    builds run in ``to_thread`` workers.
+    """
+
+    def __init__(
+        self,
+        engine: AsyncEvalEngine,
+        *,
+        provider_family: str = "emulated",
+        jobs: int = 1,
+    ) -> None:
+        self.engine = engine
+        self.provider_family = provider_family
+        self.jobs = jobs
+        self._lock = threading.Lock()
+        self._providers: dict[str, ProviderClient] = {}
+        # gpu key (None = the paper's default target) → uid → sample
+        self._samples: dict[str | None, dict[str, Sample]] = {}
+
+    # -- lazy indices --------------------------------------------------------
+    def provider(self, model_name: str) -> ProviderClient:
+        with self._lock:
+            client = self._providers.get(model_name)
+        if client is not None:
+            return client
+        try:
+            client = resolve_provider(model_name, family=self.provider_family)
+        except KeyError:
+            raise ServiceError(
+                404, f"unknown model {model_name!r}; see /v1/models"
+            ) from None
+        with self._lock:
+            return self._providers.setdefault(model_name, client)
+
+    def _sample_index(self, gpu: GpuSpec | None) -> dict[str, Sample]:
+        key = gpu.name if gpu is not None else None
+        with self._lock:
+            index = self._samples.get(key)
+        if index is not None:
+            return index
+        if gpu is None:
+            samples: Sequence[Sample] = paper_dataset(jobs=self.jobs).balanced
+        else:
+            samples = scenario_samples(gpu, jobs=self.jobs)
+        index = {s.uid: s for s in samples}
+        with self._lock:
+            return self._samples.setdefault(key, index)
+
+    def warm(self) -> int:
+        """Build the default sample index up front; returns its size."""
+        return len(self._sample_index(None))
+
+    # -- queries -------------------------------------------------------------
+    def sample_listing(self) -> list[dict]:
+        index = self._sample_index(None)
+        return [
+            {"uid": uid, "label": sample.label.word}
+            for uid, sample in sorted(index.items())
+        ]
+
+    def stats(self) -> dict:
+        s = self.engine.stats
+        return {
+            "hits": s.hits,
+            "misses": s.misses,
+            "uncached": s.uncached,
+            "coalesced": s.coalesced,
+            "retries": s.retries,
+            "completions": s.completions,
+            "total": s.total,
+        }
+
+    async def classify(
+        self,
+        uid: str,
+        *,
+        model: str = DEFAULT_MODEL,
+        few_shot: bool = False,
+        gpu: str | None = None,
+    ) -> dict:
+        """One roofline classification, served from the warm stores."""
+        provider = self.provider(model)
+        spec: GpuSpec | None = None
+        if gpu:
+            try:
+                spec = await asyncio.to_thread(get_gpu, gpu)
+            except KeyError as exc:
+                raise ServiceError(404, str(exc)) from None
+        index = await asyncio.to_thread(self._sample_index, spec)
+        sample = index.get(uid)
+        if sample is None:
+            raise ServiceError(
+                404, f"unknown sample uid {uid!r}; see /v1/samples"
+            )
+        # The batch CLI's exact prompt path (classification_items), so the
+        # cache key below equals the sweep's and warm stores answer it.
+        prompt = (
+            await asyncio.to_thread(
+                build_classify_prompt, sample, few_shot=few_shot, gpu=spec
+            )
+        ).text
+        before = self.engine.stats.completions
+        response = await self.engine.complete(provider, prompt)
+        try:
+            prediction = response.boundedness().word
+        except ValueError:
+            prediction = None
+        return {
+            "uid": uid,
+            "model": provider.name,
+            "gpu": spec.name if spec is not None else None,
+            "few_shot": few_shot,
+            "prediction": prediction,
+            "truth": sample.label.word,
+            "correct": prediction == sample.label.word,
+            "cached": self.engine.stats.completions == before,
+            "usage": {
+                "input_tokens": response.usage.input_tokens,
+                "output_tokens": response.usage.output_tokens,
+                "reasoning_tokens": response.usage.reasoning_tokens,
+            },
+            "cost_usd": query_cost_usd(response.usage, provider.config),
+        }
+
+
+def _parse_bool(value: str | bool | None, name: str) -> bool:
+    if value is None:
+        return False
+    if isinstance(value, bool):
+        return value
+    lowered = str(value).strip().lower()
+    if lowered in ("1", "true", "yes", "on"):
+        return True
+    if lowered in ("", "0", "false", "no", "off"):
+        return False
+    raise ServiceError(400, f"bad boolean for {name!r}: {value!r}")
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes HTTP requests onto the service's event loop."""
+
+    server: "PredictionServer"  # type: ignore[assignment]
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ------------------------------------------------------------
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, payload: dict | list) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _run(self, coro) -> object:
+        future = asyncio.run_coroutine_threadsafe(coro, self.server.loop)
+        return future.result(timeout=self.server.request_timeout_s)
+
+    def _classify_params(self) -> dict:
+        split = urlsplit(self.path)
+        if self.command == "POST":
+            length = int(self.headers.get("Content-Length") or 0)
+            raw = self.rfile.read(length) if length else b"{}"
+            try:
+                params = json.loads(raw.decode("utf-8") or "{}")
+            except ValueError:
+                raise ServiceError(400, "request body is not valid JSON")
+            if not isinstance(params, dict):
+                raise ServiceError(400, "request body must be a JSON object")
+        else:
+            params = {
+                k: v[-1] for k, v in parse_qs(split.query).items()
+            }
+        uid = params.get("uid")
+        if not uid:
+            raise ServiceError(400, "missing required parameter 'uid'")
+        return {
+            "uid": str(uid),
+            "model": str(params.get("model") or DEFAULT_MODEL),
+            "few_shot": _parse_bool(params.get("few_shot"), "few_shot"),
+            "gpu": str(params["gpu"]) if params.get("gpu") else None,
+        }
+
+    # -- routes --------------------------------------------------------------
+    def _route(self) -> None:
+        service = self.server.service
+        path = urlsplit(self.path).path.rstrip("/") or "/"
+        try:
+            if path == "/healthz":
+                self._send_json(200, {"status": "ok"})
+            elif path == "/v1/models" and self.command == "GET":
+                self._send_json(200, {"models": list(MODEL_NAMES)})
+            elif path == "/v1/samples" and self.command == "GET":
+                self._send_json(200, {"samples": service.sample_listing()})
+            elif path == "/v1/stats" and self.command == "GET":
+                self._send_json(200, service.stats())
+            elif path == "/v1/classify":
+                params = self._classify_params()
+                result = self._run(service.classify(**params))
+                self._send_json(200, result)  # type: ignore[arg-type]
+            else:
+                raise ServiceError(404, f"no such endpoint: {path}")
+        except ServiceError as exc:
+            self._send_json(exc.status, {"error": str(exc)})
+        except Exception as exc:  # pragma: no cover - defensive
+            self._send_json(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+    def do_GET(self) -> None:  # noqa: N802
+        self._route()
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._route()
+
+
+class PredictionServer(ThreadingHTTPServer):
+    """The serving process: stdlib HTTP threads + one asyncio loop.
+
+    ``port=0`` binds an ephemeral port (tests); :attr:`port` reports the
+    real one. :meth:`start` spins up the loop and server threads and
+    returns (tests drive requests, then :meth:`close`);
+    :meth:`serve_forever` is inherited for the CLI's blocking mode.
+    """
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        service: PredictionService,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        request_timeout_s: float = 300.0,
+        verbose: bool = False,
+    ) -> None:
+        super().__init__((host, port), _Handler)
+        self.service = service
+        self.request_timeout_s = request_timeout_s
+        self.verbose = verbose
+        self.loop = asyncio.new_event_loop()
+        self._loop_thread = threading.Thread(
+            target=self.loop.run_forever, name="repro-serve-loop", daemon=True
+        )
+        self._serve_thread: threading.Thread | None = None
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.server_address[0]}:{self.port}"
+
+    def start(self) -> "PredictionServer":
+        """Run the loop and accept requests in background threads."""
+        if not self._loop_thread.is_alive():
+            self._loop_thread.start()
+        self._serve_thread = threading.Thread(
+            target=self.serve_forever, name="repro-serve-http", daemon=True
+        )
+        self._serve_thread.start()
+        return self
+
+    def serve_forever(self, poll_interval: float = 0.5) -> None:
+        if not self._loop_thread.is_alive():
+            self._loop_thread.start()
+        super().serve_forever(poll_interval)
+
+    def close(self) -> None:
+        """Stop accepting, stop the loop, release the socket."""
+        self.shutdown()
+        if self._serve_thread is not None:
+            self._serve_thread.join(timeout=5.0)
+        if self._loop_thread.is_alive():
+            self.loop.call_soon_threadsafe(self.loop.stop)
+            self._loop_thread.join(timeout=5.0)
+        self.loop.close()
+        self.server_close()

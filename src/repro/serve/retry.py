@@ -1,0 +1,185 @@
+"""Retry with jittered exponential backoff, attempt deadlines, rate limiting.
+
+Nothing in ``src/`` retried anything before this module: the batch path
+talks only to deterministic in-process models, where a failure is a bug.
+A serving path talks (in shape, at least) to remote APIs, where timeouts,
+429s, and transient 5xxs are weather, not bugs — so the serving engine
+wraps every upstream completion in :func:`call_with_retry` under a
+:class:`RetryPolicy`, and meters its request rate through an async
+token-bucket :class:`RateLimiter`.
+
+Determinism note: backoff delays and attempt timeouts are *jittered*
+(decorrelating clients that fail together), which makes wall-clock timing
+random — but never results. The jitter RNG is injectable for tests, and
+``sleep`` is injectable so tests run in virtual time.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+from dataclasses import dataclass
+from typing import Awaitable, Callable
+
+from repro.serve.providers import (
+    RETRYABLE_ERRORS,
+    ProviderTimeout,
+    RateLimitError,
+)
+
+#: Async sleep hook type — tests inject a virtual clock.
+Sleep = Callable[[float], Awaitable[None]]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded-retry schedule for one upstream completion.
+
+    Attempt ``k`` (0-based) that fails retryably sleeps
+    ``base_delay_s * multiplier**k``, capped at ``max_delay_s``, then
+    scaled by a uniform jitter factor in ``[1 - jitter, 1 + jitter]``.
+    A :class:`RateLimitError` whose ``retry_after`` exceeds the computed
+    delay waits the server's hint instead (never less than asked).
+    ``timeout_s`` bounds each attempt, itself jittered by
+    ``timeout_jitter`` so a thundering herd of identical requests doesn't
+    time out in lockstep; ``None`` disables attempt deadlines.
+    """
+
+    max_attempts: int = 4
+    base_delay_s: float = 0.05
+    multiplier: float = 2.0
+    max_delay_s: float = 2.0
+    jitter: float = 0.5
+    timeout_s: float | None = None
+    timeout_jitter: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {self.jitter}")
+        if not 0.0 <= self.timeout_jitter < 1.0:
+            raise ValueError(
+                f"timeout_jitter must be in [0, 1), got {self.timeout_jitter}"
+            )
+
+    def backoff_delay(self, attempt: int, rng: random.Random) -> float:
+        """Jittered delay after failed attempt ``attempt`` (0-based)."""
+        delay = min(self.base_delay_s * self.multiplier**attempt, self.max_delay_s)
+        if self.jitter:
+            delay *= rng.uniform(1.0 - self.jitter, 1.0 + self.jitter)
+        return delay
+
+    def attempt_timeout(self, rng: random.Random) -> float | None:
+        """This attempt's jittered deadline (``None`` = no deadline)."""
+        if self.timeout_s is None:
+            return None
+        if not self.timeout_jitter:
+            return self.timeout_s
+        return self.timeout_s * rng.uniform(
+            1.0 - self.timeout_jitter, 1.0 + self.timeout_jitter
+        )
+
+
+async def call_with_retry(
+    fn: Callable[[], Awaitable],
+    *,
+    policy: RetryPolicy,
+    rng: random.Random | None = None,
+    sleep: Sleep = asyncio.sleep,
+    on_retry: Callable[[int, BaseException], None] | None = None,
+):
+    """Await ``fn()`` with bounded retries under ``policy``.
+
+    Retries only :data:`~repro.serve.providers.RETRYABLE_ERRORS`; an
+    attempt that overruns its jittered deadline is surfaced as
+    :class:`~repro.serve.providers.ProviderTimeout` (itself retryable).
+    Non-retryable exceptions and the final retryable failure propagate
+    unchanged. ``on_retry(attempt, error)`` fires before each backoff
+    sleep — the serving engine counts retries through it.
+    """
+    rng = rng if rng is not None else random.Random()
+    last: BaseException | None = None
+    for attempt in range(policy.max_attempts):
+        try:
+            timeout = policy.attempt_timeout(rng)
+            if timeout is None:
+                return await fn()
+            try:
+                return await asyncio.wait_for(fn(), timeout)
+            except asyncio.TimeoutError:
+                raise ProviderTimeout(
+                    f"attempt {attempt + 1} exceeded {timeout:.3f}s"
+                ) from None
+        except RETRYABLE_ERRORS as exc:
+            last = exc
+            if attempt + 1 >= policy.max_attempts:
+                raise
+            delay = policy.backoff_delay(attempt, rng)
+            if isinstance(exc, RateLimitError) and exc.retry_after is not None:
+                delay = max(delay, exc.retry_after)
+            if on_retry is not None:
+                on_retry(attempt, exc)
+            await sleep(delay)
+    raise last if last is not None else RuntimeError("unreachable")
+
+
+class RateLimiter:
+    """Async token bucket: sustained ``rate`` acquisitions/s, bursts of
+    ``burst``.
+
+    Single-event-loop discipline: state is mutated only between awaits, so
+    no lock is needed. Waiters self-schedule — each sleeps exactly until
+    its own token matures — and ``_reserved`` tokens make concurrent
+    waiters queue FIFO-fairly instead of stampeding the bucket when it
+    refills. ``rate=None`` (or ``<= 0``) disables limiting;
+    ``clock``/``sleep`` are injectable for virtual-time tests.
+    """
+
+    def __init__(
+        self,
+        rate: float | None,
+        burst: int = 1,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Sleep = asyncio.sleep,
+    ) -> None:
+        if rate is not None and rate <= 0:
+            rate = None
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1, got {burst}")
+        self.rate = rate
+        self.burst = burst
+        self._clock = clock
+        self._sleep = sleep
+        self._tokens = float(burst)
+        self._reserved = 0.0  # tokens promised to already-queued waiters
+        self._last = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        assert self.rate is not None
+        self._tokens = min(
+            float(self.burst), self._tokens + (now - self._last) * self.rate
+        )
+        self._last = now
+
+    async def acquire(self) -> None:
+        """Take one token, sleeping until the bucket can cover it."""
+        if self.rate is None:
+            return
+        self._refill()
+        # Claim a place in line: our token is the (_reserved + 1)-th to
+        # mature. Reserving before sleeping keeps arrivals FIFO.
+        deficit = self._reserved + 1.0 - self._tokens
+        if deficit <= 0:
+            self._tokens -= 1.0
+            return
+        self._reserved += 1.0
+        try:
+            await self._sleep(deficit / self.rate)
+        finally:
+            self._reserved -= 1.0
+        self._refill()
+        self._tokens -= 1.0  # may briefly dip below 0 under cancellation

@@ -35,7 +35,10 @@ Writes are buffered: each ``put`` lands in an in-process pending map that
 read-merge-write per segment per flush, not per entry batch. Outside a
 :meth:`ArtifactStore.deferred` block every put flushes immediately (the
 pre-PR-6 durability contract); hot sweep paths open a ``deferred()``
-block to batch many put calls into one merge.
+block to batch many put calls into one merge. A ``deferred`` block that
+exits with an exception (including ``KeyboardInterrupt``) deterministically
+**discards** its unflushed buffer rather than flushing mid-unwind — see
+:meth:`ArtifactStore.deferred` for the exact contract.
 """
 
 from __future__ import annotations
@@ -645,12 +648,38 @@ class ArtifactStore:
     @contextmanager
     def deferred(self):
         """Batch puts: inside the block they buffer in memory (reads still
-        see them); the block exit flushes once per touched segment."""
+        see them); the block exit flushes once per touched segment.
+
+        Exception semantics are deterministic: a **clean** exit of the
+        outermost block flushes everything buffered; an **exceptional**
+        exit (any ``BaseException``, including ``KeyboardInterrupt``)
+        discards the store's entire pending buffer instead — no disk I/O
+        happens while unwinding, so a flush failure can never shadow the
+        real error and a second Ctrl-C can never tear a half-written
+        flush. Batches already spilled mid-block by the
+        ``DEFERRED_FLUSH_ENTRIES`` interval stay on disk, so an aborted
+        sweep loses at most one interval of warmth — and entries are
+        content-addressed, so a lost batch costs recomputation, never
+        correctness. The buffer is store-global: the discard also drops
+        batches buffered by other threads' concurrently open ``deferred``
+        blocks (they would have shared the same flush).
+
+        Nested blocks defer to the outermost one: an exception *caught
+        inside* the outer block leaves the buffer intact, and the outer
+        clean exit still flushes it.
+        """
         with self._store_lock:
             self._defer_depth += 1
         try:
             yield self
-        finally:
+        except BaseException:
+            with self._store_lock:
+                self._defer_depth -= 1
+                if self._defer_depth == 0:
+                    self._pending.clear()
+                    self._pending_entries = 0
+            raise
+        else:
             with self._store_lock:
                 self._defer_depth -= 1
                 flush_now = self._defer_depth == 0

@@ -21,7 +21,12 @@ artefacts.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    FIRST_EXCEPTION,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
 from typing import Callable, Iterable, Sequence, TypeVar
 
 T = TypeVar("T")
@@ -91,11 +96,15 @@ def parallel_map(
 ) -> list[R]:
     """Apply ``fn`` to every item, fanning out across ``jobs`` workers.
 
-    Results are returned in input order; the first worker exception
-    propagates to the caller (matching a plain loop's failure behaviour).
-    ``jobs <= 1`` (or a single item) always degrades to the sequential
-    loop, whatever the backend. With ``backend="process"``, ``fn`` and the
-    items must be picklable; each shard pickles ``fn`` once.
+    Results are returned in input order. Failure is **fail-fast**: the
+    moment any shard raises, every not-yet-started shard is cancelled and
+    the earliest-submitted failure propagates — a bad sweep dies in one
+    shard's time instead of burning workers on doomed shards. (Shards
+    already running when the failure lands finish their in-flight work;
+    executors cannot preempt them.) ``jobs <= 1`` (or a single item)
+    always degrades to the sequential loop, whatever the backend. With
+    ``backend="process"``, ``fn`` and the items must be picklable; each
+    shard pickles ``fn`` once.
     """
     seq: Sequence[T] = items if isinstance(items, (list, tuple)) else list(items)
     jobs = resolve_jobs(jobs)
@@ -107,6 +116,18 @@ def parallel_map(
     pool_cls = ProcessPoolExecutor if backend == "process" else ThreadPoolExecutor
     with pool_cls(max_workers=jobs) as pool:
         futures = [pool.submit(_apply_shard, fn, shard) for shard in shards]
+        wait(futures, return_when=FIRST_EXCEPTION)
+        failed = next(
+            (
+                f
+                for f in futures
+                if f.done() and not f.cancelled() and f.exception() is not None
+            ),
+            None,
+        )
+        if failed is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise failed.exception()
         out: list[R] = []
         for future in futures:
             out.extend(future.result())

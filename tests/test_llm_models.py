@@ -147,6 +147,40 @@ class TestPricing:
         assert s["input_tokens"] == 10_000
         assert s["cost_usd"] > 0
 
+    def test_meter_is_thread_safe(self):
+        """Regression: ``record`` used unsynchronized ``+=`` on shared
+        counters, dropping increments when completions were metered from
+        concurrent workers. Hammer it from threads and demand exact totals."""
+        import threading
+
+        cfg = get_config("gpt-4o-mini")
+        meter = UsageMeter(cfg)
+        n_threads, per_thread = 8, 500
+        barrier = threading.Barrier(n_threads)
+
+        def worker() -> None:
+            barrier.wait()
+            for _ in range(per_thread):
+                meter.record(
+                    Usage(input_tokens=3, output_tokens=1, reasoning_tokens=2)
+                )
+
+        threads = [threading.Thread(target=worker) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        total = n_threads * per_thread
+        s = meter.summary()
+        assert s["requests"] == total
+        assert s["input_tokens"] == total * 3
+        assert s["output_tokens"] == total * 1
+        assert s["reasoning_tokens"] == total * 2
+        one = query_cost_usd(
+            Usage(input_tokens=3, output_tokens=1, reasoning_tokens=2), cfg
+        )
+        assert s["cost_usd"] == pytest.approx(total * one)
+
     def test_cheap_models_cheaper(self, balanced_samples):
         prompt = build_classify_prompt(balanced_samples[0]).text
         costs = {}

@@ -1,0 +1,560 @@
+"""The async serving layer: adapters, retry/backoff, coalescing, HTTP.
+
+No event-loop plugin is assumed: async scenarios run under
+``asyncio.run`` inside plain test functions, with injected RNGs, sleeps,
+and clocks so every timing-dependent behaviour is deterministic and the
+suite never actually waits out a backoff schedule.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import random
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.eval.engine import DiskResponseStore, EvalEngine, MemoryResponseStore
+from repro.eval.rq23 import classification_items
+from repro.llm.base import LlmResponse
+from repro.llm.pricing import Usage
+from repro.llm.registry import get_model
+from repro.serve import (
+    AsyncEvalEngine,
+    PredictionServer,
+    PredictionService,
+    ProviderNotConfigured,
+    ProviderTimeout,
+    RateLimiter,
+    RateLimitError,
+    RetryPolicy,
+    TransientProviderError,
+    call_with_retry,
+    emulated_transport,
+    provider_family,
+    resolve_provider,
+)
+from repro.serve.providers import (
+    WIRE_FAMILIES,
+    AnthropicProvider,
+    EmulatedProvider,
+    GeminiProvider,
+    OpenAiProvider,
+)
+
+
+class FaultyProvider:
+    """Injected-fault adapter: raises a scripted error per call, then
+    delegates to the real emulated model."""
+
+    def __init__(self, model_name: str = "gpt-4o-mini", faults=()):
+        self.model = get_model(model_name)
+        self.config = self.model.config
+        self.faults = list(faults)
+        self.calls = 0
+        self._lock = threading.Lock()
+
+    @property
+    def name(self) -> str:
+        return self.model.name
+
+    async def complete(self, prompt, *, temperature=None, top_p=None):
+        with self._lock:
+            index = self.calls
+            self.calls += 1
+        if index < len(self.faults):
+            fault = self.faults[index]
+            if fault is not None:
+                raise fault
+        return self.model.complete(prompt, temperature=temperature, top_p=top_p)
+
+
+class GatedProvider:
+    """Holds every completion until released — lets a test pile up N
+    concurrent identical requests before the first one can finish."""
+
+    def __init__(self, model_name: str = "gpt-4o-mini"):
+        self.model = get_model(model_name)
+        self.config = self.model.config
+        self.calls = 0
+        self.gate = asyncio.Event()
+
+    @property
+    def name(self) -> str:
+        return self.model.name
+
+    async def complete(self, prompt, *, temperature=None, top_p=None):
+        self.calls += 1
+        await self.gate.wait()
+        return self.model.complete(prompt, temperature=temperature, top_p=top_p)
+
+
+def _recording_sleep(log):
+    async def sleep(delay):
+        log.append(delay)
+
+    return sleep
+
+
+# -- provider adapters -------------------------------------------------------
+
+WIRE_CASES = [
+    ("gpt-4o-2024-11-20", OpenAiProvider),
+    ("o3-mini-high", OpenAiProvider),
+    ("gemini-2.0-flash-001", GeminiProvider),
+]
+
+
+def test_provider_family_routing():
+    assert provider_family("gemini-2.0-flash-001") == "gemini"
+    assert provider_family("claude-sonnet-4") == "anthropic"
+    assert provider_family("gpt-4o-mini") == "openai"
+    assert provider_family("o3-mini-high") == "openai"
+
+
+@pytest.mark.parametrize("cls", list(WIRE_FAMILIES.values()))
+def test_wire_codec_roundtrip(cls):
+    model = get_model("gpt-4o-mini")
+    provider = cls(model.config)
+    payload = provider.encode_request("classify this kernel", 0.1, 0.2)
+    prompt, temperature, top_p = cls.decode_request(payload)
+    assert (prompt, temperature, top_p) == ("classify this kernel", 0.1, 0.2)
+    # None sampling params stay absent on the wire and decode back to None.
+    bare = cls.decode_request(provider.encode_request("p", None, None))
+    assert bare == ("p", None, None)
+
+    response = LlmResponse(
+        text="Compute",
+        usage=Usage(input_tokens=123, output_tokens=1, reasoning_tokens=77),
+        model_name=model.name,
+    )
+    decoded = provider.decode_response(cls.encode_response(response))
+    assert decoded == response
+
+
+@pytest.mark.parametrize("model_name,cls", WIRE_CASES)
+def test_wire_adapter_matches_emulated(model_name, cls):
+    """The full encode → emulated transport → decode path returns exactly
+    what the emulated model would: the wire shape is lossless."""
+    model = get_model(model_name)
+    wire = resolve_provider(model_name, family="wire")
+    assert isinstance(wire, cls)
+    prompt = "Is the following kernel compute bound or bandwidth bound?"
+    direct = model.complete(prompt)
+    via_wire = asyncio.run(wire.complete(prompt))
+    assert via_wire == direct
+
+
+def test_unconfigured_wire_provider_raises():
+    provider = resolve_provider("o1", family="anthropic")
+    assert isinstance(provider, AnthropicProvider)
+    with pytest.raises(ProviderNotConfigured):
+        asyncio.run(provider.complete("hello"))
+
+
+def test_resolve_provider_rejects_unknown_family():
+    with pytest.raises(ValueError, match="unknown provider family"):
+        resolve_provider("o1", family="azure")
+
+
+def test_malformed_wire_response_is_transient():
+    async def bad_transport(payload):
+        return {"unexpected": "shape"}
+
+    provider = OpenAiProvider(get_model("o1").config, bad_transport)
+    with pytest.raises(TransientProviderError, match="malformed"):
+        asyncio.run(provider.complete("hello"))
+
+
+# -- retry / backoff / rate limiting ----------------------------------------
+
+def test_retry_recovers_from_transient_faults():
+    provider = FaultyProvider(faults=[
+        TransientProviderError("boom"),
+        RateLimitError("slow down"),
+    ])
+    sleeps: list[float] = []
+    policy = RetryPolicy(max_attempts=4, base_delay_s=0.1, jitter=0.5)
+    rng = random.Random(7)
+
+    response = asyncio.run(call_with_retry(
+        lambda: provider.complete("hello"),
+        policy=policy, rng=rng, sleep=_recording_sleep(sleeps),
+    ))
+    assert response.text in ("Compute", "Bandwidth")
+    assert provider.calls == 3          # 2 failures + 1 success
+    assert len(sleeps) == 2             # one backoff per failure
+    # Jittered exponential schedule: attempt k sleeps in
+    # [0.5, 1.5] * base * 2**k, and never more than max_delay * 1.5.
+    assert 0.05 <= sleeps[0] <= 0.15
+    assert 0.10 <= sleeps[1] <= 0.30
+
+
+def test_retry_attempts_are_bounded():
+    provider = FaultyProvider(faults=[TransientProviderError("boom")] * 10)
+    sleeps: list[float] = []
+    policy = RetryPolicy(max_attempts=3)
+    with pytest.raises(TransientProviderError):
+        asyncio.run(call_with_retry(
+            lambda: provider.complete("hello"),
+            policy=policy, rng=random.Random(0),
+            sleep=_recording_sleep(sleeps),
+        ))
+    assert provider.calls == 3
+    assert len(sleeps) == 2             # no sleep after the final failure
+
+
+def test_retry_honours_rate_limit_retry_after():
+    provider = FaultyProvider(
+        faults=[RateLimitError("429", retry_after=9.0)]
+    )
+    sleeps: list[float] = []
+    asyncio.run(call_with_retry(
+        lambda: provider.complete("hello"),
+        policy=RetryPolicy(base_delay_s=0.01),
+        rng=random.Random(0), sleep=_recording_sleep(sleeps),
+    ))
+    assert sleeps == [9.0]              # server hint floors the backoff
+
+
+def test_retry_does_not_retry_programming_errors():
+    provider = FaultyProvider(faults=[ValueError("bug")])
+    with pytest.raises(ValueError, match="bug"):
+        asyncio.run(call_with_retry(
+            lambda: provider.complete("hello"),
+            policy=RetryPolicy(), rng=random.Random(0),
+        ))
+    assert provider.calls == 1
+
+
+def test_attempt_timeout_surfaces_as_provider_timeout():
+    async def hang():
+        await asyncio.sleep(30.0)
+
+    policy = RetryPolicy(max_attempts=2, timeout_s=0.01, timeout_jitter=0.0,
+                         base_delay_s=0.0, jitter=0.0)
+    sleeps: list[float] = []
+    with pytest.raises(ProviderTimeout):
+        asyncio.run(call_with_retry(
+            hang, policy=policy, rng=random.Random(0),
+            sleep=_recording_sleep(sleeps),
+        ))
+    assert len(sleeps) == 1             # timed out, retried once, gave up
+
+
+def test_jittered_timeouts_vary_per_attempt():
+    policy = RetryPolicy(timeout_s=1.0, timeout_jitter=0.25)
+    rng = random.Random(3)
+    draws = {policy.attempt_timeout(rng) for _ in range(16)}
+    assert len(draws) > 1
+    assert all(0.75 <= t <= 1.25 for t in draws)
+
+
+def test_rate_limiter_spaces_acquisitions():
+    clock = [0.0]
+    waits: list[float] = []
+
+    async def sleep(delay):
+        waits.append(delay)
+        clock[0] += delay
+
+    limiter = RateLimiter(rate=2.0, burst=2, clock=lambda: clock[0], sleep=sleep)
+
+    async def scenario():
+        for _ in range(5):
+            await limiter.acquire()
+
+    asyncio.run(scenario())
+    # Burst of 2 free, then one matured token per 0.5 s.
+    assert waits == pytest.approx([0.5, 0.5, 0.5])
+
+
+def test_rate_limiter_disabled():
+    limiter = RateLimiter(rate=None)
+
+    async def scenario():
+        for _ in range(100):
+            await limiter.acquire()
+
+    asyncio.run(scenario())             # returns immediately; nothing to assert
+
+
+# -- the async engine: coalescing + caching ---------------------------------
+
+def test_identical_concurrent_requests_coalesce():
+    """N identical in-flight requests → exactly 1 upstream completion."""
+    provider = GatedProvider()
+    engine = AsyncEvalEngine(store=MemoryResponseStore())
+    prompt = "Is this kernel compute bound or bandwidth bound?"
+    n = 16
+
+    async def scenario():
+        tasks = [
+            asyncio.create_task(engine.complete(provider, prompt))
+            for _ in range(n)
+        ]
+        # Let every task reach the inflight table before releasing the gate.
+        while provider.calls == 0:
+            await asyncio.sleep(0)
+        provider.gate.set()
+        return await asyncio.gather(*tasks)
+
+    responses = asyncio.run(scenario())
+    assert provider.calls == 1
+    assert len(set(responses)) == 1     # everyone got the same completion
+    assert engine.stats.misses == 1
+    assert engine.stats.coalesced == n - 1
+    assert engine.stats.completions == 1
+
+
+def test_distinct_prompts_do_not_coalesce():
+    provider = GatedProvider()
+    provider.gate.set()
+    engine = AsyncEvalEngine(store=MemoryResponseStore())
+
+    async def scenario():
+        await asyncio.gather(
+            engine.complete(provider, "prompt one"),
+            engine.complete(provider, "prompt two"),
+        )
+
+    asyncio.run(scenario())
+    assert provider.calls == 2
+    assert engine.stats.coalesced == 0
+
+
+def test_coalesced_waiters_share_the_owners_failure():
+    provider = FaultyProvider(faults=[ValueError("bug")] * 1)
+    engine = AsyncEvalEngine(store=MemoryResponseStore())
+
+    async def scenario():
+        results = await asyncio.gather(
+            *(engine.complete(provider, "same prompt") for _ in range(4)),
+            return_exceptions=True,
+        )
+        return results
+
+    results = asyncio.run(scenario())
+    assert all(isinstance(r, ValueError) for r in results)
+    assert provider.calls == 1          # the failure was shared, not repeated
+
+
+def test_failed_request_leaves_no_inflight_residue():
+    provider = FaultyProvider(
+        faults=[TransientProviderError("boom")] * 4 + [None]
+    )
+    engine = AsyncEvalEngine(
+        store=MemoryResponseStore(),
+        retry=RetryPolicy(max_attempts=1),
+    )
+
+    async def scenario():
+        with pytest.raises(TransientProviderError):
+            await engine.complete(provider, "p")
+        assert engine._inflight == {}
+        # Later identical request retries upstream from scratch...
+        with pytest.raises(TransientProviderError):
+            await engine.complete(provider, "p")
+
+    asyncio.run(scenario())
+
+
+def test_warm_store_serves_without_completions():
+    provider = EmulatedProvider(get_model("gpt-4o-mini"))
+    store = MemoryResponseStore()
+    engine = AsyncEvalEngine(store=store)
+    prompt = "Is this compute bound or bandwidth bound?"
+
+    first = asyncio.run(engine.complete(provider, prompt))
+    again = asyncio.run(engine.complete(provider, prompt))
+    assert again == first
+    assert engine.stats.misses == 1
+    assert engine.stats.hits == 1
+    assert engine.stats.completions == 1
+
+
+def test_engine_retry_counter_and_recovery():
+    provider = FaultyProvider(faults=[
+        TransientProviderError("a"), ProviderTimeout("b"),
+    ])
+    engine = AsyncEvalEngine(
+        store=MemoryResponseStore(),
+        retry=RetryPolicy(base_delay_s=0.0, jitter=0.0),
+        rng=random.Random(0),
+    )
+    response = asyncio.run(engine.complete(provider, "p"))
+    assert response.text in ("Compute", "Bandwidth")
+    assert engine.stats.retries == 2
+    assert engine.stats.misses == 1
+
+
+def test_run_rejects_empty_items():
+    engine = AsyncEvalEngine()
+    provider = EmulatedProvider(get_model("o1"))
+    with pytest.raises(ValueError, match="no items"):
+        asyncio.run(engine.run(provider, []))
+
+
+# -- parity with the sync engine --------------------------------------------
+
+@pytest.mark.parametrize("few_shot", [False, True])
+def test_async_run_matches_sync_engine_bit_for_bit(
+    tmp_path, balanced_samples, few_shot
+):
+    """The acceptance pin: same grid → identical RunResult digest and
+    byte-identical cache directories, at any concurrency."""
+    samples = balanced_samples[:12]
+    items = classification_items(samples, few_shot=few_shot)
+    model = get_model("o3-mini-high")
+
+    sync_store = DiskResponseStore(tmp_path / "sync-cache")
+    sync_engine = EvalEngine(jobs=4, store=sync_store)
+    sync_result = sync_engine.run(model, items)
+
+    async_store = DiskResponseStore(tmp_path / "async-cache")
+    async_engine = AsyncEvalEngine(store=async_store, max_concurrency=8)
+    async_result = asyncio.run(
+        async_engine.run(EmulatedProvider(model), items)
+    )
+
+    assert async_result == sync_result
+    assert async_result.digest() == sync_result.digest()
+
+    def snapshot(root):
+        return {
+            p.relative_to(root): p.read_bytes()
+            for p in sorted(root.rglob("*")) if p.is_file()
+        }
+
+    sync_files = snapshot(sync_store.root)
+    assert sync_files and snapshot(async_store.root) == sync_files
+
+    # And the async-written cache replays through the sync engine.
+    replay = EvalEngine(store=async_store)
+    assert replay.run(model, items).digest() == sync_result.digest()
+    assert replay.stats.hits == len(items)
+
+
+def test_wire_provider_run_matches_sync_engine(balanced_samples):
+    """Parity holds through the wire codecs too, not just the direct shim."""
+    samples = balanced_samples[:6]
+    items = classification_items(samples, few_shot=False)
+    model = get_model("gemini-2.0-flash-001")
+
+    sync_result = EvalEngine(store=MemoryResponseStore()).run(model, items)
+    wire = resolve_provider(model.name, family="wire")
+    async_result = asyncio.run(
+        AsyncEvalEngine(store=MemoryResponseStore()).run(wire, items)
+    )
+    assert async_result.digest() == sync_result.digest()
+
+
+# -- the HTTP front end ------------------------------------------------------
+
+def _get_json(url: str):
+    with urllib.request.urlopen(url, timeout=60) as resp:
+        return resp.status, json.loads(resp.read().decode("utf-8"))
+
+
+def _post_json(url: str, payload: dict):
+    body = json.dumps(payload).encode("utf-8")
+    req = urllib.request.Request(
+        url, data=body, headers={"Content-Type": "application/json"}
+    )
+    with urllib.request.urlopen(req, timeout=60) as resp:
+        return resp.status, json.loads(resp.read().decode("utf-8"))
+
+
+@pytest.fixture()
+def serving(tmp_path, balanced_samples):
+    """A running server over a cache pre-warmed for the first 4 samples."""
+    samples = balanced_samples[:4]
+    store = DiskResponseStore(tmp_path / "serve-cache")
+    model = get_model("o3-mini-high")
+    batch = EvalEngine(store=store).run(
+        model, classification_items(samples, few_shot=False)
+    )
+    engine = AsyncEvalEngine(store=store)
+    service = PredictionService(engine)
+    server = PredictionServer(service, port=0).start()
+    try:
+        yield server, engine, samples, batch
+    finally:
+        server.close()
+
+
+def test_http_health_models_and_errors(serving):
+    server, _, _, _ = serving
+    status, body = _get_json(f"{server.url}/healthz")
+    assert (status, body) == (200, {"status": "ok"})
+    status, body = _get_json(f"{server.url}/v1/models")
+    assert status == 200 and "o3-mini-high" in body["models"]
+
+    with pytest.raises(urllib.error.HTTPError) as err:
+        _get_json(f"{server.url}/v1/nope")
+    assert err.value.code == 404
+    with pytest.raises(urllib.error.HTTPError) as err:
+        _get_json(f"{server.url}/v1/classify")   # missing uid
+    assert err.value.code == 400
+    with pytest.raises(urllib.error.HTTPError) as err:
+        _get_json(f"{server.url}/v1/classify?uid=no/such-kernel")
+    assert err.value.code == 404
+    with pytest.raises(urllib.error.HTTPError) as err:
+        _get_json(f"{server.url}/v1/classify?uid=x&model=made-up-model")
+    assert err.value.code == 404
+
+
+def test_http_warm_queries_make_zero_completions(serving):
+    """The tentpole acceptance path: warm-store HTTP queries answer with
+    0 new completions and agree with the batch CLI's labels."""
+    server, engine, samples, batch = serving
+    by_uid = {r.item_id: r for r in batch.records}
+    for sample in samples:
+        status, body = _get_json(
+            f"{server.url}/v1/classify?uid={sample.uid}&model=o3-mini-high"
+        )
+        assert status == 200
+        assert body["cached"] is True
+        record = by_uid[sample.uid]
+        assert body["prediction"] == record.prediction.word
+        assert body["truth"] == sample.label.word
+        assert body["correct"] == (record.prediction == sample.label)
+    assert engine.stats.completions == 0
+    assert engine.stats.hits == len(samples)
+
+    status, stats = _get_json(f"{server.url}/v1/stats")
+    assert status == 200
+    assert stats["completions"] == 0 and stats["hits"] == len(samples)
+
+
+def test_http_post_and_cold_query(serving):
+    server, engine, samples, _ = serving
+    # A regime the warm-up never ran (few-shot) must complete upstream.
+    status, body = _post_json(
+        f"{server.url}/v1/classify",
+        {"uid": samples[0].uid, "model": "o3-mini-high", "few_shot": True},
+    )
+    assert status == 200
+    assert body["cached"] is False
+    assert body["few_shot"] is True
+    assert engine.stats.completions == 1
+    # ... and is cached for the next identical query.
+    status, again = _post_json(
+        f"{server.url}/v1/classify",
+        {"uid": samples[0].uid, "model": "o3-mini-high", "few_shot": True},
+    )
+    assert again["cached"] is True
+    assert again["prediction"] == body["prediction"]
+    assert engine.stats.completions == 1
+
+
+def test_http_samples_listing(serving):
+    server, _, _, _ = serving
+    status, body = _get_json(f"{server.url}/v1/samples")
+    assert status == 200
+    listing = body["samples"]
+    assert len(listing) >= 300          # the paper's balanced set
+    assert all(entry["label"] in ("Compute", "Bandwidth") for entry in listing)

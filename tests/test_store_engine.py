@@ -137,6 +137,80 @@ class TestConcurrentWriters:
         assert len(store) == 4 * 16
 
 
+class TestDeferredExceptionSafety:
+    """The deterministic exception contract of ``ArtifactStore.deferred()``:
+    clean outermost exit flushes; exceptional exit (any BaseException,
+    KeyboardInterrupt included) discards the pending buffer — except
+    batches already spilled to disk by the flush interval, which stay."""
+
+    def test_clean_exit_flushes(self, tmp_path):
+        store = DiskResponseStore(tmp_path)
+        with store.deferred():
+            store.put("aa" + "0" * 62, _response(0))
+            assert not store._segment_path("responses-", "aa").exists()
+        assert store._segment_path("responses-", "aa").exists()
+        assert store.get("aa" + "0" * 62) == _response(0)
+
+    @pytest.mark.parametrize("exc_type", [RuntimeError, KeyboardInterrupt])
+    def test_exceptional_exit_discards_pending(self, tmp_path, exc_type):
+        store = DiskResponseStore(tmp_path)
+        key = "aa" + "0" * 62
+        with pytest.raises(exc_type):
+            with store.deferred():
+                store.put(key, _response(0))
+                raise exc_type("abort mid-sweep")
+        # Nothing flushed while unwinding, and nothing left buffered: the
+        # entry is simply gone (a cache miss, recomputed next run).
+        assert not store._pending
+        assert store._pending_entries == 0
+        assert store.get(key) is None
+        assert not store._segment_path("responses-", "aa").exists()
+        # The store stays fully usable afterwards.
+        store.put(key, _response(1))
+        assert store.get(key) == _response(1)
+
+    def test_interval_spilled_batches_survive_abort(self, tmp_path):
+        """An aborted sweep loses at most one flush interval of warmth."""
+        store = DiskResponseStore(tmp_path)
+        interval = store.DEFERRED_FLUSH_ENTRIES
+        with pytest.raises(KeyboardInterrupt):
+            with store.deferred():
+                for i in range(interval + 5):
+                    store.put(f"aa{i:062x}", _response(i))
+                raise KeyboardInterrupt
+        # The first `interval` puts spilled to disk mid-block and persist;
+        # only the unflushed tail is discarded.
+        assert len(store) == interval
+        assert store.get(f"aa{0:062x}") == _response(0)
+        assert store.get(f"aa{interval:062x}") is None
+
+    def test_exception_caught_inside_outer_block_keeps_buffer(self, tmp_path):
+        """Discard is an *unwinding* decision: a nested block's exception
+        handled inside the outer block must not drop the outer batch."""
+        store = DiskResponseStore(tmp_path)
+        outer_key = "aa" + "0" * 62
+        inner_key = "bb" + "0" * 62
+        with store.deferred():
+            store.put(outer_key, _response(0))
+            with pytest.raises(RuntimeError):
+                with store.deferred():
+                    store.put(inner_key, _response(1))
+                    raise RuntimeError("inner failure, handled by caller")
+            # Inner exceptional exit at depth > 0 defers to the outer block.
+            assert store.get(outer_key) == _response(0)
+        assert store.get(outer_key) == _response(0)
+        assert store.get(inner_key) == _response(1)
+
+    def test_nested_clean_exits_flush_once_at_outermost(self, tmp_path):
+        store = DiskResponseStore(tmp_path)
+        key = "cc" + "0" * 62
+        with store.deferred():
+            with store.deferred():
+                store.put(key, _response(2))
+            assert not store._segment_path("responses-", "cc").exists()
+        assert store.get(key) == _response(2)
+
+
 class TestLifecycleSweeps:
     def test_stale_tmp_files_swept_on_init_and_evict(self, tmp_path):
         store = DiskResponseStore(tmp_path)
