@@ -12,6 +12,10 @@ Installed as ``repro-paper``; every subcommand is also reachable via
     repro-paper decompose --model o1 --limit 50
     repro-paper table1 --jobs 8
     repro-paper matrix --gpus all --jobs 4 --backend process
+    repro-paper matrix --gpus v100,h100 --rq both --stats
+    repro-paper stats --gpus v100,h100 --rq both --stats-seed 7
+    repro-paper variants
+    repro-paper export stats --gpus v100,h100 --rq both --out stats.json
     repro-paper sweep --gpus v100,h100 --shard 0/3 --cache-dir shard-0
     repro-paper merge-caches shard-0 shard-1 shard-2 --into merged
     repro-paper figures --which 1
@@ -36,9 +40,18 @@ default ``$REPRO_ARTIFACT_CACHE`` or ``.repro-artifact-cache``;
 cache trains zero tokenizers and renders zero programs.
 
 Distributed sweeps: ``sweep --shard I/N`` executes one deterministic shard
-of the (model × RQ × GPU × kernel) grid on any machine, and
+of the (model × regime × GPU × kernel) grid on any machine, and
 ``merge-caches`` unions the shard caches into one store whose replayed
 report is byte-identical to a single-machine run.
+
+Matrix regimes are prompt variants: ``--rq rq2|rq3|both`` selects the two
+seed regimes and ``--variants name,…`` appends ablation variants
+(``no-hint``, ``problem-hint``, ``few-shot-K``; see
+``repro-paper variants``). ``matrix --stats`` / ``stats`` append the
+significance report (paired Wilcoxon, A12 effect sizes, seeded bootstrap
+CIs — ``--stats-seed``, ``--resamples``, ``--ci-method``), and ``export``
+writes any run/matrix/stats result as JSON through the shared
+``Reportable`` writer.
 """
 
 from __future__ import annotations
@@ -146,6 +159,54 @@ def _configure_stores(args: argparse.Namespace) -> None:
             or default_artifact_cache_dir()
         )
         set_active_artifact_cache(ArtifactCache(root, max_bytes=max_bytes))
+
+
+def _add_stats_flags(p: argparse.ArgumentParser) -> None:
+    from repro.analysis.stats import DEFAULT_RESAMPLES, DEFAULT_STATS_SEED
+
+    p.add_argument("--stats-seed", type=int, default=DEFAULT_STATS_SEED,
+                   help="seed for the bootstrap resampling streams "
+                        f"(default {DEFAULT_STATS_SEED}; same seed = "
+                        "same report digest)")
+    p.add_argument("--resamples", type=int, default=DEFAULT_RESAMPLES,
+                   help="bootstrap resamples per (cell, metric) CI "
+                        f"(default {DEFAULT_RESAMPLES})")
+    p.add_argument("--ci-method", choices=("bca", "percentile"),
+                   default="bca",
+                   help="bootstrap CI construction (default bca)")
+    p.add_argument("--confidence", type=float, default=0.95,
+                   help="CI confidence level (default 0.95)")
+
+
+def _add_regime_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--rq", choices=("rq2", "rq3", "both"), default="rq2",
+                   help="classification regime(s) to sweep (default rq2)")
+    p.add_argument("--variants", default="",
+                   help="comma-separated extra prompt-variant regimes to "
+                        "sweep alongside --rq (e.g. no-hint,problem-hint,"
+                        "few-shot-4); see 'repro-paper variants'")
+
+
+def _resolve_regimes(args: argparse.Namespace) -> tuple[str, ...]:
+    """Compose the regime axis from ``--rq`` plus ``--variants``."""
+    regimes = list(("rq2", "rq3") if args.rq == "both" else (args.rq,))
+    for label in (getattr(args, "variants", "") or "").split(","):
+        label = label.strip()
+        if label and label not in regimes:
+            regimes.append(label)
+    return tuple(regimes)
+
+
+def _build_stats(args: argparse.Namespace, result):
+    from repro.analysis.stats import build_stats_report
+
+    return build_stats_report(
+        result,
+        seed=args.stats_seed,
+        n_resamples=args.resamples,
+        confidence=args.confidence,
+        ci_method=args.ci_method,
+    )
 
 
 def _make_store(args: argparse.Namespace):
@@ -355,17 +416,124 @@ def _cmd_matrix(args: argparse.Namespace) -> int:
     except (KeyError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    rqs = ("rq2", "rq3") if args.rq == "both" else (args.rq,)
     engine = _make_engine(args)
-    result = run_matrix(
-        _select_models(args.model),
-        gpus,
-        rqs=rqs,
-        limit=args.limit,
-        engine=engine,
-    )
+    try:
+        result = run_matrix(
+            _select_models(args.model),
+            gpus,
+            rqs=_resolve_regimes(args),
+            limit=args.limit,
+            engine=engine,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     print(result.render(flip_limit=args.flip_limit))
+    if getattr(args, "stats", False):
+        print()
+        print(_build_stats(args, result).render())
     _report_cache(engine)
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.eval.export import write_report
+    from repro.eval.matrix import run_matrix
+    from repro.roofline.hardware import resolve_gpus
+
+    try:
+        gpus = resolve_gpus(args.gpus)
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    engine = _make_engine(args)
+    try:
+        result = run_matrix(
+            _select_models(args.model),
+            gpus,
+            rqs=_resolve_regimes(args),
+            limit=args.limit,
+            engine=engine,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    report = _build_stats(args, result)
+    print(report.render())
+    if args.out:
+        print(f"wrote {write_report(report, args.out)}")
+    _report_cache(engine)
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.dataset import paper_dataset
+    from repro.eval.export import write_report
+    from repro.eval.matrix import regime_variant, run_matrix
+    from repro.eval.rq23 import classification_items
+    from repro.eval.runner import run_queries
+    from repro.roofline.hardware import resolve_gpus
+
+    engine = _make_engine(args)
+    try:
+        if args.kind == "run":
+            models = _select_models(args.model)
+            if len(models) != 1:
+                print("error: 'export run' needs one --model, not 'all'",
+                      file=sys.stderr)
+                return 2
+            samples = list(paper_dataset(jobs=args.jobs).balanced)
+            if args.limit:
+                samples = samples[: args.limit]
+            regime = _resolve_regimes(args)
+            if len(regime) != 1:
+                print("error: 'export run' takes a single regime",
+                      file=sys.stderr)
+                return 2
+            items = classification_items(
+                samples, variant=regime_variant(regime[0])
+            )
+            report = run_queries(models[0], items, engine=engine)
+        else:
+            gpus = resolve_gpus(args.gpus)
+            matrix = run_matrix(
+                _select_models(args.model),
+                gpus,
+                rqs=_resolve_regimes(args),
+                limit=args.limit,
+                engine=engine,
+            )
+            report = (
+                _build_stats(args, matrix) if args.kind == "stats" else matrix
+            )
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"wrote {write_report(report, args.out)} "
+          f"(digest {report.digest()[:12]}…)")
+    _report_cache(engine)
+    return 0
+
+
+def _cmd_variants(args: argparse.Namespace) -> int:
+    from repro.prompts import all_variants
+    from repro.util.tables import format_table
+
+    rows = []
+    for v in all_variants():
+        rows.append([
+            v.name,
+            v.examples,
+            v.shots or "",
+            "yes" if v.hint else "",
+        ])
+    print(format_table(
+        ["Variant", "Examples", "Shots", "Hint"],
+        rows,
+        title="Registered prompt variants (regimes for matrix/sweep/stats)",
+    ))
+    print("\nAny few-shot-K (K <= 8) resolves on demand; rq2/rq3 alias "
+          "zero-shot/few-shot-2.")
     return 0
 
 
@@ -382,7 +550,6 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if num_shards == 1:
         # An unsharded sweep IS a matrix run (same flags, same report).
         return _cmd_matrix(args)
-    rqs = ("rq2", "rq3") if args.rq == "both" else (args.rq,)
     models = _select_models(args.model)
     engine = _make_engine(args)
     if engine.store is None:
@@ -390,15 +557,19 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
               "drop --no-cache (or point --cache-dir at the shard's store)",
               file=sys.stderr)
         return 2
-    report = run_shard(
-        models,
-        gpus,
-        shard_index=shard_index,
-        num_shards=num_shards,
-        rqs=rqs,
-        limit=args.limit,
-        engine=engine,
-    )
+    try:
+        report = run_shard(
+            models,
+            gpus,
+            shard_index=shard_index,
+            num_shards=num_shards,
+            rqs=_resolve_regimes(args),
+            limit=args.limit,
+            engine=engine,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     print(report.render())
     _report_cache(engine)
     return 0
@@ -429,12 +600,11 @@ def _cmd_merge_caches(args: argparse.Namespace) -> int:
     except (KeyError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    rqs = ("rq2", "rq3") if args.rq == "both" else (args.rq,)
     _configure_stores(args)
     engine = EvalEngine(jobs=args.jobs, store=store, backend=args.backend)
     result = run_matrix(
-        _select_models(args.model), gpus, rqs=rqs, limit=args.limit,
-        engine=engine,
+        _select_models(args.model), gpus, rqs=_resolve_regimes(args),
+        limit=args.limit, engine=engine,
     )
     print()
     print(result.render())
@@ -630,19 +800,57 @@ def build_parser() -> argparse.ArgumentParser:
     _add_engine_flags(p)
 
     p = sub.add_parser("matrix",
-                       help="hardware scenario matrix: sweep models × RQs "
-                            "over several GPUs and report label flips")
+                       help="hardware scenario matrix: sweep models × "
+                            "regimes over several GPUs and report label "
+                            "flips")
     p.add_argument("--model", default="all")
     p.add_argument("--gpus", default="all",
                    help="comma-separated GPU names (substring match) or "
                         "'all' (default)")
-    p.add_argument("--rq", choices=("rq2", "rq3", "both"), default="rq2",
-                   help="classification regime(s) to sweep (default rq2)")
+    _add_regime_flags(p)
     p.add_argument("--limit", type=int, default=0,
                    help="evaluate only the first N kernels per device")
     p.add_argument("--flip-limit", type=int, default=20,
                    help="max label-flip rows to print (default 20)")
+    p.add_argument("--stats", action="store_true",
+                   help="append the statistical significance report "
+                        "(paired Wilcoxon, A12, bootstrap CIs)")
+    _add_stats_flags(p)
     _add_engine_flags(p)
+
+    p = sub.add_parser("stats",
+                       help="statistical significance report over the "
+                            "matrix grid (Wilcoxon, A12, bootstrap CIs)")
+    p.add_argument("--model", default="all")
+    p.add_argument("--gpus", default="all",
+                   help="comma-separated GPU names (substring match) or "
+                        "'all' (default)")
+    _add_regime_flags(p)
+    p.add_argument("--limit", type=int, default=0,
+                   help="evaluate only the first N kernels per device")
+    p.add_argument("--out", default=None,
+                   help="also write the report as JSON to this file")
+    _add_stats_flags(p)
+    _add_engine_flags(p)
+
+    p = sub.add_parser("export",
+                       help="write a run / matrix / stats result as JSON "
+                            "through the shared Reportable writer")
+    p.add_argument("kind", choices=("run", "matrix", "stats"),
+                   help="which result type to compute and export")
+    p.add_argument("--out", required=True, help="destination JSON file")
+    p.add_argument("--model", default="all",
+                   help="model selection ('run' needs exactly one)")
+    p.add_argument("--gpus", default="all",
+                   help="GPU selection for matrix/stats exports")
+    _add_regime_flags(p)
+    p.add_argument("--limit", type=int, default=0,
+                   help="evaluate only the first N kernels")
+    _add_stats_flags(p)
+    _add_engine_flags(p)
+
+    sub.add_parser("variants",
+                   help="list the registered prompt variants")
 
     p = sub.add_parser("sweep",
                        help="matrix sweep, optionally one shard of a "
@@ -651,7 +859,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--gpus", default="all",
                    help="comma-separated GPU names (substring match) or "
                         "'all' (default)")
-    p.add_argument("--rq", choices=("rq2", "rq3", "both"), default="rq2")
+    _add_regime_flags(p)
     p.add_argument("--limit", type=int, default=0,
                    help="evaluate only the first N kernels per device")
     p.add_argument("--shard", default="0/1",
@@ -660,6 +868,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "and prints the matrix report")
     p.add_argument("--flip-limit", type=int, default=20,
                    help="max label-flip rows to print (unsharded runs)")
+    p.add_argument("--stats", action="store_true",
+                   help="append the statistical report (unsharded runs)")
+    _add_stats_flags(p)
     _add_engine_flags(p)
 
     p = sub.add_parser("merge-caches",
@@ -675,7 +886,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "merged cache and print the matrix report")
     p.add_argument("--model", default="all")
     p.add_argument("--gpus", default="all")
-    p.add_argument("--rq", choices=("rq2", "rq3", "both"), default="rq2")
+    _add_regime_flags(p)
     p.add_argument("--limit", type=int, default=0)
     p.add_argument("--jobs", type=int, default=1)
     p.add_argument("--backend", choices=BACKENDS, default=DEFAULT_BACKEND)
@@ -756,6 +967,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         "decompose": _cmd_decompose,
         "table1": _cmd_table1,
         "matrix": _cmd_matrix,
+        "stats": _cmd_stats,
+        "export": _cmd_export,
+        "variants": _cmd_variants,
         "sweep": _cmd_sweep,
         "merge-caches": _cmd_merge_caches,
         "cache": _cmd_cache,

@@ -1,7 +1,10 @@
-"""CSV/JSON export of figure and table data.
+"""CSV/JSON export of figure, table, and result data.
 
 The benchmark harness renders ASCII; downstream users who want to re-plot
-the figures in their own tooling get machine-readable exports here.
+the figures in their own tooling get machine-readable exports here. Any
+experiment result speaking :class:`~repro.eval.report.Reportable` goes
+through the single :func:`write_report` writer — run, matrix, and stats
+reports all serialise the same way (``repro-paper export``).
 """
 
 from __future__ import annotations
@@ -11,8 +14,30 @@ import json
 from pathlib import Path
 
 from repro.eval.figures import RooflineFigure, TokenDistributionFigure
+from repro.eval.report import Reportable
 from repro.eval.table1 import Table1
 from repro.types import OpClass
+
+
+def write_report(report: Reportable, path: str | Path) -> Path:
+    """Write one :class:`Reportable`'s JSON value form to ``path``.
+
+    The common export path for every result type: sorted keys and a fixed
+    layout, so identical results produce byte-identical files (the
+    ``digest`` field inside makes that checkable at a glance).
+    """
+    if not isinstance(report, Reportable):
+        raise TypeError(
+            f"{type(report).__name__} does not implement Reportable "
+            "(digest/render/to_json)"
+        )
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    p.write_text(
+        json.dumps(report.to_json(), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return p
 
 
 def export_figure1_csv(figure: RooflineFigure, path: str | Path) -> None:

@@ -22,7 +22,11 @@ testable across *different* rooflines. This module fans a
 
 Classification truth is device-dependent; RQ1's random-roofline arithmetic
 and RQ4's fine-tune are not, so the matrix covers the RQ2 (zero-shot) and
-RQ3 (two-shot) regimes.
+RQ3 (two-shot) regimes — plus any registered
+:class:`~repro.prompts.variants.PromptVariant` name as an extra
+prompt-ablation regime (``no-hint``, ``problem-hint``, ``few-shot-k``…):
+a regime label is either an RQ alias or a variant name, and
+:func:`regime_variant` resolves both onto the prompt layer.
 """
 
 from __future__ import annotations
@@ -41,14 +45,36 @@ from repro.gpusim import device_for
 from repro.kernels.corpus import default_corpus
 from repro.llm.base import LlmModel
 from repro.llm.registry import all_models
+from repro.prompts import PromptVariant, all_variants, get_variant
 from repro.roofline.hardware import GPU_DATABASE, GpuSpec, short_gpu_name
 from repro.tokenizer import corpus_tokenizer
 from repro.types import Boundedness
 from repro.util.parallel import DEFAULT_BACKEND, parallel_map
 from repro.util.tables import format_table
 
-#: The classification regimes the matrix sweeps (device-dependent truth).
+#: The paper's classification regimes (device-dependent truth), as RQ
+#: aliases for the two seed prompt variants.
 MATRIX_RQS = ("rq2", "rq3")
+
+#: RQ alias → seed prompt-variant name.
+REGIME_VARIANTS = {"rq2": "zero-shot", "rq3": "few-shot-2"}
+
+
+def regime_variant(label: str) -> PromptVariant:
+    """Resolve a matrix regime label onto its prompt variant.
+
+    A label is either an RQ alias (``rq2``/``rq3``) or a registered
+    :class:`PromptVariant` name; anything else raises ``ValueError`` with
+    the valid choices.
+    """
+    try:
+        return get_variant(REGIME_VARIANTS.get(label, label))
+    except KeyError:
+        names = tuple(v.name for v in all_variants())
+        raise ValueError(
+            f"unknown matrix regime {label!r}; choose an RQ alias from "
+            f"{MATRIX_RQS} or a prompt variant from {names}"
+        ) from None
 
 #: Memoized device-specific sample sets, keyed by (gpu spec, uid subset).
 #: Keyed by the frozen spec itself (like :func:`repro.gpusim.device_for`),
@@ -122,11 +148,11 @@ def grid_uids(limit: int = 0, *, jobs: int = 1) -> tuple[str, ...]:
 
 @dataclass(frozen=True)
 class MatrixCell:
-    """One (model, RQ, GPU) evaluation."""
+    """One (model, regime, GPU) evaluation."""
 
     model_name: str
     gpu_name: str
-    rq: str  # "rq2" | "rq3"
+    rq: str  # regime label: "rq2" | "rq3" | a prompt-variant name
     run: RunResult
 
     @property
@@ -255,6 +281,45 @@ class MatrixResult:
         ))
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
+    def to_json(self) -> dict:
+        """JSON value form: axes, per-cell metrics, flips, tracking."""
+        return {
+            "type": "matrix",
+            "digest": self.digest(),
+            "gpus": list(self.gpu_names),
+            "models": list(self.model_names),
+            "regimes": list(self.rqs),
+            "num_kernels": self.num_kernels,
+            "cells": [
+                {
+                    "model": c.model_name,
+                    "gpu": c.gpu_name,
+                    "regime": c.rq,
+                    "accuracy": c.accuracy,
+                    "macro_f1": c.run.metrics().macro_f1,
+                    "mcc": c.run.metrics().mcc,
+                    "run_digest": c.run.digest(),
+                }
+                for c in self.cells
+            ],
+            "flips": [
+                {
+                    "uid": f.uid,
+                    "labels": {gpu: label.word for gpu, label in f.labels},
+                }
+                for f in self.flips
+            ],
+            "flip_tracking": [
+                {
+                    "model": t.model_name,
+                    "regime": t.rq,
+                    "tracked": t.tracked,
+                    "total": t.total,
+                }
+                for t in self.flip_tracking()
+            ],
+        }
+
     # -- rendering -----------------------------------------------------------
     def render_accuracy_table(self) -> str:
         headers = ["Model", "RQ"] + [short_gpu_name(g) for g in self.gpu_names]
@@ -357,20 +422,21 @@ def run_matrix(
     jobs: int = 1,
     backend: str = DEFAULT_BACKEND,
 ) -> MatrixResult:
-    """Sweep the full (model × RQ × GPU) grid.
+    """Sweep the full (model × regime × GPU) grid.
 
     One engine spans every cell, so warm caches replay the whole matrix and
     ``engine.stats`` describe the sweep; pass ``backend="process"`` for a
-    cold sweep that scales with cores. ``limit`` truncates the kernel
-    subset *before* profiling — only the first N balanced kernels are
-    profiled per device, and the same kernels on every device keep flips
-    well-defined.
+    cold sweep that scales with cores. ``rqs`` entries are regime labels —
+    RQ aliases or prompt-variant names (see :func:`regime_variant`).
+    ``limit`` truncates the kernel subset *before* profiling — only the
+    first N balanced kernels are profiled per device, and the same kernels
+    on every device keep flips well-defined.
     """
     models = list(models) if models is not None else all_models()
     gpus = list(gpus) if gpus is not None else list(GPU_DATABASE.values())
-    for rq in rqs:
-        if rq not in MATRIX_RQS:
-            raise ValueError(f"unknown matrix RQ {rq!r}; choose from {MATRIX_RQS}")
+    variants = {rq: regime_variant(rq) for rq in rqs}
+    if len({v.name for v in variants.values()}) != len(rqs):
+        raise ValueError(f"duplicate matrix regimes in {tuple(rqs)}")
     if not gpus:
         raise ValueError("no GPUs selected")
     engine = engine or EvalEngine(jobs=jobs, backend=backend)
@@ -387,7 +453,7 @@ def run_matrix(
         for model in models:
             for rq in rqs:
                 items = classification_items(
-                    samples, few_shot=(rq == "rq3"), gpu=gpu
+                    samples, variant=variants[rq], gpu=gpu
                 )
                 run = run_queries(model, items, engine=engine)
                 cells.append(

@@ -1,16 +1,48 @@
-"""Rendering of side-by-side paper-vs-measured reports.
+"""Result reporting: the shared :class:`Reportable` protocol and
+side-by-side paper-vs-measured comparison tables.
 
-Used by the benchmark harness to print, for every experiment, the paper's
-published value next to this reproduction's measured value, making the
-"shape holds" claim inspectable at a glance.
+Every experiment-result object — :class:`~repro.eval.runner.RunResult`,
+:class:`~repro.eval.matrix.MatrixResult`,
+:class:`~repro.analysis.stats.StatsReport` — speaks :class:`Reportable`:
+``digest()`` for identity checks, ``render()`` for the terminal, and
+``to_json()`` for machine-readable export. The export layer
+(:func:`repro.eval.export.write_report`) and the CLI consume the protocol
+instead of switching on concrete types.
+
+The comparison-table helpers are used by the benchmark harness to print,
+for every experiment, the paper's published value next to this
+reproduction's measured value, making the "shape holds" claim inspectable
+at a glance.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Protocol, Sequence, runtime_checkable
 
 from repro.util.tables import format_table
+
+
+@runtime_checkable
+class Reportable(Protocol):
+    """What every experiment-result object can do.
+
+    ``runtime_checkable`` so writers can validate inputs with
+    ``isinstance`` — structural only (method presence), which is exactly
+    the guarantee the export path needs.
+    """
+
+    def digest(self) -> str:
+        """Stable SHA-256 identity over the result's value form."""
+        ...
+
+    def render(self) -> str:
+        """Human-readable terminal rendering."""
+        ...
+
+    def to_json(self) -> dict:
+        """JSON-serialisable value form (plain dicts/lists/scalars)."""
+        ...
 
 
 @dataclass(frozen=True)

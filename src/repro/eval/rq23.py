@@ -15,7 +15,7 @@ from repro.eval.engine import EvalEngine
 from repro.eval.metrics import MetricReport
 from repro.eval.runner import RunResult, run_queries
 from repro.llm.base import LlmModel
-from repro.prompts import build_classify_prompt
+from repro.prompts import PromptVariant, build_classify_prompt
 from repro.roofline.hardware import GpuSpec
 from repro.types import Boundedness
 
@@ -33,7 +33,8 @@ class ClassificationResult:
 def classification_items(
     samples: Sequence[Sample],
     *,
-    few_shot: bool,
+    few_shot: bool | None = None,
+    variant: str | PromptVariant | None = None,
     gpu: GpuSpec | None = None,
 ) -> list[tuple[str, str, Boundedness]]:
     """(item_id, prompt, truth) work units for one classification cell.
@@ -41,13 +42,15 @@ def classification_items(
     The single source of classification prompt construction — shared by
     RQ2/RQ3, the hardware matrix, and the shard executor
     (:mod:`repro.eval.shard`), so a sharded sweep's cache keys are
-    guaranteed to match the single-machine run's. ``gpu=None`` keeps the
+    guaranteed to match the single-machine run's. ``variant`` selects the
+    prompt form (``few_shot`` is the deprecated boolean alias — see
+    :func:`repro.prompts.build_classify_prompt`); ``gpu=None`` keeps the
     paper's default profiling target.
     """
     return [
         (
             s.uid,
-            build_classify_prompt(s, few_shot=few_shot, gpu=gpu).text,
+            build_classify_prompt(s, few_shot=few_shot, variant=variant, gpu=gpu).text,
             s.label,
         )
         for s in samples

@@ -69,6 +69,44 @@ class RunResult:
         )
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
+    def render(self) -> str:
+        """One-run metric summary (the :class:`Reportable` rendering)."""
+        m = self.metrics()
+        from repro.util.tables import format_table
+
+        return format_table(
+            ["Model", "N", "Accuracy", "Macro-F1", "MCC"],
+            [[self.model_name, m.n, m.accuracy, m.macro_f1, m.mcc]],
+            title=f"Run — {self.model_name} over {m.n} kernels",
+        )
+
+    def to_json(self) -> dict:
+        """JSON value form: metrics plus per-kernel records."""
+        m = self.metrics()
+        return {
+            "type": "run",
+            "model": self.model_name,
+            "digest": self.digest(),
+            "metrics": {
+                "accuracy": m.accuracy,
+                "macro_f1": m.macro_f1,
+                "mcc": m.mcc,
+                "n": m.n,
+            },
+            "usage": dict(sorted(self.usage.items())),
+            "records": [
+                {
+                    "item_id": r.item_id,
+                    "truth": r.truth.word,
+                    "prediction": (
+                        r.prediction.word if r.prediction is not None else None
+                    ),
+                    "correct": r.correct,
+                }
+                for r in self.records
+            ],
+        }
+
 
 def run_queries(
     model: LlmModel,

@@ -44,7 +44,7 @@ from pathlib import Path
 from typing import Iterable, Sequence
 
 from repro.eval.engine import CachedResponse, DiskResponseStore, EvalEngine
-from repro.eval.matrix import MATRIX_RQS, grid_uids, scenario_samples
+from repro.eval.matrix import grid_uids, regime_variant, scenario_samples
 from repro.eval.rq23 import classification_items
 from repro.llm.base import LlmModel
 from repro.roofline.hardware import GpuSpec, short_gpu_name
@@ -87,7 +87,7 @@ class WorkUnit:
 
     model_name: str
     gpu_name: str
-    rq: str  # "rq2" | "rq3"
+    rq: str  # regime label: "rq2" | "rq3" | a prompt-variant name
     uid: str
 
 
@@ -207,11 +207,9 @@ def run_shard(
     profiled per device, and a re-run replays finished units from the
     cache, computing just what's missing.
     """
-    for rq in rqs:
-        if rq not in MATRIX_RQS:
-            raise ValueError(
-                f"unknown matrix RQ {rq!r}; choose from {MATRIX_RQS}"
-            )
+    variants = {rq: regime_variant(rq) for rq in rqs}
+    if len({v.name for v in variants.values()}) != len(rqs):
+        raise ValueError(f"duplicate matrix regimes in {tuple(rqs)}")
     if not gpus:
         raise ValueError("no GPUs selected")
     if not models:
@@ -272,7 +270,7 @@ def run_shard(
             gpu = gpu_by_name[gpu_name]
             samples = [samples_by_gpu[gpu_name][uid] for uid in cell_uids]
             items = classification_items(
-                samples, few_shot=(rq == "rq3"), gpu=gpu
+                samples, variant=variants[rq], gpu=gpu
             )
             engine.run(model_by_name[model_name], items)
             cells.append(

@@ -5,8 +5,22 @@ from repro.prompts.examples import (
     EXAMPLE_VARIANT,
     PSEUDO_EXAMPLES,
     CodeExample,
+    real_example_sequence,
     real_examples,
     real_examples_block,
+)
+from repro.prompts.variants import (
+    FEW_SHOT_2,
+    MAX_FEW_SHOT,
+    NO_HINT,
+    PROBLEM_HINT,
+    ZERO_SHOT,
+    PromptVariant,
+    all_variants,
+    few_shot_variant,
+    get_variant,
+    register_variant,
+    variant_for_few_shot,
 )
 from repro.prompts.rq1 import (
     NUM_ROOFLINES,
@@ -24,8 +38,20 @@ __all__ = [
     "PSEUDO_EXAMPLES",
     "EXAMPLE_VARIANT",
     "CodeExample",
+    "real_example_sequence",
     "real_examples",
     "real_examples_block",
+    "PromptVariant",
+    "ZERO_SHOT",
+    "FEW_SHOT_2",
+    "NO_HINT",
+    "PROBLEM_HINT",
+    "MAX_FEW_SHOT",
+    "all_variants",
+    "few_shot_variant",
+    "get_variant",
+    "register_variant",
+    "variant_for_few_shot",
     "RooflineQuestion",
     "build_rq1_prompt",
     "generate_question",

@@ -3,8 +3,11 @@
 The system prompt declares the task and the response vocabulary; the user
 portion carries the queried kernel's language, name, target-GPU hardware
 bullet list, launch geometry, command line, and the program's concatenated
-source. RQ2 uses pseudo-code examples, RQ3 two real code examples matched to
-the queried language.
+source. Which example block (and optional hint) precedes the task is
+decided by a :class:`~repro.prompts.variants.PromptVariant` — ``zero-shot``
+is the RQ2 form, ``few-shot-2`` the RQ3 form, and further registered
+variants span the prompt-ablation axis. The deprecated ``few_shot`` boolean
+still maps onto the two seed variants with unchanged prompt bytes.
 """
 
 from __future__ import annotations
@@ -12,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.dataset.records import Sample
-from repro.prompts.examples import PSEUDO_EXAMPLES, real_examples_block
+from repro.prompts.variants import PromptVariant, get_variant, variant_for_few_shot
 from repro.roofline.hardware import GpuSpec, default_gpu
 
 SYSTEM_HEADER = """You are a GPU performance analysis expert that classifies kernels into
@@ -36,29 +39,49 @@ class ClassifyPrompt:
 
     text: str
     sample_uid: str
-    few_shot: bool
+    variant: PromptVariant
+
+    @property
+    def few_shot(self) -> bool:
+        """Deprecated boolean view: does the prompt carry real examples?"""
+        return self.variant.few_shot
 
 
 def build_classify_prompt(
     sample: Sample,
     *,
-    few_shot: bool = False,
+    few_shot: bool | None = None,
+    variant: str | PromptVariant | None = None,
     gpu: GpuSpec | None = None,
 ) -> ClassifyPrompt:
     """Assemble the Figure 4 prompt for one dataset sample.
 
-    ``few_shot=False`` is the RQ2 zero-shot form (pseudo-code examples);
-    ``few_shot=True`` the RQ3 form (two real examples in the sample's
-    language).
+    ``variant`` names a registered :class:`PromptVariant` (``zero-shot`` is
+    the RQ2 form, ``few-shot-2`` the RQ3 form). The deprecated ``few_shot``
+    boolean maps onto those two seed variants; passing both is an error.
+    Omitting both builds the zero-shot prompt.
     """
+    if few_shot is not None and variant is not None:
+        raise ValueError("pass either few_shot (deprecated) or variant, not both")
+    if variant is None:
+        variant = variant_for_few_shot(bool(few_shot))
+    resolved = get_variant(variant)
     gpu = gpu or default_gpu()
     lang = sample.language.display
     bx, by, bz = sample.block
     gx, gy, gz = sample.grid
-    examples = real_examples_block(sample.language) if few_shot else PSEUDO_EXAMPLES
+    # Seed variants must keep producing the exact pre-registry bytes (the
+    # response cache is keyed on them): SYSTEM_HEADER and each optional
+    # section end in "\n" already, so a plain join reproduces the old
+    # f"{SYSTEM_HEADER}\n{examples}\n" layout.
+    sections = [SYSTEM_HEADER]
+    examples = resolved.examples_block(sample.language)
+    if examples:
+        sections.append(examples)
+    if resolved.hint:
+        sections.append(resolved.hint)
     body = (
-        f"{SYSTEM_HEADER}\n"
-        f"{examples}\n"
+        "\n".join(sections) + "\n"
         "Now, analyze the following source codes for the requested kernel of the\n"
         "specified hardware.\n\n"
         f"Classify the {lang} kernel called {sample.kernel_name} as Bandwidth or\n"
@@ -70,4 +93,4 @@ def build_classify_prompt(
         f"Below is the source code of the requested {lang} kernel:\n\n"
         f"{sample.source}\n"
     )
-    return ClassifyPrompt(text=body, sample_uid=sample.uid, few_shot=few_shot)
+    return ClassifyPrompt(text=body, sample_uid=sample.uid, variant=resolved)

@@ -3,7 +3,10 @@
 RQ2 uses the paper's two pseudo-code examples (Figure 4 verbatim); RQ3
 replaces them with *real* code examples in the queried language, drawn from
 held-out program variants that are guaranteed not to be in the evaluation
-dataset (the corpus enumerates variants 0..k; examples use variant 50).
+dataset (the corpus enumerates variants 0..k; examples start at variant 50).
+Prompt-ablation variants can request more than two shots —
+:func:`real_example_sequence` keeps drawing (BB, CB) pairs from successive
+held-out variants (50, 51, ...) until the requested count is met.
 """
 
 from __future__ import annotations
@@ -31,7 +34,8 @@ for i = 0 to 10 {
 Response: Bandwidth
 """
 
-#: Held-out variant index used for real example shots.
+#: First held-out variant index used for real example shots (the corpus
+#: stays well below it; >2-shot prompts keep counting upward from here).
 EXAMPLE_VARIANT = 50
 
 
@@ -46,8 +50,10 @@ class CodeExample:
 
 
 @lru_cache(maxsize=None)
-def real_examples(language: Language) -> tuple[CodeExample, CodeExample]:
-    """One CB and one BB real-code example in the given language.
+def real_examples(
+    language: Language, variant: int = EXAMPLE_VARIANT
+) -> tuple[CodeExample, CodeExample]:
+    """One BB and one CB real-code example in the given language.
 
     Built from held-out variants of a streaming family (BB) and a pairwise
     physics family (CB), profiled to confirm their labels.
@@ -61,7 +67,7 @@ def real_examples(language: Language) -> tuple[CodeExample, CodeExample]:
     out = []
     for fam_name in ("saxpy", "nbody_naive"):
         fam = get_family(fam_name)
-        spec = fam.build(EXAMPLE_VARIANT, language)
+        spec = fam.build(variant, language)
         profile = profile_first_kernel(spec, device)
         label = classify_kernel(
             profile.counters.intensity_profile(), device.spec.rooflines()
@@ -75,11 +81,23 @@ def real_examples(language: Language) -> tuple[CodeExample, CodeExample]:
     return (bb, cb)
 
 
-def real_examples_block(language: Language) -> str:
-    """The RQ3 examples section (two real shots, matched to the language)."""
-    bb, cb = real_examples(language)
+def real_example_sequence(language: Language, shots: int) -> tuple[CodeExample, ...]:
+    """The first ``shots`` real examples: (BB, CB) pairs from successive
+    held-out variants, truncated to the requested count."""
+    if shots < 1:
+        raise ValueError(f"need at least one shot, got {shots}")
+    out: list[CodeExample] = []
+    variant = EXAMPLE_VARIANT
+    while len(out) < shots:
+        out.extend(real_examples(language, variant))
+        variant += 1
+    return tuple(out[:shots])
+
+
+def real_examples_block(language: Language, shots: int = 2) -> str:
+    """The real-code examples section (``shots=2`` is the RQ3 form)."""
     parts = ["Examples:"]
-    for i, ex in enumerate((bb, cb), 1):
+    for i, ex in enumerate(real_example_sequence(language, shots), 1):
         parts.append(f"Example {i}:")
         parts.append(f"Kernel Source Code ({ex.language.display}):")
         parts.append(ex.source)

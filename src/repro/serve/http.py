@@ -38,7 +38,11 @@ from repro.dataset import Sample, paper_dataset
 from repro.eval.matrix import scenario_samples
 from repro.llm.pricing import query_cost_usd
 from repro.llm.registry import MODEL_NAMES
-from repro.prompts import build_classify_prompt
+from repro.prompts import (
+    build_classify_prompt,
+    get_variant,
+    variant_for_few_shot,
+)
 from repro.roofline.hardware import GpuSpec, get_gpu
 from repro.serve.engine import AsyncEvalEngine
 from repro.serve.providers import ProviderClient, resolve_provider
@@ -139,9 +143,21 @@ class PredictionService:
         *,
         model: str = DEFAULT_MODEL,
         few_shot: bool = False,
+        variant: str | None = None,
         gpu: str | None = None,
     ) -> dict:
         """One roofline classification, served from the warm stores."""
+        if variant is not None and few_shot:
+            raise ServiceError(
+                400, "pass either few_shot (deprecated) or variant, not both"
+            )
+        if variant is not None:
+            try:
+                resolved = get_variant(variant)
+            except KeyError as exc:
+                raise ServiceError(404, str(exc)) from None
+        else:
+            resolved = variant_for_few_shot(few_shot)
         provider = self.provider(model)
         spec: GpuSpec | None = None
         if gpu:
@@ -159,7 +175,7 @@ class PredictionService:
         # cache key below equals the sweep's and warm stores answer it.
         prompt = (
             await asyncio.to_thread(
-                build_classify_prompt, sample, few_shot=few_shot, gpu=spec
+                build_classify_prompt, sample, variant=resolved, gpu=spec
             )
         ).text
         before = self.engine.stats.completions
@@ -172,7 +188,8 @@ class PredictionService:
             "uid": uid,
             "model": provider.name,
             "gpu": spec.name if spec is not None else None,
-            "few_shot": few_shot,
+            "variant": resolved.name,
+            "few_shot": resolved.few_shot,
             "prediction": prediction,
             "truth": sample.label.word,
             "correct": prediction == sample.label.word,
@@ -244,6 +261,9 @@ class _Handler(BaseHTTPRequestHandler):
             "uid": str(uid),
             "model": str(params.get("model") or DEFAULT_MODEL),
             "few_shot": _parse_bool(params.get("few_shot"), "few_shot"),
+            "variant": (
+                str(params["variant"]) if params.get("variant") else None
+            ),
             "gpu": str(params["gpu"]) if params.get("gpu") else None,
         }
 

@@ -106,6 +106,15 @@ class RngStream:
         return out
 
     # -- array draws -------------------------------------------------------
+    def integer_matrix(
+        self, shape: int | tuple[int, ...], low: int, high: int
+    ) -> np.ndarray:
+        """Uniform integers in ``[low, high)`` with the given shape (the
+        bootstrap's resample-index matrices)."""
+        if high <= low:
+            raise ValueError(f"empty range [{low}, {high})")
+        return self._gen.integers(low, high, size=shape)
+
     def uniform_array(self, n: int, low: float = 0.0, high: float = 1.0) -> np.ndarray:
         return self._gen.uniform(low, high, size=n)
 

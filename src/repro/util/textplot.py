@@ -103,6 +103,57 @@ def ascii_scatter(
     return "\n".join(lines)
 
 
+def ascii_intervals(
+    groups: Mapping[str, tuple[float, float, float]],
+    *,
+    width: int = 70,
+    title: str | None = None,
+    value_label: str = "value",
+) -> str:
+    """Render horizontal (low, estimate, high) interval bars, one per group.
+
+    Layout per group::
+
+        name  [--------*---]        low=.. est=.. high=..
+
+    Used for bootstrap confidence intervals in the stats report.
+    """
+    if not groups:
+        raise ValueError("nothing to plot")
+    for name, (low, est, high) in groups.items():
+        if not low <= est <= high:
+            raise ValueError(
+                f"interval for {name!r} is not ordered: ({low}, {est}, {high})"
+            )
+    lo = min(v[0] for v in groups.values())
+    hi = max(v[2] for v in groups.values())
+    span = max(1e-12, hi - lo)
+    name_w = max(len(n) for n in groups)
+
+    def col(v: float) -> int:
+        return min(width - 1, max(0, int(round((v - lo) / span * (width - 1)))))
+
+    lines = []
+    if title:
+        lines.append(title)
+    for name, (low, est, high) in groups.items():
+        row = [" "] * width
+        for c in range(col(low), col(high) + 1):
+            row[c] = "-"
+        row[col(low)] = "["
+        row[col(high)] = "]"
+        row[col(est)] = "*"
+        lines.append(
+            f"{name:>{name_w}} {''.join(row)}  "
+            f"{est:.2f} [{low:.2f}, {high:.2f}]"
+        )
+    lines.append(
+        f"{'':>{name_w}} {lo:.2f}{'':<{max(0, width - 14)}}{hi:.2f}"
+        f"  ({value_label})"
+    )
+    return "\n".join(lines)
+
+
 def ascii_boxplot(
     groups: Mapping[str, Sequence[float]],
     *,

@@ -1,0 +1,221 @@
+"""Tests for the significance suite (repro.analysis.stats) and the
+unified Reportable protocol / export path / CLI surface built on it."""
+
+import json
+
+import pytest
+
+from repro.analysis.stats import (
+    AXES,
+    CI_METRICS,
+    DEFAULT_STATS_SEED,
+    StatsReport,
+    build_stats_report,
+)
+from repro.cli import main
+from repro.eval.export import write_report
+from repro.eval.matrix import run_matrix
+from repro.eval.report import Reportable
+from repro.eval.rq23 import classification_items
+from repro.eval.runner import run_queries
+from repro.llm import get_model
+from repro.roofline.hardware import get_gpu
+
+MODELS = ("o3-mini-high", "gpt-4o-mini")
+GPUS = ("V100", "H100")
+REGIMES = ("rq2", "rq3")
+LIMIT = 12
+
+
+@pytest.fixture(scope="module")
+def small_matrix(dataset):
+    return run_matrix(
+        [get_model(m) for m in MODELS],
+        [get_gpu(g) for g in GPUS],
+        rqs=REGIMES,
+        limit=LIMIT,
+        jobs=2,
+    )
+
+
+@pytest.fixture(scope="module")
+def report(small_matrix):
+    return build_stats_report(small_matrix, n_resamples=300)
+
+
+class TestBuildStatsReport:
+    def test_grid_metadata(self, small_matrix, report):
+        assert report.matrix_digest == small_matrix.digest()
+        assert report.model_names == small_matrix.model_names
+        assert report.regimes == REGIMES
+        assert report.num_kernels == LIMIT
+        assert report.seed == DEFAULT_STATS_SEED
+
+    def test_comparison_coverage(self, report):
+        # C(2,2)=1 pair per axis with two values on every axis.
+        for axis in AXES:
+            comps = report.axis_comparisons(axis)
+            assert len(comps) == 1
+            (c,) = comps
+            # Pooled over the other two axes: 2×2 cells × LIMIT kernels.
+            assert c.n == 4 * LIMIT
+            assert 0.0 <= c.wilcoxon.p_value <= 1.0
+            assert c.p_holm >= c.wilcoxon.p_value
+            assert 0.0 <= c.a12 <= 1.0
+        with pytest.raises(ValueError):
+            report.axis_comparisons("kernel")
+
+    def test_interval_coverage_and_estimates(self, small_matrix, report):
+        assert len(report.intervals) == (
+            len(MODELS) * len(GPUS) * len(REGIMES) * len(CI_METRICS)
+        )
+        for cell in small_matrix.cells:
+            for metric in CI_METRICS:
+                iv = report.interval(
+                    cell.model_name, cell.gpu_name, cell.rq, metric
+                )
+                expected = getattr(cell.run.metrics(), metric)
+                assert iv.ci.estimate == pytest.approx(expected)
+                assert iv.ci.low <= iv.ci.estimate <= iv.ci.high
+        with pytest.raises(KeyError):
+            report.interval("nope", "nope", "rq2", "accuracy")
+
+    def test_deterministic_per_seed(self, small_matrix, report):
+        again = build_stats_report(small_matrix, n_resamples=300)
+        assert again.digest() == report.digest()
+        other = build_stats_report(small_matrix, seed=1, n_resamples=300)
+        assert other.digest() != report.digest()
+
+    def test_percentile_method(self, small_matrix):
+        pct = build_stats_report(
+            small_matrix, n_resamples=200, ci_method="percentile"
+        )
+        assert pct.ci_method == "percentile"
+        for iv in pct.intervals:
+            assert iv.ci.method == "percentile"
+
+    def test_render_contains_all_sections(self, report):
+        text = report.render()
+        assert "Statistical report — 2 models × 2 GPUs × 2 regimes" in text
+        assert "Pairwise model comparisons" in text
+        assert "Pairwise gpu comparisons" in text
+        assert "Pairwise regime comparisons" in text
+        assert "Bootstrap 95% CIs" in text
+        assert "Accuracy CIs — regime rq2" in text
+
+    def test_to_json_round_trips(self, report):
+        payload = report.to_json()
+        again = json.loads(json.dumps(payload))
+        assert again["type"] == "stats"
+        assert again["digest"] == report.digest()
+        assert len(again["comparisons"]) == len(report.comparisons)
+        assert len(again["intervals"]) == len(report.intervals)
+
+
+class TestReportableProtocol:
+    def test_all_result_types_speak_reportable(self, small_matrix, report):
+        assert isinstance(small_matrix, Reportable)
+        assert isinstance(report, Reportable)
+        run = small_matrix.cells[0].run
+        assert isinstance(run, Reportable)
+        assert not isinstance(object(), Reportable)
+
+    def test_run_result_render_and_json(self, dataset):
+        items = classification_items(
+            dataset.balanced[:4], variant="zero-shot"
+        )
+        run = run_queries(get_model("o3-mini-high"), items)
+        assert "o3-mini-high" in run.render()
+        payload = run.to_json()
+        assert payload["type"] == "run"
+        assert payload["digest"] == run.digest()
+        assert len(payload["records"]) == 4
+
+    def test_matrix_to_json(self, small_matrix):
+        payload = small_matrix.to_json()
+        assert payload["type"] == "matrix"
+        assert payload["digest"] == small_matrix.digest()
+        assert len(payload["cells"]) == len(small_matrix.cells)
+
+    def test_write_report_round_trip(self, tmp_path, report):
+        out = tmp_path / "deep" / "stats.json"
+        assert write_report(report, out) == out
+        loaded = json.loads(out.read_text())
+        assert loaded == json.loads(json.dumps(report.to_json()))
+
+    def test_write_report_rejects_non_reportable(self, tmp_path):
+        with pytest.raises(TypeError):
+            write_report({"not": "a report"}, tmp_path / "x.json")
+
+
+class TestStatsCli:
+    GRID = [
+        "--model", "o3-mini-high", "--gpus", "V100,H100",
+        "--rq", "rq2", "--limit", "4",
+    ]
+
+    def test_matrix_stats_flag_and_warm_replay(self, capsys, dataset):
+        assert main(["matrix", *self.GRID, "--stats",
+                     "--resamples", "100"]) == 0
+        first = capsys.readouterr().out
+        assert "Statistical report —" in first
+        assert "Bootstrap 95% CIs" in first
+        # Same grid again: everything answered from the cache, the stats
+        # pass itself makes no completions.
+        assert main(["matrix", *self.GRID, "--stats",
+                     "--resamples", "100"]) == 0
+        second = capsys.readouterr().out
+        assert ", 0 new completions" in second
+
+    def test_stats_subcommand_writes_json(self, capsys, tmp_path, dataset):
+        out = tmp_path / "report.json"
+        assert main(["stats", *self.GRID, "--resamples", "100",
+                     "--out", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "Statistical report —" in text
+        assert json.loads(out.read_text())["type"] == "stats"
+
+    def test_stats_seed_changes_digest(self, capsys, tmp_path, dataset):
+        a, b, c = (tmp_path / n for n in ("a.json", "b.json", "c.json"))
+        for path, seed in ((a, "7"), (b, "7"), (c, "8")):
+            assert main(["stats", *self.GRID, "--resamples", "100",
+                         "--stats-seed", seed, "--out", str(path)]) == 0
+        capsys.readouterr()
+        da, db, dc = (
+            json.loads(p.read_text())["digest"] for p in (a, b, c)
+        )
+        assert da == db
+        assert da != dc
+
+    @pytest.mark.parametrize("kind", ["run", "matrix", "stats"])
+    def test_export_kinds(self, capsys, tmp_path, dataset, kind):
+        out = tmp_path / f"{kind}.json"
+        assert main(["export", kind, *self.GRID, "--resamples", "100",
+                     "--out", str(out)]) == 0
+        assert f"wrote {out}" in capsys.readouterr().out
+        assert json.loads(out.read_text())["type"] == kind
+
+    def test_export_run_rejects_ambiguous_grid(self, capsys, tmp_path):
+        rc = main(["export", "run", "--model", "all",
+                   "--out", str(tmp_path / "r.json")])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_variants_listing(self, capsys):
+        assert main(["variants"]) == 0
+        out = capsys.readouterr().out
+        for name in ("zero-shot", "few-shot-2", "no-hint", "problem-hint"):
+            assert name in out
+
+    def test_bad_regime_exits_2(self, capsys, dataset):
+        assert main(["matrix", "--model", "o3-mini-high", "--gpus", "V100",
+                     "--rq", "rq2", "--variants", "bogus",
+                     "--limit", "2"]) == 2
+        assert "unknown matrix regime" in capsys.readouterr().err
+
+    def test_ablation_variant_regime(self, capsys, dataset):
+        assert main(["matrix", "--model", "o3-mini-high", "--gpus", "V100",
+                     "--rq", "rq2", "--variants", "no-hint",
+                     "--limit", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "no-hint" in out

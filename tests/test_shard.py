@@ -411,7 +411,7 @@ class TestShardedSweepEndToEnd:
 
 class TestRunShardValidation:
     def test_unknown_rq_rejected(self):
-        with pytest.raises(ValueError, match="unknown matrix RQ"):
+        with pytest.raises(ValueError, match="unknown matrix regime"):
             run_shard(
                 [get_model("o1")], [get_gpu("V100")],
                 shard_index=0, num_shards=2, rqs=("rq1",),
