@@ -20,7 +20,9 @@ Installed as ``repro-paper``; every subcommand is also reachable via
     repro-paper merge-caches shard-0 shard-1 shard-2 --into merged
     repro-paper figures --which 1
     repro-paper cache --wipe
+    repro-paper doctor --dry-run
     repro-paper serve --port 8077 --warm
+    repro-paper sweep --gpus all --resume --failure-mode collect
 
 Experiment commands accept ``--jobs`` (workers; 0 = all cores) and
 ``--backend`` (``thread`` default; ``process`` sidesteps the GIL for cold
@@ -43,6 +45,15 @@ Distributed sweeps: ``sweep --shard I/N`` executes one deterministic shard
 of the (model × regime × GPU × kernel) grid on any machine, and
 ``merge-caches`` unions the shard caches into one store whose replayed
 report is byte-identical to a single-machine run.
+
+Fault tolerance: experiment commands take ``--failure-mode collect`` (record
+units that exhaust their retries instead of aborting; bound with
+``--max-failures``), ``--resume`` (journal completed units into the cache
+dir and skip them on the next run — Ctrl-C/SIGTERM checkpoint the journal
+and exit 130), and ``--inject-faults SPEC`` (a seeded, deterministic fault
+plan for chaos testing; also ``$REPRO_FAULT_PLAN``). ``repro-paper
+doctor`` fscks all three stores and quarantines damage (``--dry-run``
+reports only).
 
 Matrix regimes are prompt variants: ``--rq rq2|rq3|both`` selects the two
 seed regimes and ``--variants name,…`` appends ablation variants
@@ -103,6 +114,28 @@ def _add_cache_flags(p: argparse.ArgumentParser) -> None:
     _add_store_flags(p)
 
 
+def _add_fault_flags(p: argparse.ArgumentParser) -> None:
+    from repro.eval.engine import FAILURE_MODES
+
+    p.add_argument("--failure-mode", choices=FAILURE_MODES,
+                   default="fail_fast",
+                   help="what to do when a unit exhausts its retries: "
+                        "fail_fast aborts the run (default); collect "
+                        "records the unit as failed and keeps going")
+    p.add_argument("--max-failures", type=int, default=None,
+                   help="with --failure-mode collect, abort once this many "
+                        "units have failed (default: unlimited)")
+    p.add_argument("--inject-faults", default=None, metavar="SPEC",
+                   help="deterministic fault plan for chaos testing, e.g. "
+                        "'seed=7;provider_error:rate=0.25,attempts=2;"
+                        "torn_write:rate=0.5' (default: $REPRO_FAULT_PLAN "
+                        "if set)")
+    p.add_argument("--resume", action="store_true",
+                   help="journal completed units to the response cache and "
+                        "skip units an earlier interrupted run already "
+                        "journaled")
+
+
 def _add_engine_flags(p: argparse.ArgumentParser) -> None:
     from repro.util.parallel import BACKENDS, DEFAULT_BACKEND
 
@@ -113,7 +146,18 @@ def _add_engine_flags(p: argparse.ArgumentParser) -> None:
                    help="executor backend: threads share memory (best warm); "
                         "processes sidestep the GIL (best cold); "
                         f"default {DEFAULT_BACKEND}")
+    _add_fault_flags(p)
     _add_cache_flags(p)
+
+
+def _flag_or_default(args: argparse.Namespace, attr: str, default_fn):
+    """One rule for every store flag with an env-backed default: an
+    explicit CLI value wins, otherwise the env/default resolver applies.
+    """
+    value = getattr(args, attr, None)
+    # "" falls through like None (empty dir flag); 0 does not (a zero size
+    # bound means "keep nothing", which is a real request).
+    return value if value not in (None, "") else default_fn()
 
 
 def _configure_stores(args: argparse.Namespace) -> None:
@@ -142,23 +186,46 @@ def _configure_stores(args: argparse.Namespace) -> None:
     if getattr(args, "no_profile_cache", False):
         set_active_profile_store(None)
     else:
-        max_bytes = getattr(args, "profile_cache_max_bytes", None)
-        if max_bytes is None:
-            max_bytes = default_profile_cache_max_bytes()
-        root = getattr(args, "profile_cache", None) or default_profile_cache_dir()
-        set_active_profile_store(ProfileStore(root, max_bytes=max_bytes))
+        set_active_profile_store(ProfileStore(
+            _flag_or_default(args, "profile_cache", default_profile_cache_dir),
+            max_bytes=_flag_or_default(
+                args, "profile_cache_max_bytes",
+                default_profile_cache_max_bytes,
+            ),
+        ))
 
     if getattr(args, "no_artifact_cache", False):
         set_active_artifact_cache(None)
     else:
-        max_bytes = getattr(args, "artifact_cache_max_bytes", None)
-        if max_bytes is None:
-            max_bytes = default_artifact_cache_max_bytes()
-        root = (
-            getattr(args, "artifact_cache", None)
-            or default_artifact_cache_dir()
-        )
-        set_active_artifact_cache(ArtifactCache(root, max_bytes=max_bytes))
+        set_active_artifact_cache(ArtifactCache(
+            _flag_or_default(
+                args, "artifact_cache", default_artifact_cache_dir
+            ),
+            max_bytes=_flag_or_default(
+                args, "artifact_cache_max_bytes",
+                default_artifact_cache_max_bytes,
+            ),
+        ))
+
+
+def _configure_faults(args: argparse.Namespace) -> None:
+    """Install the fault plan named by ``--inject-faults`` process-wide.
+
+    Without the flag any ``$REPRO_FAULT_PLAN`` plan stays in effect (that
+    is how sharded workers and subprocess chaos tests inherit one). A
+    malformed spec is a usage error: print it and exit 2 like argparse.
+    """
+    from repro.util.faults import FaultPlan, set_active_fault_plan
+
+    spec = getattr(args, "inject_faults", None)
+    if spec is None:
+        return
+    try:
+        plan = FaultPlan.parse(spec)
+    except ValueError as exc:
+        print(f"error: --inject-faults: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+    set_active_fault_plan(plan)
 
 
 def _add_stats_flags(p: argparse.ArgumentParser) -> None:
@@ -219,21 +286,52 @@ def _make_store(args: argparse.Namespace):
 
     if args.no_cache:
         return None
-    max_bytes = args.cache_max_bytes
-    if max_bytes is None:
-        max_bytes = default_cache_max_bytes()
     return DiskResponseStore(
-        args.cache_dir or default_cache_dir(), max_bytes=max_bytes
+        _flag_or_default(args, "cache_dir", default_cache_dir),
+        max_bytes=_flag_or_default(
+            args, "cache_max_bytes", default_cache_max_bytes
+        ),
     )
+
+
+def _sweep_label(args: argparse.Namespace) -> str:
+    """A stable human-readable label for the journal header line."""
+    bits = [getattr(args, "command", "run")]
+    for attr in ("model", "gpus", "rq", "variants", "limit", "shard"):
+        value = getattr(args, attr, None)
+        if value:
+            bits.append(f"{attr}={value}")
+    return " ".join(bits)
 
 
 def _make_engine(args: argparse.Namespace):
     from repro.eval.engine import EvalEngine
+    from repro.eval.journal import DEFAULT_JOURNAL_NAME, SweepJournal
 
     _configure_stores(args)
-    return EvalEngine(
-        jobs=args.jobs, store=_make_store(args), backend=args.backend
-    )
+    _configure_faults(args)
+    store = _make_store(args)
+    journal = None
+    if getattr(args, "resume", False):
+        if store is None:
+            print("error: --resume journals into the response cache; "
+                  "drop --no-cache", file=sys.stderr)
+            raise SystemExit(2)
+        journal = SweepJournal(
+            store.root / DEFAULT_JOURNAL_NAME, label=_sweep_label(args)
+        )
+    try:
+        return EvalEngine(
+            jobs=args.jobs,
+            store=store,
+            backend=args.backend,
+            failure_mode=getattr(args, "failure_mode", "fail_fast"),
+            max_failures=getattr(args, "max_failures", None),
+            journal=journal,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        raise SystemExit(2)
 
 
 def _report_cache(engine) -> None:
@@ -615,16 +713,75 @@ def _cmd_merge_caches(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_cache(args: argparse.Namespace) -> int:
+def _doctor_families(args: argparse.Namespace):
+    """(label, store) pairs for the three store families the doctor and
+    the cache manifest inspect, honouring the shared dir flags."""
     from repro.eval.engine import DiskResponseStore, default_cache_dir
     from repro.gpusim.store import ProfileStore, default_profile_cache_dir
     from repro.store.text import ArtifactCache, default_artifact_cache_dir
 
-    store = DiskResponseStore(args.cache_dir or default_cache_dir())
-    profiles = ProfileStore(args.profile_cache or default_profile_cache_dir())
-    artifacts = ArtifactCache(
-        args.artifact_cache or default_artifact_cache_dir()
+    store = DiskResponseStore(
+        _flag_or_default(args, "cache_dir", default_cache_dir)
     )
+    profiles = ProfileStore(
+        _flag_or_default(args, "profile_cache", default_profile_cache_dir)
+    )
+    artifacts = ArtifactCache(
+        _flag_or_default(args, "artifact_cache", default_artifact_cache_dir)
+    )
+    return store, profiles, artifacts
+
+
+def _doctor_hint(store, label: str) -> None:
+    """One summary line when a store has doctor-visible damage — printed
+    uniformly for all three families by ``repro-paper cache``."""
+    from repro.store.doctor import diagnose_store
+
+    report = diagnose_store(store, label)
+    if report.healthy:
+        return
+    kinds: dict[str, int] = {}
+    for issue in report.issues:
+        kinds[issue.kind] = kinds.get(issue.kind, 0) + 1
+    summary = ", ".join(f"{n} {kind}" for kind, n in sorted(kinds.items()))
+    print(f"doctor:    {summary} — run 'repro-paper doctor' to repair")
+
+
+def _cmd_doctor(args: argparse.Namespace) -> int:
+    from repro.store.doctor import doctor_store, quiet_attach
+
+    # Attach without the stale-tmp sweep: a --dry-run must *report* leaked
+    # tmp files, not clean them up as a side effect of looking.
+    with quiet_attach():
+        store, profiles, artifacts = _doctor_families(args)
+    families = (
+        ("responses", store),
+        ("profiles", profiles),
+        ("artifacts", artifacts.renders),
+    )
+    issues = 0
+    first = True
+    for label, family in families:
+        if not first:
+            print()
+        first = False
+        if not family.root.is_dir():
+            print(f"{label}: {family.root} (missing; nothing to check)")
+            continue
+        report = doctor_store(family, label, repair=not args.dry_run)
+        print(report.render())
+        issues += len(report.issues)
+    if args.dry_run and issues:
+        # Same convention as linters: a dry run that found problems fails,
+        # so CI can gate on store health without repairing anything.
+        return 1
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.eval.journal import DEFAULT_JOURNAL_NAME, SweepJournal
+
+    store, profiles, artifacts = _doctor_families(args)
     if args.wipe:
         if not store.root.is_dir():
             print(f"cache dir: {store.root} (missing; treated as empty)")
@@ -658,6 +815,10 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             print(f"evicted {removed} segments @ {store.root}")
         print(f"cache dir: {store.root}")
         print(store.manifest().render())
+        journal = SweepJournal.stats_at(store.root / DEFAULT_JOURNAL_NAME)
+        if journal is not None:
+            print(f"journal:   {journal.render()}")
+        _doctor_hint(store, "responses")
     print()
     if not profiles.root.is_dir():
         print(f"profile store: {profiles.root} (missing; treated as empty)")
@@ -667,6 +828,8 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             print(f"evicted {removed} profile segments @ {profiles.root}")
         print(f"profile store: {profiles.root}")
     print(profiles.manifest().render())
+    if profiles.root.is_dir():
+        _doctor_hint(profiles, "profiles")
     print()
     if not artifacts.root.is_dir():
         print(f"artifact cache: {artifacts.root} (missing; treated as empty)")
@@ -676,6 +839,8 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             print(f"evicted {removed} artifact segments @ {artifacts.root}")
         print(f"artifact cache: {artifacts.root}")
     print(artifacts.manifest().render())
+    if artifacts.root.is_dir():
+        _doctor_hint(artifacts.renders, "artifacts")
     return 0
 
 
@@ -914,6 +1079,24 @@ def build_parser() -> argparse.ArgumentParser:
                    help="delete every cached response, stored profile, "
                         "and text artifact")
 
+    p = sub.add_parser("doctor",
+                       help="fsck all three stores: detect torn writes, "
+                            "forged indexes, version skew, corrupt entries, "
+                            "and stale tmp files; quarantine or delete the "
+                            "damage unless --dry-run")
+    p.add_argument("--dry-run", action="store_true",
+                   help="report issues without touching the stores; exits 1 "
+                        "when any are found")
+    p.add_argument("--cache-dir", default=None,
+                   help="response cache directory (default: $REPRO_CACHE_DIR "
+                        "or .repro-cache)")
+    p.add_argument("--profile-cache", default=None,
+                   help="kernel-profile store directory (default: "
+                        "$REPRO_PROFILE_CACHE or .repro-profile-cache)")
+    p.add_argument("--artifact-cache", default=None,
+                   help="text-artifact store directory (default: "
+                        "$REPRO_ARTIFACT_CACHE or .repro-artifact-cache)")
+
     p = sub.add_parser("serve",
                        help="answer classification queries over HTTP from "
                             "the warm response/profile/artifact stores")
@@ -954,6 +1137,27 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _install_sigterm_handler() -> None:
+    """Convert SIGTERM into KeyboardInterrupt so an orchestrator's kill
+    gets the same graceful shutdown as Ctrl-C: pending store buffers are
+    discarded (the durability contract), the journal checkpoint in the
+    engine's ``finally`` runs, and ``main`` exits 130 with a resume hint.
+    """
+    import signal
+    import threading
+
+    if threading.current_thread() is not threading.main_thread():
+        return  # signal handlers are a main-thread privilege
+
+    def _raise(signum, frame):
+        raise KeyboardInterrupt
+
+    try:
+        signal.signal(signal.SIGTERM, _raise)
+    except (ValueError, OSError):  # pragma: no cover - exotic platforms
+        pass
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -973,10 +1177,18 @@ def main(argv: Sequence[str] | None = None) -> int:
         "sweep": _cmd_sweep,
         "merge-caches": _cmd_merge_caches,
         "cache": _cmd_cache,
+        "doctor": _cmd_doctor,
         "serve": _cmd_serve,
         "figures": _cmd_figures,
     }
-    return handlers[args.command](args)
+    _install_sigterm_handler()
+    try:
+        return handlers[args.command](args)
+    except KeyboardInterrupt:
+        print("\ninterrupted — unflushed store buffers were discarded (by "
+              "design); journaled completions are durable. Re-run with "
+              "--resume to skip them.", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -35,6 +35,7 @@ import dataclasses
 import hashlib
 import json
 import os
+import random
 import threading
 import time
 from contextlib import nullcontext
@@ -43,17 +44,20 @@ from functools import lru_cache, partial
 from pathlib import Path
 from typing import Protocol, Sequence
 
+from repro.eval.journal import SweepJournal, checkpoint_interval
 from repro.llm.base import LlmModel, LlmResponse
 from repro.llm.config import ModelConfig
 from repro.llm.pricing import Usage, UsageMeter
 from repro.store.base import ArtifactStore, _segment_view, parse_max_bytes
-from repro.util.hashing import stable_hash_bytes
+from repro.util.faults import active_fault_plan
+from repro.util.hashing import stable_hash_bytes, stable_hash_u64
 from repro.util.parallel import (
     DEFAULT_BACKEND,
     parallel_map,
     resolve_backend,
     resolve_jobs,
 )
+from repro.util.retry import RetryPolicy, TransientError, retry_call
 
 #: Bump when the cached-response record layout changes *incompatibly*.
 #: The ``model`` tag (manifest per-model accounting) did not bump it:
@@ -554,6 +558,8 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     uncached: int = 0  # completions issued with no store attached
+    retries: int = 0  # upstream re-attempts after retryable failures
+    failed: int = 0  # units that exhausted retries (collect mode)
 
     def __post_init__(self) -> None:
         self._lock = threading.Lock()
@@ -572,26 +578,108 @@ class CacheStats:
             setattr(self, field_name, getattr(self, field_name) + count)
 
     def summary(self) -> str:
-        return (
+        out = (
             f"{self.hits} hits, {self.misses} misses, "
             f"{self.completions} new completions"
         )
+        if self.failed:
+            out += f", {self.failed} failed"
+        return out
+
+
+#: How failure_mode="fail_fast"/"collect" handle a unit that exhausts its
+#: retries: propagate immediately (cancelling the fan-out), or record it
+#: as a :class:`~repro.eval.runner.FailedUnit` and keep sweeping.
+FAILURE_MODES = ("fail_fast", "collect")
+
+#: The sync engine's default schedule. The in-process emulated models are
+#: deterministic — only injected faults (or future real-API adapters) ever
+#: fail transiently — so delays stay tiny; serve keeps its own defaults.
+DEFAULT_RETRY_POLICY = RetryPolicy(
+    max_attempts=3, base_delay_s=0.01, max_delay_s=0.25
+)
+
+
+def resolve_failure_mode(mode: str) -> str:
+    if mode not in FAILURE_MODES:
+        raise ValueError(
+            f"unknown failure_mode {mode!r} (valid: {', '.join(FAILURE_MODES)})"
+        )
+    return mode
+
+
+class MaxFailuresExceeded(RuntimeError):
+    """A collect-mode sweep hit its ``max_failures`` abort threshold."""
+
+    def __init__(self, threshold: int):
+        super().__init__(
+            f"aborting sweep: {threshold} unit(s) exhausted their retries "
+            f"(--max-failures {threshold})"
+        )
+        self.threshold = threshold
+
+
+@dataclass(frozen=True)
+class _FailedCompletion:
+    """Picklable marker a collect-mode unit yields instead of a response."""
+
+    error_type: str
+    error: str
+    attempts: int
 
 
 def _complete_uncached(
     model: LlmModel,
     temperature: float | None,
     top_p: float | None,
+    policy: RetryPolicy,
     prompt: str,
+    on_retry=None,
 ) -> CachedResponse:
-    """One completion as its persistable payload.
+    """One completion, retried under ``policy``, as its persistable payload.
 
     Module-level (and invoked via :func:`functools.partial` over picklable
     args) so the process backend can ship it to workers; the model object is
-    pickled once per shard, not per item.
+    pickled once per shard, not per item. The retry RNG is seeded from the
+    unit's cache key, so backoff jitter is reproducible per unit however
+    the fan-out schedules it; the active fault plan (parent's, or a
+    worker's via the inherited ``$REPRO_FAULT_PLAN``) gets a shot at every
+    attempt.
     """
-    response = model.complete(prompt, temperature=temperature, top_p=top_p)
-    return CachedResponse.from_response(response)
+    token = cache_key(model.config, prompt, temperature, top_p)
+    plan = active_fault_plan()
+    state = {"attempt": 0}
+
+    def attempt() -> CachedResponse:
+        i = state["attempt"]
+        state["attempt"] += 1
+        if plan is not None:
+            plan.completion_fault(token, i)
+        response = model.complete(prompt, temperature=temperature, top_p=top_p)
+        return CachedResponse.from_response(response)
+
+    rng = random.Random(stable_hash_u64("retry", token))
+    return retry_call(attempt, policy=policy, rng=rng, on_retry=on_retry)
+
+
+def _complete_collect(
+    model: LlmModel,
+    temperature: float | None,
+    top_p: float | None,
+    policy: RetryPolicy,
+    prompt: str,
+    on_retry=None,
+) -> CachedResponse | _FailedCompletion:
+    """Collect-mode twin of :func:`_complete_uncached`: an exhausted
+    transient failure becomes a marker instead of an exception (markers
+    pickle back from process workers; anything non-transient still
+    propagates — that's a bug, not weather)."""
+    try:
+        return _complete_uncached(
+            model, temperature, top_p, policy, prompt, on_retry
+        )
+    except TransientError as exc:
+        return _FailedCompletion(type(exc).__name__, str(exc), policy.max_attempts)
 
 
 class EvalEngine:
@@ -608,6 +696,19 @@ class EvalEngine:
     contents are byte-identical across backends; with the process backend
     the parent resolves cache hits and writes all cache entries, so workers
     never touch the store.
+
+    Fault tolerance: every completion attempt runs under ``retry`` (a
+    :class:`~repro.util.retry.RetryPolicy`; jitter RNG seeded per unit
+    from its cache key, so retried sweeps reproduce). ``failure_mode``
+    decides what happens when a unit *exhausts* its retries —
+    ``"fail_fast"`` (default) propagates and cancels the fan-out,
+    ``"collect"`` records it as a
+    :class:`~repro.eval.runner.FailedUnit` on the result and keeps going,
+    aborting with :class:`MaxFailuresExceeded` once ``max_failures``
+    units have failed. Attaching a ``journal``
+    (:class:`~repro.eval.journal.SweepJournal`) makes :meth:`run`
+    checkpoint completed units after each flushed chunk and skip
+    journaled units on a resumed sweep.
     """
 
     def __init__(
@@ -616,11 +717,35 @@ class EvalEngine:
         jobs: int = 1,
         store: ResponseStore | None = None,
         backend: str = DEFAULT_BACKEND,
+        retry: RetryPolicy | None = None,
+        failure_mode: str = "fail_fast",
+        max_failures: int | None = None,
+        journal: SweepJournal | None = None,
     ) -> None:
         self.jobs = resolve_jobs(jobs)
         self.store = store
         self.backend = resolve_backend(backend)
+        self.retry = retry if retry is not None else DEFAULT_RETRY_POLICY
+        self.failure_mode = resolve_failure_mode(failure_mode)
+        if max_failures is not None and max_failures < 1:
+            raise ValueError(f"max_failures must be >= 1, got {max_failures}")
+        self.max_failures = max_failures
+        self.journal = journal
         self.stats = CacheStats()
+        self._failure_lock = threading.Lock()
+        self._failures_seen = 0
+
+    def _count_retry(self, attempt: int, exc: BaseException) -> None:
+        self.stats._bump("retries")
+
+    def _note_failure(self) -> None:
+        """Book one exhausted unit; raise at the abort threshold."""
+        self.stats._bump("failed")
+        with self._failure_lock:
+            self._failures_seen += 1
+            seen = self._failures_seen
+        if self.max_failures is not None and seen >= self.max_failures:
+            raise MaxFailuresExceeded(self.max_failures)
 
     # -- single completion ---------------------------------------------------
     def complete(
@@ -633,20 +758,22 @@ class EvalEngine:
     ) -> LlmResponse:
         """One completion, served from the store when possible."""
         if self.store is None:
-            response = model.complete(
-                prompt, temperature=temperature, top_p=top_p
+            cached = _complete_uncached(
+                model, temperature, top_p, self.retry, prompt, self._count_retry
             )
             self.stats._bump("uncached")
-            return response
+            return cached.to_response(model.name)
         key = cache_key(model.config, prompt, temperature, top_p)
         cached = self.store.get(key)
         if cached is not None:
             self.stats._bump("hits")
             return cached.to_response(model.name)
-        response = model.complete(prompt, temperature=temperature, top_p=top_p)
-        self.store.put(key, CachedResponse.from_response(response))
+        cached = _complete_uncached(
+            model, temperature, top_p, self.retry, prompt, self._count_retry
+        )
+        self.store.put(key, cached)
         self.stats._bump("misses")
-        return response
+        return cached.to_response(model.name)
 
     # -- batched evaluation --------------------------------------------------
     def run(
@@ -662,9 +789,11 @@ class EvalEngine:
         Drop-in replacement for the old sequential loop in
         :mod:`repro.eval.runner`: identical records in identical order, and
         usage metered in item order so cost floats sum identically at any
-        ``jobs`` and any backend.
+        ``jobs`` and any backend — and at any crash/resume boundary: a
+        journaled run that resumes mid-sweep assembles the same result as
+        an uninterrupted one.
         """
-        from repro.eval.runner import RunResult
+        from repro.eval.runner import FailedUnit, RunResult
 
         items = list(items)
         if not items:
@@ -675,28 +804,102 @@ class EvalEngine:
         # without deferral (MemoryResponseStore, test doubles) run as-is.
         deferred = getattr(self.store, "deferred", None)
         with deferred() if deferred is not None else nullcontext():
-            if self.backend == "process" and self.jobs > 1 and len(items) > 1:
-                responses = self._responses_via_processes(
-                    model, items, temperature, top_p
-                )
-            else:
-                fn = partial(self._complete_item, model, temperature, top_p)
-                responses = parallel_map(
-                    fn, items, jobs=self.jobs, backend=self.backend
-                )
+            responses = self._run_units(model, items, temperature, top_p)
 
-        records = [
-            _make_record(item_id, truth, response)
-            for (item_id, _, truth), response in zip(items, responses)
-        ]
+        records = []
+        failures = []
+        ok_responses = []
+        for (item_id, _, truth), response in zip(items, responses):
+            if isinstance(response, _FailedCompletion):
+                failures.append(
+                    FailedUnit(
+                        item_id=item_id,
+                        error_type=response.error_type,
+                        error=response.error,
+                        attempts=response.attempts,
+                    )
+                )
+                continue
+            records.append(_make_record(item_id, truth, response))
+            ok_responses.append(response)
         meter = UsageMeter(model.config)
-        for response in responses:
+        for response in ok_responses:
             meter.record(response.usage)
         return RunResult(
             model_name=model.name,
             records=tuple(records),
             usage=meter.summary(),
+            failures=tuple(failures),
         )
+
+    def _run_units(
+        self,
+        model: LlmModel,
+        items: Sequence[tuple[str, str, object]],
+        temperature: float | None,
+        top_p: float | None,
+    ) -> list:
+        """All items' responses (or failure markers), journal-aware.
+
+        Without a journal this is one fan-out. With one, journaled units
+        are served straight from the store, and the rest run in chunks of
+        :func:`~repro.eval.journal.checkpoint_interval` units — each chunk
+        is flushed to the store *before* its units are journaled, so the
+        journal never claims a completion a crash could discard. The
+        ``finally`` checkpoint is the graceful-shutdown path: an interrupt
+        (or a :class:`MaxFailuresExceeded` abort) still journals every
+        flushed chunk, so ``--resume`` loses nothing already completed.
+        """
+        if self.journal is None or self.store is None:
+            return self._fan_out(model, items, temperature, top_p)
+        keys = [
+            cache_key(model.config, prompt, temperature, top_p)
+            for (_, prompt, _) in items
+        ]
+        out: list = [None] * len(items)
+        todo: list[int] = []
+        for i, key in enumerate(keys):
+            if self.journal.completed(key):
+                cached = self.store.get(key)
+                if cached is not None:
+                    # Journaled + durable: skip without re-issuing.
+                    self.stats._bump("hits")
+                    out[i] = cached.to_response(model.name)
+                    continue
+                # Journaled but evicted from the store: recompute (the
+                # journal is an optimization, never an authority).
+            todo.append(i)
+        step = checkpoint_interval()
+        try:
+            for lo in range(0, len(todo), step):
+                chunk = todo[lo : lo + step]
+                results = self._fan_out(
+                    model, [items[i] for i in chunk], temperature, top_p
+                )
+                for i, response in zip(chunk, results):
+                    out[i] = response
+                flush = getattr(self.store, "flush", None)
+                if flush is not None:
+                    flush()  # durable before journaled
+                for i, response in zip(chunk, results):
+                    if not isinstance(response, _FailedCompletion):
+                        self.journal.record(f"{model.name}:{items[i][0]}", keys[i])
+                self.journal.checkpoint()
+        finally:
+            self.journal.checkpoint()
+        return out
+
+    def _fan_out(
+        self,
+        model: LlmModel,
+        items: Sequence[tuple[str, str, object]],
+        temperature: float | None,
+        top_p: float | None,
+    ) -> list:
+        if self.backend == "process" and self.jobs > 1 and len(items) > 1:
+            return self._responses_via_processes(model, items, temperature, top_p)
+        fn = partial(self._complete_item, model, temperature, top_p)
+        return parallel_map(fn, items, jobs=self.jobs, backend=self.backend)
 
     def _complete_item(
         self,
@@ -704,10 +907,18 @@ class EvalEngine:
         temperature: float | None,
         top_p: float | None,
         item: tuple[str, str, object],
-    ) -> LlmResponse:
-        return self.complete(
-            model, item[1], temperature=temperature, top_p=top_p
-        )
+    ) -> LlmResponse | _FailedCompletion:
+        try:
+            return self.complete(
+                model, item[1], temperature=temperature, top_p=top_p
+            )
+        except TransientError as exc:
+            if self.failure_mode != "collect":
+                raise
+            self._note_failure()
+            return _FailedCompletion(
+                type(exc).__name__, str(exc), self.retry.max_attempts
+            )
 
     def _responses_via_processes(
         self,
@@ -715,10 +926,10 @@ class EvalEngine:
         items: Sequence[tuple[str, str, object]],
         temperature: float | None,
         top_p: float | None,
-    ) -> list[LlmResponse]:
+    ) -> list:
         """Process-backend fan-out: parent serves cache hits and owns every
         store write; only cache-missing prompts are shipped to workers."""
-        responses: list[LlmResponse | None] = [None] * len(items)
+        responses: list = [None] * len(items)
         pending: list[tuple[int, str, str | None]] = []  # (index, prompt, key)
         for i, (_, prompt, _) in enumerate(items):
             if self.store is None:
@@ -732,20 +943,29 @@ class EvalEngine:
                 pending.append((i, prompt, key))
         self.stats._bump("hits", len(items) - len(pending))
         if pending:
-            fn = partial(_complete_uncached, model, temperature, top_p)
+            worker = (
+                _complete_collect
+                if self.failure_mode == "collect"
+                else _complete_uncached
+            )
+            fn = partial(worker, model, temperature, top_p, self.retry)
             computed = parallel_map(
                 fn,
                 [prompt for _, prompt, _ in pending],
                 jobs=self.jobs,
                 backend="process",
             )
+            field = "uncached" if self.store is None else "misses"
             for (i, _, key), cached in zip(pending, computed):
+                if isinstance(cached, _FailedCompletion):
+                    responses[i] = cached
+                    self._note_failure()
+                    continue
                 if key is not None:
                     self.store.put(key, cached)
                 responses[i] = cached.to_response(model.name)
-            field = "uncached" if self.store is None else "misses"
-            self.stats._bump(field, len(pending))
-        return responses  # type: ignore[return-value]
+                self.stats._bump(field)
+        return responses
 
 
 def _make_record(item_id: str, truth: object, response: LlmResponse):

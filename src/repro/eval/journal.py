@@ -1,0 +1,180 @@
+"""Append-only, fsync'd sweep journal: the checkpoint/resume spine.
+
+The deferred store flush makes completions *durable*; the journal makes
+them *resumable*. Every work unit that completed AND whose cache entry
+was flushed to disk gets one JSONL line ``{"unit": ..., "key": ...}``
+appended to ``sweep-journal.jsonl`` in the cache directory; a resumed
+sweep (``repro-paper sweep --resume``) skips any unit whose cache key is
+journaled, serving it straight from the store. Correctness never depends
+on the journal — entries are content-addressed, so a lost journal line
+costs one recomputation, and a journaled-but-evicted entry silently
+recomputes — which is why a torn final line (the crash window) is simply
+ignored on load.
+
+Write discipline: :meth:`SweepJournal.record` buffers in memory;
+:meth:`SweepJournal.checkpoint` appends the buffered lines and fsyncs.
+The engine checkpoints once per flushed chunk of units (see
+``REPRO_JOURNAL_INTERVAL``), so the journal never claims a unit whose
+store entry might still be in a pending buffer that a crash would
+discard. Header lines (``{"journal": <version>, "sweep": <label>}``)
+mark each sweep attachment; ``stats()`` surfaces them in the cache
+manifest as resumable sweeps.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+JOURNAL_VERSION = "repro-journal-v1"
+DEFAULT_JOURNAL_NAME = "sweep-journal.jsonl"
+
+#: Units per journal checkpoint (and per store flush on journaled runs).
+#: Smaller = less recomputation after a crash, more fsyncs; overridable
+#: via ``$REPRO_JOURNAL_INTERVAL`` (chaos tests shrink it to kill sweeps
+#: inside a tight checkpoint window).
+DEFAULT_CHECKPOINT_INTERVAL = 64
+
+
+def checkpoint_interval() -> int:
+    raw = os.environ.get("REPRO_JOURNAL_INTERVAL", "").strip()
+    if raw.isdigit() and int(raw) > 0:
+        return int(raw)
+    return DEFAULT_CHECKPOINT_INTERVAL
+
+
+@dataclass(frozen=True)
+class JournalStats:
+    """What ``repro-paper cache`` prints about a journal."""
+
+    entries: int
+    sweeps: int
+    checkpoint_age_s: float | None
+
+    def render(self) -> str:
+        age = (
+            "never checkpointed"
+            if self.checkpoint_age_s is None
+            else f"checkpoint age {self.checkpoint_age_s:.0f}s"
+        )
+        return (
+            f"{self.entries} journaled unit(s), {age}, "
+            f"{self.sweeps} resumable sweep(s)"
+        )
+
+
+class SweepJournal:
+    """One append-only journal file; safe to share across threads.
+
+    Loading tolerates a torn tail (a crash mid-append): parseable lines
+    are kept, the first garbled line and everything after it are ignored
+    — those units simply recompute, landing as warm store hits if their
+    flush survived.
+    """
+
+    def __init__(self, path: str | Path, *, label: str | None = None):
+        self.path = Path(path)
+        self._lock = threading.Lock()
+        self._completed: dict[str, str] = {}  # cache key -> unit id
+        self._pending: list[str] = []
+        self._sweeps: set[str] = set()
+        self._load()
+        if label is not None:
+            self._pending.append(
+                json.dumps(
+                    {"journal": JOURNAL_VERSION, "sweep": label},
+                    sort_keys=True,
+                )
+            )
+            self._sweeps.add(label)
+
+    def _load(self) -> None:
+        try:
+            text = self.path.read_text(encoding="utf-8")
+        except OSError:
+            return
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            try:
+                row = json.loads(line)
+            except ValueError:
+                break  # torn tail: everything after is untrusted
+            if not isinstance(row, dict):
+                break
+            if "journal" in row:
+                if row.get("journal") != JOURNAL_VERSION:
+                    # A foreign/newer journal: trust nothing recorded so
+                    # far — resuming would need its semantics.
+                    self._completed.clear()
+                    self._sweeps.clear()
+                    continue
+                label = row.get("sweep")
+                if isinstance(label, str):
+                    self._sweeps.add(label)
+                continue
+            key = row.get("key")
+            unit = row.get("unit")
+            if isinstance(key, str) and isinstance(unit, str):
+                self._completed[key] = unit
+
+    # -- queries -------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._completed)
+
+    def completed(self, key: str) -> bool:
+        """Was a unit with this cache key journaled as completed?"""
+        with self._lock:
+            return key in self._completed
+
+    def stats(self) -> JournalStats:
+        age: float | None = None
+        try:
+            age = max(0.0, time.time() - self.path.stat().st_mtime)
+        except OSError:
+            pass
+        with self._lock:
+            return JournalStats(
+                entries=len(self._completed),
+                sweeps=len(self._sweeps),
+                checkpoint_age_s=age,
+            )
+
+    @classmethod
+    def stats_at(cls, path: str | Path) -> JournalStats | None:
+        """Journal stats for ``path`` without registering a sweep; ``None``
+        when no journal exists there."""
+        if not Path(path).is_file():
+            return None
+        return cls(path).stats()
+
+    # -- writes --------------------------------------------------------------
+    def record(self, unit: str, key: str) -> None:
+        """Buffer one completed unit; durable only after :meth:`checkpoint`.
+
+        Callers must flush the unit's store entry *before* recording, so
+        the journal never gets ahead of the store."""
+        line = json.dumps({"unit": unit, "key": key}, sort_keys=True)
+        with self._lock:
+            if key in self._completed:
+                return
+            self._completed[key] = unit
+            self._pending.append(line)
+
+    def checkpoint(self) -> None:
+        """Append all buffered lines and fsync — the crash-safe point."""
+        with self._lock:
+            if not self._pending:
+                return
+            lines = self._pending
+            self._pending = []
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with open(self.path, "a", encoding="utf-8") as f:
+                f.write("\n".join(lines) + "\n")
+                f.flush()
+                os.fsync(f.fileno())

@@ -35,12 +35,37 @@ class PredictionRecord:
 
 
 @dataclass(frozen=True)
+class FailedUnit:
+    """One work unit that exhausted its retries (``failure_mode="collect"``).
+
+    Error text comes from the final attempt's exception; under a seeded
+    fault plan it is deterministic, so failed units digest stably — two
+    runs with the same plan record byte-identical failures.
+    """
+
+    item_id: str
+    error_type: str
+    error: str
+    attempts: int
+
+    def render(self) -> str:
+        return f"{self.item_id}: {self.error_type} after {self.attempts} attempt(s) — {self.error}"
+
+
+@dataclass(frozen=True)
 class RunResult:
-    """One (model, experiment) evaluation."""
+    """One (model, experiment) evaluation.
+
+    ``failures`` holds the units that exhausted their retries when the
+    engine ran with ``failure_mode="collect"``; they are excluded from
+    ``records`` (and so from metrics) but participate in the digest, so a
+    degraded run can never masquerade as a clean one.
+    """
 
     model_name: str
     records: tuple[PredictionRecord, ...]
     usage: dict[str, float]
+    failures: tuple[FailedUnit, ...] = ()
 
     def metrics(self) -> MetricReport:
         truths = [r.truth for r in self.records]
@@ -64,9 +89,12 @@ class RunResult:
         stable across processes and machines — the identity check used to
         assert that sharded, merged, and single-machine sweeps agree.
         """
-        payload = repr(
-            (self.model_name, self.records, sorted(self.usage.items()))
-        )
+        parts: tuple = (self.model_name, self.records, sorted(self.usage.items()))
+        if self.failures:
+            # Appended only when present so clean runs keep their historic
+            # digests (the shard-merge and replay suites pin those).
+            parts += (self.failures,)
+        payload = repr(parts)
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
     def render(self) -> str:
@@ -74,16 +102,20 @@ class RunResult:
         m = self.metrics()
         from repro.util.tables import format_table
 
-        return format_table(
+        out = format_table(
             ["Model", "N", "Accuracy", "Macro-F1", "MCC"],
             [[self.model_name, m.n, m.accuracy, m.macro_f1, m.mcc]],
             title=f"Run — {self.model_name} over {m.n} kernels",
         )
+        if self.failures:
+            lines = "\n".join(f"  {f.render()}" for f in self.failures)
+            out += f"\nFailed units ({len(self.failures)}):\n{lines}"
+        return out
 
     def to_json(self) -> dict:
         """JSON value form: metrics plus per-kernel records."""
         m = self.metrics()
-        return {
+        out = {
             "type": "run",
             "model": self.model_name,
             "digest": self.digest(),
@@ -106,6 +138,17 @@ class RunResult:
                 for r in self.records
             ],
         }
+        if self.failures:
+            out["failures"] = [
+                {
+                    "item_id": f.item_id,
+                    "error_type": f.error_type,
+                    "error": f.error,
+                    "attempts": f.attempts,
+                }
+                for f in self.failures
+            ]
+        return out
 
 
 def run_queries(

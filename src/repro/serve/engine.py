@@ -59,12 +59,13 @@ class ServeStats(CacheStats):
     """Engine accounting plus the serving-only counters.
 
     ``coalesced`` waiters piggybacked on another request's completion (they
-    are *not* hits or misses — the owning request books those);
-    ``retries`` counts upstream re-attempts after retryable failures.
+    are *not* hits or misses — the owning request books those); the
+    ``retries`` counter (upstream re-attempts after retryable failures) is
+    inherited from :class:`CacheStats` now that the sync engine retries
+    too.
     """
 
     coalesced: int = 0
-    retries: int = 0
 
     def summary(self) -> str:
         return (

@@ -37,6 +37,7 @@ from repro.llm.base import LlmModel, LlmResponse
 from repro.llm.config import ModelConfig
 from repro.llm.pricing import Usage
 from repro.llm.registry import get_model
+from repro.util.retry import AttemptTimeout, TransientError
 
 
 class ProviderError(RuntimeError):
@@ -47,7 +48,7 @@ class ProviderNotConfigured(ProviderError):
     """A wire adapter was called with no transport installed."""
 
 
-class RateLimitError(ProviderError):
+class RateLimitError(ProviderError, TransientError):
     """A 429-shaped rejection; ``retry_after`` is the server's hint (s)."""
 
     def __init__(self, message: str, *, retry_after: float | None = None):
@@ -55,11 +56,11 @@ class RateLimitError(ProviderError):
         self.retry_after = retry_after
 
 
-class ProviderTimeout(ProviderError):
+class ProviderTimeout(ProviderError, AttemptTimeout):
     """An attempt exceeded its (jittered) deadline."""
 
 
-class TransientProviderError(ProviderError):
+class TransientProviderError(ProviderError, TransientError):
     """A retryable upstream hiccup (5xx-shaped, dropped connection)."""
 
 

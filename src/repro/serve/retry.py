@@ -1,12 +1,13 @@
-"""Retry with jittered exponential backoff, attempt deadlines, rate limiting.
+"""Serve-side retry: the shared policy bound to provider errors, plus
+the async token-bucket rate limiter.
 
-Nothing in ``src/`` retried anything before this module: the batch path
-talks only to deterministic in-process models, where a failure is a bug.
-A serving path talks (in shape, at least) to remote APIs, where timeouts,
-429s, and transient 5xxs are weather, not bugs — so the serving engine
-wraps every upstream completion in :func:`call_with_retry` under a
-:class:`RetryPolicy`, and meters its request rate through an async
-token-bucket :class:`RateLimiter`.
+The schedule machinery (:class:`RetryPolicy`, jittered backoff, attempt
+deadlines, the retry drivers) lives in :mod:`repro.util.retry` since the
+sync batch engine retries under the same policy; this module re-exports
+it unchanged and specializes :func:`call_with_retry` to the provider
+error taxonomy — retrying exactly
+:data:`~repro.serve.providers.RETRYABLE_ERRORS` and surfacing attempt
+deadline overruns as :class:`~repro.serve.providers.ProviderTimeout`.
 
 Determinism note: backoff delays and attempt timeouts are *jittered*
 (decorrelating clients that fail together), which makes wall-clock timing
@@ -19,67 +20,13 @@ from __future__ import annotations
 import asyncio
 import random
 import time
-from dataclasses import dataclass
 from typing import Awaitable, Callable
 
-from repro.serve.providers import (
-    RETRYABLE_ERRORS,
-    ProviderTimeout,
-    RateLimitError,
-)
+from repro.serve.providers import RETRYABLE_ERRORS, ProviderTimeout
+from repro.util.retry import RetryPolicy, Sleep
+from repro.util.retry import call_with_retry as _call_with_retry
 
-#: Async sleep hook type — tests inject a virtual clock.
-Sleep = Callable[[float], Awaitable[None]]
-
-
-@dataclass(frozen=True)
-class RetryPolicy:
-    """Bounded-retry schedule for one upstream completion.
-
-    Attempt ``k`` (0-based) that fails retryably sleeps
-    ``base_delay_s * multiplier**k``, capped at ``max_delay_s``, then
-    scaled by a uniform jitter factor in ``[1 - jitter, 1 + jitter]``.
-    A :class:`RateLimitError` whose ``retry_after`` exceeds the computed
-    delay waits the server's hint instead (never less than asked).
-    ``timeout_s`` bounds each attempt, itself jittered by
-    ``timeout_jitter`` so a thundering herd of identical requests doesn't
-    time out in lockstep; ``None`` disables attempt deadlines.
-    """
-
-    max_attempts: int = 4
-    base_delay_s: float = 0.05
-    multiplier: float = 2.0
-    max_delay_s: float = 2.0
-    jitter: float = 0.5
-    timeout_s: float | None = None
-    timeout_jitter: float = 0.25
-
-    def __post_init__(self) -> None:
-        if self.max_attempts < 1:
-            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
-        if not 0.0 <= self.jitter < 1.0:
-            raise ValueError(f"jitter must be in [0, 1), got {self.jitter}")
-        if not 0.0 <= self.timeout_jitter < 1.0:
-            raise ValueError(
-                f"timeout_jitter must be in [0, 1), got {self.timeout_jitter}"
-            )
-
-    def backoff_delay(self, attempt: int, rng: random.Random) -> float:
-        """Jittered delay after failed attempt ``attempt`` (0-based)."""
-        delay = min(self.base_delay_s * self.multiplier**attempt, self.max_delay_s)
-        if self.jitter:
-            delay *= rng.uniform(1.0 - self.jitter, 1.0 + self.jitter)
-        return delay
-
-    def attempt_timeout(self, rng: random.Random) -> float | None:
-        """This attempt's jittered deadline (``None`` = no deadline)."""
-        if self.timeout_s is None:
-            return None
-        if not self.timeout_jitter:
-            return self.timeout_s
-        return self.timeout_s * rng.uniform(
-            1.0 - self.timeout_jitter, 1.0 + self.timeout_jitter
-        )
+__all__ = ["RateLimiter", "RetryPolicy", "Sleep", "call_with_retry"]
 
 
 async def call_with_retry(
@@ -99,30 +46,17 @@ async def call_with_retry(
     unchanged. ``on_retry(attempt, error)`` fires before each backoff
     sleep — the serving engine counts retries through it.
     """
-    rng = rng if rng is not None else random.Random()
-    last: BaseException | None = None
-    for attempt in range(policy.max_attempts):
-        try:
-            timeout = policy.attempt_timeout(rng)
-            if timeout is None:
-                return await fn()
-            try:
-                return await asyncio.wait_for(fn(), timeout)
-            except asyncio.TimeoutError:
-                raise ProviderTimeout(
-                    f"attempt {attempt + 1} exceeded {timeout:.3f}s"
-                ) from None
-        except RETRYABLE_ERRORS as exc:
-            last = exc
-            if attempt + 1 >= policy.max_attempts:
-                raise
-            delay = policy.backoff_delay(attempt, rng)
-            if isinstance(exc, RateLimitError) and exc.retry_after is not None:
-                delay = max(delay, exc.retry_after)
-            if on_retry is not None:
-                on_retry(attempt, exc)
-            await sleep(delay)
-    raise last if last is not None else RuntimeError("unreachable")
+    return await _call_with_retry(
+        fn,
+        policy=policy,
+        retryable=RETRYABLE_ERRORS,
+        rng=rng,
+        sleep=sleep,
+        on_retry=on_retry,
+        timeout_error=lambda attempt, timeout: ProviderTimeout(
+            f"attempt {attempt + 1} exceeded {timeout:.3f}s"
+        ),
+    )
 
 
 class RateLimiter:

@@ -22,6 +22,14 @@ profiles + symbolic traces), :class:`repro.store.text.TokenizerStore`
 """
 
 from repro.store.base import ArtifactStore, memoized_object_key
+from repro.store.doctor import (
+    DoctorReport,
+    StoreIssue,
+    diagnose_store,
+    doctor_store,
+    quiet_attach,
+    repair_store,
+)
 from repro.store.text import (
     ARTIFACT_CACHE_ENV,
     ARTIFACT_CACHE_MAX_BYTES_ENV,
@@ -43,6 +51,12 @@ from repro.store.text import (
 __all__ = [
     "ArtifactStore",
     "memoized_object_key",
+    "DoctorReport",
+    "StoreIssue",
+    "diagnose_store",
+    "doctor_store",
+    "quiet_attach",
+    "repair_store",
     "TEXT_VERSION",
     "ARTIFACT_CACHE_ENV",
     "ARTIFACT_CACHE_MAX_BYTES_ENV",

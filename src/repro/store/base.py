@@ -56,6 +56,8 @@ from contextlib import contextmanager
 from pathlib import Path
 from typing import Callable, Iterable, Iterator, Mapping, Sequence, TypeVar
 
+from repro.util.faults import active_fault_plan
+
 T = TypeVar("T")
 
 # ---------------------------------------------------------------------------
@@ -444,6 +446,11 @@ class ArtifactStore:
     #: its recorded pid is still alive (pids recycle).
     STALE_TMP_AGE_S = 3600.0
 
+    #: Attaching to a directory sweeps dead writers' tmp files. The store
+    #: doctor flips this off (:func:`repro.store.doctor.quiet_attach`) so a
+    #: read-only diagnosis can observe the leak instead of cleaning it.
+    ATTACH_SWEEP = True
+
     def __init__(self, root: str | Path, *, max_bytes: int | None = None):
         self.root = Path(root)
         if max_bytes is not None and max_bytes < 0:
@@ -458,7 +465,7 @@ class ArtifactStore:
         self._defer_depth = 0
         # Crashed writers leak tmp files that no size check used to see;
         # sweep the stale ones whenever a store attaches to a directory.
-        if self.root.is_dir():
+        if self.ATTACH_SWEEP and self.root.is_dir():
             self._sweep_stale_tmp_files()
 
     # -- segment naming ------------------------------------------------------
@@ -693,10 +700,18 @@ class ArtifactStore:
         uncached, never crash the computing pass."""
         try:
             self.root.mkdir(parents=True, exist_ok=True)
+            data = encode_segment(payload, entries)
+            plan = active_fault_plan()
+            if plan is not None:
+                # Chaos hook: the active plan may tear/forge/skew these
+                # bytes or veto the write with ENOSPC. Still installed via
+                # tmp+replace, so injected corruption models damage that
+                # predates this process — exactly what the doctor fscks.
+                data = plan.mangle_segment(path, payload, entries, data)
             tmp = path.with_suffix(
                 f".tmp.{os.getpid()}.{threading.get_ident()}"
             )
-            tmp.write_bytes(encode_segment(payload, entries))
+            tmp.write_bytes(data)
             os.replace(tmp, path)
         except OSError:
             return

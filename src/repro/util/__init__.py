@@ -6,7 +6,22 @@ Everything in :mod:`repro` that needs randomness draws it from
 and LLM-emulator behaviour are bit-reproducible across runs and platforms.
 """
 
+from repro.util.faults import (
+    FAULT_PLAN_ENV,
+    FaultPlan,
+    FaultSpec,
+    active_fault_plan,
+    reset_active_fault_plan,
+    set_active_fault_plan,
+)
 from repro.util.hashing import stable_hash_bytes, stable_hash_hex, stable_hash_u64
+from repro.util.retry import (
+    AttemptTimeout,
+    RetryPolicy,
+    TransientError,
+    call_with_retry,
+    retry_call,
+)
 from repro.util.rng import RngStream, derive_seed
 from repro.util.stats import (
     BoxStats,

@@ -16,16 +16,20 @@ def _isolated_response_cache(tmp_path, monkeypatch):
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "response-cache"))
     monkeypatch.setenv("REPRO_PROFILE_CACHE", str(tmp_path / "profile-cache"))
     monkeypatch.setenv("REPRO_ARTIFACT_CACHE", str(tmp_path / "artifact-cache"))
-    # CLI invocations install process-global stores; forget them so each
-    # test sees only its own environment.
+    monkeypatch.delenv("REPRO_FAULT_PLAN", raising=False)
+    # CLI invocations install process-global stores (and maybe a fault
+    # plan); forget them so each test sees only its own environment.
     from repro.gpusim.store import reset_active_profile_store
     from repro.store.text import reset_active_artifact_cache
+    from repro.util.faults import reset_active_fault_plan
 
     reset_active_profile_store()
     reset_active_artifact_cache()
+    reset_active_fault_plan()
     yield
     reset_active_profile_store()
     reset_active_artifact_cache()
+    reset_active_fault_plan()
 
 
 @pytest.fixture(scope="session")

@@ -201,3 +201,121 @@ class TestShardedSweepCli:
             "cache", "--cache-dir", str(tmp_path / "nope"), "--wipe",
         ]) == 0
         assert "missing; treated as empty" in capsys.readouterr().out
+
+
+class TestFaultFlags:
+    def test_unknown_backend_exits_2_listing_choices(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["rq2", "--backend", "bogus"])
+        assert excinfo.value.code == 2
+        assert "thread" in capsys.readouterr().err
+
+    def test_unknown_failure_mode_exits_2_listing_choices(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["rq2", "--failure-mode", "explode"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "fail_fast" in err and "collect" in err
+
+    def test_bad_fault_spec_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["rq2", "--model", "gpt-4o-mini", "--limit", "1",
+                  "--inject-faults", "seed=x"])
+        assert excinfo.value.code == 2
+        assert "--inject-faults" in capsys.readouterr().err
+
+    def test_unknown_fault_kind_lists_valid_kinds(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["rq2", "--model", "gpt-4o-mini", "--limit", "1",
+                  "--inject-faults", "frobnicate:rate=1"])
+        assert "provider_error" in capsys.readouterr().err
+
+    def test_resume_requires_the_cache(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["rq2", "--model", "gpt-4o-mini", "--limit", "1",
+                  "--no-cache", "--resume"])
+        assert excinfo.value.code == 2
+        assert "--no-cache" in capsys.readouterr().err
+
+    def test_collect_mode_reports_failed_units(self, capsys, dataset):
+        assert main([
+            "rq2", "--model", "gpt-4o-mini", "--limit", "16",
+            "--failure-mode", "collect",
+            "--inject-faults", "seed=11;provider_error:rate=0.3,attempts=99",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert " failed" in out  # the cache summary books the failures
+
+    def test_resume_journals_and_skips(self, capsys, tmp_path, dataset):
+        argv = ["rq2", "--model", "gpt-4o-mini", "--limit", "3",
+                "--cache-dir", str(tmp_path / "c"), "--resume"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "3 misses" in first
+        assert main(argv) == 0
+        again = capsys.readouterr().out
+        assert "3 hits, 0 misses" in again
+        assert (tmp_path / "c" / "sweep-journal.jsonl").is_file()
+
+
+class TestDoctorCommand:
+    def test_missing_stores_are_healthy(self, capsys, tmp_path):
+        assert main([
+            "doctor",
+            "--cache-dir", str(tmp_path / "a"),
+            "--profile-cache", str(tmp_path / "b"),
+            "--artifact-cache", str(tmp_path / "c"),
+        ]) == 0
+        assert "nothing to check" in capsys.readouterr().out
+
+    def test_dry_run_detects_then_repair_heals(self, capsys, tmp_path):
+        from repro.eval.engine import CachedResponse, DiskResponseStore
+
+        store = DiskResponseStore(tmp_path / "c")
+        store.put("ab" + "0" * 62, CachedResponse(
+            text="Compute", input_tokens=1, output_tokens=1,
+            reasoning_tokens=0, model="m",
+        ))
+        seg = store._segment_path("responses-", "ab")
+        seg.write_bytes(seg.read_bytes()[:-3])
+        flags = ["--cache-dir", str(tmp_path / "c"),
+                 "--profile-cache", str(tmp_path / "p"),
+                 "--artifact-cache", str(tmp_path / "a")]
+
+        assert main(["doctor", "--dry-run", *flags]) == 1
+        out = capsys.readouterr().out
+        assert "torn_write" in out
+        assert seg.exists()  # dry run never modifies
+
+        assert main(["doctor", *flags]) == 0
+        assert "repaired" in capsys.readouterr().out
+        assert not seg.exists()
+        assert (tmp_path / "c" / "quarantine" / seg.name).exists()
+
+        assert main(["doctor", "--dry-run", *flags]) == 0
+        assert "healthy" in capsys.readouterr().out
+
+    def test_cache_command_surfaces_journal_and_doctor_hint(
+        self, capsys, tmp_path
+    ):
+        from repro.eval.engine import CachedResponse, DiskResponseStore
+        from repro.eval.journal import SweepJournal
+
+        store = DiskResponseStore(tmp_path / "c")
+        store.put("ab" + "0" * 62, CachedResponse(
+            text="Compute", input_tokens=1, output_tokens=1,
+            reasoning_tokens=0, model="m",
+        ))
+        journal = SweepJournal(
+            tmp_path / "c" / "sweep-journal.jsonl", label="sweep"
+        )
+        journal.record("m:item", "ab" + "0" * 62)
+        journal.checkpoint()
+        seg = store._segment_path("responses-", "ab")
+        seg.write_bytes(seg.read_bytes()[:-3])
+
+        assert main(["cache", "--cache-dir", str(tmp_path / "c")]) == 0
+        out = capsys.readouterr().out
+        assert "journal:   1 journaled unit(s)" in out
+        assert "1 torn_write" in out
+        assert "repro-paper doctor" in out

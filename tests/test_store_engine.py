@@ -137,6 +137,81 @@ class TestConcurrentWriters:
         assert len(store) == 4 * 16
 
 
+class TestConcurrentReaderCorruption:
+    """Truncated/forged segments installed *while readers probe them*.
+
+    Corruption always arrives the way real writers produce it — a whole
+    new file via ``os.replace`` (new inode) — never in-place truncation,
+    which could SIGBUS a reader holding the old mmap. Under that
+    discipline a concurrent reader must see each key as either its entry
+    or a miss; never an exception, never garbage.
+    """
+
+    def _install(self, seg, data: bytes) -> None:
+        # ".install" dodges both the segment suffix scan and the
+        # "*.tmp.*" sweep glob, so no store helper touches it mid-test.
+        staging = seg.with_name(seg.name + ".install")
+        staging.write_bytes(data)
+        os.replace(staging, seg)
+
+    def test_probing_readers_never_raise(self, tmp_path):
+        from repro.util.faults import _forge_index
+
+        store = DiskResponseStore(tmp_path / "cache")
+        keys = [f"{i:02x}" + "0" * 62 for i in range(4)]
+        for i, key in enumerate(keys):
+            store.put(key, _response(i))
+        seg = store._segment_path("responses-", keys[0][:2])
+        healthy = seg.read_bytes()
+
+        stop = threading.Event()
+        errors: list[BaseException] = []
+
+        def prober() -> None:
+            probe = DiskResponseStore(tmp_path / "cache")
+            expected = {
+                key: _response(i) for i, key in enumerate(keys)
+            }
+            try:
+                while not stop.is_set():
+                    for key in keys:
+                        got = probe.get(key)
+                        assert got is None or got == expected[key]
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=prober) for _ in range(4)]
+        for th in threads:
+            th.start()
+        try:
+            # Sweep truncation boundaries, then a forged index span, then
+            # restore — all under live readers.
+            for cut in range(0, len(healthy), 7):
+                self._install(seg, healthy[:cut])
+            self._install(seg, _forge_index(healthy))
+            self._install(seg, healthy)
+        finally:
+            stop.set()
+            for th in threads:
+                th.join()
+        assert not errors
+        assert DiskResponseStore(tmp_path / "cache").get(keys[0]) == _response(0)
+
+    def test_forged_segment_is_per_entry_miss_only(self, tmp_path):
+        from repro.util.faults import _forge_index
+
+        store = DiskResponseStore(tmp_path / "cache")
+        key = "ab" + "0" * 62
+        store.put(key, _response(1))
+        seg = store._segment_path("responses-", key[:2])
+        self._install(seg, _forge_index(seg.read_bytes()))
+        fresh = DiskResponseStore(tmp_path / "cache")
+        assert fresh.get(key) is None  # miss, not an exception
+        # The next put repairs the segment wholesale.
+        fresh.put(key, _response(2))
+        assert DiskResponseStore(tmp_path / "cache").get(key) == _response(2)
+
+
 class TestDeferredExceptionSafety:
     """The deterministic exception contract of ``ArtifactStore.deferred()``:
     clean outermost exit flushes; exceptional exit (any BaseException,
