@@ -17,6 +17,8 @@ Run:  python examples/serve_predictions.py [--url URL]
 import argparse
 import json
 import sys
+import time
+import urllib.error
 import urllib.parse
 import urllib.request
 from concurrent.futures import ThreadPoolExecutor
@@ -24,13 +26,32 @@ from concurrent.futures import ThreadPoolExecutor
 MODEL = "o3-mini-high"
 QUERIES = 6          # distinct kernels to classify
 BURST = 12           # concurrent identical requests (coalescing demo)
+SHED_RETRIES = 4     # extra tries when the server sheds with 429
 
 
-def get(url, **params):
+def get(url, *, _sleep=time.sleep, **params):
+    """GET a JSON endpoint, honoring 429 + ``Retry-After`` shedding.
+
+    A loaded server answers 429 with a ``Retry-After`` hint (seconds);
+    the polite client waits exactly that long and retries, up to
+    ``SHED_RETRIES`` times. ``_sleep`` is injectable so tests run the
+    backoff in virtual time.
+    """
     if params:
         url = f"{url}?{urllib.parse.urlencode(params)}"
-    with urllib.request.urlopen(url, timeout=120) as resp:
-        return json.loads(resp.read().decode("utf-8"))
+    for attempt in range(SHED_RETRIES + 1):
+        try:
+            with urllib.request.urlopen(url, timeout=120) as resp:
+                return json.loads(resp.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            if exc.code != 429 or attempt >= SHED_RETRIES:
+                raise
+            try:
+                hint = float(exc.headers.get("Retry-After") or 1.0)
+            except ValueError:
+                hint = 1.0
+            exc.close()
+            _sleep(max(0.0, hint))
 
 
 def run_client(base_url: str) -> None:

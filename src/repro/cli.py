@@ -68,6 +68,7 @@ writes any run/matrix/stats result as JSON through the shared
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Sequence
 
@@ -818,6 +819,14 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         journal = SweepJournal.stats_at(store.root / DEFAULT_JOURNAL_NAME)
         if journal is not None:
             print(f"journal:   {journal.render()}")
+        snapshot = store.root / SERVE_STATS_NAME
+        if snapshot.is_file():
+            try:
+                data = json.loads(snapshot.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                data = None
+            if isinstance(data, dict):
+                print(f"serve:     {_render_serve_snapshot(data)}")
         _doctor_hint(store, "responses")
     print()
     if not profiles.root.is_dir():
@@ -844,9 +853,54 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Stats snapshot the serve command leaves in the cache dir on shutdown,
+#: so ``repro-paper cache`` can report the last session's resilience story.
+SERVE_STATS_NAME = "serve-stats.json"
+
+
+def _write_serve_snapshot(store, service) -> None:
+    if store is None:
+        return
+    payload = service.stats()
+    path = store.root / SERVE_STATS_NAME
+    try:
+        store.root.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+    except OSError:  # pragma: no cover - snapshot is best-effort
+        return
+    print(f"stats snapshot: {path}", flush=True)
+
+
+def _render_serve_snapshot(data: dict) -> str:
+    line = (
+        f"{data.get('hits', 0)} hits, {data.get('misses', 0)} misses, "
+        f"{data.get('shed', 0)} shed, "
+        f"{data.get('failed_over', 0)} failed over, "
+        f"{data.get('hedged', 0)} hedged"
+    )
+    breakers = data.get("breakers") or {}
+    if isinstance(breakers, dict) and breakers:
+        states = ", ".join(
+            f"{label}={entry.get('state', '?')}"
+            f" (opened {entry.get('opened', 0)}x)"
+            for label, entry in sorted(breakers.items())
+            if isinstance(entry, dict)
+        )
+        line += f"; breakers: {states}"
+    return line
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
     from repro.serve import (
         AsyncEvalEngine,
+        BreakerPolicy,
+        HedgePolicy,
         PredictionServer,
         PredictionService,
         RateLimiter,
@@ -854,7 +908,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
 
     _configure_stores(args)
+    _configure_faults(args)
     store = _make_store(args)
+    hedge = None if args.no_hedge else HedgePolicy(delay_s=args.hedge_delay)
+    try:
+        breaker = BreakerPolicy(
+            window=args.breaker_window,
+            threshold=args.breaker_threshold,
+            cooldown_s=args.breaker_cooldown,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        raise SystemExit(2)
     engine = AsyncEvalEngine(
         store=store,
         retry=RetryPolicy(
@@ -863,9 +928,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         ),
         limiter=RateLimiter(args.rate_limit, burst=args.burst),
         max_concurrency=args.max_concurrency,
+        breaker=breaker,
+        hedge=hedge,
     )
     service = PredictionService(
-        engine, provider_family=args.provider_family, jobs=args.jobs
+        engine,
+        provider_family=args.provider_family,
+        jobs=args.jobs,
+        queue_budget=args.queue_budget,
     )
     if args.warm:
         print(f"warming sample index... {service.warm()} samples", flush=True)
@@ -878,13 +948,45 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if store is not None:
         print(f"cache: {len(store)} entries @ {store.root}", flush=True)
     print(f"serving on {server.url} "
-          f"(providers: {args.provider_family}; Ctrl-C to stop)", flush=True)
+          f"(providers: {args.provider_family}; Ctrl-C to stop, "
+          f"SIGTERM to drain)", flush=True)
+
+    # SIGTERM means *drain*: stop taking work, let in-flight requests
+    # finish (bounded by --drain-timeout), exit 0 — the contract the CI
+    # chaos job asserts. Ctrl-C/SIGINT keeps the fast-close path. The
+    # serve loop runs on background threads so this main thread is free
+    # to wait on the event (a handler can't join the serve thread from
+    # inside `serve_forever` without deadlocking).
+    stop = threading.Event()
+    drain_requested = threading.Event()
+
+    def _on_sigterm(signum, frame):
+        drain_requested.set()
+        stop.set()
+
     try:
-        server.serve_forever()
+        signal.signal(signal.SIGTERM, _on_sigterm)
+    except (ValueError, OSError):  # pragma: no cover - exotic platforms
+        pass
+
+    server.start()
+    try:
+        while not stop.is_set():
+            stop.wait(0.2)
     except KeyboardInterrupt:
         pass
     finally:
-        server.close()
+        if drain_requested.is_set():
+            print("draining...", flush=True)
+            clean = server.drain(args.drain_timeout)
+            print(
+                "drained clean" if clean
+                else "drain timed out; stragglers cancelled",
+                flush=True,
+            )
+        else:
+            server.close()
+        _write_serve_snapshot(store, service)
         print(f"served: {engine.stats.summary()}")
     return 0
 
@@ -1104,12 +1206,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="bind address (default 127.0.0.1)")
     p.add_argument("--port", type=int, default=8077,
                    help="bind port; 0 picks an ephemeral port (default 8077)")
-    p.add_argument("--provider-family",
-                   choices=("emulated", "wire"), default="emulated",
-                   help="completion path: 'emulated' calls the zoo directly; "
-                        "'wire' routes through each model's API-shaped "
-                        "adapter (OpenAI/Gemini/Anthropic payloads) backed "
-                        "by the emulated transport (default emulated)")
+    p.add_argument("--provider-family", default="emulated",
+                   help="completion path, or a comma-separated failover "
+                        "chain (first = primary): 'emulated' calls the zoo "
+                        "directly; 'wire' routes through each model's "
+                        "API-shaped adapter (OpenAI/Gemini/Anthropic "
+                        "payloads) backed by the emulated transport. "
+                        "'emulated,wire' fails over from the zoo to the "
+                        "wire adapters when the primary's breaker opens "
+                        "(default emulated)")
     p.add_argument("--retries", type=int, default=4,
                    help="max attempts per upstream completion (default 4)")
     p.add_argument("--attempt-timeout", type=float, default=None,
@@ -1122,6 +1227,32 @@ def build_parser() -> argparse.ArgumentParser:
                    help="rate-limit burst size (default 8)")
     p.add_argument("--max-concurrency", type=int, default=64,
                    help="max in-flight completions per batch (default 64)")
+    p.add_argument("--breaker-window", type=int, default=16,
+                   help="circuit-breaker sliding window of attempt outcomes "
+                        "per provider (default 16)")
+    p.add_argument("--breaker-threshold", type=float, default=0.5,
+                   help="failure fraction that opens a provider's breaker "
+                        "(default 0.5)")
+    p.add_argument("--breaker-cooldown", type=float, default=5.0,
+                   help="seconds an open breaker waits before half-open "
+                        "probes (default 5)")
+    p.add_argument("--hedge-delay", type=float, default=None,
+                   help="seconds before hedging a slow request to the next "
+                        "healthy provider (default: derived from observed "
+                        "p95 latency)")
+    p.add_argument("--no-hedge", action="store_true",
+                   help="never issue hedged backup requests")
+    p.add_argument("--queue-budget", type=int, default=64,
+                   help="max classifications in flight before shedding "
+                        "with 429 + Retry-After (default 64)")
+    p.add_argument("--drain-timeout", type=float, default=10.0,
+                   help="seconds SIGTERM waits for in-flight requests "
+                        "before closing (default 10)")
+    p.add_argument("--inject-faults", default=None, metavar="SPEC",
+                   help="deterministic fault plan for chaos testing, e.g. "
+                        "'seed=7;provider_brownout:attempts=6,after=0,"
+                        "provider=emulated:o3-mini-high' "
+                        "(default: $REPRO_FAULT_PLAN if set)")
     p.add_argument("--warm", action="store_true",
                    help="build the sample index before accepting requests")
     p.add_argument("--verbose", action="store_true",

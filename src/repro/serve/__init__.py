@@ -8,14 +8,26 @@ pieces compose bottom-up:
   injectable transports (no SDKs, no network required).
 * :mod:`repro.serve.retry` — jittered exponential backoff, per-attempt
   deadlines, and an async token-bucket rate limiter.
+* :mod:`repro.serve.resilience` — per-provider circuit breakers, the
+  latency-tracking hedge trigger, and the load-shedding error taxonomy.
 * :mod:`repro.serve.engine` — :class:`AsyncEvalEngine`, the asyncio twin
   of the sync engine: same cache keys, byte-identical results, plus
-  in-flight request coalescing.
+  in-flight request coalescing, provider failover chains, and hedged
+  requests.
 * :mod:`repro.serve.http` — the stdlib HTTP front end behind
-  ``repro-paper serve``.
+  ``repro-paper serve``: admission control, request deadlines, graceful
+  drain.
 """
 
 from repro.serve.engine import AsyncEvalEngine, ServeStats
+from repro.serve.resilience import (
+    AllProvidersUnavailable,
+    BreakerPolicy,
+    CircuitBreaker,
+    HedgePolicy,
+    LatencyTracker,
+    LoadShedError,
+)
 from repro.serve.http import (
     DEFAULT_MODEL,
     PredictionServer,
@@ -36,13 +48,22 @@ from repro.serve.providers import (
     TransientProviderError,
     emulated_transport,
     provider_family,
+    provider_label,
     resolve_provider,
 )
 from repro.serve.retry import RateLimiter, RetryPolicy, call_with_retry
+from repro.util.retry import DeadlineExceeded
 
 __all__ = [
     "AsyncEvalEngine",
     "ServeStats",
+    "AllProvidersUnavailable",
+    "BreakerPolicy",
+    "CircuitBreaker",
+    "HedgePolicy",
+    "LatencyTracker",
+    "LoadShedError",
+    "DeadlineExceeded",
     "DEFAULT_MODEL",
     "PredictionServer",
     "PredictionService",
@@ -60,6 +81,7 @@ __all__ = [
     "TransientProviderError",
     "emulated_transport",
     "provider_family",
+    "provider_label",
     "resolve_provider",
     "RateLimiter",
     "RetryPolicy",

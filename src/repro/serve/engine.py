@@ -26,6 +26,20 @@ What the async path adds over the sync one:
   exponential backoff, jittered per-attempt deadlines) and an optional
   :class:`~repro.serve.retry.RateLimiter` token bucket, acquired inside
   each attempt so backed-off retries re-queue behind fresh work.
+* **Resilience.** ``complete`` accepts a *failover chain* — an ordered
+  tuple of providers sharing one :class:`~repro.llm.config.ModelConfig`.
+  Each chain member sits behind its own
+  :class:`~repro.serve.resilience.CircuitBreaker` (per-attempt outcomes
+  over a sliding window; open breakers are skipped, half-open ones
+  probed); a request whose candidate's retries exhaust fails over to
+  the next healthy member, and a request that outlives the observed
+  latency tail (:class:`~repro.serve.resilience.LatencyTracker` p95)
+  *hedges* — launches a backup call on the next healthy member and
+  takes the first success, cancelling the loser. Hedges run inside the
+  owner's coalesced future, so a hedge never duplicates an in-flight
+  key. Requests may carry an absolute ``deadline`` that clips attempt
+  timeouts and aborts pointless backoffs
+  (:class:`~repro.util.retry.DeadlineExceeded`).
 
 Store calls run in worker threads (:func:`asyncio.to_thread`) so disk
 segment reads never stall the loop; the stores' own locking makes that
@@ -37,9 +51,10 @@ from __future__ import annotations
 
 import asyncio
 import random
+import time
 from contextlib import nullcontext
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Callable, Sequence
 
 from repro.eval.engine import (
     CachedResponse,
@@ -50,8 +65,20 @@ from repro.eval.engine import (
 )
 from repro.llm.base import LlmResponse
 from repro.llm.pricing import UsageMeter
-from repro.serve.providers import ProviderClient
+from repro.serve.providers import ProviderClient, provider_label
+from repro.serve.resilience import (
+    AllProvidersUnavailable,
+    BreakerPolicy,
+    CircuitBreaker,
+    HedgePolicy,
+    LatencyTracker,
+)
 from repro.serve.retry import RateLimiter, RetryPolicy, Sleep, call_with_retry
+from repro.util.faults import active_fault_plan
+from repro.util.retry import DeadlineExceeded, TransientError
+
+#: ``complete`` accepts one provider or an ordered failover chain.
+ProviderChain = ProviderClient | Sequence[ProviderClient]
 
 
 @dataclass
@@ -62,30 +89,45 @@ class ServeStats(CacheStats):
     are *not* hits or misses — the owning request books those); the
     ``retries`` counter (upstream re-attempts after retryable failures) is
     inherited from :class:`CacheStats` now that the sync engine retries
-    too.
+    too. ``failed_over`` counts calls launched against a non-primary
+    chain member after the primary was open or exhausted; ``hedged``
+    counts backup calls launched against a still-running primary;
+    ``shed`` counts requests rejected at admission (queue over budget or
+    deadline unmeetable) — bumped by the HTTP service, surfaced here so
+    one object tells the whole serving story.
     """
 
     coalesced: int = 0
+    failed_over: int = 0
+    hedged: int = 0
+    shed: int = 0
 
     def summary(self) -> str:
-        return (
+        out = (
             f"{super().summary()}, {self.coalesced} coalesced, "
             f"{self.retries} retries"
         )
+        if self.failed_over or self.hedged or self.shed:
+            out += (
+                f", {self.failed_over} failed over, {self.hedged} hedged, "
+                f"{self.shed} shed"
+            )
+        return out
 
 
 class AsyncEvalEngine:
     """Concurrent cached evaluation against one or more providers.
 
     One engine spans a service lifetime: its ``stats`` describe all
-    traffic served and its ``_inflight`` table coalesces concurrent
+    traffic served, its ``_inflight`` table coalesces concurrent
     duplicates across every entry point (single :meth:`complete` calls
-    and :meth:`run` batches alike).
+    and :meth:`run` batches alike), and its ``_breakers`` registry holds
+    one circuit breaker per provider label ever used.
 
-    All state mutation happens on one event loop (the inflight table is
-    touched with no ``await`` between lookup and insert, so no lock is
-    needed); blocking work — model inference, disk segment I/O — is
-    pushed to worker threads.
+    All state mutation happens on one event loop (the inflight table,
+    breakers, and latency tracker are touched with no ``await`` between
+    observation and update, so no lock is needed); blocking work — model
+    inference, disk segment I/O — is pushed to worker threads.
     """
 
     def __init__(
@@ -97,6 +139,9 @@ class AsyncEvalEngine:
         max_concurrency: int = 64,
         rng: random.Random | None = None,
         sleep: Sleep = asyncio.sleep,
+        clock: Callable[[], float] = time.monotonic,
+        breaker: BreakerPolicy | None = None,
+        hedge: HedgePolicy | None = HedgePolicy(),
     ) -> None:
         if max_concurrency < 1:
             raise ValueError(
@@ -107,31 +152,100 @@ class AsyncEvalEngine:
         self.limiter = limiter
         self.max_concurrency = max_concurrency
         self.stats = ServeStats()
+        self.breaker_policy = breaker or BreakerPolicy()
+        self.hedge_policy = hedge  # None = hedging disabled
+        self.latency = LatencyTracker()
         self._rng = rng if rng is not None else random.Random()
         self._sleep = sleep
+        self._clock = clock
         self._inflight: dict[str, asyncio.Future[LlmResponse]] = {}
+        self._breakers: dict[str, CircuitBreaker] = {}
+
+    @property
+    def clock(self) -> Callable[[], float]:
+        """The engine's monotonic clock — deadlines must be minted on it."""
+        return self._clock
+
+    # -- resilience plumbing -------------------------------------------------
+    def breaker(self, label: str) -> CircuitBreaker:
+        """The (lazily created) breaker guarding one provider label."""
+        found = self._breakers.get(label)
+        if found is None:
+            found = CircuitBreaker(self.breaker_policy, clock=self._clock)
+            self._breakers[label] = found
+        return found
+
+    def breaker_snapshots(self) -> dict[str, dict]:
+        """Read-only breaker states for ``/v1/stats`` and the manifest."""
+        # list() first: handler threads read this while the loop may be
+        # registering a new label, and a live dict view could see it.
+        return {
+            label: self._breakers[label].snapshot()
+            for label in sorted(list(self._breakers))
+        }
+
+    async def cancel_inflight(self) -> int:
+        """Cancel every pending coalesced future; returns how many.
+
+        The drain/close path: coalesced waiters ``shield`` their owner,
+        so without this a shutdown during an in-flight burst would park
+        forever behind completions nobody will consume. Cancelling the
+        shared future wakes every waiter with ``CancelledError``; owners
+        guard their ``set_result``/``set_exception`` with ``done()`` so
+        a late completion is dropped, not crashed.
+        """
+        cancelled = 0
+        for key, future in list(self._inflight.items()):
+            if not future.done():
+                future.cancel()
+                cancelled += 1
+            self._inflight.pop(key, None)
+        return cancelled
 
     # -- single completion ---------------------------------------------------
+    @staticmethod
+    def _as_chain(provider: ProviderChain) -> tuple[ProviderClient, ...]:
+        if isinstance(provider, (tuple, list)):
+            if not provider:
+                raise ValueError("empty provider chain")
+            return tuple(provider)
+        return (provider,)
+
     async def complete(
         self,
-        provider: ProviderClient,
+        provider: ProviderChain,
         prompt: str,
         *,
         temperature: float | None = None,
         top_p: float | None = None,
+        deadline: float | None = None,
+        info: dict | None = None,
     ) -> LlmResponse:
-        """One completion: cache hit, coalesced join, or owned upstream call."""
+        """One completion: cache hit, coalesced join, or owned upstream call.
+
+        ``provider`` may be a single client or an ordered failover chain
+        (every member serving the same model config). ``deadline`` is an
+        absolute instant on the engine clock; ``info``, when given, is
+        filled with ``served_by`` (provider label, or ``"cache"`` /
+        ``"coalesced"``) and ``hedged`` for the response's provenance tag.
+        """
+        chain = self._as_chain(provider)
+        if info is not None:
+            info.setdefault("hedged", False)
         if self.store is None:
             response = await self._upstream(
-                provider, prompt, temperature=temperature, top_p=top_p
+                chain, prompt, temperature=temperature, top_p=top_p,
+                deadline=deadline, info=info,
             )
             self.stats._bump("uncached")
             return response
 
-        key = cache_key(provider.config, prompt, temperature, top_p)
+        key = cache_key(chain[0].config, prompt, temperature, top_p)
         existing = self._inflight.get(key)
         if existing is not None:
             self.stats._bump("coalesced")
+            if info is not None:
+                info["served_by"] = "coalesced"
             return await asyncio.shield(existing)
         # No await between the miss above and this insert: on one event
         # loop that makes check-then-set atomic, so every concurrent
@@ -144,55 +258,220 @@ class AsyncEvalEngine:
             cached = await asyncio.to_thread(self.store.get, key)
             if cached is not None:
                 self.stats._bump("hits")
-                response = cached.to_response(provider.name)
+                if info is not None:
+                    info["served_by"] = "cache"
+                response = cached.to_response(chain[0].name)
             else:
                 response = await self._upstream(
-                    provider, prompt, temperature=temperature, top_p=top_p
+                    chain, prompt, temperature=temperature, top_p=top_p,
+                    key=key, deadline=deadline, info=info,
                 )
                 await asyncio.to_thread(
                     self.store.put, key, CachedResponse.from_response(response)
                 )
                 self.stats._bump("misses")
-            future.set_result(response)
+            if not future.done():
+                future.set_result(response)
             return response
         except BaseException as exc:
-            future.set_exception(exc)
-            future.exception()  # consumed: a waiterless failure isn't a leak
+            if not future.done():
+                future.set_exception(exc)
+                future.exception()  # consumed: waiterless failure ≠ leak
             raise
         finally:
             self._inflight.pop(key, None)
 
-    async def _upstream(
+    # -- the resilient upstream path -----------------------------------------
+    async def _call_one(
         self,
-        provider: ProviderClient,
+        client: ProviderClient,
+        label: str,
         prompt: str,
-        *,
         temperature: float | None,
         top_p: float | None,
+        token: str,
+        deadline: float | None,
+        plan,
     ) -> LlmResponse:
-        """One provider call under the rate limiter and retry policy."""
+        """One provider's full retry loop, breaker- and fault-aware."""
+        breaker = self.breaker(label)
+        state = {"attempt": 0}
 
         async def attempt() -> LlmResponse:
+            index = state["attempt"]
+            state["attempt"] += 1
+            if plan is not None:
+                tail = plan.slow_tail_delay(label, token)
+                if tail is not None:
+                    await self._sleep(tail)
+                plan.provider_fault(label, token, index)
             if self.limiter is not None:
                 # Acquired per attempt: a retry after backoff waits its
                 # turn again rather than holding a stale reservation.
                 await self.limiter.acquire()
-            return await provider.complete(
+            return await client.complete(
                 prompt, temperature=temperature, top_p=top_p
             )
 
-        return await call_with_retry(
-            attempt,
-            policy=self.retry,
-            rng=self._rng,
-            sleep=self._sleep,
-            on_retry=lambda _attempt, _exc: self.stats._bump("retries"),
-        )
+        def on_retry(_attempt: int, _exc: BaseException) -> None:
+            self.stats._bump("retries")
+            breaker.record_failure()
+
+        start = self._clock()
+        try:
+            response = await call_with_retry(
+                attempt,
+                policy=self.retry,
+                rng=self._rng,
+                sleep=self._sleep,
+                on_retry=on_retry,
+                deadline=deadline,
+                clock=self._clock,
+            )
+        except DeadlineExceeded:
+            raise  # the caller's budget, not the provider's health
+        except TransientError:
+            breaker.record_failure()  # the final, exhausting attempt
+            raise
+        breaker.record_success()
+        self.latency.record(self._clock() - start)
+        return response
+
+    def _next_candidate(
+        self, chain: Sequence[ProviderClient], used: set[str]
+    ) -> tuple[ProviderClient, str] | None:
+        """The first unused chain member whose breaker admits a call.
+
+        ``allow()`` is only consulted for members actually considered, so
+        half-open probe slots are consumed exactly when a call launches.
+        """
+        for client in chain:
+            label = provider_label(client)
+            if label in used:
+                continue
+            if self.breaker(label).allow():
+                used.add(label)
+                return client, label
+        return None
+
+    async def _upstream(
+        self,
+        chain: tuple[ProviderClient, ...],
+        prompt: str,
+        *,
+        temperature: float | None,
+        top_p: float | None,
+        key: str | None = None,
+        deadline: float | None = None,
+        info: dict | None = None,
+    ) -> LlmResponse:
+        """Failover-chain upstream: breaker-gated candidates, hedging."""
+        plan = active_fault_plan()
+        token = key or cache_key(chain[0].config, prompt, temperature, top_p)
+        primary_label = provider_label(chain[0])
+        used: set[str] = set()
+
+        first = self._next_candidate(chain, used)
+        if first is None:
+            hint = max(
+                0.05,
+                min(
+                    self.breaker(provider_label(c)).retry_after()
+                    for c in chain
+                ),
+            )
+            raise AllProvidersUnavailable(
+                f"all {len(chain)} provider breakers are open for "
+                f"{chain[0].name!r}",
+                retry_after=hint,
+            )
+        client, label = first
+        if label != primary_label:
+            self.stats._bump("failed_over")
+
+        def launch(c: ProviderClient, lbl: str) -> asyncio.Task:
+            return asyncio.get_running_loop().create_task(
+                self._call_one(
+                    c, lbl, prompt, temperature, top_p, token, deadline, plan
+                )
+            )
+
+        # Fast path: a lone provider has nothing to hedge to or fail over
+        # to — skip the task machinery (and its overhead) entirely.
+        if len(chain) == 1:
+            response = await self._call_one(
+                client, label, prompt, temperature, top_p, token, deadline,
+                plan,
+            )
+            if info is not None:
+                info["served_by"] = label
+            return response
+
+        tasks: dict[asyncio.Task, str] = {launch(client, label): label}
+        hedge_spent = False
+        timer: asyncio.Task | None = None
+        last_error: BaseException | None = None
+        try:
+            while True:
+                if (
+                    timer is None
+                    and not hedge_spent
+                    and self.hedge_policy is not None
+                    and len(tasks) == 1
+                ):
+                    delay = self.latency.hedge_delay(self.hedge_policy)
+                    timer = asyncio.get_running_loop().create_task(
+                        self._sleep(delay)
+                    )
+                wait_for = set(tasks) | ({timer} if timer is not None else set())
+                done, _ = await asyncio.wait(
+                    wait_for, return_when=asyncio.FIRST_COMPLETED
+                )
+                finished = [t for t in done if t in tasks]
+                if not finished:
+                    # The hedge timer matured with the call still running:
+                    # launch a backup on the next healthy provider and race
+                    # them — first success wins, the loser is cancelled.
+                    timer = None
+                    hedge_spent = True
+                    candidate = self._next_candidate(chain, used)
+                    if candidate is not None:
+                        h_client, h_label = candidate
+                        self.stats._bump("hedged")
+                        if info is not None:
+                            info["hedged"] = True
+                        tasks[launch(h_client, h_label)] = h_label
+                    continue
+                for task in finished:
+                    task_label = tasks.pop(task)
+                    error = task.exception()
+                    if error is None:
+                        if info is not None:
+                            info["served_by"] = task_label
+                        return task.result()
+                    if isinstance(error, DeadlineExceeded):
+                        raise error  # no budget left to fail over with
+                    last_error = error
+                if not tasks:
+                    candidate = self._next_candidate(chain, used)
+                    if candidate is None:
+                        assert last_error is not None
+                        raise last_error
+                    n_client, n_label = candidate
+                    self.stats._bump("failed_over")
+                    tasks[launch(n_client, n_label)] = n_label
+        finally:
+            if timer is not None and not timer.done():
+                timer.cancel()
+            for task in tasks:
+                task.cancel()
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
 
     # -- batched evaluation --------------------------------------------------
     async def run(
         self,
-        provider: ProviderClient,
+        provider: ProviderChain,
         items: Sequence[tuple[str, str, object]],
         *,
         temperature: float | None = None,
@@ -204,10 +483,12 @@ class AsyncEvalEngine:
         records in identical order, usage metered in item order — the
         returned :class:`~repro.eval.runner.RunResult` and the store
         contents are byte-identical to the sync engine's for the same
-        grid, whatever ``max_concurrency``.
+        grid, whatever ``max_concurrency`` (and, because every chain
+        member serves the same model config, whichever member answers).
         """
         from repro.eval.runner import RunResult
 
+        chain = self._as_chain(provider)
         items = list(items)
         if not items:
             raise ValueError("no items to run")
@@ -217,7 +498,7 @@ class AsyncEvalEngine:
         async def bounded(prompt: str) -> LlmResponse:
             async with gate:
                 return await self.complete(
-                    provider, prompt, temperature=temperature, top_p=top_p
+                    chain, prompt, temperature=temperature, top_p=top_p
                 )
 
         deferred = getattr(self.store, "deferred", None)
@@ -230,11 +511,11 @@ class AsyncEvalEngine:
             _make_record(item_id, truth, response)
             for (item_id, _, truth), response in zip(items, responses)
         ]
-        meter = UsageMeter(provider.config)
+        meter = UsageMeter(chain[0].config)
         for response in responses:
             meter.record(response.usage)
         return RunResult(
-            model_name=provider.name,
+            model_name=chain[0].name,
             records=tuple(records),
             usage=meter.summary(),
         )

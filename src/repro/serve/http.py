@@ -9,20 +9,35 @@ Two layers:
   completion through an :class:`~repro.serve.engine.AsyncEvalEngine`.
   Against a warm :class:`~repro.eval.engine.DiskResponseStore` every
   query is a cache hit — zero new completions, no model inference on the
-  request path.
+  request path. The service also owns *admission control*: at most
+  ``queue_budget`` classifications in flight, the rest shed with a
+  429-shaped :class:`~repro.serve.resilience.LoadShedError`, and a
+  request-supplied deadline (``X-Deadline-Ms``) propagates down to the
+  engine's retry loop.
 * :class:`PredictionServer` — a :class:`ThreadingHTTPServer` whose
   handler threads bridge into one background asyncio event loop
   (``run_coroutine_threadsafe``), keeping the engine's single-loop
-  coalescing semantics while the stdlib server deals with sockets.
+  coalescing semantics while the stdlib server deals with sockets. It
+  knows how to *drain*: :meth:`PredictionServer.drain` flips the server
+  to draining (``/healthz`` answers 503, work endpoints shed), waits for
+  in-flight requests to finish, then closes.
 
 Endpoints (all JSON):
 
-* ``GET /healthz`` — liveness.
+* ``GET /healthz`` — liveness; 503 ``{"status": "draining"}`` once a
+  drain begins.
 * ``GET /v1/models`` — servable model names.
 * ``GET /v1/samples`` — balanced-dataset uids with ground-truth labels.
-* ``GET /v1/stats`` — engine counters (hits/misses/coalesced/retries…).
+* ``GET /v1/stats`` — engine counters (hits/misses/coalesced/retries,
+  failover/hedge/shed totals, queue depth, per-provider breaker states).
 * ``GET|POST /v1/classify`` — one prediction. Query params (GET) or a
   JSON body (POST): ``uid`` (required), ``model``, ``few_shot``, ``gpu``.
+  Optional ``X-Deadline-Ms`` header: the caller's end-to-end budget.
+
+Failure statuses: 429 + ``Retry-After`` when shed (queue over budget or
+deadline expired), 503 + ``Retry-After`` when every provider breaker is
+open or upstream retries exhausted, 504 when the handler-side wait times
+out.
 """
 
 from __future__ import annotations
@@ -30,6 +45,8 @@ from __future__ import annotations
 import asyncio
 import json
 import threading
+import time
+from concurrent.futures import TimeoutError as _FutureTimeout
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Sequence
 from urllib.parse import parse_qs, urlsplit
@@ -44,8 +61,10 @@ from repro.prompts import (
     variant_for_few_shot,
 )
 from repro.roofline.hardware import GpuSpec, get_gpu
-from repro.serve.engine import AsyncEvalEngine
-from repro.serve.providers import ProviderClient, resolve_provider
+from repro.serve.engine import AsyncEvalEngine, ProviderChain
+from repro.serve.providers import resolve_provider
+from repro.serve.resilience import AllProvidersUnavailable, LoadShedError
+from repro.util.retry import DeadlineExceeded, TransientError
 
 #: The paper's headline model — the default for unqualified queries.
 DEFAULT_MODEL = "o3-mini-high"
@@ -54,19 +73,28 @@ DEFAULT_MODEL = "o3-mini-high"
 class ServiceError(Exception):
     """A client-visible failure with an HTTP status."""
 
-    def __init__(self, status: int, message: str):
+    def __init__(
+        self, status: int, message: str, *, retry_after: float | None = None
+    ):
         super().__init__(message)
         self.status = status
+        self.retry_after = retry_after
 
 
 class PredictionService:
     """The serving application: samples + providers + async engine.
 
-    Sample indices and provider clients are built lazily and memoized:
+    Sample indices and provider chains are built lazily and memoized:
     the first query against a GPU pays its (profile-store-backed) dataset
     build, later ones are dictionary lookups. Memo access is locked —
     handler threads funnel work onto one event loop, but the blocking
     builds run in ``to_thread`` workers.
+
+    ``provider_family`` may be a comma-separated failover chain
+    (``"emulated,wire"``): the first family is primary, the rest are
+    fallbacks tried when the primary's breaker is open or its retries
+    exhaust. Every chain member serves the same model config, so cache
+    keys are identical whichever member answers.
     """
 
     def __init__(
@@ -75,29 +103,42 @@ class PredictionService:
         *,
         provider_family: str = "emulated",
         jobs: int = 1,
+        queue_budget: int = 64,
     ) -> None:
+        families = [f.strip() for f in provider_family.split(",") if f.strip()]
+        if not families:
+            raise ValueError(f"no provider family in {provider_family!r}")
+        if queue_budget < 1:
+            raise ValueError(f"queue_budget must be >= 1, got {queue_budget}")
         self.engine = engine
-        self.provider_family = provider_family
+        self.provider_family = families[0]
+        self.fallback_families = tuple(families[1:])
         self.jobs = jobs
+        self.queue_budget = queue_budget
+        self._admitted = 0  # event-loop-confined in-flight gauge
         self._lock = threading.Lock()
-        self._providers: dict[str, ProviderClient] = {}
+        self._providers: dict[str, ProviderChain] = {}
         # gpu key (None = the paper's default target) → uid → sample
         self._samples: dict[str | None, dict[str, Sample]] = {}
 
     # -- lazy indices --------------------------------------------------------
-    def provider(self, model_name: str) -> ProviderClient:
+    def provider(self, model_name: str) -> ProviderChain:
         with self._lock:
-            client = self._providers.get(model_name)
-        if client is not None:
-            return client
+            chain = self._providers.get(model_name)
+        if chain is not None:
+            return chain
         try:
-            client = resolve_provider(model_name, family=self.provider_family)
+            chain = resolve_provider(
+                model_name,
+                family=self.provider_family,
+                fallbacks=self.fallback_families,
+            )
         except KeyError:
             raise ServiceError(
                 404, f"unknown model {model_name!r}; see /v1/models"
             ) from None
         with self._lock:
-            return self._providers.setdefault(model_name, client)
+            return self._providers.setdefault(model_name, chain)
 
     def _sample_index(self, gpu: GpuSpec | None) -> dict[str, Sample]:
         key = gpu.name if gpu is not None else None
@@ -133,8 +174,14 @@ class PredictionService:
             "uncached": s.uncached,
             "coalesced": s.coalesced,
             "retries": s.retries,
+            "failed_over": s.failed_over,
+            "hedged": s.hedged,
+            "shed": s.shed,
             "completions": s.completions,
             "total": s.total,
+            "queue_depth": self._admitted,
+            "queue_budget": self.queue_budget,
+            "breakers": self.engine.breaker_snapshots(),
         }
 
     async def classify(
@@ -145,8 +192,14 @@ class PredictionService:
         few_shot: bool = False,
         variant: str | None = None,
         gpu: str | None = None,
+        deadline_ms: float | None = None,
     ) -> dict:
-        """One roofline classification, served from the warm stores."""
+        """One roofline classification, served from the warm stores.
+
+        ``deadline_ms`` is the caller's end-to-end budget from this
+        instant; an admission over ``queue_budget`` sheds immediately
+        rather than queueing work the deadline would strand.
+        """
         if variant is not None and few_shot:
             raise ServiceError(
                 400, "pass either few_shot (deprecated) or variant, not both"
@@ -158,49 +211,73 @@ class PredictionService:
                 raise ServiceError(404, str(exc)) from None
         else:
             resolved = variant_for_few_shot(few_shot)
-        provider = self.provider(model)
-        spec: GpuSpec | None = None
-        if gpu:
-            try:
-                spec = await asyncio.to_thread(get_gpu, gpu)
-            except KeyError as exc:
-                raise ServiceError(404, str(exc)) from None
-        index = await asyncio.to_thread(self._sample_index, spec)
-        sample = index.get(uid)
-        if sample is None:
-            raise ServiceError(
-                404, f"unknown sample uid {uid!r}; see /v1/samples"
+        chain = self.provider(model)
+        primary = chain[0] if isinstance(chain, tuple) else chain
+        deadline = None
+        if deadline_ms is not None:
+            deadline = self.engine.clock() + deadline_ms / 1000.0
+
+        # Admission control. Runs on the event loop with no await since
+        # the check, so the gauge can't be raced past its budget.
+        if self._admitted >= self.queue_budget:
+            self.engine.stats._bump("shed")
+            raise LoadShedError(
+                f"queue over budget ({self._admitted} in flight, "
+                f"budget {self.queue_budget})",
+                retry_after=1.0,
             )
-        # The batch CLI's exact prompt path (classification_items), so the
-        # cache key below equals the sweep's and warm stores answer it.
-        prompt = (
-            await asyncio.to_thread(
-                build_classify_prompt, sample, variant=resolved, gpu=spec
-            )
-        ).text
-        before = self.engine.stats.completions
-        response = await self.engine.complete(provider, prompt)
+        self._admitted += 1
         try:
-            prediction = response.boundedness().word
-        except ValueError:
-            prediction = None
-        return {
-            "uid": uid,
-            "model": provider.name,
-            "gpu": spec.name if spec is not None else None,
-            "variant": resolved.name,
-            "few_shot": resolved.few_shot,
-            "prediction": prediction,
-            "truth": sample.label.word,
-            "correct": prediction == sample.label.word,
-            "cached": self.engine.stats.completions == before,
-            "usage": {
-                "input_tokens": response.usage.input_tokens,
-                "output_tokens": response.usage.output_tokens,
-                "reasoning_tokens": response.usage.reasoning_tokens,
-            },
-            "cost_usd": query_cost_usd(response.usage, provider.config),
-        }
+            spec: GpuSpec | None = None
+            if gpu:
+                try:
+                    spec = await asyncio.to_thread(get_gpu, gpu)
+                except KeyError as exc:
+                    raise ServiceError(404, str(exc)) from None
+            index = await asyncio.to_thread(self._sample_index, spec)
+            sample = index.get(uid)
+            if sample is None:
+                raise ServiceError(
+                    404, f"unknown sample uid {uid!r}; see /v1/samples"
+                )
+            # The batch CLI's exact prompt path (classification_items), so
+            # the cache key below equals the sweep's and warm stores
+            # answer it.
+            prompt = (
+                await asyncio.to_thread(
+                    build_classify_prompt, sample, variant=resolved, gpu=spec
+                )
+            ).text
+            before = self.engine.stats.completions
+            info: dict = {}
+            response = await self.engine.complete(
+                chain, prompt, deadline=deadline, info=info
+            )
+            try:
+                prediction = response.boundedness().word
+            except ValueError:
+                prediction = None
+            return {
+                "uid": uid,
+                "model": primary.name,
+                "gpu": spec.name if spec is not None else None,
+                "variant": resolved.name,
+                "few_shot": resolved.few_shot,
+                "prediction": prediction,
+                "truth": sample.label.word,
+                "correct": prediction == sample.label.word,
+                "cached": self.engine.stats.completions == before,
+                "served_by": info.get("served_by"),
+                "hedged": bool(info.get("hedged")),
+                "usage": {
+                    "input_tokens": response.usage.input_tokens,
+                    "output_tokens": response.usage.output_tokens,
+                    "reasoning_tokens": response.usage.reasoning_tokens,
+                },
+                "cost_usd": query_cost_usd(response.usage, primary.config),
+            }
+        finally:
+            self._admitted -= 1
 
 
 def _parse_bool(value: str | bool | None, name: str) -> bool:
@@ -227,11 +304,19 @@ class _Handler(BaseHTTPRequestHandler):
         if self.server.verbose:
             super().log_message(format, *args)
 
-    def _send_json(self, status: int, payload: dict | list) -> None:
+    def _send_json(
+        self,
+        status: int,
+        payload: dict | list,
+        *,
+        retry_after: float | None = None,
+    ) -> None:
         body = json.dumps(payload, sort_keys=True).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if retry_after is not None:
+            self.send_header("Retry-After", f"{max(0.0, retry_after):.3f}")
         self.end_headers()
         self.wfile.write(body)
 
@@ -239,10 +324,39 @@ class _Handler(BaseHTTPRequestHandler):
         future = asyncio.run_coroutine_threadsafe(coro, self.server.loop)
         return future.result(timeout=self.server.request_timeout_s)
 
+    def _deadline_ms(self) -> float | None:
+        raw = self.headers.get("X-Deadline-Ms")
+        if raw is None:
+            return None
+        try:
+            value = float(raw.strip())
+        except ValueError:
+            raise ServiceError(
+                400, f"X-Deadline-Ms must be a number, got {raw!r}"
+            ) from None
+        if value <= 0:
+            raise ServiceError(400, f"X-Deadline-Ms must be > 0, got {raw!r}")
+        return value
+
     def _classify_params(self) -> dict:
         split = urlsplit(self.path)
         if self.command == "POST":
-            length = int(self.headers.get("Content-Length") or 0)
+            raw_length = self.headers.get("Content-Length")
+            if raw_length is None:
+                length = 0  # body-less POST: same as an empty object
+            else:
+                try:
+                    length = int(raw_length.strip())
+                except ValueError:
+                    raise ServiceError(
+                        400,
+                        f"Content-Length must be an integer, "
+                        f"got {raw_length!r}",
+                    ) from None
+                if length < 0:
+                    raise ServiceError(
+                        400, f"Content-Length must be >= 0, got {raw_length!r}"
+                    )
             raw = self.rfile.read(length) if length else b"{}"
             try:
                 params = json.loads(raw.decode("utf-8") or "{}")
@@ -265,6 +379,7 @@ class _Handler(BaseHTTPRequestHandler):
                 str(params["variant"]) if params.get("variant") else None
             ),
             "gpu": str(params["gpu"]) if params.get("gpu") else None,
+            "deadline_ms": self._deadline_ms(),
         }
 
     # -- routes --------------------------------------------------------------
@@ -272,22 +387,66 @@ class _Handler(BaseHTTPRequestHandler):
         service = self.server.service
         path = urlsplit(self.path).path.rstrip("/") or "/"
         try:
+            draining = self.server.draining.is_set()
             if path == "/healthz":
-                self._send_json(200, {"status": "ok"})
+                if draining:
+                    self._send_json(503, {"status": "draining"})
+                else:
+                    self._send_json(200, {"status": "ok"})
             elif path == "/v1/models" and self.command == "GET":
                 self._send_json(200, {"models": list(MODEL_NAMES)})
             elif path == "/v1/samples" and self.command == "GET":
                 self._send_json(200, {"samples": service.sample_listing()})
             elif path == "/v1/stats" and self.command == "GET":
-                self._send_json(200, service.stats())
+                payload = service.stats()
+                payload["draining"] = draining
+                self._send_json(200, payload)
             elif path == "/v1/classify":
-                params = self._classify_params()
-                result = self._run(service.classify(**params))
-                self._send_json(200, result)  # type: ignore[arg-type]
+                if draining:
+                    raise ServiceError(
+                        503, "server is draining", retry_after=1.0
+                    )
+                self.server._track_active(+1)
+                try:
+                    params = self._classify_params()
+                    result = self._run(service.classify(**params))
+                    self._send_json(200, result)  # type: ignore[arg-type]
+                finally:
+                    self.server._track_active(-1)
             else:
                 raise ServiceError(404, f"no such endpoint: {path}")
         except ServiceError as exc:
-            self._send_json(exc.status, {"error": str(exc)})
+            self._send_json(
+                exc.status, {"error": str(exc)}, retry_after=exc.retry_after
+            )
+        except LoadShedError as exc:
+            self._send_json(
+                429, {"error": str(exc)}, retry_after=exc.retry_after
+            )
+        except DeadlineExceeded as exc:
+            # The request's own budget ran out: shed-shaped, not a fault.
+            service.engine.stats._bump("shed")
+            self._send_json(
+                429, {"error": f"deadline exceeded: {exc}"}, retry_after=1.0
+            )
+        except AllProvidersUnavailable as exc:
+            self._send_json(
+                503, {"error": str(exc)}, retry_after=exc.retry_after
+            )
+        except TransientError as exc:
+            self._send_json(
+                503,
+                {"error": f"upstream unavailable: "
+                          f"{type(exc).__name__}: {exc}"},
+                retry_after=1.0,
+            )
+        except _FutureTimeout:
+            self._send_json(504, {"error": "request timed out"})
+        except asyncio.CancelledError:
+            # close()/drain() cancelled the in-flight work under us.
+            self._send_json(
+                503, {"error": "server shutting down"}, retry_after=1.0
+            )
         except Exception as exc:  # pragma: no cover - defensive
             self._send_json(500, {"error": f"{type(exc).__name__}: {exc}"})
 
@@ -304,7 +463,9 @@ class PredictionServer(ThreadingHTTPServer):
     ``port=0`` binds an ephemeral port (tests); :attr:`port` reports the
     real one. :meth:`start` spins up the loop and server threads and
     returns (tests drive requests, then :meth:`close`);
-    :meth:`serve_forever` is inherited for the CLI's blocking mode.
+    :meth:`serve_forever` is inherited for blocking use. :meth:`drain`
+    is the graceful path: flip to draining, let in-flight work finish
+    (bounded), then close.
     """
 
     daemon_threads = True
@@ -322,11 +483,15 @@ class PredictionServer(ThreadingHTTPServer):
         self.service = service
         self.request_timeout_s = request_timeout_s
         self.verbose = verbose
+        self.draining = threading.Event()
         self.loop = asyncio.new_event_loop()
         self._loop_thread = threading.Thread(
             target=self.loop.run_forever, name="repro-serve-loop", daemon=True
         )
         self._serve_thread: threading.Thread | None = None
+        self._active = 0
+        self._active_lock = threading.Lock()
+        self._closed = False
 
     @property
     def port(self) -> int:
@@ -335,6 +500,14 @@ class PredictionServer(ThreadingHTTPServer):
     @property
     def url(self) -> str:
         return f"http://{self.server_address[0]}:{self.port}"
+
+    def _track_active(self, delta: int) -> None:
+        with self._active_lock:
+            self._active += delta
+
+    def active_requests(self) -> int:
+        with self._active_lock:
+            return self._active
 
     def start(self) -> "PredictionServer":
         """Run the loop and accept requests in background threads."""
@@ -351,12 +524,55 @@ class PredictionServer(ThreadingHTTPServer):
             self._loop_thread.start()
         super().serve_forever(poll_interval)
 
+    def drain(self, timeout: float = 10.0) -> bool:
+        """Stop taking work, let in-flight requests finish, then close.
+
+        Returns ``True`` when every in-flight request completed inside
+        ``timeout`` (a clean drain); ``False`` when the timeout cut
+        stragglers off — :meth:`close` then cancels their coalesced
+        futures so nothing blocks shutdown either way.
+        """
+        self.draining.set()
+        deadline = time.monotonic() + timeout
+        clean = True
+        while self.active_requests() > 0:
+            if time.monotonic() >= deadline:
+                clean = False
+                break
+            time.sleep(0.02)
+        self.close()
+        return clean
+
     def close(self) -> None:
-        """Stop accepting, stop the loop, release the socket."""
+        """Stop accepting, cancel pending work, stop the loop, release
+        the socket. Idempotent — the drain path and the CLI's ``finally``
+        may both call it."""
+        if self._closed:
+            return
+        self._closed = True
+        self.draining.set()
         self.shutdown()
         if self._serve_thread is not None:
             self._serve_thread.join(timeout=5.0)
         if self._loop_thread.is_alive():
+            # Cancel pending work *on the loop* first: the coalesced
+            # futures (waiters shield the owner, so an abandoned
+            # in-flight call would pin its handler threads forever) and
+            # then every still-running task — a classify coroutine
+            # parked inside a wedged provider never finishes on its own.
+            async def _cancel_pending():
+                await self.service.engine.cancel_inflight()
+                current = asyncio.current_task()
+                for task in asyncio.all_tasks():
+                    if task is not current:
+                        task.cancel()
+
+            try:
+                asyncio.run_coroutine_threadsafe(
+                    _cancel_pending(), self.loop
+                ).result(timeout=2.0)
+            except Exception:  # pragma: no cover - best-effort shutdown
+                pass
             self.loop.call_soon_threadsafe(self.loop.stop)
             self._loop_thread.join(timeout=5.0)
         self.loop.close()

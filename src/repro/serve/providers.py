@@ -31,7 +31,7 @@ anything else propagates immediately.
 from __future__ import annotations
 
 import asyncio
-from typing import Awaitable, Callable, Protocol, runtime_checkable
+from typing import Awaitable, Callable, Protocol, Sequence, runtime_checkable
 
 from repro.llm.base import LlmModel, LlmResponse
 from repro.llm.config import ModelConfig
@@ -103,6 +103,8 @@ class EmulatedProvider:
     batch of concurrent requests never parks the event loop behind one
     pure-Python analysis pass.
     """
+
+    family = "emulated"
 
     def __init__(self, model: LlmModel):
         self.model = model
@@ -406,13 +408,28 @@ def emulated_transport(
     return transport
 
 
+def provider_label(client: ProviderClient) -> str:
+    """The provider's stable identity: ``family:model``.
+
+    Distinct from ``client.name`` (the model name), which every member of
+    a failover chain shares — breakers, fault plans, and the
+    ``served_by`` response tag need to tell the chain members apart while
+    cache keys (keyed on the shared :class:`ModelConfig`) stay identical
+    across them.
+    """
+    family = getattr(client, "family", "") or "emulated"
+    return f"{family}:{client.name}"
+
+
 def resolve_provider(
     model_name: str,
     *,
     family: str = "emulated",
     transport: Transport | None = None,
-) -> ProviderClient:
-    """Build one provider client for a registry model.
+    fallbacks: Sequence[str] = (),
+) -> ProviderClient | tuple[ProviderClient, ...]:
+    """Build one provider client — or a failover chain — for a registry
+    model.
 
     ``family`` picks the adapter: ``"emulated"`` (default) talks to the
     in-process zoo directly; ``"wire"`` picks the model's API-shaped
@@ -421,18 +438,42 @@ def resolve_provider(
     (``"openai"``/``"gemini"``/``"anthropic"``) builds that adapter with
     ``transport`` (a real HTTP client plugs in here), unconfigured if
     ``None``.
+
+    ``fallbacks`` is an ordered list of further family names; when
+    non-empty the result is a tuple — the primary first, fallbacks after
+    — which the serving engine treats as a failover chain: a request
+    whose primary breaker is open or whose retries exhaust moves down
+    the chain. Every member serves the same :class:`ModelConfig`, so
+    cache keys (and therefore warm-store bytes) are identical whichever
+    member answers.
     """
     model = get_model(model_name)
     if family == "emulated":
-        return EmulatedProvider(model)
-    if family == "wire":
+        primary: ProviderClient = EmulatedProvider(model)
+    elif family == "wire":
         cls = WIRE_FAMILIES[provider_family(model_name)]
-        return cls(model.config, emulated_transport(model, cls))
-    try:
-        cls = WIRE_FAMILIES[family]
-    except KeyError:
+        primary = cls(model.config, emulated_transport(model, cls))
+    else:
+        try:
+            cls = WIRE_FAMILIES[family]
+        except KeyError:
+            raise ValueError(
+                f"unknown provider family {family!r}; choose from "
+                f"{('emulated', 'wire', *sorted(WIRE_FAMILIES))}"
+            ) from None
+        primary = cls(model.config, transport)
+    if not fallbacks:
+        return primary
+    chain = [primary]
+    for fallback in fallbacks:
+        client = resolve_provider(
+            model_name, family=fallback, transport=transport
+        )
+        assert not isinstance(client, tuple)  # fallbacks don't nest
+        chain.append(client)
+    labels = [provider_label(c) for c in chain]
+    if len(set(labels)) != len(labels):
         raise ValueError(
-            f"unknown provider family {family!r}; choose from "
-            f"{('emulated', 'wire', *sorted(WIRE_FAMILIES))}"
-        ) from None
-    return cls(model.config, transport)
+            f"failover chain repeats a provider: {', '.join(labels)}"
+        )
+    return tuple(chain)

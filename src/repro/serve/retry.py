@@ -22,8 +22,8 @@ import random
 import time
 from typing import Awaitable, Callable
 
-from repro.serve.providers import RETRYABLE_ERRORS, ProviderTimeout
-from repro.util.retry import RetryPolicy, Sleep
+from repro.serve.providers import ProviderTimeout
+from repro.util.retry import RetryPolicy, Sleep, TransientError
 from repro.util.retry import call_with_retry as _call_with_retry
 
 __all__ = ["RateLimiter", "RetryPolicy", "Sleep", "call_with_retry"]
@@ -36,26 +36,34 @@ async def call_with_retry(
     rng: random.Random | None = None,
     sleep: Sleep = asyncio.sleep,
     on_retry: Callable[[int, BaseException], None] | None = None,
+    deadline: float | None = None,
+    clock: Callable[[], float] = time.monotonic,
 ):
     """Await ``fn()`` with bounded retries under ``policy``.
 
-    Retries only :data:`~repro.serve.providers.RETRYABLE_ERRORS`; an
-    attempt that overruns its jittered deadline is surfaced as
+    Retries every :class:`~repro.util.retry.TransientError` — which the
+    provider taxonomy (:data:`~repro.serve.providers.RETRYABLE_ERRORS`)
+    and the injected serving faults all subclass; an attempt that
+    overruns its jittered deadline is surfaced as
     :class:`~repro.serve.providers.ProviderTimeout` (itself retryable).
     Non-retryable exceptions and the final retryable failure propagate
     unchanged. ``on_retry(attempt, error)`` fires before each backoff
-    sleep — the serving engine counts retries through it.
+    sleep — the serving engine counts retries through it. ``deadline``
+    (absolute, on ``clock``) clips attempts to the caller's remaining
+    budget; see :func:`repro.util.retry.call_with_retry`.
     """
     return await _call_with_retry(
         fn,
         policy=policy,
-        retryable=RETRYABLE_ERRORS,
+        retryable=(TransientError,),
         rng=rng,
         sleep=sleep,
         on_retry=on_retry,
         timeout_error=lambda attempt, timeout: ProviderTimeout(
             f"attempt {attempt + 1} exceeded {timeout:.3f}s"
         ),
+        deadline=deadline,
+        clock=clock,
     )
 
 

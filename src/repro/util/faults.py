@@ -26,7 +26,15 @@ Fault kinds:
   **once** per (kind, segment) so a later rewrite can heal the store —
   corruption is an event, not a curse;
 * ``worker_death:after=N`` — the process SIGKILLs itself on its N-th
-  completion attempt, the crash the journal/resume path exists for.
+  completion attempt, the crash the journal/resume path exists for;
+* serving faults, raised inside the async engine's per-candidate retry
+  loop — ``provider_brownout:provider=L,after=K,attempts=N`` (a sustained
+  window: matching attempts K+1..K+N against provider label ``L`` all
+  fail, exercising breakers and failover) and
+  ``slow_tail:rate=R,ms=M`` (hash-selected calls answer ``M`` ms late,
+  exercising hedged requests). Any completion fault may also carry
+  ``provider=L`` to target one provider; targeted specs never fire on
+  the batch path.
 
 Determinism: whether a fault fires for a given token is a pure function
 of ``(seed, kind, token)`` via :func:`repro.util.hashing.stable_hash_u64`
@@ -52,6 +60,14 @@ from repro.util.retry import AttemptTimeout, TransientError
 FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
 
 COMPLETION_FAULT_KINDS = ("provider_error", "provider_timeout", "rate_limit")
+#: Serve-path faults: ``provider_brownout`` (a counter-window of sustained
+#: failures against one provider — every matching attempt in the window
+#: fails, modelling a vendor outage rather than per-unit weather) and
+#: ``slow_tail:rate=...,ms=...`` (pure-hash-selected calls answer ``ms``
+#: milliseconds late, the tail the hedging path exists for). Both honour
+#: an optional ``provider=<label>`` filter so a plan can brown out the
+#: primary while its failover target stays healthy.
+PROVIDER_FAULT_KINDS = ("provider_brownout", "slow_tail")
 SEGMENT_FAULT_KINDS = (
     "torn_write",
     "forged_index",
@@ -60,7 +76,12 @@ SEGMENT_FAULT_KINDS = (
     "stale_tmp",
 )
 PROCESS_FAULT_KINDS = ("worker_death",)
-FAULT_KINDS = COMPLETION_FAULT_KINDS + SEGMENT_FAULT_KINDS + PROCESS_FAULT_KINDS
+FAULT_KINDS = (
+    COMPLETION_FAULT_KINDS
+    + PROVIDER_FAULT_KINDS
+    + SEGMENT_FAULT_KINDS
+    + PROCESS_FAULT_KINDS
+)
 
 #: A pid no live process can hold on stock Linux (pid_max caps at 2^22),
 #: so injected tmp files always read as leaked by a dead writer.
@@ -97,6 +118,8 @@ class FaultSpec:
     attempts: int = 1
     after: int = 0
     retry_after: float | None = None
+    provider: str = ""
+    ms: float = 0.0
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
@@ -110,6 +133,8 @@ class FaultSpec:
             raise ValueError(f"fault attempts must be >= 1, got {self.attempts}")
         if self.kind == "worker_death" and self.after < 1:
             raise ValueError("worker_death requires after=N with N >= 1")
+        if self.kind == "slow_tail" and self.ms <= 0:
+            raise ValueError("slow_tail requires ms=M with M > 0")
 
 
 _SPEC_FIELDS = {
@@ -117,6 +142,8 @@ _SPEC_FIELDS = {
     "attempts": int,
     "after": int,
     "retry_after": float,
+    "provider": str,
+    "ms": float,
 }
 
 
@@ -133,6 +160,8 @@ class FaultPlan:
     specs: tuple[FaultSpec, ...] = ()
     _fired: set = field(default_factory=set, repr=False)
     _attempts_seen: int = field(default=0, repr=False)
+    # Per-spec call counters driving provider_brownout windows.
+    _window_seen: dict = field(default_factory=dict, repr=False)
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     # -- parsing -------------------------------------------------------------
@@ -177,6 +206,10 @@ class FaultPlan:
                 params.append(f"after={s.after}")
             if s.retry_after is not None:
                 params.append(f"retry_after={s.retry_after:g}")
+            if s.provider:
+                params.append(f"provider={s.provider}")
+            if s.ms:
+                params.append(f"ms={s.ms:g}")
             parts.append(f"{s.kind}:{','.join(params)}")
         return ";".join(parts)
 
@@ -202,10 +235,22 @@ class FaultPlan:
         return True
 
     # -- completion-path hooks -----------------------------------------------
+    @staticmethod
+    def _raise_completion(spec: FaultSpec, where: str) -> None:
+        if spec.kind == "provider_timeout":
+            raise InjectedTimeout(f"injected timeout: {where}")
+        if spec.kind == "rate_limit":
+            raise InjectedRateLimit(
+                f"injected rate limit: {where}",
+                retry_after=spec.retry_after,
+            )
+        raise InjectedFault(f"injected provider error: {where}")
+
     def completion_fault(self, token: str, attempt: int) -> None:
         """Raise this unit's injected fault for ``attempt`` (0-based), if
         any; also drives the ``worker_death`` counter. Called by the engine
-        before each real completion attempt."""
+        before each real completion attempt. Provider-targeted specs
+        (``provider=...``) are serve-path faults and never fire here."""
         for spec in self.specs:
             if spec.kind != "worker_death":
                 continue
@@ -215,19 +260,64 @@ class FaultPlan:
             if fatal:
                 os.kill(os.getpid(), signal.SIGKILL)
         for spec in self.specs:
+            if spec.kind not in COMPLETION_FAULT_KINDS or spec.provider:
+                continue
+            if attempt >= spec.attempts or not self._selected(spec, token):
+                continue
+            self._raise_completion(
+                spec, f"unit {token[:12]} attempt {attempt + 1}"
+            )
+
+    # -- serve-path hooks ----------------------------------------------------
+    def provider_fault(self, provider: str, token: str, attempt: int) -> None:
+        """The serving engine's twin of :meth:`completion_fault`.
+
+        ``provider`` is the candidate's label (``family:model``); specs
+        carrying ``provider=...`` fire only against that label, bare specs
+        fire against every provider. ``provider_brownout`` is a *window*:
+        a per-spec counter of matching attempts, of which numbers
+        ``(after, after + attempts]`` all fail — sustained unavailability
+        that exhausts retries and opens circuit breakers, then lifts so
+        half-open probes can close them again. Never SIGKILLs: process
+        death is a batch-sweep fault, not a serving one.
+        """
+        for index, spec in enumerate(self.specs):
+            if spec.provider and spec.provider != provider:
+                continue
+            if spec.kind == "provider_brownout":
+                with self._lock:
+                    seen = self._window_seen.get(index, 0) + 1
+                    self._window_seen[index] = seen
+                if spec.after < seen <= spec.after + spec.attempts:
+                    raise InjectedFault(
+                        f"injected brownout: {provider} attempt {seen} "
+                        f"of window ({spec.after}, "
+                        f"{spec.after + spec.attempts}]"
+                    )
+                continue
             if spec.kind not in COMPLETION_FAULT_KINDS:
                 continue
             if attempt >= spec.attempts or not self._selected(spec, token):
                 continue
-            where = f"unit {token[:12]} attempt {attempt + 1}"
-            if spec.kind == "provider_timeout":
-                raise InjectedTimeout(f"injected timeout: {where}")
-            if spec.kind == "rate_limit":
-                raise InjectedRateLimit(
-                    f"injected rate limit: {where}",
-                    retry_after=spec.retry_after,
-                )
-            raise InjectedFault(f"injected provider error: {where}")
+            self._raise_completion(
+                spec, f"{provider} unit {token[:12]} attempt {attempt + 1}"
+            )
+
+    def slow_tail_delay(self, provider: str, token: str) -> float | None:
+        """Seconds of injected tail latency for this call, or ``None``.
+
+        Selection is the same pure ``(seed, kind, token)`` hash as every
+        other fault — which calls land in the slow tail never depends on
+        execution order, so hedge-winner tests replay exactly.
+        """
+        for spec in self.specs:
+            if spec.kind != "slow_tail":
+                continue
+            if spec.provider and spec.provider != provider:
+                continue
+            if self._selected(spec, token):
+                return spec.ms / 1000.0
+        return None
 
     # -- store-path hook -----------------------------------------------------
     def mangle_segment(

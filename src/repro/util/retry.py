@@ -49,6 +49,14 @@ class AttemptTimeout(TransientError):
     """An attempt exceeded its (jittered) deadline."""
 
 
+class DeadlineExceeded(Exception):
+    """The caller's end-to-end deadline expired before a success.
+
+    Deliberately *not* a :class:`TransientError`: once the requester's
+    budget is gone there is nothing to retry for. The serving layer maps
+    this to a 429-shaped rejection (shed, not failed)."""
+
+
 @dataclass(frozen=True)
 class RetryPolicy:
     """Bounded-retry schedule for one upstream completion.
@@ -118,6 +126,8 @@ async def call_with_retry(
     sleep: Sleep = asyncio.sleep,
     on_retry: Callable[[int, BaseException], None] | None = None,
     timeout_error: Callable[[int, float], BaseException] | None = None,
+    deadline: float | None = None,
+    clock: Callable[[], float] = time.monotonic,
 ):
     """Await ``fn()`` with bounded retries under ``policy``.
 
@@ -128,12 +138,26 @@ async def call_with_retry(
     Non-retryable exceptions and the final retryable failure propagate
     unchanged. ``on_retry(attempt, error)`` fires before each backoff
     sleep — engines count retries through it.
+
+    ``deadline`` is an absolute instant on ``clock``'s timeline (the
+    serving layer derives it from the request's ``X-Deadline-Ms``
+    budget). Attempts are clipped to the remaining budget, an attempt
+    that would start with none raises :class:`DeadlineExceeded`, and a
+    backoff that cannot finish inside the budget fails immediately
+    instead of sleeping through it.
     """
     rng = rng if rng is not None else random.Random()
     last: BaseException | None = None
     for attempt in range(policy.max_attempts):
         try:
             timeout = policy.attempt_timeout(rng)
+            if deadline is not None:
+                remaining = deadline - clock()
+                if remaining <= 0:
+                    raise DeadlineExceeded(
+                        f"deadline expired before attempt {attempt + 1}"
+                    ) from last
+                timeout = remaining if timeout is None else min(timeout, remaining)
             if timeout is None:
                 return await fn()
             try:
@@ -148,9 +172,15 @@ async def call_with_retry(
             last = exc
             if attempt + 1 >= policy.max_attempts:
                 raise
+            delay = _hint_delay(policy, attempt, exc, rng)
+            if deadline is not None and clock() + delay >= deadline:
+                raise DeadlineExceeded(
+                    f"deadline leaves no room for a {delay:.3f}s backoff "
+                    f"after attempt {attempt + 1}"
+                ) from exc
             if on_retry is not None:
                 on_retry(attempt, exc)
-            await sleep(_hint_delay(policy, attempt, exc, rng))
+            await sleep(delay)
     raise last if last is not None else RuntimeError("unreachable")
 
 
